@@ -1,0 +1,76 @@
+// Figure 1 reproduction: the paper's example program and its V-cal form.
+//
+//   for i := imin to imax do
+//     if A[i] > 0 then A[i] := B[f(i)]; fi;
+//   od
+//
+//   ∆(i ∈ (k+1:n | [i]A > 0)) // ([i](A) := [f(i)](B))
+//
+// This binary shows the whole derivation (Eq. 1 -> Eq. 2 -> Eq. 3 ->
+// per-processor schedules) and the generated node programs for both
+// machine classes, then verifies that executing them reproduces the
+// sequential semantics.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "emit/c_mpi.hpp"
+#include "emit/c_openmp.hpp"
+#include "emit/paper_notation.hpp"
+#include "lang/translate.hpp"
+#include "rt/dist_machine.hpp"
+#include "rt/seq_executor.hpp"
+
+namespace {
+
+const char* kSource = R"(# Figure 1 of the paper (f(i) = i + 1, k = 0, n = 14)
+processors 4;
+array A[0:15];
+array B[0:15];
+distribute A block;
+distribute B scatter;
+forall i in 1:14 | A[i] > 0 do
+  A[i] := B[i + 1];
+od
+)";
+
+}  // namespace
+
+int main() {
+  using namespace vcal;
+  std::printf("=== Figure 1: program translation into V-cal ===\n\n");
+  std::printf("vexl source:\n%s\n", kSource);
+
+  spmd::Program program = lang::compile(kSource);
+  const auto& clause = std::get<prog::Clause>(program.steps[0]);
+
+  emit::PipelineTrace trace = emit::trace_pipeline(clause, program.arrays);
+  std::printf("V-cal derivation (Sections 2.5-2.6 of the paper):\n%s\n",
+              trace.str().c_str());
+
+  std::printf("Generated shared-memory node program (Section 2.9):\n");
+  std::printf("%s\n", emit::emit_openmp_c(program).c_str());
+
+  std::printf("Generated distributed-memory node program (Section 2.10):\n");
+  std::printf("%s\n", emit::emit_mpi_c(program).c_str());
+
+  // Verification: simulator result == sequential reference.
+  std::vector<double> a(16), b(16);
+  for (i64 i = 0; i < 16; ++i) {
+    a[static_cast<std::size_t>(i)] = (i % 2 == 0) ? 1.0 : -1.0;
+    b[static_cast<std::size_t>(i)] = 100.0 + static_cast<double>(i);
+  }
+  rt::SeqExecutor seq(program);
+  seq.load("A", a);
+  seq.load("B", b);
+  seq.run();
+  rt::DistMachine dist(program);
+  dist.load("A", a);
+  dist.load("B", b);
+  dist.run();
+  bool ok = dist.gather("A") == seq.result("A");
+  std::printf("verification: distributed result %s sequential reference\n",
+              ok ? "==" : "!=");
+  std::printf("distributed stats: %s\n", dist.stats().str().c_str());
+  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}

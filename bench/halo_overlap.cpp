@@ -1,0 +1,132 @@
+// Section 5 extension: overlapped (halo) decompositions.
+//
+// The same relaxation kernel runs with plain block decomposition and with
+// block overlap(h). Without overlap every boundary neighbour read is one
+// per-element message; with overlap each processor refreshes its halo in
+// one bulk exchange per neighbour per clause, and all neighbour reads
+// become local. The cost model (latency per message + per value) shows
+// why the 1991-era machines the paper targets care: latency dominates.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "lang/translate.hpp"
+#include "rt/dist_machine.hpp"
+#include "rt/seq_executor.hpp"
+#include "support/format.hpp"
+
+namespace {
+
+using namespace vcal;
+
+std::string kernel(i64 procs, i64 n, int sweeps, const char* dist_u,
+                   int radius = 1) {
+  std::string src = cat("processors ", procs, ";\narray U[0:", n - 1,
+                        "];\narray V[0:", n - 1, "];\ndistribute U ",
+                        dist_u, ";\ndistribute V ", dist_u, ";\n");
+  auto stencil = [&](const char* dst, const char* a) {
+    std::string body = cat(dst, "[i] := (");
+    for (int k = -radius; k <= radius; ++k) {
+      if (k != -radius) body += " + ";
+      body += cat(a, "[i", k < 0 ? " - " : " + ", k < 0 ? -k : k, "]");
+    }
+    body += cat(")/", 2 * radius + 1, ";");
+    return cat("forall i in ", radius, ":", n - 1 - radius, " do ", body,
+               " od\n");
+  };
+  for (int s = 0; s < sweeps; ++s) {
+    src += stencil("V", "U");
+    src += stencil("U", "V");
+  }
+  return src;
+}
+
+std::vector<double> input(i64 n) {
+  std::vector<double> v(static_cast<std::size_t>(n), 0.0);
+  v[static_cast<std::size_t>(n / 3)] = 900.0;
+  return v;
+}
+
+void table(int radius) {
+  const i64 n = 2048;
+  const int sweeps = 4;
+  std::string overlap_dist = cat("block overlap(", radius, ")");
+  std::printf(
+      "\n--- %d-point stencil, n=%lld, %d sweeps: plain block vs "
+      "overlap(%d) ---\n",
+      2 * radius + 1, (long long)n, sweeps, radius);
+  std::printf("%6s %-22s %12s %12s %12s %12s %14s\n", "P", "distribution",
+              "messages", "halo-msgs", "halo-vals", "halo-reads",
+              "sim-time");
+  for (i64 procs : {2, 4, 8, 16}) {
+    std::vector<double> reference;
+    for (const std::string& dist :
+         {std::string("block"), overlap_dist}) {
+      spmd::Program p =
+          lang::compile(kernel(procs, n, sweeps, dist.c_str(), radius));
+      rt::DistMachine m(p);
+      m.load("U", input(n));
+      m.run();
+      if (reference.empty()) {
+        rt::SeqExecutor seq(
+            lang::compile(kernel(procs, n, sweeps, "block", radius)));
+        seq.load("U", input(n));
+        seq.run();
+        reference = seq.result("U");
+      }
+      if (m.gather("U") != reference) std::printf("  !! MISMATCH\n");
+      std::printf("%6lld %-22s %12s %12s %12s %12s %14s\n",
+                  (long long)procs, dist.c_str(),
+                  with_commas(m.stats().messages).c_str(),
+                  with_commas(m.stats().halo_messages).c_str(),
+                  with_commas(m.stats().halo_values).c_str(),
+                  with_commas(m.stats().halo_reads).c_str(),
+                  with_commas((i64)m.stats().sim_time).c_str());
+    }
+  }
+}
+
+void BM_RelaxationNoHalo(benchmark::State& state) {
+  spmd::Program p =
+      lang::compile(kernel(state.range(0), 2048, 2, "block"));
+  std::vector<double> u = input(2048);
+  for (auto _ : state) {
+    rt::DistMachine m(p);
+    m.load("U", u);
+    m.run();
+    benchmark::DoNotOptimize(m.stats().messages);
+  }
+}
+BENCHMARK(BM_RelaxationNoHalo)->Arg(8);
+
+void BM_RelaxationHalo(benchmark::State& state) {
+  spmd::Program p = lang::compile(
+      kernel(state.range(0), 2048, 2, "block overlap(1)"));
+  std::vector<double> u = input(2048);
+  for (auto _ : state) {
+    rt::DistMachine m(p);
+    m.load("U", u);
+    m.run();
+    benchmark::DoNotOptimize(m.stats().halo_messages);
+  }
+}
+BENCHMARK(BM_RelaxationHalo)->Arg(8);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== Section 5 extension: overlapped decompositions ===\n");
+  table(1);
+  table(4);
+  std::printf(
+      "\nExpected shape: without overlap every boundary neighbour read is "
+      "one message\n(2*radius per interior boundary per clause); with "
+      "overlap each boundary costs one\nbulk exchange of `radius` values, "
+      "so the message count divides by the stencil\nradius and the "
+      "latency term of the makespan shrinks accordingly (visible in the\n"
+      "9-point table). Results are bit-identical in every cell.\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

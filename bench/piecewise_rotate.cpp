@@ -1,0 +1,116 @@
+// Section 3.3 reproduction: piece-wise monotonic index functions.
+//
+// The paper's example is the rotate f(i) = (i+6) mod 20. The breakpoint
+// split turns the function into two affine pieces, each optimized by the
+// Table I machinery; the harness shows the split, verifies the schedules
+// against brute force for block and scatter decompositions, and measures
+// the cost against run-time resolution. Scaled-up rotates run under
+// google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "gen/cost.hpp"
+#include "gen/optimizer.hpp"
+#include "support/format.hpp"
+
+namespace {
+
+using namespace vcal;
+using decomp::Decomp1D;
+using fn::IndexFn;
+using gen::BuildOptions;
+using gen::OwnerComputePlan;
+
+bool verify(const OwnerComputePlan& plan) {
+  for (i64 p = 0; p < plan.decomp().procs(); ++p) {
+    std::vector<i64> want;
+    for (i64 i = plan.imin(); i <= plan.imax(); ++i) {
+      i64 v = plan.f()(i);
+      if (!in_range(v, 0, plan.decomp().n() - 1)) continue;
+      if (plan.decomp().proc(v) == p) want.push_back(i);
+    }
+    if (plan.for_proc(p).materialize_sorted() != want) return false;
+  }
+  return true;
+}
+
+void show(const IndexFn& f, i64 n, i64 procs, i64 imin, i64 imax) {
+  for (auto kind : {0, 1, 2}) {
+    Decomp1D d = kind == 0   ? Decomp1D::block(n, procs)
+                 : kind == 1 ? Decomp1D::scatter(n, procs)
+                             : Decomp1D::block_scatter(n, procs, 2);
+    OwnerComputePlan plan = OwnerComputePlan::build(f, d, imin, imax);
+    BuildOptions forced;
+    forced.force_runtime_resolution = true;
+    OwnerComputePlan naive =
+        OwnerComputePlan::build(f, d, imin, imax, forced);
+    gen::PlanCost copt = gen::measure_plan(plan);
+    gen::PlanCost cnaive = gen::measure_plan(naive);
+    std::printf("  %-22s %-16s pieces=%lld tests: %s -> %s (%.1fx) %s\n",
+                d.str().c_str(), to_string(plan.method()).c_str(),
+                (long long)plan.sub_plans().size(),
+                with_commas(cnaive.total.tests).c_str(),
+                with_commas(copt.total.tests).c_str(),
+                copt.speedup_vs(cnaive),
+                verify(plan) ? "verified" : "MISMATCH");
+  }
+}
+
+void BM_RotateNaive(benchmark::State& state) {
+  i64 n = state.range(0);
+  IndexFn f = IndexFn::affine_mod(1, n / 3, n, 0);
+  BuildOptions forced;
+  forced.force_runtime_resolution = true;
+  OwnerComputePlan plan = OwnerComputePlan::build(
+      f, Decomp1D::scatter(n, 8), 0, n - 1, forced);
+  for (auto _ : state) {
+    auto v = plan.for_proc(2).materialize();
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_RotateNaive)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_RotateSplit(benchmark::State& state) {
+  i64 n = state.range(0);
+  IndexFn f = IndexFn::affine_mod(1, n / 3, n, 0);
+  OwnerComputePlan plan =
+      OwnerComputePlan::build(f, Decomp1D::scatter(n, 8), 0, n - 1);
+  for (auto _ : state) {
+    auto v = plan.for_proc(2).materialize();
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_RotateSplit)->Arg(1 << 14)->Arg(1 << 17);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== Section 3.3: piece-wise monotonic functions ===\n\n");
+
+  std::printf("f(i) = (i+6) mod 20, n=20, pmax=4 (the paper's rotate):\n");
+  IndexFn rot = IndexFn::affine_mod(1, 6, 20, 0);
+  auto pieces = rot.pieces(0, 19);
+  std::printf("  breakpoint split: ");
+  for (const auto& p : pieces)
+    std::printf("[%lld:%lld] f=i%+lld  ", (long long)p.lo, (long long)p.hi,
+                (long long)p.c);
+  std::printf("(ibreak = %lld, matching the paper's derivation)\n",
+              (long long)pieces[1].lo);
+  show(rot, 20, 4, 0, 19);
+
+  std::printf(
+      "\nf(i) = (2*i + 10) mod 64 + 0, n=64, pmax=8 (strided rotate):\n");
+  show(IndexFn::affine_mod(2, 10, 64, 0), 64, 8, 0, 26);
+
+  std::printf("\nf(i) = (i + 5000) mod 16384, n=16384, pmax=16 (large):\n");
+  show(IndexFn::affine_mod(1, 5000, 16384, 0), 16384, 16, 0, 16383);
+
+  std::printf(
+      "\nExpected shape: the split produces 2 affine pieces; closed-form "
+      "tests drop to 0\nwhile run-time resolution pays one test per index "
+      "per processor.\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

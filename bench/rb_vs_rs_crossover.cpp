@@ -1,0 +1,116 @@
+// Section 3.2.i reproduction: Repeated Block vs Repeated Scatter for
+// block-scatter decompositions BS(b).
+//
+// The paper states the Repeated Scatter form is preferable when
+// b <= f(imax) / (2 * pmax). This harness sweeps b, measures the loop
+// overhead of both forms (pieces set up + iterations executed), reports
+// which form wins, and checks the measured crossover against the paper's
+// rule. Wall-clock for both forms at representative b values runs under
+// google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "gen/cost.hpp"
+#include "gen/optimizer.hpp"
+#include "support/format.hpp"
+
+namespace {
+
+using namespace vcal;
+using decomp::Decomp1D;
+using fn::IndexFn;
+using gen::BuildOptions;
+using gen::OwnerComputePlan;
+
+// Overhead proxy: pieces set up (loop-bound computations) plus loop
+// iterations, on the worst processor.
+i64 overhead(const OwnerComputePlan& plan) {
+  i64 worst = 0;
+  for (i64 p = 0; p < plan.decomp().procs(); ++p) {
+    gen::EnumStats s;
+    plan.for_proc(p).materialize(&s);
+    worst = std::max(worst, s.pieces + s.loop_iters + s.tests);
+  }
+  return worst;
+}
+
+void sweep(i64 n, i64 procs, const IndexFn& f) {
+  std::printf("\n--- RB vs RS sweep: n=%s, pmax=%lld, f(i)=%s ---\n",
+              with_commas(n).c_str(), (long long)procs, f.str().c_str());
+  i64 fmax = f(n - 1);
+  i64 rule = fmax / (2 * procs);
+  std::printf("paper rule: prefer repeated scatter when b <= %lld\n\n",
+              (long long)rule);
+  std::printf("%8s %14s %14s %10s %12s %8s\n", "b", "RB overhead",
+              "RS overhead", "winner", "paper says", "agree");
+
+  BuildOptions rb_opts, rs_opts;
+  rb_opts.bs_form = BuildOptions::BsForm::RepeatedBlock;
+  rs_opts.bs_form = BuildOptions::BsForm::RepeatedScatter;
+
+  for (i64 b : {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096,
+                8192, 16384}) {
+    if (b > n) break;
+    Decomp1D d = Decomp1D::block_scatter(n, procs, b);
+    i64 rb = overhead(OwnerComputePlan::build(f, d, 0, n - 1, rb_opts));
+    i64 rs = overhead(OwnerComputePlan::build(f, d, 0, n - 1, rs_opts));
+    const char* winner = rs < rb ? "RS" : (rb < rs ? "RB" : "tie");
+    const char* paper = b <= rule ? "RS" : "RB";
+    std::printf("%8lld %14s %14s %10s %12s %8s\n", (long long)b,
+                with_commas(rb).c_str(), with_commas(rs).c_str(), winner,
+                paper, std::string(winner) == paper ? "yes" : "~");
+  }
+}
+
+constexpr i64 kN = 1 << 16;
+
+void BM_RepeatedBlock(benchmark::State& state) {
+  BuildOptions opts;
+  opts.bs_form = BuildOptions::BsForm::RepeatedBlock;
+  OwnerComputePlan plan = OwnerComputePlan::build(
+      IndexFn::identity(), Decomp1D::block_scatter(kN, 8, state.range(0)),
+      0, kN - 1, opts);
+  for (auto _ : state) {
+    auto v = plan.for_proc(3).materialize();
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_RepeatedBlock)->Arg(2)->Arg(64)->Arg(4096);
+
+void BM_RepeatedScatter(benchmark::State& state) {
+  BuildOptions opts;
+  opts.bs_form = BuildOptions::BsForm::RepeatedScatter;
+  OwnerComputePlan plan = OwnerComputePlan::build(
+      IndexFn::identity(), Decomp1D::block_scatter(kN, 8, state.range(0)),
+      0, kN - 1, opts);
+  for (auto _ : state) {
+    auto v = plan.for_proc(3).materialize();
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_RepeatedScatter)->Arg(2)->Arg(64)->Arg(4096);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "=== Section 3.2.i: Repeated Block vs Repeated Scatter ===\n");
+  sweep(1 << 16, 8, IndexFn::identity());
+  sweep(1 << 16, 8, IndexFn::affine(3, 1));
+  sweep(1 << 16, 64, IndexFn::identity());
+  std::printf(
+      "\nExpected shape: RS wins at small b (few congruence setups, dense "
+      "progressions);\nRB wins at large b (few blocks). Note on the "
+      "crossover: the paper's rule assumes its\nRS form tests f^-1 "
+      "integrality per k; our RS resolves each offset's congruence\n"
+      "symbolically (no per-k tests), so RS is cheaper than the paper "
+      "assumed and the\nmeasured crossover sits near sqrt(n/pmax) instead "
+      "— within the b-range the paper's\nrule marks as RS territory. The "
+      "optimizer's Auto mode still applies the paper's\npublished "
+      "inequality (verified in tests); this sweep is the ablation that "
+      "shows both\nforms and who actually wins.\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Dynamic decomposition reproduction (Introduction + Section 5): run-time
+// redistribution between layouts, generated automatically from the two
+// decompositions' proc()/local() maps.
+//
+// Reported per layout pair: elements moved vs stationary, the per-rank
+// send/receive balance, and the message count compared with the naive
+// "gather to host, rescatter" strategy (2n messages) that systems without
+// layout-aware planning fall back to.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "decomp/redistribute.hpp"
+#include "lang/translate.hpp"
+#include "rt/dist_machine.hpp"
+#include "support/format.hpp"
+
+namespace {
+
+using namespace vcal;
+using decomp::ArrayDesc;
+using decomp::Decomp1D;
+using decomp::DecompND;
+
+ArrayDesc desc(i64 n, i64 procs, const std::string& kind, i64 b = 4) {
+  Decomp1D d = kind == "block"     ? Decomp1D::block(n, procs)
+               : kind == "scatter" ? Decomp1D::scatter(n, procs)
+                                   : Decomp1D::block_scatter(n, procs, b);
+  return ArrayDesc::distributed("A", {0}, {n - 1}, DecompND({d}));
+}
+
+void table(i64 n, i64 procs) {
+  std::printf("\n--- redistribution plans, n=%s, P=%lld ---\n",
+              with_commas(n).c_str(), (long long)procs);
+  std::printf("%-22s %-22s %10s %12s %12s %12s\n", "from", "to", "moved",
+              "stationary", "naive(2n)", "max-rank-tx");
+  struct Pair {
+    const char* from;
+    const char* to;
+  };
+  for (const Pair& pr :
+       {Pair{"block", "scatter"}, Pair{"scatter", "block"},
+        Pair{"block", "bs"}, Pair{"bs", "scatter"},
+        Pair{"block", "block"}}) {
+    ArrayDesc from = desc(n, procs, pr.from);
+    ArrayDesc to = desc(n, procs, pr.to);
+    decomp::RedistPlan plan = decomp::plan_redistribution(from, to);
+    i64 max_tx = 0;
+    for (i64 p = 0; p < procs; ++p) {
+      max_tx = std::max(
+          max_tx, plan.sends_by_rank[static_cast<std::size_t>(p)] +
+                      plan.receives_by_rank[static_cast<std::size_t>(p)]);
+    }
+    std::printf("%-22s %-22s %10s %12s %12s %12s\n",
+                from.decomp().dim(0).str().c_str(),
+                to.decomp().dim(0).str().c_str(),
+                with_commas(plan.total_messages()).c_str(),
+                with_commas(plan.stationary).c_str(),
+                with_commas(2 * n).c_str(), with_commas(max_tx).c_str());
+  }
+}
+
+void end_to_end() {
+  std::printf(
+      "\n--- executed redistribution inside a program (DistMachine) "
+      "---\n");
+  const char* src = R"(
+    processors 8;
+    array A[0:4095];
+    array B[0:4095];
+    distribute A block;
+    distribute B block;
+    forall i in 0:4094 do A[i] := B[i+1]; od
+    redistribute A blockscatter(16);
+    redistribute A scatter;
+    forall i in 1:4095 do B[i] := A[i-1]; od
+  )";
+  spmd::Program p = lang::compile(src);
+  rt::DistMachine m(p);
+  std::vector<double> b(4096);
+  for (i64 i = 0; i < 4096; ++i)
+    b[static_cast<std::size_t>(i)] = static_cast<double>(i % 97);
+  m.load("B", b);
+  m.run();
+  std::printf("steps executed: %lld, %s\n", (long long)m.stats().steps,
+              m.stats().str().c_str());
+}
+
+void BM_PlanRedistribution(benchmark::State& state) {
+  ArrayDesc from = desc(state.range(0), 8, "block");
+  ArrayDesc to = desc(state.range(0), 8, "scatter");
+  for (auto _ : state) {
+    auto plan = decomp::plan_redistribution(from, to);
+    benchmark::DoNotOptimize(plan.moves.size());
+  }
+}
+BENCHMARK(BM_PlanRedistribution)->Arg(1 << 10)->Arg(1 << 14);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== Dynamic decompositions: redistribution ===\n");
+  table(4096, 4);
+  table(4096, 16);
+  end_to_end();
+  std::printf(
+      "\nExpected shape: identical layouts move nothing; block<->scatter "
+      "moves ~n*(P-1)/P\nelements (each exactly once, balanced across "
+      "ranks), always beating the naive 2n\ngather/rescatter for P >= 2 "
+      "and avoiding the host bottleneck.\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,154 @@
+// Sections 2.9-2.10 reproduction: the full generated SPMD programs on
+// both machine classes, run-time resolution vs compile-time optimized.
+//
+// Two kernels from the paper's motivating domain:
+//   relaxation  V[i] := (U[i-1] + U[i+1]) / 2    (aligned neighbours)
+//   gather      A[i] := B[3*i + 1]               (strided remote access)
+// under every decomposition pairing, sweeping the processor count.
+// Reported: membership tests, messages, and the cost-model makespan —
+// the quantities whose shape the paper's argument predicts.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "lang/translate.hpp"
+#include "rt/dist_machine.hpp"
+#include "rt/shared_machine.hpp"
+#include "support/format.hpp"
+
+namespace {
+
+using namespace vcal;
+
+std::string kernel(const char* da, const char* db, i64 procs, i64 n,
+                   bool strided) {
+  std::string body =
+      strided ? "forall i in 0:" + cat((n - 2) / 3) + " do A[3*i + 1] := B[i]; od"
+              : "forall i in 1:" + cat(n - 2) +
+                    " do A[i] := (B[i-1] + B[i+1])/2; od";
+  return cat("processors ", procs, ";\n", "array A[0:", n - 1, "];\n",
+             "array B[0:", n - 1, "];\n", "distribute A ", da, ";\n",
+             "distribute B ", db, ";\n", body, "\n");
+}
+
+std::vector<double> input(i64 n) {
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (i64 i = 0; i < n; ++i)
+    v[static_cast<std::size_t>(i)] = static_cast<double>((i * 13) % 101);
+  return v;
+}
+
+void run_table(bool strided) {
+  const i64 n = 4096;
+  std::printf("\n--- %s kernel, n=%lld, distributed machine ---\n",
+              strided ? "strided gather A[3i+1] := B[i]"
+                      : "relaxation A[i] := (B[i-1]+B[i+1])/2",
+              (long long)n);
+  std::printf("%6s %-14s %-14s %12s %12s %10s %14s %14s\n", "P", "A", "B",
+              "tests-naive", "tests-opt", "messages", "time-naive",
+              "time-opt");
+  for (i64 procs : {2, 4, 8, 16}) {
+    for (const char* da : {"block", "scatter"}) {
+      for (const char* db : {"block", "scatter"}) {
+        std::string src = kernel(da, db, procs, n, strided);
+        spmd::Program p = lang::compile(src);
+
+        gen::BuildOptions naive;
+        naive.force_runtime_resolution = true;
+        rt::DistMachine base(lang::compile(src), naive);
+        base.load("B", input(n));
+        base.run();
+
+        rt::DistMachine opt(p);
+        opt.load("B", input(n));
+        opt.run();
+
+        if (opt.gather("A") != base.gather("A"))
+          std::printf("  !! RESULT MISMATCH\n");
+        std::printf("%6lld %-14s %-14s %12s %12s %10s %14s %14s\n",
+                    (long long)procs, da, db,
+                    with_commas(base.stats().tests).c_str(),
+                    with_commas(opt.stats().tests).c_str(),
+                    with_commas(opt.stats().messages).c_str(),
+                    with_commas((i64)base.stats().sim_time).c_str(),
+                    with_commas((i64)opt.stats().sim_time).c_str());
+      }
+    }
+  }
+}
+
+void shared_table() {
+  const i64 n = 4096;
+  std::printf(
+      "\n--- relaxation kernel on the shared-memory machine ---\n");
+  std::printf("%6s %-14s %14s %14s %14s %14s\n", "P", "A", "tests-naive",
+              "tests-opt", "time-naive", "time-opt");
+  for (i64 procs : {2, 4, 8, 16}) {
+    for (const char* da : {"block", "scatter", "blockscatter(8)"}) {
+      std::string src = kernel(da, "block", procs, n, false);
+      gen::BuildOptions naive;
+      naive.force_runtime_resolution = true;
+      rt::SharedMachine base(lang::compile(src), naive);
+      base.load("B", input(n));
+      base.run();
+      rt::SharedMachine opt(lang::compile(src));
+      opt.load("B", input(n));
+      opt.run();
+      if (opt.result("A") != base.result("A"))
+        std::printf("  !! RESULT MISMATCH\n");
+      std::printf("%6lld %-14s %14s %14s %14s %14s\n", (long long)procs,
+                  da, with_commas(base.stats().tests).c_str(),
+                  with_commas(opt.stats().tests).c_str(),
+                  with_commas((i64)base.stats().sim_time).c_str(),
+                  with_commas((i64)opt.stats().sim_time).c_str());
+    }
+  }
+}
+
+void BM_DistRelaxation(benchmark::State& state) {
+  std::string src = kernel("block", "block", state.range(0), 4096, false);
+  spmd::Program p = lang::compile(src);
+  std::vector<double> b = input(4096);
+  for (auto _ : state) {
+    rt::DistMachine m(p);
+    m.load("B", b);
+    m.run();
+    benchmark::DoNotOptimize(m.stats().messages);
+  }
+}
+BENCHMARK(BM_DistRelaxation)->Arg(4)->Arg(16);
+
+void BM_DistRelaxationNaive(benchmark::State& state) {
+  std::string src = kernel("block", "block", state.range(0), 4096, false);
+  spmd::Program p = lang::compile(src);
+  gen::BuildOptions naive;
+  naive.force_runtime_resolution = true;
+  std::vector<double> b = input(4096);
+  for (auto _ : state) {
+    rt::DistMachine m(p, naive);
+    m.load("B", b);
+    m.run();
+    benchmark::DoNotOptimize(m.stats().messages);
+  }
+}
+BENCHMARK(BM_DistRelaxationNaive)->Arg(4)->Arg(16);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "=== Sections 2.9/2.10: end-to-end SPMD, naive vs optimized ===\n");
+  run_table(false);
+  run_table(true);
+  shared_table();
+  std::printf(
+      "\nExpected shape: optimized tests are 0 for these subscript "
+      "classes while naive tests\ngrow ~ 2*P*n; aligned block/block "
+      "relaxation exchanges only boundary elements while\nmismatched "
+      "layouts pay ~n messages; makespan favors the optimized program "
+      "everywhere.\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

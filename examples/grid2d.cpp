@@ -1,0 +1,69 @@
+// Two-dimensional decompositions on processor grids.
+//
+// The paper's index sets are d-dimensional (Definition 1); this example
+// distributes matrices over a 2-D grid dimension-by-dimension, mixes
+// (block, scatter) with (scatter, block) so a transpose-free matrix
+// update still needs communication, and pins one row with a constant
+// subscript (Theorem 1 per dimension).
+#include <cstdio>
+
+#include "lang/translate.hpp"
+#include "rt/dist_machine.hpp"
+#include "rt/seq_executor.hpp"
+#include "support/format.hpp"
+
+int main() {
+  using namespace vcal;
+  const char* source = R"(
+    processors 4;
+    array M[0:15, 0:15];
+    array N[0:15, 0:15];
+    array R[0:15];
+    distribute M (block, scatter);
+    distribute N (scatter, block);
+    distribute R replicated;
+
+    # column-shifted scale: every element reads its right neighbour in N
+    forall i in 0:15, j in 0:14 do
+      M[i, j] := N[i, j+1]*2 + 1;
+    od
+
+    # broadcast row 3 of M into the replicated vector R
+    forall j in 0:14 do
+      R[j] := M[3, j];
+    od
+
+    # pinned-row update: only the grid row owning i = 7 participates
+    forall j in 0:15 do
+      N[7, j] := R[7]*100;
+    od
+  )";
+
+  spmd::Program program = lang::compile(source);
+  std::printf("%s\n", program.str().c_str());
+
+  std::vector<double> n(256);
+  for (i64 k = 0; k < 256; ++k)
+    n[static_cast<std::size_t>(k)] = static_cast<double>(k % 13);
+
+  rt::SeqExecutor seq(program);
+  seq.load("N", n);
+  seq.run();
+  rt::DistMachine dist(program);
+  dist.load("N", n);
+  dist.run();
+
+  bool ok = dist.gather("M") == seq.result("M") &&
+            dist.gather("N") == seq.result("N") &&
+            dist.gather("R") == seq.result("R");
+  std::printf("grid results match sequential reference: %s\n",
+              ok ? "yes" : "NO");
+  std::printf("distributed stats: %s\n", dist.stats().str().c_str());
+
+  std::printf("\nM row 3 after the update: ");
+  auto m = dist.gather("M");
+  for (i64 j = 0; j < 16; ++j)
+    std::printf("%g ", m[static_cast<std::size_t>(3 * 16 + j)]);
+  std::printf("\n");
+  return ok ? 0 : 1;
+}

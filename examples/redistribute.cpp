@@ -1,0 +1,74 @@
+// Dynamic decompositions: redistributing an array mid-program.
+//
+// The paper's introduction criticizes systems where redistribution must
+// be hand-written and "intermingled with the program code". Here the
+// algorithm has two phases with opposite locality preferences:
+//
+//   phase 1: neighbour smoothing       (block-friendly)
+//   phase 2: strided sampling A[4*i]   (scatter balances the strided
+//                                       writes across processors)
+//
+// A single `redistribute` statement between the phases switches the
+// layout; the mover is generated from the two proc()/local() maps.
+#include <cstdio>
+
+#include "lang/translate.hpp"
+#include "rt/dist_machine.hpp"
+#include "rt/seq_executor.hpp"
+#include "support/format.hpp"
+
+int main() {
+  using namespace vcal;
+
+  auto program_text = [](bool redistribute) {
+    std::string src = R"(
+      processors 8;
+      array U[0:2047];
+      array S[0:2047];
+      distribute U block;
+      distribute S scatter;
+      forall i in 1:2046 do U[i] := (U[i-1] + U[i+1])/2; od
+    )";
+    if (redistribute) src += "\nredistribute U scatter;\n";
+    src += R"(
+      forall i in 0:511 do S[4*i] := U[4*i]*2; od
+    )";
+    return src;
+  };
+
+  std::vector<double> u(2048);
+  for (i64 i = 0; i < 2048; ++i)
+    u[static_cast<std::size_t>(i)] = static_cast<double>((i * 7) % 31);
+
+  std::printf("=== dynamic redistribution between program phases ===\n\n");
+  std::printf("%-28s %12s %12s %14s\n", "configuration", "messages",
+              "tests", "sim-time");
+
+  std::vector<double> reference;
+  for (bool redist : {false, true}) {
+    spmd::Program p = lang::compile(program_text(redist));
+    rt::DistMachine m(p);
+    m.load("U", u);
+    m.run();
+    if (reference.empty()) {
+      rt::SeqExecutor seq(lang::compile(program_text(false)));
+      seq.load("U", u);
+      seq.run();
+      reference = seq.result("S");
+    }
+    bool ok = m.gather("S") == reference;
+    std::printf("%-28s %12s %12s %14s %s\n",
+                redist ? "with redistribute U scatter"
+                       : "static block layout",
+                with_commas(m.stats().messages).c_str(),
+                with_commas(m.stats().tests).c_str(),
+                with_commas((i64)m.stats().sim_time).c_str(),
+                ok ? "" : " !! MISMATCH");
+  }
+
+  std::printf(
+      "\nThe redistribution costs one burst of messages but aligns phase "
+      "2's strided\naccesses with their owners; results are identical — "
+      "the decomposition is not\npart of the algorithm.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Relaxation: the paper's motivating workload class — identical
+// operations over large arrays, iterated. A 1-D Jacobi-style smoother is
+// run for several sweeps under different data decompositions; the only
+// thing that changes between configurations is the `distribute` line,
+// and the communication volume the generated SPMD program needs.
+//
+// Expected outcome: block decomposition exchanges only the two block
+// boundary elements per processor per sweep; scatter makes *every*
+// neighbour access remote. The numerical result is identical everywhere.
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lang/translate.hpp"
+#include "rt/dist_machine.hpp"
+#include "rt/seq_executor.hpp"
+#include "support/format.hpp"
+
+namespace {
+
+using namespace vcal;
+
+std::string program_text(const std::string& dist, i64 n, int sweeps) {
+  std::string src = cat("processors 8;\n", "array U[0:", n - 1, "];\n",
+                        "array V[0:", n - 1, "];\n", "distribute U ", dist,
+                        ";\ndistribute V ", dist, ";\n");
+  for (int s = 0; s < sweeps; ++s) {
+    src += cat("forall i in 1:", n - 2,
+               " do V[i] := (U[i-1] + U[i+1])/2; od\n");
+    src += cat("forall i in 1:", n - 2,
+               " do U[i] := (V[i-1] + V[i+1])/2; od\n");
+  }
+  return src;
+}
+
+}  // namespace
+
+int main() {
+  const i64 n = 1024;
+  const int sweeps = 4;
+
+  // A spike in the middle; relaxation diffuses it.
+  std::vector<double> u(static_cast<std::size_t>(n), 0.0);
+  u[static_cast<std::size_t>(n / 2)] = 1000.0;
+
+  std::printf("=== 1-D relaxation, n=%lld, %d sweeps, 8 processors ===\n\n",
+              (long long)n, sweeps);
+  std::printf("%-18s %12s %12s %14s %12s\n", "decomposition", "messages",
+              "tests", "sim-time", "max |U|");
+
+  std::vector<double> reference;
+  for (const std::string& dist :
+       {std::string("block"), std::string("scatter"),
+        std::string("blockscatter(16)"), std::string("blockscatter(64)")}) {
+    spmd::Program p = lang::compile(program_text(dist, n, sweeps));
+    rt::DistMachine m(p);
+    m.load("U", u);
+    m.run();
+    std::vector<double> result = m.gather("U");
+    if (reference.empty()) {
+      spmd::Program pr = lang::compile(program_text("block", n, sweeps));
+      rt::SeqExecutor seq(pr);
+      seq.load("U", u);
+      seq.run();
+      reference = seq.result("U");
+    }
+    double peak = 0;
+    for (double v : result) peak = std::max(peak, std::fabs(v));
+    bool ok = result == reference;
+    std::printf("%-18s %12s %12s %14s %10.3f %s\n", dist.c_str(),
+                with_commas(m.stats().messages).c_str(),
+                with_commas(m.stats().tests).c_str(),
+                with_commas((i64)m.stats().sim_time).c_str(), peak,
+                ok ? "" : "  !! MISMATCH");
+  }
+
+  std::printf(
+      "\nBlock keeps neighbour accesses local (2 boundary exchanges per "
+      "processor per sweep);\nscatter pays ~2 messages per element per "
+      "sweep. Same program text, same results.\n");
+  return 0;
+}

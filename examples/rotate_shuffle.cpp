@@ -1,0 +1,88 @@
+// Rotate and shuffle views (Section 3.3): periodic index functions.
+//
+// Rotations — f(i) = (i + s) mod n — are the paper's canonical
+// piece-wise monotonic subscripts. The example rotates a distributed
+// array, prints the breakpoint split the compiler derives and the
+// per-processor schedules, and demonstrates a perfect-shuffle-style
+// permutation built from a strided mod subscript.
+#include <cstdio>
+
+#include "emit/paper_notation.hpp"
+#include "fn/classify.hpp"
+#include "gen/optimizer.hpp"
+#include "lang/translate.hpp"
+#include "rt/dist_machine.hpp"
+#include "rt/seq_executor.hpp"
+
+int main() {
+  using namespace vcal;
+
+  std::printf("=== rotate: A[i] := B[(i+6) mod 20] on 4 processors ===\n\n");
+  const char* rotate_src = R"(
+    processors 4;
+    array A[0:19];
+    array B[0:19];
+    distribute A scatter;
+    distribute B block;
+    forall i in 0:19 do
+      A[i] := B[(i + 6) mod 20];
+    od
+  )";
+  spmd::Program rotate = lang::compile(rotate_src);
+
+  // Show the compile-time split of the periodic subscript.
+  fn::IndexFn f = fn::IndexFn::affine_mod(1, 6, 20, 0);
+  auto pieces = f.pieces(0, 19);
+  std::printf("subscript %s splits at the breakpoint into:\n",
+              f.str().c_str());
+  for (const auto& piece : pieces)
+    std::printf("  i in %lld:%lld  ->  f(i) = i %+lld\n",
+                (long long)piece.lo, (long long)piece.hi,
+                (long long)piece.c);
+
+  const auto& clause = std::get<prog::Clause>(rotate.steps[0]);
+  emit::PipelineTrace trace = emit::trace_pipeline(clause, rotate.arrays);
+  std::printf("\n%s\n", trace.str().c_str());
+
+  std::vector<double> b(20);
+  for (i64 i = 0; i < 20; ++i)
+    b[static_cast<std::size_t>(i)] = static_cast<double>(i);
+  rt::SeqExecutor seq(rotate);
+  seq.load("B", b);
+  seq.run();
+  rt::DistMachine dist(rotate);
+  dist.load("B", b);
+  dist.run();
+  std::printf("rotated A: ");
+  for (double v : dist.gather("A")) std::printf("%g ", v);
+  std::printf("\nmatches sequential reference: %s\n",
+              dist.gather("A") == seq.result("A") ? "yes" : "NO");
+
+  std::printf(
+      "\n=== shuffle: A[i] := B[(2*i + 1) mod 16] on 4 processors ===\n\n");
+  const char* shuffle_src = R"(
+    processors 4;
+    array A[0:15];
+    array B[0:15];
+    distribute A scatter;
+    distribute B scatter;
+    forall i in 0:15 do
+      A[i] := B[(2*i + 1) mod 16];
+    od
+  )";
+  spmd::Program shuffle = lang::compile(shuffle_src);
+  rt::SeqExecutor sseq(shuffle);
+  sseq.load("B", b = std::vector<double>(16));
+  for (i64 i = 0; i < 16; ++i) b[static_cast<std::size_t>(i)] = i;
+  sseq.load("B", b);
+  sseq.run();
+  rt::DistMachine sdist(shuffle);
+  sdist.load("B", b);
+  sdist.run();
+  std::printf("shuffled A: ");
+  for (double v : sdist.gather("A")) std::printf("%g ", v);
+  std::printf("\nmatches sequential reference: %s\n",
+              sdist.gather("A") == sseq.result("A") ? "yes" : "NO");
+  std::printf("distributed stats: %s\n", sdist.stats().str().c_str());
+  return 0;
+}

@@ -1,0 +1,95 @@
+#include "decomp/decomp_nd.hpp"
+
+#include "support/error.hpp"
+#include "support/format.hpp"
+
+namespace vcal::decomp {
+
+namespace {
+
+std::vector<i64> grid_extents(const std::vector<Decomp1D>& dims) {
+  std::vector<i64> e;
+  e.reserve(dims.size());
+  for (const auto& d : dims) e.push_back(d.procs());
+  return e;
+}
+
+}  // namespace
+
+DecompND::DecompND(std::vector<Decomp1D> dims)
+    : dims_(std::move(dims)), grid_(grid_extents(dims_)) {
+  for (const auto& d : dims_) {
+    require(!d.is_replicated() || d.procs() == 1,
+            "DecompND: replicated dimensions must use one grid processor; "
+            "replicate whole arrays via ArrayDesc instead");
+  }
+}
+
+const Decomp1D& DecompND::dim(int d) const {
+  require(d >= 0 && d < ndims(), "DecompND::dim bad dimension");
+  return dims_[static_cast<std::size_t>(d)];
+}
+
+i64 DecompND::owner(const std::vector<i64>& idx) const {
+  require(idx.size() == dims_.size(), "DecompND::owner arity mismatch");
+  std::vector<i64> coords(dims_.size());
+  for (std::size_t d = 0; d < dims_.size(); ++d)
+    coords[d] = dims_[d].proc(idx[d]);
+  return grid_.rank(coords);
+}
+
+std::vector<i64> DecompND::local_coords(const std::vector<i64>& idx) const {
+  require(idx.size() == dims_.size(),
+          "DecompND::local_coords arity mismatch");
+  std::vector<i64> loc(dims_.size());
+  for (std::size_t d = 0; d < dims_.size(); ++d)
+    loc[d] = dims_[d].local(idx[d]);
+  return loc;
+}
+
+i64 DecompND::local_linear(const std::vector<i64>& idx) const {
+  std::vector<i64> loc = local_coords(idx);
+  std::vector<i64> shape = local_shape(owner(idx));
+  i64 lin = 0;
+  for (std::size_t d = 0; d < loc.size(); ++d) lin = lin * shape[d] + loc[d];
+  return lin;
+}
+
+std::vector<i64> DecompND::local_shape(i64 rank) const {
+  std::vector<i64> coords = grid_.coords(rank);
+  std::vector<i64> shape(dims_.size());
+  for (std::size_t d = 0; d < dims_.size(); ++d)
+    shape[d] = dims_[d].local_capacity(coords[d]);
+  return shape;
+}
+
+i64 DecompND::local_capacity(i64 rank) const {
+  i64 cap = 1;
+  for (i64 s : local_shape(rank)) cap = mul_checked(cap, s);
+  return cap;
+}
+
+std::vector<i64> DecompND::global_from_local(i64 rank, i64 linear) const {
+  std::vector<i64> coords = grid_.coords(rank);
+  std::vector<i64> shape = local_shape(rank);
+  std::vector<i64> loc(dims_.size());
+  for (std::size_t d = dims_.size(); d-- > 0;) {
+    require(shape[d] > 0, "global_from_local: empty local shape");
+    loc[d] = linear % shape[d];
+    linear /= shape[d];
+  }
+  require(linear == 0, "global_from_local: linear address out of range");
+  std::vector<i64> idx(dims_.size());
+  for (std::size_t d = 0; d < dims_.size(); ++d)
+    idx[d] = dims_[d].global(coords[d], loc[d]);
+  return idx;
+}
+
+std::string DecompND::str() const {
+  std::vector<std::string> parts;
+  parts.reserve(dims_.size());
+  for (const auto& d : dims_) parts.push_back(d.str());
+  return "(" + join(parts, ", ") + ") on " + grid_.str();
+}
+
+}  // namespace vcal::decomp

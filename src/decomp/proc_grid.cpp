@@ -1,0 +1,87 @@
+#include "decomp/proc_grid.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/format.hpp"
+
+namespace vcal::decomp {
+
+ProcGrid::ProcGrid(std::vector<i64> extents) : extents_(std::move(extents)) {
+  require(!extents_.empty(), "ProcGrid: needs at least one dimension");
+  size_ = 1;
+  for (i64 e : extents_) {
+    require(e >= 1, "ProcGrid: extents must be >= 1");
+    size_ = mul_checked(size_, e);
+  }
+}
+
+ProcGrid ProcGrid::line(i64 procs) { return ProcGrid({procs}); }
+
+ProcGrid ProcGrid::square2d(i64 procs) {
+  require(procs >= 1, "square2d: needs procs >= 1");
+  i64 rows = isqrt(procs);
+  while (rows > 1 && procs % rows != 0) --rows;
+  i64 cols = procs / rows;
+  if (rows < cols) std::swap(rows, cols);
+  return ProcGrid({rows, cols});
+}
+
+ProcGrid ProcGrid::balanced(i64 procs, int dims) {
+  require(procs >= 1, "balanced: needs procs >= 1");
+  require(dims >= 1, "balanced: needs dims >= 1");
+  // Prime factors, largest first.
+  std::vector<i64> factors;
+  i64 rest = procs;
+  for (i64 f = 2; f * f <= rest; ++f) {
+    while (rest % f == 0) {
+      factors.push_back(f);
+      rest /= f;
+    }
+  }
+  if (rest > 1) factors.push_back(rest);
+  std::sort(factors.rbegin(), factors.rend());
+
+  std::vector<i64> extents(static_cast<std::size_t>(dims), 1);
+  for (i64 f : factors) {
+    auto smallest = std::min_element(extents.begin(), extents.end());
+    *smallest = mul_checked(*smallest, f);
+  }
+  std::sort(extents.rbegin(), extents.rend());
+  return ProcGrid(std::move(extents));
+}
+
+i64 ProcGrid::extent(int d) const {
+  require(d >= 0 && d < dims(), "ProcGrid::extent bad dimension");
+  return extents_[static_cast<std::size_t>(d)];
+}
+
+i64 ProcGrid::rank(const std::vector<i64>& coords) const {
+  require(coords.size() == extents_.size(), "ProcGrid::rank arity mismatch");
+  i64 r = 0;
+  for (std::size_t d = 0; d < extents_.size(); ++d) {
+    require(in_range(coords[d], 0, extents_[d] - 1),
+            "ProcGrid::rank coordinate out of range");
+    r = r * extents_[d] + coords[d];
+  }
+  return r;
+}
+
+std::vector<i64> ProcGrid::coords(i64 rank) const {
+  require(in_range(rank, 0, size_ - 1), "ProcGrid::coords bad rank");
+  std::vector<i64> c(extents_.size());
+  for (std::size_t d = extents_.size(); d-- > 0;) {
+    c[d] = rank % extents_[d];
+    rank /= extents_[d];
+  }
+  return c;
+}
+
+std::string ProcGrid::str() const {
+  std::vector<std::string> parts;
+  parts.reserve(extents_.size());
+  for (i64 e : extents_) parts.push_back(std::to_string(e));
+  return join(parts, "x");
+}
+
+}  // namespace vcal::decomp

@@ -1,0 +1,55 @@
+// Cartesian processor grids for multi-dimensional decompositions.
+//
+// A d-dimensional array distributed dimension-by-dimension lives on a
+// d-dimensional grid of processors; the machine sees the linearized
+// (row-major) rank. This mirrors the paper's 1-D presentation lifted to
+// index sets of d-tuples (its Definition 1 is d-dimensional already).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/math.hpp"
+
+namespace vcal::decomp {
+
+class ProcGrid {
+ public:
+  /// Grid with the given per-dimension extents (each >= 1).
+  explicit ProcGrid(std::vector<i64> extents);
+
+  /// 1-D grid of `procs` processors.
+  static ProcGrid line(i64 procs);
+
+  /// Near-square 2-D factorization of `procs` (rows >= cols, rows*cols ==
+  /// procs, |rows - cols| minimal).
+  static ProcGrid square2d(i64 procs);
+
+  /// Balanced k-dimensional factorization of `procs` (the MPI
+  /// Dims_create strategy: prime factors, largest first, multiplied into
+  /// the currently smallest extent; extents returned non-increasing).
+  static ProcGrid balanced(i64 procs, int dims);
+
+  int dims() const noexcept { return static_cast<int>(extents_.size()); }
+  i64 extent(int d) const;
+  i64 size() const noexcept { return size_; }
+
+  /// Row-major linear rank of grid coordinates.
+  i64 rank(const std::vector<i64>& coords) const;
+
+  /// Inverse of rank().
+  std::vector<i64> coords(i64 rank) const;
+
+  /// E.g. "4x2".
+  std::string str() const;
+
+  bool operator==(const ProcGrid& o) const noexcept {
+    return extents_ == o.extents_;
+  }
+
+ private:
+  std::vector<i64> extents_;
+  i64 size_;
+};
+
+}  // namespace vcal::decomp

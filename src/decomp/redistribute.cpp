@@ -1,0 +1,43 @@
+#include "decomp/redistribute.hpp"
+
+#include "support/error.hpp"
+#include "support/format.hpp"
+
+namespace vcal::decomp {
+
+std::string RedistPlan::summary() const {
+  return cat("redistribution: ", moves.size(), " moves, ", stationary,
+             " stationary");
+}
+
+RedistPlan plan_redistribution(const ArrayDesc& from, const ArrayDesc& to) {
+  require(!from.is_replicated() && !to.is_replicated(),
+          "plan_redistribution: replicated arrays have no single owner");
+  require(from.ndims() == to.ndims(),
+          "plan_redistribution: dimensionality mismatch");
+  for (int d = 0; d < from.ndims(); ++d)
+    require(from.lo(d) == to.lo(d) && from.hi(d) == to.hi(d),
+            "plan_redistribution: bounds mismatch");
+  require(from.procs() == to.procs(),
+          "plan_redistribution: processor count mismatch");
+
+  RedistPlan plan;
+  plan.sends_by_rank.assign(static_cast<std::size_t>(from.procs()), 0);
+  plan.receives_by_rank.assign(static_cast<std::size_t>(from.procs()), 0);
+
+  for_each_index(from, [&](const std::vector<i64>& idx) {
+    i64 src = from.owner(idx);
+    i64 dst = to.owner(idx);
+    if (src == dst) {
+      ++plan.stationary;
+      return;
+    }
+    plan.moves.push_back({src, from.local_linear(idx), dst,
+                          to.local_linear(idx), from.dense_linear(idx)});
+    ++plan.sends_by_rank[static_cast<std::size_t>(src)];
+    ++plan.receives_by_rank[static_cast<std::size_t>(dst)];
+  });
+  return plan;
+}
+
+}  // namespace vcal::decomp

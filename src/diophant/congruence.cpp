@@ -1,0 +1,45 @@
+#include "diophant/congruence.hpp"
+
+#include "diophant/euclid.hpp"
+#include "support/error.hpp"
+
+namespace vcal::dio {
+
+std::optional<Progression> solve_congruence(i64 a, i64 rhs, i64 m) {
+  require(m > 0, "solve_congruence needs m > 0");
+  require(a != 0, "solve_congruence needs a != 0");
+  EuclidResult e = extended_gcd(a, m);
+  if (emod(rhs, e.g) != 0) return std::nullopt;
+  i64 stride = m / e.g;
+  // a*x + m*y = g  =>  i0 = x * (rhs / g) solves a*i == rhs (mod m).
+  // Reduce modulo stride first to avoid overflow in the multiply.
+  i64 x_red = emod(e.x, stride);
+  i64 q = emod(rhs / e.g, stride);
+  i64 x0 = emod(mul_checked(x_red, q), stride);
+  return Progression{x0, stride};
+}
+
+i64 paper_constant(i64 a, i64 m) {
+  require(m > 0, "paper_constant needs m > 0");
+  require(a != 0, "paper_constant needs a != 0");
+  EuclidResult e = extended_gcd(a, m);
+  // a * e.x + m * e.y == g, so e.x solves a*i - m*k = gcd(a, m).
+  return e.x;
+}
+
+i64 count_in_range(const Progression& pr, i64 lo, i64 hi) {
+  if (lo > hi) return 0;
+  i64 tmin = first_t_at_or_above(pr, lo);
+  i64 tmax = last_t_at_or_below(pr, hi);
+  return tmax >= tmin ? tmax - tmin + 1 : 0;
+}
+
+i64 first_t_at_or_above(const Progression& pr, i64 lo) {
+  return ceildiv(lo - pr.x0, pr.stride);
+}
+
+i64 last_t_at_or_below(const Progression& pr, i64 hi) {
+  return floordiv(hi - pr.x0, pr.stride);
+}
+
+}  // namespace vcal::dio

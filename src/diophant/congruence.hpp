@@ -1,0 +1,40 @@
+// Linear congruences a*i == rhs (mod m): the machinery behind Theorem 3.
+//
+// For scatter decomposition with f(i) = a*i + c, processor p owns exactly
+// the indices with a*i + c == p (mod pmax), i.e. the solutions of the
+// diophantine equation a*i - pmax*k = p - c. Solutions, when they exist,
+// form the arithmetic progression i = x_p + (pmax / gcd(a, pmax)) * t —
+// the paper's generation function gen_p(t) (Theorem 3, Eq. 5-6).
+#pragma once
+
+#include <optional>
+
+#include "support/math.hpp"
+
+namespace vcal::dio {
+
+struct Progression {
+  i64 x0 = 0;      // a particular solution (canonicalized to 0 <= x0 < stride)
+  i64 stride = 1;  // m / gcd(a, m) — spacing between consecutive solutions
+};
+
+/// Solves a*i == rhs (mod m) for m > 0, a != 0. Returns the solution
+/// progression, or nullopt when gcd(a, m) does not divide rhs (then that
+/// processor "is not to execute any code", Theorem 3).
+std::optional<Progression> solve_congruence(i64 a, i64 rhs, i64 m);
+
+/// The paper's C(a, m) constant (Eq. 5): a particular solution of
+/// a*i - m*k = gcd(a, m), depending only on a and m. Each processor's
+/// x_p is then delta_p * C(a, m) (Eq. 6). Requires a != 0, m > 0.
+i64 paper_constant(i64 a, i64 m);
+
+/// Counts solutions of the progression that fall inside [lo, hi].
+i64 count_in_range(const Progression& pr, i64 lo, i64 hi);
+
+/// First t such that pr.x0 + pr.stride * t >= lo  (t may be negative).
+i64 first_t_at_or_above(const Progression& pr, i64 lo);
+
+/// Last t such that pr.x0 + pr.stride * t <= hi  (t may be negative).
+i64 last_t_at_or_below(const Progression& pr, i64 hi);
+
+}  // namespace vcal::dio

@@ -1,0 +1,42 @@
+#include "diophant/euclid.hpp"
+
+#include <cmath>
+
+namespace vcal::dio {
+
+EuclidResult extended_gcd(i64 a, i64 b) {
+  // Iterative extended Euclid on absolute values; signs restored at the
+  // end so that a*x + b*y == g for the original signed inputs.
+  i64 sa = a < 0 ? -1 : 1;
+  i64 sb = b < 0 ? -1 : 1;
+  i64 r0 = a < 0 ? -a : a, r1 = b < 0 ? -b : b;
+  i64 x0 = 1, x1 = 0;
+  i64 y0 = 0, y1 = 1;
+  int steps = 0;
+  while (r1 != 0) {
+    i64 q = r0 / r1;
+    i64 r2 = r0 - q * r1;
+    i64 x2 = x0 - q * x1;
+    i64 y2 = y0 - q * y1;
+    r0 = r1;
+    r1 = r2;
+    x0 = x1;
+    x1 = x2;
+    y0 = y1;
+    y1 = y2;
+    ++steps;
+  }
+  return {r0, sa * x0, sb * y0, steps};
+}
+
+double knuth_max_steps(i64 n) {
+  if (n < 2) return 1.0;
+  return 4.8 * std::log10(static_cast<double>(n)) - 0.32;
+}
+
+double knuth_avg_steps(i64 n) {
+  if (n < 2) return 1.0;
+  return 1.9504 * std::log10(static_cast<double>(n));
+}
+
+}  // namespace vcal::dio

@@ -1,0 +1,35 @@
+// Extended Euclid's algorithm with step counting.
+//
+// Theorem 3 of the paper reduces scatter-decomposition scheduling to a
+// linear diophantine equation a.i - pmax.k = p - c, solved with extended
+// Euclid. Section 4 argues the run-time cost is negligible, citing Knuth's
+// bounds on the number of division steps (at most 4.8*log10(N) - 0.32,
+// about 1.9504*log10(N) on average); the step counter here lets the
+// gcd_convergence benchmark verify exactly that claim.
+#pragma once
+
+#include "support/math.hpp"
+
+namespace vcal::dio {
+
+struct EuclidResult {
+  i64 g = 0;   // gcd(|a|, |b|)
+  i64 x = 0;   // Bezout coefficient: a*x + b*y == g
+  i64 y = 0;
+  int steps = 0;  // number of division (remainder) steps performed
+};
+
+/// Extended Euclid on (a, b); handles negative inputs (g >= 0 and the
+/// Bezout identity holds for the signed inputs). gcd(0, 0) == 0.
+EuclidResult extended_gcd(i64 a, i64 b);
+
+/// Knuth's worst-case bound on the number of division steps for operands
+/// below n: 4.8 * log10(n) - 0.32 (The Art of Computer Programming,
+/// Vol. 2, cited as [Knut81] in the paper).
+double knuth_max_steps(i64 n);
+
+/// Knuth's average number of division steps for operands up to n:
+/// approximately 1.9504 * log10(n).
+double knuth_avg_steps(i64 n);
+
+}  // namespace vcal::dio

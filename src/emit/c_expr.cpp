@@ -1,0 +1,343 @@
+#include "emit/c_expr.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/format.hpp"
+
+namespace vcal::emit {
+
+std::string sym_to_c(const fn::SymPtr& s, const std::string& var) {
+  using fn::Sym;
+  switch (s->op) {
+    case Sym::Op::Const:
+      return std::to_string(s->value) + "L";
+    case Sym::Op::Var:
+      return var;
+    case Sym::Op::Neg:
+      return "(-" + sym_to_c(s->lhs, var) + ")";
+    case Sym::Op::Add:
+      return "(" + sym_to_c(s->lhs, var) + " + " + sym_to_c(s->rhs, var) +
+             ")";
+    case Sym::Op::Sub:
+      return "(" + sym_to_c(s->lhs, var) + " - " + sym_to_c(s->rhs, var) +
+             ")";
+    case Sym::Op::Mul:
+      return "(" + sym_to_c(s->lhs, var) + " * " + sym_to_c(s->rhs, var) +
+             ")";
+    case Sym::Op::Div:
+      return "vcal_floordiv(" + sym_to_c(s->lhs, var) + ", " +
+             sym_to_c(s->rhs, var) + ")";
+    case Sym::Op::Mod:
+      return "vcal_emod(" + sym_to_c(s->lhs, var) + ", " +
+             sym_to_c(s->rhs, var) + ")";
+  }
+  throw InternalError("sym_to_c: bad op");
+}
+
+std::string expr_to_c(const prog::ExprPtr& e,
+                      const std::vector<std::string>& ref_exprs,
+                      const std::vector<std::string>& loop_vars) {
+  using prog::Expr;
+  switch (e->kind) {
+    case Expr::Kind::Number:
+      return cat(e->number);
+    case Expr::Kind::Ref:
+      return ref_exprs[static_cast<std::size_t>(e->ref)];
+    case Expr::Kind::Loop:
+      return "(double)" + loop_vars[static_cast<std::size_t>(e->ref)];
+    case Expr::Kind::Neg:
+      return "(-" + expr_to_c(e->lhs, ref_exprs, loop_vars) + ")";
+    case Expr::Kind::Add:
+      return "(" + expr_to_c(e->lhs, ref_exprs, loop_vars) + " + " +
+             expr_to_c(e->rhs, ref_exprs, loop_vars) + ")";
+    case Expr::Kind::Sub:
+      return "(" + expr_to_c(e->lhs, ref_exprs, loop_vars) + " - " +
+             expr_to_c(e->rhs, ref_exprs, loop_vars) + ")";
+    case Expr::Kind::Mul:
+      return "(" + expr_to_c(e->lhs, ref_exprs, loop_vars) + " * " +
+             expr_to_c(e->rhs, ref_exprs, loop_vars) + ")";
+    case Expr::Kind::Div:
+      return "(" + expr_to_c(e->lhs, ref_exprs, loop_vars) + " / " +
+             expr_to_c(e->rhs, ref_exprs, loop_vars) + ")";
+  }
+  throw InternalError("expr_to_c: bad kind");
+}
+
+std::string c_prelude() {
+  return R"(/* --- V-cal runtime prelude (generated) --------------------- */
+static long vcal_floordiv(long a, long b) {
+  long q = a / b, r = a % b;
+  if (r != 0 && ((r < 0) != (b < 0))) --q;
+  return q;
+}
+static long vcal_emod(long a, long b) {
+  long r = a % b;
+  if (r < 0) r += (b < 0 ? -b : b);
+  return r;
+}
+static long vcal_ceildiv(long a, long b) {
+  long q = a / b, r = a % b;
+  if (r != 0 && ((r < 0) == (b < 0))) ++q;
+  return q;
+}
+static long vcal_max(long a, long b) { return a > b ? a : b; }
+static long vcal_min(long a, long b) { return a < b ? a : b; }
+/* Extended Euclid: returns gcd(|a|,|b|), sets *x with a*x == g (mod b). */
+static long vcal_gcdx(long a, long b, long* x) {
+  long r0 = a < 0 ? -a : a, r1 = b < 0 ? -b : b;
+  long x0 = 1, x1 = 0, sa = a < 0 ? -1 : 1;
+  while (r1 != 0) {
+    long q = r0 / r1, r2 = r0 - q * r1, x2 = x0 - q * x1;
+    r0 = r1; r1 = r2; x0 = x1; x1 = x2;
+  }
+  *x = sa * x0;
+  return r0;
+}
+/* Solve a*i == rhs (mod m); returns 0 when unsolvable, else sets the
+   canonical particular solution *x0 in [0, stride) and *stride = m/g. */
+static int vcal_solve(long a, long rhs, long m, long* x0, long* stride) {
+  long x, g = vcal_gcdx(a, m, &x);
+  if (vcal_emod(rhs, g) != 0) return 0;
+  *stride = m / g;
+  *x0 = vcal_emod(vcal_emod(x, *stride) * vcal_emod(rhs / g, *stride),
+                  *stride);
+  return 1;
+}
+/* --- end prelude ------------------------------------------------- */
+)";
+}
+
+namespace {
+
+using gen::Method;
+using gen::OwnerComputePlan;
+
+// Affine coefficients of the plan's index function.
+struct AC {
+  i64 a, c;
+};
+
+AC affine_of(const OwnerComputePlan& plan) {
+  return {plan.f().affine_a(), plan.f().affine_c()};
+}
+
+std::string strided_loop(const std::string& indent, const std::string& var,
+                         const std::string& x0, const std::string& stride,
+                         i64 lo, i64 hi, const std::string& body) {
+  std::string out;
+  out += indent + "long t0 = vcal_ceildiv(" + cat(lo) + "L - " + x0 + ", " +
+         stride + ");\n";
+  out += indent + "long t1 = vcal_floordiv(" + cat(hi) + "L - " + x0 +
+         ", " + stride + ");\n";
+  out += indent + "for (long t = t0; t <= t1; ++t) {\n";
+  out += indent + "  long " + var + " = " + x0 + " + " + stride + " * t;\n";
+  out += body;
+  out += indent + "}\n";
+  return out;
+}
+
+}  // namespace
+
+std::string emit_plan_loops(const OwnerComputePlan& plan,
+                            const std::string& proc_expr,
+                            const std::string& var, const std::string& body,
+                            const std::string& indent) {
+  const i64 procs = plan.decomp().procs();
+  const i64 b = plan.decomp().block_size();
+  const i64 n = plan.decomp().n();
+  const i64 ilo = plan.clamped_lo();
+  const i64 ihi = plan.clamped_hi();
+  std::string out;
+
+  if (!plan.sub_plans().empty()) {
+    out += indent + "/* piecewise split (Section 3.3): " +
+           cat(plan.sub_plans().size()) + " monotone pieces */\n";
+    for (const auto& sub : plan.sub_plans())
+      out += emit_plan_loops(*sub, proc_expr, var, body, indent);
+    return out;
+  }
+  if (ilo > ihi && plan.method() != Method::RuntimeResolution) {
+    return indent + "/* empty range: no iterations on any processor */\n";
+  }
+
+  switch (plan.method()) {
+    case Method::Theorem1Constant: {
+      i64 c = plan.f().const_value();
+      i64 owner = in_range(c, 0, n - 1) ? plan.decomp().proc(c) : -1;
+      out += indent + "/* Theorem 1: constant subscript */\n";
+      out += indent + "if (" + proc_expr + " == " + cat(owner) + "L) {\n";
+      out += indent + "  for (long " + var + " = " + cat(ilo) + "L; " +
+             var + " <= " + cat(ihi) + "L; ++" + var + ") {\n";
+      out += body;
+      out += indent + "  }\n" + indent + "}\n";
+      return out;
+    }
+    case Method::Replicated: {
+      out += indent + "/* replicated: every processor iterates */\n";
+      out += indent + "for (long " + var + " = " + cat(ilo) + "L; " + var +
+             " <= " + cat(ihi) + "L; ++" + var + ") {\n";
+      out += body;
+      out += indent + "}\n";
+      return out;
+    }
+    case Method::BlockBounds: {
+      AC f = affine_of(plan);
+      out += indent + "/* block decomposition, Table I row a*i+c */\n";
+      out += indent + "{\n";
+      std::string tlo = cat(b) + "L * " + proc_expr;
+      std::string thi =
+          "vcal_min(" + tlo + " + " + cat(b - 1) + "L, " + cat(n - 1) + "L)";
+      std::string jmin, jmax;
+      if (f.a > 0) {
+        jmin = "vcal_max(" + cat(ilo) + "L, vcal_ceildiv(" + tlo + " - " +
+               cat(f.c) + "L, " + cat(f.a) + "L))";
+        jmax = "vcal_min(" + cat(ihi) + "L, vcal_floordiv(" + thi + " - " +
+               cat(f.c) + "L, " + cat(f.a) + "L))";
+      } else {
+        jmin = "vcal_max(" + cat(ilo) + "L, vcal_ceildiv(" + thi + " - " +
+               cat(f.c) + "L, " + cat(f.a) + "L))";
+        jmax = "vcal_min(" + cat(ihi) + "L, vcal_floordiv(" + tlo + " - " +
+               cat(f.c) + "L, " + cat(f.a) + "L))";
+      }
+      out += indent + "  long jmin = " + jmin + ";\n";
+      out += indent + "  long jmax = " + jmax + ";\n";
+      out += indent + "  for (long " + var + " = jmin; " + var +
+             " <= jmax; ++" + var + ") {\n";
+      out += body;
+      out += indent + "  }\n" + indent + "}\n";
+      return out;
+    }
+    case Method::Corollary2: {
+      AC f = affine_of(plan);
+      out += indent +
+             "/* Corollary 2: a mod pmax = 0, one active processor */\n";
+      out += indent + "if (" + proc_expr + " == " + cat(emod(f.c, procs)) +
+             "L) {\n";
+      out += indent + "  for (long " + var + " = " + cat(ilo) + "L; " +
+             var + " <= " + cat(ihi) + "L; ++" + var + ") {\n";
+      out += body;
+      out += indent + "  }\n" + indent + "}\n";
+      return out;
+    }
+    case Method::Corollary1: {
+      AC f = affine_of(plan);
+      i64 g = f.a < 0 ? -f.a : f.a;
+      out += indent + "/* Corollary 1: pmax mod a = 0, no Euclid */\n";
+      out += indent + "if (vcal_emod(" + proc_expr + " - " + cat(f.c) +
+             "L, " + cat(g) + "L) == 0) {\n";
+      out += indent + "  long x0 = vcal_emod(vcal_floordiv(" + proc_expr +
+             " - " + cat(f.c) + "L, " + cat(f.a) + "L), " + cat(procs / g) +
+             "L);\n";
+      out += strided_loop(indent + "  ", var, "x0", cat(procs / g) + "L",
+                          ilo, ihi, body);
+      out += indent + "}\n";
+      return out;
+    }
+    case Method::Theorem3Linear: {
+      AC f = affine_of(plan);
+      out += indent +
+             "/* Theorem 3: scatter + linear, diophantine progression */\n";
+      out += indent + "{\n";
+      out += indent + "  long x0, stride;\n";
+      out += indent + "  if (vcal_solve(" + cat(f.a) + "L, " + proc_expr +
+             " - " + cat(f.c) + "L, " + cat(procs) + "L, &x0, &stride)) {\n";
+      out += strided_loop(indent + "    ", var, "x0", "stride", ilo, ihi,
+                          body);
+      out += indent + "  }\n" + indent + "}\n";
+      return out;
+    }
+    case Method::RepeatedBlock: {
+      if (plan.f().cls() != fn::FnClass::Affine) break;  // fallback scan
+      AC f = affine_of(plan);
+      out += indent + "/* Theorem 2: repeated block for BS(b) */\n";
+      out += indent + "{\n";
+      auto [m, M] = plan.f().image_bounds(ilo, ihi);
+      i64 blo = floordiv(std::max<i64>(m, 0), b);
+      i64 bhi = floordiv(std::min<i64>(M, n - 1), b);
+      out += indent + "  long kmin = vcal_max(0L, vcal_ceildiv(" + cat(blo) +
+             "L - " + proc_expr + ", " + cat(procs) + "L));\n";
+      out += indent + "  long kmax = vcal_floordiv(" + cat(bhi) + "L - " +
+             proc_expr + ", " + cat(procs) + "L);\n";
+      out += indent + "  for (long k = kmin; k <= kmax; ++k) {\n";
+      out += indent + "    long tlo = (" + proc_expr + " + k * " +
+             cat(procs) + "L) * " + cat(b) + "L;\n";
+      out += indent + "    long thi = vcal_min(tlo + " + cat(b - 1) +
+             "L, " + cat(n - 1) + "L);\n";
+      std::string jmin, jmax;
+      if (f.a > 0) {
+        jmin = "vcal_max(" + cat(ilo) + "L, vcal_ceildiv(tlo - " +
+               cat(f.c) + "L, " + cat(f.a) + "L))";
+        jmax = "vcal_min(" + cat(ihi) + "L, vcal_floordiv(thi - " +
+               cat(f.c) + "L, " + cat(f.a) + "L))";
+      } else {
+        jmin = "vcal_max(" + cat(ilo) + "L, vcal_ceildiv(thi - " +
+               cat(f.c) + "L, " + cat(f.a) + "L))";
+        jmax = "vcal_min(" + cat(ihi) + "L, vcal_floordiv(tlo - " +
+               cat(f.c) + "L, " + cat(f.a) + "L))";
+      }
+      out += indent + "    long jmin = " + jmin + ";\n";
+      out += indent + "    long jmax = " + jmax + ";\n";
+      out += indent + "    for (long " + var + " = jmin; " + var +
+             " <= jmax; ++" + var + ") {\n";
+      out += body;
+      out += indent + "    }\n" + indent + "  }\n" + indent + "}\n";
+      return out;
+    }
+    case Method::RepeatedScatter: {
+      AC f = affine_of(plan);
+      out += indent + "/* Section 3.2.i: repeated scatter for BS(b) */\n";
+      out += indent + "for (long o = 0; o < " + cat(b) + "L; ++o) {\n";
+      out += indent + "  long x0, stride;\n";
+      out += indent + "  if (vcal_solve(" + cat(f.a) + "L, " + cat(b) +
+             "L * " + proc_expr + " + o - " + cat(f.c) + "L, " +
+             cat(b * procs) + "L, &x0, &stride)) {\n";
+      out += strided_loop(indent + "    ", var, "x0", "stride", ilo, ihi,
+                          body);
+      out += indent + "  }\n" + indent + "}\n";
+      return out;
+    }
+    default:
+      break;
+  }
+
+  // Fallback: the paper's run-time resolution scan (Section 2.6 code).
+  std::string ftext;
+  switch (plan.f().cls()) {
+    case fn::FnClass::Constant:
+      ftext = cat(plan.f().const_value()) + "L";
+      break;
+    case fn::FnClass::Affine:
+      ftext = "(" + cat(plan.f().affine_a()) + "L * " + var + " + " +
+              cat(plan.f().affine_c()) + "L)";
+      break;
+    default:
+      // The machine-independent rendering uses div/mod keywords; map them
+      // to the prelude helpers textually via the sym-free spelling.
+      ftext = "f_" + var + "(" + var + ") /* " + plan.f().str(var) + " */";
+      break;
+  }
+  std::string owner;
+  switch (plan.decomp().kind()) {
+    case decomp::Decomp1D::Kind::Scatter:
+      owner = "vcal_emod(" + ftext + ", " + cat(procs) + "L)";
+      break;
+    case decomp::Decomp1D::Kind::Replicated:
+      owner = proc_expr;  // every processor owns everything
+      break;
+    default:
+      owner = "vcal_emod(vcal_floordiv(" + ftext + ", " + cat(b) + "L), " +
+              cat(procs) + "L)";
+      break;
+  }
+  out += indent + "/* run-time resolution (no closed form for " +
+         fn::to_string(plan.f().cls()) + " " + plan.f().str(var) + ") */\n";
+  out += indent + "for (long " + var + " = " + cat(plan.imin()) + "L; " +
+         var + " <= " + cat(plan.imax()) + "L; ++" + var + ") {\n";
+  out += indent + "  if (" + owner + " != " + proc_expr + ") continue;\n";
+  out += body;
+  out += indent + "}\n";
+  return out;
+}
+
+}  // namespace vcal::emit

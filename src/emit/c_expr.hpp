@@ -1,0 +1,43 @@
+// C source emission helpers shared by the MPI and OpenMP back ends.
+//
+// The emitted code depends only on a small runtime prelude (floor
+// division, Euclidean modulus, extended Euclid) that c_prelude() provides,
+// so every generated file is self-contained. Closed-form loop bounds are
+// emitted symbolically in the processor variable "p" — i.e. the generated
+// program computes its own Table I ranges at run time, exactly as
+// Section 4 of the paper prescribes.
+#pragma once
+
+#include <string>
+
+#include "gen/optimizer.hpp"
+#include "spmd/clause_plan.hpp"
+
+namespace vcal::emit {
+
+/// C expression text for a subscript Sym tree (div -> vcal_floordiv,
+/// mod -> vcal_emod), with `var` naming the loop variable.
+std::string sym_to_c(const fn::SymPtr& s, const std::string& var);
+
+/// C expression for a clause value expression; `ref_exprs[k]` supplies
+/// the C text reading reference k and `loop_vars` the loop variable
+/// names.
+std::string expr_to_c(const prog::ExprPtr& e,
+                      const std::vector<std::string>& ref_exprs,
+                      const std::vector<std::string>& loop_vars);
+
+/// The helper functions every generated file needs (floordiv, emod,
+/// min/max, extended gcd + congruence solver).
+std::string c_prelude();
+
+/// Emits the loops enumerating one owner-compute plan for the symbolic
+/// processor coordinate `proc_expr`, with `body` inserted inside. The
+/// loop variable is `var`; `indent` is the leading whitespace. Closed
+/// forms follow Table I; monotone/opaque functions fall back to the
+/// guarded scan, marked by a comment.
+std::string emit_plan_loops(const gen::OwnerComputePlan& plan,
+                            const std::string& proc_expr,
+                            const std::string& var, const std::string& body,
+                            const std::string& indent);
+
+}  // namespace vcal::emit

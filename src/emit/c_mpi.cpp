@@ -1,0 +1,234 @@
+#include "emit/c_mpi.hpp"
+
+#include <algorithm>
+
+#include "emit/c_expr.hpp"
+#include "fn/classify.hpp"
+#include "support/error.hpp"
+#include "support/format.hpp"
+
+namespace vcal::emit {
+
+namespace {
+
+using decomp::ArrayDesc;
+using decomp::Decomp1D;
+using prog::Clause;
+
+bool is_1d(const ArrayDesc& d) { return d.ndims() == 1; }
+
+bool arrays_are_1d(const Clause& clause, const spmd::ArrayTable& arrays) {
+  if (!is_1d(arrays.at(clause.lhs_array))) return false;
+  for (const prog::ArrayRef& r : clause.refs)
+    if (!is_1d(arrays.at(r.array))) return false;
+  return true;
+}
+
+// Owner/local helper functions for a 1-D array (named owner_X/local_X).
+std::string array_helpers(const ArrayDesc& desc) {
+  std::string n = desc.name();
+  std::string out;
+  if (desc.is_replicated()) {
+    out += "/* " + desc.str() + ": replicated, local == global */\n";
+    out += "static long local_" + n + "(long v) { return v - " +
+           cat(desc.lo(0)) + "L; }\n";
+    return out;
+  }
+  const Decomp1D& d = desc.decomp().dim(0);
+  i64 b = d.block_size();
+  i64 procs = d.procs();
+  out += "/* " + desc.str() + " */\n";
+  out += "static long owner_" + n + "(long v) { return vcal_emod(" +
+         "vcal_floordiv(v - " + cat(desc.lo(0)) + "L, " + cat(b) + "L), " +
+         cat(procs) + "L); }\n";
+  out += "static long local_" + n + "(long v) { long u = v - " +
+         cat(desc.lo(0)) + "L; return vcal_floordiv(u, " + cat(b * procs) +
+         "L) * " + cat(b) + "L + vcal_emod(u, " + cat(b) + "L); }\n";
+  return out;
+}
+
+i64 max_capacity(const ArrayDesc& desc) {
+  i64 cap = 0;
+  for (i64 p = 0; p < desc.procs(); ++p)
+    cap = std::max(cap, desc.local_capacity(p));
+  return cap;
+}
+
+// Builds the owner-compute plan for a 1-D subscript against a 1-D array.
+gen::OwnerComputePlan plan_for(const prog::Subscript& sub,
+                               const ArrayDesc& desc, i64 lo, i64 hi) {
+  fn::IndexFn f =
+      fn::IndexFn::affine(1, -desc.lo(0)).after(fn::classify(sub.expr));
+  decomp::Decomp1D d = desc.is_replicated()
+                           ? decomp::Decomp1D::replicated(desc.size(0),
+                                                          desc.procs())
+                           : desc.decomp().dim(0);
+  return gen::OwnerComputePlan::build(std::move(f), std::move(d), lo, hi);
+}
+
+std::string emit_clause(const Clause& clause, const spmd::ArrayTable& arrays,
+                        int seq) {
+  const ArrayDesc& lhs = arrays.at(clause.lhs_array);
+  std::string var = clause.loops[0].var;
+  i64 lo = clause.loops[0].lo;
+  i64 hi = clause.loops[0].hi;
+  int nrefs = static_cast<int>(clause.refs.size());
+
+  std::string out;
+  out += "  /* ---- clause " + cat(seq) + ": " + clause.str() + " */\n";
+
+  gen::OwnerComputePlan lhs_plan = plan_for(clause.lhs_subs[0], lhs, lo, hi);
+
+  // Phase 1: sends.
+  for (int r = 0; r < nrefs; ++r) {
+    const prog::ArrayRef& ref = clause.refs[static_cast<std::size_t>(r)];
+    const ArrayDesc& rd = arrays.at(ref.array);
+    if (rd.is_replicated()) continue;  // always local
+    gen::OwnerComputePlan rplan = plan_for(ref.subs[0], rd, lo, hi);
+    std::string fexpr = sym_to_c(clause.lhs_subs[0].expr, var);
+    std::string gexpr = sym_to_c(ref.subs[0].expr, var);
+    std::string body;
+    body += "      { /* send " + ref.array + "[g(i)] to owner of " +
+            clause.lhs_array + "[f(i)] */\n";
+    if (lhs.is_replicated()) {
+      body += "        for (long dst = 0; dst < P; ++dst)\n";
+      body += "          if (dst != p) MPI_Send(&" + ref.array +
+              "_local[local_" + ref.array + "(" + gexpr +
+              ")], 1, MPI_DOUBLE, (int)dst, (int)(" + var + " * " +
+              cat(nrefs) + "L + " + cat(r) + "L), MPI_COMM_WORLD);\n";
+    } else {
+      body += "        long dst = owner_" + clause.lhs_array + "(" + fexpr +
+              ");\n";
+      body += "        if (dst != p)\n";
+      body += "          MPI_Send(&" + ref.array + "_local[local_" +
+              ref.array + "(" + gexpr + ")], 1, MPI_DOUBLE, (int)dst, " +
+              "(int)(" + var + " * " + cat(nrefs) + "L + " + cat(r) +
+              "L), MPI_COMM_WORLD);\n";
+    }
+    body += "      }\n";
+    out += "  { /* phase 1, ref " + cat(r) + " (" + ref.str({var}) +
+           "): Reside_p */\n";
+    out += emit_plan_loops(rplan, "p", var, body, "    ");
+    out += "  }\n";
+  }
+
+  // Phase 2: receive and update.
+  std::vector<std::string> ref_exprs;
+  std::string body;
+  for (int r = 0; r < nrefs; ++r) {
+    const prog::ArrayRef& ref = clause.refs[static_cast<std::size_t>(r)];
+    const ArrayDesc& rd = arrays.at(ref.array);
+    std::string gexpr = sym_to_c(ref.subs[0].expr, var);
+    std::string v = "v" + cat(r);
+    ref_exprs.push_back(v);
+    body += "      double " + v + ";\n";
+    if (rd.is_replicated()) {
+      body += "      " + v + " = " + ref.array + "_local[local_" +
+              ref.array + "(" + gexpr + ")];\n";
+      continue;
+    }
+    body += "      { long src = owner_" + ref.array + "(" + gexpr + ");\n";
+    body += "        if (src == p) " + v + " = " + ref.array +
+            "_local[local_" + ref.array + "(" + gexpr + ")];\n";
+    body += "        else MPI_Recv(&" + v +
+            ", 1, MPI_DOUBLE, (int)src, (int)(" + var + " * " + cat(nrefs) +
+            "L + " + cat(r) + "L), MPI_COMM_WORLD, MPI_STATUS_IGNORE);\n";
+    body += "      }\n";
+  }
+  if (clause.guard) {
+    std::string g =
+        expr_to_c(clause.guard->lhs, ref_exprs, {var}) + " " +
+        [&] {
+          using C = prog::Guard::Cmp;
+          switch (clause.guard->cmp) {
+            case C::LT:
+              return "<";
+            case C::LE:
+              return "<=";
+            case C::GT:
+              return ">";
+            case C::GE:
+              return ">=";
+            case C::EQ:
+              return "==";
+            case C::NE:
+              return "!=";
+          }
+          return "?";
+        }() +
+        " " + expr_to_c(clause.guard->rhs, ref_exprs, {var});
+    body += "      if (!(" + g + ")) continue;\n";
+  }
+  body += "      " + clause.lhs_array + "_local[local_" + clause.lhs_array +
+          "(" + sym_to_c(clause.lhs_subs[0].expr, var) + ")] = " +
+          expr_to_c(clause.rhs, ref_exprs, {var}) + ";\n";
+  out += "  { /* phase 2: Modify_p */\n";
+  out += emit_plan_loops(lhs_plan, "p", var, body, "    ");
+  out += "  }\n";
+  out += "  MPI_Barrier(MPI_COMM_WORLD);\n\n";
+  return out;
+}
+
+}  // namespace
+
+std::string emit_mpi_c(const spmd::Program& program) {
+  std::string out;
+  out += "/* Generated by vcal: SPMD message-passing node program.\n";
+  out += " * One process per virtual processor; p = MPI rank.\n */\n";
+  out += "#include <mpi.h>\n#include <stdio.h>\n#include <string.h>\n\n";
+  out += c_prelude();
+  out += "\n#define P " + cat(program.procs) + "\n\n";
+
+  for (const auto& [name, desc] : program.arrays) {
+    if (!is_1d(desc)) {
+      out += "/* " + desc.str() +
+             ": multi-dimensional arrays are not supported by this back "
+             "end */\n";
+      continue;
+    }
+    out += array_helpers(desc);
+    out += "static double " + name + "_local[" + cat(max_capacity(desc)) +
+           "];\n\n";
+  }
+
+  out += "int main(int argc, char** argv) {\n";
+  out += "  int rank = 0;\n";
+  out += "  MPI_Init(&argc, &argv);\n";
+  out += "  MPI_Comm_rank(MPI_COMM_WORLD, &rank);\n";
+  out += "  long p = (long)rank;\n";
+  out += "  (void)p;\n\n";
+
+  // The descriptor table evolves across redistribution steps so later
+  // clauses are emitted against the layout they will actually see.
+  spmd::ArrayTable arrays = program.arrays;
+  int seq = 0;
+  for (const spmd::Step& step : program.steps) {
+    ++seq;
+    if (const auto* clause = std::get_if<Clause>(&step)) {
+      bool ok =
+          clause->loops.size() == 1 && arrays_are_1d(*clause, arrays);
+      if (!ok) {
+        out += "  /* clause " + cat(seq) + " (" + clause->str() +
+               ") is not 1-D; not emitted */\n\n";
+        continue;
+      }
+      if (clause->ord == prog::Ordering::Seq) {
+        out += "  /* clause " + cat(seq) +
+               " has '•' ordering (DOACROSS); not emitted */\n\n";
+        continue;
+      }
+      out += emit_clause(*clause, arrays, seq);
+    } else {
+      const auto& redist = std::get<spmd::RedistStep>(step);
+      out += "  /* step " + cat(seq) + ": redistribute " + redist.array +
+             " to " + redist.new_desc.str() +
+             " (all-pairs exchange; see rt/dist_machine for the plan) "
+             "*/\n\n";
+      arrays.insert_or_assign(redist.array, redist.new_desc);
+    }
+  }
+  out += "  MPI_Finalize();\n  return 0;\n}\n";
+  return out;
+}
+
+}  // namespace vcal::emit

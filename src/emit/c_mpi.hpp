@@ -1,0 +1,24 @@
+// SPMD C source generation for message-passing targets.
+//
+// Produces one self-contained C file implementing the paper's Section 2.10
+// distributed-memory template for a whole program: every clause becomes a
+// send phase over Reside_p \ Modify_p and a receive/update phase over
+// Modify_p, with loop bounds emitted symbolically in the node's rank via
+// the Table I closed forms (see emit/c_expr.hpp). Designed as the
+// portable output of the system — the simulator (rt/dist_machine) executes
+// the same plans in-process for verification.
+//
+// Scope: one-dimensional arrays and loops (the paper's presentation).
+// Clauses outside that shape are emitted as explanatory comments.
+#pragma once
+
+#include <string>
+
+#include "spmd/program.hpp"
+
+namespace vcal::emit {
+
+/// Emits the complete MPI C source for the program.
+std::string emit_mpi_c(const spmd::Program& program);
+
+}  // namespace vcal::emit

@@ -1,0 +1,283 @@
+#include "emit/c_openmp.hpp"
+
+#include <optional>
+#include <set>
+
+#include "emit/c_expr.hpp"
+
+#include "fn/classify.hpp"
+#include "support/error.hpp"
+#include "support/format.hpp"
+
+namespace vcal::emit {
+
+namespace {
+
+using decomp::ArrayDesc;
+using prog::Clause;
+
+// Dense shared-array access: row-major linearization over all dims.
+std::string dense_access(const std::string& array, const ArrayDesc& desc,
+                         const std::vector<prog::Subscript>& subs,
+                         const std::vector<std::string>& vars) {
+  std::string lin;
+  for (int d = 0; d < desc.ndims(); ++d) {
+    const prog::Subscript& sub = subs[static_cast<std::size_t>(d)];
+    std::string v = sub.loop_index >= 0
+                        ? vars[static_cast<std::size_t>(sub.loop_index)]
+                        : "0";
+    std::string term =
+        "(" + sym_to_c(sub.expr, v) + " - " + cat(desc.lo(d)) + "L)";
+    if (lin.empty())
+      lin = term;
+    else
+      lin = "(" + lin + ") * " + cat(desc.size(d)) + "L + " + term;
+  }
+  return array + "[" + lin + "]";
+}
+
+// C expression for the grid coordinate of dimension d given the linear
+// rank p (row-major grids).
+std::string grid_coord(const decomp::DecompND& nd, int d) {
+  i64 stride = 1;
+  for (int k = d + 1; k < nd.ndims(); ++k)
+    stride *= nd.grid().extent(k);
+  std::string e = "p";
+  if (stride != 1) e = "vcal_floordiv(" + e + ", " + cat(stride) + "L)";
+  return "vcal_emod(" + e + ", " + cat(nd.grid().extent(d)) + "L)";
+}
+
+// C expression for the owner coordinate of a subscript value along one
+// decomposed dimension.
+std::string owner_coord(const decomp::Decomp1D& dd, const std::string& v) {
+  return "vcal_emod(vcal_floordiv(" + v + ", " + cat(dd.block_size()) +
+         "L), " + cat(dd.procs()) + "L)";
+}
+
+std::string cmp_text(prog::Guard::Cmp c) {
+  using C = prog::Guard::Cmp;
+  switch (c) {
+    case C::LT:
+      return "<";
+    case C::LE:
+      return "<=";
+    case C::GT:
+      return ">";
+    case C::GE:
+      return ">=";
+    case C::EQ:
+      return "==";
+    case C::NE:
+      return "!=";
+  }
+  return "?";
+}
+
+std::string emit_clause(const Clause& clause, const spmd::ArrayTable& arrays,
+                        int seq) {
+  const ArrayDesc& lhs = arrays.at(clause.lhs_array);
+  std::vector<std::string> vars = clause.loop_var_names();
+
+  std::string out;
+  out += "  /* ---- clause " + cat(seq) + ": " + clause.str() + " */\n";
+
+  bool lhs_read = false;
+  for (const prog::ArrayRef& r : clause.refs)
+    if (r.array == clause.lhs_array) lhs_read = true;
+  if (lhs_read && clause.ord == prog::Ordering::Par) {
+    out += "  memcpy(" + clause.lhs_array + "_old, " + clause.lhs_array +
+           ", sizeof(" + clause.lhs_array + "));  /* copy-in */\n";
+  }
+
+  // Reference reads come straight from shared memory.
+  std::vector<std::string> ref_exprs;
+  for (const prog::ArrayRef& r : clause.refs) {
+    const ArrayDesc& rd = arrays.at(r.array);
+    std::string name = r.array;
+    if (lhs_read && clause.ord == prog::Ordering::Par &&
+        r.array == clause.lhs_array)
+      name += "_old";
+    ref_exprs.push_back(dense_access(name, rd, r.subs, vars));
+  }
+
+  std::string body;
+  if (clause.guard) {
+    body += "      if (!(" +
+            expr_to_c(clause.guard->lhs, ref_exprs, vars) + " " +
+            cmp_text(clause.guard->cmp) + " " +
+            expr_to_c(clause.guard->rhs, ref_exprs, vars) +
+            ")) continue;\n";
+  }
+  body += "      " + dense_access(clause.lhs_array, lhs, clause.lhs_subs,
+                                  vars) +
+          " = " + expr_to_c(clause.rhs, ref_exprs, vars) + ";\n";
+
+  // Bounds guard for writes whose subscript can overrun the array in
+  // dimensions the plans below do not clamp (sequential path and
+  // unconstrained dimensions). Cheap and always sound.
+  std::string clamp;
+  std::set<std::string> clamp_seen;
+  for (std::size_t d = 0; d < clause.lhs_subs.size(); ++d) {
+    const prog::Subscript& sub = clause.lhs_subs[d];
+    std::string v = sub.loop_index >= 0
+                        ? vars[static_cast<std::size_t>(sub.loop_index)]
+                        : "0";
+    std::string f = sym_to_c(sub.expr, v);
+    std::string line = "      if (" + f + " < " +
+                       cat(lhs.lo(static_cast<int>(d))) + "L || " + f +
+                       " > " + cat(lhs.hi(static_cast<int>(d))) +
+                       "L) continue;\n";
+    if (clamp_seen.insert(line).second) clamp += line;
+  }
+  body = clamp + body;
+
+  if (clause.ord == prog::Ordering::Seq) {
+    out += "  /* '\u2022' ordering: one thread, lexicographic */\n";
+    std::string close;
+    for (const prog::LoopDim& l : clause.loops) {
+      out += "  for (long " + l.var + " = " + cat(l.lo) + "L; " + l.var +
+             " <= " + cat(l.hi) + "L; ++" + l.var + ") {\n";
+      close += "  }\n";
+    }
+    out += body;
+    out += close + "\n";
+    return out;
+  }
+
+  out += "  #pragma omp parallel num_threads(P)\n";
+  out += "  {\n";
+  out += "    long p = (long)omp_get_thread_num();\n";
+  out += "    (void)p;\n";
+
+  // Per loop variable: the first owner constraint becomes the loop
+  // generator (Table I bounds); further constraints and constant-pinned
+  // dimensions become guards.
+  std::vector<std::optional<gen::OwnerComputePlan>> var_plan(
+      clause.loops.size());
+  std::vector<std::string> var_proc(clause.loops.size());
+  std::string pin_guard;
+  std::string extra_guard;
+  if (!lhs.is_replicated()) {
+    for (std::size_t d = 0; d < clause.lhs_subs.size(); ++d) {
+      const prog::Subscript& sub = clause.lhs_subs[d];
+      const decomp::Decomp1D& dd = lhs.decomp().dim(static_cast<int>(d));
+      std::string coord = grid_coord(lhs.decomp(), static_cast<int>(d));
+      if (sub.loop_index < 0) {
+        i64 v = fn::eval(sub.expr, 0) - lhs.lo(static_cast<int>(d));
+        pin_guard += "    if (" + coord + " != " + cat(dd.proc(v)) +
+                     "L) goto clause_" + cat(seq) + "_done;\n";
+        continue;
+      }
+      auto l = static_cast<std::size_t>(sub.loop_index);
+      if (!var_plan[l]) {
+        fn::IndexFn f =
+            fn::IndexFn::affine(1, -lhs.lo(static_cast<int>(d)))
+                .after(fn::classify(sub.expr));
+        var_plan[l] = gen::OwnerComputePlan::build(
+            f, dd, clause.loops[l].lo, clause.loops[l].hi);
+        var_proc[l] = coord;
+      } else {
+        // Second constraint on the same variable (e.g. the diagonal):
+        // guard inside the loop body.
+        std::string f = sym_to_c(sub.expr, vars[l]);
+        std::string norm = "(" + f + " - " +
+                           cat(lhs.lo(static_cast<int>(d))) + "L)";
+        extra_guard += "      if (" + owner_coord(dd, norm) + " != " +
+                       coord + ") continue;\n";
+      }
+    }
+  }
+  body = extra_guard + body;
+  out += pin_guard;
+
+  // Nest the loops: planned variables get Table I bounds, the rest get
+  // full ranges.
+  std::string inner = body;
+  for (std::size_t l = clause.loops.size(); l-- > 0;) {
+    const prog::LoopDim& dim = clause.loops[l];
+    if (var_plan[l]) {
+      inner = emit_plan_loops(*var_plan[l], var_proc[l], dim.var, inner,
+                              "    ");
+    } else {
+      inner = "    for (long " + dim.var + " = " + cat(dim.lo) + "L; " +
+              dim.var + " <= " + cat(dim.hi) + "L; ++" + dim.var +
+              ") {\n" + inner + "    }\n";
+    }
+  }
+  out += inner;
+  if (!pin_guard.empty())
+    out += "    clause_" + cat(seq) + "_done: ;\n";
+  out += "  }  /* implicit barrier */\n\n";
+  return out;
+}
+
+}  // namespace
+
+std::string emit_openmp_c(const spmd::Program& program,
+                          OpenMPOptions options) {
+  std::string out;
+  out += "/* Generated by vcal: SPMD shared-memory program (Section 2.9\n";
+  out += " * template). One OpenMP thread per virtual processor. */\n";
+  out += "#include <omp.h>\n#include <stdio.h>\n#include <string.h>\n\n";
+  out += c_prelude();
+  out += "\n#define P " + cat(program.procs) + "\n\n";
+
+  // Snapshot buffers only for arrays some parallel clause both writes
+  // and reads (the copy-in targets).
+  std::set<std::string> snapshot_arrays;
+  for (const spmd::Step& step : program.steps) {
+    if (const auto* clause = std::get_if<Clause>(&step)) {
+      if (clause->ord != prog::Ordering::Par) continue;
+      for (const prog::ArrayRef& r : clause->refs)
+        if (r.array == clause->lhs_array)
+          snapshot_arrays.insert(r.array);
+    }
+  }
+
+  for (const auto& [name, desc] : program.arrays) {
+    out += "/* " + desc.str() + " */\n";
+    out += "static double " + name + "[" + cat(desc.total()) + "];\n";
+    if (snapshot_arrays.count(name))
+      out += "static double " + name + "_old[" + cat(desc.total()) + "];\n";
+  }
+  out += "\nint main(void) {\n";
+  if (options.test_harness) {
+    out += "  /* test harness: ramp initialization */\n";
+    for (const auto& [name, desc] : program.arrays) {
+      out += "  for (long k = 0; k < " + cat(desc.total()) + "L; ++k) " +
+             name + "[k] = (double)k;\n";
+    }
+    out += "\n";
+  }
+
+  // The descriptor table evolves across redistribution steps so later
+  // clauses are emitted against the layout they will actually see.
+  spmd::ArrayTable arrays = program.arrays;
+  int seq = 0;
+  for (const spmd::Step& step : program.steps) {
+    ++seq;
+    if (const auto* clause = std::get_if<Clause>(&step)) {
+      out += emit_clause(*clause, arrays, seq);
+    } else {
+      const auto& redist = std::get<spmd::RedistStep>(step);
+      out += "  /* step " + cat(seq) + ": redistribute " + redist.array +
+             " to " + redist.new_desc.str() +
+             " — shared memory: ownership of later clauses changes, no "
+             "copy */\n\n";
+      arrays.insert_or_assign(redist.array, redist.new_desc);
+    }
+  }
+  if (options.test_harness) {
+    out += "  /* test harness: dump results */\n";
+    for (const auto& [name, desc] : program.arrays) {
+      out += "  printf(\"" + name + ":\");\n";
+      out += "  for (long k = 0; k < " + cat(desc.total()) + "L; ++k) " +
+             "printf(\" %.17g\", " + name + "[k]);\n";
+      out += "  printf(\"\\n\");\n";
+    }
+  }
+  out += "  return 0;\n}\n";
+  return out;
+}
+
+}  // namespace vcal::emit

@@ -1,0 +1,36 @@
+// SPMD C source generation for the shared-memory target.
+//
+// Implements the paper's Section 2.9 template with OpenMP: arrays live in
+// shared memory, every clause opens a parallel region in which thread p
+// iterates its Modify_p set (bounds emitted symbolically via the Table I
+// closed forms), and the region's closing barrier is the template's
+// `barrier`. Clauses that read their own target are preceded by a
+// snapshot copy (copy-in semantics of the '//' ordering).
+//
+// Supports multi-dimensional arrays and loop nests: each loop variable's
+// first owner constraint becomes its Table I loop bounds; additional
+// constraints on the same variable (diagonals) and constant-pinned
+// dimensions become guards. Generated programs are self-contained C; the
+// optional test harness makes them runnable and diffable against the
+// reference executor (see tests/emit_test.cpp).
+#pragma once
+
+#include <string>
+
+#include "spmd/program.hpp"
+
+namespace vcal::emit {
+
+struct OpenMPOptions {
+  /// When set, the generated main() initializes every array with the
+  /// ramp value "dense index" and prints each array as one
+  /// "NAME: v v v ..." line before exiting, so a test can compile, run,
+  /// and diff the generated program against the reference executor.
+  bool test_harness = false;
+};
+
+/// Emits the complete OpenMP C source for the program.
+std::string emit_openmp_c(const spmd::Program& program,
+                          OpenMPOptions options = {});
+
+}  // namespace vcal::emit

@@ -1,0 +1,131 @@
+#include "emit/paper_notation.hpp"
+
+#include "support/error.hpp"
+#include "support/format.hpp"
+
+namespace vcal::emit {
+
+namespace {
+
+// "[f(i)](A)" with f rendered in the loop variable's name.
+std::string selection(const std::string& array,
+                      const std::vector<prog::Subscript>& subs,
+                      const std::vector<std::string>& vars) {
+  std::vector<std::string> parts;
+  for (const prog::Subscript& s : subs) {
+    std::string v = s.loop_index >= 0
+                        ? vars[static_cast<std::size_t>(s.loop_index)]
+                        : "_";
+    parts.push_back(fn::to_string(s.expr, v));
+  }
+  return "[" + join(parts, ", ") + "](" + array + ")";
+}
+
+// "[proc_A(f(i)), local_A(f(i))](A')" — the Eq. (2) machine image.
+std::string machine_selection(const std::string& array,
+                              const std::vector<prog::Subscript>& subs,
+                              const std::vector<std::string>& vars,
+                              bool replicated) {
+  if (replicated) return selection(array, subs, vars) + "†";  // copies
+  std::vector<std::string> parts;
+  for (const prog::Subscript& s : subs) {
+    std::string v = s.loop_index >= 0
+                        ? vars[static_cast<std::size_t>(s.loop_index)]
+                        : "_";
+    std::string f = fn::to_string(s.expr, v);
+    parts.push_back("proc_" + array + "(" + f + "), local_" + array + "(" +
+                    f + ")");
+  }
+  return "[" + join(parts, ", ") + "](" + array + "')";
+}
+
+std::string loop_head(const prog::Clause& clause, bool with_owner_pred,
+                      const std::string& lhs_pred) {
+  std::vector<std::string> vars;
+  std::vector<std::string> dims;
+  for (const prog::LoopDim& l : clause.loops) {
+    vars.push_back(l.var);
+    dims.push_back(cat(l.lo, ":", l.hi));
+  }
+  std::string head =
+      "∆(" + join(vars, ",") + " ∈ (" + join(dims, " × ");
+  std::vector<std::string> preds;
+  if (clause.guard) preds.push_back(clause.guard->str(clause.refs, vars));
+  if (with_owner_pred && !lhs_pred.empty()) preds.push_back(lhs_pred);
+  if (!preds.empty()) head += " | " + join(preds, " ∧ ");
+  head += ")) " + prog::to_string(clause.ord) + " ";
+  return head;
+}
+
+}  // namespace
+
+std::string PipelineTrace::str() const {
+  std::string out;
+  out += "(1) source     " + source_form + "\n";
+  out += "(2) decomposed " + decomposed + "\n";
+  out += "(3) SPMD form  " + spmd_form + "\n";
+  out += "(4) " + methods + "\n";
+  for (const std::string& line : node_schedules) out += "    " + line + "\n";
+  return out;
+}
+
+PipelineTrace trace_pipeline(const prog::Clause& clause,
+                             const spmd::ArrayTable& arrays,
+                             gen::BuildOptions opts) {
+  spmd::ClausePlan plan = spmd::ClausePlan::build(clause, arrays, opts);
+  PipelineTrace trace;
+
+  std::vector<std::string> vars = clause.loop_var_names();
+  trace.source_form = clause.str();
+
+  // Eq. (2): substitute every data structure by its machine image.
+  std::string rhs = prog::to_string(clause.rhs, clause.refs, vars);
+  for (std::size_t r = 0; r < clause.refs.size(); ++r) {
+    const prog::ArrayRef& ref = clause.refs[r];
+    std::string from = ref.str(vars);
+    std::string to = machine_selection(
+        ref.array, ref.subs, vars,
+        plan.ref_desc(static_cast<int>(r)).is_replicated());
+    // Textual substitution is safe: reference renderings are exact.
+    for (std::size_t at = rhs.find(from); at != std::string::npos;
+         at = rhs.find(from, at + to.size()))
+      rhs.replace(at, from.size(), to);
+  }
+  trace.decomposed =
+      loop_head(clause, false, "") + "(" +
+      machine_selection(clause.lhs_array, clause.lhs_subs, vars,
+                        plan.lhs_replicated()) +
+      " := " + rhs + ")";
+
+  // Eq. (3): renaming + interchange moves the processor outermost.
+  std::string owner_pred;
+  {
+    std::vector<std::string> conds;
+    for (std::size_t d = 0; d < clause.lhs_subs.size(); ++d) {
+      const prog::Subscript& s = clause.lhs_subs[d];
+      std::string v = s.loop_index >= 0
+                          ? vars[static_cast<std::size_t>(s.loop_index)]
+                          : "_";
+      conds.push_back("proc_" + clause.lhs_array + "(" +
+                      fn::to_string(s.expr, v) + ") = p" +
+                      (clause.lhs_subs.size() > 1 ? std::to_string(d) : ""));
+    }
+    owner_pred = join(conds, " ∧ ");
+  }
+  trace.spmd_form = cat("∆(p ∈ (0:", plan.procs() - 1, ")) ◊ ") +
+                    loop_head(clause, true, owner_pred) + "(" +
+                    machine_selection(clause.lhs_array, clause.lhs_subs,
+                                      vars, plan.lhs_replicated()) +
+                    " := " + rhs + ")";
+
+  trace.methods = "optimized node schedules:";
+  for (i64 p = 0; p < plan.procs(); ++p) {
+    spmd::IterationSpace space = plan.modify_space(p);
+    std::vector<std::string> dims;
+    for (int d = 0; d < space.dims(); ++d) dims.push_back(space.dim(d).str());
+    trace.node_schedules.push_back(cat("p=", p, ": ", join(dims, " x ")));
+  }
+  return trace;
+}
+
+}  // namespace vcal::emit

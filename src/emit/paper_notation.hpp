@@ -1,0 +1,38 @@
+// Rendering of the paper's derivation pipeline in its own notation.
+//
+// trace_pipeline() reproduces, for one clause plus decompositions, the
+// chain Eq. (1) -> Eq. (2) -> Eq. (3) -> optimized node schedules that
+// Sections 2.6-3 derive:
+//
+//   (1) ∆(i ∈ (imin:imax)) // ([f(i)](A) := Expr([g(i)](B)))
+//   (2) ... ([proc_A(f(i)), local_A(f(i))](A') := ...)      substitution
+//   (3) ∆(p ∈ (0:pmax-1)) ◊ ∆(i ∈ (imin:imax | proc_A(f(i)) = p)) ...
+//   (4) per-p closed-form generator ranges (Table I)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gen/optimizer.hpp"
+#include "spmd/clause_plan.hpp"
+
+namespace vcal::emit {
+
+struct PipelineTrace {
+  std::string source_form;   // Eq. (1): the clause as written
+  std::string decomposed;    // Eq. (2): machine images substituted
+  std::string spmd_form;     // Eq. (3): processor parameter outermost
+  std::vector<std::string> node_schedules;  // Table I instantiation per p
+  std::string methods;       // which theorem fired per dimension
+
+  /// The whole derivation as a printable block.
+  std::string str() const;
+};
+
+/// Builds the trace. Works for any clause; the per-processor schedule
+/// lines show each LHS dimension's closed form (or fallback).
+PipelineTrace trace_pipeline(const prog::Clause& clause,
+                             const spmd::ArrayTable& arrays,
+                             gen::BuildOptions opts = {});
+
+}  // namespace vcal::emit

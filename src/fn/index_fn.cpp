@@ -1,0 +1,457 @@
+#include "fn/index_fn.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/format.hpp"
+
+namespace vcal::fn {
+
+std::string to_string(FnClass c) {
+  switch (c) {
+    case FnClass::Constant:
+      return "constant";
+    case FnClass::Affine:
+      return "affine";
+    case FnClass::AffineMod:
+      return "affine-mod";
+    case FnClass::Monotone:
+      return "monotone";
+    case FnClass::Opaque:
+      return "opaque";
+  }
+  return "?";
+}
+
+struct IndexFn::Impl {
+  FnClass cls = FnClass::Opaque;
+  i64 a = 0, c = 0, z = 1, d = 0;      // symbolic parameters
+  std::function<i64(i64)> ev;          // Monotone / Opaque evaluator
+  int dir = 0;                         // +1 / -1 for Monotone
+  bool nonneg = false;                 // monotone only on i >= 0
+  std::string text;                    // printable form, "%" = variable
+};
+
+namespace {
+
+std::shared_ptr<const IndexFn::Impl> make_impl(IndexFn::Impl impl) {
+  return std::make_shared<const IndexFn::Impl>(std::move(impl));
+}
+
+// Renders "a*% + c" without redundant terms.
+std::string affine_text(i64 a, i64 c) {
+  std::string out;
+  if (a == 1) {
+    out = "%";
+  } else if (a == -1) {
+    out = "-%";
+  } else {
+    out = std::to_string(a) + "*%";
+  }
+  if (c > 0) out += " + " + std::to_string(c);
+  if (c < 0) out += " - " + std::to_string(-c);
+  return out;
+}
+
+// The contiguous preimage of [ylo, yhi] under a*i + c, before clamping.
+std::pair<i64, i64> affine_preimage(i64 a, i64 c, i64 ylo, i64 yhi) {
+  if (a > 0) return {ceildiv(ylo - c, a), floordiv(yhi - c, a)};
+  return {ceildiv(yhi - c, a), floordiv(ylo - c, a)};
+}
+
+}  // namespace
+
+IndexFn IndexFn::constant(i64 c) {
+  Impl impl;
+  impl.cls = FnClass::Constant;
+  impl.c = c;
+  impl.text = std::to_string(c);
+  return IndexFn(make_impl(std::move(impl)));
+}
+
+IndexFn IndexFn::affine(i64 a, i64 c) {
+  if (a == 0) return constant(c);
+  Impl impl;
+  impl.cls = FnClass::Affine;
+  impl.a = a;
+  impl.c = c;
+  impl.text = affine_text(a, c);
+  return IndexFn(make_impl(std::move(impl)));
+}
+
+IndexFn IndexFn::identity() { return affine(1, 0); }
+
+IndexFn IndexFn::affine_mod(i64 a, i64 c, i64 z, i64 d) {
+  if (a == 0) return constant(emod(c, z) + d);
+  require(z > 0, "affine_mod needs z > 0");
+  Impl impl;
+  impl.cls = FnClass::AffineMod;
+  impl.a = a;
+  impl.c = c;
+  impl.z = z;
+  impl.d = d;
+  impl.text = "(" + affine_text(a, c) + ") mod " + std::to_string(z);
+  if (d > 0) impl.text += " + " + std::to_string(d);
+  if (d < 0) impl.text += " - " + std::to_string(-d);
+  return IndexFn(make_impl(std::move(impl)));
+}
+
+IndexFn IndexFn::monotone(std::function<i64(i64)> eval, int dir,
+                          bool domain_nonneg, std::string text) {
+  require(dir == 1 || dir == -1, "monotone dir must be +-1");
+  Impl impl;
+  impl.cls = FnClass::Monotone;
+  impl.ev = std::move(eval);
+  impl.dir = dir;
+  impl.nonneg = domain_nonneg;
+  impl.text = std::move(text);
+  return IndexFn(make_impl(std::move(impl)));
+}
+
+IndexFn IndexFn::opaque(std::function<i64(i64)> eval, std::string text) {
+  Impl impl;
+  impl.cls = FnClass::Opaque;
+  impl.ev = std::move(eval);
+  impl.text = std::move(text);
+  return IndexFn(make_impl(std::move(impl)));
+}
+
+i64 IndexFn::operator()(i64 i) const {
+  const Impl& s = *impl_;
+  switch (s.cls) {
+    case FnClass::Constant:
+      return s.c;
+    case FnClass::Affine:
+      return add_checked(mul_checked(s.a, i), s.c);
+    case FnClass::AffineMod:
+      return emod(add_checked(mul_checked(s.a, i), s.c), s.z) + s.d;
+    case FnClass::Monotone:
+    case FnClass::Opaque:
+      return s.ev(i);
+  }
+  throw InternalError("IndexFn: bad class");
+}
+
+FnClass IndexFn::cls() const noexcept { return impl_->cls; }
+
+int IndexFn::direction() const noexcept {
+  switch (impl_->cls) {
+    case FnClass::Constant:
+      return 0;
+    case FnClass::Affine:
+      return impl_->a > 0 ? 1 : -1;
+    case FnClass::AffineMod:
+      return 0;  // piece-wise only
+    case FnClass::Monotone:
+      return impl_->dir;
+    case FnClass::Opaque:
+      return 0;
+  }
+  return 0;
+}
+
+bool IndexFn::requires_nonneg_domain() const noexcept {
+  return impl_->nonneg;
+}
+
+i64 IndexFn::const_value() const {
+  require(impl_->cls == FnClass::Constant, "const_value on non-constant");
+  return impl_->c;
+}
+
+i64 IndexFn::affine_a() const {
+  require(impl_->cls == FnClass::Affine || impl_->cls == FnClass::AffineMod,
+          "affine_a on wrong class");
+  return impl_->a;
+}
+
+i64 IndexFn::affine_c() const {
+  require(impl_->cls == FnClass::Affine || impl_->cls == FnClass::AffineMod,
+          "affine_c on wrong class");
+  return impl_->c;
+}
+
+i64 IndexFn::mod_z() const {
+  require(impl_->cls == FnClass::AffineMod, "mod_z on wrong class");
+  return impl_->z;
+}
+
+i64 IndexFn::mod_d() const {
+  require(impl_->cls == FnClass::AffineMod, "mod_d on wrong class");
+  return impl_->d;
+}
+
+std::optional<std::pair<i64, i64>> IndexFn::preimage_interval(i64 ylo,
+                                                              i64 yhi,
+                                                              i64 lo,
+                                                              i64 hi) const {
+  if (ylo > yhi || lo > hi) return std::nullopt;
+  const Impl& s = *impl_;
+  switch (s.cls) {
+    case FnClass::Constant: {
+      if (in_range(s.c, ylo, yhi)) return std::make_pair(lo, hi);
+      return std::nullopt;
+    }
+    case FnClass::Affine: {
+      auto [plo, phi] = affine_preimage(s.a, s.c, ylo, yhi);
+      plo = std::max(plo, lo);
+      phi = std::min(phi, hi);
+      if (plo > phi) return std::nullopt;
+      return std::make_pair(plo, phi);
+    }
+    case FnClass::Monotone: {
+      if (s.nonneg && lo < 0)
+        throw CodegenError(
+            "monotone inverse queried on a domain containing negatives for " +
+            str());
+      // Bisection for the first index reaching the band and the last index
+      // still inside it (works for weakly monotone functions too).
+      auto ge = [&](i64 y) {  // min i in [lo,hi] with f(i) >= y, or hi+1
+        i64 a = lo, b = hi + 1;
+        while (a < b) {
+          i64 m = a + (b - a) / 2;
+          if (s.ev(m) >= y)
+            b = m;
+          else
+            a = m + 1;
+        }
+        return a;
+      };
+      auto le = [&](i64 y) {  // max i in [lo,hi] with f(i) <= y, or lo-1
+        i64 a = lo - 1, b = hi;
+        while (a < b) {
+          i64 m = b - (b - a) / 2;
+          if (s.ev(m) <= y)
+            a = m;
+          else
+            b = m - 1;
+        }
+        return a;
+      };
+      i64 plo, phi;
+      if (s.dir > 0) {
+        plo = ge(ylo);
+        phi = le(yhi);
+      } else {
+        // Decreasing: mirror by searching on the flipped comparisons.
+        i64 a = lo, b = hi + 1;
+        while (a < b) {  // first i with f(i) <= yhi
+          i64 m = a + (b - a) / 2;
+          if (s.ev(m) <= yhi)
+            b = m;
+          else
+            a = m + 1;
+        }
+        plo = a;
+        a = lo - 1;
+        b = hi;
+        while (a < b) {  // last i with f(i) >= ylo
+          i64 m = b - (b - a) / 2;
+          if (s.ev(m) >= ylo)
+            a = m;
+          else
+            b = m - 1;
+        }
+        phi = a;
+      }
+      if (plo > phi) return std::nullopt;
+      return std::make_pair(plo, phi);
+    }
+    case FnClass::AffineMod:
+    case FnClass::Opaque:
+      throw CodegenError("preimage_interval unsupported for " +
+                         to_string(s.cls) + " function " + str());
+  }
+  throw InternalError("IndexFn: bad class");
+}
+
+std::optional<i64> IndexFn::preimage_point(i64 y, i64 lo, i64 hi) const {
+  auto iv = preimage_interval(y, y, lo, hi);
+  if (!iv) return std::nullopt;
+  if ((*this)(iv->first) != y) return std::nullopt;
+  return iv->first;
+}
+
+std::vector<AffinePiece> IndexFn::pieces(i64 lo, i64 hi) const {
+  std::vector<AffinePiece> out;
+  if (lo > hi) return out;
+  const Impl& s = *impl_;
+  switch (s.cls) {
+    case FnClass::Constant:
+      out.push_back({lo, hi, 0, s.c});
+      return out;
+    case FnClass::Affine:
+      out.push_back({lo, hi, s.a, s.c});
+      return out;
+    case FnClass::AffineMod: {
+      // g(i) = a*i + c; within the stretch where floordiv(g(i), z) == k the
+      // function is the affine piece a*i + (c - z*k + d). Breakpoints are
+      // the Section 3.3 breakpoints.
+      i64 glo = add_checked(mul_checked(s.a, lo), s.c);
+      i64 ghi = add_checked(mul_checked(s.a, hi), s.c);
+      i64 kmin = floordiv(std::min(glo, ghi), s.z);
+      i64 kmax = floordiv(std::max(glo, ghi), s.z);
+      for (i64 k = kmin; k <= kmax; ++k) {
+        auto [plo, phi] =
+            affine_preimage(s.a, s.c, k * s.z, k * s.z + s.z - 1);
+        plo = std::max(plo, lo);
+        phi = std::min(phi, hi);
+        if (plo > phi) continue;
+        out.push_back({plo, phi, s.a, s.c - s.z * k + s.d});
+      }
+      if (s.a < 0) std::reverse(out.begin(), out.end());
+      return out;
+    }
+    case FnClass::Monotone:
+    case FnClass::Opaque:
+      throw CodegenError("pieces() unsupported for " + to_string(s.cls) +
+                         " function " + str());
+  }
+  throw InternalError("IndexFn: bad class");
+}
+
+bool IndexFn::injective_on(i64 lo, i64 hi) const {
+  if (lo >= hi) return true;
+  const Impl& s = *impl_;
+  switch (s.cls) {
+    case FnClass::Constant:
+      return false;  // lo < hi here, so at least two equal values
+    case FnClass::Affine:
+      return true;
+    case FnClass::AffineMod: {
+      // Injective iff the value ranges of the affine pieces do not
+      // overlap pairwise. Pieces have identical slope a, so piece images
+      // are |a|-strided residue sequences; a sufficient and (for a=+-1)
+      // necessary condition is that z exceeds the span of g. For general
+      // a, compare piece image intervals pairwise (piece count is small
+      // whenever this matters; bail out pessimistically beyond 64).
+      auto ps = pieces(lo, hi);
+      if (ps.size() > 64) return false;
+      std::vector<std::pair<i64, i64>> images;
+      for (const auto& p : ps) {
+        i64 v1 = p.a * p.lo + p.c;
+        i64 v2 = p.a * p.hi + p.c;
+        images.emplace_back(std::min(v1, v2), std::max(v1, v2));
+      }
+      for (std::size_t x = 0; x < images.size(); ++x)
+        for (std::size_t y = x + 1; y < images.size(); ++y)
+          if (images[x].first <= images[y].second &&
+              images[y].first <= images[x].second)
+            return false;
+      return true;
+    }
+    case FnClass::Monotone: {
+      // Strictness cannot be established symbolically; scan (test use).
+      i64 prev = s.ev(lo);
+      for (i64 i = lo + 1; i <= hi; ++i) {
+        i64 v = s.ev(i);
+        if (v == prev) return false;
+        prev = v;
+      }
+      return true;
+    }
+    case FnClass::Opaque: {
+      std::vector<i64> vals;
+      vals.reserve(static_cast<std::size_t>(hi - lo + 1));
+      for (i64 i = lo; i <= hi; ++i) vals.push_back(s.ev(i));
+      std::sort(vals.begin(), vals.end());
+      return std::adjacent_find(vals.begin(), vals.end()) == vals.end();
+    }
+  }
+  throw InternalError("IndexFn: bad class");
+}
+
+std::pair<i64, i64> IndexFn::image_bounds(i64 lo, i64 hi) const {
+  require(lo <= hi, "image_bounds on empty domain");
+  const Impl& s = *impl_;
+  switch (s.cls) {
+    case FnClass::Constant:
+      return {s.c, s.c};
+    case FnClass::Affine:
+    case FnClass::Monotone: {
+      i64 v1 = (*this)(lo);
+      i64 v2 = (*this)(hi);
+      return {std::min(v1, v2), std::max(v1, v2)};
+    }
+    case FnClass::AffineMod: {
+      auto ps = pieces(lo, hi);
+      if (ps.size() > 1024) return {s.d, s.d + s.z - 1};
+      i64 mn = (*this)(lo), mx = (*this)(lo);
+      for (const auto& p : ps) {
+        i64 v1 = p.a * p.lo + p.c;
+        i64 v2 = p.a * p.hi + p.c;
+        mn = std::min({mn, v1, v2});
+        mx = std::max({mx, v1, v2});
+      }
+      return {mn, mx};
+    }
+    case FnClass::Opaque: {
+      i64 mn = s.ev(lo), mx = mn;
+      for (i64 i = lo + 1; i <= hi; ++i) {
+        i64 v = s.ev(i);
+        mn = std::min(mn, v);
+        mx = std::max(mx, v);
+      }
+      return {mn, mx};
+    }
+  }
+  throw InternalError("IndexFn: bad class");
+}
+
+IndexFn IndexFn::after(const IndexFn& g) const {
+  const IndexFn f = *this;
+  // Constant outer: ignores inner entirely.
+  if (cls() == FnClass::Constant) return f;
+  // Constant inner: evaluate once.
+  if (g.cls() == FnClass::Constant) return constant(f(g.const_value()));
+  // Identity on either side.
+  if (cls() == FnClass::Affine && impl_->a == 1 && impl_->c == 0) return g;
+  if (g.cls() == FnClass::Affine && g.impl_->a == 1 && g.impl_->c == 0)
+    return f;
+  // A pure shift after an affine-mod just moves the offset d.
+  if (cls() == FnClass::Affine && impl_->a == 1 &&
+      g.cls() == FnClass::AffineMod)
+    return affine_mod(g.impl_->a, g.impl_->c, g.impl_->z,
+                      add_checked(g.impl_->d, impl_->c));
+  if (g.cls() == FnClass::Affine) {
+    i64 ga = g.impl_->a, gc = g.impl_->c;
+    switch (cls()) {
+      case FnClass::Affine:
+        return affine(mul_checked(impl_->a, ga),
+                      add_checked(mul_checked(impl_->a, gc), impl_->c));
+      case FnClass::AffineMod:
+        return affine_mod(mul_checked(impl_->a, ga),
+                          add_checked(mul_checked(impl_->a, gc), impl_->c),
+                          impl_->z, impl_->d);
+      case FnClass::Monotone:
+        return monotone([f, ga, gc](i64 i) { return f(ga * i + gc); },
+                        impl_->dir * (ga > 0 ? 1 : -1),
+                        /*domain_nonneg=*/impl_->nonneg,
+                        str("(" + affine_text(ga, gc) + ")"));
+      default:
+        break;
+    }
+  }
+  if (cls() == FnClass::Affine && impl_->a > 0 && g.direction() != 0) {
+    // Increasing affine after a monotone function stays monotone.
+    return monotone([f, g](i64 i) { return f(g(i)); }, g.direction(),
+                    g.requires_nonneg_domain(),
+                    str("(" + g.str() + ")"));
+  }
+  return opaque([f, g](i64 i) { return f(g(i)); },
+                str("(" + g.str() + ")"));
+}
+
+std::string IndexFn::str(const std::string& var) const {
+  std::string out;
+  out.reserve(impl_->text.size() + var.size());
+  for (char ch : impl_->text) {
+    if (ch == '%')
+      out += var;
+    else
+      out += ch;
+  }
+  return out;
+}
+
+}  // namespace vcal::fn

@@ -1,0 +1,122 @@
+// Index propagation functions f : Z -> Z, classified by shape.
+//
+// The optimizer (src/gen) dispatches on FnClass exactly as the paper's
+// Table I does on the form of f(i):
+//
+//   Constant    f(i) = c                          Theorem 1
+//   Affine      f(i) = a*i + c, a != 0            Theorem 3 / block bounds
+//   AffineMod   f(i) = (a*i + c) mod z + d        Section 3.3 (piece-wise)
+//   Monotone    strictly monotone, inverse by     Table I last row
+//               bisection
+//   Opaque      anything else                     run-time resolution
+//
+// IndexFn is an immutable value type (cheap shared copies).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/math.hpp"
+
+namespace vcal::fn {
+
+enum class FnClass { Constant, Affine, AffineMod, Monotone, Opaque };
+
+std::string to_string(FnClass c);
+
+/// A maximal interval [lo, hi] of the domain on which the function agrees
+/// with the affine function piece_a * i + piece_c. Produced when an
+/// AffineMod function is split at its breakpoints (Section 3.3).
+struct AffinePiece {
+  i64 lo = 0;
+  i64 hi = -1;  // empty when hi < lo
+  i64 a = 0;
+  i64 c = 0;
+};
+
+class IndexFn {
+ public:
+  /// f(i) = c.
+  static IndexFn constant(i64 c);
+  /// f(i) = a*i + c; a must be non-zero (use constant() otherwise).
+  static IndexFn affine(i64 a, i64 c);
+  /// f(i) = i (identity; affine with a=1, c=0).
+  static IndexFn identity();
+  /// f(i) = (a*i + c) mod z + d with a != 0 and z > 0 (Euclidean mod).
+  static IndexFn affine_mod(i64 a, i64 c, i64 z, i64 d);
+  /// Strictly monotone f given by `eval`; dir = +1 increasing, -1
+  /// decreasing. `domain_nonneg` marks monotonicity that is only
+  /// guaranteed for i >= 0 (e.g. f(i) = i*i); the optimizer checks the
+  /// actual bounds against it. `text` is used for printing, with '%' as
+  /// the placeholder for the variable name (e.g. "%*%" for i*i).
+  static IndexFn monotone(std::function<i64(i64)> eval, int dir,
+                          bool domain_nonneg, std::string text);
+  /// Arbitrary function; schedules fall back to run-time resolution.
+  static IndexFn opaque(std::function<i64(i64)> eval, std::string text);
+
+  i64 operator()(i64 i) const;
+
+  FnClass cls() const noexcept;
+
+  /// Monotonicity direction: +1 increasing, -1 decreasing, 0 unknown.
+  /// AffineMod reports 0 (piece-wise only); query pieces() instead.
+  int direction() const noexcept;
+
+  /// True when monotonicity only holds on a non-negative domain.
+  bool requires_nonneg_domain() const noexcept;
+
+  // --- accessors, valid only for the matching class ------------------
+  i64 const_value() const;                    // Constant
+  i64 affine_a() const;                       // Affine / AffineMod
+  i64 affine_c() const;                       // Affine / AffineMod
+  i64 mod_z() const;                          // AffineMod
+  i64 mod_d() const;                          // AffineMod
+
+  /// For a monotone function (Affine or Monotone): the set
+  /// { i in [lo, hi] : ylo <= f(i) <= yhi }, which is a contiguous
+  /// interval; nullopt when empty. Throws CodegenError for classes
+  /// without a usable inverse.
+  std::optional<std::pair<i64, i64>> preimage_interval(i64 ylo, i64 yhi,
+                                                       i64 lo, i64 hi) const;
+
+  /// For a monotone function: the unique i in [lo, hi] with f(i) == y,
+  /// or nullopt. (For weakly monotone `monotone` functions, the lowest
+  /// such i.)
+  std::optional<i64> preimage_point(i64 y, i64 lo, i64 hi) const;
+
+  /// Splits the domain [lo, hi] into maximal affine pieces. Defined for
+  /// Constant, Affine, and AffineMod (the Section 3.3 breakpoint split).
+  /// Throws CodegenError for Monotone/Opaque.
+  std::vector<AffinePiece> pieces(i64 lo, i64 hi) const;
+
+  /// True when f restricted to [lo, hi] is injective. Exact for
+  /// Constant/Affine/AffineMod/Monotone; for Opaque performs an O(hi-lo)
+  /// scan (intended for tests and small front-end checks).
+  bool injective_on(i64 lo, i64 hi) const;
+
+  /// Image bounds {min f(i), max f(i) : i in [lo, hi]} — exact for all
+  /// classes except Opaque, which scans.
+  std::pair<i64, i64> image_bounds(i64 lo, i64 hi) const;
+
+  /// Composition: (*this) after g, i.e. i -> this(g(i)). Affine forms
+  /// stay symbolic; anything else degrades to Monotone/Opaque.
+  IndexFn after(const IndexFn& g) const;
+
+  /// Rendering with the given variable name, e.g. "3*i + 1".
+  std::string str(const std::string& var = "i") const;
+
+  /// Implementation record; public only so the factory functions in the
+  /// implementation file can build shared instances.
+  struct Impl;
+
+ private:
+  explicit IndexFn(std::shared_ptr<const Impl> impl)
+      : impl_(std::move(impl)) {}
+  std::shared_ptr<const Impl> impl_;
+};
+
+}  // namespace vcal::fn

@@ -1,0 +1,54 @@
+// Symbolic expressions in a single integer variable.
+//
+// The front end lowers each array subscript (an expression in one loop
+// variable) into a Sym tree; fn/classify.hpp then recognizes the shapes the
+// paper's theorems can optimize (constant, affine, affine-mod, monotone).
+//
+// Semantics: `div` is floor division and `mod` is the Euclidean remainder,
+// matching the derivations in the paper (and support/math.hpp).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "support/math.hpp"
+
+namespace vcal::fn {
+
+struct Sym;
+using SymPtr = std::shared_ptr<const Sym>;
+
+struct Sym {
+  enum class Op { Const, Var, Add, Sub, Mul, Div, Mod, Neg };
+
+  Op op;
+  i64 value = 0;  // for Const
+  SymPtr lhs;     // unset for Const/Var
+  SymPtr rhs;     // unset for Const/Var/Neg
+};
+
+/// Constant leaf.
+SymPtr cnst(i64 v);
+/// The loop variable.
+SymPtr var();
+
+SymPtr add(SymPtr a, SymPtr b);
+SymPtr sub(SymPtr a, SymPtr b);
+SymPtr mul(SymPtr a, SymPtr b);
+/// Floor division; divisor must evaluate non-zero.
+SymPtr intdiv(SymPtr a, SymPtr b);
+/// Euclidean remainder; modulus must evaluate non-zero.
+SymPtr mod(SymPtr a, SymPtr b);
+SymPtr neg(SymPtr a);
+
+/// Evaluates the tree at i. Throws InternalError on div/mod by zero.
+i64 eval(const SymPtr& s, i64 i);
+
+/// Renders the tree with `v` as the variable name, fully parenthesized
+/// only where needed, e.g. "3*i + 1", "(i + 6) mod 20".
+std::string to_string(const SymPtr& s, const std::string& v = "i");
+
+/// True when the tree contains no Var leaf.
+bool is_constant(const SymPtr& s);
+
+}  // namespace vcal::fn

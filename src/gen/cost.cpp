@@ -1,0 +1,38 @@
+#include "gen/cost.hpp"
+
+#include "support/format.hpp"
+
+namespace vcal::gen {
+
+double PlanCost::speedup_vs(const PlanCost& baseline) const {
+  double mine = static_cast<double>(worst_proc.loop_iters +
+                                    worst_proc.tests);
+  double theirs = static_cast<double>(baseline.worst_proc.loop_iters +
+                                      baseline.worst_proc.tests);
+  if (mine <= 0.0) return 0.0;
+  return theirs / mine;
+}
+
+std::string PlanCost::str() const {
+  return cat("tests=", with_commas(total.tests),
+             " iters=", with_commas(total.loop_iters),
+             " yielded=", with_commas(total.yielded),
+             " pieces=", total.pieces,
+             " worst-proc-iters=", with_commas(worst_proc.loop_iters));
+}
+
+PlanCost measure_plan(const OwnerComputePlan& plan) {
+  PlanCost cost;
+  cost.procs = plan.decomp().procs();
+  for (i64 p = 0; p < cost.procs; ++p) {
+    EnumStats s;
+    plan.for_proc(p).materialize(&s);
+    cost.total += s;
+    if (s.loop_iters + s.tests >
+        cost.worst_proc.loop_iters + cost.worst_proc.tests)
+      cost.worst_proc = s;
+  }
+  return cost;
+}
+
+}  // namespace vcal::gen

@@ -1,0 +1,32 @@
+// Aggregate cost measurement for plans.
+//
+// The paper's complexity argument (Section 3 opening): run-time resolution
+// costs (imax - imin + 1) membership tests per processor while only
+// (imax - imin) / pmax indices are actually processed; closed forms
+// eliminate the tests. measure_plan() materializes every processor's
+// schedule and reports totals and the per-processor maximum (the SPMD
+// makespan analogue), which is what the Table I benchmark prints.
+#pragma once
+
+#include <string>
+
+#include "gen/optimizer.hpp"
+
+namespace vcal::gen {
+
+struct PlanCost {
+  EnumStats total;        // summed over all processors
+  EnumStats worst_proc;   // the processor with the most loop iterations
+  i64 procs = 0;
+
+  /// loop iterations of the naive scan divided by this plan's — the
+  /// speedup factor the optimization buys on the hot path.
+  double speedup_vs(const PlanCost& baseline) const;
+
+  std::string str() const;
+};
+
+/// Materializes every processor's schedule and accumulates counters.
+PlanCost measure_plan(const OwnerComputePlan& plan);
+
+}  // namespace vcal::gen

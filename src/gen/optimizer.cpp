@@ -1,0 +1,373 @@
+#include "gen/optimizer.hpp"
+
+#include <algorithm>
+
+#include "diophant/congruence.hpp"
+#include "support/error.hpp"
+#include "support/format.hpp"
+
+namespace vcal::gen {
+
+namespace {
+
+using decomp::Decomp1D;
+using fn::FnClass;
+using fn::IndexFn;
+
+// Piece from an inclusive interval, stride 1.
+Piece interval_piece(i64 lo, i64 hi) { return {lo, hi - lo + 1, 1}; }
+
+// Piece from a solved congruence progression clamped to [lo, hi].
+std::optional<Piece> progression_piece(const dio::Progression& pr, i64 lo,
+                                       i64 hi) {
+  i64 tmin = dio::first_t_at_or_above(pr, lo);
+  i64 tmax = dio::last_t_at_or_below(pr, hi);
+  if (tmax < tmin) return std::nullopt;
+  return Piece{pr.x0 + pr.stride * tmin, tmax - tmin + 1, pr.stride};
+}
+
+}  // namespace
+
+OwnerComputePlan::OwnerComputePlan(IndexFn f, Decomp1D d, i64 imin, i64 imax,
+                                   BuildOptions opts)
+    : f_(std::move(f)),
+      d_(std::move(d)),
+      imin_(imin),
+      imax_(imax),
+      opts_(opts) {}
+
+OwnerComputePlan OwnerComputePlan::build(IndexFn f, Decomp1D d, i64 imin,
+                                         i64 imax, BuildOptions opts) {
+  OwnerComputePlan plan(std::move(f), std::move(d), imin, imax, opts);
+  const IndexFn& fr = plan.f_;
+  const Decomp1D& dr = plan.d_;
+  const i64 n = dr.n();
+  const i64 procs = dr.procs();
+
+  if (opts.force_runtime_resolution) {
+    plan.method_ = Method::RuntimeResolution;
+    plan.ilo_ = imin;
+    plan.ihi_ = imax;
+    plan.note_ = "forced";
+    return plan;
+  }
+
+  // Clamps the loop range to the preimage of the array bounds [0, n-1]
+  // for classes with a usable inverse; empty clamp means no processor
+  // iterates anything.
+  auto clamp_range = [&]() {
+    auto iv = fr.preimage_interval(0, n - 1, imin, imax);
+    if (iv) {
+      plan.ilo_ = iv->first;
+      plan.ihi_ = iv->second;
+    } else {
+      plan.ilo_ = 0;
+      plan.ihi_ = -1;
+    }
+  };
+
+  switch (fr.cls()) {
+    case FnClass::Constant: {
+      plan.method_ = Method::Theorem1Constant;
+      plan.ilo_ = imin;
+      plan.ihi_ = imax;
+      if (!in_range(fr.const_value(), 0, n - 1)) {
+        plan.ihi_ = plan.ilo_ - 1;
+        plan.note_ = "constant outside array bounds";
+      }
+      return plan;
+    }
+
+    case FnClass::Affine: {
+      clamp_range();
+      const i64 a = fr.affine_a();
+      switch (dr.kind()) {
+        case Decomp1D::Kind::Replicated:
+          plan.method_ = Method::Replicated;
+          return plan;
+        case Decomp1D::Kind::Block:
+          plan.method_ = Method::BlockBounds;
+          return plan;
+        case Decomp1D::Kind::Scatter: {
+          if (emod(a, procs) == 0) {
+            plan.method_ = Method::Corollary2;
+            plan.note_ = "a mod pmax = 0: one active processor";
+          } else if (procs % (a < 0 ? -a : a) == 0) {
+            plan.method_ = Method::Corollary1;
+            plan.note_ = "pmax mod a = 0: direct solution, no Euclid";
+          } else {
+            plan.method_ = Method::Theorem3Linear;
+            i64 g = gcd(a, procs);
+            plan.note_ =
+                cat("gcd(a,pmax)=", g, ", stride=", procs / g,
+                    ", C(a,pmax)=", dio::paper_constant(a, procs));
+          }
+          return plan;
+        }
+        case Decomp1D::Kind::BlockScatter: {
+          bool use_rs;
+          switch (opts.bs_form) {
+            case BuildOptions::BsForm::RepeatedBlock:
+              use_rs = false;
+              break;
+            case BuildOptions::BsForm::RepeatedScatter:
+              use_rs = true;
+              break;
+            case BuildOptions::BsForm::Auto:
+            default: {
+              // The paper's Section 3.2.i rule: repeated scatter is the
+              // favourable form when b <= f_max / (2 * pmax).
+              i64 fmax = 0;
+              if (plan.ilo_ <= plan.ihi_) {
+                auto [m, M] = fr.image_bounds(plan.ilo_, plan.ihi_);
+                (void)m;
+                fmax = M;
+              }
+              use_rs = dr.block_size() <= fmax / (2 * procs);
+              break;
+            }
+          }
+          plan.method_ =
+              use_rs ? Method::RepeatedScatter : Method::RepeatedBlock;
+          return plan;
+        }
+      }
+      throw InternalError("optimizer: bad decomposition kind");
+    }
+
+    case FnClass::AffineMod: {
+      auto ranges = fr.pieces(imin, imax);
+      if (static_cast<i64>(ranges.size()) > opts.max_pieces) {
+        plan.method_ = Method::RuntimeResolution;
+        plan.ilo_ = imin;
+        plan.ihi_ = imax;
+        plan.note_ = cat("affine-mod split into ", ranges.size(),
+                         " pieces exceeds limit");
+        return plan;
+      }
+      for (const auto& piece : ranges) {
+        auto sub = std::make_shared<OwnerComputePlan>(build(
+            IndexFn::affine(piece.a, piece.c), dr, piece.lo, piece.hi,
+            opts));
+        plan.subs_.push_back(std::move(sub));
+      }
+      if (plan.subs_.size() == 1) {
+        // No breakpoint inside the range: treat as plain affine
+        // (Section 3.3, "the function then becomes g(i) - z.k + d").
+        plan.method_ = plan.subs_.front()->method_;
+        plan.note_ = "no breakpoint in range";
+      } else {
+        plan.method_ = Method::PiecewiseSplit;
+        plan.note_ = cat(plan.subs_.size(), " monotone pieces");
+      }
+      return plan;
+    }
+
+    case FnClass::Monotone: {
+      if (fr.requires_nonneg_domain() && imin < 0) {
+        plan.method_ = Method::RuntimeResolution;
+        plan.ilo_ = imin;
+        plan.ihi_ = imax;
+        plan.note_ = "monotonicity not established on negative domain";
+        return plan;
+      }
+      clamp_range();
+      switch (dr.kind()) {
+        case Decomp1D::Kind::Replicated:
+          plan.method_ = Method::Replicated;
+          return plan;
+        case Decomp1D::Kind::Block:
+          plan.method_ = Method::MonotoneBlock;
+          return plan;
+        case Decomp1D::Kind::BlockScatter:
+          plan.method_ = Method::RepeatedBlock;
+          return plan;
+        case Decomp1D::Kind::Scatter: {
+          // Enumerate-on-k pays off when the image is narrower than
+          // pmax times the domain, i.e. df/di < pmax on average.
+          if (opts.allow_enumerate_k && plan.ilo_ <= plan.ihi_) {
+            auto [m, M] = fr.image_bounds(plan.ilo_, plan.ihi_);
+            i64 k_steps = (M - m) / procs + 1;
+            i64 scan_steps = plan.ihi_ - plan.ilo_ + 1;
+            if (k_steps < scan_steps) {
+              plan.method_ = Method::EnumerateK;
+              plan.note_ = cat("image ", m, ":", M, ", ", k_steps,
+                               " probes vs ", scan_steps, " scans");
+              return plan;
+            }
+          }
+          plan.method_ = Method::RuntimeResolution;
+          plan.ilo_ = imin;
+          plan.ihi_ = imax;
+          plan.note_ = "scatter + monotone: enumerate-on-k not profitable";
+          return plan;
+        }
+      }
+      throw InternalError("optimizer: bad decomposition kind");
+    }
+
+    case FnClass::Opaque:
+      plan.method_ = Method::RuntimeResolution;
+      plan.ilo_ = imin;
+      plan.ihi_ = imax;
+      plan.note_ = "opaque index function";
+      return plan;
+  }
+  throw InternalError("optimizer: bad function class");
+}
+
+Schedule OwnerComputePlan::schedule_block_like(i64 p, i64 ilo, i64 ihi,
+                                               Method method,
+                                               const IndexFn& f) const {
+  const i64 n = d_.n();
+  const i64 b = d_.block_size();
+  if (ilo > ihi) return Schedule::empty(method);
+  i64 target_lo = b * p;
+  i64 target_hi = std::min(target_lo + b - 1, n - 1);
+  if (target_lo > n - 1) return Schedule::empty(method);
+  auto iv = f.preimage_interval(target_lo, target_hi, ilo, ihi);
+  if (!iv) return Schedule::empty(method);
+  return Schedule::closed_form(method,
+                               {interval_piece(iv->first, iv->second)});
+}
+
+Schedule OwnerComputePlan::schedule_affine(i64 p, i64 a, i64 c, i64 ilo,
+                                           i64 ihi, Method method) const {
+  const i64 procs = d_.procs();
+  if (ilo > ihi) return Schedule::empty(method);
+  switch (method) {
+    case Method::Corollary2: {
+      // a is a multiple of pmax: f(i) mod pmax is constant, a single
+      // processor owns the whole range (Corollary 2).
+      if (emod(c, procs) != p) return Schedule::empty(method);
+      return Schedule::closed_form(method, {interval_piece(ilo, ihi)});
+    }
+    case Method::Corollary1: {
+      // pmax is a multiple of a: gen_p(t) = (p - c + pmax*t) / a without
+      // running Euclid (Corollary 1).
+      i64 g = a < 0 ? -a : a;
+      if (emod(p - c, g) != 0) return Schedule::empty(method);
+      i64 stride = procs / g;
+      i64 x0 = emod((p - c) / a, stride);
+      auto piece = progression_piece({x0, stride}, ilo, ihi);
+      if (!piece) return Schedule::empty(method);
+      return Schedule::closed_form(method, {*piece});
+    }
+    case Method::Theorem3Linear: {
+      auto pr = dio::solve_congruence(a, p - c, procs);
+      if (!pr) return Schedule::empty(method);
+      auto piece = progression_piece(*pr, ilo, ihi);
+      if (!piece) return Schedule::empty(method);
+      return Schedule::closed_form(method, {*piece});
+    }
+    case Method::RepeatedScatter: {
+      const i64 b = d_.block_size();
+      std::vector<Piece> pieces;
+      for (i64 o = 0; o < b; ++o) {
+        auto pr = dio::solve_congruence(a, b * p + o - c, b * procs);
+        if (!pr) continue;
+        auto piece = progression_piece(*pr, ilo, ihi);
+        if (piece) pieces.push_back(*piece);
+      }
+      return Schedule::closed_form(method, std::move(pieces));
+    }
+    default:
+      throw InternalError("schedule_affine: bad method");
+  }
+}
+
+Schedule OwnerComputePlan::for_proc(i64 p) const {
+  require(in_range(p, 0, d_.procs() - 1), "for_proc: bad processor");
+
+  if (!subs_.empty()) {
+    // Piecewise split (or single affine piece): concatenate sub-pieces.
+    std::vector<Piece> pieces;
+    for (const auto& sub : subs_) {
+      Schedule s = sub->for_proc(p);
+      for (const Piece& piece : s.pieces()) pieces.push_back(piece);
+    }
+    return Schedule::closed_form(method_, std::move(pieces));
+  }
+
+  const i64 n = d_.n();
+  const i64 procs = d_.procs();
+  switch (method_) {
+    case Method::Theorem1Constant: {
+      if (ilo_ > ihi_) return Schedule::empty(method_);
+      i64 c = f_.const_value();
+      bool owns = d_.is_replicated() || d_.proc(c) == p;
+      if (!owns) return Schedule::empty(method_);
+      return Schedule::closed_form(method_, {interval_piece(ilo_, ihi_)});
+    }
+    case Method::Replicated: {
+      if (ilo_ > ihi_) return Schedule::empty(method_);
+      return Schedule::closed_form(method_, {interval_piece(ilo_, ihi_)});
+    }
+    case Method::BlockBounds:
+    case Method::MonotoneBlock:
+      return schedule_block_like(p, ilo_, ihi_, method_, f_);
+    case Method::RepeatedBlock: {
+      if (ilo_ > ihi_) return Schedule::empty(method_);
+      const i64 b = d_.block_size();
+      auto [m, M] = f_.image_bounds(ilo_, ihi_);
+      i64 blo = floordiv(std::max<i64>(m, 0), b);
+      i64 bhi = floordiv(std::min<i64>(M, n - 1), b);
+      i64 kmin = std::max<i64>(0, ceildiv(blo - p, procs));
+      i64 kmax = floordiv(bhi - p, procs);
+      std::vector<Piece> pieces;
+      for (i64 k = kmin; k <= kmax; ++k) {
+        i64 t = p + k * procs;  // block index owned by p in cycle k
+        i64 target_lo = t * b;
+        i64 target_hi = std::min(target_lo + b - 1, n - 1);
+        auto iv = f_.preimage_interval(target_lo, target_hi, ilo_, ihi_);
+        if (iv) pieces.push_back(interval_piece(iv->first, iv->second));
+      }
+      return Schedule::closed_form(method_, std::move(pieces));
+    }
+    case Method::RepeatedScatter:
+    case Method::Theorem3Linear:
+    case Method::Corollary1:
+    case Method::Corollary2:
+      return schedule_affine(p, f_.affine_a(), f_.affine_c(), ilo_, ihi_,
+                             method_);
+    case Method::EnumerateK: {
+      if (ilo_ > ihi_)
+        return Schedule::enumerate_k(f_, p, 0, -1, 0, -1, 1);
+      auto [m, M] = f_.image_bounds(ilo_, ihi_);
+      i64 t0 = m + emod(p - m, procs);
+      i64 t1 = M - emod(M - p, procs);
+      return Schedule::enumerate_k(f_, p, ilo_, ihi_, t0, t1, procs);
+    }
+    case Method::RuntimeResolution:
+      return Schedule::runtime_resolution(f_, d_, p, ilo_, ihi_);
+    case Method::PiecewiseSplit:
+      throw InternalError("piecewise plan without sub-plans");
+    case Method::Intersection:
+      throw InternalError(
+          "intersection schedules are built by ClausePlan, not plans");
+  }
+  throw InternalError("for_proc: bad method");
+}
+
+std::vector<Schedule> OwnerComputePlan::all_procs() const {
+  std::vector<Schedule> out;
+  out.reserve(static_cast<std::size_t>(d_.procs()));
+  for (i64 p = 0; p < d_.procs(); ++p) out.push_back(for_proc(p));
+  return out;
+}
+
+std::string OwnerComputePlan::describe() const {
+  std::string out = cat("f(i) = ", f_.str(), " (", fn::to_string(f_.cls()),
+                        "), ", d_.str(), " on ", d_.procs(),
+                        " procs, range ", imin_, ":", imax_, " -> ",
+                        to_string(method_));
+  if (!note_.empty()) out += " (" + note_ + ")";
+  if (method_ == Method::PiecewiseSplit) {
+    for (const auto& sub : subs_)
+      out += "\n    piece " + cat(sub->imin_, ":", sub->imax_, " -> ") +
+             to_string(sub->method_);
+  }
+  return out;
+}
+
+}  // namespace vcal::gen

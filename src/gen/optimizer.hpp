@@ -1,0 +1,113 @@
+// The compile-time set optimizer (Section 3 of the paper).
+//
+// OwnerComputePlan::build converts the membership problem
+//
+//     Modify_p = { i in [imin, imax] | proc(f(i)) = p }
+//
+// into a per-processor Schedule, choosing the strongest applicable result:
+//
+//   f(i) = c                     Theorem 1 (any decomposition)
+//   affine  + block              direct j-range (Table I)
+//   affine  + scatter            Theorem 3, with Corollary 1 (pmax mod a
+//                                = 0) and Corollary 2 (a mod pmax = 0)
+//                                fast paths that avoid Euclid entirely
+//   affine  + block-scatter      Theorem 2 Repeated Block, or the Section
+//                                3.2.i Repeated Scatter form; chosen by
+//                                the paper's rule b <= f_max/(2*pmax)
+//   affine-mod (rotate etc.)     Section 3.3 breakpoint split into affine
+//                                sub-plans
+//   monotone + block/bs          bisection inverse (Table I last row)
+//   monotone + scatter           enumerate-on-k when df/di < pmax pays
+//                                off (end of Section 3.2)
+//   otherwise                    run-time resolution (Section 2.6 code)
+//
+// Plans are built once per (f, decomposition, bounds) — the compile-time
+// work — and instantiated per processor in O(1) closed-form arithmetic
+// (plus one O(log) congruence solve for Theorem 3, which Section 4 argues
+// is negligible and bench/gcd_convergence measures).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gen/schedule.hpp"
+
+namespace vcal::gen {
+
+struct BuildOptions {
+  enum class BsForm { Auto, RepeatedBlock, RepeatedScatter };
+
+  /// Which Theorem 2 formulation to use for block-scatter; Auto applies
+  /// the paper's rule (repeated scatter when b <= f_max / (2 * pmax)).
+  BsForm bs_form = BsForm::Auto;
+
+  /// Permit the enumerate-on-k strategy for monotone f under scatter.
+  bool allow_enumerate_k = true;
+
+  /// Disable every optimization (baseline for benchmarks).
+  bool force_runtime_resolution = false;
+
+  /// Affine-mod functions splitting into more pieces than this fall back
+  /// to run-time resolution.
+  i64 max_pieces = 4096;
+};
+
+class OwnerComputePlan {
+ public:
+  /// Builds the plan; never fails (the fallback is run-time resolution).
+  /// `imin > imax` yields empty schedules everywhere.
+  static OwnerComputePlan build(fn::IndexFn f, decomp::Decomp1D d, i64 imin,
+                                i64 imax, BuildOptions opts = {});
+
+  Method method() const noexcept { return method_; }
+  const decomp::Decomp1D& decomp() const noexcept { return d_; }
+  const fn::IndexFn& f() const noexcept { return f_; }
+  i64 imin() const noexcept { return imin_; }
+  i64 imax() const noexcept { return imax_; }
+
+  /// The schedule for processor p (0 <= p < decomp().procs()).
+  Schedule for_proc(i64 p) const;
+
+  /// Schedules for every processor, index == rank.
+  std::vector<Schedule> all_procs() const;
+
+  /// Loop range clamped to the preimage of the array bounds (equal to
+  /// imin/imax for methods that cannot clamp). clamped_lo > clamped_hi
+  /// means no processor iterates anything.
+  i64 clamped_lo() const noexcept { return ilo_; }
+  i64 clamped_hi() const noexcept { return ihi_; }
+
+  /// Affine sub-plans of a piecewise split (empty otherwise).
+  const std::vector<std::shared_ptr<const OwnerComputePlan>>& sub_plans()
+      const noexcept {
+    return subs_;
+  }
+
+  /// Human-readable account of the decision, e.g.
+  /// "f(i) = 3*i + 1 (affine), scatter on 8: theorem-3-linear, gcd=1".
+  std::string describe() const;
+
+ private:
+  OwnerComputePlan(fn::IndexFn f, decomp::Decomp1D d, i64 imin, i64 imax,
+                   BuildOptions opts);
+
+  Schedule schedule_affine(i64 p, i64 a, i64 c, i64 ilo, i64 ihi,
+                           Method method) const;
+  Schedule schedule_block_like(i64 p, i64 ilo, i64 ihi, Method method,
+                               const fn::IndexFn& f) const;
+
+  fn::IndexFn f_;
+  decomp::Decomp1D d_;
+  i64 imin_;
+  i64 imax_;
+  BuildOptions opts_;
+  Method method_ = Method::RuntimeResolution;
+  i64 ilo_ = 0;   // loop range clamped to the preimage of [0, n)
+  i64 ihi_ = -1;
+  std::string note_;
+  /// Affine sub-plans for PiecewiseSplit, in domain order.
+  std::vector<std::shared_ptr<const OwnerComputePlan>> subs_;
+};
+
+}  // namespace vcal::gen

@@ -1,0 +1,159 @@
+#include "gen/schedule.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/format.hpp"
+
+namespace vcal::gen {
+
+std::string to_string(Method m) {
+  switch (m) {
+    case Method::Theorem1Constant:
+      return "theorem-1-constant";
+    case Method::BlockBounds:
+      return "block-bounds";
+    case Method::RepeatedBlock:
+      return "repeated-block";
+    case Method::RepeatedScatter:
+      return "repeated-scatter";
+    case Method::Theorem3Linear:
+      return "theorem-3-linear";
+    case Method::Corollary1:
+      return "corollary-1";
+    case Method::Corollary2:
+      return "corollary-2";
+    case Method::PiecewiseSplit:
+      return "piecewise-split";
+    case Method::MonotoneBlock:
+      return "monotone-block";
+    case Method::EnumerateK:
+      return "enumerate-k";
+    case Method::Replicated:
+      return "replicated";
+    case Method::Intersection:
+      return "intersection";
+    case Method::RuntimeResolution:
+      return "runtime-resolution";
+  }
+  return "?";
+}
+
+Schedule Schedule::closed_form(Method m, std::vector<Piece> pieces) {
+  Schedule s(m);
+  for (const Piece& p : pieces) {
+    require(p.count >= 0, "Piece with negative count");
+    require(p.stride != 0 || p.count <= 1, "Piece with zero stride");
+    if (p.count > 0) s.pieces_.push_back(p);
+  }
+  return s;
+}
+
+Schedule Schedule::empty(Method m) { return Schedule(m); }
+
+Schedule Schedule::runtime_resolution(fn::IndexFn f, decomp::Decomp1D d,
+                                      i64 p, i64 ilo, i64 ihi) {
+  Schedule s(Method::RuntimeResolution);
+  Probe pr{std::move(f), std::move(d), p, ilo, ihi, 0, -1, 1};
+  s.probe_ = std::move(pr);
+  return s;
+}
+
+Schedule Schedule::enumerate_k(fn::IndexFn f, i64 p, i64 ilo, i64 ihi,
+                               i64 first_t, i64 last_t, i64 t_step) {
+  require(t_step > 0, "enumerate_k needs positive t step");
+  Schedule s(Method::EnumerateK);
+  Probe pr{std::move(f), std::nullopt, p, ilo, ihi, first_t, last_t, t_step};
+  s.probe_ = std::move(pr);
+  return s;
+}
+
+const std::vector<Piece>& Schedule::pieces() const {
+  require(is_closed_form(), "pieces() on a probing schedule");
+  return pieces_;
+}
+
+std::vector<i64> Schedule::materialize(EnumStats* stats) const {
+  std::vector<i64> out;
+  EnumStats local;
+  if (!probe_) {
+    for (const Piece& p : pieces_) {
+      ++local.pieces;
+      i64 v = p.start;
+      for (i64 k = 0; k < p.count; ++k) {
+        out.push_back(v);
+        v += p.stride;
+        ++local.loop_iters;
+        ++local.yielded;
+      }
+    }
+  } else if (method_ == Method::RuntimeResolution) {
+    const Probe& pr = *probe_;
+    ++local.pieces;
+    for (i64 i = pr.ilo; i <= pr.ihi; ++i) {
+      ++local.loop_iters;
+      ++local.tests;
+      i64 v = pr.f(i);
+      if (!in_range(v, 0, pr.d->n() - 1)) continue;
+      bool owned = pr.d->is_replicated() || pr.d->proc(v) == pr.p;
+      if (owned) {
+        out.push_back(i);
+        ++local.yielded;
+      }
+    }
+  } else {  // EnumerateK
+    const Probe& pr = *probe_;
+    ++local.pieces;
+    for (i64 t = pr.first_t; t <= pr.last_t; t += pr.t_step) {
+      ++local.loop_iters;
+      ++local.tests;
+      auto iv = pr.f.preimage_interval(t, t, pr.ilo, pr.ihi);
+      if (!iv) continue;
+      for (i64 i = iv->first; i <= iv->second; ++i) {
+        if (pr.f(i) == t) {  // guard against weakly monotone plateaus
+          out.push_back(i);
+          ++local.yielded;
+        }
+      }
+    }
+  }
+  if (stats) *stats += local;
+  return out;
+}
+
+std::vector<i64> Schedule::materialize_sorted(EnumStats* stats) const {
+  std::vector<i64> out = materialize(stats);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+i64 Schedule::count() const {
+  if (!probe_) {
+    i64 c = 0;
+    for (const Piece& p : pieces_) c += p.count;
+    return c;
+  }
+  return static_cast<i64>(materialize().size());
+}
+
+std::string Schedule::str() const {
+  std::string out = to_string(method_);
+  if (!probe_) {
+    std::vector<std::string> parts;
+    for (const Piece& p : pieces_) {
+      if (p.stride == 1)
+        parts.push_back(cat(p.start, ":", p.last()));
+      else
+        parts.push_back(cat(p.start, ":", p.last(), ":", p.stride));
+    }
+    out += " [" + join(parts, ", ") + "]";
+  } else if (method_ == Method::RuntimeResolution) {
+    out += cat(" [scan ", probe_->ilo, ":", probe_->ihi, "]");
+  } else {
+    out += cat(" [t=", probe_->first_t, ":", probe_->last_t, ":",
+               probe_->t_step, "]");
+  }
+  return out;
+}
+
+}  // namespace vcal::gen

@@ -1,0 +1,126 @@
+// Per-processor iteration schedules.
+//
+// A Schedule answers, for one processor p, the paper's central question:
+// which loop indices i in [imin, imax] satisfy proc(f(i)) = p — and at
+// what cost. Closed-form methods (Theorems 1-3) produce arithmetic-
+// progression pieces enumerated with zero membership tests; probing
+// methods (enumerate-on-k, run-time resolution) carry the index function
+// and decomposition and count every test they perform, so benchmarks can
+// report exactly the quantities the paper argues about.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "decomp/decomp1d.hpp"
+#include "fn/index_fn.hpp"
+
+namespace vcal::gen {
+
+/// Which Table I cell / theorem produced a schedule.
+enum class Method {
+  Theorem1Constant,   // f(i) = c: one processor gets the whole range
+  BlockBounds,        // block decomposition, direct j-range
+  RepeatedBlock,      // Theorem 2: general BS(b), loop over k then j
+  RepeatedScatter,    // Section 3.2.i alternative for BS(b)
+  Theorem3Linear,     // scatter + affine via the diophantine progression
+  Corollary1,         // scatter + affine, pmax mod a == 0
+  Corollary2,         // scatter + affine, a mod pmax == 0
+  PiecewiseSplit,     // Section 3.3: affine-mod split at breakpoints
+  MonotoneBlock,      // block + monotone f via bisection inverse
+  EnumerateK,         // Section 3.2 end: walk k, probe f^-1
+  Replicated,         // replicated array: every processor owns everything
+  Intersection,       // conjunction of several per-dimension schedules
+  RuntimeResolution,  // fallback: scan the range testing proc(f(i)) = p
+};
+
+std::string to_string(Method m);
+
+/// One arithmetic-progression piece: emits start + j*stride for
+/// j = 0 .. count-1.
+struct Piece {
+  i64 start = 0;
+  i64 count = 0;
+  i64 stride = 1;
+
+  i64 last() const { return start + (count - 1) * stride; }
+};
+
+/// Counters accumulated while enumerating a schedule. `tests` counts
+/// membership/probe evaluations (the run-time overhead the optimizations
+/// eliminate); `loop_iters` counts loop-body entries including overhead
+/// iterations that yield nothing; `yielded` counts produced indices.
+struct EnumStats {
+  i64 tests = 0;
+  i64 loop_iters = 0;
+  i64 yielded = 0;
+  i64 pieces = 0;
+
+  EnumStats& operator+=(const EnumStats& o) {
+    tests += o.tests;
+    loop_iters += o.loop_iters;
+    yielded += o.yielded;
+    pieces += o.pieces;
+    return *this;
+  }
+};
+
+class Schedule {
+ public:
+  /// Closed-form schedule from pieces (no tests at enumeration time).
+  static Schedule closed_form(Method m, std::vector<Piece> pieces);
+
+  /// Empty schedule (processor executes nothing).
+  static Schedule empty(Method m);
+
+  /// Run-time resolution: scan [ilo, ihi], keep i with proc(f(i)) == p
+  /// (f-images outside [0, d.n()-1] are skipped and still cost a test).
+  static Schedule runtime_resolution(fn::IndexFn f, decomp::Decomp1D d,
+                                     i64 p, i64 ilo, i64 ihi);
+
+  /// Enumerate-on-k (Section 3.2 end): for t = first_t, first_t + t_step,
+  /// ... <= last_t, probe the monotone f for preimages of t within
+  /// [ilo, ihi]; each probe is one test.
+  static Schedule enumerate_k(fn::IndexFn f, i64 p, i64 ilo, i64 ihi,
+                              i64 first_t, i64 last_t, i64 t_step);
+
+  Method method() const noexcept { return method_; }
+
+  /// True when enumeration needs no membership tests.
+  bool is_closed_form() const noexcept { return !probe_.has_value(); }
+
+  const std::vector<Piece>& pieces() const;
+
+  /// Produces the indices (ascending within each piece; use
+  /// materialize_sorted for set comparisons) and accumulates counters.
+  std::vector<i64> materialize(EnumStats* stats = nullptr) const;
+
+  /// materialize() then sort (schedule order across pieces need not be
+  /// globally ascending, e.g. repeated scatter interleaves).
+  std::vector<i64> materialize_sorted(EnumStats* stats = nullptr) const;
+
+  /// Exact element count. O(#pieces) for closed forms; enumerates for
+  /// probing schedules.
+  i64 count() const;
+
+  /// E.g. "theorem-3 [x0=3 stride=4 t=0:24]".
+  std::string str() const;
+
+ private:
+  struct Probe {
+    fn::IndexFn f;
+    std::optional<decomp::Decomp1D> d;  // RuntimeResolution only
+    i64 p = 0;
+    i64 ilo = 0, ihi = -1;
+    i64 first_t = 0, last_t = -1, t_step = 1;  // EnumerateK only
+  };
+
+  explicit Schedule(Method m) : method_(m) {}
+
+  Method method_;
+  std::vector<Piece> pieces_;
+  std::optional<Probe> probe_;
+};
+
+}  // namespace vcal::gen

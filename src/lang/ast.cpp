@@ -1,0 +1,107 @@
+#include "lang/ast.hpp"
+
+#include "support/error.hpp"
+#include "support/format.hpp"
+
+namespace vcal::lang {
+
+namespace {
+
+int prec(AExpr::Kind k) {
+  switch (k) {
+    case AExpr::Kind::Int:
+    case AExpr::Kind::Real:
+    case AExpr::Kind::Var:
+    case AExpr::Kind::Ref:
+      return 4;
+    case AExpr::Kind::Neg:
+      return 3;
+    case AExpr::Kind::Mul:
+    case AExpr::Kind::RealDiv:
+    case AExpr::Kind::IntDiv:
+    case AExpr::Kind::Mod:
+      return 2;
+    case AExpr::Kind::Add:
+    case AExpr::Kind::Sub:
+      return 1;
+  }
+  return 0;
+}
+
+std::string print(const AExprPtr& e, int parent) {
+  std::string out;
+  switch (e->kind) {
+    case AExpr::Kind::Int:
+      out = std::to_string(e->int_value);
+      break;
+    case AExpr::Kind::Real:
+      out = cat(e->real_value);
+      break;
+    case AExpr::Kind::Var:
+      out = e->name;
+      break;
+    case AExpr::Kind::Ref: {
+      std::vector<std::string> parts;
+      for (const auto& s : e->subs) parts.push_back(print(s, 0));
+      out = e->name + "[" + join(parts, ", ") + "]";
+      break;
+    }
+    case AExpr::Kind::Neg:
+      out = "-" + print(e->lhs, 3);
+      break;
+    case AExpr::Kind::Add:
+      out = print(e->lhs, 1) + " + " + print(e->rhs, 1);
+      break;
+    case AExpr::Kind::Sub:
+      out = print(e->lhs, 1) + " - " + print(e->rhs, 2);
+      break;
+    case AExpr::Kind::Mul:
+      out = print(e->lhs, 2) + "*" + print(e->rhs, 2);
+      break;
+    case AExpr::Kind::RealDiv:
+      out = print(e->lhs, 2) + "/" + print(e->rhs, 3);
+      break;
+    case AExpr::Kind::IntDiv:
+      out = print(e->lhs, 2) + " div " + print(e->rhs, 3);
+      break;
+    case AExpr::Kind::Mod:
+      out = print(e->lhs, 2) + " mod " + print(e->rhs, 3);
+      break;
+  }
+  if (prec(e->kind) < parent) return "(" + out + ")";
+  return out;
+}
+
+}  // namespace
+
+std::string to_string(const AExprPtr& e) {
+  require(e != nullptr, "to_string of null AExpr");
+  return print(e, 0);
+}
+
+AExprPtr substitute(const AExprPtr& tree, const std::string& var,
+                    const AExprPtr& replacement) {
+  require(tree != nullptr, "substitute on null AExpr");
+  switch (tree->kind) {
+    case AExpr::Kind::Int:
+    case AExpr::Kind::Real:
+      return tree;
+    case AExpr::Kind::Var:
+      return tree->name == var ? replacement : tree;
+    case AExpr::Kind::Ref: {
+      AExpr n = *tree;
+      n.subs.clear();
+      for (const AExprPtr& s : tree->subs)
+        n.subs.push_back(substitute(s, var, replacement));
+      return std::make_shared<AExpr>(std::move(n));
+    }
+    default: {
+      AExpr n = *tree;
+      if (tree->lhs) n.lhs = substitute(tree->lhs, var, replacement);
+      if (tree->rhs) n.rhs = substitute(tree->rhs, var, replacement);
+      return std::make_shared<AExpr>(std::move(n));
+    }
+  }
+}
+
+}  // namespace vcal::lang

@@ -1,0 +1,143 @@
+// Abstract syntax of vexl.
+//
+//   program      := decl* stmt*
+//   decl         := "processors" INT ";"
+//                 | "array" IDENT "[" range ("," range)* "]" ";"
+//                 | "distribute" IDENT dist ";"
+//   dist         := "replicated" | dist1 | "(" dist1 ("," dist1)* ")"
+//   dist1        := "block" | "scatter" | "blockscatter" "(" INT ")" | "*"
+//   stmt         := loop | assign | "redistribute" IDENT dist ";"
+//   loop         := ("forall" | "for") iters ("|" cond)? "do" assign+ "od"
+//   iters        := IDENT "in" expr ":" expr ("," ...)*
+//   assign       := IDENT "[" expr ("," expr)* "]" ":=" expr ";"
+//   cond         := expr relop expr
+//   expr         := usual arithmetic; "div"/"mod" are integer-only
+//
+// "forall" is the paper's '//' ordering, "for" is '•'.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "vcal/expr.hpp"
+
+namespace vcal::lang {
+
+struct AExpr;
+using AExprPtr = std::shared_ptr<const AExpr>;
+
+struct AExpr {
+  enum class Kind {
+    Int,
+    Real,
+    Var,     // loop-variable use
+    Ref,     // array element read
+    Add,
+    Sub,
+    Mul,
+    RealDiv,  // '/'
+    IntDiv,   // 'div'
+    Mod,      // 'mod'
+    Neg,
+  };
+
+  Kind kind;
+  i64 int_value = 0;
+  double real_value = 0.0;
+  std::string name;             // Var / Ref
+  std::vector<AExprPtr> subs;   // Ref subscripts
+  AExprPtr lhs, rhs;
+  int line = 0, col = 0;
+};
+
+struct ACond {
+  prog::Guard::Cmp cmp;
+  AExprPtr lhs, rhs;
+};
+
+struct AIter {
+  std::string var;
+  AExprPtr lo, hi;  // constant integer expressions
+  int line = 0, col = 0;
+};
+
+struct AAssign {
+  std::string array;
+  std::vector<AExprPtr> subs;
+  AExprPtr value;
+  int line = 0, col = 0;
+};
+
+struct ALoop {
+  bool parallel = true;  // forall vs for
+  std::vector<AIter> iters;
+  std::optional<ACond> guard;
+  std::vector<AAssign> body;
+  int line = 0, col = 0;
+};
+
+struct ADistDim {
+  enum class Kind { Block, Scatter, BlockScatter, Star };
+  Kind kind = Kind::Block;
+  i64 block = 1;  // BlockScatter parameter
+};
+
+struct ADistSpec {
+  bool replicated = false;
+  std::vector<ADistDim> dims;  // empty when replicated
+  i64 overlap = 0;             // halo width (1-D block only)
+};
+
+struct AArrayDecl {
+  std::string name;
+  std::vector<std::pair<AExprPtr, AExprPtr>> bounds;
+  int line = 0, col = 0;
+};
+
+/// A named view: `view V[lo:hi] = A[expr, ...];` — V[s] aliases the base
+/// element reached by substituting s for the view's parameter variable
+/// (the unique variable appearing in the subscripts). Views may be
+/// declared over earlier views; they compose by substitution — the
+/// calculus' contraction rule, performed in the front end.
+struct AViewDecl {
+  std::string name;
+  AExprPtr lo, hi;  // constant bounds of the view's index space
+  std::string base;
+  std::vector<AExprPtr> subs;
+  int line = 0, col = 0;
+};
+
+struct ADistribute {
+  std::string name;
+  ADistSpec spec;
+  int line = 0, col = 0;
+};
+
+struct ARedistribute {
+  std::string name;
+  ADistSpec spec;
+  int line = 0, col = 0;
+};
+
+using AStmt = std::variant<ALoop, AAssign, ARedistribute>;
+
+struct AProgram {
+  i64 procs = 1;
+  std::vector<AArrayDecl> arrays;
+  std::vector<AViewDecl> views;
+  std::vector<ADistribute> distributes;
+  std::vector<AStmt> stmts;
+};
+
+/// Renders an expression back to vexl-ish source (tests, diagnostics).
+std::string to_string(const AExprPtr& e);
+
+/// Returns `tree` with every use of variable `var` replaced by
+/// `replacement` (view substitution / contraction).
+AExprPtr substitute(const AExprPtr& tree, const std::string& var,
+                    const AExprPtr& replacement);
+
+}  // namespace vcal::lang

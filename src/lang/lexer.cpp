@@ -1,0 +1,190 @@
+#include "lang/lexer.hpp"
+
+#include <cctype>
+
+#include "support/error.hpp"
+
+namespace vcal::lang {
+
+namespace {
+
+class Cursor {
+ public:
+  explicit Cursor(const std::string& src) : src_(src) {}
+
+  bool done() const { return pos_ >= src_.size(); }
+  char peek() const { return done() ? '\0' : src_[pos_]; }
+  char peek2() const {
+    return pos_ + 1 < src_.size() ? src_[pos_ + 1] : '\0';
+  }
+  char advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+  int line() const { return line_; }
+  int col() const { return col_; }
+
+ private:
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& source) {
+  std::vector<Token> out;
+  Cursor c(source);
+
+  auto push = [&](Tok kind, int line, int col) {
+    Token t;
+    t.kind = kind;
+    t.line = line;
+    t.col = col;
+    out.push_back(std::move(t));
+  };
+
+  while (!c.done()) {
+    char ch = c.peek();
+    int line = c.line(), col = c.col();
+
+    if (std::isspace(static_cast<unsigned char>(ch))) {
+      c.advance();
+      continue;
+    }
+    if (ch == '#') {
+      while (!c.done() && c.peek() != '\n') c.advance();
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(ch)) || ch == '_') {
+      std::string word;
+      while (!c.done() && (std::isalnum(static_cast<unsigned char>(
+                               c.peek())) ||
+                           c.peek() == '_'))
+        word += c.advance();
+      Token t;
+      t.kind = keyword_or_ident(word);
+      t.text = word;
+      t.line = line;
+      t.col = col;
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(ch))) {
+      std::string digits;
+      bool is_real = false;
+      while (!c.done() &&
+             std::isdigit(static_cast<unsigned char>(c.peek())))
+        digits += c.advance();
+      if (!c.done() && c.peek() == '.' &&
+          std::isdigit(static_cast<unsigned char>(c.peek2()))) {
+        is_real = true;
+        digits += c.advance();  // '.'
+        while (!c.done() &&
+               std::isdigit(static_cast<unsigned char>(c.peek())))
+          digits += c.advance();
+      }
+      Token t;
+      t.line = line;
+      t.col = col;
+      if (is_real) {
+        t.kind = Tok::Real;
+        t.real_value = std::stod(digits);
+      } else {
+        t.kind = Tok::Int;
+        try {
+          t.int_value = std::stoll(digits);
+        } catch (const std::out_of_range&) {
+          throw ParseError("integer literal too large", line, col);
+        }
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    c.advance();
+    switch (ch) {
+      case '[':
+        push(Tok::LBracket, line, col);
+        break;
+      case ']':
+        push(Tok::RBracket, line, col);
+        break;
+      case '(':
+        push(Tok::LParen, line, col);
+        break;
+      case ')':
+        push(Tok::RParen, line, col);
+        break;
+      case ',':
+        push(Tok::Comma, line, col);
+        break;
+      case ';':
+        push(Tok::Semicolon, line, col);
+        break;
+      case '+':
+        push(Tok::Plus, line, col);
+        break;
+      case '-':
+        push(Tok::Minus, line, col);
+        break;
+      case '*':
+        push(Tok::Star, line, col);
+        break;
+      case '/':
+        push(Tok::Slash, line, col);
+        break;
+      case '|':
+        push(Tok::Bar, line, col);
+        break;
+      case '=':
+        push(Tok::Eq, line, col);
+        break;
+      case ':':
+        if (c.peek() == '=') {
+          c.advance();
+          push(Tok::Assign, line, col);
+        } else {
+          push(Tok::Colon, line, col);
+        }
+        break;
+      case '<':
+        if (c.peek() == '=') {
+          c.advance();
+          push(Tok::Le, line, col);
+        } else if (c.peek() == '>') {
+          c.advance();
+          push(Tok::Ne, line, col);
+        } else {
+          push(Tok::Lt, line, col);
+        }
+        break;
+      case '>':
+        if (c.peek() == '=') {
+          c.advance();
+          push(Tok::Ge, line, col);
+        } else {
+          push(Tok::Gt, line, col);
+        }
+        break;
+      default:
+        throw ParseError(std::string("unexpected character '") + ch + "'",
+                         line, col);
+    }
+  }
+  Token end;
+  end.kind = Tok::End;
+  end.line = c.line();
+  end.col = c.col();
+  out.push_back(end);
+  return out;
+}
+
+}  // namespace vcal::lang

@@ -1,0 +1,15 @@
+// Lexer for vexl. '#' starts a comment running to end of line.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lang/token.hpp"
+
+namespace vcal::lang {
+
+/// Tokenizes the whole source; the last token is always Tok::End.
+/// Throws ParseError on unknown characters or malformed numbers.
+std::vector<Token> lex(const std::string& source);
+
+}  // namespace vcal::lang

@@ -1,0 +1,379 @@
+#include "lang/parser.hpp"
+
+#include "lang/lexer.hpp"
+#include "support/error.hpp"
+
+namespace vcal::lang {
+
+namespace {
+
+AExprPtr make_expr(AExpr e) { return std::make_shared<AExpr>(std::move(e)); }
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  AProgram program() {
+    AProgram p;
+    // Declarations come first; statements follow.
+    for (;;) {
+      if (at(Tok::KwProcessors)) {
+        advance();
+        Token n = expect(Tok::Int, "processor count");
+        p.procs = n.int_value;
+        if (p.procs < 1) err("processor count must be >= 1", n);
+        expect(Tok::Semicolon, "';' after processors");
+      } else if (at(Tok::KwArray)) {
+        p.arrays.push_back(array_decl());
+      } else if (at(Tok::KwView)) {
+        p.views.push_back(view_decl());
+      } else if (at(Tok::KwDistribute)) {
+        p.distributes.push_back(distribute_decl());
+      } else {
+        break;
+      }
+    }
+    while (!at(Tok::End)) p.stmts.push_back(statement());
+    return p;
+  }
+
+ private:
+  const Token& cur() const { return toks_[pos_]; }
+  bool at(Tok t) const { return cur().kind == t; }
+  Token advance() { return toks_[pos_++]; }
+
+  [[noreturn]] void err(const std::string& msg, const Token& t) const {
+    throw ParseError(msg + " (found " + to_string(t.kind) + ")", t.line,
+                     t.col);
+  }
+
+  Token expect(Tok t, const std::string& what) {
+    if (!at(t)) err("expected " + what, cur());
+    return advance();
+  }
+
+  AArrayDecl array_decl() {
+    Token kw = expect(Tok::KwArray, "'array'");
+    AArrayDecl d;
+    d.line = kw.line;
+    d.col = kw.col;
+    d.name = expect(Tok::Ident, "array name").text;
+    expect(Tok::LBracket, "'[' after array name");
+    for (;;) {
+      AExprPtr lo = expr();
+      expect(Tok::Colon, "':' in array bounds");
+      AExprPtr hi = expr();
+      d.bounds.emplace_back(std::move(lo), std::move(hi));
+      if (at(Tok::Comma)) {
+        advance();
+        continue;
+      }
+      break;
+    }
+    expect(Tok::RBracket, "']' closing array bounds");
+    expect(Tok::Semicolon, "';' after array declaration");
+    return d;
+  }
+
+  AViewDecl view_decl() {
+    Token kw = expect(Tok::KwView, "'view'");
+    AViewDecl v;
+    v.line = kw.line;
+    v.col = kw.col;
+    v.name = expect(Tok::Ident, "view name").text;
+    expect(Tok::LBracket, "'[' after view name");
+    v.lo = expr();
+    expect(Tok::Colon, "':' in view bounds");
+    v.hi = expr();
+    expect(Tok::RBracket, "']' closing view bounds");
+    expect(Tok::Eq, "'=' in view declaration");
+    v.base = expect(Tok::Ident, "base array of the view").text;
+    expect(Tok::LBracket, "'[' after the view's base array");
+    v.subs.push_back(expr());
+    while (at(Tok::Comma)) {
+      advance();
+      v.subs.push_back(expr());
+    }
+    expect(Tok::RBracket, "']' closing the view map");
+    expect(Tok::Semicolon, "';' after view declaration");
+    return v;
+  }
+
+  ADistDim dist_dim() {
+    ADistDim d;
+    if (at(Tok::KwBlock)) {
+      advance();
+      d.kind = ADistDim::Kind::Block;
+    } else if (at(Tok::KwScatter)) {
+      advance();
+      d.kind = ADistDim::Kind::Scatter;
+    } else if (at(Tok::KwBlockScatter)) {
+      advance();
+      expect(Tok::LParen, "'(' after blockscatter");
+      Token b = expect(Tok::Int, "block size");
+      if (b.int_value < 1) err("block size must be >= 1", b);
+      d.kind = ADistDim::Kind::BlockScatter;
+      d.block = b.int_value;
+      expect(Tok::RParen, "')' closing blockscatter");
+    } else if (at(Tok::Star)) {
+      advance();
+      d.kind = ADistDim::Kind::Star;
+    } else {
+      err("expected a distribution (block, scatter, blockscatter(b), *)",
+          cur());
+    }
+    return d;
+  }
+
+  ADistSpec dist_spec() {
+    ADistSpec spec;
+    if (at(Tok::KwReplicated)) {
+      advance();
+      spec.replicated = true;
+      return spec;
+    }
+    if (at(Tok::LParen)) {
+      advance();
+      spec.dims.push_back(dist_dim());
+      while (at(Tok::Comma)) {
+        advance();
+        spec.dims.push_back(dist_dim());
+      }
+      expect(Tok::RParen, "')' closing distribution list");
+    } else {
+      spec.dims.push_back(dist_dim());
+    }
+    if (at(Tok::KwOverlap)) {
+      advance();
+      expect(Tok::LParen, "'(' after overlap");
+      Token h = expect(Tok::Int, "halo width");
+      if (h.int_value < 0) err("halo width must be >= 0", h);
+      spec.overlap = h.int_value;
+      expect(Tok::RParen, "')' closing overlap");
+    }
+    return spec;
+  }
+
+  ADistribute distribute_decl() {
+    Token kw = expect(Tok::KwDistribute, "'distribute'");
+    ADistribute d;
+    d.line = kw.line;
+    d.col = kw.col;
+    d.name = expect(Tok::Ident, "array name after distribute").text;
+    d.spec = dist_spec();
+    expect(Tok::Semicolon, "';' after distribute");
+    return d;
+  }
+
+  AStmt statement() {
+    if (at(Tok::KwForall) || at(Tok::KwFor)) return loop();
+    if (at(Tok::KwRedistribute)) {
+      Token kw = advance();
+      ARedistribute r;
+      r.line = kw.line;
+      r.col = kw.col;
+      r.name = expect(Tok::Ident, "array name after redistribute").text;
+      r.spec = dist_spec();
+      expect(Tok::Semicolon, "';' after redistribute");
+      return r;
+    }
+    if (at(Tok::Ident)) return assignment();
+    err("expected a statement", cur());
+  }
+
+  ALoop loop() {
+    Token kw = advance();  // forall / for
+    ALoop l;
+    l.line = kw.line;
+    l.col = kw.col;
+    l.parallel = (kw.kind == Tok::KwForall);
+    for (;;) {
+      AIter it;
+      Token v = expect(Tok::Ident, "loop variable");
+      it.var = v.text;
+      it.line = v.line;
+      it.col = v.col;
+      expect(Tok::KwIn, "'in' after loop variable");
+      it.lo = expr();
+      expect(Tok::Colon, "':' in loop range");
+      it.hi = expr();
+      l.iters.push_back(std::move(it));
+      if (at(Tok::Comma)) {
+        advance();
+        continue;
+      }
+      break;
+    }
+    if (at(Tok::Bar)) {
+      advance();
+      l.guard = condition();
+    }
+    expect(Tok::KwDo, "'do' opening the loop body");
+    while (!at(Tok::KwOd)) l.body.push_back(assignment());
+    expect(Tok::KwOd, "'od' closing the loop body");
+    if (l.body.empty()) err("loop body is empty", cur());
+    return l;
+  }
+
+  AAssign assignment() {
+    Token name = expect(Tok::Ident, "array name");
+    AAssign a;
+    a.array = name.text;
+    a.line = name.line;
+    a.col = name.col;
+    expect(Tok::LBracket, "'[' after array name");
+    a.subs.push_back(expr());
+    while (at(Tok::Comma)) {
+      advance();
+      a.subs.push_back(expr());
+    }
+    expect(Tok::RBracket, "']' closing subscripts");
+    expect(Tok::Assign, "':='");
+    a.value = expr();
+    expect(Tok::Semicolon, "';' after assignment");
+    return a;
+  }
+
+  ACond condition() {
+    ACond c;
+    c.lhs = expr();
+    switch (cur().kind) {
+      case Tok::Lt:
+        c.cmp = prog::Guard::Cmp::LT;
+        break;
+      case Tok::Le:
+        c.cmp = prog::Guard::Cmp::LE;
+        break;
+      case Tok::Gt:
+        c.cmp = prog::Guard::Cmp::GT;
+        break;
+      case Tok::Ge:
+        c.cmp = prog::Guard::Cmp::GE;
+        break;
+      case Tok::Eq:
+        c.cmp = prog::Guard::Cmp::EQ;
+        break;
+      case Tok::Ne:
+        c.cmp = prog::Guard::Cmp::NE;
+        break;
+      default:
+        err("expected a comparison operator in the guard", cur());
+    }
+    advance();
+    c.rhs = expr();
+    return c;
+  }
+
+  AExprPtr expr() {
+    AExprPtr e = term();
+    while (at(Tok::Plus) || at(Tok::Minus)) {
+      Token op = advance();
+      AExpr n;
+      n.kind = op.kind == Tok::Plus ? AExpr::Kind::Add : AExpr::Kind::Sub;
+      n.line = op.line;
+      n.col = op.col;
+      n.lhs = e;
+      n.rhs = term();
+      e = make_expr(std::move(n));
+    }
+    return e;
+  }
+
+  AExprPtr term() {
+    AExprPtr e = factor();
+    while (at(Tok::Star) || at(Tok::Slash) || at(Tok::KwDiv) ||
+           at(Tok::KwMod)) {
+      Token op = advance();
+      AExpr n;
+      switch (op.kind) {
+        case Tok::Star:
+          n.kind = AExpr::Kind::Mul;
+          break;
+        case Tok::Slash:
+          n.kind = AExpr::Kind::RealDiv;
+          break;
+        case Tok::KwDiv:
+          n.kind = AExpr::Kind::IntDiv;
+          break;
+        default:
+          n.kind = AExpr::Kind::Mod;
+          break;
+      }
+      n.line = op.line;
+      n.col = op.col;
+      n.lhs = e;
+      n.rhs = factor();
+      e = make_expr(std::move(n));
+    }
+    return e;
+  }
+
+  AExprPtr factor() {
+    Token t = cur();
+    if (at(Tok::Minus)) {
+      advance();
+      AExpr n;
+      n.kind = AExpr::Kind::Neg;
+      n.line = t.line;
+      n.col = t.col;
+      n.lhs = factor();
+      return make_expr(std::move(n));
+    }
+    if (at(Tok::Int)) {
+      advance();
+      AExpr n;
+      n.kind = AExpr::Kind::Int;
+      n.int_value = t.int_value;
+      n.line = t.line;
+      n.col = t.col;
+      return make_expr(std::move(n));
+    }
+    if (at(Tok::Real)) {
+      advance();
+      AExpr n;
+      n.kind = AExpr::Kind::Real;
+      n.real_value = t.real_value;
+      n.line = t.line;
+      n.col = t.col;
+      return make_expr(std::move(n));
+    }
+    if (at(Tok::LParen)) {
+      advance();
+      AExprPtr e = expr();
+      expect(Tok::RParen, "')'");
+      return e;
+    }
+    if (at(Tok::Ident)) {
+      advance();
+      AExpr n;
+      n.line = t.line;
+      n.col = t.col;
+      n.name = t.text;
+      if (at(Tok::LBracket)) {
+        advance();
+        n.kind = AExpr::Kind::Ref;
+        n.subs.push_back(expr());
+        while (at(Tok::Comma)) {
+          advance();
+          n.subs.push_back(expr());
+        }
+        expect(Tok::RBracket, "']' closing subscripts");
+      } else {
+        n.kind = AExpr::Kind::Var;
+      }
+      return make_expr(std::move(n));
+    }
+    err("expected an expression", t);
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+AProgram parse(const std::string& source) {
+  return Parser(lex(source)).program();
+}
+
+}  // namespace vcal::lang

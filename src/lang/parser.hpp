@@ -1,0 +1,14 @@
+// Recursive-descent parser for vexl.
+#pragma once
+
+#include <string>
+
+#include "lang/ast.hpp"
+
+namespace vcal::lang {
+
+/// Parses a complete vexl program. Throws ParseError with line/column on
+/// syntax errors.
+AProgram parse(const std::string& source);
+
+}  // namespace vcal::lang

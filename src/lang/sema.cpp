@@ -1,0 +1,147 @@
+#include "lang/sema.hpp"
+
+#include "support/error.hpp"
+#include "support/format.hpp"
+
+namespace vcal::lang {
+
+i64 eval_const_int(const AExprPtr& e) {
+  require(e != nullptr, "eval_const_int of null expression");
+  switch (e->kind) {
+    case AExpr::Kind::Int:
+      return e->int_value;
+    case AExpr::Kind::Real:
+      throw SemanticError("real literal in an integer context");
+    case AExpr::Kind::Var:
+      throw SemanticError("variable '" + e->name +
+                          "' in a constant context");
+    case AExpr::Kind::Ref:
+      throw SemanticError("array read of '" + e->name +
+                          "' in a constant context");
+    case AExpr::Kind::Neg:
+      return -eval_const_int(e->lhs);
+    case AExpr::Kind::Add:
+      return add_checked(eval_const_int(e->lhs), eval_const_int(e->rhs));
+    case AExpr::Kind::Sub:
+      return add_checked(eval_const_int(e->lhs), -eval_const_int(e->rhs));
+    case AExpr::Kind::Mul:
+      return mul_checked(eval_const_int(e->lhs), eval_const_int(e->rhs));
+    case AExpr::Kind::IntDiv: {
+      i64 d = eval_const_int(e->rhs);
+      if (d == 0) throw SemanticError("constant division by zero");
+      return floordiv(eval_const_int(e->lhs), d);
+    }
+    case AExpr::Kind::Mod: {
+      i64 d = eval_const_int(e->rhs);
+      if (d == 0) throw SemanticError("constant modulus of zero");
+      return emod(eval_const_int(e->lhs), d);
+    }
+    case AExpr::Kind::RealDiv:
+      throw SemanticError("'/' in an integer context; use 'div'");
+  }
+  throw InternalError("eval_const_int: bad kind");
+}
+
+decomp::ArrayDesc build_desc(const std::string& name,
+                             const std::vector<i64>& lo,
+                             const std::vector<i64>& hi,
+                             const ADistSpec& spec, i64 procs) {
+  if (spec.replicated)
+    return decomp::ArrayDesc::replicated(name, lo, hi, procs);
+
+  if (spec.dims.size() != lo.size())
+    throw SemanticError(cat("array ", name, " has ", lo.size(),
+                            " dimensions but the distribution names ",
+                            spec.dims.size()));
+
+  // Assign grid extents to the distributed dimensions.
+  std::vector<std::size_t> distributed;
+  for (std::size_t d = 0; d < spec.dims.size(); ++d)
+    if (spec.dims[d].kind != ADistDim::Kind::Star) distributed.push_back(d);
+
+  std::vector<i64> extent(spec.dims.size(), 1);
+  if (distributed.empty()) {
+    if (procs != 1)
+      throw SemanticError("array " + name +
+                          " is distributed over no dimension ('*' "
+                          "everywhere); declare it 'replicated' instead");
+  } else if (distributed.size() == 1) {
+    extent[distributed[0]] = procs;
+  } else {
+    // Balanced factorization over however many dimensions distribute
+    // (larger extents go to earlier distributed dimensions).
+    decomp::ProcGrid g = decomp::ProcGrid::balanced(
+        procs, static_cast<int>(distributed.size()));
+    for (std::size_t k = 0; k < distributed.size(); ++k)
+      extent[distributed[k]] = g.extent(static_cast<int>(k));
+  }
+
+  std::vector<decomp::Decomp1D> dims;
+  dims.reserve(spec.dims.size());
+  for (std::size_t d = 0; d < spec.dims.size(); ++d) {
+    i64 n = hi[d] - lo[d] + 1;
+    switch (spec.dims[d].kind) {
+      case ADistDim::Kind::Block:
+        dims.push_back(decomp::Decomp1D::block(n, extent[d]));
+        break;
+      case ADistDim::Kind::Scatter:
+        dims.push_back(decomp::Decomp1D::scatter(n, extent[d]));
+        break;
+      case ADistDim::Kind::BlockScatter:
+        dims.push_back(decomp::Decomp1D::block_scatter(n, extent[d],
+                                                       spec.dims[d].block));
+        break;
+      case ADistDim::Kind::Star:
+        dims.push_back(decomp::Decomp1D::block(n, 1));
+        break;
+    }
+  }
+  decomp::ArrayDesc desc = decomp::ArrayDesc::distributed(
+      name, lo, hi, decomp::DecompND(std::move(dims)));
+  if (spec.overlap > 0) desc = desc.with_halo(spec.overlap);
+  return desc;
+}
+
+spmd::ArrayTable analyze_decls(const AProgram& program) {
+  spmd::ArrayTable table;
+  std::map<std::string, std::pair<std::vector<i64>, std::vector<i64>>>
+      bounds;
+
+  for (const AArrayDecl& decl : program.arrays) {
+    if (bounds.count(decl.name))
+      throw SemanticError("array " + decl.name + " declared twice");
+    std::vector<i64> lo, hi;
+    for (const auto& [blo, bhi] : decl.bounds) {
+      i64 l = eval_const_int(blo);
+      i64 h = eval_const_int(bhi);
+      if (l > h)
+        throw SemanticError(cat("array ", decl.name,
+                                " has an empty dimension ", l, ":", h));
+      lo.push_back(l);
+      hi.push_back(h);
+    }
+    bounds[decl.name] = {std::move(lo), std::move(hi)};
+  }
+
+  std::map<std::string, const ADistSpec*> specs;
+  for (const ADistribute& dist : program.distributes) {
+    if (!bounds.count(dist.name))
+      throw SemanticError("distribute names undeclared array " + dist.name);
+    if (specs.count(dist.name))
+      throw SemanticError("array " + dist.name + " distributed twice");
+    specs[dist.name] = &dist.spec;
+  }
+
+  ADistSpec replicated_default;
+  replicated_default.replicated = true;
+  for (const auto& [name, bh] : bounds) {
+    const ADistSpec* spec = &replicated_default;
+    auto it = specs.find(name);
+    if (it != specs.end()) spec = it->second;
+    table.emplace(name, build_desc(name, bh.first, bh.second, *spec,
+                                   program.procs));
+  }
+  return table;
+}
+
+}  // namespace vcal::lang

@@ -1,0 +1,35 @@
+// Semantic analysis of vexl declarations: builds the array descriptor
+// table that the translator and the runtime machines share.
+//
+// Distribution rules:
+//   - an array with no `distribute` declaration is replicated;
+//   - `replicated` replicates the full array on every processor;
+//   - per-dimension specs distribute each dimension over one grid axis;
+//     '*' leaves a dimension undistributed;
+//   - with one distributed dimension the grid is (P); with two it is the
+//     near-square 2-D factorization of P (larger extent on the first
+//     distributed dimension); more than two distributed dimensions is
+//     rejected.
+#pragma once
+
+#include "lang/ast.hpp"
+#include "spmd/program.hpp"
+
+namespace vcal::lang {
+
+/// Evaluates a constant integer expression (Int literals and arithmetic
+/// only); throws SemanticError when the expression uses variables, array
+/// reads, reals, or '/'.
+i64 eval_const_int(const AExprPtr& e);
+
+/// Builds an ArrayDesc from a declaration's bounds and a distribution
+/// spec (also used for redistribute statements).
+decomp::ArrayDesc build_desc(const std::string& name,
+                             const std::vector<i64>& lo,
+                             const std::vector<i64>& hi,
+                             const ADistSpec& spec, i64 procs);
+
+/// Resolves all declarations into the descriptor table.
+spmd::ArrayTable analyze_decls(const AProgram& program);
+
+}  // namespace vcal::lang

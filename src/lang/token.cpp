@@ -1,0 +1,117 @@
+#include "lang/token.hpp"
+
+#include <map>
+
+namespace vcal::lang {
+
+std::string to_string(Tok t) {
+  switch (t) {
+    case Tok::Ident:
+      return "identifier";
+    case Tok::Int:
+      return "integer";
+    case Tok::Real:
+      return "real";
+    case Tok::KwProcessors:
+      return "'processors'";
+    case Tok::KwArray:
+      return "'array'";
+    case Tok::KwView:
+      return "'view'";
+    case Tok::KwDistribute:
+      return "'distribute'";
+    case Tok::KwRedistribute:
+      return "'redistribute'";
+    case Tok::KwForall:
+      return "'forall'";
+    case Tok::KwFor:
+      return "'for'";
+    case Tok::KwIn:
+      return "'in'";
+    case Tok::KwDo:
+      return "'do'";
+    case Tok::KwOd:
+      return "'od'";
+    case Tok::KwBlock:
+      return "'block'";
+    case Tok::KwScatter:
+      return "'scatter'";
+    case Tok::KwBlockScatter:
+      return "'blockscatter'";
+    case Tok::KwReplicated:
+      return "'replicated'";
+    case Tok::KwOverlap:
+      return "'overlap'";
+    case Tok::KwDiv:
+      return "'div'";
+    case Tok::KwMod:
+      return "'mod'";
+    case Tok::LBracket:
+      return "'['";
+    case Tok::RBracket:
+      return "']'";
+    case Tok::LParen:
+      return "'('";
+    case Tok::RParen:
+      return "')'";
+    case Tok::Comma:
+      return "','";
+    case Tok::Semicolon:
+      return "';'";
+    case Tok::Colon:
+      return "':'";
+    case Tok::Assign:
+      return "':='";
+    case Tok::Plus:
+      return "'+'";
+    case Tok::Minus:
+      return "'-'";
+    case Tok::Star:
+      return "'*'";
+    case Tok::Slash:
+      return "'/'";
+    case Tok::Lt:
+      return "'<'";
+    case Tok::Le:
+      return "'<='";
+    case Tok::Gt:
+      return "'>'";
+    case Tok::Ge:
+      return "'>='";
+    case Tok::Eq:
+      return "'='";
+    case Tok::Ne:
+      return "'<>'";
+    case Tok::Bar:
+      return "'|'";
+    case Tok::End:
+      return "end of input";
+  }
+  return "?";
+}
+
+Tok keyword_or_ident(const std::string& word) {
+  static const std::map<std::string, Tok> kws = {
+      {"processors", Tok::KwProcessors},
+      {"array", Tok::KwArray},
+      {"view", Tok::KwView},
+      {"distribute", Tok::KwDistribute},
+      {"redistribute", Tok::KwRedistribute},
+      {"forall", Tok::KwForall},
+      {"for", Tok::KwFor},
+      {"in", Tok::KwIn},
+      {"do", Tok::KwDo},
+      {"od", Tok::KwOd},
+      {"block", Tok::KwBlock},
+      {"scatter", Tok::KwScatter},
+      {"blockscatter", Tok::KwBlockScatter},
+      {"replicated", Tok::KwReplicated},
+      {"overlap", Tok::KwOverlap},
+      {"div", Tok::KwDiv},
+      {"mod", Tok::KwMod},
+  };
+  auto it = kws.find(word);
+  return it == kws.end() ? Tok::Ident : it->second;
+}
+
+}  // namespace vcal::lang

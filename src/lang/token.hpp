@@ -1,0 +1,75 @@
+// Tokens of the vexl mini-language.
+//
+// vexl is the front end standing in for the paper's Booster language: a
+// tiny imperative notation whose programs lower "almost directly" to
+// V-cal clauses, with data decompositions declared separately from the
+// algorithm (the paper's core premise).
+#pragma once
+
+#include <string>
+
+#include "support/math.hpp"
+
+namespace vcal::lang {
+
+enum class Tok {
+  // literals / names
+  Ident,
+  Int,
+  Real,
+  // keywords
+  KwProcessors,
+  KwArray,
+  KwView,
+  KwDistribute,
+  KwRedistribute,
+  KwForall,
+  KwFor,
+  KwIn,
+  KwDo,
+  KwOd,
+  KwBlock,
+  KwScatter,
+  KwBlockScatter,
+  KwReplicated,
+  KwOverlap,
+  KwDiv,
+  KwMod,
+  // punctuation / operators
+  LBracket,
+  RBracket,
+  LParen,
+  RParen,
+  Comma,
+  Semicolon,
+  Colon,
+  Assign,  // :=
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Eq,
+  Ne,  // <>
+  Bar,
+  End,
+};
+
+std::string to_string(Tok t);
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;   // identifier spelling
+  i64 int_value = 0;  // Int
+  double real_value = 0.0;  // Real
+  int line = 1;
+  int col = 1;
+};
+
+/// Keyword lookup; returns Tok::Ident when `word` is not a keyword.
+Tok keyword_or_ident(const std::string& word);
+
+}  // namespace vcal::lang

@@ -1,0 +1,342 @@
+#include "lang/translate.hpp"
+
+#include <map>
+
+#include "lang/parser.hpp"
+#include "lang/sema.hpp"
+#include "support/error.hpp"
+#include "support/format.hpp"
+
+namespace vcal::lang {
+
+namespace {
+
+[[noreturn]] void err_at(const std::string& msg, int line, int col) {
+  throw SemanticError(cat(msg, " (at ", line, ":", col, ")"));
+}
+
+// A view resolved down to a real array: subscripts in terms of `param`.
+struct ResolvedView {
+  std::string base;
+  std::vector<AExprPtr> subs;
+  std::string param;
+  i64 lo = 0, hi = -1;
+};
+using ViewTable = std::map<std::string, ResolvedView>;
+
+// Collects the distinct variable names used in an expression.
+void collect_vars(const AExprPtr& e, std::vector<std::string>& out) {
+  if (!e) return;
+  if (e->kind == AExpr::Kind::Var) {
+    for (const std::string& v : out)
+      if (v == e->name) return;
+    out.push_back(e->name);
+    return;
+  }
+  for (const AExprPtr& s : e->subs) collect_vars(s, out);
+  collect_vars(e->lhs, out);
+  collect_vars(e->rhs, out);
+}
+
+// Resolves every view declaration down to real arrays, composing views
+// over views by substitution (the calculus' contraction rule).
+ViewTable resolve_views(const AProgram& ast,
+                        const spmd::ArrayTable& arrays) {
+  ViewTable table;
+  for (const AViewDecl& decl : ast.views) {
+    if (arrays.count(decl.name) || table.count(decl.name))
+      err_at("view " + decl.name + " collides with an existing name",
+             decl.line, decl.col);
+    std::vector<std::string> vars;
+    for (const AExprPtr& sub : decl.subs) collect_vars(sub, vars);
+    if (vars.size() != 1)
+      err_at("view " + decl.name +
+                 " must use exactly one parameter variable in its map",
+             decl.line, decl.col);
+    ResolvedView rv;
+    rv.param = vars[0];
+    rv.lo = eval_const_int(decl.lo);
+    rv.hi = eval_const_int(decl.hi);
+    if (rv.lo > rv.hi)
+      err_at("view " + decl.name + " has empty bounds", decl.line,
+             decl.col);
+
+    auto base_view = table.find(decl.base);
+    if (base_view != table.end()) {
+      // View over a view: compose by substitution.
+      if (decl.subs.size() != 1)
+        err_at("view " + decl.name + " over view " + decl.base +
+                   " needs exactly one subscript",
+               decl.line, decl.col);
+      rv.base = base_view->second.base;
+      for (const AExprPtr& s : base_view->second.subs)
+        rv.subs.push_back(
+            substitute(s, base_view->second.param, decl.subs[0]));
+    } else {
+      auto it = arrays.find(decl.base);
+      if (it == arrays.end())
+        err_at("view " + decl.name + " names undeclared base " +
+                   decl.base,
+               decl.line, decl.col);
+      if (static_cast<int>(decl.subs.size()) != it->second.ndims())
+        err_at("view " + decl.name + " subscripts " + decl.base +
+                   " with the wrong number of dimensions",
+               decl.line, decl.col);
+      rv.base = decl.base;
+      rv.subs = decl.subs;
+    }
+    table.emplace(decl.name, std::move(rv));
+  }
+  return table;
+}
+
+// Rewrites a (possibly view) use into its base-array form.
+void apply_views(const ViewTable& views, std::string& array,
+                 std::vector<AExprPtr>& subs, int line, int col) {
+  auto it = views.find(array);
+  if (it == views.end()) return;
+  if (subs.size() != 1)
+    err_at("view " + array + " takes exactly one subscript", line, col);
+  std::vector<AExprPtr> rewritten;
+  rewritten.reserve(it->second.subs.size());
+  for (const AExprPtr& s : it->second.subs)
+    rewritten.push_back(substitute(s, it->second.param, subs[0]));
+  array = it->second.base;
+  subs = std::move(rewritten);
+}
+
+// Lowers a subscript expression into a Sym tree over the single loop
+// variable it uses; returns that variable's loop index (-1 if constant).
+class SubscriptLowering {
+ public:
+  explicit SubscriptLowering(const std::vector<std::string>& loop_vars)
+      : loop_vars_(loop_vars) {}
+
+  prog::Subscript lower(const AExprPtr& e) {
+    var_index_ = -1;
+    fn::SymPtr sym = walk(e);
+    return prog::Subscript{var_index_, std::move(sym)};
+  }
+
+ private:
+  fn::SymPtr walk(const AExprPtr& e) {
+    switch (e->kind) {
+      case AExpr::Kind::Int:
+        return fn::cnst(e->int_value);
+      case AExpr::Kind::Real:
+        err_at("real literal in a subscript", e->line, e->col);
+      case AExpr::Kind::Var: {
+        int idx = -1;
+        for (std::size_t k = 0; k < loop_vars_.size(); ++k)
+          if (loop_vars_[k] == e->name) idx = static_cast<int>(k);
+        if (idx < 0)
+          err_at("unknown variable '" + e->name + "' in a subscript",
+                 e->line, e->col);
+        if (var_index_ >= 0 && var_index_ != idx)
+          err_at("subscript mixes loop variables '" +
+                     loop_vars_[static_cast<std::size_t>(var_index_)] +
+                     "' and '" + e->name +
+                     "'; each subscript dimension may use one",
+                 e->line, e->col);
+        var_index_ = idx;
+        return fn::var();
+      }
+      case AExpr::Kind::Ref:
+        err_at("array read of '" + e->name +
+                   "' in a subscript (indirect addressing is not "
+                   "supported)",
+               e->line, e->col);
+      case AExpr::Kind::Neg:
+        return fn::neg(walk(e->lhs));
+      case AExpr::Kind::Add:
+        return fn::add(walk(e->lhs), walk(e->rhs));
+      case AExpr::Kind::Sub:
+        return fn::sub(walk(e->lhs), walk(e->rhs));
+      case AExpr::Kind::Mul:
+        return fn::mul(walk(e->lhs), walk(e->rhs));
+      case AExpr::Kind::IntDiv:
+        return fn::intdiv(walk(e->lhs), walk(e->rhs));
+      case AExpr::Kind::Mod:
+        return fn::mod(walk(e->lhs), walk(e->rhs));
+      case AExpr::Kind::RealDiv:
+        err_at("'/' in a subscript; use 'div'", e->line, e->col);
+    }
+    throw InternalError("subscript lowering: bad kind");
+  }
+
+  const std::vector<std::string>& loop_vars_;
+  int var_index_ = -1;
+};
+
+// Lowers value expressions, deduplicating array reads into the clause's
+// reference table.
+class ValueLowering {
+ public:
+  ValueLowering(const std::vector<std::string>& loop_vars,
+                std::vector<prog::ArrayRef>& refs,
+                const ViewTable& views)
+      : loop_vars_(loop_vars), refs_(refs), views_(views) {}
+
+  prog::ExprPtr lower(const AExprPtr& e) {
+    switch (e->kind) {
+      case AExpr::Kind::Int:
+        return prog::number(static_cast<double>(e->int_value));
+      case AExpr::Kind::Real:
+        return prog::number(e->real_value);
+      case AExpr::Kind::Var: {
+        for (std::size_t k = 0; k < loop_vars_.size(); ++k)
+          if (loop_vars_[k] == e->name)
+            return prog::loop_var(static_cast<int>(k));
+        err_at("unknown variable '" + e->name +
+                   "' (scalar variables are not supported)",
+               e->line, e->col);
+      }
+      case AExpr::Kind::Ref:
+        return prog::ref(intern_ref(e));
+      case AExpr::Kind::Neg:
+        return prog::neg(lower(e->lhs));
+      case AExpr::Kind::Add:
+        return prog::add(lower(e->lhs), lower(e->rhs));
+      case AExpr::Kind::Sub:
+        return prog::sub(lower(e->lhs), lower(e->rhs));
+      case AExpr::Kind::Mul:
+        return prog::mul(lower(e->lhs), lower(e->rhs));
+      case AExpr::Kind::RealDiv:
+        return prog::divide(lower(e->lhs), lower(e->rhs));
+      case AExpr::Kind::IntDiv:
+      case AExpr::Kind::Mod:
+        err_at("'div'/'mod' are integer subscript operators; values use "
+               "'/'",
+               e->line, e->col);
+    }
+    throw InternalError("value lowering: bad kind");
+  }
+
+ private:
+  int intern_ref(const AExprPtr& e) {
+    std::string array = e->name;
+    std::vector<AExprPtr> subs = e->subs;
+    apply_views(views_, array, subs, e->line, e->col);
+    SubscriptLowering subl(loop_vars_);
+    prog::ArrayRef r;
+    r.array = std::move(array);
+    for (const AExprPtr& s : subs) r.subs.push_back(subl.lower(s));
+    std::string key = r.str(loop_vars_);
+    auto it = interned_.find(key);
+    if (it != interned_.end()) return it->second;
+    int idx = static_cast<int>(refs_.size());
+    refs_.push_back(std::move(r));
+    interned_[key] = idx;
+    return idx;
+  }
+
+  const std::vector<std::string>& loop_vars_;
+  std::vector<prog::ArrayRef>& refs_;
+  const ViewTable& views_;
+  std::map<std::string, int> interned_;
+};
+
+prog::Clause lower_assign(const AAssign& assign,
+                          const std::vector<prog::LoopDim>& loops,
+                          prog::Ordering ord,
+                          const std::optional<ACond>& guard,
+                          const ViewTable& views) {
+  prog::Clause clause;
+  clause.loops = loops;
+  clause.ord = ord;
+
+  std::string lhs_array = assign.array;
+  std::vector<AExprPtr> lhs_subs = assign.subs;
+  apply_views(views, lhs_array, lhs_subs, assign.line, assign.col);
+  clause.lhs_array = std::move(lhs_array);
+
+  std::vector<std::string> vars;
+  for (const prog::LoopDim& l : loops) vars.push_back(l.var);
+
+  SubscriptLowering subl(vars);
+  for (const AExprPtr& s : lhs_subs)
+    clause.lhs_subs.push_back(subl.lower(s));
+
+  ValueLowering vall(vars, clause.refs, views);
+  clause.rhs = vall.lower(assign.value);
+  if (guard) {
+    prog::Guard g;
+    g.cmp = guard->cmp;
+    g.lhs = vall.lower(guard->lhs);
+    g.rhs = vall.lower(guard->rhs);
+    clause.guard = std::move(g);
+  }
+  clause.validate();
+  return clause;
+}
+
+std::vector<prog::LoopDim> lower_iters(const std::vector<AIter>& iters) {
+  std::vector<prog::LoopDim> loops;
+  std::map<std::string, bool> seen;
+  for (const AIter& it : iters) {
+    if (seen[it.var])
+      err_at("loop variable '" + it.var + "' bound twice", it.line,
+             it.col);
+    seen[it.var] = true;
+    prog::LoopDim l;
+    l.var = it.var;
+    l.lo = eval_const_int(it.lo);
+    l.hi = eval_const_int(it.hi);
+    if (l.lo > l.hi)
+      err_at(cat("empty loop range ", l.lo, ":", l.hi, " for '", it.var,
+                 "'"),
+             it.line, it.col);
+    loops.push_back(std::move(l));
+  }
+  return loops;
+}
+
+}  // namespace
+
+spmd::Program translate(const AProgram& ast) {
+  spmd::Program program;
+  program.procs = ast.procs;
+  program.arrays = analyze_decls(ast);
+  ViewTable views = resolve_views(ast, program.arrays);
+
+  for (const AStmt& stmt : ast.stmts) {
+    if (const auto* loop = std::get_if<ALoop>(&stmt)) {
+      std::vector<prog::LoopDim> loops = lower_iters(loop->iters);
+      prog::Ordering ord =
+          loop->parallel ? prog::Ordering::Par : prog::Ordering::Seq;
+      for (const AAssign& a : loop->body)
+        program.steps.emplace_back(
+            lower_assign(a, loops, ord, loop->guard, views));
+    } else if (const auto* assign = std::get_if<AAssign>(&stmt)) {
+      // A bare assignment: a degenerate single-iteration clause.
+      std::vector<prog::LoopDim> loops{{"_", 0, 0}};
+      program.steps.emplace_back(lower_assign(*assign, loops,
+                                              prog::Ordering::Par,
+                                              std::nullopt, views));
+    } else {
+      const auto& redist = std::get<ARedistribute>(stmt);
+      auto it = program.arrays.find(redist.name);
+      if (it == program.arrays.end())
+        err_at("redistribute names undeclared array " + redist.name,
+               redist.line, redist.col);
+      const decomp::ArrayDesc& old_desc = it->second;
+      std::vector<i64> lo, hi;
+      for (int d = 0; d < old_desc.ndims(); ++d) {
+        lo.push_back(old_desc.lo(d));
+        hi.push_back(old_desc.hi(d));
+      }
+      spmd::RedistStep step{
+          redist.name,
+          build_desc(redist.name, lo, hi, redist.spec, ast.procs)};
+      program.steps.emplace_back(std::move(step));
+    }
+  }
+  program.validate();
+  return program;
+}
+
+spmd::Program compile(const std::string& source) {
+  return translate(parse(source));
+}
+
+}  // namespace vcal::lang

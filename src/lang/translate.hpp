@@ -1,0 +1,27 @@
+// Translation of vexl programs into V-cal clauses (Section 2.5 of the
+// paper: "transformation of programs into V-cal").
+//
+// Every assignment in a loop body becomes one clause; `forall` maps to the
+// '//' ordering, `for` to '•'. Subscripts are lowered to symbolic index
+// functions in exactly one loop variable (the shape the paper's theorems
+// optimize); identical right-hand-side reads are deduplicated into the
+// clause's reference table so each element is fetched (and, on the
+// distributed target, communicated) once.
+#pragma once
+
+#include <string>
+
+#include "lang/ast.hpp"
+#include "spmd/program.hpp"
+
+namespace vcal::lang {
+
+/// AST to SPMD program (declarations via sema, statements via clause
+/// lowering). Throws SemanticError / CodegenError with source positions
+/// in the message where available.
+spmd::Program translate(const AProgram& ast);
+
+/// Convenience: parse + analyze + translate.
+spmd::Program compile(const std::string& source);
+
+}  // namespace vcal::lang

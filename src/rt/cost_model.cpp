@@ -1,0 +1,5 @@
+#include "rt/cost_model.hpp"
+
+// Header-only arithmetic; this translation unit exists so the component
+// shows up in the library and keeps a stable home for future extensions
+// (e.g. topology-aware message pricing).

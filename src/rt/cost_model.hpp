@@ -1,0 +1,57 @@
+// Linear cost model for the simulated machines.
+//
+// The paper reports no absolute timings (its machines are 1991 hardware);
+// what transfers is the *count structure*: membership tests, loop
+// iterations, and messages. The simulator charges each a configurable
+// price and reports the SPMD makespan (the slowest processor per step,
+// summed over steps), so benchmark shapes — who wins, where crossovers
+// fall — are reproducible deterministically on any host.
+#pragma once
+
+#include <string>
+
+#include "support/math.hpp"
+
+namespace vcal::rt {
+
+struct CostModel {
+  double per_message = 50.0;  // fixed latency charged to sender & receiver
+  double per_value = 1.0;     // marginal transfer cost per element
+  double per_iteration = 1.0; // loop-body execution
+  double per_test = 0.5;      // run-time membership test / probe
+  double per_barrier = 200.0; // global barrier synchronization (shared)
+
+  double message_cost(i64 messages) const {
+    return static_cast<double>(messages) * (per_message + per_value);
+  }
+  double compute_cost(i64 iterations, i64 tests) const {
+    return static_cast<double>(iterations) * per_iteration +
+           static_cast<double>(tests) * per_test;
+  }
+};
+
+/// Per-rank accounting for one step; the step's makespan is the maximum
+/// rank_time over ranks.
+struct RankCounters {
+  i64 sends = 0;
+  i64 receives = 0;
+  i64 iterations = 0;  // loop-body entries (including overhead iterations)
+  i64 tests = 0;       // membership tests / probes
+  i64 local_reads = 0;
+  i64 remote_reads = 0;
+  // Halo exchange (overlapped decompositions): bulk transfers combine a
+  // whole boundary region into one message; elements ride at per-value
+  // cost.
+  i64 halo_bulk = 0;    // bulk halo messages sent or received
+  i64 halo_values = 0;  // elements carried by those messages
+  i64 halo_reads = 0;   // remote reads satisfied from the local halo
+
+  double time(const CostModel& cm) const {
+    return cm.message_cost(sends + receives) +
+           cm.compute_cost(iterations, tests) +
+           static_cast<double>(halo_bulk) * cm.per_message +
+           static_cast<double>(halo_values) * cm.per_value;
+  }
+};
+
+}  // namespace vcal::rt

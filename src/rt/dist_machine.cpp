@@ -1,0 +1,348 @@
+#include "rt/dist_machine.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <optional>
+
+#include "decomp/redistribute.hpp"
+#include "support/error.hpp"
+#include "support/format.hpp"
+
+namespace vcal::rt {
+
+using prog::Clause;
+using spmd::ClausePlan;
+
+std::string DistStats::str() const {
+  std::string out =
+      cat("messages=", with_commas(messages),
+          " local-reads=", with_commas(local_reads),
+          " remote-reads=", with_commas(remote_reads),
+          " iters=", with_commas(iterations),
+          " tests=", with_commas(tests), " steps=", steps,
+          " sim-time=", sim_time);
+  if (halo_messages > 0)
+    out += cat(" halo-msgs=", with_commas(halo_messages),
+               " halo-values=", with_commas(halo_values),
+               " halo-reads=", with_commas(halo_reads));
+  return out;
+}
+
+DistMachine::DistMachine(spmd::Program program, gen::BuildOptions opts,
+                         CostModel cost)
+    : program_(std::move(program)),
+      opts_(opts),
+      cost_(cost),
+      store_(program_.procs) {
+  program_.validate();
+  message_matrix_.assign(
+      static_cast<std::size_t>(program_.procs),
+      std::vector<i64>(static_cast<std::size_t>(program_.procs), 0));
+  for (const auto& [name, desc] : program_.arrays) store_.declare(desc);
+}
+
+void DistMachine::load(const std::string& name,
+                       const std::vector<double>& dense) {
+  auto it = program_.arrays.find(name);
+  require(it != program_.arrays.end(), "DistMachine::load unknown " + name);
+  store_.load(it->second, dense);
+}
+
+void DistMachine::run() {
+  for (const spmd::Step& step : program_.steps) {
+    if (const auto* clause = std::get_if<Clause>(&step))
+      run_clause(*clause);
+    else
+      run_redistribute(std::get<spmd::RedistStep>(step));
+  }
+}
+
+void DistMachine::finish_step(const std::vector<RankCounters>& counters) {
+  double slowest = 0.0;
+  i64 halo_bulk = 0, halo_values = 0;
+  for (const RankCounters& c : counters) {
+    stats_.messages += c.sends;
+    stats_.local_reads += c.local_reads;
+    stats_.remote_reads += c.remote_reads;
+    stats_.iterations += c.iterations;
+    stats_.tests += c.tests;
+    halo_bulk += c.halo_bulk;
+    halo_values += c.halo_values;
+    stats_.halo_reads += c.halo_reads;
+    slowest = std::max(slowest, c.time(cost_));
+  }
+  // halo_bulk/halo_values are recorded on both endpoints; the aggregate
+  // counts each exchange once.
+  stats_.halo_messages += halo_bulk / 2;
+  stats_.halo_values += halo_values / 2;
+  stats_.sim_time += slowest;
+  ++stats_.steps;
+  last_counters_ = counters;
+}
+
+void DistMachine::run_clause(const Clause& clause) {
+  if (clause.ord == prog::Ordering::Seq)
+    throw CodegenError(
+        "sequential ('•') clauses are not supported on the distributed "
+        "target; the paper leaves DOACROSS orderings out of scope");
+
+  ClausePlan plan = ClausePlan::build(clause, program_.arrays, opts_);
+  const decomp::ArrayDesc& lhs = plan.lhs_desc();
+  const i64 procs = plan.procs();
+  const int nrefs = static_cast<int>(clause.refs.size());
+
+  // Copy-in snapshot when the clause reads its own target: senders and
+  // local reads must observe pre-clause values.
+  bool lhs_read = false;
+  for (const prog::ArrayRef& r : clause.refs)
+    if (r.array == clause.lhs_array) lhs_read = true;
+  std::optional<std::vector<std::vector<double>>> snap;
+  if (lhs_read) snap = store_.clone(clause.lhs_array);
+
+  auto read_element = [&](int r, i64 rank, i64 local) -> double {
+    const std::string& name =
+        clause.refs[static_cast<std::size_t>(r)].array;
+    if (snap && name == clause.lhs_array) {
+      const auto& buf = (*snap)[static_cast<std::size_t>(rank)];
+      if (!in_range(local, 0, static_cast<i64>(buf.size()) - 1))
+        throw RuntimeFault("local read out of bounds on " + name);
+      return buf[static_cast<std::size_t>(local)];
+    }
+    return store_.read_local(name, rank, local);
+  };
+
+  // In-flight messages: key = (tag * procs + src), one map per receiver.
+  std::vector<std::unordered_map<i64, double>> mailbox(
+      static_cast<std::size_t>(procs));
+  std::vector<RankCounters> counters(static_cast<std::size_t>(procs));
+
+  // ---- Phase 0: halo refresh for overlapped decompositions -----------
+  // Every referenced array with a halo gets its boundary copies refreshed
+  // with pre-clause values: one bulk exchange per (owner, neighbour)
+  // pair. Near-boundary remote reads in phase 2 then stay local.
+  // halos[name][rank] maps global index -> cached value.
+  std::map<std::string, std::vector<std::unordered_map<i64, double>>>
+      halos;
+  for (int r = 0; r < nrefs; ++r) {
+    const decomp::ArrayDesc& rd = plan.ref_desc(r);
+    if (rd.halo() == 0 || halos.count(rd.name())) continue;
+    auto& table = halos[rd.name()];
+    table.assign(static_cast<std::size_t>(procs), {});
+    for (i64 p = 0; p < procs; ++p) {
+      for (int side : {-1, 1}) {
+        auto [hlo, hhi] = rd.halo_range(p, side);
+        if (hlo > hhi) continue;
+        i64 prev_owner = -1;
+        for (i64 g = hlo; g <= hhi; ++g) {
+          i64 owner = rd.owner({g});
+          double v = read_element(r, owner, rd.local_linear({g}));
+          table[static_cast<std::size_t>(p)][g] = v;
+          if (owner != prev_owner) {
+            // New bulk message from this owner to p.
+            ++counters[static_cast<std::size_t>(owner)].halo_bulk;
+            ++counters[static_cast<std::size_t>(p)].halo_bulk;
+            prev_owner = owner;
+          }
+          ++counters[static_cast<std::size_t>(owner)].halo_values;
+          ++counters[static_cast<std::size_t>(p)].halo_values;
+        }
+      }
+    }
+  }
+  auto halo_covers = [&](const decomp::ArrayDesc& rd, i64 rank,
+                         const std::vector<i64>& idx) {
+    return rd.halo() > 0 && halos.count(rd.name()) &&
+           rd.in_halo(rank, idx);
+  };
+
+  // ---- Phase 1: non-blocking sends (Reside_p \ Modify_p) -------------
+  for (i64 p = 0; p < procs; ++p) {
+    RankCounters& rc = counters[static_cast<std::size_t>(p)];
+    for (int r = 0; r < nrefs; ++r) {
+      if (!plan.ref_needs_comm(r)) continue;  // replicated: always local
+      gen::EnumStats es;
+      spmd::IterationSpace space = plan.reside_space(p, r);
+      space.for_each(
+          [&](const std::vector<i64>& vals) {
+            std::vector<i64> ridx = plan.ref_index(r, vals);
+            if (!plan.ref_desc(r).in_bounds(ridx))
+              throw RuntimeFault("read out of bounds on " +
+                                 clause.refs[static_cast<std::size_t>(r)]
+                                     .array);
+            i64 local = plan.ref_desc(r).local_linear(ridx);
+            double value = read_element(r, p, local);
+            i64 tag = plan.message_tag(r, vals);
+            if (lhs.is_replicated()) {
+              // Every rank computes every index: broadcast to the others.
+              for (i64 dst = 0; dst < procs; ++dst) {
+                if (dst == p) continue;
+                if (halo_covers(plan.ref_desc(r), dst, ridx))
+                  continue;  // receiver reads its halo copy
+                mailbox[static_cast<std::size_t>(dst)][tag * procs + p] =
+                    value;
+                ++rc.sends;
+                ++message_matrix_[static_cast<std::size_t>(p)]
+                                 [static_cast<std::size_t>(dst)];
+              }
+            } else {
+              std::vector<i64> out_idx = plan.lhs_index(vals);
+              if (!lhs.in_bounds(out_idx)) return;  // nobody computes this
+              i64 dst = lhs.owner(out_idx);
+              if (dst == p) return;  // Modify ∩ Reside: local update later
+              if (halo_covers(plan.ref_desc(r), dst, ridx))
+                return;  // receiver reads its halo copy
+              mailbox[static_cast<std::size_t>(dst)][tag * procs + p] =
+                  value;
+              ++rc.sends;
+              ++message_matrix_[static_cast<std::size_t>(p)]
+                               [static_cast<std::size_t>(dst)];
+            }
+          },
+          &es);
+      rc.iterations += es.loop_iters;
+      rc.tests += es.tests;
+    }
+  }
+
+  // ---- Phase 2: receive and update (Modify_p) -------------------------
+  for (i64 p = 0; p < procs; ++p) {
+    RankCounters& rc = counters[static_cast<std::size_t>(p)];
+    auto& inbox = mailbox[static_cast<std::size_t>(p)];
+    std::vector<double> ref_values(clause.refs.size());
+    gen::EnumStats es;
+    spmd::IterationSpace space = plan.modify_space(p);
+    space.for_each(
+        [&](const std::vector<i64>& vals) {
+          std::vector<i64> out_idx = plan.lhs_index(vals);
+          if (!lhs.in_bounds(out_idx))
+            throw RuntimeFault("write out of bounds on " +
+                               clause.lhs_array);
+          for (int r = 0; r < nrefs; ++r) {
+            const decomp::ArrayDesc& rd = plan.ref_desc(r);
+            std::vector<i64> ridx = plan.ref_index(r, vals);
+            if (!rd.in_bounds(ridx))
+              throw RuntimeFault(
+                  "read out of bounds on " +
+                  clause.refs[static_cast<std::size_t>(r)].array);
+            if (rd.is_replicated()) {
+              ref_values[static_cast<std::size_t>(r)] =
+                  read_element(r, p, rd.local_linear(ridx));
+              ++rc.local_reads;
+              continue;
+            }
+            i64 src = rd.owner(ridx);
+            if (src == p) {
+              ref_values[static_cast<std::size_t>(r)] =
+                  read_element(r, p, rd.local_linear(ridx));
+              ++rc.local_reads;
+            } else if (halo_covers(rd, p, ridx)) {
+              // Overlapped decomposition: the value is already cached in
+              // this rank's halo region.
+              const auto& cache =
+                  halos.at(rd.name())[static_cast<std::size_t>(p)];
+              auto hit = cache.find(ridx[0]);
+              require(hit != cache.end(),
+                      "halo cache missing a covered element");
+              ref_values[static_cast<std::size_t>(r)] = hit->second;
+              ++rc.halo_reads;
+            } else {
+              // Blocking receive: the message must already be in flight.
+              i64 key = plan.message_tag(r, vals) * procs + src;
+              auto it = inbox.find(key);
+              if (it == inbox.end())
+                throw DeadlockError(cat(
+                    "rank ", p, " blocked receiving ",
+                    clause.refs[static_cast<std::size_t>(r)].array,
+                    " element from rank ", src,
+                    " which never sent it (inconsistent schedules)"));
+              ref_values[static_cast<std::size_t>(r)] = it->second;
+              inbox.erase(it);
+              ++rc.receives;
+              ++rc.remote_reads;
+            }
+          }
+          if (clause.guard && !clause.guard->holds(ref_values, vals)) return;
+          double value = prog::eval(clause.rhs, ref_values, vals);
+          store_.write_local(clause.lhs_array, p,
+                             lhs.local_linear(out_idx), value);
+        },
+        &es);
+    rc.iterations += es.loop_iters;
+    rc.tests += es.tests;
+  }
+
+  // Every send must have been consumed — the message-pairing invariant.
+  for (i64 p = 0; p < procs; ++p) {
+    if (!mailbox[static_cast<std::size_t>(p)].empty())
+      throw RuntimeFault(cat("rank ", p, " finished the clause with ",
+                             mailbox[static_cast<std::size_t>(p)].size(),
+                             " undelivered messages"));
+  }
+  finish_step(counters);
+}
+
+void DistMachine::run_redistribute(const spmd::RedistStep& step) {
+  const decomp::ArrayDesc& old_desc = program_.arrays.at(step.array);
+  decomp::RedistPlan plan =
+      decomp::plan_redistribution(old_desc, step.new_desc);
+
+  // Allocate target buffers, copy stationary elements, apply moves.
+  std::vector<std::vector<double>> fresh(
+      static_cast<std::size_t>(program_.procs));
+  for (i64 p = 0; p < program_.procs; ++p)
+    fresh[static_cast<std::size_t>(p)].assign(
+        static_cast<std::size_t>(step.new_desc.local_capacity(p)), 0.0);
+
+  std::vector<RankCounters> counters(
+      static_cast<std::size_t>(program_.procs));
+  decomp::for_each_index(old_desc, [&](const std::vector<i64>& idx) {
+    i64 src = old_desc.owner(idx);
+    i64 dst = step.new_desc.owner(idx);
+    double v = store_.read_local(step.array, src,
+                                 old_desc.local_linear(idx));
+    fresh[static_cast<std::size_t>(dst)][static_cast<std::size_t>(
+        step.new_desc.local_linear(idx))] = v;
+    ++counters[static_cast<std::size_t>(src)].iterations;
+    if (src != dst) {
+      ++counters[static_cast<std::size_t>(src)].sends;
+      ++counters[static_cast<std::size_t>(dst)].receives;
+      ++message_matrix_[static_cast<std::size_t>(src)]
+                       [static_cast<std::size_t>(dst)];
+    }
+  });
+  require(static_cast<i64>(plan.moves.size()) ==
+              std::accumulate(counters.begin(), counters.end(), i64{0},
+                              [](i64 acc, const RankCounters& c) {
+                                return acc + c.sends;
+                              }),
+          "redistribution plan and execution disagree on message count");
+
+  store_.replace(step.array, std::move(fresh));
+  program_.arrays.insert_or_assign(step.array, step.new_desc);
+  finish_step(counters);
+}
+
+std::string DistMachine::message_matrix_str() const {
+  std::string out = "messages src\\dst";
+  for (i64 d = 0; d < program_.procs; ++d) out += pad_left(cat(d), 8);
+  out += "\n";
+  for (i64 s = 0; s < program_.procs; ++s) {
+    out += pad_left(cat(s), 16);
+    for (i64 d = 0; d < program_.procs; ++d)
+      out += pad_left(
+          cat(message_matrix_[static_cast<std::size_t>(s)]
+                             [static_cast<std::size_t>(d)]),
+          8);
+    out += "\n";
+  }
+  return out;
+}
+
+std::vector<double> DistMachine::gather(const std::string& name) const {
+  auto it = program_.arrays.find(name);
+  require(it != program_.arrays.end(),
+          "DistMachine::gather unknown " + name);
+  return store_.gather(it->second);
+}
+
+}  // namespace vcal::rt

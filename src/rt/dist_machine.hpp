@@ -1,0 +1,88 @@
+// Distributed-memory SPMD target (Sections 2.7 and 2.10 of the paper).
+//
+// Simulates a message-passing multicomputer with non-blocking sends and
+// blocking receives. Execution follows the paper's template: every
+// processor first sends the elements it stores that other processors'
+// computations need (i in Reside_p \ Modify_p), then walks Modify_p,
+// receiving remote operands and updating local elements. Because sends
+// are non-blocking and complete before any receive is attempted, the
+// template is deadlock-free by construction; a receive that finds no
+// matching message therefore indicates an inconsistent schedule pair and
+// raises DeadlockError.
+//
+// The simulator counts messages, local/remote reads, loop iterations and
+// membership tests per rank, and charges them to a CostModel; sim_time is
+// the sum over steps of the slowest rank (the SPMD makespan).
+//
+// Restrictions: '•' (sequential) clauses are rejected on this target —
+// the paper notes they induce DOACROSS-style synchronization, which it
+// (and we) leave out of scope.
+#pragma once
+
+#include <unordered_map>
+
+#include "gen/optimizer.hpp"
+#include "rt/cost_model.hpp"
+#include "rt/store.hpp"
+#include "spmd/program.hpp"
+
+namespace vcal::rt {
+
+struct DistStats {
+  i64 messages = 0;      // element transfers between distinct ranks
+  i64 local_reads = 0;   // operand reads satisfied locally
+  i64 remote_reads = 0;  // operand reads satisfied by a message
+  i64 iterations = 0;    // loop-body entries, all ranks, all phases
+  i64 tests = 0;         // run-time membership tests / probes
+  i64 halo_messages = 0; // bulk halo-exchange messages (overlap support)
+  i64 halo_values = 0;   // elements carried by halo exchanges
+  i64 halo_reads = 0;    // remote reads satisfied from a local halo copy
+  i64 steps = 0;         // clauses + redistributions executed
+  double sim_time = 0.0; // makespan under the cost model
+
+  std::string str() const;
+};
+
+class DistMachine {
+ public:
+  explicit DistMachine(spmd::Program program, gen::BuildOptions opts = {},
+                       CostModel cost = {});
+
+  void load(const std::string& name, const std::vector<double>& dense);
+  void run();
+
+  /// Dense image reassembled from the distributed pieces.
+  std::vector<double> gather(const std::string& name) const;
+
+  const DistStats& stats() const noexcept { return stats_; }
+
+  /// Per-rank message counts of the last executed step (for tests and
+  /// benchmark reporting).
+  const std::vector<RankCounters>& last_step_counters() const noexcept {
+    return last_counters_;
+  }
+
+  /// messages[src][dst] accumulated over the whole run (element messages
+  /// only; halo exchanges are reported separately in stats()).
+  const std::vector<std::vector<i64>>& message_matrix() const noexcept {
+    return message_matrix_;
+  }
+
+  /// Pretty-printed message matrix, one row per source rank.
+  std::string message_matrix_str() const;
+
+ private:
+  void run_clause(const prog::Clause& clause);
+  void run_redistribute(const spmd::RedistStep& step);
+  void finish_step(const std::vector<RankCounters>& counters);
+
+  spmd::Program program_;  // arrays table evolves across redistributions
+  gen::BuildOptions opts_;
+  CostModel cost_;
+  DistStore store_;
+  DistStats stats_;
+  std::vector<RankCounters> last_counters_;
+  std::vector<std::vector<i64>> message_matrix_;
+};
+
+}  // namespace vcal::rt

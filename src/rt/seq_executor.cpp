@@ -1,0 +1,97 @@
+#include "rt/seq_executor.hpp"
+
+#include <optional>
+
+#include "support/error.hpp"
+
+namespace vcal::rt {
+
+using prog::Clause;
+
+namespace {
+
+// Odometer walk over the full loop ranges of a clause.
+template <typename F>
+void for_each_tuple(const Clause& clause, F&& body) {
+  std::vector<i64> vals;
+  vals.reserve(clause.loops.size());
+  for (const prog::LoopDim& l : clause.loops) {
+    if (l.lo > l.hi) return;
+    vals.push_back(l.lo);
+  }
+  for (;;) {
+    body(const_cast<const std::vector<i64>&>(vals));
+    std::size_t d = clause.loops.size();
+    while (d-- > 0) {
+      if (vals[d] < clause.loops[d].hi) {
+        ++vals[d];
+        break;
+      }
+      vals[d] = clause.loops[d].lo;
+      if (d == 0) return;
+    }
+  }
+}
+
+}  // namespace
+
+SeqExecutor::SeqExecutor(spmd::Program program)
+    : program_(std::move(program)) {
+  program_.validate();
+  for (const auto& [name, desc] : program_.arrays) store_.declare(desc);
+}
+
+void SeqExecutor::load(const std::string& name,
+                       const std::vector<double>& dense) {
+  auto it = program_.arrays.find(name);
+  require(it != program_.arrays.end(), "SeqExecutor::load unknown " + name);
+  store_.load(it->second, dense);
+}
+
+void SeqExecutor::run() {
+  for (const spmd::Step& step : program_.steps) {
+    if (const auto* clause = std::get_if<Clause>(&step))
+      run_clause(*clause);
+    // Redistribution has no effect on dense sequential storage.
+  }
+}
+
+void SeqExecutor::run_clause(const Clause& clause) {
+  const decomp::ArrayDesc& lhs = program_.arrays.at(clause.lhs_array);
+
+  bool lhs_read = false;
+  for (const prog::ArrayRef& r : clause.refs)
+    if (r.array == clause.lhs_array) lhs_read = true;
+  // Copy-in semantics for parallel clauses that read their own target.
+  std::optional<std::vector<double>> snap;
+  if (lhs_read && clause.ord == prog::Ordering::Par)
+    snap = store_.snapshot(clause.lhs_array);
+
+  std::vector<double> ref_values(clause.refs.size());
+  for_each_tuple(clause, [&](const std::vector<i64>& vals) {
+    std::vector<i64> out_idx = prog::eval_subs(clause.lhs_subs, vals);
+    if (!lhs.in_bounds(out_idx)) return;  // outside Modify: not executed
+    for (std::size_t r = 0; r < clause.refs.size(); ++r) {
+      const prog::ArrayRef& ref = clause.refs[r];
+      const decomp::ArrayDesc& rd = program_.arrays.at(ref.array);
+      std::vector<i64> idx = prog::eval_subs(ref.subs, vals);
+      if (snap && ref.array == clause.lhs_array) {
+        if (!rd.in_bounds(idx))
+          throw RuntimeFault("read out of bounds on " + ref.array);
+        ref_values[r] =
+            (*snap)[static_cast<std::size_t>(rd.dense_linear(idx))];
+      } else {
+        ref_values[r] = store_.read(rd, idx);
+      }
+    }
+    if (clause.guard && !clause.guard->holds(ref_values, vals)) return;
+    store_.write(lhs, out_idx, prog::eval(clause.rhs, ref_values, vals));
+  });
+}
+
+const std::vector<double>& SeqExecutor::result(
+    const std::string& name) const {
+  return store_.dense(name);
+}
+
+}  // namespace vcal::rt

@@ -1,0 +1,36 @@
+// Sequential reference executor.
+//
+// Runs a program on dense arrays with no decomposition at all: the
+// semantic ground truth every parallel target must reproduce. Parallel
+// ('//') clauses use copy-in semantics (all reads observe pre-clause
+// state); sequential ('•') clauses execute in lexicographic order with
+// immediate visibility. Redistribution steps are no-ops here (layout has
+// no sequential meaning).
+#pragma once
+
+#include "rt/store.hpp"
+#include "spmd/program.hpp"
+
+namespace vcal::rt {
+
+class SeqExecutor {
+ public:
+  explicit SeqExecutor(spmd::Program program);
+
+  /// Overwrites an array with a dense row-major image.
+  void load(const std::string& name, const std::vector<double>& dense);
+
+  /// Executes every step.
+  void run();
+
+  /// Dense row-major image of an array after run().
+  const std::vector<double>& result(const std::string& name) const;
+
+ private:
+  void run_clause(const prog::Clause& clause);
+
+  spmd::Program program_;
+  DenseStore store_;
+};
+
+}  // namespace vcal::rt

@@ -1,0 +1,188 @@
+#include "rt/shared_machine.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <optional>
+#include <thread>
+
+#include "spmd/barrier.hpp"
+#include "support/error.hpp"
+
+namespace vcal::rt {
+
+using prog::Clause;
+using spmd::ClausePlan;
+
+SharedMachine::SharedMachine(spmd::Program program, gen::BuildOptions opts,
+                             CostModel cost, bool elide_barriers)
+    : program_(std::move(program)),
+      opts_(opts),
+      cost_(cost),
+      elide_barriers_(elide_barriers) {
+  program_.validate();
+  for (const auto& [name, desc] : program_.arrays) store_.declare(desc);
+}
+
+void SharedMachine::load(const std::string& name,
+                         const std::vector<double>& dense) {
+  auto it = program_.arrays.find(name);
+  require(it != program_.arrays.end(),
+          "SharedMachine::load unknown " + name);
+  store_.load(it->second, dense);
+}
+
+void SharedMachine::run() {
+  // Each clause ends with a barrier; the footnote-1 analysis may prove
+  // the barrier between two consecutive parallel clauses unnecessary.
+  // `pending` holds the plan of the last clause whose trailing barrier
+  // has not been accounted yet (nullopt plan = not analyzable: keep).
+  std::optional<ClausePlan> pending;
+  bool pending_exists = false;
+
+  auto resolve_pending = [&](const ClausePlan* next) {
+    if (!pending_exists) return;
+    bool keep = true;
+    if (elide_barriers_ && pending && next)
+      keep = spmd::barrier_needed(*pending, *next);
+    if (keep) {
+      ++stats_.barriers;
+      stats_.sim_time += cost_.per_barrier;
+    } else {
+      ++stats_.barriers_elided;
+    }
+    pending.reset();
+    pending_exists = false;
+  };
+
+  for (const spmd::Step& step : program_.steps) {
+    if (const auto* clause = std::get_if<Clause>(&step)) {
+      if (clause->ord == prog::Ordering::Seq) {
+        resolve_pending(nullptr);
+        run_clause_sequential(*clause);
+        pending.reset();
+        pending_exists = true;  // unanalyzable: barrier stays
+      } else {
+        ClausePlan plan = ClausePlan::build(*clause, program_.arrays, opts_);
+        resolve_pending(&plan);
+        run_clause(*clause, plan);
+        pending = std::move(plan);
+        pending_exists = true;
+      }
+    } else {
+      // Shared memory: redistribution only changes future ownership, but
+      // it is a synchronization point for the analysis.
+      resolve_pending(nullptr);
+      const auto& redist = std::get<spmd::RedistStep>(step);
+      program_.arrays.insert_or_assign(redist.array, redist.new_desc);
+      ++stats_.barriers;
+      stats_.sim_time += cost_.per_barrier;
+    }
+  }
+  resolve_pending(nullptr);  // the final barrier is always performed
+}
+
+void SharedMachine::run_clause(const Clause& clause,
+                               const ClausePlan& plan) {
+  const decomp::ArrayDesc& lhs = plan.lhs_desc();
+  const i64 procs = plan.procs();
+
+  bool lhs_read = false;
+  for (const prog::ArrayRef& r : clause.refs)
+    if (r.array == clause.lhs_array) lhs_read = true;
+  std::optional<std::vector<double>> snap;
+  if (lhs_read) snap = store_.snapshot(clause.lhs_array);
+
+  std::vector<gen::EnumStats> rank_stats(static_cast<std::size_t>(procs));
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(procs));
+
+  auto worker = [&](i64 p) {
+    try {
+      std::vector<double> ref_values(clause.refs.size());
+      spmd::IterationSpace space = plan.modify_space(p);
+      space.for_each(
+          [&](const std::vector<i64>& vals) {
+            std::vector<i64> out_idx = plan.lhs_index(vals);
+            if (!lhs.in_bounds(out_idx))
+              throw RuntimeFault("write out of bounds on " +
+                                 clause.lhs_array);
+            for (std::size_t r = 0; r < clause.refs.size(); ++r) {
+              const prog::ArrayRef& ref = clause.refs[r];
+              const decomp::ArrayDesc& rd =
+                  plan.ref_desc(static_cast<int>(r));
+              std::vector<i64> idx =
+                  plan.ref_index(static_cast<int>(r), vals);
+              if (snap && ref.array == clause.lhs_array) {
+                if (!rd.in_bounds(idx))
+                  throw RuntimeFault("read out of bounds on " + ref.array);
+                ref_values[r] =
+                    (*snap)[static_cast<std::size_t>(rd.dense_linear(idx))];
+              } else {
+                ref_values[r] = store_.read(rd, idx);
+              }
+            }
+            if (clause.guard && !clause.guard->holds(ref_values, vals)) return;
+            store_.write(lhs, out_idx, prog::eval(clause.rhs, ref_values, vals));
+          },
+          &rank_stats[static_cast<std::size_t>(p)]);
+    } catch (...) {
+      errors[static_cast<std::size_t>(p)] = std::current_exception();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(procs));
+  for (i64 p = 0; p < procs; ++p) threads.emplace_back(worker, p);
+  for (auto& t : threads) t.join();  // the barrier of the template;
+  // whether the generated program would need it is accounted in run().
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+
+  double slowest = 0.0;
+  for (const auto& s : rank_stats) {
+    stats_.iterations += s.loop_iters;
+    stats_.tests += s.tests;
+    slowest = std::max(slowest, cost_.compute_cost(s.loop_iters, s.tests));
+  }
+  stats_.sim_time += slowest;
+}
+
+void SharedMachine::run_clause_sequential(const Clause& clause) {
+  // '•' ordering: one processor walks the whole nest in lexicographic
+  // order with immediate visibility, then everyone synchronizes.
+  ClausePlan plan = ClausePlan::build(clause, program_.arrays, opts_);
+  const decomp::ArrayDesc& lhs = plan.lhs_desc();
+
+  std::vector<double> ref_values(clause.refs.size());
+  gen::EnumStats s;
+  // A full-range space: rank ownership is ignored under '•'.
+  std::vector<gen::Schedule> dims;
+  for (const prog::LoopDim& l : clause.loops) {
+    if (l.lo > l.hi) return;
+    dims.push_back(gen::Schedule::closed_form(
+        gen::Method::Replicated, {{l.lo, l.hi - l.lo + 1, 1}}));
+  }
+  spmd::IterationSpace space{std::move(dims)};
+  space.for_each(
+      [&](const std::vector<i64>& vals) {
+        std::vector<i64> out_idx = plan.lhs_index(vals);
+        if (!lhs.in_bounds(out_idx)) return;
+        for (std::size_t r = 0; r < clause.refs.size(); ++r) {
+          ref_values[r] = store_.read(plan.ref_desc(static_cast<int>(r)),
+                                      plan.ref_index(static_cast<int>(r),
+                                                     vals));
+        }
+        if (clause.guard && !clause.guard->holds(ref_values, vals)) return;
+        store_.write(lhs, out_idx, prog::eval(clause.rhs, ref_values, vals));
+      },
+      &s);
+  stats_.iterations += s.loop_iters;
+  stats_.tests += s.tests;
+  stats_.sim_time += cost_.compute_cost(s.loop_iters, s.tests);
+}
+
+const std::vector<double>& SharedMachine::result(
+    const std::string& name) const {
+  return store_.dense(name);
+}
+
+}  // namespace vcal::rt

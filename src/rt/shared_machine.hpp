@@ -1,0 +1,61 @@
+// Shared-memory SPMD target (Section 2.9 of the paper).
+//
+// Executes the paper's shared-memory template with real threads:
+//
+//   p := my_node;
+//   forall i in Modify_p do A[f(i)] := Expr(B[g(i)]); od;
+//   barrier;
+//
+// All arrays live in one shared dense store; every clause spawns one
+// worker per virtual processor, each iterating its Modify_p schedule, and
+// the join is the barrier. Ownership partitioning makes writes disjoint,
+// so no locking is needed; parallel clauses that read their own target
+// take a copy-in snapshot first.
+//
+// Redistribution steps move no data here (memory is shared) but do change
+// the ownership partitioning of subsequent clauses.
+#pragma once
+
+#include "gen/optimizer.hpp"
+#include "rt/cost_model.hpp"
+#include "rt/store.hpp"
+#include "spmd/program.hpp"
+
+namespace vcal::rt {
+
+struct SharedStats {
+  i64 barriers = 0;         // barriers the generated program performs
+  i64 barriers_elided = 0;  // barriers removed by the footnote-1 analysis
+  i64 iterations = 0;       // loop-body entries, all ranks
+  i64 tests = 0;            // run-time membership tests, all ranks
+  double sim_time = 0.0;    // sum over steps of the slowest rank's time
+};
+
+class SharedMachine {
+ public:
+  /// `elide_barriers` enables the paper's footnote-1 intra-statement
+  /// optimization: the barrier between consecutive clauses is dropped
+  /// whenever spmd::barrier_needed proves every cross-clause dependence
+  /// stays processor-local.
+  explicit SharedMachine(spmd::Program program, gen::BuildOptions opts = {},
+                         CostModel cost = {}, bool elide_barriers = false);
+
+  void load(const std::string& name, const std::vector<double>& dense);
+  void run();
+  const std::vector<double>& result(const std::string& name) const;
+  const SharedStats& stats() const noexcept { return stats_; }
+
+ private:
+  void run_clause(const prog::Clause& clause,
+                  const spmd::ClausePlan& plan);
+  void run_clause_sequential(const prog::Clause& clause);
+
+  spmd::Program program_;  // arrays table evolves across redistributions
+  gen::BuildOptions opts_;
+  CostModel cost_;
+  bool elide_barriers_;
+  DenseStore store_;
+  SharedStats stats_;
+};
+
+}  // namespace vcal::rt

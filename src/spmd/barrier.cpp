@@ -1,0 +1,122 @@
+#include "spmd/barrier.hpp"
+
+#include <unordered_set>
+
+#include "support/error.hpp"
+
+namespace vcal::spmd {
+
+namespace {
+
+// Dense-linearized write set of a clause (indices its LHS may touch;
+// guards are ignored — conservative, they may pass).
+std::unordered_set<i64> write_set(const ClausePlan& plan) {
+  std::unordered_set<i64> out;
+  const decomp::ArrayDesc& lhs = plan.lhs_desc();
+  for (i64 p = 0; p < plan.procs(); ++p) {
+    plan.modify_space(p).for_each([&](const std::vector<i64>& vals) {
+      std::vector<i64> idx = plan.lhs_index(vals);
+      if (lhs.in_bounds(idx)) out.insert(lhs.dense_linear(idx));
+    });
+    if (plan.lhs_replicated()) break;  // same space on every rank
+  }
+  return out;
+}
+
+// Walks every executed loop tuple of `plan` (tuples whose LHS index is in
+// bounds), providing the executing rank. For a replicated LHS the body
+// runs once with rank = -1 meaning "all ranks".
+template <typename F>
+bool any_tuple(const ClausePlan& plan, F&& body) {
+  const decomp::ArrayDesc& lhs = plan.lhs_desc();
+  bool hit = false;
+  auto scan = [&](i64 rank) {
+    plan.modify_space(rank < 0 ? 0 : rank)
+        .for_each([&](const std::vector<i64>& vals) {
+          if (hit) return;
+          if (!lhs.in_bounds(plan.lhs_index(vals))) return;
+          if (body(rank, vals)) hit = true;
+        });
+  };
+  if (plan.lhs_replicated()) {
+    scan(-1);
+  } else {
+    for (i64 p = 0; p < plan.procs() && !hit; ++p) scan(p);
+  }
+  return hit;
+}
+
+}  // namespace
+
+bool barrier_needed(const ClausePlan& first, const ClausePlan& second) {
+  const std::string& wa = first.clause().lhs_array;
+  const std::string& wb = second.clause().lhs_array;
+  const decomp::ArrayDesc& da = first.lhs_desc();
+  const decomp::ArrayDesc& db = second.lhs_desc();
+
+  // ---- flow: second reads what first wrote ---------------------------
+  bool second_reads_wa = false;
+  for (const prog::ArrayRef& r : second.clause().refs)
+    if (r.array == wa) second_reads_wa = true;
+  if (second_reads_wa && !da.is_replicated()) {
+    // (Replicated target: every rank wrote its own copy; reads stay
+    // local.) Otherwise every read of a written element must happen on
+    // the rank that wrote it.
+    if (second.lhs_replicated()) return true;  // read on every rank
+    std::unordered_set<i64> written = write_set(first);
+    for (int r = 0; r < static_cast<int>(second.clause().refs.size());
+         ++r) {
+      if (second.clause().refs[static_cast<std::size_t>(r)].array != wa)
+        continue;
+      bool cross = any_tuple(second, [&](i64 rank,
+                                         const std::vector<i64>& vals) {
+        std::vector<i64> e = second.ref_index(r, vals);
+        if (!da.in_bounds(e)) return false;
+        if (!written.count(da.dense_linear(e))) return false;
+        return da.owner(e) != rank;
+      });
+      if (cross) return true;
+    }
+  }
+
+  // ---- anti: second overwrites what first read ------------------------
+  bool first_reads_wb = false;
+  for (const prog::ArrayRef& r : first.clause().refs)
+    if (r.array == wb) first_reads_wb = true;
+  if (first_reads_wb && !db.is_replicated()) {
+    if (first.lhs_replicated()) return true;  // read on every rank
+    std::unordered_set<i64> written = write_set(second);
+    for (int r = 0; r < static_cast<int>(first.clause().refs.size());
+         ++r) {
+      if (first.clause().refs[static_cast<std::size_t>(r)].array != wb)
+        continue;
+      bool cross = any_tuple(first, [&](i64 rank,
+                                        const std::vector<i64>& vals) {
+        std::vector<i64> e = first.ref_index(r, vals);
+        if (!db.in_bounds(e)) return false;
+        if (!written.count(db.dense_linear(e))) return false;
+        return db.owner(e) != rank;
+      });
+      if (cross) return true;
+    }
+  }
+
+  // ---- output: both write the same array ------------------------------
+  if (wa == wb && !da.is_replicated() && !db.is_replicated()) {
+    // Owner-computes makes same-element writers coincide only when both
+    // clauses see the same layout (a redistribution in between breaks
+    // it).
+    std::unordered_set<i64> written = write_set(first);
+    bool cross = any_tuple(second, [&](i64 rank,
+                                       const std::vector<i64>& vals) {
+      std::vector<i64> e = second.lhs_index(vals);
+      if (!written.count(da.dense_linear(e))) return false;
+      return da.owner(e) != rank;
+    });
+    if (cross) return true;
+  }
+
+  return false;
+}
+
+}  // namespace vcal::spmd

@@ -1,0 +1,31 @@
+// Barrier elision between consecutive clauses (footnote 1 of the paper:
+// "the expensive barrier synchronization can in many cases be eliminated
+// or merged with other synchronizations in intra-statement
+// optimizations").
+//
+// Under owner-computes, the barrier after clause A is needed before
+// clause B only when some cross-clause data dependence crosses a
+// processor boundary:
+//
+//   flow  (B reads what A wrote):  owner_A-target(element) must equal the
+//                                  processor executing the read in B
+//   anti  (B overwrites what A read): the reader in A must be the writer
+//                                  in B
+//   output (both write the same array): writers of one element coincide
+//                                  by owner-computes — never a constraint
+//
+// The check enumerates B's (resp. A's) loop space and compares owners
+// pointwise — a compile-time pass, exact rather than heuristic, and
+// conservative in the presence of replication.
+#pragma once
+
+#include "spmd/clause_plan.hpp"
+
+namespace vcal::spmd {
+
+/// True when the barrier between `first` (executed earlier) and `second`
+/// must be kept; false when every dependence stays processor-local and
+/// the barrier can be elided.
+bool barrier_needed(const ClausePlan& first, const ClausePlan& second);
+
+}  // namespace vcal::spmd

@@ -1,0 +1,147 @@
+// Per-clause SPMD plans: the compiled form of Sections 2.6-2.10.
+//
+// A ClausePlan is built once per (clause, current decompositions) — the
+// compile-time step — and answers the per-processor questions every
+// target machine template needs:
+//
+//   modify_space(p)     the paper's Modify_p as an iteration space
+//   reside_space(p, r)  Reside_p for right-hand-side reference r
+//   lhs_owner(i) etc.   the proc()/local() arithmetic for single tuples
+//
+// Multi-dimensional clauses decompose per dimension: loop variable l that
+// appears in LHS subscript dimension d is constrained by the owner-compute
+// plan of (f_d, decomposition of dimension d); unconstrained variables get
+// their full range; constant subscript dimensions pin grid coordinates.
+// Sema (lang/sema.cpp) enforces the shape restrictions this requires.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "decomp/array_desc.hpp"
+#include "gen/optimizer.hpp"
+#include "vcal/clause.hpp"
+
+namespace vcal::spmd {
+
+using ArrayTable = std::map<std::string, decomp::ArrayDesc>;
+
+/// Cartesian product of per-loop-dimension schedules.
+class IterationSpace {
+ public:
+  explicit IterationSpace(std::vector<gen::Schedule> dims);
+
+  int dims() const noexcept { return static_cast<int>(dims_.size()); }
+  const gen::Schedule& dim(int d) const;
+
+  /// Materializes each dimension once, then walks the product in
+  /// lexicographic order. `body` receives the loop-variable values.
+  template <typename F>
+  void for_each(F&& body, gen::EnumStats* stats = nullptr) const {
+    std::vector<std::vector<i64>> vals;
+    vals.reserve(dims_.size());
+    for (const auto& s : dims_) {
+      vals.push_back(s.materialize(stats));
+      if (vals.back().empty()) return;
+    }
+    std::vector<i64> cur(dims_.size());
+    std::vector<std::size_t> pos(dims_.size(), 0);
+    for (std::size_t d = 0; d < dims_.size(); ++d) cur[d] = vals[d][0];
+    for (;;) {
+      body(const_cast<const std::vector<i64>&>(cur));
+      std::size_t d = dims_.size();
+      while (d-- > 0) {
+        if (++pos[d] < vals[d].size()) {
+          cur[d] = vals[d][pos[d]];
+          break;
+        }
+        pos[d] = 0;
+        cur[d] = vals[d][0];
+        if (d == 0) return;
+      }
+    }
+  }
+
+  /// Product of per-dimension counts.
+  i64 count() const;
+
+  std::string str() const;
+
+ private:
+  std::vector<gen::Schedule> dims_;
+};
+
+class ClausePlan {
+ public:
+  /// Compiles `clause` against the current array descriptors. Throws
+  /// SemanticError when the clause violates the shape restrictions
+  /// (unknown arrays, arity mismatches, duplicated loop variables in one
+  /// array's subscripts) and CodegenError for unsupported targets.
+  static ClausePlan build(const prog::Clause& clause,
+                          const ArrayTable& arrays,
+                          gen::BuildOptions opts = {});
+
+  const prog::Clause& clause() const noexcept { return clause_; }
+  const decomp::ArrayDesc& lhs_desc() const noexcept { return lhs_desc_; }
+  const decomp::ArrayDesc& ref_desc(int r) const;
+  i64 procs() const noexcept { return procs_; }
+
+  /// True when the LHS array is replicated (every processor computes
+  /// every index; no ownership filtering).
+  bool lhs_replicated() const noexcept { return lhs_desc_.is_replicated(); }
+
+  /// The paper's Modify_p for machine rank p.
+  IterationSpace modify_space(i64 rank) const;
+
+  /// True when reads of ref r may be remote (false for replicated refs).
+  bool ref_needs_comm(int r) const;
+
+  /// The paper's Reside_p for ref r on machine rank p.
+  IterationSpace reside_space(i64 rank, int r) const;
+
+  /// Program-level index of the LHS element at these loop values.
+  std::vector<i64> lhs_index(const std::vector<i64>& loop_vals) const;
+  /// Program-level index of ref r at these loop values.
+  std::vector<i64> ref_index(int r, const std::vector<i64>& loop_vals) const;
+
+  /// Owner rank of the LHS element (replicated LHS: the asking rank
+  /// conceptually owns it; callers must check lhs_replicated() first).
+  i64 lhs_owner(const std::vector<i64>& loop_vals) const;
+  i64 ref_owner(int r, const std::vector<i64>& loop_vals) const;
+
+  /// Tag uniquely naming (ref, loop tuple) for message matching: the
+  /// dense linearization of the loop tuple, offset by the ref id.
+  i64 message_tag(int r, const std::vector<i64>& loop_vals) const;
+
+  /// Methods chosen for every LHS dimension (reporting/debugging).
+  std::string describe() const;
+
+ private:
+  // Per array-dimension constraint: either a plan keyed to a loop
+  // variable, or a pinned grid coordinate from a constant subscript.
+  struct DimConstraint {
+    int loop_index = -1;                      // -1: constant subscript
+    std::optional<gen::OwnerComputePlan> plan;  // set when loop_index >= 0
+    i64 pinned_coord = 0;                     // set when loop_index == -1
+  };
+
+  struct RefPlan {
+    decomp::ArrayDesc desc;
+    std::vector<DimConstraint> dims;
+  };
+
+  ClausePlan(prog::Clause clause, decomp::ArrayDesc lhs_desc);
+
+  IterationSpace space_for(const std::vector<DimConstraint>& constraints,
+                           const decomp::ArrayDesc& desc, i64 rank) const;
+
+  prog::Clause clause_;
+  decomp::ArrayDesc lhs_desc_;
+  std::vector<DimConstraint> lhs_dims_;
+  std::vector<RefPlan> refs_;
+  i64 procs_ = 1;
+};
+
+}  // namespace vcal::spmd

@@ -1,0 +1,69 @@
+#include "spmd/program.hpp"
+
+#include "support/error.hpp"
+#include "support/format.hpp"
+
+namespace vcal::spmd {
+
+void Program::validate() const {
+  for (const auto& [name, desc] : arrays) {
+    if (desc.procs() != procs)
+      throw SemanticError(cat("array ", name, " declared on ", desc.procs(),
+                              " processors; program uses ", procs));
+  }
+  auto check_array = [&](const std::string& name) {
+    if (arrays.find(name) == arrays.end())
+      throw SemanticError("array " + name + " is not declared");
+  };
+  std::map<std::string, bool> replicated;
+  for (const auto& [name, desc] : arrays)
+    replicated[name] = desc.is_replicated();
+  for (const Step& step : steps) {
+    if (const auto* clause = std::get_if<prog::Clause>(&step)) {
+      clause->validate();
+      check_array(clause->lhs_array);
+      for (const prog::ArrayRef& r : clause->refs) check_array(r.array);
+    } else {
+      const auto& redist = std::get<RedistStep>(step);
+      check_array(redist.array);
+      const decomp::ArrayDesc& old_desc = arrays.at(redist.array);
+      if (redist.new_desc.ndims() != old_desc.ndims())
+        throw SemanticError("redistribution changes dimensionality of " +
+                            redist.array);
+      for (int d = 0; d < old_desc.ndims(); ++d)
+        if (redist.new_desc.lo(d) != old_desc.lo(d) ||
+            redist.new_desc.hi(d) != old_desc.hi(d))
+          throw SemanticError("redistribution changes bounds of " +
+                              redist.array);
+      if (redist.new_desc.procs() != procs)
+        throw SemanticError("redistribution of " + redist.array +
+                            " targets a different processor count");
+      if (replicated.at(redist.array) || redist.new_desc.is_replicated())
+        throw SemanticError(
+            "redistribution of " + redist.array +
+            " involves a replicated layout, which has no single owner");
+    }
+  }
+}
+
+i64 Program::clause_count() const {
+  i64 c = 0;
+  for (const Step& step : steps)
+    if (std::holds_alternative<prog::Clause>(step)) ++c;
+  return c;
+}
+
+std::string Program::str() const {
+  std::string out = cat("program on ", procs, " processors\n");
+  for (const auto& [name, desc] : arrays) out += "  " + desc.str() + "\n";
+  for (const Step& step : steps) {
+    if (const auto* clause = std::get_if<prog::Clause>(&step))
+      out += "  " + clause->str() + "\n";
+    else
+      out += "  redistribute " +
+             std::get<RedistStep>(step).new_desc.str() + "\n";
+  }
+  return out;
+}
+
+}  // namespace vcal::spmd

@@ -1,0 +1,44 @@
+// Whole programs: array declarations plus an ordered list of steps.
+//
+// A step is either a clause (one parallel/sequential assignment over a
+// loop nest) or a redistribution (the dynamic-decomposition feature the
+// paper's Section 5 calls out): the named array switches to a new
+// decomposition, and distributed executors move the data accordingly.
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "decomp/array_desc.hpp"
+#include "spmd/clause_plan.hpp"
+#include "vcal/clause.hpp"
+
+namespace vcal::spmd {
+
+/// Redistribute `array` to the decomposition described by `new_desc`
+/// (same name/bounds, different layout).
+struct RedistStep {
+  std::string array;
+  decomp::ArrayDesc new_desc;
+};
+
+using Step = std::variant<prog::Clause, RedistStep>;
+
+struct Program {
+  ArrayTable arrays;        // initial descriptors
+  std::vector<Step> steps;  // executed in order
+  i64 procs = 1;            // machine size every descriptor must match
+
+  /// Cross-step validation: every referenced array is declared, every
+  /// descriptor uses `procs` processors, redistribution targets keep
+  /// their bounds. Throws SemanticError.
+  void validate() const;
+
+  /// Number of clause steps.
+  i64 clause_count() const;
+
+  std::string str() const;
+};
+
+}  // namespace vcal::spmd

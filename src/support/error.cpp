@@ -1,0 +1,15 @@
+#include "support/error.hpp"
+
+namespace vcal {
+
+ParseError::ParseError(const std::string& what, int line, int col)
+    : Error("parse error at " + std::to_string(line) + ":" +
+            std::to_string(col) + ": " + what),
+      line_(line),
+      col_(col) {}
+
+void require(bool cond, const std::string& msg) {
+  if (!cond) throw InternalError("internal invariant violated: " + msg);
+}
+
+}  // namespace vcal

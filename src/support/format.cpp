@@ -1,0 +1,49 @@
+#include "support/format.hpp"
+
+namespace vcal {
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (std::size_t k = 0; k < parts.size(); ++k) {
+    if (k != 0) out += sep;
+    out += parts[k];
+  }
+  return out;
+}
+
+std::string with_commas(std::int64_t n) {
+  std::string digits = std::to_string(n < 0 ? -n : n);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out += ',';
+    out += *it;
+    ++count;
+  }
+  if (n < 0) out += '-';
+  return std::string(out.rbegin(), out.rend());
+}
+
+std::string repeat(const std::string& s, int n) {
+  std::string out;
+  out.reserve(s.size() * static_cast<std::size_t>(n > 0 ? n : 0));
+  for (int k = 0; k < n; ++k) out += s;
+  return out;
+}
+
+std::string pad_left(const std::string& s, int width) {
+  if (static_cast<int>(s.size()) >= width) return s;
+  return std::string(static_cast<std::size_t>(width) - s.size(), ' ') + s;
+}
+
+std::string pad_right(const std::string& s, int width) {
+  if (static_cast<int>(s.size()) >= width) return s;
+  return s + std::string(static_cast<std::size_t>(width) - s.size(), ' ');
+}
+
+bool contains(const std::string& hay, const std::string& needle) {
+  return hay.find(needle) != std::string::npos;
+}
+
+}  // namespace vcal

@@ -1,0 +1,38 @@
+// Small string-building helpers used by the pretty printers and emitters.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace vcal {
+
+/// Joins the elements of `parts` with `sep` between consecutive elements.
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Streams every argument into one string (ostream formatting rules).
+template <typename... Ts>
+std::string cat(const Ts&... ts) {
+  std::ostringstream os;
+  (os << ... << ts);
+  return os.str();
+}
+
+/// Renders `n` with thousands separators, e.g. 1234567 -> "1,234,567".
+std::string with_commas(std::int64_t n);
+
+/// Repeats `s` `n` times.
+std::string repeat(const std::string& s, int n);
+
+/// Left-pads `s` with spaces to at least `width` characters.
+std::string pad_left(const std::string& s, int width);
+
+/// Right-pads `s` with spaces to at least `width` characters.
+std::string pad_right(const std::string& s, int width);
+
+/// True when `hay` contains `needle`.
+bool contains(const std::string& hay, const std::string& needle);
+
+}  // namespace vcal

@@ -1,0 +1,44 @@
+// Exact integer arithmetic helpers.
+//
+// The closed-form schedules of the paper (Theorems 1-3) are derived with
+// mathematical floor/ceil division and the Euclidean (always non-negative)
+// remainder; C++ `/` and `%` truncate toward zero, which differs for
+// negative operands. Every piece of index arithmetic in this library goes
+// through these helpers so negative strides, offsets, and bounds are exact.
+#pragma once
+
+#include <cstdint>
+
+namespace vcal {
+
+using i64 = std::int64_t;
+
+/// floor(a / b). b must be non-zero.
+i64 floordiv(i64 a, i64 b);
+
+/// ceil(a / b). b must be non-zero.
+i64 ceildiv(i64 a, i64 b);
+
+/// Euclidean remainder: result in [0, |b|). b must be non-zero.
+/// Satisfies a == floordiv(a, b) * b + emod(a, b) for b > 0.
+i64 emod(i64 a, i64 b);
+
+/// Greatest common divisor of |a| and |b|; gcd(0, 0) == 0.
+i64 gcd(i64 a, i64 b);
+
+/// Least common multiple of |a| and |b|; 0 if either is 0.
+i64 lcm(i64 a, i64 b);
+
+/// a * b with overflow check; throws InternalError on overflow.
+i64 mul_checked(i64 a, i64 b);
+
+/// a + b with overflow check; throws InternalError on overflow.
+i64 add_checked(i64 a, i64 b);
+
+/// Integer square root: the largest r with r * r <= a. a must be >= 0.
+i64 isqrt(i64 a);
+
+/// True when x lies in the closed interval [lo, hi].
+inline bool in_range(i64 x, i64 lo, i64 hi) { return lo <= x && x <= hi; }
+
+}  // namespace vcal

@@ -1,0 +1,27 @@
+#include "support/rng.hpp"
+
+#include "support/error.hpp"
+
+namespace vcal {
+
+std::uint64_t Rng::next_u64() {
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+i64 Rng::uniform(i64 lo, i64 hi) {
+  require(lo <= hi, "Rng::uniform empty range");
+  std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<i64>(next_u64());  // full 64-bit range
+  return lo + static_cast<i64>(next_u64() % span);
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) { return uniform01() < p; }
+
+}  // namespace vcal

@@ -1,0 +1,33 @@
+// Deterministic pseudo-random numbers for tests and benchmarks.
+//
+// SplitMix64: tiny, fast, and identical on every platform, so property
+// tests and benchmark workloads are reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+#include "support/math.hpp"
+
+namespace vcal {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  i64 uniform(i64 lo, i64 hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli draw with probability p of true.
+  bool chance(double p);
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace vcal

@@ -1,0 +1,21 @@
+#include "support/stats.hpp"
+
+#include <sstream>
+
+namespace vcal {
+
+void Accumulator::add(double x) {
+  ++count_;
+  sum_ += x;
+  if (x < min_) min_ = x;
+  if (x > max_) max_ = x;
+}
+
+std::string Accumulator::summary() const {
+  std::ostringstream os;
+  os << "mean " << mean() << " (min " << min() << ", max " << max()
+     << ", n=" << count_ << ")";
+  return os.str();
+}
+
+}  // namespace vcal

@@ -1,0 +1,32 @@
+// Streaming accumulators for benchmark reporting (min / max / mean / count).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace vcal {
+
+class Accumulator {
+ public:
+  void add(double x);
+
+  std::int64_t count() const noexcept { return count_; }
+  double min() const noexcept { return count_ ? min_ : 0.0; }
+  double max() const noexcept { return count_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+  double mean() const noexcept {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+
+  /// "mean m (min a, max b, n=c)" for log lines.
+  std::string summary() const;
+
+ private:
+  std::int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace vcal

@@ -1,0 +1,98 @@
+#include "vcal/clause.hpp"
+
+#include <map>
+
+#include "support/error.hpp"
+#include "support/format.hpp"
+
+namespace vcal::prog {
+
+std::string to_string(Ordering o) {
+  return o == Ordering::Par ? "//" : "•";
+}
+
+std::vector<std::string> Clause::loop_var_names() const {
+  std::vector<std::string> names;
+  names.reserve(loops.size());
+  for (const LoopDim& l : loops) names.push_back(l.var);
+  return names;
+}
+
+std::string Clause::str() const {
+  std::vector<std::string> vars = loop_var_names();
+
+  std::vector<std::string> dims;
+  dims.reserve(loops.size());
+  for (const LoopDim& l : loops) dims.push_back(cat(l.lo, ":", l.hi));
+  std::string head = "∆(" + join(vars, ",") + " ∈ (" + join(dims, " × ");
+  if (guard)
+    head += " | " + guard->str(refs, vars) + ")) ";
+  else
+    head += ")) ";
+  head += to_string(ord) + " ";
+
+  std::vector<std::string> lhs_parts;
+  lhs_parts.reserve(lhs_subs.size());
+  for (const Subscript& s : lhs_subs) {
+    std::string var =
+        s.loop_index >= 0 ? vars[static_cast<std::size_t>(s.loop_index)]
+                          : "_";
+    lhs_parts.push_back(fn::to_string(s.expr, var));
+  }
+  std::string body = "([" + join(lhs_parts, ", ") + "](" + lhs_array +
+                     ") := " + to_string(rhs, refs, vars) + ")";
+  return head + body;
+}
+
+void Clause::validate() const {
+  if (loops.empty())
+    throw SemanticError("clause has no loop dimensions");
+  for (const LoopDim& l : loops) {
+    if (l.var.empty()) throw SemanticError("clause loop variable unnamed");
+    if (l.lo > l.hi)
+      throw SemanticError(cat("empty loop range ", l.lo, ":", l.hi,
+                              " for variable ", l.var));
+  }
+  if (!rhs) throw SemanticError("clause has no right-hand side");
+  if (lhs_array.empty()) throw SemanticError("clause has no target array");
+
+  auto check_subs = [&](const std::string& arr,
+                        const std::vector<Subscript>& subs) {
+    if (subs.empty())
+      throw SemanticError("array " + arr + " used without subscripts");
+    for (const Subscript& s : subs) {
+      if (!s.expr)
+        throw SemanticError("null subscript expression on " + arr);
+      if (s.loop_index >= static_cast<int>(loops.size()))
+        throw SemanticError("subscript of " + arr +
+                            " names a loop variable out of range");
+      if (s.loop_index < 0 && !fn::is_constant(s.expr))
+        throw SemanticError("subscript of " + arr +
+                            " marked constant but uses a variable");
+    }
+  };
+  check_subs(lhs_array, lhs_subs);
+
+  std::map<std::string, std::size_t> arity;
+  arity[lhs_array] = lhs_subs.size();
+  for (const ArrayRef& r : refs) {
+    check_subs(r.array, r.subs);
+    auto it = arity.find(r.array);
+    if (it != arity.end() && it->second != r.subs.size())
+      throw SemanticError("array " + r.array +
+                          " used with inconsistent dimensionality");
+    arity[r.array] = r.subs.size();
+  }
+
+  std::vector<int> used;
+  collect_refs(rhs, used);
+  if (guard) {
+    collect_refs(guard->lhs, used);
+    collect_refs(guard->rhs, used);
+  }
+  for (int r : used)
+    if (r < 0 || r >= static_cast<int>(refs.size()))
+      throw SemanticError("expression references a ref outside the table");
+}
+
+}  // namespace vcal::prog

@@ -1,0 +1,56 @@
+// Clauses: the V-cal form of one assignment statement under a loop nest.
+//
+// A clause is the paper's
+//
+//   ∆(i ∈ (imin:imax | guard)) ◊ ( [f(i)](A) := Expr([g(i)](B), ...) )
+//
+// generalized to a d-deep nest of loop variables. The ordering operator ◊
+// is '//' (parallel, no ordering) or '•' (lexicographic / sequential).
+// Parallel clauses have copy-in semantics: every right-hand-side read
+// observes the pre-clause state of all arrays, even when LHS and RHS name
+// the same array (the paper's state-less function mapping, Section 2.1).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "vcal/expr.hpp"
+
+namespace vcal::prog {
+
+/// One loop dimension: ∆(var ∈ lo:hi).
+struct LoopDim {
+  std::string var;
+  i64 lo = 0;
+  i64 hi = -1;
+};
+
+/// The paper's ordering operator ◊.
+enum class Ordering { Par /* '//' */, Seq /* '•' */ };
+
+std::string to_string(Ordering o);
+
+struct Clause {
+  std::vector<LoopDim> loops;
+  Ordering ord = Ordering::Par;
+  std::string lhs_array;
+  std::vector<Subscript> lhs_subs;
+  ExprPtr rhs;
+  std::optional<Guard> guard;
+  /// Table of array reads; Expr/Guard leaves point into it by index.
+  std::vector<ArrayRef> refs;
+
+  std::vector<std::string> loop_var_names() const;
+
+  /// Plain rendering, e.g.
+  /// "∆(i ∈ (1:9 | A[i] > 0)) // ([i](A) := [i + 1](B)*2)".
+  std::string str() const;
+
+  /// Structural sanity checks (loop indices in range, non-empty loops,
+  /// subscript arity consistent for repeated arrays). Throws
+  /// SemanticError with a message naming the offending piece.
+  void validate() const;
+};
+
+}  // namespace vcal::prog

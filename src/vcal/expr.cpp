@@ -1,0 +1,240 @@
+#include "vcal/expr.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/format.hpp"
+
+namespace vcal::prog {
+
+std::vector<i64> eval_subs(const std::vector<Subscript>& subs,
+                           const std::vector<i64>& loop_vals) {
+  std::vector<i64> out(subs.size());
+  for (std::size_t d = 0; d < subs.size(); ++d) {
+    const Subscript& s = subs[d];
+    i64 v = 0;
+    if (s.loop_index >= 0) {
+      require(static_cast<std::size_t>(s.loop_index) < loop_vals.size(),
+              "Subscript: loop index out of range");
+      v = loop_vals[static_cast<std::size_t>(s.loop_index)];
+    }
+    out[d] = fn::eval(s.expr, v);
+  }
+  return out;
+}
+
+std::string ArrayRef::str(const std::vector<std::string>& loop_vars) const {
+  std::vector<std::string> parts;
+  parts.reserve(subs.size());
+  for (const Subscript& s : subs) {
+    std::string var =
+        s.loop_index >= 0
+            ? loop_vars[static_cast<std::size_t>(s.loop_index)]
+            : "_";
+    parts.push_back(fn::to_string(s.expr, var));
+  }
+  return array + "[" + join(parts, ", ") + "]";
+}
+
+namespace {
+
+ExprPtr make(Expr::Kind kind, double num, int r, ExprPtr a, ExprPtr b) {
+  auto e = std::make_shared<Expr>();
+  e->kind = kind;
+  e->number = num;
+  e->ref = r;
+  e->lhs = std::move(a);
+  e->rhs = std::move(b);
+  return e;
+}
+
+int prec(Expr::Kind k) {
+  switch (k) {
+    case Expr::Kind::Number:
+    case Expr::Kind::Ref:
+    case Expr::Kind::Loop:
+      return 4;
+    case Expr::Kind::Neg:
+      return 3;
+    case Expr::Kind::Mul:
+    case Expr::Kind::Div:
+      return 2;
+    case Expr::Kind::Add:
+    case Expr::Kind::Sub:
+      return 1;
+  }
+  return 0;
+}
+
+std::string print(const ExprPtr& e, const std::vector<ArrayRef>& refs,
+                  const std::vector<std::string>& loop_vars,
+                  int parent_prec) {
+  std::string out;
+  switch (e->kind) {
+    case Expr::Kind::Loop:
+      out = loop_vars[static_cast<std::size_t>(e->ref)];
+      break;
+    case Expr::Kind::Number: {
+      // Print integral constants without a trailing ".0".
+      double v = e->number;
+      if (v == static_cast<double>(static_cast<i64>(v)))
+        out = std::to_string(static_cast<i64>(v));
+      else
+        out = cat(v);
+      break;
+    }
+    case Expr::Kind::Ref:
+      out = refs[static_cast<std::size_t>(e->ref)].str(loop_vars);
+      break;
+    case Expr::Kind::Neg:
+      out = "-" + print(e->lhs, refs, loop_vars, 3);
+      break;
+    case Expr::Kind::Add:
+      out = print(e->lhs, refs, loop_vars, 1) + " + " +
+            print(e->rhs, refs, loop_vars, 1);
+      break;
+    case Expr::Kind::Sub:
+      out = print(e->lhs, refs, loop_vars, 1) + " - " +
+            print(e->rhs, refs, loop_vars, 2);
+      break;
+    case Expr::Kind::Mul:
+      out = print(e->lhs, refs, loop_vars, 2) + "*" +
+            print(e->rhs, refs, loop_vars, 2);
+      break;
+    case Expr::Kind::Div:
+      out = print(e->lhs, refs, loop_vars, 2) + "/" +
+            print(e->rhs, refs, loop_vars, 3);
+      break;
+  }
+  if (prec(e->kind) < parent_prec) return "(" + out + ")";
+  return out;
+}
+
+}  // namespace
+
+ExprPtr number(double v) {
+  return make(Expr::Kind::Number, v, -1, nullptr, nullptr);
+}
+ExprPtr ref(int index) {
+  return make(Expr::Kind::Ref, 0.0, index, nullptr, nullptr);
+}
+ExprPtr loop_var(int loop_index) {
+  return make(Expr::Kind::Loop, 0.0, loop_index, nullptr, nullptr);
+}
+ExprPtr add(ExprPtr a, ExprPtr b) {
+  return make(Expr::Kind::Add, 0.0, -1, std::move(a), std::move(b));
+}
+ExprPtr sub(ExprPtr a, ExprPtr b) {
+  return make(Expr::Kind::Sub, 0.0, -1, std::move(a), std::move(b));
+}
+ExprPtr mul(ExprPtr a, ExprPtr b) {
+  return make(Expr::Kind::Mul, 0.0, -1, std::move(a), std::move(b));
+}
+ExprPtr divide(ExprPtr a, ExprPtr b) {
+  return make(Expr::Kind::Div, 0.0, -1, std::move(a), std::move(b));
+}
+ExprPtr neg(ExprPtr a) {
+  return make(Expr::Kind::Neg, 0.0, -1, std::move(a), nullptr);
+}
+
+double eval(const ExprPtr& e, const std::vector<double>& ref_values,
+            const std::vector<i64>& loop_vals) {
+  require(e != nullptr, "eval of null Expr");
+  switch (e->kind) {
+    case Expr::Kind::Number:
+      return e->number;
+    case Expr::Kind::Ref:
+      require(e->ref >= 0 &&
+                  static_cast<std::size_t>(e->ref) < ref_values.size(),
+              "Expr ref out of range");
+      return ref_values[static_cast<std::size_t>(e->ref)];
+    case Expr::Kind::Loop:
+      require(e->ref >= 0 &&
+                  static_cast<std::size_t>(e->ref) < loop_vals.size(),
+              "Expr loop variable out of range");
+      return static_cast<double>(
+          loop_vals[static_cast<std::size_t>(e->ref)]);
+    case Expr::Kind::Neg:
+      return -eval(e->lhs, ref_values, loop_vals);
+    case Expr::Kind::Add:
+      return eval(e->lhs, ref_values, loop_vals) +
+             eval(e->rhs, ref_values, loop_vals);
+    case Expr::Kind::Sub:
+      return eval(e->lhs, ref_values, loop_vals) -
+             eval(e->rhs, ref_values, loop_vals);
+    case Expr::Kind::Mul:
+      return eval(e->lhs, ref_values, loop_vals) *
+             eval(e->rhs, ref_values, loop_vals);
+    case Expr::Kind::Div:
+      return eval(e->lhs, ref_values, loop_vals) /
+             eval(e->rhs, ref_values, loop_vals);
+  }
+  throw InternalError("eval: bad Expr kind");
+}
+
+void collect_refs(const ExprPtr& e, std::vector<int>& out) {
+  if (!e) return;
+  if (e->kind == Expr::Kind::Ref) {
+    if (std::find(out.begin(), out.end(), e->ref) == out.end())
+      out.push_back(e->ref);
+    return;
+  }
+  collect_refs(e->lhs, out);
+  collect_refs(e->rhs, out);
+  std::sort(out.begin(), out.end());
+}
+
+std::string to_string(const ExprPtr& e, const std::vector<ArrayRef>& refs,
+                      const std::vector<std::string>& loop_vars) {
+  return print(e, refs, loop_vars, 0);
+}
+
+bool Guard::holds(const std::vector<double>& ref_values,
+                  const std::vector<i64>& loop_vals) const {
+  double a = eval(lhs, ref_values, loop_vals);
+  double b = eval(rhs, ref_values, loop_vals);
+  switch (cmp) {
+    case Cmp::LT:
+      return a < b;
+    case Cmp::LE:
+      return a <= b;
+    case Cmp::GT:
+      return a > b;
+    case Cmp::GE:
+      return a >= b;
+    case Cmp::EQ:
+      return a == b;
+    case Cmp::NE:
+      return a != b;
+  }
+  throw InternalError("Guard: bad comparison");
+}
+
+std::string Guard::str(const std::vector<ArrayRef>& refs,
+                       const std::vector<std::string>& loop_vars) const {
+  const char* op = "?";
+  switch (cmp) {
+    case Cmp::LT:
+      op = "<";
+      break;
+    case Cmp::LE:
+      op = "<=";
+      break;
+    case Cmp::GT:
+      op = ">";
+      break;
+    case Cmp::GE:
+      op = ">=";
+      break;
+    case Cmp::EQ:
+      op = "=";
+      break;
+    case Cmp::NE:
+      op = "<>";
+      break;
+  }
+  return to_string(lhs, refs, loop_vars) + " " + op + " " +
+         to_string(rhs, refs, loop_vars);
+}
+
+}  // namespace vcal::prog

@@ -1,0 +1,91 @@
+// Scalar expression trees for clause right-hand sides and guards.
+//
+// A clause's RHS is an arithmetic expression over constants and *array
+// references*; each reference subscripts an array with symbolic index
+// functions of the clause's loop variables (fn::Sym trees). References are
+// kept in a per-clause table so the SPMD builder can plan one fetch per
+// reference — guards use the same table, which is what lets data-dependent
+// guards ride the same communication the paper's templates generate.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fn/sym.hpp"
+
+namespace vcal::prog {
+
+using vcal::i64;
+
+/// One subscript dimension: an expression in at most one loop variable.
+/// loop_index == -1 means the expression is constant.
+struct Subscript {
+  int loop_index = -1;
+  fn::SymPtr expr;
+};
+
+/// Evaluates subscripts at the given loop-variable values.
+std::vector<i64> eval_subs(const std::vector<Subscript>& subs,
+                           const std::vector<i64>& loop_vals);
+
+/// A read of one array element, e.g. B[2*i + 1, j].
+struct ArrayRef {
+  std::string array;
+  std::vector<Subscript> subs;
+
+  /// "B[2*i + 1, j]" with the clause's loop-variable names.
+  std::string str(const std::vector<std::string>& loop_vars) const;
+};
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+class Expr {
+ public:
+  enum class Kind { Number, Ref, Loop, Add, Sub, Mul, Div, Neg };
+
+  Kind kind;
+  double number = 0.0;  // Number
+  int ref = -1;         // Ref: index into the clause's ref table;
+                        // Loop: index into the clause's loop dims
+  ExprPtr lhs, rhs;
+};
+
+ExprPtr number(double v);
+ExprPtr ref(int index);
+/// The value of loop variable `loop_index` (e.g. A[i] := i).
+ExprPtr loop_var(int loop_index);
+ExprPtr add(ExprPtr a, ExprPtr b);
+ExprPtr sub(ExprPtr a, ExprPtr b);
+ExprPtr mul(ExprPtr a, ExprPtr b);
+ExprPtr divide(ExprPtr a, ExprPtr b);
+ExprPtr neg(ExprPtr a);
+
+/// Evaluates with ref_values[k] supplying the value of ref k and
+/// loop_vals[d] the current loop-variable values (may be empty when the
+/// expression provably contains no Loop leaf).
+double eval(const ExprPtr& e, const std::vector<double>& ref_values,
+            const std::vector<i64>& loop_vals = {});
+
+/// Collects the distinct ref indices appearing in e (ascending).
+void collect_refs(const ExprPtr& e, std::vector<int>& out);
+
+std::string to_string(const ExprPtr& e, const std::vector<ArrayRef>& refs,
+                      const std::vector<std::string>& loop_vars);
+
+/// A comparison guard, e.g. A[i] > 0.
+struct Guard {
+  enum class Cmp { LT, LE, GT, GE, EQ, NE };
+  Cmp cmp;
+  ExprPtr lhs;
+  ExprPtr rhs;
+
+  bool holds(const std::vector<double>& ref_values,
+             const std::vector<i64>& loop_vals = {}) const;
+  std::string str(const std::vector<ArrayRef>& refs,
+                  const std::vector<std::string>& loop_vars) const;
+};
+
+}  // namespace vcal::prog

@@ -1,0 +1,144 @@
+#include "vcal/index_set.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/format.hpp"
+
+namespace vcal::cal {
+
+std::string to_string(const Ivec& v) {
+  std::vector<std::string> parts;
+  parts.reserve(v.size());
+  for (i64 x : v) parts.push_back(std::to_string(x));
+  return "(" + join(parts, ",") + ")";
+}
+
+bool BoundVec::contains(const Ivec& i) const {
+  if (i.size() != lo.size()) return false;
+  for (std::size_t d = 0; d < lo.size(); ++d)
+    if (!in_range(i[d], lo[d], hi[d])) return false;
+  return true;
+}
+
+i64 BoundVec::count() const {
+  i64 c = 1;
+  for (std::size_t d = 0; d < lo.size(); ++d) {
+    if (hi[d] < lo[d]) return 0;
+    c = mul_checked(c, hi[d] - lo[d] + 1);
+  }
+  return c;
+}
+
+BoundVec BoundVec::intersect(const BoundVec& a, const BoundVec& b) {
+  require(a.dims() == b.dims(), "BoundVec::intersect arity mismatch");
+  BoundVec out;
+  out.lo.resize(a.lo.size());
+  out.hi.resize(a.hi.size());
+  for (std::size_t d = 0; d < a.lo.size(); ++d) {
+    out.lo[d] = std::max(a.lo[d], b.lo[d]);
+    out.hi[d] = std::min(a.hi[d], b.hi[d]);
+  }
+  return out;
+}
+
+std::string BoundVec::str() const {
+  std::vector<std::string> parts;
+  parts.reserve(lo.size());
+  for (std::size_t d = 0; d < lo.size(); ++d)
+    parts.push_back(cat(lo[d], ":", hi[d]));
+  return "(" + join(parts, ", ") + ")";
+}
+
+BoundVec bounds1(i64 lo, i64 hi) { return BoundVec{{lo}, {hi}}; }
+
+BoundVec bounds2(i64 lo1, i64 hi1, i64 lo2, i64 hi2) {
+  return BoundVec{{lo1, lo2}, {hi1, hi2}};
+}
+
+Predicate::Predicate(std::function<bool(const Ivec&)> fn, std::string text)
+    : fn_(std::move(fn)), text_(std::move(text)) {
+  require(static_cast<bool>(fn_), "Predicate: null function");
+}
+
+Predicate Predicate::truth() {
+  return Predicate([](const Ivec&) { return true; }, "");
+}
+
+Predicate Predicate::compose(std::function<Ivec(const Ivec&)> ip,
+                             const std::string& ip_text) const {
+  if (is_truth()) return *this;
+  auto f = fn_;
+  return Predicate([f, ip](const Ivec& i) { return f(ip(i)); },
+                   "(" + text_ + ")∘" + ip_text);
+}
+
+Predicate Predicate::conjoin(const Predicate& other) const {
+  if (is_truth()) return other;
+  if (other.is_truth()) return *this;
+  auto f = fn_;
+  auto g = other.fn_;
+  return Predicate([f, g](const Ivec& i) { return f(i) && g(i); },
+                   text_ + " ∧ " + other.text_);
+}
+
+IndexSet::IndexSet(BoundVec b, Predicate p)
+    : b_(std::move(b)), p_(std::move(p)) {}
+
+IndexSet::IndexSet(BoundVec b) : b_(std::move(b)), p_(Predicate::truth()) {}
+
+bool IndexSet::contains(const Ivec& i) const {
+  return b_.contains(i) && p_(i);
+}
+
+std::vector<Ivec> IndexSet::enumerate() const {
+  std::vector<Ivec> out;
+  if (b_.count() == 0) return out;
+  Ivec idx = b_.lo;
+  for (;;) {
+    if (p_(idx)) out.push_back(idx);
+    int d = b_.dims() - 1;
+    while (d >= 0) {
+      auto ud = static_cast<std::size_t>(d);
+      if (idx[ud] < b_.hi[ud]) {
+        ++idx[ud];
+        break;
+      }
+      idx[ud] = b_.lo[ud];
+      --d;
+    }
+    if (d < 0) return out;
+  }
+}
+
+i64 IndexSet::count() const {
+  if (b_.count() == 0) return 0;
+  if (p_.is_truth()) return b_.count();
+  i64 c = 0;
+  Ivec idx = b_.lo;
+  for (;;) {
+    if (p_(idx)) ++c;
+    int d = b_.dims() - 1;
+    while (d >= 0) {
+      auto ud = static_cast<std::size_t>(d);
+      if (idx[ud] < b_.hi[ud]) {
+        ++idx[ud];
+        break;
+      }
+      idx[ud] = b_.lo[ud];
+      --d;
+    }
+    if (d < 0) return c;
+  }
+}
+
+std::string IndexSet::str() const {
+  std::string inner = b_.str();
+  // Strip the outer parens of the bound rendering so the predicate joins
+  // the way the paper writes it: (0:2 x 0:2, P).
+  inner = inner.substr(1, inner.size() - 2);
+  if (p_.is_truth()) return "(" + inner + ")";
+  return "(" + inner + " | " + p_.text() + ")";
+}
+
+}  // namespace vcal::cal

@@ -1,0 +1,101 @@
+// Bounded sets and index sets (Definitions 1-2 of the paper).
+//
+// This is the *extensional* layer of V-cal: sets and views carry runnable
+// predicate/index functions so that the calculus laws (composition,
+// contraction, interchange) can be executed and property-tested literally
+// on small sets. The *intensional* (symbolic) layer that code generation
+// uses lives in src/fn and src/gen; tests cross-check the two.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "support/math.hpp"
+
+namespace vcal::cal {
+
+/// A d-tuple index.
+using Ivec = std::vector<i64>;
+
+std::string to_string(const Ivec& v);
+
+/// Definition 1: the bound vector b = (l, u) of a bounded set N_b.
+struct BoundVec {
+  Ivec lo;
+  Ivec hi;
+
+  int dims() const noexcept { return static_cast<int>(lo.size()); }
+  bool contains(const Ivec& i) const;
+  /// Number of points in the box (0 when any dimension is empty).
+  i64 count() const;
+  bool empty() const { return count() == 0; }
+
+  /// The paper's '&' operator: bound vector of the intersection.
+  static BoundVec intersect(const BoundVec& a, const BoundVec& b);
+
+  /// "(l1:u1, l2:u2)".
+  std::string str() const;
+
+  bool operator==(const BoundVec& o) const {
+    return lo == o.lo && hi == o.hi;
+  }
+};
+
+/// Convenience: 1-D bound vector lo:hi.
+BoundVec bounds1(i64 lo, i64 hi);
+/// Convenience: 2-D bound vector (lo1:hi1, lo2:hi2).
+BoundVec bounds2(i64 lo1, i64 hi1, i64 lo2, i64 hi2);
+
+/// A predicate P : N^d -> bool with a printable form.
+class Predicate {
+ public:
+  Predicate(std::function<bool(const Ivec&)> fn, std::string text);
+
+  /// The always-true predicate (printed as nothing).
+  static Predicate truth();
+
+  bool operator()(const Ivec& i) const { return fn_(i); }
+  const std::string& text() const noexcept { return text_; }
+  bool is_truth() const noexcept { return text_.empty(); }
+
+  /// P composed with an index map: i -> P(ip(i)).
+  Predicate compose(std::function<Ivec(const Ivec&)> ip,
+                    const std::string& ip_text) const;
+
+  /// Conjunction; keeps printing compact when either side is truth().
+  Predicate conjoin(const Predicate& other) const;
+
+ private:
+  std::function<bool(const Ivec&)> fn_;
+  std::string text_;
+};
+
+/// Definition 2: an index set I = (b, P).
+class IndexSet {
+ public:
+  IndexSet(BoundVec b, Predicate p);
+
+  /// Index set with the trivial predicate.
+  explicit IndexSet(BoundVec b);
+
+  const BoundVec& bound() const noexcept { return b_; }
+  const Predicate& pred() const noexcept { return p_; }
+
+  bool contains(const Ivec& i) const;
+
+  /// All members in lexicographic order (small sets; tests and demos).
+  std::vector<Ivec> enumerate() const;
+
+  /// |enumerate()| without materializing.
+  i64 count() const;
+
+  /// "(0:2 x 0:2, P)" style rendering.
+  std::string str() const;
+
+ private:
+  BoundVec b_;
+  Predicate p_;
+};
+
+}  // namespace vcal::cal

@@ -1,0 +1,60 @@
+#include "vcal/rewrite.hpp"
+
+#include "support/format.hpp"
+
+namespace vcal::cal {
+
+namespace {
+
+IndexSet owner_filter(i64 imin, i64 imax, const fn::IndexFn& f,
+                      const decomp::Decomp1D& d, i64 p,
+                      const std::string& proc_name) {
+  Predicate pred(
+      [f, d, p](const Ivec& i) {
+        i64 v = f(i[0]);
+        if (!in_range(v, 0, d.n() - 1)) return false;
+        return d.is_replicated() || d.proc(v) == p;
+      },
+      cat(proc_name, "(", f.str(), ") = ", p));
+  return IndexSet(bounds1(imin, imax), std::move(pred));
+}
+
+}  // namespace
+
+IndexSet modify_set(i64 imin, i64 imax, const fn::IndexFn& f,
+                    const decomp::Decomp1D& d, i64 p) {
+  return owner_filter(imin, imax, f, d, p, "proc_A");
+}
+
+IndexSet reside_set(i64 imin, i64 imax, const fn::IndexFn& g,
+                    const decomp::Decomp1D& d, i64 p) {
+  return owner_filter(imin, imax, g, d, p, "proc_B");
+}
+
+std::vector<std::pair<i64, i64>> enumerate_i_outer(
+    i64 imin, i64 imax, const fn::IndexFn& f, const decomp::Decomp1D& d) {
+  std::vector<std::pair<i64, i64>> out;
+  for (i64 i = imin; i <= imax; ++i) {
+    i64 v = f(i);
+    if (!in_range(v, 0, d.n() - 1)) continue;
+    for (i64 p = 0; p < d.procs(); ++p) {
+      if (d.proc(v) == p) out.emplace_back(p, i);
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<i64, i64>> enumerate_p_outer(
+    i64 imin, i64 imax, const fn::IndexFn& f, const decomp::Decomp1D& d) {
+  std::vector<std::pair<i64, i64>> out;
+  for (i64 p = 0; p < d.procs(); ++p) {
+    for (i64 i = imin; i <= imax; ++i) {
+      i64 v = f(i);
+      if (!in_range(v, 0, d.n() - 1)) continue;
+      if (d.proc(v) == p) out.emplace_back(p, i);
+    }
+  }
+  return out;
+}
+
+}  // namespace vcal::cal

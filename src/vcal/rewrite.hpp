@@ -1,0 +1,44 @@
+// Extensional forms of the paper's rewrite rules (Section 2.6-2.8).
+//
+// These helpers build, as runnable IndexSets, the objects the paper's
+// derivation manipulates symbolically:
+//
+//   renaming     [E(i), ...] => ∆(e ∈ (emin:emax | E(i) = e)) [e, ...]
+//   interchange  ∆(i)∆(p | proc(f(i))=p)  ==  ∆(p)∆(i | proc(f(i))=p)
+//   Modify_p / Reside_p (Section 2.8)
+//
+// gen/optimizer.cpp produces the same sets in closed form; the test suite
+// pits the two against each other index-for-index.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "decomp/decomp1d.hpp"
+#include "fn/index_fn.hpp"
+#include "vcal/index_set.hpp"
+
+namespace vcal::cal {
+
+/// Modify_p = { i ∈ imin:imax | proc_A(f(i)) = p }, as an index set with a
+/// runnable predicate (Section 2.8). Indices whose f-image falls outside
+/// the array are excluded.
+IndexSet modify_set(i64 imin, i64 imax, const fn::IndexFn& f,
+                    const decomp::Decomp1D& d, i64 p);
+
+/// Reside_p for an access function g: identical construction.
+IndexSet reside_set(i64 imin, i64 imax, const fn::IndexFn& g,
+                    const decomp::Decomp1D& d, i64 p);
+
+/// The left side of the interchange rewrite: iterate i outermost and find
+/// for each i the processor selected by the renaming predicate. Returns
+/// (p, i) pairs in the order produced.
+std::vector<std::pair<i64, i64>> enumerate_i_outer(
+    i64 imin, i64 imax, const fn::IndexFn& f, const decomp::Decomp1D& d);
+
+/// The right side: iterate p outermost (the SPMD form, Eq. 3). Returns
+/// (p, i) pairs in the order produced.
+std::vector<std::pair<i64, i64>> enumerate_p_outer(
+    i64 imin, i64 imax, const fn::IndexFn& f, const decomp::Decomp1D& d);
+
+}  // namespace vcal::cal

@@ -1,0 +1,99 @@
+#include "vcal/view.hpp"
+
+#include "support/error.hpp"
+
+namespace vcal::cal {
+
+IndexMap::IndexMap(std::function<Ivec(const Ivec&)> fn, std::string text)
+    : fn_(std::move(fn)), text_(std::move(text)) {
+  require(static_cast<bool>(fn_), "IndexMap: null function");
+}
+
+IndexMap IndexMap::identity(int dims) {
+  (void)dims;
+  return IndexMap([](const Ivec& i) { return i; }, "id");
+}
+
+IndexMap IndexMap::scalar(std::function<i64(i64)> fn, std::string text) {
+  return IndexMap(
+      [fn](const Ivec& i) {
+        require(i.size() == 1, "scalar IndexMap applied to d-tuple");
+        return Ivec{fn(i[0])};
+      },
+      std::move(text));
+}
+
+BoundMap::BoundMap(std::vector<std::function<i64(i64)>> per_dim,
+                   std::string text)
+    : per_dim_(std::move(per_dim)), text_(std::move(text)) {
+  require(!per_dim_.empty(), "BoundMap: needs at least one dimension");
+}
+
+BoundMap BoundMap::identity(int dims) {
+  std::vector<std::function<i64(i64)>> fns(
+      static_cast<std::size_t>(dims), [](i64 x) { return x; });
+  return BoundMap(std::move(fns), "id");
+}
+
+BoundMap BoundMap::scalar(std::function<i64(i64)> fn, std::string text) {
+  return BoundMap({std::move(fn)}, std::move(text));
+}
+
+BoundVec BoundMap::operator()(const BoundVec& b) const {
+  require(b.dims() == dims(), "BoundMap applied to wrong arity");
+  BoundVec out;
+  out.lo.resize(b.lo.size());
+  out.hi.resize(b.hi.size());
+  for (std::size_t d = 0; d < b.lo.size(); ++d) {
+    out.lo[d] = per_dim_[d](b.lo[d]);
+    out.hi[d] = per_dim_[d](b.hi[d]);
+  }
+  return out;
+}
+
+const std::function<i64(i64)>& BoundMap::dim_fn(int d) const {
+  require(d >= 0 && d < dims(), "BoundMap::dim_fn bad dimension");
+  return per_dim_[static_cast<std::size_t>(d)];
+}
+
+View::View(IndexSet k, BoundMap dp, IndexMap ip)
+    : k_(std::move(k)), dp_(std::move(dp)), ip_(std::move(ip)) {}
+
+IndexSet View::apply(const IndexSet& i) const {
+  BoundVec jb = BoundVec::intersect(k_.bound(), dp_(i.bound()));
+  Predicate jp =
+      i.pred().compose(ip_.fn(), ip_.text()).conjoin(k_.pred());
+  return IndexSet(std::move(jb), std::move(jp));
+}
+
+View View::compose(const View& w) const {
+  // this = V, w = W, result = U = V ∘ W.
+  const View& v = *this;
+  auto ipv = v.ip_.fn();
+  auto ipw = w.ip_.fn();
+  IndexMap ip_u([ipv, ipw](const Ivec& i) { return ipw(ipv(i)); },
+                w.ip_.text() + "∘" + v.ip_.text());
+
+  require(v.dp_.dims() == w.dp_.dims(), "View::compose dp arity mismatch");
+  std::vector<std::function<i64(i64)>> dp_fns;
+  dp_fns.reserve(static_cast<std::size_t>(v.dp_.dims()));
+  for (int d = 0; d < v.dp_.dims(); ++d) {
+    auto fv = v.dp_.dim_fn(d);
+    auto fw = w.dp_.dim_fn(d);
+    dp_fns.push_back([fv, fw](i64 x) { return fv(fw(x)); });
+  }
+  BoundMap dp_u(std::move(dp_fns), v.dp_.text() + "∘" + w.dp_.text());
+
+  BoundVec b_u = BoundVec::intersect(v.k_.bound(), v.dp_(w.k_.bound()));
+  Predicate p_u = w.k_.pred()
+                      .compose(v.ip_.fn(), v.ip_.text())
+                      .conjoin(v.k_.pred());
+  return View(IndexSet(std::move(b_u), std::move(p_u)), std::move(dp_u),
+              std::move(ip_u));
+}
+
+std::string View::str() const {
+  return "√(" + k_.str() + ", " + dp_.text() + ", " + ip_.text() + ")";
+}
+
+}  // namespace vcal::cal

@@ -1,0 +1,91 @@
+// Views and view composition (Definitions 3-5 of the paper).
+//
+// A view V = (K, dp, ip) applied to an index set I = (bI, PI) yields
+//
+//     J = ( bK & dp(bI),  (PI ∘ ip) ∧ PK )            (Definition 4)
+//
+// and views compose (Definition 5):
+//
+//     ip_u = ip_w ∘ ip_v     (apply ip_v first)
+//     dp_u = dp_v ∘ dp_w
+//     b_u  = bK_v & dp_v(bK_w)
+//     P_u  = (PK_w ∘ ip_v) ∧ PK_v
+//
+// dp must be monotonically increasing on bound vectors (the paper's
+// requirement); we realize it as independent monotone scalar maps applied
+// per component, which also guarantees the law (V∘W)(I) == V(W(I)).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "vcal/index_set.hpp"
+
+namespace vcal::cal {
+
+/// The index propagation function ip : J -> I with a printable form.
+class IndexMap {
+ public:
+  IndexMap(std::function<Ivec(const Ivec&)> fn, std::string text);
+
+  /// Identity on d-tuples.
+  static IndexMap identity(int dims);
+
+  /// 1-D map from a scalar function.
+  static IndexMap scalar(std::function<i64(i64)> fn, std::string text);
+
+  Ivec operator()(const Ivec& i) const { return fn_(i); }
+  const std::string& text() const noexcept { return text_; }
+  const std::function<Ivec(const Ivec&)>& fn() const noexcept { return fn_; }
+
+ private:
+  std::function<Ivec(const Ivec&)> fn_;
+  std::string text_;
+};
+
+/// The data propagation function dp on bound vectors: one monotone
+/// increasing scalar map per dimension, applied to both lo and hi.
+class BoundMap {
+ public:
+  BoundMap(std::vector<std::function<i64(i64)>> per_dim, std::string text);
+
+  static BoundMap identity(int dims);
+
+  /// 1-D map from a scalar function.
+  static BoundMap scalar(std::function<i64(i64)> fn, std::string text);
+
+  BoundVec operator()(const BoundVec& b) const;
+  const std::string& text() const noexcept { return text_; }
+  int dims() const noexcept { return static_cast<int>(per_dim_.size()); }
+  const std::function<i64(i64)>& dim_fn(int d) const;
+
+ private:
+  std::vector<std::function<i64(i64)>> per_dim_;
+  std::string text_;
+};
+
+/// Definition 4: a view (K, dp, ip).
+class View {
+ public:
+  View(IndexSet k, BoundMap dp, IndexMap ip);
+
+  const IndexSet& k() const noexcept { return k_; }
+  const BoundMap& dp() const noexcept { return dp_; }
+  const IndexMap& ip() const noexcept { return ip_; }
+
+  /// Definition 4 application.
+  IndexSet apply(const IndexSet& i) const;
+
+  /// Definition 5 composition (this ∘ w; this plays V, w plays W).
+  View compose(const View& w) const;
+
+  std::string str() const;
+
+ private:
+  IndexSet k_;
+  BoundMap dp_;
+  IndexMap ip_;
+};
+
+}  // namespace vcal::cal

@@ -1,0 +1,111 @@
+// End-to-end tests of the vcalc command-line driver: exit codes, targets,
+// emitters, and error reporting. Paths are injected by CMake.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+std::string vcalc() { return VCALC_PATH; }
+std::string programs() { return EXAMPLES_DIR; }
+
+struct RunResult {
+  int status;
+  std::string out;
+};
+
+RunResult run(const std::string& args) {
+  std::string dir = ::testing::TempDir();
+  std::string out_file = dir + "/cli_out.txt";
+  std::string cmd = vcalc() + " " + args + " > " + out_file + " 2>&1";
+  int status = std::system(cmd.c_str());
+  std::ostringstream buf;
+  buf << std::ifstream(out_file).rdbuf();
+  return {WEXITSTATUS(status), buf.str()};
+}
+
+bool has(const std::string& hay, const std::string& needle) {
+  return hay.find(needle) != std::string::npos;
+}
+
+TEST(Cli, RotateRunsAndPrints) {
+  RunResult r = run("--init B --print A --stats " + programs() +
+                    "/rotate.vexl");
+  EXPECT_EQ(r.status, 0) << r.out;
+  EXPECT_TRUE(has(r.out, "A = 6 7 8 9")) << r.out;
+  EXPECT_TRUE(has(r.out, "stats:")) << r.out;
+  EXPECT_TRUE(has(r.out, "tests=0")) << r.out;
+}
+
+TEST(Cli, TargetsAgree) {
+  std::string base = "--init B --print A " + programs() + "/rotate.vexl";
+  RunResult dist = run("--target=dist " + base);
+  RunResult shared = run("--target=shared " + base);
+  RunResult seq = run("--target=seq " + base);
+  EXPECT_EQ(dist.status, 0);
+  EXPECT_EQ(dist.out, shared.out);
+  EXPECT_EQ(dist.out, seq.out);
+}
+
+TEST(Cli, NaiveMatchesOptimized) {
+  std::string base = "--init U --print U " + programs() + "/relax.vexl";
+  RunResult opt = run(base);
+  RunResult naive = run("--naive " + base);
+  EXPECT_EQ(opt.status, 0);
+  EXPECT_EQ(naive.status, 0);
+  EXPECT_EQ(opt.out, naive.out);
+}
+
+TEST(Cli, EmitModes) {
+  std::string file = programs() + "/relax.vexl";
+  RunResult trace = run("--emit=trace " + file);
+  EXPECT_EQ(trace.status, 0);
+  EXPECT_TRUE(has(trace.out, "(1) source")) << trace.out;
+  EXPECT_TRUE(has(trace.out, "SPMD form"));
+
+  RunResult omp = run("--emit=omp " + file);
+  EXPECT_EQ(omp.status, 0);
+  EXPECT_TRUE(has(omp.out, "#pragma omp parallel"));
+
+  RunResult mpi = run("--emit=mpi " + file);
+  EXPECT_EQ(mpi.status, 0);
+  EXPECT_TRUE(has(mpi.out, "MPI_Init"));
+
+  RunResult ir = run("--emit=ir " + file);
+  EXPECT_EQ(ir.status, 0);
+  EXPECT_TRUE(has(ir.out, "program on 4 processors"));
+}
+
+TEST(Cli, ViewsProgram) {
+  RunResult r = run("--init M --print A --stats " + programs() +
+                    "/views.vexl");
+  EXPECT_EQ(r.status, 0) << r.out;
+  EXPECT_TRUE(has(r.out, "A = 14 15 16 17")) << r.out;
+}
+
+TEST(Cli, ErrorExitCodes) {
+  EXPECT_EQ(run("").status, 1);                             // usage
+  EXPECT_EQ(run("--target=bogus x.vexl").status, 1);        // bad file
+  RunResult missing = run("/nonexistent/prog.vexl");
+  EXPECT_EQ(missing.status, 1);
+
+  // A compile error: write a broken program to a temp file.
+  std::string dir = ::testing::TempDir();
+  std::string bad = dir + "/bad.vexl";
+  std::ofstream(bad) << "array A[0:9]\n";  // missing ';'
+  RunResult r = run(bad);
+  EXPECT_EQ(r.status, 2);
+  EXPECT_TRUE(has(r.out, "vcalc:")) << r.out;
+
+  // An execution fault: --init of an unknown array.
+  std::string ok = dir + "/ok.vexl";
+  std::ofstream(ok) << "array A[0:9]; forall i in 0:9 do A[i] := 1; od\n";
+  RunResult fault = run("--init ZZZ " + ok);
+  EXPECT_EQ(fault.status, 3);
+}
+
+}  // namespace

@@ -1,0 +1,292 @@
+// Tests for decomp/: 1-D decompositions (Figure 2), grids, N-D
+// decompositions, array descriptors, redistribution plans.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "decomp/array_desc.hpp"
+#include "decomp/decomp1d.hpp"
+#include "decomp/decomp_nd.hpp"
+#include "decomp/proc_grid.hpp"
+#include "decomp/redistribute.hpp"
+#include "support/error.hpp"
+
+namespace vcal::decomp {
+namespace {
+
+// The paper's Figure 2: 15 elements over 4 processors.
+TEST(Decomp1D, Figure2aBlockScatter) {
+  Decomp1D d = Decomp1D::block_scatter(15, 4, 2);
+  std::vector<i64> expect = {0, 0, 1, 1, 2, 2, 3, 3, 0, 0, 1, 1, 2, 2, 3};
+  for (i64 i = 0; i < 15; ++i) EXPECT_EQ(d.proc(i), expect[i]) << i;
+}
+
+TEST(Decomp1D, Figure2bBlock) {
+  Decomp1D d = Decomp1D::block(15, 4);
+  EXPECT_EQ(d.block_size(), 4);
+  std::vector<i64> expect = {0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3};
+  for (i64 i = 0; i < 15; ++i) EXPECT_EQ(d.proc(i), expect[i]) << i;
+}
+
+TEST(Decomp1D, Figure2cScatter) {
+  Decomp1D d = Decomp1D::scatter(15, 4);
+  std::vector<i64> expect = {0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2};
+  for (i64 i = 0; i < 15; ++i) EXPECT_EQ(d.proc(i), expect[i]) << i;
+}
+
+// proc/local/global must be a bijection for every decomposition.
+class Decomp1DRoundTrip
+    : public ::testing::TestWithParam<std::tuple<i64, i64, i64>> {};
+
+TEST_P(Decomp1DRoundTrip, GlobalLocalBijection) {
+  auto [n, procs, b] = GetParam();
+  std::vector<Decomp1D> ds = {
+      Decomp1D::block(n, procs),
+      Decomp1D::scatter(n, procs),
+      Decomp1D::block_scatter(n, procs, b),
+  };
+  for (const Decomp1D& d : ds) {
+    std::set<std::pair<i64, i64>> seen;
+    for (i64 i = 0; i < n; ++i) {
+      i64 p = d.proc(i);
+      i64 l = d.local(i);
+      EXPECT_GE(p, 0);
+      EXPECT_LT(p, procs);
+      EXPECT_GE(l, 0);
+      EXPECT_LT(l, d.local_capacity(p)) << d.str() << " i=" << i;
+      EXPECT_TRUE(seen.insert({p, l}).second)
+          << d.str() << ": collision at i=" << i;
+      EXPECT_EQ(d.global(p, l), i) << d.str() << " i=" << i;
+    }
+    // Capacities sum to n exactly.
+    i64 total = 0;
+    for (i64 p = 0; p < procs; ++p) total += d.local_capacity(p);
+    EXPECT_EQ(total, n) << d.str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, Decomp1DRoundTrip,
+    ::testing::Values(std::tuple<i64, i64, i64>{15, 4, 2},
+                      std::tuple<i64, i64, i64>{16, 4, 2},
+                      std::tuple<i64, i64, i64>{1, 1, 1},
+                      std::tuple<i64, i64, i64>{7, 3, 2},
+                      std::tuple<i64, i64, i64>{100, 7, 5},
+                      std::tuple<i64, i64, i64>{64, 8, 8},
+                      std::tuple<i64, i64, i64>{5, 8, 3},
+                      std::tuple<i64, i64, i64>{33, 2, 11}));
+
+TEST(Decomp1D, BlockIsBlockScatterWithCeilSize) {
+  Decomp1D blk = Decomp1D::block(100, 7);
+  Decomp1D bs = Decomp1D::block_scatter(100, 7, ceildiv(100, 7));
+  for (i64 i = 0; i < 100; ++i) {
+    EXPECT_EQ(blk.proc(i), bs.proc(i));
+    EXPECT_EQ(blk.local(i), bs.local(i));
+  }
+}
+
+TEST(Decomp1D, ScatterIsBlockScatterWithUnitBlock) {
+  Decomp1D sc = Decomp1D::scatter(50, 6);
+  Decomp1D bs = Decomp1D::block_scatter(50, 6, 1);
+  for (i64 i = 0; i < 50; ++i) {
+    EXPECT_EQ(sc.proc(i), bs.proc(i));
+    EXPECT_EQ(sc.local(i), bs.local(i));
+  }
+}
+
+TEST(Decomp1D, ReplicatedHoldsEverythingEverywhere) {
+  Decomp1D d = Decomp1D::replicated(10, 4);
+  EXPECT_TRUE(d.is_replicated());
+  for (i64 p = 0; p < 4; ++p) EXPECT_EQ(d.local_capacity(p), 10);
+  EXPECT_EQ(d.local(7), 7);
+  EXPECT_EQ(d.global(2, 7), 7);
+}
+
+TEST(Decomp1D, OwnedIndicesMatchProc) {
+  Decomp1D d = Decomp1D::block_scatter(23, 3, 4);
+  std::vector<i64> all;
+  for (i64 p = 0; p < 3; ++p) {
+    for (i64 i : d.owned_indices(p)) {
+      EXPECT_EQ(d.proc(i), p);
+      all.push_back(i);
+    }
+  }
+  EXPECT_EQ(static_cast<i64>(all.size()), 23);
+}
+
+TEST(Decomp1D, BoundsChecked) {
+  Decomp1D d = Decomp1D::block(10, 2);
+  EXPECT_THROW(d.proc(-1), InternalError);
+  EXPECT_THROW(d.proc(10), InternalError);
+  EXPECT_THROW(d.global(2, 0), InternalError);
+  // Slot beyond the data on the last processor.
+  EXPECT_THROW(d.global(1, 5), InternalError);
+}
+
+TEST(ProcGrid, RankCoordsRoundTrip) {
+  ProcGrid g({3, 4});
+  EXPECT_EQ(g.size(), 12);
+  for (i64 r = 0; r < 12; ++r) {
+    auto c = g.coords(r);
+    EXPECT_EQ(g.rank(c), r);
+  }
+  EXPECT_EQ(g.rank({2, 3}), 11);
+  EXPECT_EQ(g.str(), "3x4");
+}
+
+TEST(ProcGrid, BalancedFactorizations) {
+  EXPECT_EQ(ProcGrid::balanced(12, 3).str(), "3x2x2");
+  EXPECT_EQ(ProcGrid::balanced(8, 3).str(), "2x2x2");
+  EXPECT_EQ(ProcGrid::balanced(64, 3).str(), "4x4x4");
+  EXPECT_EQ(ProcGrid::balanced(7, 2).str(), "7x1");
+  EXPECT_EQ(ProcGrid::balanced(12, 2).str(), "4x3");
+  EXPECT_EQ(ProcGrid::balanced(1, 4).str(), "1x1x1x1");
+  EXPECT_EQ(ProcGrid::balanced(30, 3).str(), "5x3x2");
+  // Product always equals procs.
+  for (i64 p = 1; p <= 64; ++p)
+    for (int d = 1; d <= 4; ++d)
+      EXPECT_EQ(ProcGrid::balanced(p, d).size(), p);
+}
+
+TEST(ProcGrid, Square2dFactorizations) {
+  EXPECT_EQ(ProcGrid::square2d(16).str(), "4x4");
+  EXPECT_EQ(ProcGrid::square2d(12).str(), "4x3");
+  EXPECT_EQ(ProcGrid::square2d(7).str(), "7x1");
+  EXPECT_EQ(ProcGrid::square2d(1).str(), "1x1");
+  EXPECT_EQ(ProcGrid::square2d(2).str(), "2x1");
+}
+
+TEST(DecompND, OwnerAndLocalBijection2D) {
+  DecompND d({Decomp1D::block(6, 2), Decomp1D::scatter(7, 3)});
+  EXPECT_EQ(d.procs(), 6);
+  std::set<std::pair<i64, i64>> seen;
+  std::vector<i64> per_rank(6, 0);
+  for (i64 i = 0; i < 6; ++i) {
+    for (i64 j = 0; j < 7; ++j) {
+      i64 rank = d.owner({i, j});
+      i64 lin = d.local_linear({i, j});
+      EXPECT_TRUE(seen.insert({rank, lin}).second);
+      EXPECT_LT(lin, d.local_capacity(rank));
+      auto back = d.global_from_local(rank, lin);
+      EXPECT_EQ(back, (std::vector<i64>{i, j}));
+      ++per_rank[static_cast<std::size_t>(rank)];
+    }
+  }
+  EXPECT_EQ(std::accumulate(per_rank.begin(), per_rank.end(), i64{0}), 42);
+}
+
+TEST(DecompND, StarDimensionStaysLocal) {
+  // (block, *) on 4 processors: rows distributed, columns whole.
+  DecompND d({Decomp1D::block(8, 4), Decomp1D::block(5, 1)});
+  EXPECT_EQ(d.procs(), 4);
+  for (i64 i = 0; i < 8; ++i)
+    for (i64 j = 0; j < 5; ++j)
+      EXPECT_EQ(d.owner({i, j}), d.owner({i, 0}));
+}
+
+TEST(ArrayDesc, OffsetsAndOwnership) {
+  ArrayDesc a = ArrayDesc::distributed(
+      "A", {10}, {29}, DecompND({Decomp1D::block(20, 4)}));
+  EXPECT_EQ(a.total(), 20);
+  EXPECT_EQ(a.owner({10}), 0);
+  EXPECT_EQ(a.owner({29}), 3);
+  EXPECT_TRUE(a.in_bounds({15}));
+  EXPECT_FALSE(a.in_bounds({30}));
+  EXPECT_FALSE(a.in_bounds({9}));
+  EXPECT_EQ(a.dense_linear({10}), 0);
+  EXPECT_EQ(a.dense_linear({29}), 19);
+  auto idx = a.global_from_local(1, 2);
+  EXPECT_EQ(a.owner(idx), 1);
+  EXPECT_EQ(a.local_linear(idx), 2);
+}
+
+TEST(ArrayDesc, ReplicatedBehaviour) {
+  ArrayDesc a = ArrayDesc::replicated("R", {0, 0}, {3, 4}, 5);
+  EXPECT_TRUE(a.is_replicated());
+  EXPECT_EQ(a.procs(), 5);
+  EXPECT_EQ(a.local_capacity(3), 20);
+  EXPECT_EQ(a.local_linear({1, 2}), 7);
+  EXPECT_EQ(a.global_from_local(4, 7), (std::vector<i64>{1, 2}));
+  EXPECT_THROW(a.decomp(), InternalError);
+}
+
+TEST(ArrayDesc, ValidatesShapes) {
+  EXPECT_THROW(ArrayDesc::distributed(
+                   "A", {0}, {9}, DecompND({Decomp1D::block(5, 2)})),
+               InternalError);  // size mismatch
+  EXPECT_THROW(ArrayDesc::distributed(
+                   "A", {0, 0}, {9, 9},
+                   DecompND({Decomp1D::block(10, 2)})),
+               InternalError);  // arity mismatch
+}
+
+TEST(Redistribute, EveryElementMovesExactlyOnce) {
+  ArrayDesc from = ArrayDesc::distributed(
+      "A", {0}, {29}, DecompND({Decomp1D::block(30, 4)}));
+  ArrayDesc to = ArrayDesc::distributed(
+      "A", {0}, {29}, DecompND({Decomp1D::scatter(30, 4)}));
+  RedistPlan plan = plan_redistribution(from, to);
+  EXPECT_EQ(plan.total_messages() + plan.stationary, 30);
+  std::set<i64> moved;
+  for (const Move& m : plan.moves) {
+    EXPECT_NE(m.src_rank, m.dst_rank);
+    EXPECT_TRUE(moved.insert(m.dense_index).second);
+  }
+  // Block -> scatter on 4 procs of 30: elements staying put are those
+  // whose block owner equals i mod 4.
+  i64 expect_stationary = 0;
+  for (i64 i = 0; i < 30; ++i)
+    if (from.owner({i}) == to.owner({i})) ++expect_stationary;
+  EXPECT_EQ(plan.stationary, expect_stationary);
+}
+
+TEST(Redistribute, IdentityPlanMovesNothing) {
+  ArrayDesc a = ArrayDesc::distributed(
+      "A", {0}, {19}, DecompND({Decomp1D::block_scatter(20, 4, 2)}));
+  RedistPlan plan = plan_redistribution(a, a);
+  EXPECT_EQ(plan.total_messages(), 0);
+  EXPECT_EQ(plan.stationary, 20);
+}
+
+TEST(Redistribute, SendReceiveTalliesMatchMoves) {
+  ArrayDesc from = ArrayDesc::distributed(
+      "A", {0}, {63}, DecompND({Decomp1D::block_scatter(64, 4, 4)}));
+  ArrayDesc to = ArrayDesc::distributed(
+      "A", {0}, {63}, DecompND({Decomp1D::block_scatter(64, 4, 2)}));
+  RedistPlan plan = plan_redistribution(from, to);
+  i64 sends = std::accumulate(plan.sends_by_rank.begin(),
+                              plan.sends_by_rank.end(), i64{0});
+  i64 recvs = std::accumulate(plan.receives_by_rank.begin(),
+                              plan.receives_by_rank.end(), i64{0});
+  EXPECT_EQ(sends, plan.total_messages());
+  EXPECT_EQ(recvs, plan.total_messages());
+}
+
+TEST(Redistribute, RejectsMismatchedShapes) {
+  ArrayDesc a = ArrayDesc::distributed(
+      "A", {0}, {9}, DecompND({Decomp1D::block(10, 2)}));
+  ArrayDesc b = ArrayDesc::distributed(
+      "A", {0}, {19}, DecompND({Decomp1D::block(20, 2)}));
+  EXPECT_THROW(plan_redistribution(a, b), InternalError);
+  ArrayDesc r = ArrayDesc::replicated("A", {0}, {9}, 2);
+  EXPECT_THROW(plan_redistribution(a, r), InternalError);
+}
+
+TEST(Redistribute, TwoDimensionalPlan) {
+  ArrayDesc from = ArrayDesc::distributed(
+      "M", {0, 0}, {7, 7},
+      DecompND({Decomp1D::block(8, 2), Decomp1D::block(8, 2)}));
+  ArrayDesc to = ArrayDesc::distributed(
+      "M", {0, 0}, {7, 7},
+      DecompND({Decomp1D::scatter(8, 2), Decomp1D::block(8, 2)}));
+  RedistPlan plan = plan_redistribution(from, to);
+  EXPECT_EQ(plan.total_messages() + plan.stationary, 64);
+  for (const Move& m : plan.moves) {
+    EXPECT_GE(m.dst_local, 0);
+    EXPECT_LT(m.dst_local, to.local_capacity(m.dst_rank));
+  }
+}
+
+}  // namespace
+}  // namespace vcal::decomp

@@ -1,0 +1,145 @@
+// Tests for diophant/: extended Euclid and linear congruences (the
+// Theorem 3 machinery).
+#include <gtest/gtest.h>
+
+#include "diophant/congruence.hpp"
+#include "diophant/euclid.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace vcal::dio {
+namespace {
+
+TEST(Euclid, BezoutIdentityHoldsForRandomInputs) {
+  Rng rng(11);
+  for (int k = 0; k < 2000; ++k) {
+    i64 a = rng.uniform(-100000, 100000);
+    i64 b = rng.uniform(-100000, 100000);
+    EuclidResult e = extended_gcd(a, b);
+    EXPECT_EQ(e.g, gcd(a, b)) << a << "," << b;
+    EXPECT_EQ(a * e.x + b * e.y, e.g) << a << "," << b;
+  }
+}
+
+TEST(Euclid, EdgeCases) {
+  EXPECT_EQ(extended_gcd(0, 0).g, 0);
+  EXPECT_EQ(extended_gcd(0, 7).g, 7);
+  EXPECT_EQ(extended_gcd(7, 0).g, 7);
+  EXPECT_EQ(extended_gcd(1, 1).g, 1);
+  EuclidResult e = extended_gcd(-6, 9);
+  EXPECT_EQ(e.g, 3);
+  EXPECT_EQ(-6 * e.x + 9 * e.y, 3);
+}
+
+TEST(Euclid, StepCountWithinKnuthWorstCase) {
+  // Section 4 of the paper: the number of division steps never exceeds
+  // 4.8 log10(N) - 0.32.
+  Rng rng(13);
+  for (int k = 0; k < 5000; ++k) {
+    i64 a = rng.uniform(1, 1000000);
+    i64 b = rng.uniform(1, 1000000);
+    EuclidResult e = extended_gcd(a, b);
+    i64 n = std::max(a, b);
+    EXPECT_LE(e.steps, knuth_max_steps(n) + 1.0)
+        << a << "," << b << " took " << e.steps;
+  }
+}
+
+TEST(Euclid, SmallMultiplierConvergesInFiveSteps) {
+  // The paper: "suppose a <= 7, then the maximal number of steps is 5".
+  // One reduction step first maps (a, pmax) to a problem bounded by a.
+  for (i64 a = 1; a <= 7; ++a) {
+    for (i64 pmax = 1; pmax <= 4096; ++pmax) {
+      EuclidResult e = extended_gcd(a, pmax);
+      EXPECT_LE(e.steps, 5 + 1) << a << "," << pmax;
+    }
+  }
+}
+
+TEST(Euclid, FibonacciIsTheWorstCase) {
+  // Consecutive Fibonacci numbers maximize the step count.
+  i64 f0 = 1, f1 = 1;
+  int prev_steps = 0;
+  while (f1 < 1000000) {
+    EuclidResult e = extended_gcd(f1, f0);
+    EXPECT_GE(e.steps, prev_steps);
+    prev_steps = e.steps;
+    i64 f2 = f0 + f1;
+    f0 = f1;
+    f1 = f2;
+  }
+  EXPECT_GT(prev_steps, 20);
+}
+
+TEST(Congruence, SolutionsAreExactlyTheResidueClass) {
+  for (i64 a : {1, 2, 3, 5, 6, 7, -3, -4}) {
+    for (i64 m : {2, 3, 4, 7, 8, 12}) {
+      for (i64 rhs = -10; rhs <= 10; ++rhs) {
+        auto pr = solve_congruence(a, rhs, m);
+        bool solvable = emod(rhs, gcd(a, m)) == 0;
+        ASSERT_EQ(pr.has_value(), solvable)
+            << a << "i=" << rhs << " mod " << m;
+        if (!pr) continue;
+        EXPECT_EQ(pr->stride, m / gcd(a, m));
+        EXPECT_GE(pr->x0, 0);
+        EXPECT_LT(pr->x0, pr->stride);
+        // Every progression member solves the congruence...
+        for (i64 t = -3; t <= 3; ++t) {
+          i64 i = pr->x0 + pr->stride * t;
+          EXPECT_EQ(emod(a * i - rhs, m), 0);
+        }
+        // ...and nothing in between does.
+        for (i64 i = pr->x0 + 1; i < pr->x0 + pr->stride; ++i)
+          EXPECT_NE(emod(a * i - rhs, m), 0);
+      }
+    }
+  }
+}
+
+TEST(Congruence, PaperConstantSolvesTheUnitEquation) {
+  // C(a, m) solves a*i - m*k = gcd(a, m) (the paper's Eq. 5/6 route).
+  for (i64 a : {1, 2, 3, 5, 7, 9, -2, -5}) {
+    for (i64 m : {2, 3, 4, 8, 12, 16}) {
+      i64 c = paper_constant(a, m);
+      EXPECT_EQ(emod(a * c - gcd(a, m), m), 0) << a << "," << m;
+    }
+  }
+}
+
+TEST(Congruence, RangeCounting) {
+  Progression pr{2, 5};  // 2, 7, 12, 17, ...
+  EXPECT_EQ(count_in_range(pr, 0, 20), 4);   // 2 7 12 17
+  EXPECT_EQ(count_in_range(pr, 3, 6), 0);
+  EXPECT_EQ(count_in_range(pr, 7, 7), 1);
+  EXPECT_EQ(count_in_range(pr, -8, 1), 2);   // -8, -3
+  EXPECT_EQ(count_in_range(pr, 5, 4), 0);    // empty interval
+  EXPECT_EQ(first_t_at_or_above(pr, 0), 0);
+  EXPECT_EQ(first_t_at_or_above(pr, 3), 1);
+  EXPECT_EQ(last_t_at_or_below(pr, 20), 3);
+}
+
+TEST(Congruence, GuardsInvalidArguments) {
+  EXPECT_THROW(solve_congruence(0, 1, 5), InternalError);
+  EXPECT_THROW(solve_congruence(2, 1, 0), InternalError);
+  EXPECT_THROW(paper_constant(2, -1), InternalError);
+}
+
+TEST(Euclid, AverageStepsTrackKnuthConstant) {
+  // The paper cites an average of 1.9504 log10(n) division steps. Check
+  // the empirical mean lands near it (wide tolerance; it is asymptotic).
+  Rng rng(17);
+  double total = 0;
+  int samples = 20000;
+  i64 n = 1000000;
+  for (int k = 0; k < samples; ++k) {
+    i64 a = rng.uniform(1, n);
+    i64 b = rng.uniform(1, n);
+    total += extended_gcd(a, b).steps;
+  }
+  double avg = total / samples;
+  double predicted = knuth_avg_steps(n);
+  EXPECT_NEAR(avg, predicted, predicted * 0.25);
+}
+
+}  // namespace
+}  // namespace vcal::dio

@@ -1,0 +1,360 @@
+// Randomized property tests: generated programs and plans, checked
+// against ground truth. Seeds are fixed, so failures reproduce exactly.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "fn/classify.hpp"
+#include "gen/optimizer.hpp"
+#include "lang/translate.hpp"
+#include "rt/dist_machine.hpp"
+#include "rt/seq_executor.hpp"
+#include "rt/shared_machine.hpp"
+#include "support/format.hpp"
+#include "support/rng.hpp"
+
+namespace vcal {
+namespace {
+
+using decomp::Decomp1D;
+using fn::IndexFn;
+
+// ---- random plan vs brute force ---------------------------------------
+
+Decomp1D random_decomp(Rng& rng, i64 n) {
+  switch (rng.uniform(0, 3)) {
+    case 0:
+      return Decomp1D::block(n, rng.uniform(1, 9));
+    case 1:
+      return Decomp1D::scatter(n, rng.uniform(1, 9));
+    case 2:
+      return Decomp1D::block_scatter(n, rng.uniform(1, 9),
+                                     rng.uniform(1, 7));
+    default:
+      return Decomp1D::replicated(n, rng.uniform(1, 9));
+  }
+}
+
+IndexFn random_fn(Rng& rng) {
+  switch (rng.uniform(0, 4)) {
+    case 0:
+      return IndexFn::constant(rng.uniform(-10, 90));
+    case 1: {
+      i64 a = 0;
+      while (a == 0) a = rng.uniform(-6, 6);
+      return IndexFn::affine(a, rng.uniform(-20, 20));
+    }
+    case 2: {
+      i64 a = 0;
+      while (a == 0) a = rng.uniform(-3, 3);
+      return IndexFn::affine_mod(a, rng.uniform(-10, 10),
+                                 rng.uniform(2, 40), rng.uniform(-5, 5));
+    }
+    case 3:
+      // i + i div k: monotone increasing.
+      return fn::classify(
+          fn::add(fn::var(), fn::intdiv(fn::var(),
+                                        fn::cnst(rng.uniform(2, 6)))));
+    default:
+      // Opaque: (i mod p)*(i mod q).
+      return fn::classify(
+          fn::mul(fn::mod(fn::var(), fn::cnst(rng.uniform(2, 6))),
+                  fn::mod(fn::var(), fn::cnst(rng.uniform(2, 8)))));
+  }
+}
+
+class RandomPlans : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomPlans, ScheduleEqualsBruteForceAndPartitions) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  for (int trial = 0; trial < 40; ++trial) {
+    i64 n = rng.uniform(1, 120);
+    Decomp1D d = random_decomp(rng, n);
+    IndexFn f = random_fn(rng);
+    i64 lo = rng.uniform(-30, 60);
+    i64 hi = lo + rng.uniform(0, 90);
+    gen::BuildOptions opts;
+    if (rng.chance(0.3))
+      opts.bs_form = rng.chance(0.5)
+                         ? gen::BuildOptions::BsForm::RepeatedBlock
+                         : gen::BuildOptions::BsForm::RepeatedScatter;
+    gen::OwnerComputePlan plan =
+        gen::OwnerComputePlan::build(f, d, lo, hi, opts);
+    std::set<i64> all;
+    for (i64 p = 0; p < d.procs(); ++p) {
+      std::vector<i64> got = plan.for_proc(p).materialize_sorted();
+      std::vector<i64> want;
+      for (i64 i = lo; i <= hi; ++i) {
+        i64 v = f(i);
+        if (!in_range(v, 0, d.n() - 1)) continue;
+        if (d.is_replicated() || d.proc(v) == p) want.push_back(i);
+      }
+      ASSERT_EQ(got, want) << plan.describe() << "\n p=" << p
+                           << " seed-group=" << GetParam()
+                           << " trial=" << trial;
+      if (!d.is_replicated()) {
+        for (i64 i : got) {
+          ASSERT_TRUE(all.insert(i).second)
+              << "overlap between processors at i=" << i;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPlans, ::testing::Range(0, 12));
+
+// ---- random programs on all three machines -----------------------------
+
+struct ProgramGen {
+  Rng rng;
+  explicit ProgramGen(std::uint64_t seed) : rng(seed) {}
+
+  std::string dist() {
+    switch (rng.uniform(0, 3)) {
+      case 0:
+        return "block";
+      case 1:
+        return "scatter";
+      case 2:
+        return cat("blockscatter(", rng.uniform(1, 5), ")");
+      default:
+        return "replicated";
+    }
+  }
+
+  // A read subscript guaranteed to stay inside [0, n-1] for loop indices
+  // in [s, n-1-s] (shifts are bounded by s; mod wraps are always safe).
+  std::string subscript(i64 n, i64 s) {
+    switch (rng.uniform(0, 2)) {
+      case 0:
+        return "i";
+      case 1: {
+        i64 c = s > 0 ? rng.uniform(-s, s) : 0;
+        if (c == 0) return "i";
+        return c > 0 ? cat("i + ", c) : cat("i - ", -c);
+      }
+      default:
+        return cat("(i + ", rng.uniform(0, n - 1), ") mod ", n);
+    }
+  }
+
+  // A program over three arrays with 1-3 clauses and maybe a
+  // redistribution.
+  std::string make(i64 n, i64 procs) {
+    std::string src = cat("processors ", procs, ";\n");
+    std::vector<std::string> dists;
+    for (const char* name : {"A", "B", "C"}) {
+      std::string d = dist();
+      dists.push_back(d);
+      src += cat("array ", name, "[0:", n - 1, "];\ndistribute ", name,
+                 " ", d, ";\n");
+    }
+    const char* names[3] = {"A", "B", "C"};
+    int clauses = static_cast<int>(rng.uniform(1, 3));
+    for (int k = 0; k < clauses; ++k) {
+      const char* lhs = names[rng.uniform(0, 2)];
+      const char* rhs1 = names[rng.uniform(0, 2)];
+      const char* rhs2 = names[rng.uniform(0, 2)];
+      // Shift budget: the loop range [s, n-1-s] keeps every +-s shift in
+      // bounds (n >= 8 in all callers, so the range is never empty).
+      i64 s = rng.uniform(0, 2);
+      i64 lo = s, hi = n - 1 - s;
+      std::string guard =
+          rng.chance(0.3) ? cat(" | ", rhs1, "[i] > ", rng.uniform(0, 5))
+                          : "";
+      src += cat("forall i in ", lo, ":", hi, guard, " do ", lhs, "[i",
+                 s ? cat(" - ", s) : "", "] := ", rhs1, "[",
+                 subscript(n, s), "]*0.5 + ", rhs2, "[", subscript(n, s),
+                 "] - ", rng.uniform(0, 9), "; od\n");
+      if (rng.chance(0.25)) {
+        // Redistribute a random non-replicated array.
+        for (int t = 0; t < 3; ++t) {
+          int a = static_cast<int>(rng.uniform(0, 2));
+          if (dists[static_cast<std::size_t>(a)] == "replicated") continue;
+          std::string nd = dist();
+          if (nd == "replicated") nd = "scatter";
+          dists[static_cast<std::size_t>(a)] = nd;
+          src += cat("redistribute ", names[a], " ", nd, ";\n");
+          break;
+        }
+      }
+    }
+    return src;
+  }
+};
+
+class RandomPrograms : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomPrograms, MachinesAgreeWithSequentialReference) {
+  ProgramGen gen(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+  for (int trial = 0; trial < 8; ++trial) {
+    i64 n = gen.rng.uniform(8, 40);
+    i64 procs = gen.rng.uniform(1, 6);
+    std::string src = gen.make(n, procs);
+    SCOPED_TRACE("seed-group=" + std::to_string(GetParam()) + " trial=" +
+                 std::to_string(trial) + "\n" + src);
+    spmd::Program program;
+    ASSERT_NO_THROW(program = lang::compile(src));
+
+    std::map<std::string, std::vector<double>> inputs;
+    for (const char* name : {"A", "B", "C"}) {
+      std::vector<double> v(static_cast<std::size_t>(n));
+      for (i64 i = 0; i < n; ++i)
+        v[static_cast<std::size_t>(i)] =
+            static_cast<double>(gen.rng.uniform(-9, 9));
+      inputs[name] = std::move(v);
+    }
+
+    rt::SeqExecutor seq(program);
+    for (const auto& [name, data] : inputs) seq.load(name, data);
+    seq.run();
+
+    rt::SharedMachine shm(program);
+    for (const auto& [name, data] : inputs) shm.load(name, data);
+    shm.run();
+
+    rt::DistMachine dist(program);
+    for (const auto& [name, data] : inputs) dist.load(name, data);
+    dist.run();
+
+    gen::BuildOptions naive;
+    naive.force_runtime_resolution = true;
+    rt::DistMachine base(program, naive);
+    for (const auto& [name, data] : inputs) base.load(name, data);
+    base.run();
+
+    for (const char* name : {"A", "B", "C"}) {
+      EXPECT_EQ(shm.result(name), seq.result(name)) << name;
+      EXPECT_EQ(dist.gather(name), seq.result(name)) << name;
+      EXPECT_EQ(base.gather(name), seq.result(name)) << name << " naive";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPrograms, ::testing::Range(0, 10));
+
+// ---- random 2-D programs ------------------------------------------------
+
+struct Grid2DGen {
+  Rng rng;
+  explicit Grid2DGen(std::uint64_t seed) : rng(seed) {}
+
+  std::string dist2d() {
+    auto one = [&]() -> std::string {
+      switch (rng.uniform(0, 2)) {
+        case 0:
+          return "block";
+        case 1:
+          return "scatter";
+        default:
+          return "*";
+      }
+    };
+    std::string a = one(), b = one();
+    if (a == "*" && b == "*") a = "block";  // keep it distributed
+    return "(" + a + ", " + b + ")";
+  }
+
+  std::string make(i64 rows, i64 cols, i64 procs) {
+    std::string src = cat("processors ", procs, ";\n");
+    for (const char* name : {"M", "N"})
+      src += cat("array ", name, "[0:", rows - 1, ", 0:", cols - 1,
+                 "];\ndistribute ", name, " ", dist2d(), ";\n");
+    i64 si = rng.uniform(0, 1), sj = rng.uniform(0, 1);
+    std::string isub = si ? "i - 1" : "i";
+    std::string jsub = sj ? cat("(j + ", rng.uniform(1, cols - 1),
+                                ") mod ", cols)
+                          : "j";
+    src += cat("forall i in ", si, ":", rows - 1, ", j in 0:", cols - 1,
+               " do M[i, j] := N[", isub, ", ", jsub, "]*0.5 + ",
+               rng.uniform(0, 5), "; od\n");
+    // A second clause flowing M back into N.
+    src += cat("forall i in 0:", rows - 1, ", j in 0:", cols - 1,
+               " do N[i, j] := M[i, j] - 1; od\n");
+    return src;
+  }
+};
+
+class Random2DPrograms : public ::testing::TestWithParam<int> {};
+
+TEST_P(Random2DPrograms, MachinesAgreeWithSequentialReference) {
+  Grid2DGen gen(static_cast<std::uint64_t>(GetParam()) * 65537 + 11);
+  for (int trial = 0; trial < 6; ++trial) {
+    i64 rows = gen.rng.uniform(4, 12);
+    i64 cols = gen.rng.uniform(4, 12);
+    i64 procs = gen.rng.uniform(1, 6);
+    std::string src = gen.make(rows, cols, procs);
+    SCOPED_TRACE(src);
+    spmd::Program program = lang::compile(src);
+
+    std::vector<double> n(static_cast<std::size_t>(rows * cols));
+    for (std::size_t k = 0; k < n.size(); ++k)
+      n[k] = static_cast<double>(gen.rng.uniform(-7, 7));
+
+    rt::SeqExecutor seq(program);
+    seq.load("N", n);
+    seq.run();
+    rt::SharedMachine shm(program);
+    shm.load("N", n);
+    shm.run();
+    rt::DistMachine dist(program);
+    dist.load("N", n);
+    dist.run();
+    for (const char* name : {"M", "N"}) {
+      EXPECT_EQ(shm.result(name), seq.result(name)) << name;
+      EXPECT_EQ(dist.gather(name), seq.result(name)) << name;
+    }
+    // Message matrix bookkeeping: totals agree, diagonal empty.
+    i64 total = 0;
+    for (i64 s = 0; s < procs; ++s) {
+      EXPECT_EQ(dist.message_matrix()[static_cast<std::size_t>(s)]
+                                     [static_cast<std::size_t>(s)],
+                0);
+      for (i64 d = 0; d < procs; ++d)
+        total += dist.message_matrix()[static_cast<std::size_t>(s)]
+                                      [static_cast<std::size_t>(d)];
+    }
+    EXPECT_EQ(total, dist.stats().messages);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Random2DPrograms, ::testing::Range(0, 8));
+
+// ---- random barrier-elision soundness ----------------------------------
+
+class RandomElision : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomElision, ElisionNeverChangesResults) {
+  ProgramGen gen(static_cast<std::uint64_t>(GetParam()) * 31337 + 3);
+  for (int trial = 0; trial < 6; ++trial) {
+    i64 n = gen.rng.uniform(8, 32);
+    i64 procs = gen.rng.uniform(2, 6);
+    std::string src = gen.make(n, procs);
+    SCOPED_TRACE(src);
+    spmd::Program program = lang::compile(src);
+    std::vector<double> init(static_cast<std::size_t>(n));
+    for (i64 i = 0; i < n; ++i)
+      init[static_cast<std::size_t>(i)] =
+          static_cast<double>(gen.rng.uniform(0, 20));
+
+    rt::SharedMachine plain(program);
+    rt::SharedMachine elided(program, {}, {}, /*elide_barriers=*/true);
+    for (const char* name : {"A", "B", "C"}) {
+      plain.load(name, init);
+      elided.load(name, init);
+    }
+    plain.run();
+    elided.run();
+    for (const char* name : {"A", "B", "C"})
+      EXPECT_EQ(elided.result(name), plain.result(name)) << name;
+    EXPECT_EQ(elided.stats().barriers + elided.stats().barriers_elided,
+              plain.stats().barriers);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomElision, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace vcal

@@ -1,0 +1,395 @@
+// Tests for gen/: the Table I optimizer. The central property pits every
+// closed form against the extensional definition
+//     Modify_p = { i | proc(f(i)) = p, f(i) in bounds }
+// across a matrix of index functions, decompositions, processor counts,
+// and ranges.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "fn/classify.hpp"
+#include "gen/cost.hpp"
+#include "gen/optimizer.hpp"
+#include "vcal/rewrite.hpp"
+
+namespace vcal::gen {
+namespace {
+
+using decomp::Decomp1D;
+using fn::IndexFn;
+
+// Reference: brute-force owned set.
+std::vector<i64> brute(const IndexFn& f, const Decomp1D& d, i64 p, i64 lo,
+                       i64 hi) {
+  std::vector<i64> out;
+  for (i64 i = lo; i <= hi; ++i) {
+    i64 v = f(i);
+    if (!in_range(v, 0, d.n() - 1)) continue;
+    if (d.is_replicated() || d.proc(v) == p) out.push_back(i);
+  }
+  return out;
+}
+
+// Checks schedules == brute force for every processor; returns the plan's
+// method for additional assertions.
+Method check_plan(const IndexFn& f, const Decomp1D& d, i64 lo, i64 hi,
+                  BuildOptions opts = {}) {
+  OwnerComputePlan plan = OwnerComputePlan::build(f, d, lo, hi, opts);
+  i64 total = 0;
+  for (i64 p = 0; p < d.procs(); ++p) {
+    EnumStats stats;
+    std::vector<i64> got = plan.for_proc(p).materialize_sorted(&stats);
+    std::vector<i64> want = brute(f, d, p, lo, hi);
+    EXPECT_EQ(got, want) << plan.describe() << "\n  processor " << p;
+    total += static_cast<i64>(got.size());
+    if (plan.for_proc(p).is_closed_form()) {
+      EXPECT_EQ(stats.tests, 0) << plan.describe();
+    }
+  }
+  if (!d.is_replicated()) {
+    i64 expect_total = 0;
+    for (i64 i = lo; i <= hi; ++i)
+      if (in_range(f(i), 0, d.n() - 1)) ++expect_total;
+    EXPECT_EQ(total, expect_total) << plan.describe();
+  }
+  return plan.method();
+}
+
+struct MatrixCase {
+  std::string name;
+  IndexFn f;
+};
+
+std::vector<MatrixCase> function_matrix() {
+  using fn::classify;
+  using namespace fn;  // sym builders
+  std::vector<MatrixCase> out;
+  out.push_back({"const-0", IndexFn::constant(0)});
+  out.push_back({"const-7", IndexFn::constant(7)});
+  out.push_back({"const-oob", IndexFn::constant(1000000)});
+  out.push_back({"id", IndexFn::affine(1, 0)});
+  out.push_back({"i+3", IndexFn::affine(1, 3)});
+  out.push_back({"i-5", IndexFn::affine(1, -5)});
+  out.push_back({"2i", IndexFn::affine(2, 0)});
+  out.push_back({"3i+1", IndexFn::affine(3, 1)});
+  out.push_back({"4i+2", IndexFn::affine(4, 2)});
+  out.push_back({"5i-4", IndexFn::affine(5, -4)});
+  out.push_back({"7i+13", IndexFn::affine(7, 13)});
+  out.push_back({"-i+20", IndexFn::affine(-1, 20)});
+  out.push_back({"-3i+50", IndexFn::affine(-3, 50)});
+  out.push_back({"rot6-20", IndexFn::affine_mod(1, 6, 20, 0)});
+  out.push_back({"mod2-3-12", IndexFn::affine_mod(2, 3, 12, 0)});
+  out.push_back({"mod3-2-10+5", IndexFn::affine_mod(3, 2, 10, 5)});
+  out.push_back({"mod-neg", IndexFn::affine_mod(-2, 30, 12, 1)});
+  out.push_back(
+      {"i+i/4", classify(add(var(), intdiv(var(), cnst(4))))});
+  out.push_back({"i*i", classify(mul(var(), var()))});
+  out.push_back(
+      {"50-i/2", classify(sub(cnst(50), intdiv(var(), cnst(2))))});
+  out.push_back(
+      {"opaque", classify(mul(mod(var(), cnst(5)), mod(var(), cnst(7))))});
+  return out;
+}
+
+TEST(Optimizer, MatrixEqualsBruteForceEverywhere) {
+  for (i64 n : {30, 64}) {
+    for (i64 procs : {1, 2, 3, 4, 7, 8}) {
+      std::vector<Decomp1D> decomps = {
+          Decomp1D::block(n, procs),
+          Decomp1D::scatter(n, procs),
+          Decomp1D::block_scatter(n, procs, 2),
+          Decomp1D::block_scatter(n, procs, 3),
+          Decomp1D::block_scatter(n, procs, 5),
+          Decomp1D::replicated(n, procs),
+      };
+      for (const MatrixCase& mc : function_matrix()) {
+        for (const Decomp1D& d : decomps) {
+          check_plan(mc.f, d, 0, n - 1);
+          check_plan(mc.f, d, 3, n / 2);  // sub-range
+        }
+      }
+    }
+  }
+}
+
+TEST(Optimizer, NegativeDomainRanges) {
+  Decomp1D d = Decomp1D::scatter(64, 4);
+  check_plan(IndexFn::affine(1, 10), d, -10, 30);
+  check_plan(IndexFn::affine(-2, 20), d, -15, 25);
+  check_plan(IndexFn::affine(3, 5), Decomp1D::block(64, 4), -20, 20);
+  // Monotone-only-on-nonneg f over a negative range must fall back.
+  IndexFn sq = fn::classify(fn::mul(fn::var(), fn::var()));
+  OwnerComputePlan plan = OwnerComputePlan::build(sq, d, -5, 7);
+  EXPECT_EQ(plan.method(), Method::RuntimeResolution);
+  check_plan(sq, d, -5, 7);
+}
+
+TEST(Optimizer, EmptyLoopRangeYieldsEmptySchedules) {
+  Decomp1D d = Decomp1D::block(32, 4);
+  OwnerComputePlan plan =
+      OwnerComputePlan::build(IndexFn::affine(1, 0), d, 10, 5);
+  for (i64 p = 0; p < 4; ++p) EXPECT_EQ(plan.for_proc(p).count(), 0);
+}
+
+// ---- Method selection follows Table I -------------------------------
+
+TEST(Optimizer, SelectsTheorem1ForConstants) {
+  Decomp1D d = Decomp1D::scatter(32, 4);
+  OwnerComputePlan plan =
+      OwnerComputePlan::build(IndexFn::constant(9), d, 0, 31);
+  EXPECT_EQ(plan.method(), Method::Theorem1Constant);
+  // Owner gets the full range, others nothing.
+  EXPECT_EQ(plan.for_proc(d.proc(9)).count(), 32);
+  EXPECT_EQ(plan.for_proc((d.proc(9) + 1) % 4).count(), 0);
+}
+
+TEST(Optimizer, SelectsBlockBoundsForAffinePlusBlock) {
+  OwnerComputePlan plan = OwnerComputePlan::build(
+      IndexFn::affine(3, 1), Decomp1D::block(100, 4), 0, 30);
+  EXPECT_EQ(plan.method(), Method::BlockBounds);
+}
+
+TEST(Optimizer, SelectsCorollary2WhenProcsDividesA) {
+  // a = 8, pmax = 4: a mod pmax == 0.
+  OwnerComputePlan plan = OwnerComputePlan::build(
+      IndexFn::affine(8, 3), Decomp1D::scatter(256, 4), 0, 30);
+  EXPECT_EQ(plan.method(), Method::Corollary2);
+  // Exactly one processor active: p = c mod pmax = 3.
+  EXPECT_GT(plan.for_proc(3).count(), 0);
+  EXPECT_EQ(plan.for_proc(0).count(), 0);
+  EXPECT_EQ(plan.for_proc(1).count(), 0);
+  EXPECT_EQ(plan.for_proc(2).count(), 0);
+}
+
+TEST(Optimizer, SelectsCorollary1WhenADividesProcs) {
+  // a = 2, pmax = 8: pmax mod a == 0.
+  OwnerComputePlan plan = OwnerComputePlan::build(
+      IndexFn::affine(2, 1), Decomp1D::scatter(256, 8), 0, 100);
+  EXPECT_EQ(plan.method(), Method::Corollary1);
+  // Odd processors own, even ones (f is odd-valued) are idle.
+  EXPECT_EQ(plan.for_proc(0).count(), 0);
+  EXPECT_GT(plan.for_proc(1).count(), 0);
+}
+
+TEST(Optimizer, SelectsTheorem3ForGeneralLinearScatter) {
+  OwnerComputePlan plan = OwnerComputePlan::build(
+      IndexFn::affine(3, 0), Decomp1D::scatter(256, 8), 0, 80);
+  EXPECT_EQ(plan.method(), Method::Theorem3Linear);
+  // gcd(3,8) = 1: every processor owns ~1/8 of the range with stride 8.
+  for (i64 p = 0; p < 8; ++p) {
+    const Schedule s = plan.for_proc(p);
+    ASSERT_EQ(s.pieces().size(), 1u);
+    EXPECT_EQ(s.pieces()[0].stride, 8);
+  }
+}
+
+TEST(Optimizer, Theorem3SkipsUnservedProcessors) {
+  // a = 6, pmax = 8, gcd = 2: only every second processor (relative to
+  // c) has solutions — the paper's delta_p spacing.
+  OwnerComputePlan plan = OwnerComputePlan::build(
+      IndexFn::affine(6, 0), Decomp1D::scatter(1024, 8), 0, 100);
+  std::set<i64> active;
+  for (i64 p = 0; p < 8; ++p)
+    if (plan.for_proc(p).count() > 0) active.insert(p);
+  EXPECT_EQ(active, (std::set<i64>{0, 2, 4, 6}));
+}
+
+TEST(Optimizer, BlockScatterFormsAgree) {
+  // Theorem 2 (repeated block) and Section 3.2.i (repeated scatter) must
+  // produce identical sets.
+  for (i64 b : {1, 2, 4, 8}) {
+    Decomp1D d = Decomp1D::block_scatter(128, 4, b);
+    for (i64 a : {1, 2, 3, 5, -2}) {
+      IndexFn f = IndexFn::affine(a, 1);
+      BuildOptions rb, rs;
+      rb.bs_form = BuildOptions::BsForm::RepeatedBlock;
+      rs.bs_form = BuildOptions::BsForm::RepeatedScatter;
+      OwnerComputePlan prb = OwnerComputePlan::build(f, d, 0, 40, rb);
+      OwnerComputePlan prs = OwnerComputePlan::build(f, d, 0, 40, rs);
+      EXPECT_EQ(prb.method(), Method::RepeatedBlock);
+      EXPECT_EQ(prs.method(), Method::RepeatedScatter);
+      for (i64 p = 0; p < 4; ++p) {
+        EXPECT_EQ(prb.for_proc(p).materialize_sorted(),
+                  prs.for_proc(p).materialize_sorted())
+            << "a=" << a << " b=" << b << " p=" << p;
+      }
+      check_plan(f, d, 0, 40, rb);
+      check_plan(f, d, 0, 40, rs);
+    }
+  }
+}
+
+TEST(Optimizer, RepeatedBlockPieceCountMatchesTheorem2) {
+  // Theorem 2: k ranges over 0..(f(imax) div b - p) div pmax, so a
+  // processor's schedule has at most that many + 1 pieces, and the block
+  // index of every piece is p + k*pmax for some k in that range.
+  for (i64 a : {1, 2, 3}) {
+    for (i64 b : {2, 4, 8}) {
+      i64 n = 512, procs = 4, imax = 100;
+      IndexFn f = IndexFn::affine(a, 1);
+      Decomp1D d = Decomp1D::block_scatter(n, procs, b);
+      BuildOptions rb;
+      rb.bs_form = BuildOptions::BsForm::RepeatedBlock;
+      OwnerComputePlan plan = OwnerComputePlan::build(f, d, 0, imax, rb);
+      for (i64 p = 0; p < procs; ++p) {
+        const Schedule s = plan.for_proc(p);
+        i64 kmax = floordiv(floordiv(f(imax), b) - p, procs);
+        EXPECT_LE(static_cast<i64>(s.pieces().size()), kmax + 1)
+            << "a=" << a << " b=" << b << " p=" << p;
+        for (const Piece& piece : s.pieces()) {
+          // Every element in the piece lands in a block owned by p.
+          EXPECT_EQ(emod(floordiv(f(piece.start), b), procs), p);
+          EXPECT_EQ(emod(floordiv(f(piece.last()), b), procs), p);
+        }
+      }
+    }
+  }
+}
+
+TEST(Optimizer, AutoRuleFollowsThePaperInequality) {
+  // Repeated scatter iff b <= f_max / (2 * pmax).
+  i64 n = 4096, procs = 4;
+  IndexFn f = IndexFn::identity();
+  i64 fmax = n - 1;
+  for (i64 b : {1, 8, 64, 511, 512, 600, 1024}) {
+    Decomp1D d = Decomp1D::block_scatter(n, procs, b);
+    OwnerComputePlan plan = OwnerComputePlan::build(f, d, 0, n - 1);
+    bool expect_rs = b <= fmax / (2 * procs);
+    EXPECT_EQ(plan.method(), expect_rs ? Method::RepeatedScatter
+                                       : Method::RepeatedBlock)
+        << "b=" << b;
+  }
+}
+
+TEST(Optimizer, PiecewiseSplitHandlesRotate) {
+  // The paper's rotate example: f(i) = (i+6) mod 20 over 0:19.
+  IndexFn f = IndexFn::affine_mod(1, 6, 20, 0);
+  for (auto kind : {0, 1, 2}) {
+    Decomp1D d = kind == 0   ? Decomp1D::block(20, 4)
+                 : kind == 1 ? Decomp1D::scatter(20, 4)
+                             : Decomp1D::block_scatter(20, 4, 2);
+    OwnerComputePlan plan = OwnerComputePlan::build(f, d, 0, 19);
+    EXPECT_EQ(plan.method(), Method::PiecewiseSplit) << d.str();
+    EXPECT_EQ(plan.sub_plans().size(), 2u);
+    check_plan(f, d, 0, 19);
+  }
+}
+
+TEST(Optimizer, AffineModWithoutBreakpointActsAffine) {
+  // Range confined to one monotone piece: Section 3.3's "no breakpoint"
+  // case collapses to the plain affine treatment.
+  IndexFn f = IndexFn::affine_mod(1, 6, 20, 0);
+  OwnerComputePlan plan =
+      OwnerComputePlan::build(f, Decomp1D::block(20, 4), 0, 10);
+  EXPECT_EQ(plan.method(), Method::BlockBounds);
+  check_plan(f, Decomp1D::block(20, 4), 0, 10);
+}
+
+TEST(Optimizer, AffineModTooManyPiecesFallsBack) {
+  // |a| large vs z: the split would explode; expect the guarded scan.
+  IndexFn f = IndexFn::affine_mod(97, 0, 8, 0);
+  BuildOptions opts;
+  opts.max_pieces = 16;
+  OwnerComputePlan plan = OwnerComputePlan::build(
+      f, Decomp1D::scatter(8, 4), 0, 200, opts);
+  EXPECT_EQ(plan.method(), Method::RuntimeResolution);
+  check_plan(f, Decomp1D::scatter(8, 4), 0, 200, opts);
+}
+
+TEST(Optimizer, MonotoneBlockUsesBisection) {
+  IndexFn f = fn::classify(
+      fn::add(fn::var(), fn::intdiv(fn::var(), fn::cnst(4))));
+  OwnerComputePlan plan =
+      OwnerComputePlan::build(f, Decomp1D::block(64, 4), 0, 50);
+  EXPECT_EQ(plan.method(), Method::MonotoneBlock);
+  check_plan(f, Decomp1D::block(64, 4), 0, 50);
+}
+
+TEST(Optimizer, MonotoneScatterUsesEnumerateK) {
+  // f = i + i div 4 has df/di ≈ 1.25 < pmax = 8: enumerate-on-k wins.
+  IndexFn f = fn::classify(
+      fn::add(fn::var(), fn::intdiv(fn::var(), fn::cnst(4))));
+  OwnerComputePlan plan =
+      OwnerComputePlan::build(f, Decomp1D::scatter(256, 8), 0, 100);
+  EXPECT_EQ(plan.method(), Method::EnumerateK);
+  check_plan(f, Decomp1D::scatter(256, 8), 0, 100);
+  // Probe count tracks image_range / pmax, not the domain size.
+  EnumStats stats;
+  plan.for_proc(3).materialize(&stats);
+  EXPECT_LT(stats.tests, 20);
+}
+
+TEST(Optimizer, SteepMonotoneScatterFallsBackToScan) {
+  // f = i*i has df/di >> pmax over most of the range.
+  IndexFn f = fn::classify(fn::mul(fn::var(), fn::var()));
+  OwnerComputePlan plan =
+      OwnerComputePlan::build(f, Decomp1D::scatter(10000, 4), 0, 99);
+  EXPECT_EQ(plan.method(), Method::RuntimeResolution);
+  check_plan(f, Decomp1D::scatter(10000, 4), 0, 99);
+}
+
+TEST(Optimizer, ForcedRuntimeResolutionMatchesToo) {
+  BuildOptions opts;
+  opts.force_runtime_resolution = true;
+  for (const MatrixCase& mc : function_matrix()) {
+    Decomp1D d = Decomp1D::block_scatter(64, 4, 3);
+    Method m = check_plan(mc.f, d, 0, 40, opts);
+    EXPECT_EQ(m, Method::RuntimeResolution);
+  }
+}
+
+TEST(Optimizer, AgreesWithExtensionalRewriteSets) {
+  // Cross-check gen/ against vcal/rewrite's extensional Modify_p.
+  IndexFn f = IndexFn::affine(3, 1);
+  Decomp1D d = Decomp1D::block_scatter(64, 4, 2);
+  OwnerComputePlan plan = OwnerComputePlan::build(f, d, 0, 20);
+  for (i64 p = 0; p < 4; ++p) {
+    auto ext = cal::modify_set(0, 20, f, d, p).enumerate();
+    std::vector<i64> flat;
+    for (const auto& t : ext) flat.push_back(t[0]);
+    EXPECT_EQ(plan.for_proc(p).materialize_sorted(), flat);
+  }
+}
+
+// ---- Cost accounting --------------------------------------------------
+
+TEST(Cost, RuntimeResolutionPaysFullScansPerProcessor) {
+  i64 n = 1000, procs = 5;
+  BuildOptions naive;
+  naive.force_runtime_resolution = true;
+  OwnerComputePlan base = OwnerComputePlan::build(
+      IndexFn::identity(), Decomp1D::scatter(n, procs), 0, n - 1, naive);
+  PlanCost c = measure_plan(base);
+  // Each of the 5 processors scans all n indices.
+  EXPECT_EQ(c.total.tests, n * procs);
+  EXPECT_EQ(c.total.yielded, n);
+}
+
+TEST(Cost, ClosedFormSpeedupIsAboutP) {
+  i64 n = 1000, procs = 5;
+  IndexFn f = IndexFn::identity();
+  Decomp1D d = Decomp1D::scatter(n, procs);
+  BuildOptions naive;
+  naive.force_runtime_resolution = true;
+  PlanCost base =
+      measure_plan(OwnerComputePlan::build(f, d, 0, n - 1, naive));
+  PlanCost opt = measure_plan(OwnerComputePlan::build(f, d, 0, n - 1));
+  EXPECT_EQ(opt.total.tests, 0);
+  double speedup = opt.speedup_vs(base);
+  EXPECT_GT(speedup, 0.8 * procs);
+}
+
+TEST(Schedule, StrAndPieceAccounting) {
+  Schedule s = Schedule::closed_form(Method::Theorem3Linear,
+                                     {{2, 5, 4}});
+  EXPECT_EQ(s.count(), 5);
+  EXPECT_EQ(s.materialize(), (std::vector<i64>{2, 6, 10, 14, 18}));
+  EXPECT_TRUE(s.is_closed_form());
+  EXPECT_NE(s.str().find("theorem-3"), std::string::npos);
+  Schedule e = Schedule::empty(Method::BlockBounds);
+  EXPECT_EQ(e.count(), 0);
+}
+
+}  // namespace
+}  // namespace vcal::gen

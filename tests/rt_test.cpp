@@ -1,0 +1,663 @@
+// Tests for rt/: stores, the three executors, and their agreement.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "rt/dist_machine.hpp"
+#include "rt/seq_executor.hpp"
+#include "rt/shared_machine.hpp"
+#include "rt/store.hpp"
+#include "support/error.hpp"
+
+namespace vcal::rt {
+namespace {
+
+using decomp::ArrayDesc;
+using decomp::Decomp1D;
+using decomp::DecompND;
+using spmd::Program;
+using spmd::RedistStep;
+
+std::vector<double> iota(i64 n, double base = 0.0) {
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (i64 i = 0; i < n; ++i) v[static_cast<std::size_t>(i)] =
+      base + static_cast<double>(i);
+  return v;
+}
+
+Program shift_program(i64 n, i64 procs, Decomp1D::Kind kind_a,
+                      Decomp1D::Kind kind_b, i64 b = 2) {
+  auto mk = [&](const std::string& name, Decomp1D::Kind k) {
+    Decomp1D d = k == Decomp1D::Kind::Block
+                     ? Decomp1D::block(n, procs)
+                 : k == Decomp1D::Kind::Scatter
+                     ? Decomp1D::scatter(n, procs)
+                     : Decomp1D::block_scatter(n, procs, b);
+    return ArrayDesc::distributed(name, {0}, {n - 1}, DecompND({d}));
+  };
+  Program p;
+  p.procs = procs;
+  p.arrays.emplace("A", mk("A", kind_a));
+  p.arrays.emplace("B", mk("B", kind_b));
+
+  // A[i] := B[i+1] * 2 + 1 for i in 0 : n-2
+  prog::Clause c;
+  c.loops = {{"i", 0, n - 2}};
+  c.lhs_array = "A";
+  c.lhs_subs = {{0, fn::var()}};
+  c.refs.push_back({"B", {{0, fn::add(fn::var(), fn::cnst(1))}}});
+  c.rhs = prog::add(prog::mul(prog::ref(0), prog::number(2.0)),
+                    prog::number(1.0));
+  p.steps.emplace_back(std::move(c));
+  return p;
+}
+
+TEST(DenseStore, ReadWriteAndBounds) {
+  DenseStore s;
+  ArrayDesc a = ArrayDesc::replicated("A", {5}, {9}, 1);
+  s.declare(a);
+  s.write(a, {7}, 3.5);
+  EXPECT_DOUBLE_EQ(s.read(a, {7}), 3.5);
+  EXPECT_DOUBLE_EQ(s.read(a, {5}), 0.0);
+  EXPECT_THROW(s.read(a, {4}), RuntimeFault);
+  EXPECT_THROW(s.write(a, {10}, 1.0), RuntimeFault);
+  EXPECT_THROW(s.dense("nope"), InternalError);
+}
+
+TEST(DistStore, LoadGatherRoundTrip) {
+  for (auto kind : {0, 1, 2}) {
+    Decomp1D d = kind == 0   ? Decomp1D::block(23, 4)
+                 : kind == 1 ? Decomp1D::scatter(23, 4)
+                             : Decomp1D::block_scatter(23, 4, 3);
+    ArrayDesc a = ArrayDesc::distributed("A", {0}, {22}, DecompND({d}));
+    DistStore s(4);
+    s.load(a, iota(23, 100.0));
+    EXPECT_EQ(s.gather(a), iota(23, 100.0));
+  }
+}
+
+TEST(DistStore, ReplicatedLoadCopiesEverywhere) {
+  ArrayDesc a = ArrayDesc::replicated("R", {0}, {9}, 3);
+  DistStore s(3);
+  s.load(a, iota(10));
+  for (i64 p = 0; p < 3; ++p)
+    EXPECT_DOUBLE_EQ(s.read_local("R", p, 7), 7.0);
+}
+
+TEST(DistStore, LocalBoundsChecked) {
+  ArrayDesc a = ArrayDesc::distributed(
+      "A", {0}, {9}, DecompND({Decomp1D::block(10, 2)}));
+  DistStore s(2);
+  s.declare(a);
+  EXPECT_THROW(s.read_local("A", 0, 99), RuntimeFault);
+  EXPECT_THROW(s.write_local("A", 1, -1, 0.0), RuntimeFault);
+}
+
+TEST(SeqExecutor, ComputesTheShift) {
+  Program p = shift_program(10, 2, Decomp1D::Kind::Block,
+                            Decomp1D::Kind::Block);
+  SeqExecutor seq(p);
+  seq.load("B", iota(10));
+  seq.run();
+  const auto& a = seq.result("A");
+  for (i64 i = 0; i <= 8; ++i)
+    EXPECT_DOUBLE_EQ(a[static_cast<std::size_t>(i)],
+                     2.0 * static_cast<double>(i + 1) + 1.0);
+  EXPECT_DOUBLE_EQ(a[9], 0.0);  // untouched
+}
+
+TEST(SeqExecutor, ParallelClauseHasCopyInSemantics) {
+  // A[i] := A[i+1] over the whole range: with copy-in, every element
+  // takes its right neighbour's ORIGINAL value.
+  Program p;
+  p.procs = 1;
+  p.arrays.emplace("A", ArrayDesc::replicated("A", {0}, {9}, 1));
+  prog::Clause c;
+  c.loops = {{"i", 0, 8}};
+  c.lhs_array = "A";
+  c.lhs_subs = {{0, fn::var()}};
+  c.refs.push_back({"A", {{0, fn::add(fn::var(), fn::cnst(1))}}});
+  c.rhs = prog::ref(0);
+  p.steps.emplace_back(c);
+  SeqExecutor seq(p);
+  seq.load("A", iota(10));
+  seq.run();
+  for (i64 i = 0; i <= 8; ++i)
+    EXPECT_DOUBLE_EQ(seq.result("A")[static_cast<std::size_t>(i)],
+                     static_cast<double>(i + 1));
+}
+
+TEST(SeqExecutor, SequentialClauseChainsValues) {
+  // Under '•' the same clause becomes a rightward recurrence: A[i] takes
+  // A[i+1]'s *updated* value... (downward index order would; with
+  // ascending order each A[i] still reads the original A[i+1] except the
+  // propagation case below). Use A[i] := A[i-1] instead: ascending order
+  // propagates A[0] all the way right.
+  Program p;
+  p.procs = 1;
+  p.arrays.emplace("A", ArrayDesc::replicated("A", {0}, {9}, 1));
+  prog::Clause c;
+  c.loops = {{"i", 1, 9}};
+  c.ord = prog::Ordering::Seq;
+  c.lhs_array = "A";
+  c.lhs_subs = {{0, fn::var()}};
+  c.refs.push_back({"A", {{0, fn::sub(fn::var(), fn::cnst(1))}}});
+  c.rhs = prog::ref(0);
+  p.steps.emplace_back(c);
+  SeqExecutor seq(p);
+  seq.load("A", iota(10, 5.0));  // A[0] = 5
+  seq.run();
+  for (i64 i = 0; i <= 9; ++i)
+    EXPECT_DOUBLE_EQ(seq.result("A")[static_cast<std::size_t>(i)], 5.0);
+}
+
+class MachineAgreement
+    : public ::testing::TestWithParam<
+          std::tuple<i64, Decomp1D::Kind, Decomp1D::Kind>> {};
+
+TEST_P(MachineAgreement, AllThreeExecutorsAgree) {
+  auto [procs, ka, kb] = GetParam();
+  Program p = shift_program(29, procs, ka, kb);
+  std::vector<double> input = iota(29, 3.0);
+
+  SeqExecutor seq(p);
+  seq.load("B", input);
+  seq.run();
+
+  SharedMachine shm(p);
+  shm.load("B", input);
+  shm.run();
+
+  DistMachine dist(p);
+  dist.load("B", input);
+  dist.run();
+
+  EXPECT_EQ(shm.result("A"), seq.result("A"));
+  EXPECT_EQ(dist.gather("A"), seq.result("A"));
+  EXPECT_EQ(shm.stats().barriers, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Decomps, MachineAgreement,
+    ::testing::Combine(
+        ::testing::Values<i64>(1, 2, 3, 4, 7),
+        ::testing::Values(Decomp1D::Kind::Block, Decomp1D::Kind::Scatter,
+                          Decomp1D::Kind::BlockScatter),
+        ::testing::Values(Decomp1D::Kind::Block, Decomp1D::Kind::Scatter,
+                          Decomp1D::Kind::BlockScatter)));
+
+TEST(DistMachine, MessageCountMatchesRemoteReads) {
+  Program p = shift_program(32, 4, Decomp1D::Kind::Block,
+                            Decomp1D::Kind::Scatter);
+  DistMachine dist(p);
+  dist.load("B", iota(32));
+  dist.run();
+  const DistStats& s = dist.stats();
+  EXPECT_EQ(s.messages, s.remote_reads);
+  EXPECT_EQ(s.local_reads + s.remote_reads, 31);
+  EXPECT_GT(s.messages, 0);
+}
+
+TEST(DistMachine, AlignedAccessNeedsNoMessages) {
+  // A[i] := B[i] with identical decompositions: everything is local.
+  Program p = shift_program(32, 4, Decomp1D::Kind::Block,
+                            Decomp1D::Kind::Block);
+  auto& clause = std::get<prog::Clause>(p.steps[0]);
+  clause.refs[0].subs[0].expr = fn::var();  // B[i]
+  DistMachine dist(p);
+  dist.load("B", iota(32));
+  dist.run();
+  EXPECT_EQ(dist.stats().messages, 0);
+  EXPECT_EQ(dist.stats().local_reads, 31);
+}
+
+TEST(DistMachine, GuardsReceiveBeforeDiscarding) {
+  // Guarded clause: values still flow (sends are unconditional) and the
+  // pairing invariant holds; only the writes are filtered.
+  Program p = shift_program(24, 3, Decomp1D::Kind::Scatter,
+                            Decomp1D::Kind::Block);
+  auto& clause = std::get<prog::Clause>(p.steps[0]);
+  clause.refs.push_back({"B", {{0, fn::var()}}});
+  prog::Guard g;
+  g.cmp = prog::Guard::Cmp::GT;
+  g.lhs = prog::ref(1);
+  g.rhs = prog::number(10.0);
+  clause.guard = g;
+
+  SeqExecutor seq(p);
+  seq.load("B", iota(24));
+  seq.run();
+  DistMachine dist(p);
+  dist.load("B", iota(24));
+  dist.run();
+  EXPECT_EQ(dist.gather("A"), seq.result("A"));
+}
+
+TEST(DistMachine, SelfReferenceUsesSnapshot) {
+  // A[i] := A[i+1] distributed: senders must ship pre-update values.
+  Program p;
+  p.procs = 4;
+  p.arrays.emplace("A", ArrayDesc::distributed(
+                            "A", {0}, {15},
+                            DecompND({Decomp1D::block(16, 4)})));
+  prog::Clause c;
+  c.loops = {{"i", 0, 14}};
+  c.lhs_array = "A";
+  c.lhs_subs = {{0, fn::var()}};
+  c.refs.push_back({"A", {{0, fn::add(fn::var(), fn::cnst(1))}}});
+  c.rhs = prog::ref(0);
+  p.steps.emplace_back(c);
+
+  SeqExecutor seq(p);
+  seq.load("A", iota(16));
+  seq.run();
+  DistMachine dist(p);
+  dist.load("A", iota(16));
+  dist.run();
+  SharedMachine shm(p);
+  shm.load("A", iota(16));
+  shm.run();
+  EXPECT_EQ(dist.gather("A"), seq.result("A"));
+  EXPECT_EQ(shm.result("A"), seq.result("A"));
+}
+
+TEST(DistMachine, ReplicatedInputIsFreeToRead) {
+  Program p;
+  p.procs = 4;
+  p.arrays.emplace("A", ArrayDesc::distributed(
+                            "A", {0}, {15},
+                            DecompND({Decomp1D::scatter(16, 4)})));
+  p.arrays.emplace("C", ArrayDesc::replicated("C", {0}, {15}, 4));
+  prog::Clause c;
+  c.loops = {{"i", 0, 15}};
+  c.lhs_array = "A";
+  c.lhs_subs = {{0, fn::var()}};
+  c.refs.push_back({"C", {{0, fn::var()}}});
+  c.rhs = prog::ref(0);
+  p.steps.emplace_back(c);
+  DistMachine dist(p);
+  dist.load("C", iota(16));
+  dist.run();
+  EXPECT_EQ(dist.stats().messages, 0);
+  EXPECT_EQ(dist.gather("A"), iota(16));
+}
+
+TEST(DistMachine, ReplicatedTargetBroadcasts) {
+  // C[i] := A[i] with C replicated: every rank needs every element.
+  Program p;
+  p.procs = 4;
+  p.arrays.emplace("A", ArrayDesc::distributed(
+                            "A", {0}, {15},
+                            DecompND({Decomp1D::scatter(16, 4)})));
+  p.arrays.emplace("C", ArrayDesc::replicated("C", {0}, {15}, 4));
+  prog::Clause c;
+  c.loops = {{"i", 0, 15}};
+  c.lhs_array = "C";
+  c.lhs_subs = {{0, fn::var()}};
+  c.refs.push_back({"A", {{0, fn::var()}}});
+  c.rhs = prog::ref(0);
+  p.steps.emplace_back(c);
+  DistMachine dist(p);
+  dist.load("A", iota(16));
+  dist.run();
+  // Each of 16 elements broadcast to 3 other ranks.
+  EXPECT_EQ(dist.stats().messages, 16 * 3);
+  EXPECT_EQ(dist.gather("C"), iota(16));
+}
+
+TEST(DistMachine, RedistributionPreservesValuesAndCounts) {
+  Program p;
+  p.procs = 4;
+  p.arrays.emplace("A", ArrayDesc::distributed(
+                            "A", {0}, {31},
+                            DecompND({Decomp1D::block(32, 4)})));
+  RedistStep step{"A", ArrayDesc::distributed(
+                           "A", {0}, {31},
+                           DecompND({Decomp1D::scatter(32, 4)}))};
+  p.steps.emplace_back(step);
+  DistMachine dist(p);
+  dist.load("A", iota(32, 42.0));
+  dist.run();
+  EXPECT_EQ(dist.gather("A"), iota(32, 42.0));
+  // Stationary elements: owner unchanged between block(8) and scatter.
+  i64 stationary = 0;
+  for (i64 i = 0; i < 32; ++i)
+    if (i / 8 == i % 4) ++stationary;
+  EXPECT_EQ(dist.stats().messages, 32 - stationary);
+}
+
+TEST(DistMachine, ComputeAfterRedistributionUsesNewLayout) {
+  Program p = shift_program(32, 4, Decomp1D::Kind::Block,
+                            Decomp1D::Kind::Block);
+  // Redistribute B to scatter *before* the clause runs.
+  RedistStep step{"B", ArrayDesc::distributed(
+                           "B", {0}, {31},
+                           DecompND({Decomp1D::scatter(32, 4)}))};
+  p.steps.insert(p.steps.begin(), step);
+  SeqExecutor seq(p);
+  seq.load("B", iota(32));
+  seq.run();
+  DistMachine dist(p);
+  dist.load("B", iota(32));
+  dist.run();
+  EXPECT_EQ(dist.gather("A"), seq.result("A"));
+  EXPECT_EQ(dist.stats().steps, 2);
+}
+
+TEST(DistMachine, RejectsSequentialClauses) {
+  Program p = shift_program(16, 2, Decomp1D::Kind::Block,
+                            Decomp1D::Kind::Block);
+  std::get<prog::Clause>(p.steps[0]).ord = prog::Ordering::Seq;
+  DistMachine dist(p);
+  EXPECT_THROW(dist.run(), CodegenError);
+}
+
+TEST(SharedMachine, RuntimeVsOptimizedSameResultDifferentTests) {
+  Program p = shift_program(64, 4, Decomp1D::Kind::Scatter,
+                            Decomp1D::Kind::Scatter);
+  gen::BuildOptions naive;
+  naive.force_runtime_resolution = true;
+
+  SharedMachine opt(p);
+  opt.load("B", iota(64));
+  opt.run();
+  SharedMachine base(p, naive);
+  base.load("B", iota(64));
+  base.run();
+
+  EXPECT_EQ(opt.result("A"), base.result("A"));
+  EXPECT_EQ(opt.stats().tests, 0);
+  EXPECT_EQ(base.stats().tests, 63 * 4);  // every rank scans 0:62
+  EXPECT_LT(opt.stats().sim_time, base.stats().sim_time);
+}
+
+// ---- Overlapped decompositions (Section 5 extension) -----------------
+
+TEST(Halo, NeighbourAccessesBecomeHaloReads) {
+  // A[i] := B[i-1] + B[i+1] with B block + halo 1: every remote neighbour
+  // read is served by the halo; per-element messages drop to zero and
+  // only bulk halo exchanges remain.
+  Program p;
+  p.procs = 4;
+  p.arrays.emplace("A", ArrayDesc::distributed(
+                            "A", {0}, {31},
+                            DecompND({Decomp1D::block(32, 4)})));
+  p.arrays.emplace("B", ArrayDesc::distributed(
+                            "B", {0}, {31},
+                            DecompND({Decomp1D::block(32, 4)}))
+                            .with_halo(1));
+  prog::Clause c;
+  c.loops = {{"i", 1, 30}};
+  c.lhs_array = "A";
+  c.lhs_subs = {{0, fn::var()}};
+  c.refs.push_back({"B", {{0, fn::sub(fn::var(), fn::cnst(1))}}});
+  c.refs.push_back({"B", {{0, fn::add(fn::var(), fn::cnst(1))}}});
+  c.rhs = prog::add(prog::ref(0), prog::ref(1));
+  p.steps.emplace_back(c);
+
+  SeqExecutor seq(p);
+  seq.load("B", iota(32));
+  seq.run();
+  DistMachine dist(p);
+  dist.load("B", iota(32));
+  dist.run();
+  EXPECT_EQ(dist.gather("A"), seq.result("A"));
+  EXPECT_EQ(dist.stats().messages, 0);
+  // 3 interior boundaries, 2 directions each = 6 bulk exchanges.
+  EXPECT_EQ(dist.stats().halo_messages, 6);
+  EXPECT_EQ(dist.stats().halo_values, 6);
+  EXPECT_GT(dist.stats().halo_reads, 0);
+}
+
+TEST(Halo, WideHaloSpansMultipleOwners) {
+  // halo 3 > block size 2: the halo of rank p reaches two neighbours.
+  Program p;
+  p.procs = 4;
+  p.arrays.emplace("A", ArrayDesc::distributed(
+                            "A", {0}, {7},
+                            DecompND({Decomp1D::block(8, 4)})));
+  p.arrays.emplace("B", ArrayDesc::distributed(
+                            "B", {0}, {7},
+                            DecompND({Decomp1D::block(8, 4)}))
+                            .with_halo(3));
+  prog::Clause c;
+  c.loops = {{"i", 0, 4}};
+  c.lhs_array = "A";
+  c.lhs_subs = {{0, fn::var()}};
+  c.refs.push_back({"B", {{0, fn::add(fn::var(), fn::cnst(3))}}});
+  c.rhs = prog::ref(0);
+  p.steps.emplace_back(c);
+
+  SeqExecutor seq(p);
+  seq.load("B", iota(8));
+  seq.run();
+  DistMachine dist(p);
+  dist.load("B", iota(8));
+  dist.run();
+  EXPECT_EQ(dist.gather("A"), seq.result("A"));
+  EXPECT_EQ(dist.stats().messages, 0);  // halo 3 covers the +3 shift
+}
+
+TEST(Halo, SelfReferenceGetsPreClauseValuesInTheHalo) {
+  // A[i] := A[i+1] with A halo'd: halo copies must carry the snapshot.
+  Program p;
+  p.procs = 4;
+  p.arrays.emplace("A", ArrayDesc::distributed(
+                            "A", {0}, {15},
+                            DecompND({Decomp1D::block(16, 4)}))
+                            .with_halo(1));
+  prog::Clause c;
+  c.loops = {{"i", 0, 14}};
+  c.lhs_array = "A";
+  c.lhs_subs = {{0, fn::var()}};
+  c.refs.push_back({"A", {{0, fn::add(fn::var(), fn::cnst(1))}}});
+  c.rhs = prog::ref(0);
+  p.steps.emplace_back(c);
+
+  SeqExecutor seq(p);
+  seq.load("A", iota(16));
+  seq.run();
+  DistMachine dist(p);
+  dist.load("A", iota(16));
+  dist.run();
+  EXPECT_EQ(dist.gather("A"), seq.result("A"));
+  EXPECT_EQ(dist.stats().messages, 0);
+}
+
+TEST(Halo, FarAccessesStillUseMessages) {
+  // A[i] := B[i+8] with halo 1: the access is far outside the halo, so
+  // regular messages flow; the result is still correct.
+  Program p;
+  p.procs = 4;
+  p.arrays.emplace("A", ArrayDesc::distributed(
+                            "A", {0}, {31},
+                            DecompND({Decomp1D::block(32, 4)})));
+  p.arrays.emplace("B", ArrayDesc::distributed(
+                            "B", {0}, {31},
+                            DecompND({Decomp1D::block(32, 4)}))
+                            .with_halo(1));
+  prog::Clause c;
+  c.loops = {{"i", 0, 23}};
+  c.lhs_array = "A";
+  c.lhs_subs = {{0, fn::var()}};
+  c.refs.push_back({"B", {{0, fn::add(fn::var(), fn::cnst(8))}}});
+  c.rhs = prog::ref(0);
+  p.steps.emplace_back(c);
+
+  SeqExecutor seq(p);
+  seq.load("B", iota(32));
+  seq.run();
+  DistMachine dist(p);
+  dist.load("B", iota(32));
+  dist.run();
+  EXPECT_EQ(dist.gather("A"), seq.result("A"));
+  EXPECT_GT(dist.stats().messages, 0);
+}
+
+TEST(Halo, DescriptorValidation) {
+  ArrayDesc block = ArrayDesc::distributed(
+      "A", {0}, {31}, DecompND({Decomp1D::block(32, 4)}));
+  EXPECT_NO_THROW(block.with_halo(2));
+  EXPECT_EQ(block.with_halo(2).halo(), 2);
+  EXPECT_EQ(block.halo(), 0);
+
+  ArrayDesc scatter = ArrayDesc::distributed(
+      "A", {0}, {31}, DecompND({Decomp1D::scatter(32, 4)}));
+  EXPECT_THROW(scatter.with_halo(1), SemanticError);
+  EXPECT_THROW(ArrayDesc::replicated("R", {0}, {9}, 4).with_halo(1),
+               SemanticError);
+
+  // Halo ranges, program-level, clamped at the ends.
+  ArrayDesc h = block.with_halo(2);
+  EXPECT_EQ(h.halo_range(0, -1), (std::pair<i64, i64>{0, -1}));  // empty
+  EXPECT_EQ(h.halo_range(0, 1), (std::pair<i64, i64>{8, 9}));
+  EXPECT_EQ(h.halo_range(1, -1), (std::pair<i64, i64>{6, 7}));
+  EXPECT_EQ(h.halo_range(3, 1), (std::pair<i64, i64>{0, -1}));  // empty
+  EXPECT_TRUE(h.in_halo(1, {6}));
+  EXPECT_FALSE(h.in_halo(1, {5}));
+  EXPECT_TRUE(h.in_halo(0, {9}));
+  EXPECT_FALSE(h.in_halo(0, {10}));
+}
+
+// ---- Barrier elision (footnote 1) ------------------------------------
+
+TEST(BarrierElision, AlignedChainDropsBarriers) {
+  // B[i] := A[i]; C[i] := B[i]; all block-aligned: every dependence is
+  // processor-local, so both inter-clause barriers can go.
+  Program p;
+  p.procs = 4;
+  for (const char* name : {"A", "B", "C"})
+    p.arrays.emplace(name, ArrayDesc::distributed(
+                               name, {0}, {31},
+                               DecompND({Decomp1D::block(32, 4)})));
+  auto copy_clause = [](const char* dst, const char* src) {
+    prog::Clause c;
+    c.loops = {{"i", 0, 31}};
+    c.lhs_array = dst;
+    c.lhs_subs = {{0, fn::var()}};
+    c.refs.push_back({src, {{0, fn::var()}}});
+    c.rhs = prog::mul(prog::ref(0), prog::number(2.0));
+    return c;
+  };
+  p.steps.emplace_back(copy_clause("B", "A"));
+  p.steps.emplace_back(copy_clause("C", "B"));
+  p.steps.emplace_back(copy_clause("A", "C"));
+
+  SharedMachine plain(p);
+  plain.load("A", iota(32));
+  plain.run();
+  EXPECT_EQ(plain.stats().barriers, 3);
+  EXPECT_EQ(plain.stats().barriers_elided, 0);
+
+  SharedMachine elided(p, {}, {}, /*elide_barriers=*/true);
+  elided.load("A", iota(32));
+  elided.run();
+  EXPECT_EQ(elided.stats().barriers, 1);  // only the final one
+  EXPECT_EQ(elided.stats().barriers_elided, 2);
+  EXPECT_EQ(elided.result("A"), plain.result("A"));
+  EXPECT_LT(elided.stats().sim_time, plain.stats().sim_time);
+}
+
+TEST(BarrierElision, CrossProcessorFlowKeepsTheBarrier) {
+  // B[i] := A[i]; C[i] := B[i+1]: the shifted read crosses block
+  // boundaries, so the barrier between the clauses must stay.
+  Program p;
+  p.procs = 4;
+  for (const char* name : {"A", "B", "C"})
+    p.arrays.emplace(name, ArrayDesc::distributed(
+                               name, {0}, {31},
+                               DecompND({Decomp1D::block(32, 4)})));
+  prog::Clause c1;
+  c1.loops = {{"i", 0, 31}};
+  c1.lhs_array = "B";
+  c1.lhs_subs = {{0, fn::var()}};
+  c1.refs.push_back({"A", {{0, fn::var()}}});
+  c1.rhs = prog::ref(0);
+  prog::Clause c2;
+  c2.loops = {{"i", 0, 30}};
+  c2.lhs_array = "C";
+  c2.lhs_subs = {{0, fn::var()}};
+  c2.refs.push_back({"B", {{0, fn::add(fn::var(), fn::cnst(1))}}});
+  c2.rhs = prog::ref(0);
+  p.steps.emplace_back(c1);
+  p.steps.emplace_back(c2);
+
+  SharedMachine m(p, {}, {}, /*elide_barriers=*/true);
+  m.load("A", iota(32));
+  m.run();
+  EXPECT_EQ(m.stats().barriers, 2);
+  EXPECT_EQ(m.stats().barriers_elided, 0);
+}
+
+TEST(BarrierElision, MismatchedLayoutsKeepTheBarrier) {
+  // Identical subscripts but different decompositions: writer and reader
+  // of the same element sit on different processors.
+  Program p;
+  p.procs = 4;
+  p.arrays.emplace("A", ArrayDesc::distributed(
+                            "A", {0}, {31},
+                            DecompND({Decomp1D::block(32, 4)})));
+  p.arrays.emplace("B", ArrayDesc::distributed(
+                            "B", {0}, {31},
+                            DecompND({Decomp1D::scatter(32, 4)})));
+  p.arrays.emplace("C", ArrayDesc::distributed(
+                            "C", {0}, {31},
+                            DecompND({Decomp1D::block(32, 4)})));
+  prog::Clause c1;
+  c1.loops = {{"i", 0, 31}};
+  c1.lhs_array = "B";
+  c1.lhs_subs = {{0, fn::var()}};
+  c1.refs.push_back({"A", {{0, fn::var()}}});
+  c1.rhs = prog::ref(0);
+  prog::Clause c2 = c1;
+  c2.lhs_array = "C";
+  c2.refs[0].array = "B";
+  p.steps.emplace_back(c1);
+  p.steps.emplace_back(c2);
+
+  SharedMachine m(p, {}, {}, /*elide_barriers=*/true);
+  m.load("A", iota(32));
+  m.run();
+  EXPECT_EQ(m.stats().barriers, 2);
+  EXPECT_EQ(m.stats().barriers_elided, 0);
+}
+
+TEST(BarrierElision, IndependentClausesElide) {
+  // Disjoint arrays: no dependence at all.
+  Program p;
+  p.procs = 4;
+  for (const char* name : {"A", "B", "C", "D"})
+    p.arrays.emplace(name, ArrayDesc::distributed(
+                               name, {0}, {31},
+                               DecompND({Decomp1D::scatter(32, 4)})));
+  auto clause = [](const char* dst, const char* src) {
+    prog::Clause c;
+    c.loops = {{"i", 0, 31}};
+    c.lhs_array = dst;
+    c.lhs_subs = {{0, fn::var()}};
+    c.refs.push_back({src, {{0, fn::var()}}});
+    c.rhs = prog::ref(0);
+    return c;
+  };
+  p.steps.emplace_back(clause("B", "A"));
+  p.steps.emplace_back(clause("D", "C"));
+  SharedMachine m(p, {}, {}, /*elide_barriers=*/true);
+  m.run();
+  EXPECT_EQ(m.stats().barriers, 1);
+  EXPECT_EQ(m.stats().barriers_elided, 1);
+}
+
+TEST(CostModel, RankTimeComposition) {
+  CostModel cm;
+  RankCounters c;
+  c.sends = 2;
+  c.receives = 1;
+  c.iterations = 10;
+  c.tests = 4;
+  EXPECT_DOUBLE_EQ(c.time(cm), 3 * (cm.per_message + cm.per_value) +
+                                   10 * cm.per_iteration +
+                                   4 * cm.per_test);
+}
+
+}  // namespace
+}  // namespace vcal::rt

@@ -1,0 +1,164 @@
+// Tests for support/: exact integer arithmetic, formatting, RNG, stats.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/format.hpp"
+#include "support/math.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace vcal {
+namespace {
+
+TEST(Math, FloordivMatchesMathematicalFloor) {
+  for (i64 a = -25; a <= 25; ++a) {
+    for (i64 b : {-7, -3, -1, 1, 2, 5, 9}) {
+      double exact = std::floor(static_cast<double>(a) /
+                                static_cast<double>(b));
+      EXPECT_EQ(floordiv(a, b), static_cast<i64>(exact))
+          << a << " div " << b;
+    }
+  }
+}
+
+TEST(Math, CeildivMatchesMathematicalCeil) {
+  for (i64 a = -25; a <= 25; ++a) {
+    for (i64 b : {-7, -3, -1, 1, 2, 5, 9}) {
+      double exact =
+          std::ceil(static_cast<double>(a) / static_cast<double>(b));
+      EXPECT_EQ(ceildiv(a, b), static_cast<i64>(exact))
+          << a << " ceildiv " << b;
+    }
+  }
+}
+
+TEST(Math, EmodIsAlwaysNonNegativeAndConsistent) {
+  for (i64 a = -25; a <= 25; ++a) {
+    for (i64 b : {-7, -3, 2, 5, 9}) {
+      i64 r = emod(a, b);
+      EXPECT_GE(r, 0);
+      EXPECT_LT(r, b < 0 ? -b : b);
+      if (b > 0) {
+        EXPECT_EQ(floordiv(a, b) * b + r, a);
+      }
+    }
+  }
+}
+
+TEST(Math, DivisionByZeroThrows) {
+  EXPECT_THROW(floordiv(1, 0), InternalError);
+  EXPECT_THROW(ceildiv(1, 0), InternalError);
+  EXPECT_THROW(emod(1, 0), InternalError);
+}
+
+TEST(Math, GcdBasics) {
+  EXPECT_EQ(gcd(12, 18), 6);
+  EXPECT_EQ(gcd(-12, 18), 6);
+  EXPECT_EQ(gcd(12, -18), 6);
+  EXPECT_EQ(gcd(0, 5), 5);
+  EXPECT_EQ(gcd(5, 0), 5);
+  EXPECT_EQ(gcd(0, 0), 0);
+  EXPECT_EQ(gcd(17, 13), 1);
+}
+
+TEST(Math, LcmBasics) {
+  EXPECT_EQ(lcm(4, 6), 12);
+  EXPECT_EQ(lcm(0, 6), 0);
+  EXPECT_EQ(lcm(-4, 6), 12);
+}
+
+TEST(Math, CheckedOpsThrowOnOverflow) {
+  i64 big = std::numeric_limits<i64>::max();
+  EXPECT_THROW(mul_checked(big, 2), InternalError);
+  EXPECT_THROW(add_checked(big, 1), InternalError);
+  EXPECT_EQ(mul_checked(1 << 20, 1 << 20), i64{1} << 40);
+}
+
+TEST(Math, IsqrtExactAroundPerfectSquares) {
+  for (i64 r = 0; r <= 1000; ++r) {
+    i64 sq = r * r;
+    EXPECT_EQ(isqrt(sq), r);
+    if (sq > 0) {
+      EXPECT_EQ(isqrt(sq - 1), r - 1);
+    }
+    if (sq + 1 < (r + 1) * (r + 1)) {
+      EXPECT_EQ(isqrt(sq + 1), r);
+    }
+  }
+  EXPECT_THROW(isqrt(-1), InternalError);
+}
+
+TEST(Format, JoinAndCommas) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(with_commas(1234567), "1,234,567");
+  EXPECT_EQ(with_commas(-1234), "-1,234");
+  EXPECT_EQ(with_commas(7), "7");
+  EXPECT_EQ(with_commas(0), "0");
+}
+
+TEST(Format, PaddingAndRepeat) {
+  EXPECT_EQ(pad_left("ab", 5), "   ab");
+  EXPECT_EQ(pad_right("ab", 5), "ab   ");
+  EXPECT_EQ(pad_left("abcdef", 3), "abcdef");
+  EXPECT_EQ(repeat("ab", 3), "ababab");
+  EXPECT_TRUE(contains("hello world", "lo w"));
+  EXPECT_FALSE(contains("hello", "world"));
+}
+
+TEST(Rng, DeterministicAndInRange) {
+  Rng a(42), b(42);
+  for (int k = 0; k < 100; ++k) EXPECT_EQ(a.next_u64(), b.next_u64());
+  Rng r(7);
+  for (int k = 0; k < 1000; ++k) {
+    i64 v = r.uniform(-5, 9);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 9);
+    double d = r.uniform01();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng r(3);
+  bool seen[10] = {};
+  for (int k = 0; k < 2000; ++k) seen[r.uniform(0, 9)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Stats, AccumulatorSummary) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0);
+  EXPECT_EQ(acc.mean(), 0.0);
+  acc.add(2.0);
+  acc.add(4.0);
+  acc.add(9.0);
+  EXPECT_EQ(acc.count(), 3);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_TRUE(contains(acc.summary(), "n=3"));
+}
+
+TEST(Error, RequireThrowsWithMessage) {
+  EXPECT_NO_THROW(require(true, "fine"));
+  try {
+    require(false, "broken invariant");
+    FAIL() << "expected InternalError";
+  } catch (const InternalError& e) {
+    EXPECT_TRUE(contains(e.what(), "broken invariant"));
+  }
+}
+
+TEST(Error, ParseErrorCarriesPosition) {
+  ParseError e("bad token", 3, 14);
+  EXPECT_EQ(e.line(), 3);
+  EXPECT_EQ(e.col(), 14);
+  EXPECT_TRUE(contains(e.what(), "3:14"));
+}
+
+}  // namespace
+}  // namespace vcal

@@ -1,0 +1,277 @@
+// Tests for vcal/: the calculus itself — Definitions 1-5 and the paper's
+// worked examples, plus the extensional rewrite rules.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "decomp/decomp1d.hpp"
+#include "fn/index_fn.hpp"
+#include "support/error.hpp"
+#include "support/format.hpp"
+#include "vcal/clause.hpp"
+#include "vcal/index_set.hpp"
+#include "vcal/rewrite.hpp"
+#include "vcal/view.hpp"
+
+namespace vcal::cal {
+namespace {
+
+// Paper Example 1: {(2,3),(2,4),(3,3),(3,4)} is within l=(2,3), u=(3,4)
+// and within l=(1,0), u=(8,7).
+TEST(BoundVec, Example1Containment) {
+  std::vector<Ivec> pts = {{2, 3}, {2, 4}, {3, 3}, {3, 4}};
+  BoundVec tight = bounds2(2, 3, 3, 4);
+  BoundVec loose = bounds2(1, 8, 0, 7);
+  for (const Ivec& p : pts) {
+    EXPECT_TRUE(tight.contains(p));
+    EXPECT_TRUE(loose.contains(p));
+  }
+  EXPECT_EQ(tight.count(), 4);
+  EXPECT_EQ(loose.count(), 64);
+}
+
+TEST(BoundVec, IntersectIsComponentwise) {
+  BoundVec a = bounds2(0, 5, 2, 9);
+  BoundVec b = bounds2(3, 8, 0, 4);
+  BoundVec c = BoundVec::intersect(a, b);
+  EXPECT_EQ(c.lo, (Ivec{3, 2}));
+  EXPECT_EQ(c.hi, (Ivec{5, 4}));
+  BoundVec empty = BoundVec::intersect(bounds1(0, 2), bounds1(5, 9));
+  EXPECT_TRUE(empty.empty());
+}
+
+// Paper Example 2: I = ((0,0):(2,2), i1 < i2) = {(0,1),(0,2),(1,2)}.
+TEST(IndexSet, Example2Enumeration) {
+  IndexSet I(bounds2(0, 2, 0, 2),
+             Predicate([](const Ivec& i) { return i[0] < i[1]; },
+                       "i1 < i2"));
+  auto members = I.enumerate();
+  std::vector<Ivec> expect = {{0, 1}, {0, 2}, {1, 2}};
+  EXPECT_EQ(members, expect);
+  EXPECT_EQ(I.count(), 3);
+  EXPECT_TRUE(I.contains({1, 2}));
+  EXPECT_FALSE(I.contains({2, 2}));
+  EXPECT_FALSE(I.contains({0, 3}));  // outside bounds
+}
+
+// Paper Example 3: ip(i) = (i1+1, i2+1) maps (1,3) to (2,4).
+TEST(IndexMap, Example3SingleSelection) {
+  IndexMap ip([](const Ivec& i) { return Ivec{i[0] + 1, i[1] + 1}; },
+              "(i1+1, i2+1)");
+  EXPECT_EQ(ip({1, 3}), (Ivec{2, 4}));
+}
+
+View example5_v() {
+  return View(
+      IndexSet(bounds1(0, 1),
+               Predicate([](const Ivec& i) { return i[0] >= 1; },
+                         "i ≥ 1")),
+      BoundMap::scalar([](i64 x) { return x - 2; }, "i-2"),
+      IndexMap::scalar([](i64 x) { return x + 2; }, "i+2"));
+}
+
+View example5_w() {
+  return View(
+      IndexSet(bounds1(0, 10),
+               Predicate([](const Ivec& i) { return i[0] >= 4; },
+                         "i ≥ 4")),
+      BoundMap::scalar([](i64 x) { return floordiv(x, 2); }, "i div 2"),
+      IndexMap::scalar([](i64 x) { return 2 * x; }, "2.i"));
+}
+
+// Paper Example 5, literally.
+TEST(View, Example5Composition) {
+  View u = example5_v().compose(example5_w());
+
+  // b_{v∘w} = (0,1) & (-2, 8) = (0,1)
+  EXPECT_EQ(u.k().bound().lo, (Ivec{0}));
+  EXPECT_EQ(u.k().bound().hi, (Ivec{1}));
+
+  // ip_{v∘w}(i) = 2(i + 2) = 2i + 4
+  for (i64 i = -5; i <= 5; ++i)
+    EXPECT_EQ(u.ip()({{i}})[0], 2 * i + 4);
+
+  // dp_{v∘w}(i) = (i div 2) - 2
+  BoundVec mapped = u.dp()(bounds1(0, 10));
+  EXPECT_EQ(mapped.lo[0], -2);
+  EXPECT_EQ(mapped.hi[0], 3);
+
+  // P_{v∘w}(i) = {i ≥ 4}∘ip_v ∧ {i ≥ 1} = {i ≥ 2}
+  EXPECT_FALSE(u.k().pred()({1}));
+  EXPECT_TRUE(u.k().pred()({2}));
+  EXPECT_TRUE(u.k().pred()({7}));
+}
+
+// Definition 4/5 coherence: (V ∘ W)(I) == V(W(I)) for every I in a sweep.
+TEST(View, CompositionLawHoldsExtensionally) {
+  View v = example5_v();
+  View w = example5_w();
+  View u = v.compose(w);
+  for (i64 lo = -4; lo <= 4; ++lo) {
+    for (i64 hi = lo; hi <= lo + 8; ++hi) {
+      IndexSet I(bounds1(lo, hi),
+                 Predicate([](const Ivec& i) { return i[0] % 2 == 0; },
+                           "even"));
+      IndexSet lhs = u.apply(I);
+      IndexSet rhs = v.apply(w.apply(I));
+      EXPECT_EQ(lhs.bound().lo, rhs.bound().lo) << lo << ":" << hi;
+      EXPECT_EQ(lhs.bound().hi, rhs.bound().hi) << lo << ":" << hi;
+      EXPECT_EQ(lhs.enumerate(), rhs.enumerate()) << lo << ":" << hi;
+    }
+  }
+}
+
+TEST(View, ApplicationFollowsDefinition4) {
+  // V with K = (0:9 | true), dp = id, ip = i+1 applied to I = (2:6 | i>3):
+  // J = (0:9 & 2:6, PI∘ip) = (2:6, i+1 > 3) = {3,4,5,6}.
+  View v(IndexSet(bounds1(0, 9)), BoundMap::identity(1),
+         IndexMap::scalar([](i64 x) { return x + 1; }, "i+1"));
+  IndexSet I(bounds1(2, 6),
+             Predicate([](const Ivec& i) { return i[0] > 3; }, "i > 3"));
+  IndexSet J = v.apply(I);
+  std::vector<Ivec> expect = {{3}, {4}, {5}, {6}};
+  EXPECT_EQ(J.enumerate(), expect);
+}
+
+TEST(View, IdentityViewIsNeutral) {
+  View id(IndexSet(bounds1(-100, 100)), BoundMap::identity(1),
+          IndexMap::identity(1));
+  IndexSet I(bounds1(0, 7),
+             Predicate([](const Ivec& i) { return i[0] != 3; }, "i ≠ 3"));
+  EXPECT_EQ(id.apply(I).enumerate(), I.enumerate());
+}
+
+// ---- Section 2.8: Modify/Reside sets --------------------------------
+
+TEST(Rewrite, ModifySetsPartitionTheRange) {
+  fn::IndexFn f = fn::IndexFn::affine(1, 3);
+  decomp::Decomp1D d = decomp::Decomp1D::scatter(40, 4);
+  i64 total = 0;
+  for (i64 p = 0; p < 4; ++p) {
+    IndexSet m = modify_set(0, 36, f, d, p);
+    for (const Ivec& i : m.enumerate())
+      EXPECT_EQ(d.proc(f(i[0])), p);
+    total += m.count();
+  }
+  EXPECT_EQ(total, 37);
+}
+
+TEST(Rewrite, ModifyExcludesOutOfBoundsImages) {
+  fn::IndexFn f = fn::IndexFn::affine(2, 0);
+  decomp::Decomp1D d = decomp::Decomp1D::block(10, 2);
+  // f(i) = 2i over 0:9 maps 5..9 out of bounds.
+  i64 total = 0;
+  for (i64 p = 0; p < 2; ++p) total += modify_set(0, 9, f, d, p).count();
+  EXPECT_EQ(total, 5);
+}
+
+TEST(Rewrite, InterchangeProducesTheSamePairs) {
+  // The Eq. (3) interchange: ∆(i)∆(p | ...) == ∆(p)∆(i | ...) as sets.
+  fn::IndexFn f = fn::IndexFn::affine(3, 1);
+  decomp::Decomp1D d = decomp::Decomp1D::block_scatter(64, 4, 2);
+  auto a = enumerate_i_outer(0, 20, f, d);
+  auto b = enumerate_p_outer(0, 20, f, d);
+  EXPECT_EQ(a.size(), b.size());
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+  // And the p-outer form groups by processor (the SPMD property).
+  auto c = enumerate_p_outer(0, 20, f, d);
+  for (std::size_t k = 1; k < c.size(); ++k)
+    EXPECT_LE(c[k - 1].first, c[k].first);
+}
+
+// ---- Clause construction & printing ----------------------------------
+
+prog::Clause fig1_clause() {
+  // Figure 1: for i: if A[i] > 0 then A[i] := B[f(i)] with f(i) = i+1,
+  // over i in k+1 : n  (we use 1:9).
+  prog::Clause c;
+  c.loops = {{"i", 1, 9}};
+  c.ord = prog::Ordering::Par;
+  c.lhs_array = "A";
+  c.lhs_subs = {{0, fn::var()}};
+  c.refs.push_back({"B", {{0, fn::add(fn::var(), fn::cnst(1))}}});
+  c.refs.push_back({"A", {{0, fn::var()}}});
+  c.rhs = prog::ref(0);
+  prog::Guard g;
+  g.cmp = prog::Guard::Cmp::GT;
+  g.lhs = prog::ref(1);
+  g.rhs = prog::number(0.0);
+  c.guard = g;
+  return c;
+}
+
+TEST(Clause, Figure1Rendering) {
+  prog::Clause c = fig1_clause();
+  std::string s = c.str();
+  EXPECT_TRUE(contains(s, "∆(i ∈ (1:9"));
+  EXPECT_TRUE(contains(s, "A[i] > 0"));
+  EXPECT_TRUE(contains(s, "//"));
+  EXPECT_TRUE(contains(s, "[i](A) := B[i + 1]"));
+}
+
+TEST(Clause, ValidateAcceptsFigure1) {
+  EXPECT_NO_THROW(fig1_clause().validate());
+}
+
+TEST(Clause, ValidateRejectsBrokenShapes) {
+  prog::Clause c = fig1_clause();
+  c.loops.clear();
+  EXPECT_THROW(c.validate(), SemanticError);
+
+  c = fig1_clause();
+  c.loops[0].lo = 10;  // empty range
+  EXPECT_THROW(c.validate(), SemanticError);
+
+  c = fig1_clause();
+  c.rhs = nullptr;
+  EXPECT_THROW(c.validate(), SemanticError);
+
+  c = fig1_clause();
+  c.refs.push_back({"B", {{0, fn::var()}, {0, fn::var()}}});  // arity flip
+  EXPECT_THROW(c.validate(), SemanticError);
+
+  c = fig1_clause();
+  c.lhs_subs[0].loop_index = 5;  // no such loop
+  EXPECT_THROW(c.validate(), SemanticError);
+}
+
+TEST(Clause, SubscriptEvaluation) {
+  prog::Clause c = fig1_clause();
+  auto idx = prog::eval_subs(c.refs[0].subs, {7});
+  EXPECT_EQ(idx, (std::vector<i64>{8}));
+  auto lhs = prog::eval_subs(c.lhs_subs, {7});
+  EXPECT_EQ(lhs, (std::vector<i64>{7}));
+}
+
+TEST(Expr, EvalAndPrint) {
+  using namespace prog;
+  // 2*B[i+1] + 1 with ref 0 = B[i+1]
+  ExprPtr e = add(mul(number(2.0), ref(0)), number(1.0));
+  EXPECT_DOUBLE_EQ(eval(e, {5.0}), 11.0);
+  std::vector<ArrayRef> refs = {
+      {"B", {{0, fn::add(fn::var(), fn::cnst(1))}}}};
+  EXPECT_EQ(to_string(e, refs, {"i"}), "2*B[i + 1] + 1");
+}
+
+TEST(Expr, LoopVarLeaf) {
+  using namespace prog;
+  ExprPtr e = add(loop_var(0), number(0.5));
+  EXPECT_DOUBLE_EQ(eval(e, {}, {7}), 7.5);
+  EXPECT_EQ(to_string(e, {}, {"i"}), "i + 0.5");
+}
+
+TEST(Expr, GuardComparisons) {
+  using namespace prog;
+  Guard g{Guard::Cmp::LE, ref(0), number(3.0)};
+  EXPECT_TRUE(g.holds({3.0}));
+  EXPECT_TRUE(g.holds({2.0}));
+  EXPECT_FALSE(g.holds({3.5}));
+  Guard ne{Guard::Cmp::NE, ref(0), number(0.0)};
+  EXPECT_TRUE(ne.holds({1.0}));
+  EXPECT_FALSE(ne.holds({0.0}));
+}
+
+}  // namespace
+}  // namespace vcal::cal

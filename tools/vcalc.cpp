@@ -1,0 +1,203 @@
+// vcalc — command-line driver for the V-cal compiler and simulators.
+//
+//   vcalc [options] program.vexl
+//
+//   --target=dist|shared|seq   execute on the chosen machine (default dist)
+//   --emit=mpi|omp|trace|ir    print generated source / derivation instead
+//                              of executing
+//   --naive                    disable the Table I optimizations
+//                              (run-time resolution baseline)
+//   --elide-barriers           enable the footnote-1 barrier analysis
+//                              (shared target)
+//   --init NAME                fill NAME with the ramp 0,1,2,... before
+//                              running (repeatable)
+//   --print NAME               dump NAME after the run (repeatable)
+//   --stats                    print machine statistics
+//
+// Exit status: 0 on success, 1 on usage errors, 2 on compile errors,
+// 3 on execution faults.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "emit/c_mpi.hpp"
+#include "emit/c_openmp.hpp"
+#include "emit/paper_notation.hpp"
+#include "lang/translate.hpp"
+#include "rt/dist_machine.hpp"
+#include "rt/seq_executor.hpp"
+#include "rt/shared_machine.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using namespace vcal;
+
+struct Options {
+  std::string target = "dist";
+  std::string emit;
+  bool naive = false;
+  bool elide_barriers = false;
+  bool stats = false;
+  std::vector<std::string> init;
+  std::vector<std::string> print;
+  std::string file;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--target=dist|shared|seq] "
+               "[--emit=mpi|omp|trace|ir] [--naive] [--elide-barriers] "
+               "[--init NAME]... [--print NAME]... [--stats] "
+               "program.vexl\n",
+               argv0);
+  return 1;
+}
+
+std::vector<double> ramp(i64 n) {
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (i64 i = 0; i < n; ++i)
+    v[static_cast<std::size_t>(i)] = static_cast<double>(i);
+  return v;
+}
+
+void dump(const std::string& name, const std::vector<double>& data) {
+  std::printf("%s =", name.c_str());
+  for (double v : data) std::printf(" %g", v);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int k = 1; k < argc; ++k) {
+    std::string arg = argv[k];
+    auto value = [&](const char* prefix) -> const char* {
+      return arg.c_str() + std::strlen(prefix);
+    };
+    if (arg.rfind("--target=", 0) == 0) {
+      opt.target = value("--target=");
+    } else if (arg.rfind("--emit=", 0) == 0) {
+      opt.emit = value("--emit=");
+    } else if (arg == "--naive") {
+      opt.naive = true;
+    } else if (arg == "--elide-barriers") {
+      opt.elide_barriers = true;
+    } else if (arg == "--stats") {
+      opt.stats = true;
+    } else if (arg == "--init" && k + 1 < argc) {
+      opt.init.push_back(argv[++k]);
+    } else if (arg == "--print" && k + 1 < argc) {
+      opt.print.push_back(argv[++k]);
+    } else if (arg.rfind("--", 0) == 0) {
+      return usage(argv[0]);
+    } else if (opt.file.empty()) {
+      opt.file = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (opt.file.empty()) return usage(argv[0]);
+
+  std::ifstream in(opt.file);
+  if (!in) {
+    std::fprintf(stderr, "vcalc: cannot open %s\n", opt.file.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  spmd::Program program;
+  try {
+    program = lang::compile(buf.str());
+  } catch (const Error& e) {
+    std::fprintf(stderr, "vcalc: %s\n", e.what());
+    return 2;
+  }
+
+  if (!opt.emit.empty()) {
+    try {
+      if (opt.emit == "mpi") {
+        std::fputs(emit::emit_mpi_c(program).c_str(), stdout);
+      } else if (opt.emit == "omp") {
+        std::fputs(emit::emit_openmp_c(program).c_str(), stdout);
+      } else if (opt.emit == "ir") {
+        std::fputs(program.str().c_str(), stdout);
+      } else if (opt.emit == "trace") {
+        spmd::ArrayTable arrays = program.arrays;
+        for (const spmd::Step& step : program.steps) {
+          if (const auto* clause = std::get_if<prog::Clause>(&step)) {
+            std::fputs(
+                emit::trace_pipeline(*clause, arrays).str().c_str(),
+                stdout);
+            std::fputs("\n", stdout);
+          } else {
+            const auto& r = std::get<spmd::RedistStep>(step);
+            std::printf("redistribute -> %s\n\n",
+                        r.new_desc.str().c_str());
+            arrays.insert_or_assign(r.array, r.new_desc);
+          }
+        }
+      } else {
+        return usage(argv[0]);
+      }
+    } catch (const Error& e) {
+      std::fprintf(stderr, "vcalc: %s\n", e.what());
+      return 2;
+    }
+    return 0;
+  }
+
+  gen::BuildOptions build;
+  build.force_runtime_resolution = opt.naive;
+
+  try {
+    auto init_all = [&](auto& machine) {
+      for (const std::string& name : opt.init) {
+        auto it = program.arrays.find(name);
+        if (it == program.arrays.end())
+          throw SemanticError("--init names unknown array " + name);
+        machine.load(name, ramp(it->second.total()));
+      }
+    };
+    if (opt.target == "seq") {
+      rt::SeqExecutor machine(program);
+      init_all(machine);
+      machine.run();
+      for (const std::string& name : opt.print)
+        dump(name, machine.result(name));
+    } else if (opt.target == "shared") {
+      rt::SharedMachine machine(program, build, {}, opt.elide_barriers);
+      init_all(machine);
+      machine.run();
+      for (const std::string& name : opt.print)
+        dump(name, machine.result(name));
+      if (opt.stats)
+        std::printf(
+            "stats: barriers=%lld elided=%lld iters=%lld tests=%lld "
+            "sim-time=%g\n",
+            (long long)machine.stats().barriers,
+            (long long)machine.stats().barriers_elided,
+            (long long)machine.stats().iterations,
+            (long long)machine.stats().tests, machine.stats().sim_time);
+    } else if (opt.target == "dist") {
+      rt::DistMachine machine(program, build);
+      init_all(machine);
+      machine.run();
+      for (const std::string& name : opt.print)
+        dump(name, machine.gather(name));
+      if (opt.stats)
+        std::printf("stats: %s\n", machine.stats().str().c_str());
+    } else {
+      return usage(argv[0]);
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "vcalc: %s\n", e.what());
+    return 3;
+  }
+  return 0;
+}
