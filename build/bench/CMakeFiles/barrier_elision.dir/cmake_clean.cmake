@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barrier_elision.dir/barrier_elision.cpp.o"
+  "CMakeFiles/barrier_elision.dir/barrier_elision.cpp.o.d"
+  "barrier_elision"
+  "barrier_elision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barrier_elision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

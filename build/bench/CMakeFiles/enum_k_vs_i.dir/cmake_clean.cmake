@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enum_k_vs_i.dir/enum_k_vs_i.cpp.o"
+  "CMakeFiles/enum_k_vs_i.dir/enum_k_vs_i.cpp.o.d"
+  "enum_k_vs_i"
+  "enum_k_vs_i.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enum_k_vs_i.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for enum_k_vs_i.
+# This may be replaced when dependencies are built.

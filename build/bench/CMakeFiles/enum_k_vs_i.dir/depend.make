@@ -1,0 +1,2 @@
+# Empty dependencies file for enum_k_vs_i.
+# This may be replaced when dependencies are built.

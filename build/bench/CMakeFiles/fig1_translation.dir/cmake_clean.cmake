@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_translation.dir/fig1_translation.cpp.o"
+  "CMakeFiles/fig1_translation.dir/fig1_translation.cpp.o.d"
+  "fig1_translation"
+  "fig1_translation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_translation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_decompositions.dir/fig2_decompositions.cpp.o"
+  "CMakeFiles/fig2_decompositions.dir/fig2_decompositions.cpp.o.d"
+  "fig2_decompositions"
+  "fig2_decompositions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_decompositions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcd_convergence.dir/gcd_convergence.cpp.o"
+  "CMakeFiles/gcd_convergence.dir/gcd_convergence.cpp.o.d"
+  "gcd_convergence"
+  "gcd_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcd_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halo_overlap.dir/halo_overlap.cpp.o"
+  "CMakeFiles/halo_overlap.dir/halo_overlap.cpp.o.d"
+  "halo_overlap"
+  "halo_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halo_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piecewise_rotate.dir/piecewise_rotate.cpp.o"
+  "CMakeFiles/piecewise_rotate.dir/piecewise_rotate.cpp.o.d"
+  "piecewise_rotate"
+  "piecewise_rotate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piecewise_rotate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rb_vs_rs_crossover.dir/rb_vs_rs_crossover.cpp.o"
+  "CMakeFiles/rb_vs_rs_crossover.dir/rb_vs_rs_crossover.cpp.o.d"
+  "rb_vs_rs_crossover"
+  "rb_vs_rs_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rb_vs_rs_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rb_vs_rs_crossover.
+# This may be replaced when dependencies are built.

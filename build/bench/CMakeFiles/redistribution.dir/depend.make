@@ -1,0 +1,2 @@
+# Empty dependencies file for redistribution.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmd_end_to_end.dir/spmd_end_to_end.cpp.o"
+  "CMakeFiles/spmd_end_to_end.dir/spmd_end_to_end.cpp.o.d"
+  "spmd_end_to_end"
+  "spmd_end_to_end.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmd_end_to_end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emit_sources.dir/emit_sources.cpp.o"
+  "CMakeFiles/emit_sources.dir/emit_sources.cpp.o.d"
+  "emit_sources"
+  "emit_sources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emit_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

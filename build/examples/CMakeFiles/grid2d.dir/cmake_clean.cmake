@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid2d.dir/grid2d.cpp.o"
+  "CMakeFiles/grid2d.dir/grid2d.cpp.o.d"
+  "grid2d"
+  "grid2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redblack.dir/redblack.cpp.o"
+  "CMakeFiles/redblack.dir/redblack.cpp.o.d"
+  "redblack"
+  "redblack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redblack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redistribute.dir/redistribute.cpp.o"
+  "CMakeFiles/redistribute.dir/redistribute.cpp.o.d"
+  "redistribute"
+  "redistribute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redistribute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relaxation.dir/relaxation.cpp.o"
+  "CMakeFiles/relaxation.dir/relaxation.cpp.o.d"
+  "relaxation"
+  "relaxation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relaxation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

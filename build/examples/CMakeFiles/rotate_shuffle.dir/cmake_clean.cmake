@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rotate_shuffle.dir/rotate_shuffle.cpp.o"
+  "CMakeFiles/rotate_shuffle.dir/rotate_shuffle.cpp.o.d"
+  "rotate_shuffle"
+  "rotate_shuffle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rotate_shuffle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/decomp/array_desc.cpp" "src/CMakeFiles/vcal.dir/decomp/array_desc.cpp.o" "gcc" "src/CMakeFiles/vcal.dir/decomp/array_desc.cpp.o.d"
+  "/root/repo/src/decomp/decomp1d.cpp" "src/CMakeFiles/vcal.dir/decomp/decomp1d.cpp.o" "gcc" "src/CMakeFiles/vcal.dir/decomp/decomp1d.cpp.o.d"
+  "/root/repo/src/decomp/decomp_nd.cpp" "src/CMakeFiles/vcal.dir/decomp/decomp_nd.cpp.o" "gcc" "src/CMakeFiles/vcal.dir/decomp/decomp_nd.cpp.o.d"
+  "/root/repo/src/decomp/proc_grid.cpp" "src/CMakeFiles/vcal.dir/decomp/proc_grid.cpp.o" "gcc" "src/CMakeFiles/vcal.dir/decomp/proc_grid.cpp.o.d"
+  "/root/repo/src/decomp/redistribute.cpp" "src/CMakeFiles/vcal.dir/decomp/redistribute.cpp.o" "gcc" "src/CMakeFiles/vcal.dir/decomp/redistribute.cpp.o.d"
+  "/root/repo/src/diophant/congruence.cpp" "src/CMakeFiles/vcal.dir/diophant/congruence.cpp.o" "gcc" "src/CMakeFiles/vcal.dir/diophant/congruence.cpp.o.d"
+  "/root/repo/src/diophant/euclid.cpp" "src/CMakeFiles/vcal.dir/diophant/euclid.cpp.o" "gcc" "src/CMakeFiles/vcal.dir/diophant/euclid.cpp.o.d"
+  "/root/repo/src/emit/c_expr.cpp" "src/CMakeFiles/vcal.dir/emit/c_expr.cpp.o" "gcc" "src/CMakeFiles/vcal.dir/emit/c_expr.cpp.o.d"
+  "/root/repo/src/emit/c_mpi.cpp" "src/CMakeFiles/vcal.dir/emit/c_mpi.cpp.o" "gcc" "src/CMakeFiles/vcal.dir/emit/c_mpi.cpp.o.d"
+  "/root/repo/src/emit/c_openmp.cpp" "src/CMakeFiles/vcal.dir/emit/c_openmp.cpp.o" "gcc" "src/CMakeFiles/vcal.dir/emit/c_openmp.cpp.o.d"
+  "/root/repo/src/emit/paper_notation.cpp" "src/CMakeFiles/vcal.dir/emit/paper_notation.cpp.o" "gcc" "src/CMakeFiles/vcal.dir/emit/paper_notation.cpp.o.d"
+  "/root/repo/src/fn/classify.cpp" "src/CMakeFiles/vcal.dir/fn/classify.cpp.o" "gcc" "src/CMakeFiles/vcal.dir/fn/classify.cpp.o.d"
+  "/root/repo/src/fn/index_fn.cpp" "src/CMakeFiles/vcal.dir/fn/index_fn.cpp.o" "gcc" "src/CMakeFiles/vcal.dir/fn/index_fn.cpp.o.d"
+  "/root/repo/src/fn/sym.cpp" "src/CMakeFiles/vcal.dir/fn/sym.cpp.o" "gcc" "src/CMakeFiles/vcal.dir/fn/sym.cpp.o.d"
+  "/root/repo/src/gen/cost.cpp" "src/CMakeFiles/vcal.dir/gen/cost.cpp.o" "gcc" "src/CMakeFiles/vcal.dir/gen/cost.cpp.o.d"
+  "/root/repo/src/gen/optimizer.cpp" "src/CMakeFiles/vcal.dir/gen/optimizer.cpp.o" "gcc" "src/CMakeFiles/vcal.dir/gen/optimizer.cpp.o.d"
+  "/root/repo/src/gen/schedule.cpp" "src/CMakeFiles/vcal.dir/gen/schedule.cpp.o" "gcc" "src/CMakeFiles/vcal.dir/gen/schedule.cpp.o.d"
+  "/root/repo/src/lang/ast.cpp" "src/CMakeFiles/vcal.dir/lang/ast.cpp.o" "gcc" "src/CMakeFiles/vcal.dir/lang/ast.cpp.o.d"
+  "/root/repo/src/lang/lexer.cpp" "src/CMakeFiles/vcal.dir/lang/lexer.cpp.o" "gcc" "src/CMakeFiles/vcal.dir/lang/lexer.cpp.o.d"
+  "/root/repo/src/lang/parser.cpp" "src/CMakeFiles/vcal.dir/lang/parser.cpp.o" "gcc" "src/CMakeFiles/vcal.dir/lang/parser.cpp.o.d"
+  "/root/repo/src/lang/sema.cpp" "src/CMakeFiles/vcal.dir/lang/sema.cpp.o" "gcc" "src/CMakeFiles/vcal.dir/lang/sema.cpp.o.d"
+  "/root/repo/src/lang/token.cpp" "src/CMakeFiles/vcal.dir/lang/token.cpp.o" "gcc" "src/CMakeFiles/vcal.dir/lang/token.cpp.o.d"
+  "/root/repo/src/lang/translate.cpp" "src/CMakeFiles/vcal.dir/lang/translate.cpp.o" "gcc" "src/CMakeFiles/vcal.dir/lang/translate.cpp.o.d"
+  "/root/repo/src/rt/cost_model.cpp" "src/CMakeFiles/vcal.dir/rt/cost_model.cpp.o" "gcc" "src/CMakeFiles/vcal.dir/rt/cost_model.cpp.o.d"
+  "/root/repo/src/rt/dist_machine.cpp" "src/CMakeFiles/vcal.dir/rt/dist_machine.cpp.o" "gcc" "src/CMakeFiles/vcal.dir/rt/dist_machine.cpp.o.d"
+  "/root/repo/src/rt/seq_executor.cpp" "src/CMakeFiles/vcal.dir/rt/seq_executor.cpp.o" "gcc" "src/CMakeFiles/vcal.dir/rt/seq_executor.cpp.o.d"
+  "/root/repo/src/rt/shared_machine.cpp" "src/CMakeFiles/vcal.dir/rt/shared_machine.cpp.o" "gcc" "src/CMakeFiles/vcal.dir/rt/shared_machine.cpp.o.d"
+  "/root/repo/src/rt/store.cpp" "src/CMakeFiles/vcal.dir/rt/store.cpp.o" "gcc" "src/CMakeFiles/vcal.dir/rt/store.cpp.o.d"
+  "/root/repo/src/spmd/barrier.cpp" "src/CMakeFiles/vcal.dir/spmd/barrier.cpp.o" "gcc" "src/CMakeFiles/vcal.dir/spmd/barrier.cpp.o.d"
+  "/root/repo/src/spmd/clause_plan.cpp" "src/CMakeFiles/vcal.dir/spmd/clause_plan.cpp.o" "gcc" "src/CMakeFiles/vcal.dir/spmd/clause_plan.cpp.o.d"
+  "/root/repo/src/spmd/program.cpp" "src/CMakeFiles/vcal.dir/spmd/program.cpp.o" "gcc" "src/CMakeFiles/vcal.dir/spmd/program.cpp.o.d"
+  "/root/repo/src/support/error.cpp" "src/CMakeFiles/vcal.dir/support/error.cpp.o" "gcc" "src/CMakeFiles/vcal.dir/support/error.cpp.o.d"
+  "/root/repo/src/support/format.cpp" "src/CMakeFiles/vcal.dir/support/format.cpp.o" "gcc" "src/CMakeFiles/vcal.dir/support/format.cpp.o.d"
+  "/root/repo/src/support/math.cpp" "src/CMakeFiles/vcal.dir/support/math.cpp.o" "gcc" "src/CMakeFiles/vcal.dir/support/math.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "src/CMakeFiles/vcal.dir/support/rng.cpp.o" "gcc" "src/CMakeFiles/vcal.dir/support/rng.cpp.o.d"
+  "/root/repo/src/support/stats.cpp" "src/CMakeFiles/vcal.dir/support/stats.cpp.o" "gcc" "src/CMakeFiles/vcal.dir/support/stats.cpp.o.d"
+  "/root/repo/src/vcal/clause.cpp" "src/CMakeFiles/vcal.dir/vcal/clause.cpp.o" "gcc" "src/CMakeFiles/vcal.dir/vcal/clause.cpp.o.d"
+  "/root/repo/src/vcal/expr.cpp" "src/CMakeFiles/vcal.dir/vcal/expr.cpp.o" "gcc" "src/CMakeFiles/vcal.dir/vcal/expr.cpp.o.d"
+  "/root/repo/src/vcal/index_set.cpp" "src/CMakeFiles/vcal.dir/vcal/index_set.cpp.o" "gcc" "src/CMakeFiles/vcal.dir/vcal/index_set.cpp.o.d"
+  "/root/repo/src/vcal/rewrite.cpp" "src/CMakeFiles/vcal.dir/vcal/rewrite.cpp.o" "gcc" "src/CMakeFiles/vcal.dir/vcal/rewrite.cpp.o.d"
+  "/root/repo/src/vcal/view.cpp" "src/CMakeFiles/vcal.dir/vcal/view.cpp.o" "gcc" "src/CMakeFiles/vcal.dir/vcal/view.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

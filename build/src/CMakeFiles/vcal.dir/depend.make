@@ -1,0 +1,2 @@
+# Empty dependencies file for vcal.
+# This may be replaced when dependencies are built.

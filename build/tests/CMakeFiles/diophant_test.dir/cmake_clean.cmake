@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diophant_test.dir/diophant_test.cpp.o"
+  "CMakeFiles/diophant_test.dir/diophant_test.cpp.o.d"
+  "diophant_test"
+  "diophant_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diophant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

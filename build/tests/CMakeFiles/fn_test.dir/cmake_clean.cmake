@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fn_test.dir/fn_test.cpp.o"
+  "CMakeFiles/fn_test.dir/fn_test.cpp.o.d"
+  "fn_test"
+  "fn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

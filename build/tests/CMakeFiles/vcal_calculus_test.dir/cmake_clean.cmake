@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcal_calculus_test.dir/vcal_calculus_test.cpp.o"
+  "CMakeFiles/vcal_calculus_test.dir/vcal_calculus_test.cpp.o.d"
+  "vcal_calculus_test"
+  "vcal_calculus_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcal_calculus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(support_test "/root/repo/build/tests/support_test")
+set_tests_properties(support_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;7;vcal_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(fn_test "/root/repo/build/tests/fn_test")
+set_tests_properties(fn_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;8;vcal_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(diophant_test "/root/repo/build/tests/diophant_test")
+set_tests_properties(diophant_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;9;vcal_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(decomp_test "/root/repo/build/tests/decomp_test")
+set_tests_properties(decomp_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;10;vcal_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(vcal_calculus_test "/root/repo/build/tests/vcal_calculus_test")
+set_tests_properties(vcal_calculus_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;11;vcal_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(gen_test "/root/repo/build/tests/gen_test")
+set_tests_properties(gen_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;12;vcal_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(spmd_test "/root/repo/build/tests/spmd_test")
+set_tests_properties(spmd_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;13;vcal_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(rt_test "/root/repo/build/tests/rt_test")
+set_tests_properties(rt_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;14;vcal_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(lang_test "/root/repo/build/tests/lang_test")
+set_tests_properties(lang_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;15;vcal_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(emit_test "/root/repo/build/tests/emit_test")
+set_tests_properties(emit_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;16;vcal_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_test "/root/repo/build/tests/integration_test")
+set_tests_properties(integration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;17;vcal_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(fuzz_test "/root/repo/build/tests/fuzz_test")
+set_tests_properties(fuzz_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;18;vcal_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_test "/root/repo/build/tests/cli_test")
+set_tests_properties(cli_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;26;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcalc.dir/vcalc.cpp.o"
+  "CMakeFiles/vcalc.dir/vcalc.cpp.o.d"
+  "vcalc"
+  "vcalc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcalc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
