@@ -1,0 +1,186 @@
+// Fast-path execution engine throughput: the iterative relaxation kernel
+// that motivates every optimization in this repository, run for T=200
+// ping-pong sweeps at P in {4, 16, 64}.
+//
+//   even step:  A[i] := (B[i-1] + B[i+1]) / 2
+//   odd step:   B[i] := (A[i-1] + A[i+1]) / 2
+//
+// Two engine configurations execute the identical program:
+//
+//   fast  — the default engine: thread pool, per-(src,dst) bulk message
+//           aggregation, clause-plan caching, scratch reuse
+//   slow  — threads = 1, plan cache off: every step replans its clause
+//           and runs ranks serially. Note this still rides the engine's
+//           allocation-free data path (bulk channels, hoisted store
+//           rows), so the fast/slow ratio isolates pool + cache only;
+//           cross-build comparisons against older engines use the
+//           recorded wall_ms / iters_per_sec trajectory instead.
+//
+// Results and all deterministic statistics must agree between the two;
+// the benchmark fails loudly if they do not. Output is both a human
+// table and a machine-readable BENCH_engine.json (argv[1] overrides the
+// path) so successive PRs can track the perf trajectory.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lang/translate.hpp"
+#include "rt/dist_machine.hpp"
+#include "support/format.hpp"
+
+namespace {
+
+using namespace vcal;
+
+spmd::Program relaxation_program(i64 procs, i64 n, i64 steps) {
+  std::string src =
+      cat("processors ", procs, ";\n", "array A[0:", n - 1, "];\n",
+          "array B[0:", n - 1, "];\n", "distribute A block;\n",
+          "distribute B block;\n", "forall i in 1:", n - 2,
+          " do A[i] := (B[i-1] + B[i+1])/2; od\n");
+  spmd::Program p = lang::compile(src);
+
+  // Ping-pong: repeat the compiled clause with A and B swapped on odd
+  // steps so every sweep consumes the previous sweep's output.
+  prog::Clause even = std::get<prog::Clause>(p.steps[0]);
+  prog::Clause odd = even;
+  odd.lhs_array = "B";
+  for (auto& r : odd.refs) r.array = "A";
+  p.steps.clear();
+  for (i64 t = 0; t < steps; ++t)
+    p.steps.emplace_back(t % 2 == 0 ? even : odd);
+  return p;
+}
+
+std::vector<double> input(i64 n) {
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (i64 i = 0; i < n; ++i)
+    v[static_cast<std::size_t>(i)] = static_cast<double>((i * 13) % 101);
+  return v;
+}
+
+struct RunResult {
+  double wall_ms = 0.0;
+  rt::DistStats stats;
+  std::vector<double> a, b;
+  i64 cache_hits = 0;
+  i64 cache_misses = 0;
+};
+
+RunResult run_engine(const spmd::Program& p, i64 n,
+                     rt::EngineOptions engine) {
+  rt::DistMachine m(p, {}, {}, engine);
+  m.load("B", input(n));
+  auto t0 = std::chrono::steady_clock::now();
+  m.run();
+  auto t1 = std::chrono::steady_clock::now();
+  RunResult r;
+  r.wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  r.stats = m.stats();
+  r.a = m.gather("A");
+  r.b = m.gather("B");
+  r.cache_hits = m.plan_cache().hits();
+  r.cache_misses = m.plan_cache().misses();
+  return r;
+}
+
+bool stats_equal(const rt::DistStats& x, const rt::DistStats& y) {
+  return x.messages == y.messages && x.bulk_messages == y.bulk_messages &&
+         x.local_reads == y.local_reads &&
+         x.remote_reads == y.remote_reads &&
+         x.iterations == y.iterations && x.tests == y.tests &&
+         x.steps == y.steps && x.sim_time == y.sim_time;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const i64 n = 4096;
+  const i64 steps = 200;
+  const char* json_path = argc > 1 ? argv[1] : "BENCH_engine.json";
+
+  std::printf(
+      "=== execution-engine throughput: relaxation, n=%lld, T=%lld ===\n",
+      (long long)n, (long long)steps);
+  std::printf("%6s %12s %12s %9s %12s %12s %12s %11s\n", "P", "fast-ms",
+              "slow-ms", "speedup", "iters/sec", "messages", "bulk-msgs",
+              "cache-hits");
+
+  std::string json = "{\n  \"bench\": \"engine_throughput\",\n";
+  json += cat("  \"n\": ", n, ",\n  \"steps\": ", steps,
+              ",\n  \"configs\": [\n");
+
+  bool ok = true;
+  bool first = true;
+  for (i64 procs : {4, 16, 64}) {
+    spmd::Program p = relaxation_program(procs, n, steps);
+
+    rt::EngineOptions fast;  // defaults: pool, cache, aggregation
+    rt::EngineOptions slow;
+    slow.threads = 1;
+    slow.cache_plans = false;
+
+    RunResult f = run_engine(p, n, fast);
+    RunResult s = run_engine(p, n, slow);
+
+    if (f.a != s.a || f.b != s.b) {
+      std::printf("  !! RESULT MISMATCH at P=%lld\n", (long long)procs);
+      ok = false;
+    }
+    if (!stats_equal(f.stats, s.stats)) {
+      std::printf("  !! STATS MISMATCH at P=%lld\n    fast: %s\n    slow: %s\n",
+                  (long long)procs, f.stats.str().c_str(),
+                  s.stats.str().c_str());
+      ok = false;
+    }
+    // Aggregation bound: per clause step at most P*(P-1) bulk messages,
+    // independent of n.
+    if (f.stats.bulk_messages > steps * procs * (procs - 1)) {
+      std::printf("  !! BULK BOUND VIOLATED at P=%lld\n", (long long)procs);
+      ok = false;
+    }
+
+    double speedup = f.wall_ms > 0.0 ? s.wall_ms / f.wall_ms : 0.0;
+    double ips = f.wall_ms > 0.0
+                     ? static_cast<double>(f.stats.iterations) /
+                           (f.wall_ms / 1000.0)
+                     : 0.0;
+    std::printf("%6lld %12.1f %12.1f %8.2fx %12s %12s %12s %11s\n",
+                (long long)procs, f.wall_ms, s.wall_ms, speedup,
+                with_commas((i64)ips).c_str(),
+                with_commas(f.stats.messages).c_str(),
+                with_commas(f.stats.bulk_messages).c_str(),
+                with_commas(f.cache_hits).c_str());
+
+    if (!first) json += ",\n";
+    first = false;
+    json += cat("    {\"procs\": ", procs, ", \"wall_ms_fast\": ",
+                f.wall_ms, ", \"wall_ms_slow\": ", s.wall_ms,
+                ", \"speedup\": ", speedup, ", \"iters_per_sec\": ", ips,
+                ", \"messages\": ", f.stats.messages,
+                ", \"bulk_messages\": ", f.stats.bulk_messages,
+                ", \"plan_cache_hits\": ", f.cache_hits,
+                ", \"plan_cache_misses\": ", f.cache_misses,
+                ", \"sim_time\": ", f.stats.sim_time, "}");
+  }
+  json += "\n  ]\n}\n";
+
+  if (std::FILE* out = std::fopen(json_path, "w")) {
+    std::fputs(json.c_str(), out);
+    std::fclose(out);
+    std::printf("\nwrote %s\n", json_path);
+  } else {
+    std::printf("\n!! could not write %s\n", json_path);
+    ok = false;
+  }
+
+  std::printf(
+      "\nfast = thread pool + bulk aggregation + plan cache + scratch "
+      "reuse;\nslow = serial ranks, plans rebuilt every step (same "
+      "allocation-free data\npath). Results and counters are verified "
+      "identical; only wall clock\ndiffers. Compare iters/sec across "
+      "builds for engine-to-engine speedups.\n");
+  return ok ? 0 : 1;
+}

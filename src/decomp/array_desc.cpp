@@ -126,12 +126,12 @@ std::vector<i64> ArrayDesc::normalize(const std::vector<i64>& idx) const {
 
 i64 ArrayDesc::owner(const std::vector<i64>& idx) const {
   if (replicated_) return 0;
-  return decomp_->owner(normalize(idx));
+  return decomp_->owner_at(idx, lo_);
 }
 
 i64 ArrayDesc::local_linear(const std::vector<i64>& idx) const {
   if (replicated_) return dense_linear(idx);
-  return decomp_->local_linear(normalize(idx));
+  return decomp_->local_linear_at(idx, lo_);
 }
 
 i64 ArrayDesc::local_capacity(i64 p) const {
@@ -158,12 +158,13 @@ std::vector<i64> ArrayDesc::global_from_local(i64 rank, i64 linear) const {
 }
 
 i64 ArrayDesc::dense_linear(const std::vector<i64>& idx) const {
-  std::vector<i64> n = normalize(idx);
+  require(idx.size() == lo_.size(), "ArrayDesc: index arity mismatch");
   i64 lin = 0;
-  for (std::size_t d = 0; d < n.size(); ++d) {
-    require(in_range(n[d], 0, hi_[d] - lo_[d]),
-            "ArrayDesc: index out of bounds for " + name_);
-    lin = lin * (hi_[d] - lo_[d] + 1) + n[d];
+  for (std::size_t d = 0; d < idx.size(); ++d) {
+    i64 n = idx[d] - lo_[d];
+    if (!in_range(n, 0, hi_[d] - lo_[d]))
+      throw InternalError("ArrayDesc: index out of bounds for " + name_);
+    lin = lin * (hi_[d] - lo_[d] + 1) + n;
   }
   return lin;
 }

@@ -21,6 +21,8 @@ std::string DistStats::str() const {
           " iters=", with_commas(iterations),
           " tests=", with_commas(tests), " steps=", steps,
           " sim-time=", sim_time);
+  if (bulk_messages > 0)
+    out += cat(" bulk-msgs=", with_commas(bulk_messages));
   if (halo_messages > 0)
     out += cat(" halo-msgs=", with_commas(halo_messages),
                " halo-values=", with_commas(halo_values),
@@ -29,12 +31,15 @@ std::string DistStats::str() const {
 }
 
 DistMachine::DistMachine(spmd::Program program, gen::BuildOptions opts,
-                         CostModel cost)
+                         CostModel cost, EngineOptions engine)
     : program_(std::move(program)),
       opts_(opts),
       cost_(cost),
+      engine_(engine),
       store_(program_.procs) {
   program_.validate();
+  if (engine_.threads > 1)
+    pool_ = std::make_unique<support::ThreadPool>(engine_.threads);
   message_matrix_.assign(
       static_cast<std::size_t>(program_.procs),
       std::vector<i64>(static_cast<std::size_t>(program_.procs), 0));
@@ -57,11 +62,22 @@ void DistMachine::run() {
   }
 }
 
+void DistMachine::for_ranks(i64 n, const std::function<void(i64)>& body) {
+  if (engine_.threads == 1) {
+    for (i64 r = 0; r < n; ++r) body(r);
+    return;
+  }
+  support::ThreadPool& pool =
+      pool_ ? *pool_ : support::ThreadPool::shared();
+  pool.parallel_for_ranks(n, body);
+}
+
 void DistMachine::finish_step(const std::vector<RankCounters>& counters) {
   double slowest = 0.0;
   i64 halo_bulk = 0, halo_values = 0;
   for (const RankCounters& c : counters) {
     stats_.messages += c.sends;
+    stats_.bulk_messages += c.bulk_sends;
     stats_.local_reads += c.local_reads;
     stats_.remote_reads += c.remote_reads;
     stats_.iterations += c.iterations;
@@ -80,13 +96,72 @@ void DistMachine::finish_step(const std::vector<RankCounters>& counters) {
   last_counters_ = counters;
 }
 
+namespace {
+
+// All elements flowing src -> dst in one clause, packed as one bulk
+// message: (tag, value) entries appended by the sender in phase 1,
+// sorted once, and consumed by binary search in phase 2. Each channel is
+// written only by its source rank and consumed only by its destination
+// rank, so the phase loops parallelize without locks.
+struct Channel {
+  std::vector<std::pair<i64, double>> msgs;
+  std::vector<char> taken;
+  i64 consumed = 0;
+
+  void push(i64 tag, double value) { msgs.emplace_back(tag, value); }
+
+  // Sorts by tag; a resend of the same (ref, loop tuple) overwrites the
+  // earlier value, mirroring the keyed-mailbox semantics.
+  void pack() {
+    std::stable_sort(
+        msgs.begin(), msgs.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < msgs.size(); ++i) {
+      if (w > 0 && msgs[w - 1].first == msgs[i].first)
+        msgs[w - 1] = msgs[i];
+      else
+        msgs[w++] = msgs[i];
+    }
+    msgs.resize(w);
+    taken.assign(msgs.size(), 0);
+  }
+
+  // Blocking receive: nullptr when no matching (or an already-consumed)
+  // message is in flight.
+  const double* consume(i64 tag) {
+    auto it = std::lower_bound(
+        msgs.begin(), msgs.end(), tag,
+        [](const auto& m, i64 t) { return m.first < t; });
+    if (it == msgs.end() || it->first != tag) return nullptr;
+    auto k = static_cast<std::size_t>(it - msgs.begin());
+    if (taken[k]) return nullptr;
+    taken[k] = 1;
+    ++consumed;
+    return &it->second;
+  }
+
+  i64 undelivered() const {
+    return static_cast<i64>(msgs.size()) - consumed;
+  }
+};
+
+}  // namespace
+
 void DistMachine::run_clause(const Clause& clause) {
   if (clause.ord == prog::Ordering::Seq)
     throw CodegenError(
         "sequential ('•') clauses are not supported on the distributed "
         "target; the paper leaves DOACROSS orderings out of scope");
 
-  ClausePlan plan = ClausePlan::build(clause, program_.arrays, opts_);
+  // Plans are pure compile-time data; iterative programs reuse them
+  // until a redistribution bumps the epoch.
+  std::optional<ClausePlan> uncached;
+  if (!engine_.cache_plans)
+    uncached.emplace(ClausePlan::build(clause, program_.arrays, opts_));
+  const ClausePlan& plan =
+      uncached ? *uncached : plan_cache_.get(clause, program_.arrays, opts_);
+
   const decomp::ArrayDesc& lhs = plan.lhs_desc();
   const i64 procs = plan.procs();
   const int nrefs = static_cast<int>(clause.refs.size());
@@ -111,9 +186,32 @@ void DistMachine::run_clause(const Clause& clause) {
     return store_.read_local(name, rank, local);
   };
 
-  // In-flight messages: key = (tag * procs + src), one map per receiver.
-  std::vector<std::unordered_map<i64, double>> mailbox(
-      static_cast<std::size_t>(procs));
+  // Pre-clause source row for ref r on `rank`: the copy-in snapshot when
+  // the clause reads its own target, the live store row otherwise.
+  // Resolved once per (ref, rank) so the phase loops read through a plain
+  // pointer instead of a string-keyed lookup per element.
+  auto ref_row = [&](int r, i64 rank) -> const std::vector<double>& {
+    const std::string& name =
+        clause.refs[static_cast<std::size_t>(r)].array;
+    if (snap && name == clause.lhs_array)
+      return (*snap)[static_cast<std::size_t>(rank)];
+    return store_.local_row(name, rank);
+  };
+  auto read_row = [&](const std::vector<double>& row, i64 local,
+                      int r) -> double {
+    if (!in_range(local, 0, static_cast<i64>(row.size()) - 1))
+      throw RuntimeFault(
+          "local read out of bounds on " +
+          clause.refs[static_cast<std::size_t>(r)].array);
+    return row[static_cast<std::size_t>(local)];
+  };
+
+  // In-flight messages: one bulk channel per (src, dst) rank pair.
+  std::vector<Channel> channels(
+      static_cast<std::size_t>(procs * procs));
+  auto channel = [&](i64 src, i64 dst) -> Channel& {
+    return channels[static_cast<std::size_t>(src * procs + dst)];
+  };
   std::vector<RankCounters> counters(static_cast<std::size_t>(procs));
 
   // ---- Phase 0: halo refresh for overlapped decompositions -----------
@@ -121,14 +219,25 @@ void DistMachine::run_clause(const Clause& clause) {
   // with pre-clause values: one bulk exchange per (owner, neighbour)
   // pair. Near-boundary remote reads in phase 2 then stay local.
   // halos[name][rank] maps global index -> cached value.
-  std::map<std::string, std::vector<std::unordered_map<i64, double>>>
+  std::unordered_map<std::string,
+                     std::vector<std::unordered_map<i64, double>>>
       halos;
   for (int r = 0; r < nrefs; ++r) {
     const decomp::ArrayDesc& rd = plan.ref_desc(r);
     if (rd.halo() == 0 || halos.count(rd.name())) continue;
     auto& table = halos[rd.name()];
     table.assign(static_cast<std::size_t>(procs), {});
-    for (i64 p = 0; p < procs; ++p) {
+    // Each rank fills its own halo copies; the owner-side halo counters
+    // are cross-rank, so they accumulate in per-rank scratch rows and
+    // merge after the join (sums are order-independent).
+    std::vector<std::vector<i64>> owner_bulk(
+        static_cast<std::size_t>(procs),
+        std::vector<i64>(static_cast<std::size_t>(procs), 0));
+    std::vector<std::vector<i64>> owner_values = owner_bulk;
+    for_ranks(procs, [&](i64 p) {
+      RankCounters& rc = counters[static_cast<std::size_t>(p)];
+      auto& ob = owner_bulk[static_cast<std::size_t>(p)];
+      auto& ov = owner_values[static_cast<std::size_t>(p)];
       for (int side : {-1, 1}) {
         auto [hlo, hhi] = rd.halo_range(p, side);
         if (hlo > hhi) continue;
@@ -139,15 +248,24 @@ void DistMachine::run_clause(const Clause& clause) {
           table[static_cast<std::size_t>(p)][g] = v;
           if (owner != prev_owner) {
             // New bulk message from this owner to p.
-            ++counters[static_cast<std::size_t>(owner)].halo_bulk;
-            ++counters[static_cast<std::size_t>(p)].halo_bulk;
+            ++ob[static_cast<std::size_t>(owner)];
+            ++rc.halo_bulk;
             prev_owner = owner;
           }
-          ++counters[static_cast<std::size_t>(owner)].halo_values;
-          ++counters[static_cast<std::size_t>(p)].halo_values;
+          ++ov[static_cast<std::size_t>(owner)];
+          ++rc.halo_values;
         }
       }
-    }
+    });
+    for (i64 p = 0; p < procs; ++p)
+      for (i64 o = 0; o < procs; ++o) {
+        counters[static_cast<std::size_t>(o)].halo_bulk +=
+            owner_bulk[static_cast<std::size_t>(p)]
+                      [static_cast<std::size_t>(o)];
+        counters[static_cast<std::size_t>(o)].halo_values +=
+            owner_values[static_cast<std::size_t>(p)]
+                        [static_cast<std::size_t>(o)];
+      }
   }
   auto halo_covers = [&](const decomp::ArrayDesc& rd, i64 rank,
                          const std::vector<i64>& idx) {
@@ -156,21 +274,26 @@ void DistMachine::run_clause(const Clause& clause) {
   };
 
   // ---- Phase 1: non-blocking sends (Reside_p \ Modify_p) -------------
-  for (i64 p = 0; p < procs; ++p) {
+  // Rank p writes only its own channel row, counter slot, and
+  // message-matrix row, so the loop parallelizes without locks.
+  for_ranks(procs, [&](i64 p) {
     RankCounters& rc = counters[static_cast<std::size_t>(p)];
+    auto& matrix_row = message_matrix_[static_cast<std::size_t>(p)];
+    std::vector<i64> ridx, out_idx;  // per-rank scratch
     for (int r = 0; r < nrefs; ++r) {
       if (!plan.ref_needs_comm(r)) continue;  // replicated: always local
       gen::EnumStats es;
+      const std::vector<double>& row = ref_row(r, p);
       spmd::IterationSpace space = plan.reside_space(p, r);
       space.for_each(
           [&](const std::vector<i64>& vals) {
-            std::vector<i64> ridx = plan.ref_index(r, vals);
+            plan.ref_index_into(r, vals, ridx);
             if (!plan.ref_desc(r).in_bounds(ridx))
               throw RuntimeFault("read out of bounds on " +
                                  clause.refs[static_cast<std::size_t>(r)]
                                      .array);
             i64 local = plan.ref_desc(r).local_linear(ridx);
-            double value = read_element(r, p, local);
+            double value = read_row(row, local, r);
             i64 tag = plan.message_tag(r, vals);
             if (lhs.is_replicated()) {
               // Every rank computes every index: broadcast to the others.
@@ -178,62 +301,81 @@ void DistMachine::run_clause(const Clause& clause) {
                 if (dst == p) continue;
                 if (halo_covers(plan.ref_desc(r), dst, ridx))
                   continue;  // receiver reads its halo copy
-                mailbox[static_cast<std::size_t>(dst)][tag * procs + p] =
-                    value;
+                channel(p, dst).push(tag, value);
                 ++rc.sends;
-                ++message_matrix_[static_cast<std::size_t>(p)]
-                                 [static_cast<std::size_t>(dst)];
+                ++matrix_row[static_cast<std::size_t>(dst)];
               }
             } else {
-              std::vector<i64> out_idx = plan.lhs_index(vals);
+              plan.lhs_index_into(vals, out_idx);
               if (!lhs.in_bounds(out_idx)) return;  // nobody computes this
               i64 dst = lhs.owner(out_idx);
               if (dst == p) return;  // Modify ∩ Reside: local update later
               if (halo_covers(plan.ref_desc(r), dst, ridx))
                 return;  // receiver reads its halo copy
-              mailbox[static_cast<std::size_t>(dst)][tag * procs + p] =
-                  value;
+              channel(p, dst).push(tag, value);
               ++rc.sends;
-              ++message_matrix_[static_cast<std::size_t>(p)]
-                               [static_cast<std::size_t>(dst)];
+              ++matrix_row[static_cast<std::size_t>(dst)];
             }
           },
           &es);
       rc.iterations += es.loop_iters;
       rc.tests += es.tests;
     }
-  }
+    // Pack this rank's outgoing traffic: one sorted bulk message per
+    // destination it actually sends to.
+    for (i64 dst = 0; dst < procs; ++dst) {
+      Channel& ch = channel(p, dst);
+      if (ch.msgs.empty()) continue;
+      ch.pack();
+      ++rc.bulk_sends;
+    }
+  });
+  // Receiver-side bulk accounting (cross-rank: done serially).
+  for (i64 src = 0; src < procs; ++src)
+    for (i64 dst = 0; dst < procs; ++dst)
+      if (!channel(src, dst).msgs.empty())
+        ++counters[static_cast<std::size_t>(dst)].bulk_receives;
 
   // ---- Phase 2: receive and update (Modify_p) -------------------------
-  for (i64 p = 0; p < procs; ++p) {
+  // Rank p consumes only channels destined to it and writes only its own
+  // local LHS buffer; all other reads are pre-clause values.
+  for_ranks(procs, [&](i64 p) {
     RankCounters& rc = counters[static_cast<std::size_t>(p)];
-    auto& inbox = mailbox[static_cast<std::size_t>(p)];
     std::vector<double> ref_values(clause.refs.size());
+    std::vector<i64> ridx, out_idx;  // per-rank scratch
+    std::vector<const std::vector<double>*> rows(
+        static_cast<std::size_t>(nrefs));
+    for (int r = 0; r < nrefs; ++r)
+      rows[static_cast<std::size_t>(r)] = &ref_row(r, p);
+    std::vector<double>& out_row =
+        store_.local_row_mut(clause.lhs_array, p);
     gen::EnumStats es;
     spmd::IterationSpace space = plan.modify_space(p);
     space.for_each(
         [&](const std::vector<i64>& vals) {
-          std::vector<i64> out_idx = plan.lhs_index(vals);
+          plan.lhs_index_into(vals, out_idx);
           if (!lhs.in_bounds(out_idx))
             throw RuntimeFault("write out of bounds on " +
                                clause.lhs_array);
           for (int r = 0; r < nrefs; ++r) {
             const decomp::ArrayDesc& rd = plan.ref_desc(r);
-            std::vector<i64> ridx = plan.ref_index(r, vals);
+            plan.ref_index_into(r, vals, ridx);
             if (!rd.in_bounds(ridx))
               throw RuntimeFault(
                   "read out of bounds on " +
                   clause.refs[static_cast<std::size_t>(r)].array);
+            const std::vector<double>& row =
+                *rows[static_cast<std::size_t>(r)];
             if (rd.is_replicated()) {
               ref_values[static_cast<std::size_t>(r)] =
-                  read_element(r, p, rd.local_linear(ridx));
+                  read_row(row, rd.local_linear(ridx), r);
               ++rc.local_reads;
               continue;
             }
             i64 src = rd.owner(ridx);
             if (src == p) {
               ref_values[static_cast<std::size_t>(r)] =
-                  read_element(r, p, rd.local_linear(ridx));
+                  read_row(row, rd.local_linear(ridx), r);
               ++rc.local_reads;
             } else if (halo_covers(rd, p, ridx)) {
               // Overlapped decomposition: the value is already cached in
@@ -246,37 +388,41 @@ void DistMachine::run_clause(const Clause& clause) {
               ref_values[static_cast<std::size_t>(r)] = hit->second;
               ++rc.halo_reads;
             } else {
-              // Blocking receive: the message must already be in flight.
-              i64 key = plan.message_tag(r, vals) * procs + src;
-              auto it = inbox.find(key);
-              if (it == inbox.end())
+              // Blocking receive from the in-flight bulk message.
+              const double* value =
+                  channel(src, p).consume(plan.message_tag(r, vals));
+              if (value == nullptr)
                 throw DeadlockError(cat(
                     "rank ", p, " blocked receiving ",
                     clause.refs[static_cast<std::size_t>(r)].array,
                     " element from rank ", src,
                     " which never sent it (inconsistent schedules)"));
-              ref_values[static_cast<std::size_t>(r)] = it->second;
-              inbox.erase(it);
+              ref_values[static_cast<std::size_t>(r)] = *value;
               ++rc.receives;
               ++rc.remote_reads;
             }
           }
           if (clause.guard && !clause.guard->holds(ref_values, vals)) return;
           double value = prog::eval(clause.rhs, ref_values, vals);
-          store_.write_local(clause.lhs_array, p,
-                             lhs.local_linear(out_idx), value);
+          i64 slot = lhs.local_linear(out_idx);
+          if (!in_range(slot, 0, static_cast<i64>(out_row.size()) - 1))
+            throw RuntimeFault("local write out of bounds on " +
+                               clause.lhs_array);
+          out_row[static_cast<std::size_t>(slot)] = value;
         },
         &es);
     rc.iterations += es.loop_iters;
     rc.tests += es.tests;
-  }
+  });
 
   // Every send must have been consumed — the message-pairing invariant.
   for (i64 p = 0; p < procs; ++p) {
-    if (!mailbox[static_cast<std::size_t>(p)].empty())
+    i64 leftover = 0;
+    for (i64 src = 0; src < procs; ++src)
+      leftover += channel(src, p).undelivered();
+    if (leftover > 0)
       throw RuntimeFault(cat("rank ", p, " finished the clause with ",
-                             mailbox[static_cast<std::size_t>(p)].size(),
-                             " undelivered messages"));
+                             leftover, " undelivered messages"));
   }
   finish_step(counters);
 }
@@ -295,6 +441,9 @@ void DistMachine::run_redistribute(const spmd::RedistStep& step) {
 
   std::vector<RankCounters> counters(
       static_cast<std::size_t>(program_.procs));
+  std::vector<std::vector<i64>> pair_counts(
+      static_cast<std::size_t>(program_.procs),
+      std::vector<i64>(static_cast<std::size_t>(program_.procs), 0));
   decomp::for_each_index(old_desc, [&](const std::vector<i64>& idx) {
     i64 src = old_desc.owner(idx);
     i64 dst = step.new_desc.owner(idx);
@@ -306,10 +455,21 @@ void DistMachine::run_redistribute(const spmd::RedistStep& step) {
     if (src != dst) {
       ++counters[static_cast<std::size_t>(src)].sends;
       ++counters[static_cast<std::size_t>(dst)].receives;
+      ++pair_counts[static_cast<std::size_t>(src)]
+                   [static_cast<std::size_t>(dst)];
       ++message_matrix_[static_cast<std::size_t>(src)]
                        [static_cast<std::size_t>(dst)];
     }
   });
+  // The mover also aggregates: all elements migrating between one rank
+  // pair travel as one bulk message.
+  for (i64 src = 0; src < program_.procs; ++src)
+    for (i64 dst = 0; dst < program_.procs; ++dst)
+      if (pair_counts[static_cast<std::size_t>(src)]
+                     [static_cast<std::size_t>(dst)] > 0) {
+        ++counters[static_cast<std::size_t>(src)].bulk_sends;
+        ++counters[static_cast<std::size_t>(dst)].bulk_receives;
+      }
   require(static_cast<i64>(plan.moves.size()) ==
               std::accumulate(counters.begin(), counters.end(), i64{0},
                               [](i64 acc, const RankCounters& c) {
@@ -319,6 +479,9 @@ void DistMachine::run_redistribute(const spmd::RedistStep& step) {
 
   store_.replace(step.array, std::move(fresh));
   program_.arrays.insert_or_assign(step.array, step.new_desc);
+  // Cached clause plans baked the old layout into their owner
+  // arithmetic: invalidate them.
+  plan_cache_.bump_epoch();
   finish_step(counters);
 }
 

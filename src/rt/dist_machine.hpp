@@ -10,6 +10,15 @@
 // matching message therefore indicates an inconsistent schedule pair and
 // raises DeadlockError.
 //
+// The execution engine is the fast path the generated schedules deserve:
+// the per-rank loops of every phase run on a thread pool (ranks own
+// disjoint counters, mailbox rows, and local buffers; counters merge
+// serially in rank order so statistics are bit-identical to the serial
+// engine), all elements flowing between one (src, dst) pair in a clause
+// are packed into a single sorted bulk message consumed by binary
+// search, and clause plans are cached across repeated executions until a
+// redistribution bumps the decomposition epoch.
+//
 // The simulator counts messages, local/remote reads, loop iterations and
 // membership tests per rank, and charges them to a CostModel; sim_time is
 // the sum over steps of the slowest rank (the SPMD makespan).
@@ -19,17 +28,22 @@
 // (and we) leave out of scope.
 #pragma once
 
+#include <memory>
 #include <unordered_map>
 
 #include "gen/optimizer.hpp"
 #include "rt/cost_model.hpp"
+#include "rt/engine_options.hpp"
 #include "rt/store.hpp"
+#include "spmd/plan_cache.hpp"
 #include "spmd/program.hpp"
+#include "support/thread_pool.hpp"
 
 namespace vcal::rt {
 
 struct DistStats {
   i64 messages = 0;      // element transfers between distinct ranks
+  i64 bulk_messages = 0; // aggregated (src,dst) messages carrying them
   i64 local_reads = 0;   // operand reads satisfied locally
   i64 remote_reads = 0;  // operand reads satisfied by a message
   i64 iterations = 0;    // loop-body entries, all ranks, all phases
@@ -46,7 +60,7 @@ struct DistStats {
 class DistMachine {
  public:
   explicit DistMachine(spmd::Program program, gen::BuildOptions opts = {},
-                       CostModel cost = {});
+                       CostModel cost = {}, EngineOptions engine = {});
 
   void load(const std::string& name, const std::vector<double>& dense);
   void run();
@@ -55,6 +69,9 @@ class DistMachine {
   std::vector<double> gather(const std::string& name) const;
 
   const DistStats& stats() const noexcept { return stats_; }
+
+  /// Plan-cache effectiveness (hits/misses/epoch) for benchmarks.
+  const spmd::PlanCache& plan_cache() const noexcept { return plan_cache_; }
 
   /// Per-rank message counts of the last executed step (for tests and
   /// benchmark reporting).
@@ -76,9 +93,15 @@ class DistMachine {
   void run_redistribute(const spmd::RedistStep& step);
   void finish_step(const std::vector<RankCounters>& counters);
 
+  /// Runs body(rank) for every rank, honoring engine_.threads.
+  void for_ranks(i64 n, const std::function<void(i64)>& body);
+
   spmd::Program program_;  // arrays table evolves across redistributions
   gen::BuildOptions opts_;
   CostModel cost_;
+  EngineOptions engine_;
+  std::unique_ptr<support::ThreadPool> pool_;  // owned when threads > 1
+  spmd::PlanCache plan_cache_;
   DistStore store_;
   DistStats stats_;
   std::vector<RankCounters> last_counters_;

@@ -1,0 +1,25 @@
+// Tuning knobs of the fast-path execution engine shared by the runtime
+// substrates (DistMachine, SharedMachine).
+//
+// None of these change observable semantics: results, DistStats
+// counters, per-rank counters, and message matrices are bit-identical
+// for every setting (the determinism tests in rt_test.cpp pin this).
+// They exist so benchmarks can isolate each mechanism's contribution and
+// so tests can force the serial path.
+#pragma once
+
+namespace vcal::rt {
+
+struct EngineOptions {
+  /// Total execution lanes for the per-rank phase loops. 0 uses the
+  /// process-wide shared pool (sized to the hardware); 1 runs every
+  /// rank loop inline on the caller; k > 1 gives the machine its own
+  /// pool of k lanes.
+  int threads = 0;
+
+  /// Reuse clause plans across repeated executions of the same clause
+  /// (invalidated when a redistribution changes a decomposition).
+  bool cache_plans = true;
+};
+
+}  // namespace vcal::rt

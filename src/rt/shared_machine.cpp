@@ -1,9 +1,7 @@
 #include "rt/shared_machine.hpp"
 
 #include <algorithm>
-#include <exception>
 #include <optional>
-#include <thread>
 
 #include "spmd/barrier.hpp"
 #include "support/error.hpp"
@@ -14,12 +12,16 @@ using prog::Clause;
 using spmd::ClausePlan;
 
 SharedMachine::SharedMachine(spmd::Program program, gen::BuildOptions opts,
-                             CostModel cost, bool elide_barriers)
+                             CostModel cost, bool elide_barriers,
+                             EngineOptions engine)
     : program_(std::move(program)),
       opts_(opts),
       cost_(cost),
-      elide_barriers_(elide_barriers) {
+      elide_barriers_(elide_barriers),
+      engine_(engine) {
   program_.validate();
+  if (engine_.threads > 1)
+    pool_ = std::make_unique<support::ThreadPool>(engine_.threads);
   for (const auto& [name, desc] : program_.arrays) store_.declare(desc);
 }
 
@@ -29,6 +31,17 @@ void SharedMachine::load(const std::string& name,
   require(it != program_.arrays.end(),
           "SharedMachine::load unknown " + name);
   store_.load(it->second, dense);
+}
+
+void SharedMachine::for_ranks(i64 n,
+                              const std::function<void(i64)>& body) {
+  if (engine_.threads == 1) {
+    for (i64 r = 0; r < n; ++r) body(r);
+    return;
+  }
+  support::ThreadPool& pool =
+      pool_ ? *pool_ : support::ThreadPool::shared();
+  pool.parallel_for_ranks(n, body);
 }
 
 void SharedMachine::run() {
@@ -54,6 +67,12 @@ void SharedMachine::run() {
     pending_exists = false;
   };
 
+  auto plan_for = [&](const Clause& clause) -> ClausePlan {
+    if (engine_.cache_plans)
+      return plan_cache_.get(clause, program_.arrays, opts_);
+    return ClausePlan::build(clause, program_.arrays, opts_);
+  };
+
   for (const spmd::Step& step : program_.steps) {
     if (const auto* clause = std::get_if<Clause>(&step)) {
       if (clause->ord == prog::Ordering::Seq) {
@@ -62,7 +81,7 @@ void SharedMachine::run() {
         pending.reset();
         pending_exists = true;  // unanalyzable: barrier stays
       } else {
-        ClausePlan plan = ClausePlan::build(*clause, program_.arrays, opts_);
+        ClausePlan plan = plan_for(*clause);
         resolve_pending(&plan);
         run_clause(*clause, plan);
         pending = std::move(plan);
@@ -70,10 +89,12 @@ void SharedMachine::run() {
       }
     } else {
       // Shared memory: redistribution only changes future ownership, but
-      // it is a synchronization point for the analysis.
+      // it is a synchronization point for the analysis, and cached plans
+      // baked the old layout into their owner arithmetic.
       resolve_pending(nullptr);
       const auto& redist = std::get<spmd::RedistStep>(step);
       program_.arrays.insert_or_assign(redist.array, redist.new_desc);
+      plan_cache_.bump_epoch();
       ++stats_.barriers;
       stats_.sim_time += cost_.per_barrier;
     }
@@ -93,49 +114,45 @@ void SharedMachine::run_clause(const Clause& clause,
   if (lhs_read) snap = store_.snapshot(clause.lhs_array);
 
   std::vector<gen::EnumStats> rank_stats(static_cast<std::size_t>(procs));
-  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(procs));
 
-  auto worker = [&](i64 p) {
-    try {
-      std::vector<double> ref_values(clause.refs.size());
-      spmd::IterationSpace space = plan.modify_space(p);
-      space.for_each(
-          [&](const std::vector<i64>& vals) {
-            std::vector<i64> out_idx = plan.lhs_index(vals);
-            if (!lhs.in_bounds(out_idx))
-              throw RuntimeFault("write out of bounds on " +
-                                 clause.lhs_array);
-            for (std::size_t r = 0; r < clause.refs.size(); ++r) {
-              const prog::ArrayRef& ref = clause.refs[r];
-              const decomp::ArrayDesc& rd =
-                  plan.ref_desc(static_cast<int>(r));
-              std::vector<i64> idx =
-                  plan.ref_index(static_cast<int>(r), vals);
-              if (snap && ref.array == clause.lhs_array) {
-                if (!rd.in_bounds(idx))
-                  throw RuntimeFault("read out of bounds on " + ref.array);
-                ref_values[r] =
-                    (*snap)[static_cast<std::size_t>(rd.dense_linear(idx))];
-              } else {
-                ref_values[r] = store_.read(rd, idx);
-              }
-            }
-            if (clause.guard && !clause.guard->holds(ref_values, vals)) return;
-            store_.write(lhs, out_idx, prog::eval(clause.rhs, ref_values, vals));
-          },
-          &rank_stats[static_cast<std::size_t>(p)]);
-    } catch (...) {
-      errors[static_cast<std::size_t>(p)] = std::current_exception();
-    }
-  };
-
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(procs));
-  for (i64 p = 0; p < procs; ++p) threads.emplace_back(worker, p);
-  for (auto& t : threads) t.join();  // the barrier of the template;
-  // whether the generated program would need it is accounted in run().
-  for (auto& e : errors)
-    if (e) std::rethrow_exception(e);
+  // Ownership partitioning makes writes disjoint; the pool's join is the
+  // template's barrier (whether the generated program would need it is
+  // accounted in run()).
+  for_ranks(procs, [&](i64 p) {
+    std::vector<double> ref_values(clause.refs.size());
+    std::vector<i64> out_idx, idx;  // per-rank scratch
+    // Hoist the string-keyed buffer lookups out of the element loop:
+    // reads come from the copy-in snapshot (self-reads) or the shared
+    // dense buffer; writes go to the (disjointly partitioned) LHS buffer.
+    std::vector<const std::vector<double>*> rows(clause.refs.size());
+    for (std::size_t r = 0; r < clause.refs.size(); ++r)
+      rows[r] = snap && clause.refs[r].array == clause.lhs_array
+                    ? &*snap
+                    : &store_.dense(clause.refs[r].array);
+    std::vector<double>& out_buf = store_.buffer(clause.lhs_array);
+    spmd::IterationSpace space = plan.modify_space(p);
+    space.for_each(
+        [&](const std::vector<i64>& vals) {
+          plan.lhs_index_into(vals, out_idx);
+          if (!lhs.in_bounds(out_idx))
+            throw RuntimeFault("write out of bounds on " +
+                               clause.lhs_array);
+          for (std::size_t r = 0; r < clause.refs.size(); ++r) {
+            const decomp::ArrayDesc& rd =
+                plan.ref_desc(static_cast<int>(r));
+            plan.ref_index_into(static_cast<int>(r), vals, idx);
+            if (!rd.in_bounds(idx))
+              throw RuntimeFault("read out of bounds on " +
+                                 clause.refs[r].array);
+            ref_values[r] =
+                (*rows[r])[static_cast<std::size_t>(rd.dense_linear(idx))];
+          }
+          if (clause.guard && !clause.guard->holds(ref_values, vals)) return;
+          out_buf[static_cast<std::size_t>(lhs.dense_linear(out_idx))] =
+              prog::eval(clause.rhs, ref_values, vals);
+        },
+        &rank_stats[static_cast<std::size_t>(p)]);
+  });
 
   double slowest = 0.0;
   for (const auto& s : rank_stats) {
@@ -149,10 +166,15 @@ void SharedMachine::run_clause(const Clause& clause,
 void SharedMachine::run_clause_sequential(const Clause& clause) {
   // '•' ordering: one processor walks the whole nest in lexicographic
   // order with immediate visibility, then everyone synchronizes.
-  ClausePlan plan = ClausePlan::build(clause, program_.arrays, opts_);
+  std::optional<ClausePlan> uncached;
+  if (!engine_.cache_plans)
+    uncached.emplace(ClausePlan::build(clause, program_.arrays, opts_));
+  const ClausePlan& plan =
+      uncached ? *uncached : plan_cache_.get(clause, program_.arrays, opts_);
   const decomp::ArrayDesc& lhs = plan.lhs_desc();
 
   std::vector<double> ref_values(clause.refs.size());
+  std::vector<i64> out_idx, idx;  // scratch
   gen::EnumStats s;
   // A full-range space: rank ownership is ignored under '•'.
   std::vector<gen::Schedule> dims;
@@ -164,12 +186,12 @@ void SharedMachine::run_clause_sequential(const Clause& clause) {
   spmd::IterationSpace space{std::move(dims)};
   space.for_each(
       [&](const std::vector<i64>& vals) {
-        std::vector<i64> out_idx = plan.lhs_index(vals);
+        plan.lhs_index_into(vals, out_idx);
         if (!lhs.in_bounds(out_idx)) return;
         for (std::size_t r = 0; r < clause.refs.size(); ++r) {
+          plan.ref_index_into(static_cast<int>(r), vals, idx);
           ref_values[r] = store_.read(plan.ref_desc(static_cast<int>(r)),
-                                      plan.ref_index(static_cast<int>(r),
-                                                     vals));
+                                      idx);
         }
         if (clause.guard && !clause.guard->holds(ref_values, vals)) return;
         store_.write(lhs, out_idx, prog::eval(clause.rhs, ref_values, vals));

@@ -6,20 +6,27 @@
 //   forall i in Modify_p do A[f(i)] := Expr(B[g(i)]); od;
 //   barrier;
 //
-// All arrays live in one shared dense store; every clause spawns one
-// worker per virtual processor, each iterating its Modify_p schedule, and
-// the join is the barrier. Ownership partitioning makes writes disjoint,
-// so no locking is needed; parallel clauses that read their own target
-// take a copy-in snapshot first.
+// All arrays live in one shared dense store; per clause, every virtual
+// processor iterates its Modify_p schedule on the engine's thread pool
+// (no per-clause thread spawns), and the join is the barrier. Ownership
+// partitioning makes writes disjoint, so no locking is needed; parallel
+// clauses that read their own target take a copy-in snapshot first.
+// Clause plans are cached across repeated executions until a
+// redistribution changes a decomposition.
 //
 // Redistribution steps move no data here (memory is shared) but do change
 // the ownership partitioning of subsequent clauses.
 #pragma once
 
+#include <memory>
+
 #include "gen/optimizer.hpp"
 #include "rt/cost_model.hpp"
+#include "rt/engine_options.hpp"
 #include "rt/store.hpp"
+#include "spmd/plan_cache.hpp"
 #include "spmd/program.hpp"
+#include "support/thread_pool.hpp"
 
 namespace vcal::rt {
 
@@ -38,22 +45,30 @@ class SharedMachine {
   /// whenever spmd::barrier_needed proves every cross-clause dependence
   /// stays processor-local.
   explicit SharedMachine(spmd::Program program, gen::BuildOptions opts = {},
-                         CostModel cost = {}, bool elide_barriers = false);
+                         CostModel cost = {}, bool elide_barriers = false,
+                         EngineOptions engine = {});
 
   void load(const std::string& name, const std::vector<double>& dense);
   void run();
   const std::vector<double>& result(const std::string& name) const;
   const SharedStats& stats() const noexcept { return stats_; }
 
+  /// Plan-cache effectiveness (hits/misses/epoch) for benchmarks.
+  const spmd::PlanCache& plan_cache() const noexcept { return plan_cache_; }
+
  private:
   void run_clause(const prog::Clause& clause,
                   const spmd::ClausePlan& plan);
   void run_clause_sequential(const prog::Clause& clause);
+  void for_ranks(i64 n, const std::function<void(i64)>& body);
 
   spmd::Program program_;  // arrays table evolves across redistributions
   gen::BuildOptions opts_;
   CostModel cost_;
   bool elide_barriers_;
+  EngineOptions engine_;
+  std::unique_ptr<support::ThreadPool> pool_;  // owned when threads > 1
+  spmd::PlanCache plan_cache_;
   DenseStore store_;
   SharedStats stats_;
 };

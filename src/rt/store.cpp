@@ -104,7 +104,17 @@ std::vector<double> DistStore::gather(const ArrayDesc& desc) const {
 const std::vector<double>& DistStore::local(const std::string& name,
                                             i64 rank) const {
   auto it = buffers_.find(name);
-  require(it != buffers_.end(), "DistStore: undeclared " + name);
+  if (it == buffers_.end())
+    throw InternalError("DistStore: undeclared " + name);
+  require(in_range(rank, 0, procs_ - 1), "DistStore: bad rank");
+  return it->second[static_cast<std::size_t>(rank)];
+}
+
+std::vector<double>& DistStore::local_row_mut(const std::string& name,
+                                              i64 rank) {
+  auto it = buffers_.find(name);
+  if (it == buffers_.end())
+    throw InternalError("DistStore: undeclared " + name);
   require(in_range(rank, 0, procs_ - 1), "DistStore: bad rank");
   return it->second[static_cast<std::size_t>(rank)];
 }
@@ -119,10 +129,7 @@ double DistStore::read_local(const std::string& name, i64 rank,
 
 void DistStore::write_local(const std::string& name, i64 rank, i64 local,
                             double value) {
-  auto it = buffers_.find(name);
-  require(it != buffers_.end(), "DistStore: undeclared " + name);
-  require(in_range(rank, 0, procs_ - 1), "DistStore: bad rank");
-  auto& buf = it->second[static_cast<std::size_t>(rank)];
+  auto& buf = local_row_mut(name, rank);
   if (!in_range(local, 0, static_cast<i64>(buf.size()) - 1))
     throw RuntimeFault("local write out of bounds on " + name);
   buf[static_cast<std::size_t>(local)] = value;

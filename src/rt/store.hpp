@@ -61,6 +61,16 @@ class DistStore {
   void write_local(const std::string& name, i64 rank, i64 local,
                    double value);
 
+  /// Direct access to one rank's local buffer, for executor inner loops
+  /// that hoist the name lookup out of per-element code. Writers rely on
+  /// ownership partitioning for disjointness, exactly as with
+  /// write_local.
+  const std::vector<double>& local_row(const std::string& name,
+                                       i64 rank) const {
+    return local(name, rank);
+  }
+  std::vector<double>& local_row_mut(const std::string& name, i64 rank);
+
   /// Copies all local buffers of the array (clause copy-in snapshots).
   std::vector<std::vector<double>> clone(const std::string& name) const;
 

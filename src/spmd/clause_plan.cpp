@@ -209,6 +209,19 @@ std::vector<i64> ClausePlan::ref_index(
                          loop_vals);
 }
 
+void ClausePlan::lhs_index_into(const std::vector<i64>& loop_vals,
+                                std::vector<i64>& out) const {
+  prog::eval_subs_into(clause_.lhs_subs, loop_vals, out);
+}
+
+void ClausePlan::ref_index_into(int r, const std::vector<i64>& loop_vals,
+                                std::vector<i64>& out) const {
+  require(r >= 0 && r < static_cast<int>(clause_.refs.size()),
+          "ClausePlan::ref_index out of range");
+  prog::eval_subs_into(clause_.refs[static_cast<std::size_t>(r)].subs,
+                       loop_vals, out);
+}
+
 i64 ClausePlan::lhs_owner(const std::vector<i64>& loop_vals) const {
   return lhs_desc_.owner(lhs_index(loop_vals));
 }

@@ -106,6 +106,13 @@ class ClausePlan {
   /// Program-level index of ref r at these loop values.
   std::vector<i64> ref_index(int r, const std::vector<i64>& loop_vals) const;
 
+  /// Allocation-free variants for the executors' inner loops: the index
+  /// is written into a caller-owned scratch buffer (resized as needed).
+  void lhs_index_into(const std::vector<i64>& loop_vals,
+                      std::vector<i64>& out) const;
+  void ref_index_into(int r, const std::vector<i64>& loop_vals,
+                      std::vector<i64>& out) const;
+
   /// Owner rank of the LHS element (replicated LHS: the asking rank
   /// conceptually owns it; callers must check lhs_replicated() first).
   i64 lhs_owner(const std::vector<i64>& loop_vals) const;

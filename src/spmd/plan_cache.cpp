@@ -1,0 +1,22 @@
+#include "spmd/plan_cache.hpp"
+
+namespace vcal::spmd {
+
+const ClausePlan& PlanCache::get(const prog::Clause& clause,
+                                 const ArrayTable& arrays,
+                                 gen::BuildOptions opts) {
+  std::string key = clause.str();
+  auto it = cache_.find(key);
+  if (it != cache_.end() && it->second.epoch == epoch_) {
+    ++hits_;
+    return it->second.plan;
+  }
+  ++misses_;
+  ClausePlan plan = ClausePlan::build(clause, arrays, opts);
+  auto [pos, inserted] =
+      cache_.insert_or_assign(std::move(key), Entry{epoch_, std::move(plan)});
+  (void)inserted;
+  return pos->second.plan;
+}
+
+}  // namespace vcal::spmd

@@ -1,0 +1,57 @@
+// Memoization of ClausePlan::build across repeated clause executions.
+//
+// Iterative programs (relaxation sweeps, red-black passes) execute the
+// same clause hundreds of times; planning a clause builds one
+// OwnerComputePlan per constrained dimension, which is pure compile-time
+// work the paper performs exactly once. The cache restores that property
+// at run time: plans are keyed by the clause's printed form and stamped
+// with a *decomposition epoch*. Executing a redistribution bumps the
+// epoch, so every stale plan (whose owner arithmetic baked in the old
+// layout) misses and is rebuilt against the new descriptors — the
+// invalidation the redistribution tests guard.
+//
+// One cache belongs to one machine instance, so the BuildOptions and the
+// evolving ArrayTable passed to get() are those of its owner; they are
+// not part of the key.
+//
+// References returned by get() stay valid until the entry is rebuilt on
+// an epoch mismatch (std::unordered_map never invalidates references on
+// insert); callers must not hold them across a bump_epoch().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "spmd/clause_plan.hpp"
+
+namespace vcal::spmd {
+
+class PlanCache {
+ public:
+  /// Returns the cached plan for `clause` at the current epoch, building
+  /// and storing it on a miss.
+  const ClausePlan& get(const prog::Clause& clause, const ArrayTable& arrays,
+                        gen::BuildOptions opts = {});
+
+  /// Invalidates every cached plan (a decomposition changed).
+  void bump_epoch() noexcept { ++epoch_; }
+
+  std::uint64_t epoch() const noexcept { return epoch_; }
+  i64 hits() const noexcept { return hits_; }
+  i64 misses() const noexcept { return misses_; }
+  i64 size() const noexcept { return static_cast<i64>(cache_.size()); }
+
+ private:
+  struct Entry {
+    std::uint64_t epoch;
+    ClausePlan plan;
+  };
+
+  std::uint64_t epoch_ = 0;
+  i64 hits_ = 0;
+  i64 misses_ = 0;
+  std::unordered_map<std::string, Entry> cache_;
+};
+
+}  // namespace vcal::spmd

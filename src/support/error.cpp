@@ -8,6 +8,10 @@ ParseError::ParseError(const std::string& what, int line, int col)
       line_(line),
       col_(col) {}
 
+void raise_internal(const char* msg) {
+  throw InternalError(std::string("internal invariant violated: ") + msg);
+}
+
 void require(bool cond, const std::string& msg) {
   if (!cond) throw InternalError("internal invariant violated: " + msg);
 }

@@ -61,9 +61,18 @@ class InternalError : public Error {
   using Error::Error;
 };
 
+/// Cold path of require(): always throws InternalError.
+[[noreturn]] void raise_internal(const char* msg);
+
 /// Throws InternalError when `cond` is false. Used for invariants that must
 /// hold regardless of user input; user-input validation throws the specific
-/// error classes above instead.
+/// error classes above instead. The const char* overload is the one string
+/// literals bind to: it is inline and builds the message only on failure,
+/// so invariant checks in the executors' inner loops cost a single
+/// predictable branch.
+inline void require(bool cond, const char* msg) {
+  if (!cond) raise_internal(msg);
+}
 void require(bool cond, const std::string& msg);
 
 }  // namespace vcal

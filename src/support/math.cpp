@@ -6,30 +6,6 @@
 
 namespace vcal {
 
-i64 floordiv(i64 a, i64 b) {
-  require(b != 0, "floordiv by zero");
-  i64 q = a / b;
-  i64 r = a % b;
-  // Truncation rounded toward zero; fix up when signs disagree.
-  if (r != 0 && ((r < 0) != (b < 0))) --q;
-  return q;
-}
-
-i64 ceildiv(i64 a, i64 b) {
-  require(b != 0, "ceildiv by zero");
-  i64 q = a / b;
-  i64 r = a % b;
-  if (r != 0 && ((r < 0) == (b < 0))) ++q;
-  return q;
-}
-
-i64 emod(i64 a, i64 b) {
-  require(b != 0, "emod by zero");
-  i64 r = a % b;
-  if (r < 0) r += (b < 0 ? -b : b);
-  return r;
-}
-
 i64 gcd(i64 a, i64 b) {
   if (a < 0) a = -a;
   if (b < 0) b = -b;
@@ -45,18 +21,6 @@ i64 lcm(i64 a, i64 b) {
   if (a == 0 || b == 0) return 0;
   i64 g = gcd(a, b);
   return mul_checked(a < 0 ? -a : a, (b < 0 ? -b : b) / g);
-}
-
-i64 mul_checked(i64 a, i64 b) {
-  i64 out = 0;
-  require(!__builtin_mul_overflow(a, b, &out), "i64 multiply overflow");
-  return out;
-}
-
-i64 add_checked(i64 a, i64 b) {
-  i64 out = 0;
-  require(!__builtin_add_overflow(a, b, &out), "i64 add overflow");
-  return out;
 }
 
 i64 isqrt(i64 a) {

@@ -13,15 +13,37 @@ namespace vcal {
 
 using i64 = std::int64_t;
 
+// Defined in support/error.cpp; forward-declared here so the inline
+// helpers below stay header-only without pulling in the error hierarchy.
+[[noreturn]] void raise_internal(const char* msg);
+
 /// floor(a / b). b must be non-zero.
-i64 floordiv(i64 a, i64 b);
+inline i64 floordiv(i64 a, i64 b) {
+  if (b == 0) raise_internal("floordiv by zero");
+  i64 q = a / b;
+  i64 r = a % b;
+  // Truncation rounded toward zero; fix up when signs disagree.
+  if (r != 0 && ((r < 0) != (b < 0))) --q;
+  return q;
+}
 
 /// ceil(a / b). b must be non-zero.
-i64 ceildiv(i64 a, i64 b);
+inline i64 ceildiv(i64 a, i64 b) {
+  if (b == 0) raise_internal("ceildiv by zero");
+  i64 q = a / b;
+  i64 r = a % b;
+  if (r != 0 && ((r < 0) == (b < 0))) ++q;
+  return q;
+}
 
 /// Euclidean remainder: result in [0, |b|). b must be non-zero.
 /// Satisfies a == floordiv(a, b) * b + emod(a, b) for b > 0.
-i64 emod(i64 a, i64 b);
+inline i64 emod(i64 a, i64 b) {
+  if (b == 0) raise_internal("emod by zero");
+  i64 r = a % b;
+  if (r < 0) r += (b < 0 ? -b : b);
+  return r;
+}
 
 /// Greatest common divisor of |a| and |b|; gcd(0, 0) == 0.
 i64 gcd(i64 a, i64 b);
@@ -30,10 +52,19 @@ i64 gcd(i64 a, i64 b);
 i64 lcm(i64 a, i64 b);
 
 /// a * b with overflow check; throws InternalError on overflow.
-i64 mul_checked(i64 a, i64 b);
+inline i64 mul_checked(i64 a, i64 b) {
+  i64 out = 0;
+  if (__builtin_mul_overflow(a, b, &out))
+    raise_internal("i64 multiply overflow");
+  return out;
+}
 
 /// a + b with overflow check; throws InternalError on overflow.
-i64 add_checked(i64 a, i64 b);
+inline i64 add_checked(i64 a, i64 b) {
+  i64 out = 0;
+  if (__builtin_add_overflow(a, b, &out)) raise_internal("i64 add overflow");
+  return out;
+}
 
 /// Integer square root: the largest r with r * r <= a. a must be >= 0.
 i64 isqrt(i64 a);

@@ -1,0 +1,92 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace vcal::support {
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int t = 1; t < threads; ++t)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::drain() {
+  for (;;) {
+    i64 r = next_.fetch_add(1, std::memory_order_relaxed);
+    if (r >= n_) return;
+    try {
+      (*body_)(r);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(err_m_);
+      errors_.emplace_back(r, std::current_exception());
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(m_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    drain();
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      if (--active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for_ranks(i64 n,
+                                    const std::function<void(i64)>& body) {
+  if (n <= 0) return;
+  if (workers_.empty() || n == 1) {
+    for (i64 r = 0; r < n; ++r) body(r);
+    return;
+  }
+  std::lock_guard<std::mutex> serialize(run_m_);
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    body_ = &body;
+    n_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    errors_.clear();
+    active_ = static_cast<i64>(workers_.size());
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  drain();  // the caller is one of the pool's lanes
+  {
+    std::unique_lock<std::mutex> lock(m_);
+    done_cv_.wait(lock, [&] { return active_ == 0; });
+  }
+  if (!errors_.empty()) {
+    auto lowest = std::min_element(
+        errors_.begin(), errors_.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::rethrow_exception(lowest->second);
+  }
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(0);
+  return pool;
+}
+
+}  // namespace vcal::support

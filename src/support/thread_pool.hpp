@@ -1,0 +1,81 @@
+// A small fixed-size thread pool for the runtime substrates.
+//
+// The simulated machines execute per-rank loops whose iterations own
+// disjoint state (counters, mailboxes, local buffers), so the only
+// parallel primitive they need is a blocking parallel-for over rank ids.
+// There is deliberately no work stealing and no task graph: ranks are
+// handed out from a shared atomic counter, the caller participates in
+// the work, and parallel_for_ranks returns only when every rank ran.
+//
+// Determinism contract: the pool never reorders *observable* results —
+// callers write rank r's output into slot r and merge serially in rank
+// order afterwards — so an engine running on a pool of size 1 and size N
+// produces bit-identical statistics (DESIGN.md §5 invariant 4).
+//
+// Exceptions thrown by `body` are captured per rank; after the loop
+// completes, the exception of the *lowest* failing rank is rethrown,
+// matching what a serial ascending-rank loop would have surfaced first.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "support/math.hpp"
+
+namespace vcal::support {
+
+class ThreadPool {
+ public:
+  /// `threads` is the total concurrency including the calling thread;
+  /// 0 means std::thread::hardware_concurrency() (at least 1).
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency (worker threads + the calling thread).
+  int size() const noexcept {
+    return static_cast<int>(workers_.size()) + 1;
+  }
+
+  /// Runs body(r) for every r in [0, n), blocking until all complete.
+  /// With size() == 1 (or n == 1) the loop runs inline on the caller.
+  /// Only one parallel_for_ranks is in flight at a time; concurrent
+  /// callers serialize.
+  void parallel_for_ranks(i64 n, const std::function<void(i64)>& body);
+
+  /// Process-wide pool sized to the hardware, created on first use.
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+  void drain();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex m_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  bool stop_ = false;
+  std::uint64_t generation_ = 0;
+  i64 active_ = 0;
+
+  // Current job (valid while active_ > 0 or the caller drains).
+  const std::function<void(i64)>* body_ = nullptr;
+  i64 n_ = 0;
+  std::atomic<i64> next_{0};
+
+  std::mutex err_m_;
+  std::vector<std::pair<i64, std::exception_ptr>> errors_;
+
+  std::mutex run_m_;  // serializes parallel_for_ranks calls
+};
+
+}  // namespace vcal::support

@@ -9,7 +9,15 @@ namespace vcal::prog {
 
 std::vector<i64> eval_subs(const std::vector<Subscript>& subs,
                            const std::vector<i64>& loop_vals) {
-  std::vector<i64> out(subs.size());
+  std::vector<i64> out;
+  eval_subs_into(subs, loop_vals, out);
+  return out;
+}
+
+void eval_subs_into(const std::vector<Subscript>& subs,
+                    const std::vector<i64>& loop_vals,
+                    std::vector<i64>& out) {
+  out.resize(subs.size());
   for (std::size_t d = 0; d < subs.size(); ++d) {
     const Subscript& s = subs[d];
     i64 v = 0;
@@ -20,7 +28,6 @@ std::vector<i64> eval_subs(const std::vector<Subscript>& subs,
     }
     out[d] = fn::eval(s.expr, v);
   }
-  return out;
 }
 
 std::string ArrayRef::str(const std::vector<std::string>& loop_vars) const {

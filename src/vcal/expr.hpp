@@ -30,6 +30,12 @@ struct Subscript {
 std::vector<i64> eval_subs(const std::vector<Subscript>& subs,
                            const std::vector<i64>& loop_vals);
 
+/// eval_subs into a caller-owned buffer (resized to subs.size()), so hot
+/// loops evaluate millions of subscripts without allocating.
+void eval_subs_into(const std::vector<Subscript>& subs,
+                    const std::vector<i64>& loop_vals,
+                    std::vector<i64>& out);
+
 /// A read of one array element, e.g. B[2*i + 1, j].
 struct ArrayRef {
   std::string array;

@@ -8,6 +8,7 @@
 #include "rt/shared_machine.hpp"
 #include "rt/store.hpp"
 #include "support/error.hpp"
+#include "support/format.hpp"
 
 namespace vcal::rt {
 namespace {
@@ -648,15 +649,207 @@ TEST(BarrierElision, IndependentClausesElide) {
 }
 
 TEST(CostModel, RankTimeComposition) {
+  // Aggregated model: elements ride at per_value; latency is paid once
+  // per bulk message carrying them.
   CostModel cm;
   RankCounters c;
   c.sends = 2;
   c.receives = 1;
+  c.bulk_sends = 1;
+  c.bulk_receives = 1;
   c.iterations = 10;
   c.tests = 4;
-  EXPECT_DOUBLE_EQ(c.time(cm), 3 * (cm.per_message + cm.per_value) +
+  EXPECT_DOUBLE_EQ(c.time(cm), 3 * cm.per_value +
+                                   2 * cm.per_bulk_message +
                                    10 * cm.per_iteration +
                                    4 * cm.per_test);
+}
+
+TEST(CostModel, AggregationBeatsPerElementMessaging) {
+  // The model can show the win: 100 elements in one bulk message cost
+  // far less than 100 one-element messages.
+  CostModel cm;
+  EXPECT_LT(cm.bulk_cost(1, 100), cm.message_cost(100));
+}
+
+// ---- Fast-path execution engine --------------------------------------
+
+namespace {
+
+void expect_same_counters(const RankCounters& a, const RankCounters& b,
+                          const std::string& where) {
+  EXPECT_EQ(a.sends, b.sends) << where;
+  EXPECT_EQ(a.receives, b.receives) << where;
+  EXPECT_EQ(a.iterations, b.iterations) << where;
+  EXPECT_EQ(a.tests, b.tests) << where;
+  EXPECT_EQ(a.local_reads, b.local_reads) << where;
+  EXPECT_EQ(a.remote_reads, b.remote_reads) << where;
+  EXPECT_EQ(a.bulk_sends, b.bulk_sends) << where;
+  EXPECT_EQ(a.bulk_receives, b.bulk_receives) << where;
+  EXPECT_EQ(a.halo_bulk, b.halo_bulk) << where;
+  EXPECT_EQ(a.halo_values, b.halo_values) << where;
+  EXPECT_EQ(a.halo_reads, b.halo_reads) << where;
+}
+
+void expect_same_stats(const DistStats& a, const DistStats& b,
+                       const std::string& where) {
+  EXPECT_EQ(a.messages, b.messages) << where;
+  EXPECT_EQ(a.bulk_messages, b.bulk_messages) << where;
+  EXPECT_EQ(a.local_reads, b.local_reads) << where;
+  EXPECT_EQ(a.remote_reads, b.remote_reads) << where;
+  EXPECT_EQ(a.iterations, b.iterations) << where;
+  EXPECT_EQ(a.tests, b.tests) << where;
+  EXPECT_EQ(a.halo_messages, b.halo_messages) << where;
+  EXPECT_EQ(a.halo_values, b.halo_values) << where;
+  EXPECT_EQ(a.halo_reads, b.halo_reads) << where;
+  EXPECT_EQ(a.steps, b.steps) << where;
+  EXPECT_DOUBLE_EQ(a.sim_time, b.sim_time) << where;
+}
+
+}  // namespace
+
+TEST(Engine, ThreadPoolSizeDoesNotChangeObservables) {
+  // DESIGN.md §5 invariant 4, strengthened: not just results but every
+  // deterministic statistic must be bit-identical between the serial
+  // engine and a pool of N lanes, over the full example matrix.
+  for (i64 procs : {1, 2, 3, 4, 7}) {
+    for (auto ka : {Decomp1D::Kind::Block, Decomp1D::Kind::Scatter,
+                    Decomp1D::Kind::BlockScatter}) {
+      for (auto kb : {Decomp1D::Kind::Block, Decomp1D::Kind::Scatter,
+                      Decomp1D::Kind::BlockScatter}) {
+        Program p = shift_program(29, procs, ka, kb);
+        std::vector<double> in = iota(29, 3.0);
+
+        EngineOptions serial;
+        serial.threads = 1;
+        DistMachine one(p, {}, {}, serial);
+        one.load("B", in);
+        one.run();
+
+        EngineOptions pooled;
+        pooled.threads = 4;
+        DistMachine many(p, {}, {}, pooled);
+        many.load("B", in);
+        many.run();
+
+        std::string where = cat("procs=", procs, " ka=", (int)ka,
+                                " kb=", (int)kb);
+        EXPECT_EQ(many.gather("A"), one.gather("A")) << where;
+        expect_same_stats(many.stats(), one.stats(), where);
+        EXPECT_EQ(many.message_matrix(), one.message_matrix()) << where;
+        ASSERT_EQ(many.last_step_counters().size(),
+                  one.last_step_counters().size());
+        for (std::size_t r = 0; r < one.last_step_counters().size(); ++r)
+          expect_same_counters(many.last_step_counters()[r],
+                               one.last_step_counters()[r],
+                               cat(where, " rank=", r));
+      }
+    }
+  }
+}
+
+TEST(Engine, PlanCacheSurvivesRepeatsAndInvalidatesOnRedistribute) {
+  // clause; redistribute B; same clause again — the epoch bump must
+  // rebuild the plan against the new layout, reproducing exactly what
+  // the uncached engine computes (gathered values AND fresh message
+  // counts), while the identical pre-redistribution repeat hits.
+  auto make = [] {
+    Program p = shift_program(32, 4, Decomp1D::Kind::Block,
+                              Decomp1D::Kind::Block);
+    prog::Clause c = std::get<prog::Clause>(p.steps[0]);
+    p.steps.emplace_back(c);  // repeat: cache hit
+    p.steps.emplace_back(RedistStep{
+        "B", ArrayDesc::distributed(
+                 "B", {0}, {31},
+                 DecompND({Decomp1D::scatter(32, 4)}))});
+    p.steps.emplace_back(c);  // stale plan would misroute every send
+    return p;
+  };
+
+  EngineOptions cached;
+  cached.cache_plans = true;
+  DistMachine with(make(), {}, {}, cached);
+  with.load("B", iota(32));
+  with.run();
+
+  EngineOptions uncached;
+  uncached.cache_plans = false;
+  DistMachine without(make(), {}, {}, uncached);
+  without.load("B", iota(32));
+  without.run();
+
+  EXPECT_EQ(with.gather("A"), without.gather("A"));
+  EXPECT_EQ(with.gather("B"), without.gather("B"));
+  expect_same_stats(with.stats(), without.stats(), "cache vs rebuild");
+  EXPECT_EQ(with.message_matrix(), without.message_matrix());
+
+  // The post-redistribution clause pays messages (block vs scatter
+  // mismatch) that the aligned pre-redistribution clauses did not.
+  EXPECT_GT(with.stats().messages, 0);
+
+  EXPECT_EQ(with.plan_cache().misses(), 2);  // one per epoch
+  EXPECT_EQ(with.plan_cache().hits(), 1);    // the repeat
+  EXPECT_EQ(with.plan_cache().epoch(), 1u);
+}
+
+TEST(Engine, BulkMessagesBoundedByRankPairs) {
+  // Aggregation collapses per-element sends: however large n is, one
+  // clause step moves at most P*(P-1) bulk messages, while the element
+  // count (messages) still equals every remote read.
+  const i64 n = 512, procs = 4;
+  Program p = shift_program(n, procs, Decomp1D::Kind::Block,
+                            Decomp1D::Kind::Scatter);
+  DistMachine dist(p);
+  dist.load("B", iota(n));
+  dist.run();
+  EXPECT_GT(dist.stats().messages, procs * (procs - 1));  // n-ish, large
+  EXPECT_LE(dist.stats().bulk_messages, procs * (procs - 1));
+  EXPECT_GT(dist.stats().bulk_messages, 0);
+  EXPECT_EQ(dist.stats().messages, dist.stats().remote_reads);
+
+  // Per-rank composition: every rank's element sends ride in at most
+  // P-1 bulk messages.
+  for (const RankCounters& c : dist.last_step_counters()) {
+    EXPECT_LE(c.bulk_sends, procs - 1);
+    EXPECT_LE(c.bulk_receives, procs - 1);
+    EXPECT_EQ(c.sends > 0, c.bulk_sends > 0);
+  }
+}
+
+TEST(Engine, SharedMachineMatchesAcrossPoolSizes) {
+  Program p = shift_program(29, 4, Decomp1D::Kind::Scatter,
+                            Decomp1D::Kind::Block);
+  std::vector<double> in = iota(29, 3.0);
+
+  EngineOptions serial;
+  serial.threads = 1;
+  SharedMachine one(p, {}, {}, false, serial);
+  one.load("B", in);
+  one.run();
+
+  EngineOptions pooled;
+  pooled.threads = 4;
+  SharedMachine many(p, {}, {}, false, pooled);
+  many.load("B", in);
+  many.run();
+
+  EXPECT_EQ(many.result("A"), one.result("A"));
+  EXPECT_EQ(many.stats().iterations, one.stats().iterations);
+  EXPECT_EQ(many.stats().tests, one.stats().tests);
+  EXPECT_EQ(many.stats().barriers, one.stats().barriers);
+  EXPECT_DOUBLE_EQ(many.stats().sim_time, one.stats().sim_time);
+}
+
+TEST(Engine, PooledEngineStillRejectsSequentialClauses) {
+  // Errors raised inside pooled rank loops (or before them) must reach
+  // the caller exactly as the serial engine's would.
+  Program p = shift_program(16, 2, Decomp1D::Kind::Block,
+                            Decomp1D::Kind::Block);
+  std::get<prog::Clause>(p.steps[0]).ord = prog::Ordering::Seq;
+  EngineOptions pooled;
+  pooled.threads = 4;
+  DistMachine dist(p, {}, {}, pooled);
+  EXPECT_THROW(dist.run(), CodegenError);
 }
 
 }  // namespace

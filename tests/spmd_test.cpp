@@ -5,6 +5,7 @@
 #include <set>
 
 #include "spmd/clause_plan.hpp"
+#include "spmd/plan_cache.hpp"
 #include "spmd/program.hpp"
 #include "support/error.hpp"
 
@@ -280,6 +281,57 @@ TEST(Program, StrAndClauseCount) {
   EXPECT_EQ(p.clause_count(), 1);
   EXPECT_NE(p.str().find("program on 4 processors"), std::string::npos);
   EXPECT_NE(p.str().find("redistribute"), std::string::npos);
+}
+
+TEST(PlanCache, HitsOnRepeatedClause) {
+  ArrayTable arrays = one_d_arrays(32, 4);
+  prog::Clause c = simple_clause(0, 30);
+  PlanCache cache;
+
+  const ClausePlan& first = cache.get(c, arrays);
+  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_EQ(cache.hits(), 0);
+  const ClausePlan& again = cache.get(c, arrays);
+  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(&first, &again);  // literally the same plan object
+  EXPECT_EQ(cache.size(), 1);
+}
+
+TEST(PlanCache, DistinctClausesGetDistinctEntries) {
+  ArrayTable arrays = one_d_arrays(32, 4);
+  PlanCache cache;
+  cache.get(simple_clause(0, 30), arrays);
+  cache.get(simple_clause(0, 15), arrays);  // different bounds
+  EXPECT_EQ(cache.misses(), 2);
+  EXPECT_EQ(cache.size(), 2);
+}
+
+TEST(PlanCache, EpochBumpInvalidatesAndRebuildsAgainstNewLayout) {
+  ArrayTable arrays = one_d_arrays(32, 4);
+  prog::Clause c = simple_clause(0, 30);
+  PlanCache cache;
+
+  // Rebuilding on an epoch mismatch overwrites the cache entry, so take
+  // the block-layout schedule's rendering before invalidating.
+  std::string block_schedule = cache.get(c, arrays)
+                                   .modify_space(0)
+                                   .dim(0)
+                                   .str();
+  EXPECT_EQ(cache.get(c, arrays).modify_space(0).count(), 8);  // 0..7
+
+  // Redistribute A to scatter; a stale plan would keep block ownership.
+  arrays.insert_or_assign(
+      "A", decomp::ArrayDesc::distributed(
+               "A", {0}, {31}, DecompND({Decomp1D::scatter(32, 4)})));
+  cache.bump_epoch();
+  const ClausePlan& after = cache.get(c, arrays);
+  EXPECT_EQ(cache.misses(), 2);
+  EXPECT_EQ(after.modify_space(0).count(), 8);  // scatter: 0,4,...,28
+  EXPECT_NE(after.modify_space(0).dim(0).str(), block_schedule);
+  cache.get(c, arrays);  // same epoch again: a hit
+  EXPECT_EQ(cache.hits(), 2);
+  EXPECT_EQ(cache.epoch(), 1u);
 }
 
 }  // namespace

@@ -1,13 +1,17 @@
 // Tests for support/: exact integer arithmetic, formatting, RNG, stats.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <string>
+#include <vector>
 
 #include "support/error.hpp"
 #include "support/format.hpp"
 #include "support/math.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
+#include "support/thread_pool.hpp"
 
 namespace vcal {
 namespace {
@@ -158,6 +162,62 @@ TEST(Error, ParseErrorCarriesPosition) {
   EXPECT_EQ(e.line(), 3);
   EXPECT_EQ(e.col(), 14);
   EXPECT_TRUE(contains(e.what(), "3:14"));
+}
+
+TEST(ThreadPool, RunsEveryRankExactlyOnce) {
+  for (int threads : {1, 2, 4}) {
+    support::ThreadPool pool(threads);
+    const i64 n = 103;
+    std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+    for (auto& h : hits) h.store(0);
+    pool.parallel_for_ranks(
+        n, [&](i64 r) { ++hits[static_cast<std::size_t>(r)]; });
+    for (i64 r = 0; r < n; ++r)
+      EXPECT_EQ(hits[static_cast<std::size_t>(r)].load(), 1) << r;
+  }
+}
+
+TEST(ThreadPool, EmptyAndSingleRangesRunInline) {
+  support::ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for_ranks(0, [&](i64) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for_ranks(1, [&](i64 r) {
+    EXPECT_EQ(r, 0);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, ReusableAcrossManyLoops) {
+  support::ThreadPool pool(3);
+  std::atomic<i64> total{0};
+  for (int round = 0; round < 50; ++round)
+    pool.parallel_for_ranks(7, [&](i64 r) { total += r; });
+  EXPECT_EQ(total.load(), 50 * (0 + 1 + 2 + 3 + 4 + 5 + 6));
+}
+
+TEST(ThreadPool, RethrowsTheLowestFailingRank) {
+  // A serial ascending loop would surface rank 2 first; the pool must
+  // match that regardless of which lane hits its error first.
+  support::ThreadPool pool(4);
+  try {
+    pool.parallel_for_ranks(16, [&](i64 r) {
+      if (r >= 2 && r % 2 == 0)
+        throw RuntimeFault("rank " + std::to_string(r) + " failed");
+    });
+    FAIL() << "expected RuntimeFault";
+  } catch (const RuntimeFault& e) {
+    EXPECT_TRUE(contains(e.what(), "rank 2 failed"));
+  }
+}
+
+TEST(ThreadPool, SharedPoolExists) {
+  support::ThreadPool& pool = support::ThreadPool::shared();
+  EXPECT_GE(pool.size(), 1);
+  std::atomic<int> calls{0};
+  pool.parallel_for_ranks(5, [&](i64) { ++calls; });
+  EXPECT_EQ(calls.load(), 5);
 }
 
 }  // namespace

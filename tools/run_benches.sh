@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Builds the benchmarks in Release and records the perf trajectory.
+#
+# Usage: tools/run_benches.sh [build-dir]
+#
+# Runs bench/engine_throughput (which writes BENCH_engine.json at the
+# repo root — the machine-readable record subsequent PRs diff against)
+# followed by bench/spmd_end_to_end for the paper-shape tables. Any
+# non-zero exit (including the engine bench's internal fast-vs-slow
+# result verification) fails the script.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-bench}"
+
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build_dir" -j"$(nproc)" \
+  --target engine_throughput spmd_end_to_end
+
+cd "$repo_root"
+"$build_dir/bench/engine_throughput" "$repo_root/BENCH_engine.json"
+
+# Paper-shape tables; google-benchmark timing cells kept short.
+"$build_dir/bench/spmd_end_to_end" --benchmark_min_time=0.05
+
+echo
+echo "BENCH_engine.json:"
+cat "$repo_root/BENCH_engine.json"
