@@ -23,6 +23,8 @@ std::string DistStats::str() const {
           " sim-time=", sim_time);
   if (bulk_messages > 0)
     out += cat(" bulk-msgs=", with_commas(bulk_messages));
+  if (redist_messages > 0)
+    out += cat(" redist-msgs=", with_commas(redist_messages));
   if (halo_messages > 0)
     out += cat(" halo-msgs=", with_commas(halo_messages),
                " halo-values=", with_commas(halo_values),
@@ -99,50 +101,131 @@ void DistMachine::finish_step(const std::vector<RankCounters>& counters) {
 namespace {
 
 // All elements flowing src -> dst in one clause, packed as one bulk
-// message: (tag, value) entries appended by the sender in phase 1,
-// sorted once, and consumed by binary search in phase 2. Each channel is
-// written only by its source rank and consumed only by its destination
-// rank, so the phase loops parallelize without locks.
+// message: (tag, value) entries appended by the sender in phase 1 and
+// consumed by tag in phase 2. Each channel is written only by its source
+// rank and consumed only by its destination rank, so the phase loops
+// parallelize without locks.
+//
+// Two matching representations exist (EngineOptions::keyed_channels):
+// the bulk form sorts once and matches receives by binary search; the
+// keyed form builds a tag -> slot hash index in arrival order. Both
+// produce identical counters, so the conformance oracle can pin one
+// against the other. Fault injection perturbs a packed channel in place;
+// a perturbed bulk channel loses its sort order and falls back to linear
+// matching, the way a real receive polls an unordered network.
 struct Channel {
   std::vector<std::pair<i64, double>> msgs;
   std::vector<char> taken;
+  std::unordered_map<i64, std::size_t> index;  // keyed matching only
+  bool keyed = false;
+  bool sorted = false;  // binary search valid (bulk mode, unperturbed)
   i64 consumed = 0;
 
   void push(i64 tag, double value) { msgs.emplace_back(tag, value); }
 
-  // Sorts by tag; a resend of the same (ref, loop tuple) overwrites the
-  // earlier value, mirroring the keyed-mailbox semantics.
+  // Dedups by tag — a resend of the same (ref, loop tuple) overwrites
+  // the earlier value, mirroring keyed-mailbox semantics — then freezes
+  // the matching structure: sort (bulk) or hash index (keyed).
   void pack() {
-    std::stable_sort(
-        msgs.begin(), msgs.end(),
-        [](const auto& a, const auto& b) { return a.first < b.first; });
-    std::size_t w = 0;
-    for (std::size_t i = 0; i < msgs.size(); ++i) {
-      if (w > 0 && msgs[w - 1].first == msgs[i].first)
-        msgs[w - 1] = msgs[i];
-      else
-        msgs[w++] = msgs[i];
+    if (keyed) {
+      std::vector<std::pair<i64, double>> out;
+      out.reserve(msgs.size());
+      index.reserve(msgs.size());
+      for (const auto& m : msgs) {
+        auto [it, fresh] = index.try_emplace(m.first, out.size());
+        if (fresh)
+          out.push_back(m);
+        else
+          out[it->second] = m;
+      }
+      msgs = std::move(out);
+    } else {
+      std::stable_sort(
+          msgs.begin(), msgs.end(),
+          [](const auto& a, const auto& b) { return a.first < b.first; });
+      std::size_t w = 0;
+      for (std::size_t i = 0; i < msgs.size(); ++i) {
+        if (w > 0 && msgs[w - 1].first == msgs[i].first)
+          msgs[w - 1] = msgs[i];
+        else
+          msgs[w++] = msgs[i];
+      }
+      msgs.resize(w);
+      sorted = true;
     }
-    msgs.resize(w);
     taken.assign(msgs.size(), 0);
   }
 
   // Blocking receive: nullptr when no matching (or an already-consumed)
   // message is in flight.
   const double* consume(i64 tag) {
-    auto it = std::lower_bound(
-        msgs.begin(), msgs.end(), tag,
-        [](const auto& m, i64 t) { return m.first < t; });
-    if (it == msgs.end() || it->first != tag) return nullptr;
-    auto k = static_cast<std::size_t>(it - msgs.begin());
+    std::size_t k = msgs.size();
+    if (keyed) {
+      auto it = index.find(tag);
+      if (it == index.end()) return nullptr;
+      k = it->second;
+    } else if (sorted) {
+      auto it = std::lower_bound(
+          msgs.begin(), msgs.end(), tag,
+          [](const auto& m, i64 t) { return m.first < t; });
+      if (it == msgs.end() || it->first != tag) return nullptr;
+      k = static_cast<std::size_t>(it - msgs.begin());
+    } else {
+      for (std::size_t i = 0; i < msgs.size(); ++i)
+        if (msgs[i].first == tag && !taken[i]) {
+          k = i;
+          break;
+        }
+      if (k == msgs.size()) return nullptr;
+    }
     if (taken[k]) return nullptr;
     taken[k] = 1;
     ++consumed;
-    return &it->second;
+    return &msgs[k].second;
   }
 
   i64 undelivered() const {
     return static_cast<i64>(msgs.size()) - consumed;
+  }
+
+  // ---- fault mutators (post-pack; return whether anything changed) ----
+
+  bool drop(i64 i) {
+    if (msgs.empty()) return false;
+    auto k = static_cast<std::size_t>(
+        i % static_cast<i64>(msgs.size()));
+    msgs.erase(msgs.begin() + static_cast<std::ptrdiff_t>(k));
+    taken.erase(taken.begin() + static_cast<std::ptrdiff_t>(k));
+    if (keyed) reindex();
+    return true;
+  }
+
+  bool duplicate(i64 i) {
+    if (msgs.empty()) return false;
+    auto k = static_cast<std::size_t>(
+        i % static_cast<i64>(msgs.size()));
+    msgs.push_back(msgs[k]);
+    taken.push_back(0);
+    // The appended copy breaks the sort order; receives fall back to
+    // first-match linear scan, so the original is consumed and the copy
+    // surfaces in the pairing check. The keyed index still names the
+    // original, with the same effect.
+    sorted = false;
+    return true;
+  }
+
+  bool reorder() {
+    if (msgs.size() < 2) return false;
+    std::reverse(msgs.begin(), msgs.end());
+    sorted = false;
+    if (keyed) reindex();
+    return true;
+  }
+
+  void reindex() {
+    index.clear();
+    for (std::size_t i = 0; i < msgs.size(); ++i)
+      index.try_emplace(msgs[i].first, i);
   }
 };
 
@@ -209,10 +292,21 @@ void DistMachine::run_clause(const Clause& clause) {
   // In-flight messages: one bulk channel per (src, dst) rank pair.
   std::vector<Channel> channels(
       static_cast<std::size_t>(procs * procs));
+  for (Channel& ch : channels) ch.keyed = engine_.keyed_channels;
   auto channel = [&](i64 src, i64 dst) -> Channel& {
     return channels[static_cast<std::size_t>(src * procs + dst)];
   };
   std::vector<RankCounters> counters(static_cast<std::size_t>(procs));
+
+  // Faults armed for this step (stats_.steps counts completed steps, so
+  // it is the index of the step now executing).
+  std::vector<const FaultPlan*> active_faults;
+  for (const FaultPlan& f : faults_)
+    if (f.step == stats_.steps && f.kind != FaultPlan::Kind::None)
+      active_faults.push_back(&f);
+  auto valid_channel = [&](const FaultPlan& f) {
+    return in_range(f.src, 0, procs - 1) && in_range(f.dst, 0, procs - 1);
+  };
 
   // ---- Phase 0: halo refresh for overlapped decompositions -----------
   // Every referenced array with a halo gets its boundary copies refreshed
@@ -330,6 +424,27 @@ void DistMachine::run_clause(const Clause& clause) {
       ++rc.bulk_sends;
     }
   });
+  // The virtual network misbehaves here, between send completion and the
+  // first receive: armed message faults perturb the packed channels.
+  for (const FaultPlan* f : active_faults) {
+    bool applied = false;
+    switch (f->kind) {
+      case FaultPlan::Kind::DropMessage:
+        applied = valid_channel(*f) && channel(f->src, f->dst).drop(f->index);
+        break;
+      case FaultPlan::Kind::DuplicateMessage:
+        applied =
+            valid_channel(*f) && channel(f->src, f->dst).duplicate(f->index);
+        break;
+      case FaultPlan::Kind::ReorderChannel:
+        applied = valid_channel(*f) && channel(f->src, f->dst).reorder();
+        break;
+      default:
+        break;
+    }
+    if (applied) ++faults_applied_;
+  }
+
   // Receiver-side bulk accounting (cross-rank: done serially).
   for (i64 src = 0; src < procs; ++src)
     for (i64 dst = 0; dst < procs; ++dst)
@@ -339,7 +454,7 @@ void DistMachine::run_clause(const Clause& clause) {
   // ---- Phase 2: receive and update (Modify_p) -------------------------
   // Rank p consumes only channels destined to it and writes only its own
   // local LHS buffer; all other reads are pre-clause values.
-  for_ranks(procs, [&](i64 p) {
+  auto phase2 = [&](i64 p) {
     RankCounters& rc = counters[static_cast<std::size_t>(p)];
     std::vector<double> ref_values(clause.refs.size());
     std::vector<i64> ridx, out_idx;  // per-rank scratch
@@ -389,14 +504,20 @@ void DistMachine::run_clause(const Clause& clause) {
               ++rc.halo_reads;
             } else {
               // Blocking receive from the in-flight bulk message.
-              const double* value =
-                  channel(src, p).consume(plan.message_tag(r, vals));
-              if (value == nullptr)
+              i64 tag = plan.message_tag(r, vals);
+              const double* value = channel(src, p).consume(tag);
+              if (value == nullptr) {
+                std::string elem =
+                    clause.refs[static_cast<std::size_t>(r)].array + "[";
+                for (std::size_t d = 0; d < ridx.size(); ++d)
+                  elem += cat(d ? ", " : "", ridx[d]);
+                elem += "]";
                 throw DeadlockError(cat(
-                    "rank ", p, " blocked receiving ",
-                    clause.refs[static_cast<std::size_t>(r)].array,
-                    " element from rank ", src,
-                    " which never sent it (inconsistent schedules)"));
+                    "deadlock: rank ", p, " blocked on pending receive of ",
+                    elem, " (tag ", tag, ") from rank ", src,
+                    ", which never sent it — inconsistent schedules or a "
+                    "lost message"));
+              }
               ref_values[static_cast<std::size_t>(r)] = *value;
               ++rc.receives;
               ++rc.remote_reads;
@@ -413,7 +534,26 @@ void DistMachine::run_clause(const Clause& clause) {
         &es);
     rc.iterations += es.loop_iters;
     rc.tests += es.tests;
-  });
+  };
+
+  // A stalled rank sits out the scheduled receive/update rounds while
+  // every other rank completes; its sends are already in flight, so the
+  // step's outcome must be unchanged once the stall releases.
+  const FaultPlan* stall = nullptr;
+  for (const FaultPlan* f : active_faults)
+    if (f->kind == FaultPlan::Kind::StallRank &&
+        in_range(f->rank, 0, procs - 1))
+      stall = f;
+  if (stall) {
+    for_ranks(procs, [&](i64 p) {
+      if (p != stall->rank) phase2(p);
+    });
+    stall_rounds_ += std::max<i64>(stall->rounds, 0);
+    ++faults_applied_;
+    phase2(stall->rank);  // the stall releases
+  } else {
+    for_ranks(procs, phase2);
+  }
 
   // Every send must have been consumed — the message-pairing invariant.
   for (i64 p = 0; p < procs; ++p) {
@@ -476,6 +616,7 @@ void DistMachine::run_redistribute(const spmd::RedistStep& step) {
                                 return acc + c.sends;
                               }),
           "redistribution plan and execution disagree on message count");
+  stats_.redist_messages += static_cast<i64>(plan.moves.size());
 
   store_.replace(step.array, std::move(fresh));
   program_.arrays.insert_or_assign(step.array, step.new_desc);

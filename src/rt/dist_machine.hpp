@@ -34,6 +34,7 @@
 #include "gen/optimizer.hpp"
 #include "rt/cost_model.hpp"
 #include "rt/engine_options.hpp"
+#include "rt/fault_plan.hpp"
 #include "rt/store.hpp"
 #include "spmd/plan_cache.hpp"
 #include "spmd/program.hpp"
@@ -44,8 +45,11 @@ namespace vcal::rt {
 struct DistStats {
   i64 messages = 0;      // element transfers between distinct ranks
   i64 bulk_messages = 0; // aggregated (src,dst) messages carrying them
+  i64 redist_messages = 0; // subset of messages moved by redistributions
   i64 local_reads = 0;   // operand reads satisfied locally
   i64 remote_reads = 0;  // operand reads satisfied by a message
+                         // (conservation: messages == remote_reads
+                         //  + redist_messages)
   i64 iterations = 0;    // loop-body entries, all ranks, all phases
   i64 tests = 0;         // run-time membership tests / probes
   i64 halo_messages = 0; // bulk halo-exchange messages (overlap support)
@@ -64,6 +68,17 @@ class DistMachine {
 
   void load(const std::string& name, const std::vector<double>& dense);
   void run();
+
+  /// Arms a fault to be injected when the targeted step executes (see
+  /// fault_plan.hpp). Repeatable; faults on distinct steps compose.
+  void inject(const FaultPlan& fault) { faults_.push_back(fault); }
+
+  /// How many armed faults actually perturbed a step (a message fault
+  /// naming an empty channel is counted as not applied).
+  i64 faults_applied() const noexcept { return faults_applied_; }
+
+  /// Scheduler rounds stalled ranks sat out across the run.
+  i64 stall_rounds_served() const noexcept { return stall_rounds_; }
 
   /// Dense image reassembled from the distributed pieces.
   std::vector<double> gather(const std::string& name) const;
@@ -106,6 +121,9 @@ class DistMachine {
   DistStats stats_;
   std::vector<RankCounters> last_counters_;
   std::vector<std::vector<i64>> message_matrix_;
+  std::vector<FaultPlan> faults_;
+  i64 faults_applied_ = 0;
+  i64 stall_rounds_ = 0;
 };
 
 }  // namespace vcal::rt

@@ -20,6 +20,13 @@ struct EngineOptions {
   /// Reuse clause plans across repeated executions of the same clause
   /// (invalidated when a redistribution changes a decomposition).
   bool cache_plans = true;
+
+  /// Match in-flight messages with a per-channel hash index keyed on the
+  /// message tag instead of the packed sorted-vector + binary-search
+  /// representation (distributed target only). Counters and results are
+  /// identical either way; the conformance oracle runs both to pin the
+  /// two matching paths against each other.
+  bool keyed_channels = false;
 };
 
 }  // namespace vcal::rt

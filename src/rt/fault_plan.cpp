@@ -1,0 +1,26 @@
+#include "rt/fault_plan.hpp"
+
+#include "support/format.hpp"
+
+namespace vcal::rt {
+
+std::string FaultPlan::str() const {
+  switch (kind) {
+    case Kind::None:
+      return "none";
+    case Kind::DropMessage:
+      return cat("drop step=", step, " channel=", src, "->", dst,
+                 " index=", index);
+    case Kind::DuplicateMessage:
+      return cat("duplicate step=", step, " channel=", src, "->", dst,
+                 " index=", index);
+    case Kind::ReorderChannel:
+      return cat("reorder step=", step, " channel=", src, "->", dst);
+    case Kind::StallRank:
+      return cat("stall step=", step, " rank=", rank,
+                 " rounds=", rounds);
+  }
+  return "?";
+}
+
+}  // namespace vcal::rt

@@ -24,4 +24,9 @@ double Rng::uniform01() {
 
 bool Rng::chance(double p) { return uniform01() < p; }
 
+std::uint64_t Rng::derive(std::uint64_t seed, std::uint64_t stream) {
+  Rng r(seed ^ (0x9e3779b97f4a7c15ull * (stream + 1)));
+  return r.next_u64();
+}
+
 }  // namespace vcal

@@ -12,7 +12,12 @@ namespace vcal {
 
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed) : state_(seed) {}
+  explicit Rng(std::uint64_t seed) : seed_(seed), state_(seed) {}
+
+  /// The seed this generator was constructed with. Randomized tests must
+  /// include this (not just their loop iteration) in failure messages so
+  /// a failure replays as Rng(seed()) exactly.
+  std::uint64_t seed() const noexcept { return seed_; }
 
   /// Next raw 64-bit value.
   std::uint64_t next_u64();
@@ -26,7 +31,14 @@ class Rng {
   /// Bernoulli draw with probability p of true.
   bool chance(double p);
 
+  /// Derives an independent sub-stream seed from (seed, stream): the
+  /// corpus runners hand each iteration Rng(Rng::derive(seed, k)) so a
+  /// failure report can name the one seed that replays iteration k on
+  /// its own.
+  static std::uint64_t derive(std::uint64_t seed, std::uint64_t stream);
+
  private:
+  std::uint64_t seed_;
   std::uint64_t state_;
 };
 

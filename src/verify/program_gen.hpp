@@ -1,0 +1,64 @@
+// Seeded random vexl programs for the conformance oracle.
+//
+// Each draw produces a small but adversarial program: block / scatter /
+// block-scatter / replicated arrays in one or two dimensions, shifted
+// and mod-wrapped subscripts, guards, self-references (copy-in
+// semantics), overlapped (halo) block decompositions, and mid-program
+// redistributions — the combinations Theorems 1-3 and Table I of the
+// paper reason about. Programs are kept as declaration lines plus
+// statement lines so the failure minimizer can drop statements one at a
+// time and re-assemble compilable source.
+//
+// Generation is pure SplitMix64: the same seed yields the same program
+// on every platform, so a failure report's seed is a complete
+// reproducer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace vcal::verify {
+
+struct GenOptions {
+  bool allow_2d = true;
+  bool allow_redistribute = true;
+  bool allow_guards = true;
+  bool allow_halo = true;
+  i64 max_n = 24;      // 1-D array extent (2-D extents stay <= ~10)
+  i64 max_procs = 5;
+  int max_clauses = 3;
+};
+
+struct GeneratedProgram {
+  std::uint64_t seed = 0;
+  std::vector<std::string> decls;  // array + distribute declarations
+  std::vector<std::string> stmts;  // clauses and redistributions
+
+  /// Reassembled vexl source.
+  std::string source() const;
+};
+
+class ProgramGen {
+ public:
+  explicit ProgramGen(std::uint64_t seed, GenOptions opts = {});
+
+  /// Draws the next random program (alternating independently seeded
+  /// draws stay reproducible: the stream is one SplitMix64 walk).
+  GeneratedProgram next();
+
+ private:
+  GeneratedProgram gen_1d();
+  GeneratedProgram gen_2d();
+
+  std::string dist_1d(bool allow_replicated);
+  std::string subscript(i64 n, i64 shift_budget);
+
+  Rng rng_;
+  GenOptions opts_;
+  std::uint64_t seed_;
+};
+
+}  // namespace vcal::verify

@@ -87,6 +87,21 @@ TEST(Cli, ViewsProgram) {
   EXPECT_TRUE(has(r.out, "A = 14 15 16 17")) << r.out;
 }
 
+TEST(Cli, VerifyCorpusAndFile) {
+  // A small corpus run: conformance corpus plus the fault smoke.
+  RunResult corpus = run("--verify --iters 5 --seed 7");
+  EXPECT_EQ(corpus.status, 0) << corpus.out;
+  EXPECT_TRUE(has(corpus.out, "verify: OK")) << corpus.out;
+  EXPECT_TRUE(has(corpus.out, "verify faults: ok")) << corpus.out;
+
+  // File mode checks one program through the whole matrix.
+  RunResult file = run("--verify " + programs() + "/rotate.vexl");
+  EXPECT_EQ(file.status, 0) << file.out;
+  EXPECT_TRUE(has(file.out, "ok (")) << file.out;
+
+  EXPECT_EQ(run("--verify --iters 0").status, 1);  // usage error
+}
+
 TEST(Cli, ErrorExitCodes) {
   EXPECT_EQ(run("").status, 1);                             // usage
   EXPECT_EQ(run("--target=bogus x.vexl").status, 1);        // bad file

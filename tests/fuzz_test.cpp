@@ -91,8 +91,9 @@ TEST_P(RandomPlans, ScheduleEqualsBruteForceAndPartitions) {
         if (d.is_replicated() || d.proc(v) == p) want.push_back(i);
       }
       ASSERT_EQ(got, want) << plan.describe() << "\n p=" << p
-                           << " seed-group=" << GetParam()
-                           << " trial=" << trial;
+                           << " seed=" << rng.seed()
+                           << " (group=" << GetParam()
+                           << " trial=" << trial << ")";
       if (!d.is_replicated()) {
         for (i64 i : got) {
           ASSERT_TRUE(all.insert(i).second)
@@ -193,8 +194,8 @@ TEST_P(RandomPrograms, MachinesAgreeWithSequentialReference) {
     i64 n = gen.rng.uniform(8, 40);
     i64 procs = gen.rng.uniform(1, 6);
     std::string src = gen.make(n, procs);
-    SCOPED_TRACE("seed-group=" + std::to_string(GetParam()) + " trial=" +
-                 std::to_string(trial) + "\n" + src);
+    SCOPED_TRACE(cat("seed=", gen.rng.seed(), " (group=", GetParam(),
+                     " trial=", trial, ")\n", src));
     spmd::Program program;
     ASSERT_NO_THROW(program = lang::compile(src));
 
@@ -243,11 +244,13 @@ struct Grid2DGen {
 
   std::string dist2d() {
     auto one = [&]() -> std::string {
-      switch (rng.uniform(0, 2)) {
+      switch (rng.uniform(0, 3)) {
         case 0:
           return "block";
         case 1:
           return "scatter";
+        case 2:
+          return cat("blockscatter(", rng.uniform(1, 3), ")");
         default:
           return "*";
       }
@@ -270,6 +273,12 @@ struct Grid2DGen {
     src += cat("forall i in ", si, ":", rows - 1, ", j in 0:", cols - 1,
                " do M[i, j] := N[", isub, ", ", jsub, "]*0.5 + ",
                rng.uniform(0, 5), "; od\n");
+    // Maybe re-lay out one grid between the clauses: the second clause
+    // then runs against the migrated decomposition, and the plan cache
+    // (if on) must rebuild against it.
+    if (rng.chance(0.5))
+      src += cat("redistribute ", rng.chance(0.5) ? "M" : "N", " ",
+                 dist2d(), ";\n");
     // A second clause flowing M back into N.
     src += cat("forall i in 0:", rows - 1, ", j in 0:", cols - 1,
                " do N[i, j] := M[i, j] - 1; od\n");
@@ -286,7 +295,8 @@ TEST_P(Random2DPrograms, MachinesAgreeWithSequentialReference) {
     i64 cols = gen.rng.uniform(4, 12);
     i64 procs = gen.rng.uniform(1, 6);
     std::string src = gen.make(rows, cols, procs);
-    SCOPED_TRACE(src);
+    SCOPED_TRACE(cat("seed=", gen.rng.seed(), " (group=", GetParam(),
+                     " trial=", trial, ")\n", src));
     spmd::Program program = lang::compile(src);
 
     std::vector<double> n(static_cast<std::size_t>(rows * cols));
@@ -332,7 +342,8 @@ TEST_P(RandomElision, ElisionNeverChangesResults) {
     i64 n = gen.rng.uniform(8, 32);
     i64 procs = gen.rng.uniform(2, 6);
     std::string src = gen.make(n, procs);
-    SCOPED_TRACE(src);
+    SCOPED_TRACE(cat("seed=", gen.rng.seed(), " (group=", GetParam(),
+                     " trial=", trial, ")\n", src));
     spmd::Program program = lang::compile(src);
     std::vector<double> init(static_cast<std::size_t>(n));
     for (i64 i = 0; i < n; ++i)

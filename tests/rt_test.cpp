@@ -695,6 +695,7 @@ void expect_same_stats(const DistStats& a, const DistStats& b,
                        const std::string& where) {
   EXPECT_EQ(a.messages, b.messages) << where;
   EXPECT_EQ(a.bulk_messages, b.bulk_messages) << where;
+  EXPECT_EQ(a.redist_messages, b.redist_messages) << where;
   EXPECT_EQ(a.local_reads, b.local_reads) << where;
   EXPECT_EQ(a.remote_reads, b.remote_reads) << where;
   EXPECT_EQ(a.iterations, b.iterations) << where;
@@ -838,6 +839,77 @@ TEST(Engine, SharedMachineMatchesAcrossPoolSizes) {
   EXPECT_EQ(many.stats().tests, one.stats().tests);
   EXPECT_EQ(many.stats().barriers, one.stats().barriers);
   EXPECT_DOUBLE_EQ(many.stats().sim_time, one.stats().sim_time);
+}
+
+TEST(Engine, FullOptionMatrixIsBitIdentical) {
+  // Regression net over the whole engine-option space: threads in
+  // {serial, shared pool, 4 lanes} x plan cache {on, off} x channel
+  // matching {bulk, keyed} must agree with the serial baseline on
+  // results, statistics, and the message matrix — on both a plain
+  // communicating clause and a redistribute-mid-program sequence that
+  // exercises cache invalidation.
+  auto scenarios = [] {
+    std::vector<Program> ps;
+    ps.push_back(shift_program(29, 4, Decomp1D::Kind::Block,
+                               Decomp1D::Kind::Scatter));
+    Program redist = shift_program(32, 4, Decomp1D::Kind::Block,
+                                   Decomp1D::Kind::Block);
+    prog::Clause c = std::get<prog::Clause>(redist.steps[0]);
+    redist.steps.emplace_back(RedistStep{
+        "B", ArrayDesc::distributed(
+                 "B", {0}, {31}, DecompND({Decomp1D::scatter(32, 4)}))});
+    redist.steps.emplace_back(c);
+    ps.push_back(std::move(redist));
+    return ps;
+  }();
+
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    const Program& p = scenarios[s];
+    i64 n = p.arrays.at("B").total();
+
+    EngineOptions serial;
+    serial.threads = 1;
+    DistMachine base(p, {}, {}, serial);
+    base.load("B", iota(n));
+    base.run();
+
+    for (int threads : {0, 1, 4}) {
+      for (bool cache : {true, false}) {
+        for (bool keyed : {false, true}) {
+          EngineOptions e;
+          e.threads = threads;
+          e.cache_plans = cache;
+          e.keyed_channels = keyed;
+          DistMachine m(p, {}, {}, e);
+          m.load("B", iota(n));
+          m.run();
+          std::string where = cat("scenario=", s, " threads=", threads,
+                                  " cache=", cache, " keyed=", keyed);
+          EXPECT_EQ(m.gather("A"), base.gather("A")) << where;
+          EXPECT_EQ(m.gather("B"), base.gather("B")) << where;
+          expect_same_stats(m.stats(), base.stats(), where);
+          EXPECT_EQ(m.message_matrix(), base.message_matrix()) << where;
+        }
+      }
+    }
+  }
+}
+
+TEST(Engine, RedistributionTrafficAccountedSeparately) {
+  // Element moves performed by a redistribution count as messages but
+  // not as remote reads; the conservation identity the oracle enforces
+  // is messages == remote_reads + redist_messages.
+  Program p = shift_program(32, 4, Decomp1D::Kind::Block,
+                            Decomp1D::Kind::Scatter);
+  p.steps.emplace_back(RedistStep{
+      "B", ArrayDesc::distributed(
+               "B", {0}, {31}, DecompND({Decomp1D::block(32, 4)}))});
+  DistMachine dist(p);
+  dist.load("B", iota(32));
+  dist.run();
+  EXPECT_GT(dist.stats().redist_messages, 0);
+  EXPECT_EQ(dist.stats().messages,
+            dist.stats().remote_reads + dist.stats().redist_messages);
 }
 
 TEST(Engine, PooledEngineStillRejectsSequentialClauses) {

@@ -1,0 +1,285 @@
+// Tests for verify/: the differential conformance oracle, the random
+// program generator, seed replay, shrinking, and fault injection.
+#include <gtest/gtest.h>
+
+#include "lang/translate.hpp"
+#include "rt/dist_machine.hpp"
+#include "support/error.hpp"
+#include "support/format.hpp"
+#include "support/rng.hpp"
+#include "verify/oracle.hpp"
+#include "verify/program_gen.hpp"
+
+namespace vcal::verify {
+namespace {
+
+using rt::DistMachine;
+using rt::FaultPlan;
+
+// ---------------------------------------------------------------------
+// Program generator
+
+TEST(ProgramGen, IsDeterministicPerSeed) {
+  GenOptions opts;
+  ProgramGen a(42, opts), b(42, opts), c(43, opts);
+  GeneratedProgram ga = a.next(), gb = b.next(), gc = c.next();
+  EXPECT_EQ(ga.source(), gb.source());
+  EXPECT_NE(ga.source(), gc.source());  // astronomically unlikely to tie
+  EXPECT_EQ(ga.seed, 42u);
+}
+
+TEST(ProgramGen, EveryDrawCompiles) {
+  GenOptions opts;
+  ProgramGen gen(7, opts);
+  for (int k = 0; k < 50; ++k) {
+    GeneratedProgram gp = gen.next();
+    SCOPED_TRACE(cat("draw ", k, " seed ", gp.seed, ":\n", gp.source()));
+    EXPECT_NO_THROW((void)lang::compile(gp.source()));
+  }
+}
+
+TEST(ProgramGen, CoversRedistributeAnd2D) {
+  GenOptions opts;
+  ProgramGen gen(11, opts);
+  bool saw_redist = false, saw_2d = false;
+  for (int k = 0; k < 60; ++k) {
+    GeneratedProgram gp = gen.next();
+    std::string src = gp.source();
+    if (contains(src, "redistribute")) saw_redist = true;
+    if (contains(src, ",")) saw_2d = true;  // 2-D bounds "[0:r, 0:c]"
+  }
+  EXPECT_TRUE(saw_redist);
+  EXPECT_TRUE(saw_2d);
+}
+
+// ---------------------------------------------------------------------
+// Oracle conformance checks
+
+TEST(Oracle, AcceptsAWellBehavedProgram) {
+  CheckResult r = Oracle::check_source(
+      "processors 4;\n"
+      "array A[0:31];\ndistribute A block;\n"
+      "array B[0:31];\ndistribute B scatter;\n"
+      "forall i in 0:30 do A[i] := B[i + 1]*2 + 1; od\n",
+      /*input_seed=*/5);
+  EXPECT_TRUE(r.ok) << r.diagnostics;
+  EXPECT_GT(r.runs, 10);  // seq + shared matrix + dist matrix + extras
+}
+
+TEST(Oracle, AcceptsRedistributeMidProgram) {
+  CheckResult r = Oracle::check_source(
+      "processors 3;\n"
+      "array A[0:23];\ndistribute A block;\n"
+      "array B[0:23];\ndistribute B block;\n"
+      "forall i in 0:22 do A[i] := B[i + 1] + 1; od\n"
+      "redistribute B scatter;\n"
+      "forall i in 1:23 do B[i] := A[i - 1]*0.5; od\n",
+      /*input_seed=*/5);
+  EXPECT_TRUE(r.ok) << r.diagnostics;
+}
+
+TEST(Oracle, AcceptsSequentialClauseViaSharedHalf) {
+  // '•' clauses are rejected by the distributed target; the oracle must
+  // still differential-test the sequential and shared machines.
+  CheckResult r = Oracle::check_source(
+      "processors 2;\n"
+      "array A[0:15];\ndistribute A block;\n"
+      "for i in 1:15 do A[i] := A[i - 1] + 1; od\n",
+      /*input_seed=*/5);
+  EXPECT_TRUE(r.ok) << r.diagnostics;
+}
+
+TEST(Oracle, CorpusRunsCleanAndCountsRuns) {
+  OracleOptions opts;
+  opts.iters = 10;
+  opts.seed = 2026;
+  OracleReport rep = Oracle::run_corpus(opts);
+  EXPECT_TRUE(rep.ok) << rep.str();
+  EXPECT_EQ(rep.programs, 10);
+  EXPECT_GT(rep.runs, 10 * 8);  // each program runs a whole matrix
+}
+
+TEST(Oracle, IterationZeroUsesTheSeedVerbatim) {
+  // The replay contract: a reported failing_seed re-generates the same
+  // program as iteration 0 of a fresh corpus with that seed.
+  GenOptions gopts;
+  ProgramGen direct(977, gopts);
+  GeneratedProgram gp = direct.next();
+
+  OracleOptions opts;
+  opts.iters = 1;
+  opts.seed = 977;
+  OracleReport rep = Oracle::run_corpus(opts);
+  EXPECT_EQ(rep.programs, 1);
+  // Cross-check: run the same program through check_source with the
+  // derived input seed and expect the same verdict.
+  CheckResult direct_r =
+      Oracle::check_source(gp.source(), Rng::derive(977, 0x1234));
+  EXPECT_EQ(rep.ok, direct_r.ok);
+}
+
+// ---------------------------------------------------------------------
+// Fault injection
+
+spmd::Program fault_program() {
+  return lang::compile(
+      "processors 4;\n"
+      "array A[0:31];\ndistribute A block;\n"
+      "array B[0:31];\ndistribute B scatter;\n"
+      "forall i in 0:30 do A[i] := B[i + 1]*2 + 1; od\n");
+}
+
+std::vector<double> fault_input() {
+  std::vector<double> b(32);
+  for (std::size_t i = 0; i < b.size(); ++i)
+    b[i] = static_cast<double>(i) * 0.5;
+  return b;
+}
+
+// First (src,dst) pair moving more than one element.
+std::pair<i64, i64> busy_channel(const DistMachine& m) {
+  for (i64 s = 0; s < 4; ++s)
+    for (i64 d = 0; d < 4; ++d)
+      if (m.message_matrix()[static_cast<std::size_t>(s)]
+                            [static_cast<std::size_t>(d)] > 1)
+        return {s, d};
+  return {-1, -1};
+}
+
+TEST(FaultInjection, DroppedMessageTripsDeadlockWithDiagnostics) {
+  DistMachine probe(fault_program());
+  probe.load("B", fault_input());
+  probe.run();
+  auto [src, dst] = busy_channel(probe);
+  ASSERT_GE(src, 0);
+
+  DistMachine m(fault_program());
+  m.load("B", fault_input());
+  FaultPlan f;
+  f.kind = FaultPlan::Kind::DropMessage;
+  f.step = 0;
+  f.src = src;
+  f.dst = dst;
+  m.inject(f);
+  try {
+    m.run();
+    FAIL() << "dropped message did not deadlock";
+  } catch (const DeadlockError& e) {
+    // The diagnostic must be actionable: blocked rank, the pending
+    // element, and the rank that failed to send it.
+    std::string msg = e.what();
+    EXPECT_TRUE(contains(msg, cat("rank ", dst))) << msg;
+    EXPECT_TRUE(contains(msg, "pending receive")) << msg;
+    EXPECT_TRUE(contains(msg, cat("from rank ", src))) << msg;
+    EXPECT_TRUE(contains(msg, "B[")) << msg;
+  }
+  EXPECT_EQ(m.faults_applied(), 1);
+}
+
+TEST(FaultInjection, DuplicatedMessageTripsPairingInvariant) {
+  DistMachine probe(fault_program());
+  probe.load("B", fault_input());
+  probe.run();
+  auto [src, dst] = busy_channel(probe);
+  ASSERT_GE(src, 0);
+
+  DistMachine m(fault_program());
+  m.load("B", fault_input());
+  FaultPlan f;
+  f.kind = FaultPlan::Kind::DuplicateMessage;
+  f.step = 0;
+  f.src = src;
+  f.dst = dst;
+  m.inject(f);
+  EXPECT_THROW(
+      {
+        try {
+          m.run();
+        } catch (const RuntimeFault& e) {
+          EXPECT_TRUE(contains(e.what(), "undelivered")) << e.what();
+          throw;
+        }
+      },
+      RuntimeFault);
+}
+
+TEST(FaultInjection, ReorderedChannelIsAbsorbed) {
+  DistMachine probe(fault_program());
+  probe.load("B", fault_input());
+  probe.run();
+  auto [src, dst] = busy_channel(probe);
+  ASSERT_GE(src, 0);
+
+  DistMachine m(fault_program());
+  m.load("B", fault_input());
+  FaultPlan f;
+  f.kind = FaultPlan::Kind::ReorderChannel;
+  f.step = 0;
+  f.src = src;
+  f.dst = dst;
+  m.inject(f);
+  m.run();
+  EXPECT_EQ(m.gather("A"), probe.gather("A"));
+  EXPECT_EQ(m.stats().messages, probe.stats().messages);
+  EXPECT_EQ(m.stats().remote_reads, probe.stats().remote_reads);
+  EXPECT_EQ(m.faults_applied(), 1);
+}
+
+TEST(FaultInjection, StalledRankReleasesWithIdenticalResults) {
+  DistMachine probe(fault_program());
+  probe.load("B", fault_input());
+  probe.run();
+
+  DistMachine m(fault_program());
+  m.load("B", fault_input());
+  FaultPlan f;
+  f.kind = FaultPlan::Kind::StallRank;
+  f.step = 0;
+  f.rank = 2;
+  f.rounds = 3;
+  m.inject(f);
+  m.run();
+  EXPECT_EQ(m.gather("A"), probe.gather("A"));
+  EXPECT_EQ(m.stats().messages, probe.stats().messages);
+  EXPECT_EQ(m.stall_rounds_served(), 3);
+  EXPECT_EQ(m.faults_applied(), 1);
+}
+
+TEST(FaultInjection, FaultOnEmptyChannelDoesNotCountAsApplied) {
+  // Rank p never sends to itself; a fault armed on the (0,0) channel
+  // must be a no-op and report as not applied.
+  DistMachine m(fault_program());
+  m.load("B", fault_input());
+  FaultPlan f;
+  f.kind = FaultPlan::Kind::DropMessage;
+  f.step = 0;
+  f.src = 0;
+  f.dst = 0;
+  m.inject(f);
+  m.run();
+  EXPECT_EQ(m.faults_applied(), 0);
+  DistMachine clean(fault_program());
+  clean.load("B", fault_input());
+  clean.run();
+  EXPECT_EQ(m.gather("A"), clean.gather("A"));
+}
+
+TEST(FaultInjection, FaultPlanDescribesItself) {
+  FaultPlan f;
+  f.kind = FaultPlan::Kind::DropMessage;
+  f.step = 0;
+  f.src = 1;
+  f.dst = 3;
+  std::string s = f.str();
+  EXPECT_TRUE(contains(s, "drop")) << s;
+  EXPECT_TRUE(contains(s, "1")) << s;
+  EXPECT_TRUE(contains(s, "3")) << s;
+}
+
+TEST(FaultInjection, BuiltInSmokePasses) {
+  CheckResult r = Oracle::check_faults();
+  EXPECT_TRUE(r.ok) << r.diagnostics;
+}
+
+}  // namespace
+}  // namespace vcal::verify

@@ -13,10 +13,23 @@
 //                              running (repeatable)
 //   --print NAME               dump NAME after the run (repeatable)
 //   --stats                    print machine statistics
+//   --verify                   differential conformance mode: run the
+//                              seeded random corpus (or the given
+//                              program) through every machine and
+//                              engine configuration, checking
+//                              bit-identical results and statistics
+//                              invariants, plus the fault-injection
+//                              smoke (docs/testing.md)
+//   --iters N                  corpus size for --verify (default 100)
+//   --seed S                   corpus seed for --verify (default 1);
+//                              replay a reported failure with
+//                              --iters 1 --seed <failing seed>
 //
 // Exit status: 0 on success, 1 on usage errors, 2 on compile errors,
-// 3 on execution faults.
+// 3 on execution faults (including conformance failures).
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -31,6 +44,8 @@
 #include "rt/seq_executor.hpp"
 #include "rt/shared_machine.hpp"
 #include "support/error.hpp"
+#include "support/rng.hpp"
+#include "verify/oracle.hpp"
 
 namespace {
 
@@ -42,6 +57,9 @@ struct Options {
   bool naive = false;
   bool elide_barriers = false;
   bool stats = false;
+  bool verify = false;
+  int iters = 100;
+  std::uint64_t seed = 1;
   std::vector<std::string> init;
   std::vector<std::string> print;
   std::string file;
@@ -52,9 +70,41 @@ int usage(const char* argv0) {
                "usage: %s [--target=dist|shared|seq] "
                "[--emit=mpi|omp|trace|ir] [--naive] [--elide-barriers] "
                "[--init NAME]... [--print NAME]... [--stats] "
-               "program.vexl\n",
-               argv0);
+               "program.vexl\n"
+               "       %s --verify [--iters N] [--seed S] "
+               "[program.vexl]\n",
+               argv0, argv0);
   return 1;
+}
+
+int run_verify(const Options& opt) {
+  using vcal::verify::Oracle;
+  if (!opt.file.empty()) {
+    std::ifstream in(opt.file);
+    if (!in) {
+      std::fprintf(stderr, "vcalc: cannot open %s\n", opt.file.c_str());
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    try {
+      vcal::verify::CheckResult r =
+          Oracle::check_source(buf.str(), opt.seed);
+      std::printf("verify %s: %s\n", opt.file.c_str(), r.str().c_str());
+      return r.ok ? 0 : 3;
+    } catch (const Error& e) {
+      std::fprintf(stderr, "vcalc: %s\n", e.what());
+      return 2;
+    }
+  }
+  vcal::verify::OracleOptions oo;
+  oo.iters = opt.iters;
+  oo.seed = opt.seed;
+  vcal::verify::OracleReport rep = Oracle::run_corpus(oo);
+  std::printf("%s\n", rep.str().c_str());
+  vcal::verify::CheckResult faults = Oracle::check_faults();
+  std::printf("verify faults: %s\n", faults.str().c_str());
+  return rep.ok && faults.ok ? 0 : 3;
 }
 
 std::vector<double> ramp(i64 n) {
@@ -89,6 +139,13 @@ int main(int argc, char** argv) {
       opt.elide_barriers = true;
     } else if (arg == "--stats") {
       opt.stats = true;
+    } else if (arg == "--verify") {
+      opt.verify = true;
+    } else if (arg == "--iters" && k + 1 < argc) {
+      opt.iters = std::atoi(argv[++k]);
+      if (opt.iters <= 0) return usage(argv[0]);
+    } else if (arg == "--seed" && k + 1 < argc) {
+      opt.seed = std::strtoull(argv[++k], nullptr, 10);
     } else if (arg == "--init" && k + 1 < argc) {
       opt.init.push_back(argv[++k]);
     } else if (arg == "--print" && k + 1 < argc) {
@@ -101,6 +158,7 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
   }
+  if (opt.verify) return run_verify(opt);
   if (opt.file.empty()) return usage(argv[0]);
 
   std::ifstream in(opt.file);
