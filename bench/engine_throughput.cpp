@@ -5,23 +5,29 @@
 //   even step:  A[i] := (B[i-1] + B[i+1]) / 2
 //   odd step:   B[i] := (A[i-1] + A[i+1]) / 2
 //
-// Two engine configurations execute the identical program:
+// Three engine configurations execute the identical program:
 //
-//   fast  — the default engine: thread pool, per-(src,dst) bulk message
-//           aggregation, clause-plan caching, scratch reuse
-//   slow  — threads = 1, plan cache off: every step replans its clause
-//           and runs ranks serially. Note this still rides the engine's
-//           allocation-free data path (bulk channels, hoisted store
-//           rows), so the fast/slow ratio isolates pool + cache only;
-//           cross-build comparisons against older engines use the
-//           recorded wall_ms / iters_per_sec trajectory instead.
+//   fast   — the default engine: thread pool, per-(src,dst) bulk message
+//            aggregation, clause-plan caching, scratch reuse, compiled
+//            clause kernels (bytecode RHS, affine strides, fused loops)
+//   interp — identical engine with compiled_kernels off: the kernel
+//            layer's contribution in isolation (the A/B the oracle pins
+//            bit-identical)
+//   slow   — threads = 1, plan cache off, kernels off: every step
+//            replans its clause and runs ranks serially through the
+//            tree-walking interpreter.
 //
-// Results and all deterministic statistics must agree between the two;
-// the benchmark fails loudly if they do not. Output is both a human
-// table and a machine-readable BENCH_engine.json (argv[1] overrides the
-// path) so successive PRs can track the perf trajectory.
+// Results and all deterministic statistics must agree between the
+// three; the benchmark fails loudly if they do not, or if the fast
+// configuration fails to exercise the fused kernel path. Output is both
+// a human table and a machine-readable JSON record (positional argument
+// overrides the path, default BENCH_engine.json) so successive PRs can
+// track the perf trajectory; --n=N and --steps=T shrink the problem for
+// CI smoke runs.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -63,6 +69,7 @@ std::vector<double> input(i64 n) {
 struct RunResult {
   double wall_ms = 0.0;
   rt::DistStats stats;
+  rt::PathCounters paths;
   std::vector<double> a, b;
   i64 cache_hits = 0;
   i64 cache_misses = 0;
@@ -79,6 +86,7 @@ RunResult run_engine(const spmd::Program& p, i64 n,
   r.wall_ms =
       std::chrono::duration<double, std::milli>(t1 - t0).count();
   r.stats = m.stats();
+  r.paths = m.path_counters();
   r.a = m.gather("A");
   r.b = m.gather("B");
   r.cache_hits = m.plan_cache().hits();
@@ -97,16 +105,30 @@ bool stats_equal(const rt::DistStats& x, const rt::DistStats& y) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const i64 n = 4096;
-  const i64 steps = 200;
-  const char* json_path = argc > 1 ? argv[1] : "BENCH_engine.json";
+  i64 n = 4096;
+  i64 steps = 200;
+  const char* json_path = "BENCH_engine.json";
+  for (int k = 1; k < argc; ++k) {
+    if (std::strncmp(argv[k], "--n=", 4) == 0) {
+      n = std::atoll(argv[k] + 4);
+    } else if (std::strncmp(argv[k], "--steps=", 8) == 0) {
+      steps = std::atoll(argv[k] + 8);
+    } else {
+      json_path = argv[k];
+    }
+  }
+  if (n < 8 || steps < 2) {
+    std::fprintf(stderr, "usage: %s [--n=N] [--steps=T] [out.json]\n",
+                 argv[0]);
+    return 1;
+  }
 
   std::printf(
       "=== execution-engine throughput: relaxation, n=%lld, T=%lld ===\n",
       (long long)n, (long long)steps);
-  std::printf("%6s %12s %12s %9s %12s %12s %12s %11s\n", "P", "fast-ms",
-              "slow-ms", "speedup", "iters/sec", "messages", "bulk-msgs",
-              "cache-hits");
+  std::printf("%6s %10s %10s %10s %9s %9s %12s %7s\n", "P", "fast-ms",
+              "interp-ms", "slow-ms", "kern-spd", "eng-spd", "iters/sec",
+              "fused%");
 
   std::string json = "{\n  \"bench\": \"engine_throughput\",\n";
   json += cat("  \"n\": ", n, ",\n  \"steps\": ", steps,
@@ -117,22 +139,40 @@ int main(int argc, char** argv) {
   for (i64 procs : {4, 16, 64}) {
     spmd::Program p = relaxation_program(procs, n, steps);
 
-    rt::EngineOptions fast;  // defaults: pool, cache, aggregation
+    rt::EngineOptions fast;  // defaults: pool, cache, aggregation, kernels
+    rt::EngineOptions interp = fast;
+    interp.compiled_kernels = false;
     rt::EngineOptions slow;
     slow.threads = 1;
     slow.cache_plans = false;
+    slow.compiled_kernels = false;
 
     RunResult f = run_engine(p, n, fast);
+    RunResult i = run_engine(p, n, interp);
     RunResult s = run_engine(p, n, slow);
 
-    if (f.a != s.a || f.b != s.b) {
+    if (f.a != i.a || f.b != i.b || f.a != s.a || f.b != s.b) {
       std::printf("  !! RESULT MISMATCH at P=%lld\n", (long long)procs);
       ok = false;
     }
-    if (!stats_equal(f.stats, s.stats)) {
-      std::printf("  !! STATS MISMATCH at P=%lld\n    fast: %s\n    slow: %s\n",
-                  (long long)procs, f.stats.str().c_str(),
-                  s.stats.str().c_str());
+    if (!stats_equal(f.stats, i.stats) || !stats_equal(f.stats, s.stats)) {
+      std::printf(
+          "  !! STATS MISMATCH at P=%lld\n    fast:   %s\n    interp: "
+          "%s\n    slow:   %s\n",
+          (long long)procs, f.stats.str().c_str(), i.stats.str().c_str(),
+          s.stats.str().c_str());
+      ok = false;
+    }
+    // The block relaxation is fully affine: kernels on must route the
+    // bulk of the elements through the fused loop, kernels off none.
+    if (f.paths.fused == 0 || f.paths.interp != 0) {
+      std::printf("  !! FUSED PATH NOT EXERCISED at P=%lld (%s)\n",
+                  (long long)procs, f.paths.str().c_str());
+      ok = false;
+    }
+    if (i.paths.fused != 0 || i.paths.generic != 0) {
+      std::printf("  !! INTERP CONFIG RAN KERNELS at P=%lld (%s)\n",
+                  (long long)procs, i.paths.str().c_str());
       ok = false;
     }
     // Aggregation bound: per clause step at most P*(P-1) bulk messages,
@@ -142,27 +182,35 @@ int main(int argc, char** argv) {
       ok = false;
     }
 
-    double speedup = f.wall_ms > 0.0 ? s.wall_ms / f.wall_ms : 0.0;
+    double kern_spd = f.wall_ms > 0.0 ? i.wall_ms / f.wall_ms : 0.0;
+    double eng_spd = f.wall_ms > 0.0 ? s.wall_ms / f.wall_ms : 0.0;
     double ips = f.wall_ms > 0.0
                      ? static_cast<double>(f.stats.iterations) /
                            (f.wall_ms / 1000.0)
                      : 0.0;
-    std::printf("%6lld %12.1f %12.1f %8.2fx %12s %12s %12s %11s\n",
-                (long long)procs, f.wall_ms, s.wall_ms, speedup,
-                with_commas((i64)ips).c_str(),
-                with_commas(f.stats.messages).c_str(),
-                with_commas(f.stats.bulk_messages).c_str(),
-                with_commas(f.cache_hits).c_str());
+    i64 total = f.paths.fused + f.paths.generic + f.paths.interp;
+    double fused_pct =
+        total > 0 ? 100.0 * static_cast<double>(f.paths.fused) /
+                        static_cast<double>(total)
+                  : 0.0;
+    std::printf("%6lld %10.1f %10.1f %10.1f %8.2fx %8.2fx %12s %6.1f%%\n",
+                (long long)procs, f.wall_ms, i.wall_ms, s.wall_ms,
+                kern_spd, eng_spd, with_commas((i64)ips).c_str(),
+                fused_pct);
 
     if (!first) json += ",\n";
     first = false;
     json += cat("    {\"procs\": ", procs, ", \"wall_ms_fast\": ",
-                f.wall_ms, ", \"wall_ms_slow\": ", s.wall_ms,
-                ", \"speedup\": ", speedup, ", \"iters_per_sec\": ", ips,
+                f.wall_ms, ", \"wall_ms_interp\": ", i.wall_ms,
+                ", \"wall_ms_slow\": ", s.wall_ms,
+                ", \"kernel_speedup\": ", kern_spd,
+                ", \"speedup\": ", eng_spd, ", \"iters_per_sec\": ", ips,
                 ", \"messages\": ", f.stats.messages,
                 ", \"bulk_messages\": ", f.stats.bulk_messages,
                 ", \"plan_cache_hits\": ", f.cache_hits,
                 ", \"plan_cache_misses\": ", f.cache_misses,
+                ", \"fused\": ", f.paths.fused,
+                ", \"generic\": ", f.paths.generic,
                 ", \"sim_time\": ", f.stats.sim_time, "}");
   }
   json += "\n  ]\n}\n";
@@ -177,10 +225,11 @@ int main(int argc, char** argv) {
   }
 
   std::printf(
-      "\nfast = thread pool + bulk aggregation + plan cache + scratch "
-      "reuse;\nslow = serial ranks, plans rebuilt every step (same "
-      "allocation-free data\npath). Results and counters are verified "
-      "identical; only wall clock\ndiffers. Compare iters/sec across "
-      "builds for engine-to-engine speedups.\n");
+      "\nfast = pool + bulk aggregation + plan cache + compiled kernels;\n"
+      "interp = same engine, kernels off (kern-spd isolates the kernel "
+      "layer);\nslow = serial ranks, plans rebuilt every step, "
+      "interpreter. Results and\ncounters are verified identical; only "
+      "wall clock differs. Compare\niters/sec across builds for "
+      "engine-to-engine speedups.\n");
   return ok ? 0 : 1;
 }

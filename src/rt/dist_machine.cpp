@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "decomp/redistribute.hpp"
+#include "spmd/kernel.hpp"
 #include "support/error.hpp"
 #include "support/format.hpp"
 
@@ -245,9 +246,17 @@ void DistMachine::run_clause(const Clause& clause) {
   const ClausePlan& plan =
       uncached ? *uncached : plan_cache_.get(clause, program_.arrays, opts_);
 
+  // Kernel path: bytecode RHS/guard plus affine subscript strides (see
+  // spmd/kernel.hpp). Observably identical to the interpreter; kaff
+  // additionally enables the strided-run analysis in both phases.
+  const spmd::ClauseKernel* kern =
+      engine_.compiled_kernels ? &plan.kernel() : nullptr;
+  const bool kaff = kern != nullptr && kern->affine();
+
   const decomp::ArrayDesc& lhs = plan.lhs_desc();
   const i64 procs = plan.procs();
   const int nrefs = static_cast<int>(clause.refs.size());
+  const int inner = static_cast<int>(clause.loops.size()) - 1;
 
   // Copy-in snapshot when the clause reads its own target: senders and
   // local reads must observe pre-clause values.
@@ -297,6 +306,7 @@ void DistMachine::run_clause(const Clause& clause) {
     return channels[static_cast<std::size_t>(src * procs + dst)];
   };
   std::vector<RankCounters> counters(static_cast<std::size_t>(procs));
+  std::vector<PathCounters> pcs(static_cast<std::size_t>(procs));
 
   // Faults armed for this step (stats_.steps counts completed steps, so
   // it is the index of the step now executing).
@@ -372,46 +382,139 @@ void DistMachine::run_clause(const Clause& clause) {
   // message-matrix row, so the loop parallelizes without locks.
   for_ranks(procs, [&](i64 p) {
     RankCounters& rc = counters[static_cast<std::size_t>(p)];
+    PathCounters& pc = pcs[static_cast<std::size_t>(p)];
     auto& matrix_row = message_matrix_[static_cast<std::size_t>(p)];
     std::vector<i64> ridx, out_idx;  // per-rank scratch
+    spmd::ArrayAddr lhs_addr;
+    std::vector<i64> g0r, dgr, g0l, dgl;
+    if (kaff) {
+      lhs_addr = spmd::make_local_addr(lhs, p);
+      g0l.resize(static_cast<std::size_t>(lhs.ndims()));
+      dgl.resize(static_cast<std::size_t>(lhs.ndims()));
+    }
     for (int r = 0; r < nrefs; ++r) {
       if (!plan.ref_needs_comm(r)) continue;  // replicated: always local
       gen::EnumStats es;
+      const decomp::ArrayDesc& rd = plan.ref_desc(r);
       const std::vector<double>& row = ref_row(r, p);
-      spmd::IterationSpace space = plan.reside_space(p, r);
-      space.for_each(
-          [&](const std::vector<i64>& vals) {
-            plan.ref_index_into(r, vals, ridx);
-            if (!plan.ref_desc(r).in_bounds(ridx))
-              throw RuntimeFault("read out of bounds on " +
-                                 clause.refs[static_cast<std::size_t>(r)]
-                                     .array);
-            i64 local = plan.ref_desc(r).local_linear(ridx);
-            double value = read_row(row, local, r);
-            i64 tag = plan.message_tag(r, vals);
-            if (lhs.is_replicated()) {
-              // Every rank computes every index: broadcast to the others.
-              for (i64 dst = 0; dst < procs; ++dst) {
-                if (dst == p) continue;
-                if (halo_covers(plan.ref_desc(r), dst, ridx))
-                  continue;  // receiver reads its halo copy
+      const spmd::IterationSpace& space = plan.reside_space(p, r);
+      if (!kaff) {
+        space.for_each(
+            [&](const std::vector<i64>& vals) {
+              plan.ref_index_into(r, vals, ridx);
+              if (!rd.in_bounds(ridx))
+                throw RuntimeFault("read out of bounds on " +
+                                   clause.refs[static_cast<std::size_t>(r)]
+                                       .array);
+              i64 local = rd.local_linear(ridx);
+              double value = read_row(row, local, r);
+              i64 tag = plan.message_tag(r, vals);
+              if (lhs.is_replicated()) {
+                // Every rank computes every index: broadcast to the others.
+                for (i64 dst = 0; dst < procs; ++dst) {
+                  if (dst == p) continue;
+                  if (halo_covers(rd, dst, ridx))
+                    continue;  // receiver reads its halo copy
+                  channel(p, dst).push(tag, value);
+                  ++rc.sends;
+                  ++matrix_row[static_cast<std::size_t>(dst)];
+                }
+              } else {
+                plan.lhs_index_into(vals, out_idx);
+                if (!lhs.in_bounds(out_idx)) return;  // nobody computes this
+                i64 dst = lhs.owner(out_idx);
+                if (dst == p) return;  // Modify ∩ Reside: local update later
+                if (halo_covers(rd, dst, ridx))
+                  return;  // receiver reads its halo copy
                 channel(p, dst).push(tag, value);
                 ++rc.sends;
                 ++matrix_row[static_cast<std::size_t>(dst)];
               }
-            } else {
-              plan.lhs_index_into(vals, out_idx);
-              if (!lhs.in_bounds(out_idx)) return;  // nobody computes this
-              i64 dst = lhs.owner(out_idx);
-              if (dst == p) return;  // Modify ∩ Reside: local update later
-              if (halo_covers(plan.ref_desc(r), dst, ridx))
-                return;  // receiver reads its halo copy
+            },
+            &es);
+        pc.interp += space.count();
+      } else {
+        spmd::ArrayAddr ref_addr = spmd::make_local_addr(rd, p);
+        const std::vector<spmd::AffineSub>& rsubs = kern->ref_subs(r);
+        const std::vector<spmd::AffineSub>& lsubs = kern->lhs_subs();
+        g0r.resize(rsubs.size());
+        dgr.resize(rsubs.size());
+        // Per-element send decision through the kernel's affine
+        // subscripts; same routing, counters, and exceptions as the
+        // interpreter body above.
+        auto emit = [&](const std::vector<i64>& vals) {
+          spmd::ClauseKernel::subs_into(rsubs, vals.data(), ridx);
+          if (!rd.in_bounds(ridx))
+            throw RuntimeFault("read out of bounds on " +
+                               clause.refs[static_cast<std::size_t>(r)]
+                                   .array);
+          double value = read_row(row, rd.local_linear(ridx), r);
+          i64 tag = kern->tag(r, vals.data());
+          if (lhs.is_replicated()) {
+            for (i64 dst = 0; dst < procs; ++dst) {
+              if (dst == p) continue;
+              if (halo_covers(rd, dst, ridx)) continue;
               channel(p, dst).push(tag, value);
               ++rc.sends;
               ++matrix_row[static_cast<std::size_t>(dst)];
             }
-          },
-          &es);
+          } else {
+            spmd::ClauseKernel::subs_into(lsubs, vals.data(), out_idx);
+            if (!lhs.in_bounds(out_idx)) return;
+            i64 dst = lhs.owner(out_idx);
+            if (dst == p) return;
+            if (halo_covers(rd, dst, ridx)) return;
+            channel(p, dst).push(tag, value);
+            ++rc.sends;
+            ++matrix_row[static_cast<std::size_t>(dst)];
+          }
+        };
+        space.for_each_run(
+            [&](std::vector<i64>& vals, const gen::Piece& run) {
+              // Elements whose LHS target this rank itself owns send
+              // nothing (Modify ∩ Reside); when a strided-run proof
+              // covers both sides — ref in bounds, stored here, and LHS
+              // in bounds, owned here — the whole subrange is skipped
+              // without touching it. Run edges and unprovable runs go
+              // element at a time.
+              i64 k0 = 0, k1 = -1;
+              if (!lhs.is_replicated()) {
+                spmd::StridedRun rr, lr;
+                spmd::fill_progression(rsubs, vals, inner, run, g0r.data(),
+                                 dgr.data());
+                bool ok = spmd::strided_run(ref_addr, g0r.data(),
+                                            dgr.data(), run.count, &rr);
+                if (ok) {
+                  spmd::fill_progression(lsubs, vals, inner, run, g0l.data(),
+                                   dgl.data());
+                  ok = spmd::strided_run(lhs_addr, g0l.data(), dgl.data(),
+                                         run.count, &lr);
+                }
+                if (ok) {
+                  k0 = std::max(rr.k_lo, lr.k_lo);
+                  k1 = std::min(rr.k_hi, lr.k_hi);
+                }
+                if (k1 < k0) {
+                  k0 = 0;
+                  k1 = -1;
+                }
+              }
+              for (i64 k = 0; k < k0; ++k) {
+                vals[static_cast<std::size_t>(inner)] =
+                    run.start + k * run.stride;
+                emit(vals);
+              }
+              for (i64 k = k1 + 1; k < run.count; ++k) {
+                vals[static_cast<std::size_t>(inner)] =
+                    run.start + k * run.stride;
+                emit(vals);
+              }
+              const i64 skipped = k1 >= k0 ? k1 - k0 + 1 : 0;
+              pc.fused += skipped;
+              pc.generic += run.count - skipped;
+            },
+            &es);
+      }
       rc.iterations += es.loop_iters;
       rc.tests += es.tests;
     }
@@ -454,7 +557,7 @@ void DistMachine::run_clause(const Clause& clause) {
   // ---- Phase 2: receive and update (Modify_p) -------------------------
   // Rank p consumes only channels destined to it and writes only its own
   // local LHS buffer; all other reads are pre-clause values.
-  auto phase2 = [&](i64 p) {
+  auto phase2_interp = [&](i64 p) {
     RankCounters& rc = counters[static_cast<std::size_t>(p)];
     std::vector<double> ref_values(clause.refs.size());
     std::vector<i64> ridx, out_idx;  // per-rank scratch
@@ -465,7 +568,7 @@ void DistMachine::run_clause(const Clause& clause) {
     std::vector<double>& out_row =
         store_.local_row_mut(clause.lhs_array, p);
     gen::EnumStats es;
-    spmd::IterationSpace space = plan.modify_space(p);
+    const spmd::IterationSpace& space = plan.modify_space(p);
     space.for_each(
         [&](const std::vector<i64>& vals) {
           plan.lhs_index_into(vals, out_idx);
@@ -534,6 +637,192 @@ void DistMachine::run_clause(const Clause& clause) {
         &es);
     rc.iterations += es.loop_iters;
     rc.tests += es.tests;
+    pcs[static_cast<std::size_t>(p)].interp += space.count();
+  };
+
+  // Kernel phase 2: same element order, counters, and exceptions as
+  // phase2_interp, with provably-local subranges of each innermost run
+  // fused into one strided loop over the local rows.
+  auto phase2_kernel = [&](i64 p) {
+    RankCounters& rc = counters[static_cast<std::size_t>(p)];
+    PathCounters& pc = pcs[static_cast<std::size_t>(p)];
+    std::vector<double> ref_values(clause.refs.size());
+    std::vector<i64> ridx, out_idx;  // per-rank scratch
+    std::vector<const std::vector<double>*> rows(
+        static_cast<std::size_t>(nrefs));
+    for (int r = 0; r < nrefs; ++r)
+      rows[static_cast<std::size_t>(r)] = &ref_row(r, p);
+    std::vector<double>& out_row =
+        store_.local_row_mut(clause.lhs_array, p);
+    std::vector<double> stack(static_cast<std::size_t>(kern->stack_need()));
+    const spmd::CompiledGuard* guard = kern->guard();
+    const spmd::CompiledExpr& rhs = kern->rhs();
+    spmd::ArrayAddr lhs_addr = spmd::make_local_addr(lhs, p);
+    std::vector<spmd::ArrayAddr> raddrs;
+    raddrs.reserve(static_cast<std::size_t>(nrefs));
+    for (int r = 0; r < nrefs; ++r)
+      raddrs.push_back(spmd::make_local_addr(plan.ref_desc(r), p));
+    std::vector<i64> g0l(static_cast<std::size_t>(lhs.ndims()));
+    std::vector<i64> dgl(static_cast<std::size_t>(lhs.ndims()));
+    std::vector<std::vector<i64>> g0s(static_cast<std::size_t>(nrefs));
+    std::vector<std::vector<i64>> dgs(static_cast<std::size_t>(nrefs));
+    for (int r = 0; r < nrefs; ++r) {
+      g0s[static_cast<std::size_t>(r)].resize(
+          static_cast<std::size_t>(plan.ref_desc(r).ndims()));
+      dgs[static_cast<std::size_t>(r)].resize(
+          static_cast<std::size_t>(plan.ref_desc(r).ndims()));
+    }
+    std::vector<spmd::StridedRun> rruns(static_cast<std::size_t>(nrefs));
+    std::vector<i64> raddr(static_cast<std::size_t>(nrefs));
+
+    // Element-at-a-time body: the interpreter's phase 2 verbatim, with
+    // subscripts/tags/guard/RHS routed through the kernel.
+    auto element = [&](const std::vector<i64>& vals) {
+      spmd::ClauseKernel::subs_into(kern->lhs_subs(), vals.data(), out_idx);
+      if (!lhs.in_bounds(out_idx))
+        throw RuntimeFault("write out of bounds on " + clause.lhs_array);
+      for (int r = 0; r < nrefs; ++r) {
+        const decomp::ArrayDesc& rd = plan.ref_desc(r);
+        spmd::ClauseKernel::subs_into(kern->ref_subs(r), vals.data(), ridx);
+        if (!rd.in_bounds(ridx))
+          throw RuntimeFault(
+              "read out of bounds on " +
+              clause.refs[static_cast<std::size_t>(r)].array);
+        const std::vector<double>& row =
+            *rows[static_cast<std::size_t>(r)];
+        if (rd.is_replicated()) {
+          ref_values[static_cast<std::size_t>(r)] =
+              read_row(row, rd.local_linear(ridx), r);
+          ++rc.local_reads;
+          continue;
+        }
+        i64 src = rd.owner(ridx);
+        if (src == p) {
+          ref_values[static_cast<std::size_t>(r)] =
+              read_row(row, rd.local_linear(ridx), r);
+          ++rc.local_reads;
+        } else if (halo_covers(rd, p, ridx)) {
+          const auto& cache =
+              halos.at(rd.name())[static_cast<std::size_t>(p)];
+          auto hit = cache.find(ridx[0]);
+          require(hit != cache.end(),
+                  "halo cache missing a covered element");
+          ref_values[static_cast<std::size_t>(r)] = hit->second;
+          ++rc.halo_reads;
+        } else {
+          i64 tag = kern->tag(r, vals.data());
+          const double* value = channel(src, p).consume(tag);
+          if (value == nullptr) {
+            std::string elem =
+                clause.refs[static_cast<std::size_t>(r)].array + "[";
+            for (std::size_t d = 0; d < ridx.size(); ++d)
+              elem += cat(d ? ", " : "", ridx[d]);
+            elem += "]";
+            throw DeadlockError(cat(
+                "deadlock: rank ", p, " blocked on pending receive of ",
+                elem, " (tag ", tag, ") from rank ", src,
+                ", which never sent it — inconsistent schedules or a "
+                "lost message"));
+          }
+          ref_values[static_cast<std::size_t>(r)] = *value;
+          ++rc.receives;
+          ++rc.remote_reads;
+        }
+      }
+      if (guard &&
+          !guard->holds(ref_values.data(), vals.data(), stack.data()))
+        return;
+      double value = rhs.eval(ref_values.data(), vals.data(), stack.data());
+      i64 slot = lhs.local_linear(out_idx);
+      if (!in_range(slot, 0, static_cast<i64>(out_row.size()) - 1))
+        throw RuntimeFault("local write out of bounds on " +
+                           clause.lhs_array);
+      out_row[static_cast<std::size_t>(slot)] = value;
+    };
+
+    gen::EnumStats es;
+    const spmd::IterationSpace& space = plan.modify_space(p);
+    space.for_each_run(
+        [&](std::vector<i64>& vals, const gen::Piece& run) {
+          spmd::StridedRun lrun;
+          spmd::fill_progression(kern->lhs_subs(), vals, inner, run, g0l.data(),
+                           dgl.data());
+          bool fuse = spmd::strided_run(lhs_addr, g0l.data(), dgl.data(),
+                                        run.count, &lrun);
+          i64 k0 = lrun.k_lo, k1 = lrun.k_hi;
+          for (int r = 0; fuse && r < nrefs; ++r) {
+            auto ur = static_cast<std::size_t>(r);
+            spmd::fill_progression(kern->ref_subs(r), vals, inner, run,
+                             g0s[ur].data(), dgs[ur].data());
+            fuse = spmd::strided_run(raddrs[ur], g0s[ur].data(),
+                                     dgs[ur].data(), run.count, &rruns[ur]);
+            if (fuse) {
+              k0 = std::max(k0, rruns[ur].k_lo);
+              k1 = std::min(k1, rruns[ur].k_hi);
+            }
+          }
+          fuse = fuse && k0 <= k1;
+          if (!fuse) {
+            for (i64 k = 0; k < run.count; ++k) {
+              vals[static_cast<std::size_t>(inner)] =
+                  run.start + k * run.stride;
+              element(vals);
+            }
+            pc.generic += run.count;
+            return;
+          }
+          for (i64 k = 0; k < k0; ++k) {
+            vals[static_cast<std::size_t>(inner)] =
+                run.start + k * run.stride;
+            element(vals);
+          }
+          // Fused strided loop: every element of [k0, k1] is proven in
+          // bounds and resident on this rank for the LHS and every ref,
+          // so the body carries no checks, no calls through the plan,
+          // and no allocations — just strided row reads, the bytecode
+          // evaluator on a preallocated stack, and a strided row write.
+          i64 la = lrun.addr0 + (k0 - lrun.k_lo) * lrun.stride;
+          for (int r = 0; r < nrefs; ++r) {
+            auto ur = static_cast<std::size_t>(r);
+            raddr[ur] =
+                rruns[ur].addr0 + (k0 - rruns[ur].k_lo) * rruns[ur].stride;
+          }
+          i64 v = run.start + k0 * run.stride;
+          const i64 fused_n = k1 - k0 + 1;
+          for (i64 k = 0; k < fused_n; ++k) {
+            vals[static_cast<std::size_t>(inner)] = v;
+            for (int r = 0; r < nrefs; ++r) {
+              auto ur = static_cast<std::size_t>(r);
+              ref_values[ur] =
+                  (*rows[ur])[static_cast<std::size_t>(raddr[ur])];
+              raddr[ur] += rruns[ur].stride;
+            }
+            if (!guard ||
+                guard->holds(ref_values.data(), vals.data(), stack.data()))
+              out_row[static_cast<std::size_t>(la)] =
+                  rhs.eval(ref_values.data(), vals.data(), stack.data());
+            la += lrun.stride;
+            v += run.stride;
+          }
+          rc.local_reads += fused_n * nrefs;
+          pc.fused += fused_n;
+          for (i64 k = k1 + 1; k < run.count; ++k) {
+            vals[static_cast<std::size_t>(inner)] =
+                run.start + k * run.stride;
+            element(vals);
+          }
+          pc.generic += run.count - fused_n;
+        },
+        &es);
+    rc.iterations += es.loop_iters;
+    rc.tests += es.tests;
+  };
+
+  auto phase2 = [&](i64 p) {
+    if (kaff)
+      phase2_kernel(p);
+    else
+      phase2_interp(p);
   };
 
   // A stalled rank sits out the scheduled receive/update rounds while
@@ -564,6 +853,7 @@ void DistMachine::run_clause(const Clause& clause) {
       throw RuntimeFault(cat("rank ", p, " finished the clause with ",
                              leftover, " undelivered messages"));
   }
+  for (const PathCounters& c : pcs) paths_ += c;
   finish_step(counters);
 }
 

@@ -88,6 +88,11 @@ class DistMachine {
   /// Plan-cache effectiveness (hits/misses/epoch) for benchmarks.
   const spmd::PlanCache& plan_cache() const noexcept { return plan_cache_; }
 
+  /// Per-element execution-path tally (fused kernel loop / per-element
+  /// kernel / interpreter) accumulated over the run. Reporting only —
+  /// never part of DistStats.
+  const PathCounters& path_counters() const noexcept { return paths_; }
+
   /// Per-rank message counts of the last executed step (for tests and
   /// benchmark reporting).
   const std::vector<RankCounters>& last_step_counters() const noexcept {
@@ -124,6 +129,7 @@ class DistMachine {
   std::vector<FaultPlan> faults_;
   i64 faults_applied_ = 0;
   i64 stall_rounds_ = 0;
+  PathCounters paths_;
 };
 
 }  // namespace vcal::rt

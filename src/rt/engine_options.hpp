@@ -8,7 +8,34 @@
 // so tests can force the serial path.
 #pragma once
 
+#include <string>
+
+#include "support/math.hpp"
+
 namespace vcal::rt {
+
+/// Which execution path the engine took, counted per element. Reporting
+/// only: deliberately kept out of DistStats and RankCounters, whose
+/// fields are pinned bit-identical across every engine configuration.
+struct PathCounters {
+  i64 fused = 0;    // elements covered by a fused strided kernel loop
+  i64 generic = 0;  // kernel path, element at a time (run edges,
+                    // non-affine or unprovable runs)
+  i64 interp = 0;   // tree-walking interpreter elements
+
+  PathCounters& operator+=(const PathCounters& o) {
+    fused += o.fused;
+    generic += o.generic;
+    interp += o.interp;
+    return *this;
+  }
+
+  std::string str() const {
+    return "fused=" + std::to_string(fused) +
+           " generic=" + std::to_string(generic) +
+           " interp=" + std::to_string(interp);
+  }
+};
 
 struct EngineOptions {
   /// Total execution lanes for the per-rank phase loops. 0 uses the
@@ -27,6 +54,13 @@ struct EngineOptions {
   /// identical either way; the conformance oracle runs both to pin the
   /// two matching paths against each other.
   bool keyed_channels = false;
+
+  /// Execute clauses through their compiled kernels (postfix-bytecode
+  /// RHS/guard evaluation, affine subscript/tag strides, fused strided
+  /// loops over local storage) instead of the tree-walking interpreter.
+  /// Results, counters, and exceptions are bit-identical either way; the
+  /// conformance oracle pins the two paths against each other.
+  bool compiled_kernels = true;
 };
 
 }  // namespace vcal::rt

@@ -35,8 +35,8 @@ void for_each_tuple(const Clause& clause, F&& body) {
 
 }  // namespace
 
-SeqExecutor::SeqExecutor(spmd::Program program)
-    : program_(std::move(program)) {
+SeqExecutor::SeqExecutor(spmd::Program program, bool compiled_kernels)
+    : program_(std::move(program)), compiled_kernels_(compiled_kernels) {
   program_.validate();
   for (const auto& [name, desc] : program_.arrays) store_.declare(desc);
 }
@@ -67,14 +67,36 @@ void SeqExecutor::run_clause(const Clause& clause) {
   if (lhs_read && clause.ord == prog::Ordering::Par)
     snap = store_.snapshot(clause.lhs_array);
 
+  // Compile (or fetch) the clause's kernel: bytecode guard/RHS always,
+  // affine subscript records when every subscript qualifies.
+  const spmd::ClauseKernel* kern = nullptr;
+  if (compiled_kernels_) {
+    auto it = kernels_.find(&clause);
+    if (it == kernels_.end())
+      it = kernels_.emplace(&clause, spmd::ClauseKernel::compile(clause))
+               .first;
+    kern = &it->second;
+  }
+  const bool kaff = kern != nullptr && kern->affine();
+  std::vector<double> stack(
+      kern ? static_cast<std::size_t>(kern->stack_need()) : 0);
+
   std::vector<double> ref_values(clause.refs.size());
+  std::vector<i64> out_idx, idx;  // scratch, reused across elements
   for_each_tuple(clause, [&](const std::vector<i64>& vals) {
-    std::vector<i64> out_idx = prog::eval_subs(clause.lhs_subs, vals);
+    if (kaff)
+      spmd::ClauseKernel::subs_into(kern->lhs_subs(), vals.data(), out_idx);
+    else
+      prog::eval_subs_into(clause.lhs_subs, vals, out_idx);
     if (!lhs.in_bounds(out_idx)) return;  // outside Modify: not executed
     for (std::size_t r = 0; r < clause.refs.size(); ++r) {
       const prog::ArrayRef& ref = clause.refs[r];
       const decomp::ArrayDesc& rd = program_.arrays.at(ref.array);
-      std::vector<i64> idx = prog::eval_subs(ref.subs, vals);
+      if (kaff)
+        spmd::ClauseKernel::subs_into(kern->ref_subs(static_cast<int>(r)),
+                                      vals.data(), idx);
+      else
+        prog::eval_subs_into(ref.subs, vals, idx);
       if (snap && ref.array == clause.lhs_array) {
         if (!rd.in_bounds(idx))
           throw RuntimeFault("read out of bounds on " + ref.array);
@@ -84,8 +106,17 @@ void SeqExecutor::run_clause(const Clause& clause) {
         ref_values[r] = store_.read(rd, idx);
       }
     }
-    if (clause.guard && !clause.guard->holds(ref_values, vals)) return;
-    store_.write(lhs, out_idx, prog::eval(clause.rhs, ref_values, vals));
+    if (kern) {
+      const spmd::CompiledGuard* g = kern->guard();
+      if (g && !g->holds(ref_values.data(), vals.data(), stack.data()))
+        return;
+      store_.write(lhs, out_idx,
+                   kern->rhs().eval(ref_values.data(), vals.data(),
+                                    stack.data()));
+    } else {
+      if (clause.guard && !clause.guard->holds(ref_values, vals)) return;
+      store_.write(lhs, out_idx, prog::eval(clause.rhs, ref_values, vals));
+    }
   });
 }
 

@@ -6,16 +6,25 @@
 // state); sequential ('•') clauses execute in lexicographic order with
 // immediate visibility. Redistribution steps are no-ops here (layout has
 // no sequential meaning).
+//
+// Clause bodies evaluate through compiled kernels (bytecode RHS/guard,
+// affine subscripts; see spmd/kernel.hpp) unless constructed with
+// compiled_kernels = false, which keeps the tree-walking interpreter.
+// Results are bit-identical either way; the conformance oracle pins the
+// two against each other.
 #pragma once
 
+#include <unordered_map>
+
 #include "rt/store.hpp"
+#include "spmd/kernel.hpp"
 #include "spmd/program.hpp"
 
 namespace vcal::rt {
 
 class SeqExecutor {
  public:
-  explicit SeqExecutor(spmd::Program program);
+  explicit SeqExecutor(spmd::Program program, bool compiled_kernels = true);
 
   /// Overwrites an array with a dense row-major image.
   void load(const std::string& name, const std::vector<double>& dense);
@@ -31,6 +40,10 @@ class SeqExecutor {
 
   spmd::Program program_;
   DenseStore store_;
+  bool compiled_kernels_;
+  // Kernels memoized per clause (step addresses are stable for the
+  // lifetime of program_).
+  std::unordered_map<const prog::Clause*, spmd::ClauseKernel> kernels_;
 };
 
 }  // namespace vcal::rt

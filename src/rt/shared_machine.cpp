@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "spmd/barrier.hpp"
+#include "spmd/kernel.hpp"
 #include "support/error.hpp"
 
 namespace vcal::rt {
@@ -106,6 +107,15 @@ void SharedMachine::run_clause(const Clause& clause,
                                const ClausePlan& plan) {
   const decomp::ArrayDesc& lhs = plan.lhs_desc();
   const i64 procs = plan.procs();
+  const int nrefs = static_cast<int>(clause.refs.size());
+  const int inner = static_cast<int>(clause.loops.size()) - 1;
+
+  // Kernel path: bytecode RHS/guard plus affine subscript strides (see
+  // spmd/kernel.hpp). Shared memory addresses every array densely, so
+  // the strided-run analysis only has to prove bounds, not residency.
+  const spmd::ClauseKernel* kern =
+      engine_.compiled_kernels ? &plan.kernel() : nullptr;
+  const bool kaff = kern != nullptr && kern->affine();
 
   bool lhs_read = false;
   for (const prog::ArrayRef& r : clause.refs)
@@ -114,6 +124,7 @@ void SharedMachine::run_clause(const Clause& clause,
   if (lhs_read) snap = store_.snapshot(clause.lhs_array);
 
   std::vector<gen::EnumStats> rank_stats(static_cast<std::size_t>(procs));
+  std::vector<PathCounters> pcs(static_cast<std::size_t>(procs));
 
   // Ownership partitioning makes writes disjoint; the pool's join is the
   // template's barrier (whether the generated program would need it is
@@ -130,29 +141,153 @@ void SharedMachine::run_clause(const Clause& clause,
                     ? &*snap
                     : &store_.dense(clause.refs[r].array);
     std::vector<double>& out_buf = store_.buffer(clause.lhs_array);
-    spmd::IterationSpace space = plan.modify_space(p);
-    space.for_each(
-        [&](const std::vector<i64>& vals) {
-          plan.lhs_index_into(vals, out_idx);
-          if (!lhs.in_bounds(out_idx))
-            throw RuntimeFault("write out of bounds on " +
-                               clause.lhs_array);
-          for (std::size_t r = 0; r < clause.refs.size(); ++r) {
-            const decomp::ArrayDesc& rd =
-                plan.ref_desc(static_cast<int>(r));
-            plan.ref_index_into(static_cast<int>(r), vals, idx);
-            if (!rd.in_bounds(idx))
-              throw RuntimeFault("read out of bounds on " +
-                                 clause.refs[r].array);
-            ref_values[r] =
-                (*rows[r])[static_cast<std::size_t>(rd.dense_linear(idx))];
+    const spmd::IterationSpace& space = plan.modify_space(p);
+    if (!kaff) {
+      space.for_each(
+          [&](const std::vector<i64>& vals) {
+            plan.lhs_index_into(vals, out_idx);
+            if (!lhs.in_bounds(out_idx))
+              throw RuntimeFault("write out of bounds on " +
+                                 clause.lhs_array);
+            for (std::size_t r = 0; r < clause.refs.size(); ++r) {
+              const decomp::ArrayDesc& rd =
+                  plan.ref_desc(static_cast<int>(r));
+              plan.ref_index_into(static_cast<int>(r), vals, idx);
+              if (!rd.in_bounds(idx))
+                throw RuntimeFault("read out of bounds on " +
+                                   clause.refs[r].array);
+              ref_values[r] =
+                  (*rows[r])[static_cast<std::size_t>(rd.dense_linear(idx))];
+            }
+            if (clause.guard && !clause.guard->holds(ref_values, vals))
+              return;
+            out_buf[static_cast<std::size_t>(lhs.dense_linear(out_idx))] =
+                prog::eval(clause.rhs, ref_values, vals);
+          },
+          &rank_stats[static_cast<std::size_t>(p)]);
+      pcs[static_cast<std::size_t>(p)].interp += space.count();
+      return;
+    }
+
+    PathCounters& pc = pcs[static_cast<std::size_t>(p)];
+    std::vector<double> stack(static_cast<std::size_t>(kern->stack_need()));
+    const spmd::CompiledGuard* guard = kern->guard();
+    const spmd::CompiledExpr& rhs = kern->rhs();
+    spmd::ArrayAddr lhs_addr = spmd::make_dense_addr(lhs);
+    std::vector<spmd::ArrayAddr> raddrs;
+    raddrs.reserve(static_cast<std::size_t>(nrefs));
+    for (int r = 0; r < nrefs; ++r)
+      raddrs.push_back(spmd::make_dense_addr(plan.ref_desc(r)));
+    std::vector<i64> g0l(static_cast<std::size_t>(lhs.ndims()));
+    std::vector<i64> dgl(static_cast<std::size_t>(lhs.ndims()));
+    std::vector<std::vector<i64>> g0s(static_cast<std::size_t>(nrefs));
+    std::vector<std::vector<i64>> dgs(static_cast<std::size_t>(nrefs));
+    for (int r = 0; r < nrefs; ++r) {
+      g0s[static_cast<std::size_t>(r)].resize(
+          static_cast<std::size_t>(plan.ref_desc(r).ndims()));
+      dgs[static_cast<std::size_t>(r)].resize(
+          static_cast<std::size_t>(plan.ref_desc(r).ndims()));
+    }
+    std::vector<spmd::StridedRun> rruns(static_cast<std::size_t>(nrefs));
+    std::vector<i64> raddr(static_cast<std::size_t>(nrefs));
+
+    // Element-at-a-time body: the interpreter branch verbatim, with
+    // subscripts/guard/RHS routed through the kernel.
+    auto element = [&](const std::vector<i64>& vals) {
+      spmd::ClauseKernel::subs_into(kern->lhs_subs(), vals.data(), out_idx);
+      if (!lhs.in_bounds(out_idx))
+        throw RuntimeFault("write out of bounds on " + clause.lhs_array);
+      for (int r = 0; r < nrefs; ++r) {
+        const decomp::ArrayDesc& rd = plan.ref_desc(r);
+        spmd::ClauseKernel::subs_into(kern->ref_subs(r), vals.data(), idx);
+        if (!rd.in_bounds(idx))
+          throw RuntimeFault("read out of bounds on " +
+                             clause.refs[static_cast<std::size_t>(r)].array);
+        ref_values[static_cast<std::size_t>(r)] =
+            (*rows[static_cast<std::size_t>(r)])
+                [static_cast<std::size_t>(rd.dense_linear(idx))];
+      }
+      if (guard &&
+          !guard->holds(ref_values.data(), vals.data(), stack.data()))
+        return;
+      out_buf[static_cast<std::size_t>(lhs.dense_linear(out_idx))] =
+          rhs.eval(ref_values.data(), vals.data(), stack.data());
+    };
+
+    space.for_each_run(
+        [&](std::vector<i64>& vals, const gen::Piece& run) {
+          spmd::StridedRun lrun;
+          spmd::fill_progression(kern->lhs_subs(), vals, inner, run,
+                                 g0l.data(), dgl.data());
+          bool fuse = spmd::strided_run(lhs_addr, g0l.data(), dgl.data(),
+                                        run.count, &lrun);
+          i64 k0 = lrun.k_lo, k1 = lrun.k_hi;
+          for (int r = 0; fuse && r < nrefs; ++r) {
+            auto ur = static_cast<std::size_t>(r);
+            spmd::fill_progression(kern->ref_subs(r), vals, inner, run,
+                                   g0s[ur].data(), dgs[ur].data());
+            fuse = spmd::strided_run(raddrs[ur], g0s[ur].data(),
+                                     dgs[ur].data(), run.count, &rruns[ur]);
+            if (fuse) {
+              k0 = std::max(k0, rruns[ur].k_lo);
+              k1 = std::min(k1, rruns[ur].k_hi);
+            }
           }
-          if (clause.guard && !clause.guard->holds(ref_values, vals)) return;
-          out_buf[static_cast<std::size_t>(lhs.dense_linear(out_idx))] =
-              prog::eval(clause.rhs, ref_values, vals);
+          fuse = fuse && k0 <= k1;
+          if (!fuse) {
+            for (i64 k = 0; k < run.count; ++k) {
+              vals[static_cast<std::size_t>(inner)] =
+                  run.start + k * run.stride;
+              element(vals);
+            }
+            pc.generic += run.count;
+            return;
+          }
+          for (i64 k = 0; k < k0; ++k) {
+            vals[static_cast<std::size_t>(inner)] =
+                run.start + k * run.stride;
+            element(vals);
+          }
+          // Fused strided loop: every element of [k0, k1] is proven in
+          // bounds on both sides, so the body carries no checks, no
+          // calls through the plan, and no allocations — strided dense
+          // reads, the bytecode evaluator on a preallocated stack, and
+          // a strided dense write.
+          i64 la = lrun.addr0 + (k0 - lrun.k_lo) * lrun.stride;
+          for (int r = 0; r < nrefs; ++r) {
+            auto ur = static_cast<std::size_t>(r);
+            raddr[ur] =
+                rruns[ur].addr0 + (k0 - rruns[ur].k_lo) * rruns[ur].stride;
+          }
+          i64 v = run.start + k0 * run.stride;
+          const i64 fused_n = k1 - k0 + 1;
+          for (i64 k = 0; k < fused_n; ++k) {
+            vals[static_cast<std::size_t>(inner)] = v;
+            for (int r = 0; r < nrefs; ++r) {
+              auto ur = static_cast<std::size_t>(r);
+              ref_values[ur] =
+                  (*rows[ur])[static_cast<std::size_t>(raddr[ur])];
+              raddr[ur] += rruns[ur].stride;
+            }
+            if (!guard ||
+                guard->holds(ref_values.data(), vals.data(), stack.data()))
+              out_buf[static_cast<std::size_t>(la)] =
+                  rhs.eval(ref_values.data(), vals.data(), stack.data());
+            la += lrun.stride;
+            v += run.stride;
+          }
+          pc.fused += fused_n;
+          for (i64 k = k1 + 1; k < run.count; ++k) {
+            vals[static_cast<std::size_t>(inner)] =
+                run.start + k * run.stride;
+            element(vals);
+          }
+          pc.generic += run.count - fused_n;
         },
         &rank_stats[static_cast<std::size_t>(p)]);
   });
+
+  for (const PathCounters& c : pcs) paths_ += c;
 
   double slowest = 0.0;
   for (const auto& s : rank_stats) {

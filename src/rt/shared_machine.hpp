@@ -56,6 +56,11 @@ class SharedMachine {
   /// Plan-cache effectiveness (hits/misses/epoch) for benchmarks.
   const spmd::PlanCache& plan_cache() const noexcept { return plan_cache_; }
 
+  /// Per-element execution-path tally (fused kernel loop / per-element
+  /// kernel / interpreter) accumulated over the run. Reporting only —
+  /// never part of SharedStats.
+  const PathCounters& path_counters() const noexcept { return paths_; }
+
  private:
   void run_clause(const prog::Clause& clause,
                   const spmd::ClausePlan& plan);
@@ -71,6 +76,7 @@ class SharedMachine {
   spmd::PlanCache plan_cache_;
   DenseStore store_;
   SharedStats stats_;
+  PathCounters paths_;
 };
 
 }  // namespace vcal::rt

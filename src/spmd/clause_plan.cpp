@@ -4,6 +4,7 @@
 #include <iterator>
 
 #include "fn/classify.hpp"
+#include "spmd/kernel.hpp"
 #include "support/error.hpp"
 #include "support/format.hpp"
 
@@ -16,6 +17,28 @@ using gen::Schedule;
 IterationSpace::IterationSpace(std::vector<gen::Schedule> dims)
     : dims_(std::move(dims)) {
   require(!dims_.empty(), "IterationSpace: needs at least one dimension");
+  cache_.reserve(dims_.size());
+  for (const gen::Schedule& s : dims_) {
+    DimCache dc;
+    if (s.is_closed_form()) {
+      // Range enumeration: keep the pieces, never expand them. The
+      // charge equals what one materialize() call would have counted.
+      dc.ranged = true;
+      dc.pieces = s.pieces();
+      for (const gen::Piece& p : dc.pieces) {
+        ++dc.charge.pieces;
+        dc.charge.loop_iters += p.count;
+        dc.charge.yielded += p.count;
+      }
+      dc.total = dc.charge.yielded;
+    } else {
+      // Probing schedule (runtime resolution / enumerate-k): pay the
+      // probes once, replay their recorded charge per enumeration.
+      dc.values = s.materialize(&dc.charge);
+      dc.total = static_cast<i64>(dc.values.size());
+    }
+    cache_.push_back(std::move(dc));
+  }
 }
 
 const gen::Schedule& IterationSpace::dim(int d) const {
@@ -25,7 +48,7 @@ const gen::Schedule& IterationSpace::dim(int d) const {
 
 i64 IterationSpace::count() const {
   i64 c = 1;
-  for (const auto& s : dims_) c = mul_checked(c, s.count());
+  for (const auto& dc : cache_) c = mul_checked(c, dc.total);
   return c;
 }
 
@@ -113,6 +136,28 @@ ClausePlan ClausePlan::build(const prog::Clause& clause,
     RefPlan rp{rd, build_dims(r.array, rd, r.subs)};
     plan.refs_.push_back(std::move(rp));
   }
+
+  // Cache every rank's spaces now: executors enumerate each of them at
+  // least once per clause execution, and caching here is what lets the
+  // accessors hand out references instead of rebuilding (and, for
+  // probing schedules, re-scanning) per call.
+  plan.modify_spaces_.reserve(static_cast<std::size_t>(plan.procs_));
+  plan.reside_spaces_.reserve(static_cast<std::size_t>(plan.procs_));
+  for (i64 p = 0; p < plan.procs_; ++p) {
+    plan.modify_spaces_.push_back(plan.space_for(plan.lhs_dims_, lhs, p));
+    std::vector<std::optional<IterationSpace>> rs;
+    rs.reserve(plan.refs_.size());
+    for (const RefPlan& rp : plan.refs_) {
+      if (rp.desc.is_replicated())
+        rs.emplace_back();
+      else
+        rs.emplace_back(plan.space_for(rp.dims, rp.desc, p));
+    }
+    plan.reside_spaces_.push_back(std::move(rs));
+  }
+
+  plan.kernel_ =
+      std::make_shared<const ClauseKernel>(ClauseKernel::compile(clause));
   return plan;
 }
 
@@ -182,18 +227,22 @@ IterationSpace ClausePlan::space_for(
   return IterationSpace(std::move(dims));
 }
 
-IterationSpace ClausePlan::modify_space(i64 rank) const {
-  return space_for(lhs_dims_, lhs_desc_, rank);
+const IterationSpace& ClausePlan::modify_space(i64 rank) const {
+  require(in_range(rank, 0, procs_ - 1),
+          "ClausePlan::modify_space rank out of range");
+  return modify_spaces_[static_cast<std::size_t>(rank)];
 }
 
 bool ClausePlan::ref_needs_comm(int r) const {
   return !ref_desc(r).is_replicated();
 }
 
-IterationSpace ClausePlan::reside_space(i64 rank, int r) const {
+const IterationSpace& ClausePlan::reside_space(i64 rank, int r) const {
   require(ref_needs_comm(r), "reside_space on a replicated reference");
-  const RefPlan& rp = refs_[static_cast<std::size_t>(r)];
-  return space_for(rp.dims, rp.desc, rank);
+  require(in_range(rank, 0, procs_ - 1),
+          "ClausePlan::reside_space rank out of range");
+  return *reside_spaces_[static_cast<std::size_t>(rank)]
+                        [static_cast<std::size_t>(r)];
 }
 
 std::vector<i64> ClausePlan::lhs_index(

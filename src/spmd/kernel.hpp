@@ -1,0 +1,259 @@
+// Compiled clause kernels: the allocation-free fast path of the runtime.
+//
+// The paper replaces O(n) run-time membership tests with closed-form
+// generator functions; this layer removes the interpreter tax that was
+// still paid on every *generated* index. A ClauseKernel is built once per
+// clause (and memoized next to its ClausePlan, so it shares the
+// redistribute-epoch invalidation) and provides:
+//
+//   1. RHS expressions and guards lowered to a flat postfix bytecode
+//      array evaluated on a small caller-owned value stack — no
+//      shared_ptr tree recursion in the inner loop. Operand order is the
+//      tree's left-then-right order, so doubles combine in exactly the
+//      interpreter's order and results are bit-identical.
+//   2. Affine subscript specialization: when every subscript classifies
+//      as Constant or Affine (the paper's Table I classes, via
+//      fn::classify), subscripts become {loop, a, c} records and the
+//      message tag becomes a dot product with precomputed weights.
+//   3. Strided-local run analysis: for an innermost-loop arithmetic
+//      progression of global indices, the maximal k-subrange that is
+//      in-bounds, owned by a given rank, and advances its local address
+//      by a constant stride. Executors fuse that subrange into a single
+//      strided loop over the local Store row; everything outside it
+//      falls back to the per-element interpreter-identical path.
+//
+// Everything here is observably equivalent to the interpreter: same
+// results bit-for-bit, same counters, same exceptions in the same order.
+// EngineOptions::compiled_kernels turns the whole layer off.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "decomp/array_desc.hpp"
+#include "gen/schedule.hpp"
+#include "vcal/clause.hpp"
+
+namespace vcal::spmd {
+
+/// One postfix bytecode instruction. Push* grow the stack; the
+/// arithmetic ops pop their operands and push the result.
+struct ExprOp {
+  enum class Code : unsigned char {
+    PushNum,   // push num
+    PushRef,   // push ref_values[arg]
+    PushLoop,  // push (double)loop_vals[arg]
+    Add,
+    Sub,
+    Mul,
+    Div,       // IEEE double division: div-by-zero yields inf/nan,
+               // exactly as the interpreter's '/'
+    Neg,
+  };
+  Code code = Code::PushNum;
+  int arg = 0;
+  double num = 0.0;
+};
+
+/// A flattened prog::Expr. eval() needs a caller-owned scratch stack of
+/// at least stack_need() doubles and performs no allocation.
+class CompiledExpr {
+ public:
+  CompiledExpr() = default;
+
+  static CompiledExpr compile(const prog::ExprPtr& e);
+
+  double eval(const double* ref_values, const i64* loop_vals,
+              double* stack) const noexcept {
+    double* sp = stack;
+    for (const ExprOp& op : ops_) {
+      switch (op.code) {
+        case ExprOp::Code::PushNum:
+          *sp++ = op.num;
+          break;
+        case ExprOp::Code::PushRef:
+          *sp++ = ref_values[op.arg];
+          break;
+        case ExprOp::Code::PushLoop:
+          *sp++ = static_cast<double>(loop_vals[op.arg]);
+          break;
+        case ExprOp::Code::Add:
+          sp[-2] = sp[-2] + sp[-1];
+          --sp;
+          break;
+        case ExprOp::Code::Sub:
+          sp[-2] = sp[-2] - sp[-1];
+          --sp;
+          break;
+        case ExprOp::Code::Mul:
+          sp[-2] = sp[-2] * sp[-1];
+          --sp;
+          break;
+        case ExprOp::Code::Div:
+          sp[-2] = sp[-2] / sp[-1];
+          --sp;
+          break;
+        case ExprOp::Code::Neg:
+          sp[-1] = -sp[-1];
+          break;
+      }
+    }
+    return sp[-1];
+  }
+
+  int stack_need() const noexcept { return stack_need_; }
+  const std::vector<ExprOp>& ops() const noexcept { return ops_; }
+
+ private:
+  std::vector<ExprOp> ops_;
+  int stack_need_ = 0;
+};
+
+/// A compiled prog::Guard: both sides flattened, compared with the same
+/// IEEE semantics as Guard::holds (NaN compares false except under NE).
+struct CompiledGuard {
+  CompiledExpr lhs;
+  CompiledExpr rhs;
+  prog::Guard::Cmp cmp = prog::Guard::Cmp::LT;
+
+  bool holds(const double* ref_values, const i64* loop_vals,
+             double* stack) const noexcept {
+    double a = lhs.eval(ref_values, loop_vals, stack);
+    double b = rhs.eval(ref_values, loop_vals, stack);
+    switch (cmp) {
+      case prog::Guard::Cmp::LT: return a < b;
+      case prog::Guard::Cmp::LE: return a <= b;
+      case prog::Guard::Cmp::GT: return a > b;
+      case prog::Guard::Cmp::GE: return a >= b;
+      case prog::Guard::Cmp::EQ: return a == b;
+      case prog::Guard::Cmp::NE: return a != b;
+    }
+    return false;
+  }
+};
+
+/// One affine subscript dimension: value = a*vals[loop] + c, or the
+/// constant c when loop < 0.
+struct AffineSub {
+  int loop = -1;
+  i64 a = 0;
+  i64 c = 0;
+
+  i64 at(const i64* vals) const noexcept {
+    return loop < 0 ? c : a * vals[loop] + c;
+  }
+};
+
+/// Precomputed local addressing for one (array, rank) pair: the grid
+/// coordinates of the rank and the row-major weights of the image the
+/// executor addresses (the rank's local block, or the full dense image
+/// for replicated arrays and shared-memory stores).
+struct ArrayAddr {
+  const decomp::ArrayDesc* desc = nullptr;
+  bool dense = false;          // address the full dense row-major image
+  std::vector<i64> coords;     // rank's grid coordinates (when !dense)
+  std::vector<i64> weights;    // row-major weights of the image
+};
+
+/// Addressing of `desc`'s local storage on `rank` (matches
+/// ArrayDesc::local_linear for elements the rank owns).
+ArrayAddr make_local_addr(const decomp::ArrayDesc& desc, i64 rank);
+
+/// Addressing of the full dense image (matches ArrayDesc::dense_linear).
+ArrayAddr make_dense_addr(const decomp::ArrayDesc& desc);
+
+/// A constant-stride subrange of an index progression: for k in
+/// [k_lo, k_hi] the element is in bounds, stored by the addressed rank,
+/// and lives at local address addr0 + (k - k_lo)*stride.
+struct StridedRun {
+  i64 k_lo = 0;
+  i64 k_hi = -1;
+  i64 addr0 = 0;
+  i64 stride = 0;
+};
+
+/// Fills the program-level index progression of one array over an
+/// innermost-loop run: g_d(k) = g0[d] + k*dg[d] for k = 0..run.count-1.
+/// Outer loop values are fixed in `vals`; the subscript bound to the
+/// innermost loop contributes the run's start/stride scaled by its
+/// affine coefficient.
+inline void fill_progression(const std::vector<AffineSub>& subs,
+                             const std::vector<i64>& vals, int inner,
+                             const gen::Piece& run, i64* g0, i64* dg) {
+  for (std::size_t d = 0; d < subs.size(); ++d) {
+    const AffineSub& s = subs[d];
+    if (s.loop == inner) {
+      g0[d] = s.a * run.start + s.c;
+      dg[d] = s.a * run.stride;
+    } else {
+      g0[d] = s.at(vals.data());
+      dg[d] = 0;
+    }
+  }
+}
+
+/// Analyzes the progression g_d(k) = g0[d] + k*dg[d] (program-level
+/// indices, k = 0..count-1) against `aa`. Returns false when no
+/// non-empty constant-stride local subrange can be proven (the caller
+/// handles every element individually); true fills `out` with the
+/// maximal such subrange the analysis finds. Block and scatter
+/// decompositions whose stride matches the distribution period resolve
+/// exactly; irregular block-cyclic remainders keep only the first owned
+/// block (the rest stays per-element).
+bool strided_run(const ArrayAddr& aa, const i64* g0, const i64* dg,
+                 i64 count, StridedRun* out);
+
+/// The compiled form of one clause. Compilation never fails: the RHS and
+/// guard always lower to bytecode; affine() reports whether the
+/// subscript/tag specializations are usable too.
+class ClauseKernel {
+ public:
+  static ClauseKernel compile(const prog::Clause& clause);
+
+  /// True when every subscript (LHS and refs) is Constant or Affine in
+  /// its loop variable, making lhs_subs/ref_subs/tag valid.
+  bool affine() const noexcept { return affine_; }
+
+  const CompiledExpr& rhs() const noexcept { return rhs_; }
+  /// nullptr when the clause has no guard.
+  const CompiledGuard* guard() const noexcept {
+    return guard_ ? &*guard_ : nullptr;
+  }
+  /// Scratch doubles eval()/holds() need (max over RHS and guard sides).
+  int stack_need() const noexcept { return stack_need_; }
+
+  const std::vector<AffineSub>& lhs_subs() const noexcept {
+    return lhs_subs_;
+  }
+  const std::vector<AffineSub>& ref_subs(int r) const {
+    return ref_subs_[static_cast<std::size_t>(r)];
+  }
+
+  /// eval_subs_into with the affine records; only valid when affine().
+  static void subs_into(const std::vector<AffineSub>& subs, const i64* vals,
+                        std::vector<i64>& out) {
+    out.resize(subs.size());
+    for (std::size_t d = 0; d < subs.size(); ++d) out[d] = subs[d].at(vals);
+  }
+
+  /// Identical to ClausePlan::message_tag(r, vals), as a dot product.
+  i64 tag(int r, const i64* vals) const noexcept {
+    i64 t = tag_base_ + r;
+    for (std::size_t d = 0; d < tag_w_.size(); ++d)
+      t += vals[d] * tag_w_[d];
+    return t;
+  }
+
+ private:
+  CompiledExpr rhs_;
+  std::optional<CompiledGuard> guard_;
+  int stack_need_ = 1;
+  bool affine_ = true;
+  std::vector<AffineSub> lhs_subs_;
+  std::vector<std::vector<AffineSub>> ref_subs_;
+  std::vector<i64> tag_w_;  // per-loop-dim weight, refs factor included
+  i64 tag_base_ = 0;
+};
+
+}  // namespace vcal::spmd

@@ -41,7 +41,8 @@ std::string diff_stats(const DistStats& a, const DistStats& b) {
 
 std::string describe_engine(const EngineOptions& e) {
   return cat("threads=", e.threads, " cache=", e.cache_plans ? 1 : 0,
-             " keyed=", e.keyed_channels ? 1 : 0);
+             " keyed=", e.keyed_channels ? 1 : 0,
+             " kernels=", e.compiled_kernels ? 1 : 0);
 }
 
 bool has_sequential_clause(const spmd::Program& program) {
@@ -54,14 +55,19 @@ bool has_sequential_clause(const spmd::Program& program) {
 }  // namespace
 
 std::string CheckResult::str() const {
-  if (ok) return cat("ok (", runs, " machine runs)");
+  if (ok)
+    return cat("ok (", runs, " machine runs; paths: fused=", fused,
+               " generic=", generic, " interp=", interp, ")");
   return cat("FAIL after ", runs, " machine runs: ", diagnostics);
 }
 
 std::string OracleReport::str() const {
   if (ok)
     return cat("verify: OK — ", programs, " programs, ", runs,
-               " machine runs, all configurations bit-identical");
+               " machine runs, all configurations bit-identical\n",
+               "verify paths: fused=", fused, " generic=", generic,
+               " interp=", interp,
+               " elements (kernel fast path vs interpreter)");
   std::string out =
       cat("verify: FAIL at iteration ", failing_iter,
           " (replay: --verify --iters 1 --seed ", failing_seed, ")\n",
@@ -87,10 +93,18 @@ CheckResult Oracle::check_program(
   std::vector<std::string> names;
   for (const auto& [name, desc] : program.arrays) names.push_back(name);
 
+  auto tally = [&](const rt::PathCounters& pc) {
+    res.fused += pc.fused;
+    res.generic += pc.generic;
+    res.interp += pc.interp;
+  };
+
   // ---- sequential reference --------------------------------------------
+  // Ground truth is the pure tree-walking interpreter; the compiled
+  // sequential executor must reproduce it bit for bit.
   std::map<std::string, std::vector<double>> ref;
   try {
-    rt::SeqExecutor seq(program);
+    rt::SeqExecutor seq(program, /*compiled_kernels=*/false);
     load_all(seq);
     seq.run();
     ++res.runs;
@@ -99,26 +113,42 @@ CheckResult Oracle::check_program(
     fail(cat("sequential reference threw: ", e.what()));
     return res;
   }
+  try {
+    rt::SeqExecutor seqk(program, /*compiled_kernels=*/true);
+    load_all(seqk);
+    seqk.run();
+    ++res.runs;
+    for (const std::string& n : names)
+      if (seqk.result(n) != ref[n])
+        fail(cat("seq[kernels] diverges from seq[interp] on ", n));
+  } catch (const Error& e) {
+    fail(cat("seq[kernels] threw: ", e.what()));
+  }
+  if (!res.ok) return res;
 
   // ---- shared-memory matrix -------------------------------------------
   for (int threads : {1, 0, 4}) {
     for (bool cache : {true, false}) {
-      EngineOptions e;
-      e.threads = threads;
-      e.cache_plans = cache;
-      try {
-        rt::SharedMachine m(program, {}, {}, /*elide_barriers=*/false, e);
-        load_all(m);
-        m.run();
-        ++res.runs;
-        for (const std::string& n : names)
-          if (m.result(n) != ref[n])
-            fail(cat("shared[", describe_engine(e), "] diverges from seq on ",
-                     n));
-      } catch (const Error& e2) {
-        fail(cat("shared[", describe_engine(e), "] threw: ", e2.what()));
+      for (bool kernels : {true, false}) {
+        EngineOptions e;
+        e.threads = threads;
+        e.cache_plans = cache;
+        e.compiled_kernels = kernels;
+        try {
+          rt::SharedMachine m(program, {}, {}, /*elide_barriers=*/false, e);
+          load_all(m);
+          m.run();
+          ++res.runs;
+          tally(m.path_counters());
+          for (const std::string& n : names)
+            if (m.result(n) != ref[n])
+              fail(cat("shared[", describe_engine(e),
+                       "] diverges from seq on ", n));
+        } catch (const Error& e2) {
+          fail(cat("shared[", describe_engine(e), "] threw: ", e2.what()));
+        }
+        if (!res.ok) return res;
       }
-      if (!res.ok) return res;
     }
   }
   try {
@@ -146,6 +176,7 @@ CheckResult Oracle::check_program(
     load_all(base);
     base.run();
     ++res.runs;
+    tally(base.path_counters());
   } catch (const Error& e) {
     fail(cat("dist[baseline] threw: ", e.what()));
     return res;
@@ -190,27 +221,31 @@ CheckResult Oracle::check_program(
   for (int threads : {1, 0, 4}) {
     for (bool cache : {true, false}) {
       for (bool keyed : {false, true}) {
-        EngineOptions e;
-        e.threads = threads;
-        e.cache_plans = cache;
-        e.keyed_channels = keyed;
-        std::string tag = cat("dist[", describe_engine(e), "]");
-        try {
-          DistMachine m(program, {}, {}, e);
-          load_all(m);
-          m.run();
-          ++res.runs;
-          for (const std::string& n : names)
-            if (m.gather(n) != ref[n])
-              fail(cat(tag, " diverges from seq on ", n));
-          std::string sd = diff_stats(m.stats(), st);
-          if (!sd.empty()) fail(cat(tag, " stats diverge: ", sd));
-          if (m.message_matrix() != base.message_matrix())
-            fail(cat(tag, " message matrix diverges"));
-        } catch (const Error& e2) {
-          fail(cat(tag, " threw: ", e2.what()));
+        for (bool kernels : {true, false}) {
+          EngineOptions e;
+          e.threads = threads;
+          e.cache_plans = cache;
+          e.keyed_channels = keyed;
+          e.compiled_kernels = kernels;
+          std::string tag = cat("dist[", describe_engine(e), "]");
+          try {
+            DistMachine m(program, {}, {}, e);
+            load_all(m);
+            m.run();
+            ++res.runs;
+            tally(m.path_counters());
+            for (const std::string& n : names)
+              if (m.gather(n) != ref[n])
+                fail(cat(tag, " diverges from seq on ", n));
+            std::string sd = diff_stats(m.stats(), st);
+            if (!sd.empty()) fail(cat(tag, " stats diverge: ", sd));
+            if (m.message_matrix() != base.message_matrix())
+              fail(cat(tag, " message matrix diverges"));
+          } catch (const Error& e2) {
+            fail(cat(tag, " threw: ", e2.what()));
+          }
+          if (!res.ok) return res;
         }
-        if (!res.ok) return res;
       }
     }
   }
@@ -345,6 +380,9 @@ OracleReport Oracle::run_corpus(const OracleOptions& opts) {
     }
     ++rep.programs;
     rep.runs += cr.runs;
+    rep.fused += cr.fused;
+    rep.generic += cr.generic;
+    rep.interp += cr.interp;
     if (!cr.ok) {
       rep.ok = false;
       rep.failing_iter = k;

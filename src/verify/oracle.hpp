@@ -11,6 +11,7 @@
 //     threads in {serial, shared pool, 4 lanes}
 //   x plan cache {on, off}
 //   x channel matching {bulk binary-search, keyed hash}
+//   x clause execution {compiled kernels, interpreter}
 //   x build {optimized, run-time resolution}
 //
 // and asserts bit-identical result arrays everywhere, bit-identical
@@ -47,6 +48,12 @@ struct CheckResult {
   bool ok = true;
   int runs = 0;             // machine executions performed
   std::string diagnostics;  // first divergence / violated invariant
+  // Execution-path tally over every machine run: how many elements went
+  // through a fused strided kernel loop, the per-element kernel path,
+  // and the tree-walking interpreter (see rt::PathCounters).
+  std::int64_t fused = 0;
+  std::int64_t generic = 0;
+  std::int64_t interp = 0;
 
   std::string str() const;
 };
@@ -65,6 +72,10 @@ struct OracleReport {
   std::uint64_t failing_seed = 0;  // derived seed replaying it alone
   std::string diagnostics;
   std::string reproducer;  // shrunk source
+  // Aggregated execution-path tally across the corpus (see CheckResult).
+  std::int64_t fused = 0;
+  std::int64_t generic = 0;
+  std::int64_t interp = 0;
 
   std::string str() const;
 };

@@ -3,11 +3,14 @@
 #
 # Usage: tools/run_benches.sh [build-dir]
 #
-# Runs bench/engine_throughput (which writes BENCH_engine.json at the
-# repo root — the machine-readable record subsequent PRs diff against)
-# followed by bench/spmd_end_to_end for the paper-shape tables. Any
-# non-zero exit (including the engine bench's internal fast-vs-slow
-# result verification) fails the script.
+# Runs bench/engine_throughput (including the kernel-vs-interpreter A/B)
+# and *appends* its record to BENCH_engine.json at the repo root as
+# {"runs": [...]}, so the machine-readable trajectory keeps every
+# recorded run instead of overwriting the last one (a legacy
+# single-object file is wrapped on first append). Then runs
+# bench/spmd_end_to_end for the paper-shape tables. Any non-zero exit
+# (including the engine bench's internal fast-vs-interp-vs-slow result
+# verification) fails the script.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -18,11 +21,35 @@ cmake --build "$build_dir" -j"$(nproc)" \
   --target engine_throughput spmd_end_to_end
 
 cd "$repo_root"
-"$build_dir/bench/engine_throughput" "$repo_root/BENCH_engine.json"
+
+out="$repo_root/BENCH_engine.json"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+"$build_dir/bench/engine_throughput" "$tmp"
+
+if command -v jq >/dev/null 2>&1; then
+  stamped="$(jq --arg ts "$(date -u +%FT%TZ)" '. + {recorded: $ts}' "$tmp")"
+  if [ -s "$out" ]; then
+    if jq -e 'has("runs")' "$out" >/dev/null 2>&1; then
+      jq --argjson new "$stamped" '.runs += [$new]' "$out" >"$out.tmp"
+    else
+      # Legacy layout: a bare single-run object. Wrap it.
+      jq --argjson new "$stamped" '{runs: [., $new]}' "$out" >"$out.tmp"
+    fi
+    mv "$out.tmp" "$out"
+  else
+    printf '%s' "$stamped" | jq '{runs: [.]}' >"$out"
+  fi
+else
+  # Without jq, keep the raw record (overwrite) rather than corrupt the
+  # trajectory file with hand-rolled concatenation.
+  echo "warning: jq not found; writing $out without appending" >&2
+  cp "$tmp" "$out"
+fi
 
 # Paper-shape tables; google-benchmark timing cells kept short.
 "$build_dir/bench/spmd_end_to_end" --benchmark_min_time=0.05
 
 echo
 echo "BENCH_engine.json:"
-cat "$repo_root/BENCH_engine.json"
+cat "$out"

@@ -234,7 +234,7 @@ int main(int argc, char** argv) {
       machine.run();
       for (const std::string& name : opt.print)
         dump(name, machine.result(name));
-      if (opt.stats)
+      if (opt.stats) {
         std::printf(
             "stats: barriers=%lld elided=%lld iters=%lld tests=%lld "
             "sim-time=%g\n",
@@ -242,14 +242,18 @@ int main(int argc, char** argv) {
             (long long)machine.stats().barriers_elided,
             (long long)machine.stats().iterations,
             (long long)machine.stats().tests, machine.stats().sim_time);
+        std::printf("paths: %s\n", machine.path_counters().str().c_str());
+      }
     } else if (opt.target == "dist") {
       rt::DistMachine machine(program, build);
       init_all(machine);
       machine.run();
       for (const std::string& name : opt.print)
         dump(name, machine.gather(name));
-      if (opt.stats)
+      if (opt.stats) {
         std::printf("stats: %s\n", machine.stats().str().c_str());
+        std::printf("paths: %s\n", machine.path_counters().str().c_str());
+      }
     } else {
       return usage(argv[0]);
     }
