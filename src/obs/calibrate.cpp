@@ -1,0 +1,248 @@
+#include "obs/calibrate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "lang/translate.hpp"
+#include "obs/trace.hpp"
+#include "rt/dist_machine.hpp"
+#include "support/error.hpp"
+#include "support/format.hpp"
+
+namespace vcal::obs {
+
+namespace {
+
+// One executed step, reconstructed from the control lane.
+struct Sample {
+  std::string phase;     // "clause" or "redistribute"
+  double wall_ns = 0.0;  // Begin..End span
+  double units = 0.0;    // CostModel units charged (sim-time delta)
+  // Predictors, from the step's StepCounters event.
+  double iters = 0.0, tests = 0.0, values = 0.0, bulk = 0.0;
+  bool timed = false, counted = false;
+};
+
+// Solves the 4x4 system M x = v in place (Gaussian elimination with
+// partial pivoting). Returns false on a (numerically) singular M.
+bool solve4(double M[4][4], double v[4], double x[4]) {
+  int perm[4] = {0, 1, 2, 3};
+  for (int c = 0; c < 4; ++c) {
+    int piv = c;
+    for (int r = c + 1; r < 4; ++r)
+      if (std::fabs(M[perm[r]][c]) > std::fabs(M[perm[piv]][c])) piv = r;
+    std::swap(perm[c], perm[piv]);
+    double d = M[perm[c]][c];
+    if (std::fabs(d) < 1e-12) return false;
+    for (int r = c + 1; r < 4; ++r) {
+      double f = M[perm[r]][c] / d;
+      for (int k = c; k < 4; ++k) M[perm[r]][k] -= f * M[perm[c]][k];
+      v[perm[r]] -= f * v[perm[c]];
+    }
+  }
+  for (int c = 3; c >= 0; --c) {
+    double acc = v[perm[c]];
+    for (int k = c + 1; k < 4; ++k) acc -= M[perm[c]][k] * x[k];
+    x[c] = acc / M[perm[c]][c];
+  }
+  return true;
+}
+
+std::vector<double> ramp(i64 n) {
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (i64 i = 0; i < n; ++i)
+    v[static_cast<std::size_t>(i)] = static_cast<double>((i * 13) % 101);
+  return v;
+}
+
+std::vector<Sample> run_traced(const spmd::Program& program) {
+  // Serial ranks: on one host thread the per-step span is honest compute
+  // time, not scheduler noise. Capacity covers every control event.
+  rt::EngineOptions engine;
+  engine.threads = 1;
+  engine.trace = true;
+  engine.trace_capacity =
+      8 * static_cast<i64>(program.steps.size()) + 64;
+  rt::DistMachine m(program, {}, {}, engine);
+  for (const auto& [name, desc] : program.arrays)
+    m.load(name, ramp(desc.total()));
+  m.run();
+
+  const Tracer* tr = m.tracer();
+  require(tr != nullptr, "calibration run produced no tracer");
+  std::map<i64, Sample> by_step;
+  std::map<i64, double> begin_ns;
+  double prev_virt = 0.0;
+  tr->lane(tr->control_lane()).for_each([&](const TraceEvent& e) {
+    switch (e.kind) {
+      case EventKind::ClauseBegin:
+      case EventKind::RedistBegin:
+        begin_ns[e.step] = static_cast<double>(e.wall_ns);
+        by_step[e.step].phase = e.kind == EventKind::ClauseBegin
+                                    ? "clause"
+                                    : "redistribute";
+        break;
+      case EventKind::ClauseEnd:
+      case EventKind::RedistEnd: {
+        auto it = begin_ns.find(e.step);
+        if (it == begin_ns.end()) break;
+        Sample& s = by_step[e.step];
+        s.wall_ns = static_cast<double>(e.wall_ns) - it->second;
+        s.timed = true;
+        break;
+      }
+      case EventKind::StepCounters: {
+        Sample& s = by_step[e.step];
+        s.iters = static_cast<double>(e.a0);
+        s.tests = static_cast<double>(e.a1);
+        s.values = static_cast<double>(e.a2);
+        s.bulk = static_cast<double>(e.a3);
+        // e.virt is the cumulative sim-time including this step.
+        s.units = e.virt - prev_virt;
+        prev_virt = e.virt;
+        s.counted = true;
+        break;
+      }
+      default:
+        break;
+    }
+  });
+
+  std::vector<Sample> out;
+  for (auto& [step, s] : by_step)
+    if (s.timed && s.counted) out.push_back(s);
+  return out;
+}
+
+}  // namespace
+
+CalibrationReport calibrate(
+    const std::vector<std::pair<std::string, spmd::Program>>& benches) {
+  require(!benches.empty(), "calibrate() needs at least one benchmark");
+
+  CalibrationReport rep;
+  std::vector<std::pair<std::string, std::vector<Sample>>> all;
+  for (const auto& [name, program] : benches)
+    all.emplace_back(name, run_traced(program));
+
+  // Ridge-regularized normal equations over every sample: the two
+  // benchmarks deliberately stress different predictors (relaxation is
+  // iteration-heavy, rotate is message-heavy), which keeps X'X well
+  // conditioned; the ridge handles the degenerate single-bench case.
+  double M[4][4] = {};
+  double v[4] = {};
+  double wall_total = 0.0, units_total = 0.0;
+  for (const auto& [name, samples] : all)
+    for (const Sample& s : samples) {
+      const double x[4] = {s.iters, s.tests, s.values, s.bulk};
+      for (int a = 0; a < 4; ++a) {
+        for (int b = 0; b < 4; ++b) M[a][b] += x[a] * x[b];
+        v[a] += x[a] * s.wall_ns;
+      }
+      wall_total += s.wall_ns;
+      units_total += s.units;
+      ++rep.samples;
+    }
+  double diag_max = 1.0;
+  for (int a = 0; a < 4; ++a) diag_max = std::max(diag_max, M[a][a]);
+  for (int a = 0; a < 4; ++a) M[a][a] += 1e-8 * diag_max;
+
+  double coef[4] = {};
+  require(solve4(M, v, coef), "calibration fit is singular");
+  rep.iter_ns = coef[0];
+  rep.test_ns = coef[1];
+  rep.value_ns = coef[2];
+  rep.bulk_ns = coef[3];
+  rep.ns_per_sim_unit = units_total > 0.0 ? wall_total / units_total : 0.0;
+  rep.values_per_us =
+      rep.value_ns > 1e-9 ? 1000.0 / rep.value_ns : 0.0;
+
+  auto predict = [&](const Sample& s) {
+    return coef[0] * s.iters + coef[1] * s.tests + coef[2] * s.values +
+           coef[3] * s.bulk;
+  };
+  for (const auto& [name, samples] : all) {
+    for (const char* phase : {"clause", "redistribute"}) {
+      CalibrationPhase ph;
+      ph.bench = name;
+      ph.phase = phase;
+      for (const Sample& s : samples) {
+        if (s.phase != phase) continue;
+        ++ph.steps;
+        ph.measured_ms += s.wall_ns / 1e6;
+        ph.predicted_ms += predict(s) / 1e6;
+        ph.model_units += s.units;
+      }
+      if (ph.steps == 0) continue;
+      ph.err_pct = ph.measured_ms > 0.0
+                       ? 100.0 * std::fabs(ph.predicted_ms - ph.measured_ms) /
+                             ph.measured_ms
+                       : 0.0;
+      rep.phases.push_back(ph);
+    }
+  }
+  return rep;
+}
+
+std::string CalibrationReport::str() const {
+  std::string out = cat("calibration over ", samples, " step samples\n");
+  out += cat("fitted ns: iter=", iter_ns, " test=", test_ns,
+             " value=", value_ns, " bulk-msg=", bulk_ns, "\n");
+  out += cat("ns-per-sim-unit=", ns_per_sim_unit,
+             " bandwidth=", values_per_us, " values/us\n");
+  out += cat(pad_right("bench", 12), pad_right("phase", 14),
+             pad_left("steps", 6), pad_left("measured-ms", 13),
+             pad_left("predicted-ms", 14), pad_left("err%", 8), "\n");
+  for (const CalibrationPhase& p : phases) {
+    char m[32], q[32], e[32];
+    std::snprintf(m, sizeof m, "%.3f", p.measured_ms);
+    std::snprintf(q, sizeof q, "%.3f", p.predicted_ms);
+    std::snprintf(e, sizeof e, "%.1f", p.err_pct);
+    out += cat(pad_right(p.bench, 12), pad_right(p.phase, 14),
+               pad_left(cat(p.steps), 6), pad_left(m, 13), pad_left(q, 14),
+               pad_left(e, 8), "\n");
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, spmd::Program>>
+builtin_calibration_benches() {
+  // Relaxation ping-pong: iteration-dominated, nearest-neighbour
+  // messages only; a mid-run redistribution flips B to scatter so the
+  // second half is communication-heavy and the redistribute phase class
+  // gets a sample.
+  const i64 n = 512, half = 30;
+  std::string relax =
+      cat("processors 4;\narray A[0:", n - 1, "];\narray B[0:", n - 1,
+          "];\ndistribute A block;\ndistribute B block;\n");
+  auto relax_pair = cat("forall i in 1:", n - 2,
+                        " do A[i] := (B[i-1] + B[i+1])/2; od\n",
+                        "forall i in 1:", n - 2,
+                        " do B[i] := (A[i-1] + A[i+1])/2; od\n");
+  for (i64 t = 0; t < half; ++t) relax += relax_pair;
+  relax += "redistribute B scatter;\n";
+  for (i64 t = 0; t < half; ++t) relax += relax_pair;
+
+  // Rotate ping-pong: every read is remote (scatter vs block), so bulk
+  // messages and moved values dominate — the latency/bandwidth probe.
+  const i64 rn = 256, rhalf = 20;
+  std::string rotate =
+      cat("processors 4;\narray A[0:", rn - 1, "];\narray B[0:", rn - 1,
+          "];\ndistribute A scatter;\ndistribute B block;\n");
+  auto rotate_pair =
+      cat("forall i in 0:", rn - 1, " do A[i] := B[(i + 7) mod ", rn,
+          "]; od\n", "forall i in 0:", rn - 1, " do B[i] := A[(i + 7) mod ",
+          rn, "]; od\n");
+  for (i64 t = 0; t < rhalf; ++t) rotate += rotate_pair;
+  rotate += "redistribute A block;\n";
+  for (i64 t = 0; t < rhalf; ++t) rotate += rotate_pair;
+
+  std::vector<std::pair<std::string, spmd::Program>> out;
+  out.emplace_back("relax", lang::compile(relax));
+  out.emplace_back("rotate", lang::compile(rotate));
+  return out;
+}
+
+}  // namespace vcal::obs

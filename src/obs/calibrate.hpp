@@ -1,0 +1,70 @@
+// Cost-model calibration from traced runs.
+//
+// rt::CostModel prices a step in abstract units (per_message = 50,
+// per_iteration = 1, ...); nothing in the repo previously checked those
+// ratios against a real machine. calibrate() runs benchmark programs on
+// the distributed machine with tracing enabled, pulls one sample per
+// executed step from the control lane — measured wall nanoseconds from
+// the step's Begin/End span, predictor counts from its StepCounters
+// event, predicted cost units from the sim-time deltas — and fits
+//
+//   wall_ns  ≈  a·iterations + b·tests + c·values_moved + d·bulk_messages
+//
+// by ridge-regularized least squares. The fitted d is the per-message
+// latency and 1/c the value bandwidth on this host, directly comparable
+// to the CostModel's per_message/per_value ratio; ns_per_sim_unit
+// (total wall over total predicted units) converts model makespans to
+// host seconds. Each benchmark also reports per-phase
+// predicted-vs-measured error — phase = clause steps vs redistribution
+// steps — which is the honesty check: a systematically wrong ratio
+// shows up as a large error on one phase class.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "spmd/program.hpp"
+
+namespace vcal::obs {
+
+struct CalibrationPhase {
+  std::string bench;   // benchmark program name
+  std::string phase;   // "clause" or "redistribute"
+  i64 steps = 0;       // samples in this phase
+  double measured_ms = 0.0;   // traced wall clock
+  double predicted_ms = 0.0;  // fitted model applied to the counters
+  double model_units = 0.0;   // CostModel units charged (sim-time delta)
+  double err_pct = 0.0;       // |predicted - measured| / measured · 100
+};
+
+struct CalibrationReport {
+  // Fitted nanosecond prices of the model's primitive quantities.
+  double iter_ns = 0.0;   // per loop iteration
+  double test_ns = 0.0;   // per membership test
+  double value_ns = 0.0;  // per element moved between ranks
+  double bulk_ns = 0.0;   // per bulk message (the latency term)
+  /// Host nanoseconds one CostModel unit was worth over the whole run.
+  double ns_per_sim_unit = 0.0;
+  /// Bandwidth implied by value_ns, in values per microsecond.
+  double values_per_us = 0.0;
+  i64 samples = 0;
+  std::vector<CalibrationPhase> phases;
+
+  std::string str() const;
+};
+
+/// Runs every (name, program) pair traced on DistMachine (threads = 1)
+/// and fits the report. Programs should hold enough steps for a stable
+/// fit; inputs are loaded as deterministic ramps into every array.
+CalibrationReport calibrate(
+    const std::vector<std::pair<std::string, spmd::Program>>& benches);
+
+/// Two built-in calibration benchmarks: the block-decomposed relaxation
+/// ping-pong and the scatter/block rotate (both from the paper's
+/// examples), each replicated to many steps with a mid-run
+/// redistribution so both phase classes get samples.
+std::vector<std::pair<std::string, spmd::Program>>
+builtin_calibration_benches();
+
+}  // namespace vcal::obs

@@ -1,0 +1,90 @@
+// Unified named-counter registry: one formatting/serialization path for
+// every statistics producer in the runtime.
+//
+// DistStats, SharedStats, PathCounters, EnumStats, PlanCache, and the
+// ThreadPool each grew their own counters; before this registry each
+// also grew its own ad-hoc formatter (DistStats::str, printf lines in
+// vcalc, string building in the oracle report). A MetricsRegistry is an
+// ordered list of (name, value) entries the producers `collect()` into;
+// the registry owns the three output shapes — one-line "k=v k=v" text
+// (what every str() now delegates to), an aligned multi-line dump, and
+// JSON — so a counter added to a producer shows up everywhere at once.
+//
+// Entries preserve insertion order (these are reports, not maps), may be
+// integer or real, and integers can opt into thousands separators to
+// match the historical DistStats rendering.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/math.hpp"
+
+namespace vcal::rt {
+struct DistStats;
+struct SharedStats;
+struct PathCounters;
+}  // namespace vcal::rt
+namespace vcal::gen {
+struct EnumStats;
+}
+namespace vcal::spmd {
+class PlanCache;
+}
+namespace vcal::support {
+class ThreadPool;
+}
+
+namespace vcal::obs {
+
+class Tracer;
+
+class MetricsRegistry {
+ public:
+  struct Entry {
+    std::string name;
+    bool is_int = true;
+    bool commas = false;  // render the integer with thousands separators
+    i64 ival = 0;
+    double dval = 0.0;
+
+    std::string value_str() const;
+  };
+
+  /// Appends (or overwrites, by name) an integer counter.
+  void set(const std::string& name, i64 v, bool commas = false);
+  /// Appends (or overwrites, by name) a real-valued gauge.
+  void set_real(const std::string& name, double v);
+  /// Adds to an integer counter, creating it at zero first.
+  void add(const std::string& name, i64 delta, bool commas = false);
+
+  const std::vector<Entry>& entries() const noexcept { return entries_; }
+  bool empty() const noexcept { return entries_.empty(); }
+  /// The entry named `name`, or nullptr.
+  const Entry* find(const std::string& name) const;
+
+  /// "a=1 b=2.5 c=3,000" in insertion order.
+  std::string line() const;
+  /// One aligned "name  value" row per entry, trailing newline.
+  std::string dump() const;
+  /// {"a":1,"b":2.5} — numbers only, insertion order.
+  std::string json() const;
+
+ private:
+  Entry& upsert(const std::string& name);
+  std::vector<Entry> entries_;
+};
+
+// Producers register their counters here; each overload appends entries
+// in the producer's canonical order. The str() methods of the stats
+// structs build a registry, collect, and return line(), so text output
+// stays byte-compatible with the historical formatters.
+void collect(MetricsRegistry& reg, const rt::DistStats& s);
+void collect(MetricsRegistry& reg, const rt::SharedStats& s);
+void collect(MetricsRegistry& reg, const rt::PathCounters& c);
+void collect(MetricsRegistry& reg, const gen::EnumStats& s);
+void collect(MetricsRegistry& reg, const spmd::PlanCache& c);
+void collect(MetricsRegistry& reg, const support::ThreadPool& p);
+void collect(MetricsRegistry& reg, const Tracer& t);
+
+}  // namespace vcal::obs

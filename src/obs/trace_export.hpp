@@ -1,0 +1,30 @@
+// Exporters for the per-rank trace collectors (obs/trace.hpp).
+//
+// Two output shapes:
+//  - chrome_trace_json: the Chrome trace_event format ("traceEvents"
+//    array of "X"/"i"/"C"/"M" records, timestamps in microseconds),
+//    loadable in about://tracing and Perfetto. One pid for the run; one
+//    tid (lane) per rank plus the trailing "engine" control lane, named
+//    through "M" metadata records so the viewer shows labeled lanes.
+//    Paired Begin/End events become complete ("X") slices; instants
+//    become "i"; KernelPath and StepCounters become counter ("C")
+//    tracks. A Begin whose End was never recorded (the run threw, or
+//    the ring dropped it) is closed at the lane's final timestamp so
+//    the export is always well-formed JSON.
+//  - timeline_text: a plain-text per-rank timeline for terminals, one
+//    block per lane, one "[t0 t1] kind" row per span and "@t kind" row
+//    per instant.
+#pragma once
+
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace vcal::obs {
+
+std::string chrome_trace_json(const Tracer& tracer,
+                              const std::string& process_name = "vcal");
+
+std::string timeline_text(const Tracer& tracer);
+
+}  // namespace vcal::obs

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "decomp/redistribute.hpp"
+#include "obs/metrics.hpp"
 #include "spmd/kernel.hpp"
 #include "support/error.hpp"
 #include "support/format.hpp"
@@ -15,22 +16,9 @@ using prog::Clause;
 using spmd::ClausePlan;
 
 std::string DistStats::str() const {
-  std::string out =
-      cat("messages=", with_commas(messages),
-          " local-reads=", with_commas(local_reads),
-          " remote-reads=", with_commas(remote_reads),
-          " iters=", with_commas(iterations),
-          " tests=", with_commas(tests), " steps=", steps,
-          " sim-time=", sim_time);
-  if (bulk_messages > 0)
-    out += cat(" bulk-msgs=", with_commas(bulk_messages));
-  if (redist_messages > 0)
-    out += cat(" redist-msgs=", with_commas(redist_messages));
-  if (halo_messages > 0)
-    out += cat(" halo-msgs=", with_commas(halo_messages),
-               " halo-values=", with_commas(halo_values),
-               " halo-reads=", with_commas(halo_reads));
-  return out;
+  obs::MetricsRegistry reg;
+  obs::collect(reg, *this);
+  return reg.line();
 }
 
 DistMachine::DistMachine(spmd::Program program, gen::BuildOptions opts,
@@ -43,6 +31,11 @@ DistMachine::DistMachine(spmd::Program program, gen::BuildOptions opts,
   program_.validate();
   if (engine_.threads > 1)
     pool_ = std::make_unique<support::ThreadPool>(engine_.threads);
+  if (engine_.trace) {
+    tracer_ = std::make_unique<obs::Tracer>(program_.procs,
+                                            engine_.trace_capacity);
+    plan_cache_.set_tracer(tracer_.get(), tracer_->control_lane());
+  }
   message_matrix_.assign(
       static_cast<std::size_t>(program_.procs),
       std::vector<i64>(static_cast<std::size_t>(program_.procs), 0));
@@ -78,6 +71,7 @@ void DistMachine::for_ranks(i64 n, const std::function<void(i64)>& body) {
 void DistMachine::finish_step(const std::vector<RankCounters>& counters) {
   double slowest = 0.0;
   i64 halo_bulk = 0, halo_values = 0;
+  i64 iters = 0, tests = 0, transfers = 0, bulk = 0;
   for (const RankCounters& c : counters) {
     stats_.messages += c.sends;
     stats_.bulk_messages += c.bulk_sends;
@@ -89,6 +83,10 @@ void DistMachine::finish_step(const std::vector<RankCounters>& counters) {
     halo_values += c.halo_values;
     stats_.halo_reads += c.halo_reads;
     slowest = std::max(slowest, c.time(cost_));
+    iters += c.iterations;
+    tests += c.tests;
+    transfers += c.sends + c.receives;
+    bulk += c.bulk_sends + c.bulk_receives;
   }
   // halo_bulk/halo_values are recorded on both endpoints; the aggregate
   // counts each exchange once.
@@ -97,6 +95,13 @@ void DistMachine::finish_step(const std::vector<RankCounters>& counters) {
   stats_.sim_time += slowest;
   ++stats_.steps;
   last_counters_ = counters;
+  if (tracer_) {
+    // Publish the cost-model clock and the step's aggregate predictors
+    // on the control lane: the calibration fit's raw material.
+    tracer_->set_virtual_time(stats_.sim_time);
+    tracer_->record(tracer_->control_lane(), obs::EventKind::StepCounters,
+                    stats_.steps - 1, iters, tests, transfers, bulk);
+  }
 }
 
 namespace {
@@ -238,6 +243,11 @@ void DistMachine::run_clause(const Clause& clause) {
         "sequential ('•') clauses are not supported on the distributed "
         "target; the paper leaves DOACROSS orderings out of scope");
 
+  obs::Tracer* tr = tracer_.get();
+  const i64 ctl = tr ? tr->control_lane() : 0;
+  const i64 step_id = stats_.steps;  // index of the step now executing
+  VCAL_TRACE(tr, ctl, obs::EventKind::ClauseBegin, step_id);
+
   // Plans are pure compile-time data; iterative programs reuse them
   // until a redistribution bumps the epoch.
   std::optional<ClausePlan> uncached;
@@ -338,7 +348,9 @@ void DistMachine::run_clause(const Clause& clause) {
         static_cast<std::size_t>(procs),
         std::vector<i64>(static_cast<std::size_t>(procs), 0));
     std::vector<std::vector<i64>> owner_values = owner_bulk;
+    VCAL_TRACE(tr, ctl, obs::EventKind::BarrierBegin, step_id, /*phase=*/0);
     for_ranks(procs, [&](i64 p) {
+      VCAL_TRACE(tr, p, obs::EventKind::HaloBegin, step_id);
       RankCounters& rc = counters[static_cast<std::size_t>(p)];
       auto& ob = owner_bulk[static_cast<std::size_t>(p)];
       auto& ov = owner_values[static_cast<std::size_t>(p)];
@@ -360,7 +372,9 @@ void DistMachine::run_clause(const Clause& clause) {
           ++rc.halo_values;
         }
       }
+      VCAL_TRACE(tr, p, obs::EventKind::HaloEnd, step_id);
     });
+    VCAL_TRACE(tr, ctl, obs::EventKind::BarrierEnd, step_id, /*phase=*/0);
     for (i64 p = 0; p < procs; ++p)
       for (i64 o = 0; o < procs; ++o) {
         counters[static_cast<std::size_t>(o)].halo_bulk +=
@@ -380,7 +394,9 @@ void DistMachine::run_clause(const Clause& clause) {
   // ---- Phase 1: non-blocking sends (Reside_p \ Modify_p) -------------
   // Rank p writes only its own channel row, counter slot, and
   // message-matrix row, so the loop parallelizes without locks.
+  VCAL_TRACE(tr, ctl, obs::EventKind::BarrierBegin, step_id, /*phase=*/1);
   for_ranks(procs, [&](i64 p) {
+    VCAL_TRACE(tr, p, obs::EventKind::SendBegin, step_id);
     RankCounters& rc = counters[static_cast<std::size_t>(p)];
     PathCounters& pc = pcs[static_cast<std::size_t>(p)];
     auto& matrix_row = message_matrix_[static_cast<std::size_t>(p)];
@@ -525,8 +541,12 @@ void DistMachine::run_clause(const Clause& clause) {
       if (ch.msgs.empty()) continue;
       ch.pack();
       ++rc.bulk_sends;
+      VCAL_TRACE(tr, p, obs::EventKind::MsgSend, step_id, dst,
+                 static_cast<i64>(ch.msgs.size()));
     }
+    VCAL_TRACE(tr, p, obs::EventKind::SendEnd, step_id);
   });
+  VCAL_TRACE(tr, ctl, obs::EventKind::BarrierEnd, step_id, /*phase=*/1);
   // The virtual network misbehaves here, between send completion and the
   // first receive: armed message faults perturb the packed channels.
   for (const FaultPlan* f : active_faults) {
@@ -551,8 +571,12 @@ void DistMachine::run_clause(const Clause& clause) {
   // Receiver-side bulk accounting (cross-rank: done serially).
   for (i64 src = 0; src < procs; ++src)
     for (i64 dst = 0; dst < procs; ++dst)
-      if (!channel(src, dst).msgs.empty())
+      if (!channel(src, dst).msgs.empty()) {
         ++counters[static_cast<std::size_t>(dst)].bulk_receives;
+        // Serial section: writing the dst lane from here is race-free.
+        VCAL_TRACE(tr, dst, obs::EventKind::MsgRecv, step_id, src,
+                   static_cast<i64>(channel(src, dst).msgs.size()));
+      }
 
   // ---- Phase 2: receive and update (Modify_p) -------------------------
   // Rank p consumes only channels destined to it and writes only its own
@@ -615,11 +639,17 @@ void DistMachine::run_clause(const Clause& clause) {
                 for (std::size_t d = 0; d < ridx.size(); ++d)
                   elem += cat(d ? ", " : "", ridx[d]);
                 elem += "]";
-                throw DeadlockError(cat(
+                std::string diag = cat(
                     "deadlock: rank ", p, " blocked on pending receive of ",
                     elem, " (tag ", tag, ") from rank ", src,
                     ", which never sent it — inconsistent schedules or a "
-                    "lost message"));
+                    "lost message");
+                if (tr) {
+                  diag += cat("; last traced event on rank ", p, ": ",
+                              tr->last_event_str(p));
+                  tr->record(p, obs::EventKind::RecvWait, step_id, src, tag);
+                }
+                throw DeadlockError(diag);
               }
               ref_values[static_cast<std::size_t>(r)] = *value;
               ++rc.receives;
@@ -718,11 +748,17 @@ void DistMachine::run_clause(const Clause& clause) {
             for (std::size_t d = 0; d < ridx.size(); ++d)
               elem += cat(d ? ", " : "", ridx[d]);
             elem += "]";
-            throw DeadlockError(cat(
+            std::string diag = cat(
                 "deadlock: rank ", p, " blocked on pending receive of ",
                 elem, " (tag ", tag, ") from rank ", src,
                 ", which never sent it — inconsistent schedules or a "
-                "lost message"));
+                "lost message");
+            if (tr) {
+              diag += cat("; last traced event on rank ", p, ": ",
+                          tr->last_event_str(p));
+              tr->record(p, obs::EventKind::RecvWait, step_id, src, tag);
+            }
+            throw DeadlockError(diag);
           }
           ref_values[static_cast<std::size_t>(r)] = *value;
           ++rc.receives;
@@ -819,10 +855,12 @@ void DistMachine::run_clause(const Clause& clause) {
   };
 
   auto phase2 = [&](i64 p) {
+    VCAL_TRACE(tr, p, obs::EventKind::ClauseBegin, step_id);
     if (kaff)
       phase2_kernel(p);
     else
       phase2_interp(p);
+    VCAL_TRACE(tr, p, obs::EventKind::ClauseEnd, step_id);
   };
 
   // A stalled rank sits out the scheduled receive/update rounds while
@@ -833,7 +871,10 @@ void DistMachine::run_clause(const Clause& clause) {
     if (f->kind == FaultPlan::Kind::StallRank &&
         in_range(f->rank, 0, procs - 1))
       stall = f;
+  VCAL_TRACE(tr, ctl, obs::EventKind::BarrierBegin, step_id, /*phase=*/2);
   if (stall) {
+    VCAL_TRACE(tr, stall->rank, obs::EventKind::Stall, step_id,
+               std::max<i64>(stall->rounds, 0));
     for_ranks(procs, [&](i64 p) {
       if (p != stall->rank) phase2(p);
     });
@@ -843,6 +884,7 @@ void DistMachine::run_clause(const Clause& clause) {
   } else {
     for_ranks(procs, phase2);
   }
+  VCAL_TRACE(tr, ctl, obs::EventKind::BarrierEnd, step_id, /*phase=*/2);
 
   // Every send must have been consumed — the message-pairing invariant.
   for (i64 p = 0; p < procs; ++p) {
@@ -854,10 +896,21 @@ void DistMachine::run_clause(const Clause& clause) {
                              leftover, " undelivered messages"));
   }
   for (const PathCounters& c : pcs) paths_ += c;
+  if (tr)
+    for (i64 p = 0; p < procs; ++p) {
+      const PathCounters& c = pcs[static_cast<std::size_t>(p)];
+      tr->record(p, obs::EventKind::KernelPath, step_id, c.fused, c.generic,
+                 c.interp);
+    }
   finish_step(counters);
+  VCAL_TRACE(tr, ctl, obs::EventKind::ClauseEnd, step_id);
 }
 
 void DistMachine::run_redistribute(const spmd::RedistStep& step) {
+  obs::Tracer* tr = tracer_.get();
+  const i64 ctl = tr ? tr->control_lane() : 0;
+  const i64 step_id = stats_.steps;
+  VCAL_TRACE(tr, ctl, obs::EventKind::RedistBegin, step_id);
   const decomp::ArrayDesc& old_desc = program_.arrays.at(step.array);
   decomp::RedistPlan plan =
       decomp::plan_redistribution(old_desc, step.new_desc);
@@ -899,6 +952,12 @@ void DistMachine::run_redistribute(const spmd::RedistStep& step) {
                      [static_cast<std::size_t>(dst)] > 0) {
         ++counters[static_cast<std::size_t>(src)].bulk_sends;
         ++counters[static_cast<std::size_t>(dst)].bulk_receives;
+        VCAL_TRACE(tr, src, obs::EventKind::MsgSend, step_id, dst,
+                   pair_counts[static_cast<std::size_t>(src)]
+                              [static_cast<std::size_t>(dst)]);
+        VCAL_TRACE(tr, dst, obs::EventKind::MsgRecv, step_id, src,
+                   pair_counts[static_cast<std::size_t>(src)]
+                              [static_cast<std::size_t>(dst)]);
       }
   require(static_cast<i64>(plan.moves.size()) ==
               std::accumulate(counters.begin(), counters.end(), i64{0},
@@ -913,7 +972,10 @@ void DistMachine::run_redistribute(const spmd::RedistStep& step) {
   // Cached clause plans baked the old layout into their owner
   // arithmetic: invalidate them.
   plan_cache_.bump_epoch();
+  VCAL_TRACE(tr, ctl, obs::EventKind::RedistEpoch, step_id,
+             static_cast<i64>(plan_cache_.epoch()));
   finish_step(counters);
+  VCAL_TRACE(tr, ctl, obs::EventKind::RedistEnd, step_id);
 }
 
 std::string DistMachine::message_matrix_str() const {

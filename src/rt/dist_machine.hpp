@@ -32,6 +32,7 @@
 #include <unordered_map>
 
 #include "gen/optimizer.hpp"
+#include "obs/trace.hpp"
 #include "rt/cost_model.hpp"
 #include "rt/engine_options.hpp"
 #include "rt/fault_plan.hpp"
@@ -108,6 +109,10 @@ class DistMachine {
   /// Pretty-printed message matrix, one row per source rank.
   std::string message_matrix_str() const;
 
+  /// The attached event tracer (EngineOptions::trace); nullptr when
+  /// tracing is off. Lanes 0..procs-1 are ranks, lane procs the engine.
+  const obs::Tracer* tracer() const noexcept { return tracer_.get(); }
+
  private:
   void run_clause(const prog::Clause& clause);
   void run_redistribute(const spmd::RedistStep& step);
@@ -121,6 +126,7 @@ class DistMachine {
   CostModel cost_;
   EngineOptions engine_;
   std::unique_ptr<support::ThreadPool> pool_;  // owned when threads > 1
+  std::unique_ptr<obs::Tracer> tracer_;        // owned when engine_.trace
   spmd::PlanCache plan_cache_;
   DistStore store_;
   DistStats stats_;

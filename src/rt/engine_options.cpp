@@ -1,0 +1,13 @@
+#include "rt/engine_options.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace vcal::rt {
+
+std::string PathCounters::str() const {
+  obs::MetricsRegistry reg;
+  obs::collect(reg, *this);
+  return reg.line();
+}
+
+}  // namespace vcal::rt

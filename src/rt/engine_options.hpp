@@ -30,11 +30,8 @@ struct PathCounters {
     return *this;
   }
 
-  std::string str() const {
-    return "fused=" + std::to_string(fused) +
-           " generic=" + std::to_string(generic) +
-           " interp=" + std::to_string(interp);
-  }
+  /// "fused=N generic=N interp=N" via the obs::MetricsRegistry.
+  std::string str() const;
 };
 
 struct EngineOptions {
@@ -61,6 +58,16 @@ struct EngineOptions {
   /// Results, counters, and exceptions are bit-identical either way; the
   /// conformance oracle pins the two paths against each other.
   bool compiled_kernels = true;
+
+  /// Attach an obs::Tracer to the machine: per-rank ring-buffer event
+  /// collection with dual (wall-clock + cost-model) timestamps. Off by
+  /// default; the conformance oracle pins results/stats bit-identical
+  /// with tracing on and off, so flipping this never changes a run.
+  bool trace = false;
+
+  /// Ring capacity per trace lane (events retained per rank; older
+  /// events are overwritten and counted as dropped).
+  i64 trace_capacity = 1 << 14;
 };
 
 }  // namespace vcal::rt

@@ -49,10 +49,18 @@ void SeqExecutor::load(const std::string& name,
 }
 
 void SeqExecutor::run() {
+  i64 step_id = 0;
   for (const spmd::Step& step : program_.steps) {
-    if (const auto* clause = std::get_if<Clause>(&step))
+    if (const auto* clause = std::get_if<Clause>(&step)) {
+      VCAL_TRACE(tracer_, 0, obs::EventKind::ClauseBegin, step_id);
       run_clause(*clause);
-    // Redistribution has no effect on dense sequential storage.
+      VCAL_TRACE(tracer_, 0, obs::EventKind::ClauseEnd, step_id);
+    } else {
+      // Redistribution has no effect on dense sequential storage; the
+      // trace still marks it so lanes line up across executors.
+      VCAL_TRACE(tracer_, 0, obs::EventKind::RedistEpoch, step_id);
+    }
+    ++step_id;
   }
 }
 

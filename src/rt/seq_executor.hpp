@@ -16,6 +16,7 @@
 
 #include <unordered_map>
 
+#include "obs/trace.hpp"
 #include "rt/store.hpp"
 #include "spmd/kernel.hpp"
 #include "spmd/program.hpp"
@@ -25,6 +26,11 @@ namespace vcal::rt {
 class SeqExecutor {
  public:
   explicit SeqExecutor(spmd::Program program, bool compiled_kernels = true);
+
+  /// Attach a trace sink (not owned; may be nullptr). The sequential
+  /// executor has one lane of interest — lane 0 carries a clause span
+  /// per executed step and a redist-epoch instant per redistribution.
+  void attach_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
 
   /// Overwrites an array with a dense row-major image.
   void load(const std::string& name, const std::vector<double>& dense);
@@ -41,6 +47,7 @@ class SeqExecutor {
   spmd::Program program_;
   DenseStore store_;
   bool compiled_kernels_;
+  obs::Tracer* tracer_ = nullptr;  // optional attached sink, not owned
   // Kernels memoized per clause (step addresses are stable for the
   // lifetime of program_).
   std::unordered_map<const prog::Clause*, spmd::ClauseKernel> kernels_;

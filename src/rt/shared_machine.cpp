@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "obs/metrics.hpp"
 #include "spmd/barrier.hpp"
 #include "spmd/kernel.hpp"
 #include "support/error.hpp"
@@ -11,6 +12,12 @@ namespace vcal::rt {
 
 using prog::Clause;
 using spmd::ClausePlan;
+
+std::string SharedStats::str() const {
+  obs::MetricsRegistry reg;
+  obs::collect(reg, *this);
+  return reg.line();
+}
 
 SharedMachine::SharedMachine(spmd::Program program, gen::BuildOptions opts,
                              CostModel cost, bool elide_barriers,
@@ -23,6 +30,11 @@ SharedMachine::SharedMachine(spmd::Program program, gen::BuildOptions opts,
   program_.validate();
   if (engine_.threads > 1)
     pool_ = std::make_unique<support::ThreadPool>(engine_.threads);
+  if (engine_.trace) {
+    tracer_ = std::make_unique<obs::Tracer>(program_.procs,
+                                            engine_.trace_capacity);
+    plan_cache_.set_tracer(tracer_.get(), tracer_->control_lane());
+  }
   for (const auto& [name, desc] : program_.arrays) store_.declare(desc);
 }
 
@@ -53,6 +65,9 @@ void SharedMachine::run() {
   std::optional<ClausePlan> pending;
   bool pending_exists = false;
 
+  obs::Tracer* tr = tracer_.get();
+  const i64 ctl = tr ? tr->control_lane() : 0;
+
   auto resolve_pending = [&](const ClausePlan* next) {
     if (!pending_exists) return;
     bool keep = true;
@@ -61,9 +76,12 @@ void SharedMachine::run() {
     if (keep) {
       ++stats_.barriers;
       stats_.sim_time += cost_.per_barrier;
+      if (tr) tr->set_virtual_time(stats_.sim_time);
     } else {
       ++stats_.barriers_elided;
     }
+    VCAL_TRACE(tr, ctl, obs::EventKind::Barrier, /*step=*/-1,
+               /*performed=*/keep ? 1 : 0);
     pending.reset();
     pending_exists = false;
   };
@@ -98,6 +116,12 @@ void SharedMachine::run() {
       plan_cache_.bump_epoch();
       ++stats_.barriers;
       stats_.sim_time += cost_.per_barrier;
+      if (tr) {
+        tr->set_virtual_time(stats_.sim_time);
+        tr->record(ctl, obs::EventKind::RedistEpoch, trace_step_,
+                   static_cast<i64>(plan_cache_.epoch()));
+      }
+      ++trace_step_;
     }
   }
   resolve_pending(nullptr);  // the final barrier is always performed
@@ -105,6 +129,10 @@ void SharedMachine::run() {
 
 void SharedMachine::run_clause(const Clause& clause,
                                const ClausePlan& plan) {
+  obs::Tracer* tr = tracer_.get();
+  const i64 ctl = tr ? tr->control_lane() : 0;
+  const i64 step_id = trace_step_;
+  VCAL_TRACE(tr, ctl, obs::EventKind::ClauseBegin, step_id);
   const decomp::ArrayDesc& lhs = plan.lhs_desc();
   const i64 procs = plan.procs();
   const int nrefs = static_cast<int>(clause.refs.size());
@@ -130,6 +158,7 @@ void SharedMachine::run_clause(const Clause& clause,
   // template's barrier (whether the generated program would need it is
   // accounted in run()).
   for_ranks(procs, [&](i64 p) {
+    VCAL_TRACE(tr, p, obs::EventKind::ClauseBegin, step_id);
     std::vector<double> ref_values(clause.refs.size());
     std::vector<i64> out_idx, idx;  // per-rank scratch
     // Hoist the string-keyed buffer lookups out of the element loop:
@@ -166,6 +195,9 @@ void SharedMachine::run_clause(const Clause& clause,
           },
           &rank_stats[static_cast<std::size_t>(p)]);
       pcs[static_cast<std::size_t>(p)].interp += space.count();
+      VCAL_TRACE(tr, p, obs::EventKind::KernelPath, step_id, 0, 0,
+                 pcs[static_cast<std::size_t>(p)].interp);
+      VCAL_TRACE(tr, p, obs::EventKind::ClauseEnd, step_id);
       return;
     }
 
@@ -285,22 +317,39 @@ void SharedMachine::run_clause(const Clause& clause,
           pc.generic += run.count - fused_n;
         },
         &rank_stats[static_cast<std::size_t>(p)]);
+    VCAL_TRACE(tr, p, obs::EventKind::KernelPath, step_id, pc.fused,
+               pc.generic, pc.interp);
+    VCAL_TRACE(tr, p, obs::EventKind::ClauseEnd, step_id);
   });
 
   for (const PathCounters& c : pcs) paths_ += c;
 
   double slowest = 0.0;
+  i64 iters = 0, tests = 0;
   for (const auto& s : rank_stats) {
     stats_.iterations += s.loop_iters;
     stats_.tests += s.tests;
     slowest = std::max(slowest, cost_.compute_cost(s.loop_iters, s.tests));
+    iters += s.loop_iters;
+    tests += s.tests;
   }
   stats_.sim_time += slowest;
+  if (tr) {
+    tr->set_virtual_time(stats_.sim_time);
+    tr->record(ctl, obs::EventKind::StepCounters, step_id, iters, tests, 0,
+               0);
+    tr->record(ctl, obs::EventKind::ClauseEnd, step_id);
+  }
+  ++trace_step_;
 }
 
 void SharedMachine::run_clause_sequential(const Clause& clause) {
   // '•' ordering: one processor walks the whole nest in lexicographic
   // order with immediate visibility, then everyone synchronizes.
+  obs::Tracer* tr = tracer_.get();
+  const i64 ctl = tr ? tr->control_lane() : 0;
+  const i64 step_id = trace_step_;
+  VCAL_TRACE(tr, ctl, obs::EventKind::ClauseBegin, step_id);
   std::optional<ClausePlan> uncached;
   if (!engine_.cache_plans)
     uncached.emplace(ClausePlan::build(clause, program_.arrays, opts_));
@@ -314,7 +363,11 @@ void SharedMachine::run_clause_sequential(const Clause& clause) {
   // A full-range space: rank ownership is ignored under '•'.
   std::vector<gen::Schedule> dims;
   for (const prog::LoopDim& l : clause.loops) {
-    if (l.lo > l.hi) return;
+    if (l.lo > l.hi) {
+      VCAL_TRACE(tr, ctl, obs::EventKind::ClauseEnd, step_id);
+      ++trace_step_;
+      return;
+    }
     dims.push_back(gen::Schedule::closed_form(
         gen::Method::Replicated, {{l.lo, l.hi - l.lo + 1, 1}}));
   }
@@ -335,6 +388,13 @@ void SharedMachine::run_clause_sequential(const Clause& clause) {
   stats_.iterations += s.loop_iters;
   stats_.tests += s.tests;
   stats_.sim_time += cost_.compute_cost(s.loop_iters, s.tests);
+  if (tr) {
+    tr->set_virtual_time(stats_.sim_time);
+    tr->record(ctl, obs::EventKind::StepCounters, step_id, s.loop_iters,
+               s.tests, 0, 0);
+    tr->record(ctl, obs::EventKind::ClauseEnd, step_id);
+  }
+  ++trace_step_;
 }
 
 const std::vector<double>& SharedMachine::result(

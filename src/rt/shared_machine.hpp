@@ -21,6 +21,7 @@
 #include <memory>
 
 #include "gen/optimizer.hpp"
+#include "obs/trace.hpp"
 #include "rt/cost_model.hpp"
 #include "rt/engine_options.hpp"
 #include "rt/store.hpp"
@@ -36,6 +37,9 @@ struct SharedStats {
   i64 iterations = 0;       // loop-body entries, all ranks
   i64 tests = 0;            // run-time membership tests, all ranks
   double sim_time = 0.0;    // sum over steps of the slowest rank's time
+
+  /// One-line rendering via the obs::MetricsRegistry.
+  std::string str() const;
 };
 
 class SharedMachine {
@@ -61,6 +65,10 @@ class SharedMachine {
   /// never part of SharedStats.
   const PathCounters& path_counters() const noexcept { return paths_; }
 
+  /// The attached event tracer (EngineOptions::trace); nullptr when
+  /// tracing is off. Lanes 0..procs-1 are ranks, lane procs the engine.
+  const obs::Tracer* tracer() const noexcept { return tracer_.get(); }
+
  private:
   void run_clause(const prog::Clause& clause,
                   const spmd::ClausePlan& plan);
@@ -73,10 +81,12 @@ class SharedMachine {
   bool elide_barriers_;
   EngineOptions engine_;
   std::unique_ptr<support::ThreadPool> pool_;  // owned when threads > 1
+  std::unique_ptr<obs::Tracer> tracer_;        // owned when engine_.trace
   spmd::PlanCache plan_cache_;
   DenseStore store_;
   SharedStats stats_;
   PathCounters paths_;
+  i64 trace_step_ = 0;  // executed-step ordinal for trace event ids
 };
 
 }  // namespace vcal::rt

@@ -223,6 +223,14 @@ class ClauseKernel {
   /// Scratch doubles eval()/holds() need (max over RHS and guard sides).
   int stack_need() const noexcept { return stack_need_; }
 
+  /// Total bytecode ops across the RHS and both guard sides — a size
+  /// proxy reported with plan-cache miss events.
+  int op_count() const noexcept {
+    std::size_t n = rhs_.ops().size();
+    if (guard_) n += guard_->lhs.ops().size() + guard_->rhs.ops().size();
+    return static_cast<int>(n);
+  }
+
   const std::vector<AffineSub>& lhs_subs() const noexcept {
     return lhs_subs_;
   }

@@ -1,5 +1,7 @@
 #include "spmd/plan_cache.hpp"
 
+#include "spmd/kernel.hpp"
+
 namespace vcal::spmd {
 
 const ClausePlan& PlanCache::get(const prog::Clause& clause,
@@ -9,6 +11,8 @@ const ClausePlan& PlanCache::get(const prog::Clause& clause,
   auto it = cache_.find(key);
   if (it != cache_.end() && it->second.epoch == epoch_) {
     ++hits_;
+    VCAL_TRACE(tracer_, lane_, obs::EventKind::PlanHit, /*step=*/-1,
+               size());
     return it->second.plan;
   }
   ++misses_;
@@ -16,6 +20,8 @@ const ClausePlan& PlanCache::get(const prog::Clause& clause,
   auto [pos, inserted] =
       cache_.insert_or_assign(std::move(key), Entry{epoch_, std::move(plan)});
   (void)inserted;
+  VCAL_TRACE(tracer_, lane_, obs::EventKind::PlanMiss, /*step=*/-1, size(),
+             pos->second.plan.kernel().op_count());
   return pos->second.plan;
 }
 

@@ -23,6 +23,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "obs/trace.hpp"
 #include "spmd/clause_plan.hpp"
 
 namespace vcal::spmd {
@@ -42,6 +43,13 @@ class PlanCache {
   i64 misses() const noexcept { return misses_; }
   i64 size() const noexcept { return static_cast<i64>(cache_.size()); }
 
+  /// Emit PlanHit/PlanMiss events on `lane` of `tracer` (the owning
+  /// machine's control lane). nullptr detaches.
+  void set_tracer(obs::Tracer* tracer, i64 lane) noexcept {
+    tracer_ = tracer;
+    lane_ = lane;
+  }
+
  private:
   struct Entry {
     std::uint64_t epoch;
@@ -52,6 +60,8 @@ class PlanCache {
   i64 hits_ = 0;
   i64 misses_ = 0;
   std::unordered_map<std::string, Entry> cache_;
+  obs::Tracer* tracer_ = nullptr;
+  i64 lane_ = 0;
 };
 
 }  // namespace vcal::spmd

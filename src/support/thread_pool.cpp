@@ -1,6 +1,7 @@
 #include "support/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 namespace vcal::support {
 
@@ -58,6 +59,7 @@ void ThreadPool::parallel_for_ranks(i64 n,
   if (n <= 0) return;
   if (workers_.empty() || n == 1) {
     for (i64 r = 0; r < n; ++r) body(r);
+    joins_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   std::lock_guard<std::mutex> serialize(run_m_);
@@ -73,9 +75,16 @@ void ThreadPool::parallel_for_ranks(i64 n,
   work_cv_.notify_all();
   drain();  // the caller is one of the pool's lanes
   {
+    auto wait0 = std::chrono::steady_clock::now();
     std::unique_lock<std::mutex> lock(m_);
     done_cv_.wait(lock, [&] { return active_ == 0; });
+    join_wait_ns_.fetch_add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - wait0)
+            .count(),
+        std::memory_order_relaxed);
   }
+  joins_.fetch_add(1, std::memory_order_relaxed);
   if (!errors_.empty()) {
     auto lowest = std::min_element(
         errors_.begin(), errors_.end(),

@@ -54,6 +54,18 @@ class ThreadPool {
   /// Process-wide pool sized to the hardware, created on first use.
   static ThreadPool& shared();
 
+  /// parallel_for_ranks calls completed (serial-bypass ones included).
+  i64 joins() const noexcept {
+    return joins_.load(std::memory_order_relaxed);
+  }
+
+  /// Nanoseconds callers spent blocked on the final join (waiting for
+  /// workers to finish after exhausting their own share of ranks) —
+  /// the pool's contribution to barrier time in traced runs.
+  i64 join_wait_ns() const noexcept {
+    return join_wait_ns_.load(std::memory_order_relaxed);
+  }
+
  private:
   void worker_loop();
   void drain();
@@ -76,6 +88,10 @@ class ThreadPool {
   std::vector<std::pair<i64, std::exception_ptr>> errors_;
 
   std::mutex run_m_;  // serializes parallel_for_ranks calls
+
+  // Observability counters (metrics only; never affect scheduling).
+  std::atomic<i64> joins_{0};
+  std::atomic<i64> join_wait_ns_{0};
 };
 
 }  // namespace vcal::support

@@ -12,6 +12,7 @@
 //   x plan cache {on, off}
 //   x channel matching {bulk binary-search, keyed hash}
 //   x clause execution {compiled kernels, interpreter}
+//   x event tracing {off, on}
 //   x build {optimized, run-time resolution}
 //
 // and asserts bit-identical result arrays everywhere, bit-identical

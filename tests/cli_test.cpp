@@ -102,6 +102,77 @@ TEST(Cli, VerifyCorpusAndFile) {
   EXPECT_EQ(run("--verify --iters 0").status, 1);  // usage error
 }
 
+TEST(Cli, HelpListsEveryFlag) {
+  RunResult r = run("--help");
+  EXPECT_EQ(r.status, 0) << r.out;
+  for (const char* flag :
+       {"--target", "--threads", "--no-plan-cache", "--keyed-channels",
+        "--no-compiled-kernels", "--trace", "--timeline", "--calibrate",
+        "--verify", "--stats", "--elide-barriers", "--naive"})
+    EXPECT_TRUE(has(r.out, flag)) << flag << " missing from --help";
+}
+
+TEST(Cli, EngineFlagsDoNotChangeResults) {
+  // No --stats here: the "paths:" tally legitimately moves between the
+  // kernel and interpreter columns when --no-compiled-kernels is given.
+  std::string base = "--init B --print A " + programs() + "/rotate.vexl";
+  RunResult plain = run(base);
+  ASSERT_EQ(plain.status, 0) << plain.out;
+  for (const char* flags :
+       {"--threads 1", "--threads 4", "--no-plan-cache",
+        "--keyed-channels", "--no-compiled-kernels",
+        "--threads 1 --no-plan-cache --keyed-channels "
+        "--no-compiled-kernels"}) {
+    RunResult r = run(std::string(flags) + " " + base);
+    EXPECT_EQ(r.status, 0) << flags << "\n" << r.out;
+    EXPECT_EQ(r.out, plain.out) << flags;
+  }
+}
+
+TEST(Cli, TraceWritesChromeJson) {
+  std::string dir = ::testing::TempDir();
+  std::string json = dir + "/trace_out.json";
+  RunResult r = run("--trace " + json + " --init B --print A " +
+                    programs() + "/rotate.vexl");
+  EXPECT_EQ(r.status, 0) << r.out;
+  EXPECT_TRUE(has(r.out, "A = 6 7 8 9")) << r.out;  // run unchanged
+  std::ostringstream buf;
+  buf << std::ifstream(json).rdbuf();
+  std::string trace = buf.str();
+  EXPECT_TRUE(has(trace, "\"traceEvents\"")) << trace;
+  EXPECT_TRUE(has(trace, "\"rank 0\"")) << trace;
+  EXPECT_TRUE(has(trace, "\"engine\"")) << trace;
+  EXPECT_TRUE(has(trace, "\"ph\":\"X\"")) << trace;
+}
+
+TEST(Cli, TimelinePrintsLanes) {
+  RunResult r = run("--timeline --init B " + programs() + "/rotate.vexl");
+  EXPECT_EQ(r.status, 0) << r.out;
+  EXPECT_TRUE(has(r.out, "== rank 0")) << r.out;
+  EXPECT_TRUE(has(r.out, "== engine")) << r.out;
+  EXPECT_TRUE(has(r.out, "clause")) << r.out;
+
+  // Every target supports the trace exports.
+  RunResult shared = run("--target=shared --timeline --init B " +
+                         programs() + "/rotate.vexl");
+  EXPECT_EQ(shared.status, 0) << shared.out;
+  EXPECT_TRUE(has(shared.out, "== engine")) << shared.out;
+  RunResult seq = run("--target=seq --timeline --init B " + programs() +
+                      "/rotate.vexl");
+  EXPECT_EQ(seq.status, 0) << seq.out;
+  EXPECT_TRUE(has(seq.out, "== rank 0")) << seq.out;
+}
+
+TEST(Cli, CalibrateReportsFit) {
+  RunResult r = run("--calibrate");
+  EXPECT_EQ(r.status, 0) << r.out;
+  EXPECT_TRUE(has(r.out, "calibration over")) << r.out;
+  EXPECT_TRUE(has(r.out, "fitted ns:")) << r.out;
+  EXPECT_TRUE(has(r.out, "relax")) << r.out;
+  EXPECT_TRUE(has(r.out, "rotate")) << r.out;
+  EXPECT_TRUE(has(r.out, "redistribute")) << r.out;
+}
+
 TEST(Cli, ErrorExitCodes) {
   EXPECT_EQ(run("").status, 1);                             // usage
   EXPECT_EQ(run("--target=bogus x.vexl").status, 1);        // bad file

@@ -2,36 +2,15 @@
 //
 //   vcalc [options] program.vexl
 //
-//   --target=dist|shared|seq   execute on the chosen machine (default dist)
-//   --emit=mpi|omp|trace|ir    print generated source / derivation instead
-//                              of executing
-//   --naive                    disable the Table I optimizations
-//                              (run-time resolution baseline)
-//   --elide-barriers           enable the footnote-1 barrier analysis
-//                              (shared target)
-//   --init NAME                fill NAME with the ramp 0,1,2,... before
-//                              running (repeatable)
-//   --print NAME               dump NAME after the run (repeatable)
-//   --stats                    print machine statistics
-//   --verify                   differential conformance mode: run the
-//                              seeded random corpus (or the given
-//                              program) through every machine and
-//                              engine configuration, checking
-//                              bit-identical results and statistics
-//                              invariants, plus the fault-injection
-//                              smoke (docs/testing.md)
-//   --iters N                  corpus size for --verify (default 100)
-//   --seed S                   corpus seed for --verify (default 1);
-//                              replay a reported failure with
-//                              --iters 1 --seed <failing seed>
-//
-// Exit status: 0 on success, 1 on usage errors, 2 on compile errors,
-// 3 on execution faults (including conformance failures).
+// Run `vcalc --help` for the full flag reference. Exit status: 0 on
+// success, 1 on usage errors, 2 on compile errors, 3 on execution
+// faults (including conformance failures).
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -40,6 +19,9 @@
 #include "emit/c_openmp.hpp"
 #include "emit/paper_notation.hpp"
 #include "lang/translate.hpp"
+#include "obs/calibrate.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
 #include "rt/dist_machine.hpp"
 #include "rt/seq_executor.hpp"
 #include "rt/shared_machine.hpp"
@@ -58,22 +40,76 @@ struct Options {
   bool elide_barriers = false;
   bool stats = false;
   bool verify = false;
+  bool timeline = false;
+  bool calibrate = false;
   int iters = 100;
   std::uint64_t seed = 1;
+  rt::EngineOptions engine;
+  std::string trace_path;  // --trace FILE: Chrome trace_event JSON out
   std::vector<std::string> init;
   std::vector<std::string> print;
   std::string file;
 };
 
+const char kHelp[] =
+    "usage: vcalc [options] program.vexl\n"
+    "       vcalc --verify [--iters N] [--seed S] [program.vexl]\n"
+    "       vcalc --calibrate [program.vexl]\n"
+    "\n"
+    "execution:\n"
+    "  --target=dist|shared|seq  machine to execute on (default dist)\n"
+    "  --init NAME               fill NAME with the ramp 0,1,2,... before\n"
+    "                            running (repeatable)\n"
+    "  --print NAME              dump NAME after the run (repeatable)\n"
+    "  --stats                   print machine statistics\n"
+    "\n"
+    "engine knobs (speed only; results are bit-identical regardless):\n"
+    "  --threads N               execution lanes for per-rank loops:\n"
+    "                            0 shared pool (default), 1 serial,\n"
+    "                            k > 1 a private pool of k lanes\n"
+    "  --no-plan-cache           recompute clause plans every execution\n"
+    "  --keyed-channels          hash-indexed message matching instead of\n"
+    "                            packed binary search (dist target)\n"
+    "  --no-compiled-kernels     tree-walking interpreter instead of\n"
+    "                            compiled clause kernels\n"
+    "  --naive                   disable the Table I optimizations\n"
+    "                            (run-time resolution baseline)\n"
+    "  --elide-barriers          footnote-1 barrier analysis (shared)\n"
+    "\n"
+    "observability:\n"
+    "  --trace FILE              record per-rank events and write Chrome\n"
+    "                            trace_event JSON to FILE (load it in\n"
+    "                            about://tracing or Perfetto)\n"
+    "  --timeline                record events and print a plain-text\n"
+    "                            per-rank timeline to stdout\n"
+    "  --calibrate               fit cost-model latency/bandwidth\n"
+    "                            constants from traced runs of the\n"
+    "                            built-in benchmarks (or program.vexl)\n"
+    "                            and report per-phase prediction error\n"
+    "\n"
+    "other modes:\n"
+    "  --emit=mpi|omp|trace|ir   print generated source / derivation\n"
+    "                            instead of executing\n"
+    "  --verify                  differential conformance mode: run the\n"
+    "                            seeded random corpus (or the given\n"
+    "                            program) through every machine and\n"
+    "                            engine configuration, checking\n"
+    "                            bit-identical results and statistics\n"
+    "                            invariants, plus the fault-injection\n"
+    "                            smoke (docs/testing.md)\n"
+    "  --iters N                 corpus size for --verify (default 100)\n"
+    "  --seed S                  corpus seed for --verify (default 1);\n"
+    "                            replay a reported failure with\n"
+    "                            --iters 1 --seed <failing seed>\n"
+    "  --help                    this text\n"
+    "\n"
+    "exit status: 0 success, 1 usage, 2 compile error, 3 execution or\n"
+    "conformance failure\n";
+
 int usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--target=dist|shared|seq] "
-               "[--emit=mpi|omp|trace|ir] [--naive] [--elide-barriers] "
-               "[--init NAME]... [--print NAME]... [--stats] "
-               "program.vexl\n"
-               "       %s --verify [--iters N] [--seed S] "
-               "[program.vexl]\n",
-               argv0, argv0);
+  std::fprintf(stderr, "usage: %s [options] program.vexl  (--help for the "
+                       "flag reference)\n",
+               argv0);
   return 1;
 }
 
@@ -107,6 +143,35 @@ int run_verify(const Options& opt) {
   return rep.ok && faults.ok ? 0 : 3;
 }
 
+int run_calibrate(const Options& opt) {
+  std::vector<std::pair<std::string, spmd::Program>> benches;
+  try {
+    if (!opt.file.empty()) {
+      std::ifstream in(opt.file);
+      if (!in) {
+        std::fprintf(stderr, "vcalc: cannot open %s\n", opt.file.c_str());
+        return 1;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      benches.emplace_back(opt.file, lang::compile(buf.str()));
+    } else {
+      benches = obs::builtin_calibration_benches();
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "vcalc: %s\n", e.what());
+    return 2;
+  }
+  try {
+    obs::CalibrationReport rep = obs::calibrate(benches);
+    std::fputs(rep.str().c_str(), stdout);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "vcalc: %s\n", e.what());
+    return 3;
+  }
+  return 0;
+}
+
 std::vector<double> ramp(i64 n) {
   std::vector<double> v(static_cast<std::size_t>(n));
   for (i64 i = 0; i < n; ++i)
@@ -120,6 +185,23 @@ void dump(const std::string& name, const std::vector<double>& data) {
   std::printf("\n");
 }
 
+/// Writes/prints the requested exports once the run finished. Returns
+/// false (after a diagnostic) when the trace file cannot be written.
+bool emit_trace(const Options& opt, const obs::Tracer* tracer) {
+  if (tracer == nullptr) return true;
+  if (!opt.trace_path.empty()) {
+    std::ofstream out(opt.trace_path);
+    if (!out) {
+      std::fprintf(stderr, "vcalc: cannot write %s\n",
+                   opt.trace_path.c_str());
+      return false;
+    }
+    out << obs::chrome_trace_json(*tracer, opt.file);
+  }
+  if (opt.timeline) std::fputs(obs::timeline_text(*tracer).c_str(), stdout);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -129,7 +211,10 @@ int main(int argc, char** argv) {
     auto value = [&](const char* prefix) -> const char* {
       return arg.c_str() + std::strlen(prefix);
     };
-    if (arg.rfind("--target=", 0) == 0) {
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(kHelp, stdout);
+      return 0;
+    } else if (arg.rfind("--target=", 0) == 0) {
       opt.target = value("--target=");
     } else if (arg.rfind("--emit=", 0) == 0) {
       opt.emit = value("--emit=");
@@ -141,6 +226,23 @@ int main(int argc, char** argv) {
       opt.stats = true;
     } else if (arg == "--verify") {
       opt.verify = true;
+    } else if (arg == "--calibrate") {
+      opt.calibrate = true;
+    } else if (arg == "--timeline") {
+      opt.timeline = true;
+      opt.engine.trace = true;
+    } else if (arg == "--trace" && k + 1 < argc) {
+      opt.trace_path = argv[++k];
+      opt.engine.trace = true;
+    } else if (arg == "--threads" && k + 1 < argc) {
+      opt.engine.threads = std::atoi(argv[++k]);
+      if (opt.engine.threads < 0) return usage(argv[0]);
+    } else if (arg == "--no-plan-cache") {
+      opt.engine.cache_plans = false;
+    } else if (arg == "--keyed-channels") {
+      opt.engine.keyed_channels = true;
+    } else if (arg == "--no-compiled-kernels") {
+      opt.engine.compiled_kernels = false;
     } else if (arg == "--iters" && k + 1 < argc) {
       opt.iters = std::atoi(argv[++k]);
       if (opt.iters <= 0) return usage(argv[0]);
@@ -159,6 +261,7 @@ int main(int argc, char** argv) {
     }
   }
   if (opt.verify) return run_verify(opt);
+  if (opt.calibrate) return run_calibrate(opt);
   if (opt.file.empty()) return usage(argv[0]);
 
   std::ifstream in(opt.file);
@@ -223,29 +326,34 @@ int main(int argc, char** argv) {
       }
     };
     if (opt.target == "seq") {
-      rt::SeqExecutor machine(program);
+      rt::SeqExecutor machine(program, opt.engine.compiled_kernels);
+      // The sequential executor doesn't own a tracer (it has no
+      // EngineOptions); attach one here so --trace/--timeline still work.
+      std::unique_ptr<obs::Tracer> tracer;
+      if (opt.engine.trace) {
+        tracer = std::make_unique<obs::Tracer>(/*ranks=*/1,
+                                               opt.engine.trace_capacity);
+        machine.attach_tracer(tracer.get());
+      }
       init_all(machine);
       machine.run();
       for (const std::string& name : opt.print)
         dump(name, machine.result(name));
+      if (!emit_trace(opt, tracer.get())) return 1;
     } else if (opt.target == "shared") {
-      rt::SharedMachine machine(program, build, {}, opt.elide_barriers);
+      rt::SharedMachine machine(program, build, {}, opt.elide_barriers,
+                                opt.engine);
       init_all(machine);
       machine.run();
       for (const std::string& name : opt.print)
         dump(name, machine.result(name));
       if (opt.stats) {
-        std::printf(
-            "stats: barriers=%lld elided=%lld iters=%lld tests=%lld "
-            "sim-time=%g\n",
-            (long long)machine.stats().barriers,
-            (long long)machine.stats().barriers_elided,
-            (long long)machine.stats().iterations,
-            (long long)machine.stats().tests, machine.stats().sim_time);
+        std::printf("stats: %s\n", machine.stats().str().c_str());
         std::printf("paths: %s\n", machine.path_counters().str().c_str());
       }
+      if (!emit_trace(opt, machine.tracer())) return 1;
     } else if (opt.target == "dist") {
-      rt::DistMachine machine(program, build);
+      rt::DistMachine machine(program, build, {}, opt.engine);
       init_all(machine);
       machine.run();
       for (const std::string& name : opt.print)
@@ -254,6 +362,7 @@ int main(int argc, char** argv) {
         std::printf("stats: %s\n", machine.stats().str().c_str());
         std::printf("paths: %s\n", machine.path_counters().str().c_str());
       }
+      if (!emit_trace(opt, machine.tracer())) return 1;
     } else {
       return usage(argv[0]);
     }
