@@ -111,6 +111,16 @@ void collect(MetricsRegistry& reg, const rt::PathCounters& c) {
   reg.set("fused", c.fused);
   reg.set("generic", c.generic);
   reg.set("interp", c.interp);
+  reg.set("sched", c.sched);
+}
+
+void collect(MetricsRegistry& reg, const rt::CommStats& c) {
+  reg.set("sched-builds", c.sched_builds);
+  reg.set("sched-hits", c.sched_hits);
+  reg.set("sched-fallbacks", c.sched_fallbacks);
+  reg.set("packed-values", c.packed_values, /*commas=*/true);
+  reg.set("packed-bytes", c.packed_bytes, true);
+  reg.set("unpacked-values", c.unpacked_values, true);
 }
 
 void collect(MetricsRegistry& reg, const gen::EnumStats& s) {

@@ -24,6 +24,7 @@ namespace vcal::rt {
 struct DistStats;
 struct SharedStats;
 struct PathCounters;
+struct CommStats;
 }  // namespace vcal::rt
 namespace vcal::gen {
 struct EnumStats;
@@ -82,6 +83,7 @@ class MetricsRegistry {
 void collect(MetricsRegistry& reg, const rt::DistStats& s);
 void collect(MetricsRegistry& reg, const rt::SharedStats& s);
 void collect(MetricsRegistry& reg, const rt::PathCounters& c);
+void collect(MetricsRegistry& reg, const rt::CommStats& c);
 void collect(MetricsRegistry& reg, const gen::EnumStats& s);
 void collect(MetricsRegistry& reg, const spmd::PlanCache& c);
 void collect(MetricsRegistry& reg, const support::ThreadPool& p);

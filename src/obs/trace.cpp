@@ -26,6 +26,13 @@ const char* kind_name(EventKind k) {
     case EventKind::RedistEpoch: return "redist-epoch";
     case EventKind::KernelPath: return "kernel-path";
     case EventKind::StepCounters: return "step-counters";
+    case EventKind::PackBegin: return "pack-begin";
+    case EventKind::PackEnd: return "pack-end";
+    case EventKind::GatherBegin: return "gather-begin";
+    case EventKind::GatherEnd: return "gather-end";
+    case EventKind::SchedBuild: return "sched-build";
+    case EventKind::SchedHit: return "sched-hit";
+    case EventKind::SchedFallback: return "sched-fallback";
   }
   return "unknown";
 }
@@ -37,6 +44,8 @@ bool is_begin(EventKind k) {
     case EventKind::HaloBegin:
     case EventKind::RedistBegin:
     case EventKind::BarrierBegin:
+    case EventKind::PackBegin:
+    case EventKind::GatherBegin:
       return true;
     default:
       return false;
@@ -50,6 +59,8 @@ EventKind end_of(EventKind k) {
     case EventKind::HaloBegin: return EventKind::HaloEnd;
     case EventKind::RedistBegin: return EventKind::RedistEnd;
     case EventKind::BarrierBegin: return EventKind::BarrierEnd;
+    case EventKind::PackBegin: return EventKind::PackEnd;
+    case EventKind::GatherBegin: return EventKind::GatherEnd;
     default: return k;
   }
 }

@@ -67,13 +67,25 @@ enum class EventKind : std::uint8_t {
   PlanMiss,      // a0 = cache size, a1 = compiled-kernel op count
   RedistEpoch,   // decomposition epoch bumped: a0 = new epoch
   KernelPath,    // per-rank per-step path tally: a0 = fused,
-                 // a1 = generic, a2 = interp elements
+                 // a1 = generic, a2 = interp, a3 = schedule-replayed
+                 // elements
   StepCounters,  // per-step totals (control lane, calibration input):
                  // a0 = iterations, a1 = tests, a2 = element transfers,
                  // a3 = bulk messages
+  // Communication-schedule (inspector–executor) events. The span pairs
+  // keep the Begin = End - 1 adjacency the exporters rely on.
+  PackBegin,      // rank lane: positional pack of outgoing schedule
+  PackEnd,        //   buffers (replay phase 1); End a0 = values packed
+  GatherBegin,    // rank lane: schedule-driven operand gather + compute
+  GatherEnd,      //   (replay phase 2); End a0 = elements produced
+  SchedBuild,     // control lane: inspector compiled a schedule
+                  //   (a0 = schedules cached)
+  SchedHit,       // control lane: step replayed through a schedule
+  SchedFallback,  // control lane: schedules enabled but the step ran the
+                  //   tagged path (a0 = 1 armed fault, 0 caching off)
 };
 
-constexpr int kEventKindCount = static_cast<int>(EventKind::StepCounters) + 1;
+constexpr int kEventKindCount = static_cast<int>(EventKind::SchedFallback) + 1;
 
 /// Stable lower-case name, e.g. "clause-begin", "msg-send".
 const char* kind_name(EventKind k);

@@ -71,7 +71,9 @@ std::string chrome_trace_json(const Tracer& tracer,
         case EventKind::SendEnd:
         case EventKind::HaloEnd:
         case EventKind::RedistEnd:
-        case EventKind::BarrierEnd: {
+        case EventKind::BarrierEnd:
+        case EventKind::PackEnd:
+        case EventKind::GatherEnd: {
           for (std::size_t i = open.size(); i-- > 0;) {
             if (end_of(open[i].kind) != e.kind) continue;
             const TraceEvent& b = open[i];
@@ -88,7 +90,8 @@ std::string chrome_trace_json(const Tracer& tracer,
           records.push_back(
               cat("{\"name\":\"KernelPath\",\"ph\":\"C\",",
                   head(lane, e.wall_ns), ",\"args\":{\"fused\":", e.a0,
-                  ",\"generic\":", e.a1, ",\"interp\":", e.a2, "}}"));
+                  ",\"generic\":", e.a1, ",\"interp\":", e.a2,
+                  ",\"sched\":", e.a3, "}}"));
           break;
         case EventKind::StepCounters:
           records.push_back(

@@ -6,6 +6,7 @@
 
 #include "decomp/redistribute.hpp"
 #include "obs/metrics.hpp"
+#include "spmd/comm_schedule.hpp"
 #include "spmd/kernel.hpp"
 #include "support/error.hpp"
 #include "support/format.hpp"
@@ -59,6 +60,17 @@ void DistMachine::run() {
 }
 
 void DistMachine::for_ranks(i64 n, const std::function<void(i64)>& body) {
+  if (engine_.threads == 1) {
+    for (i64 r = 0; r < n; ++r) body(r);
+    return;
+  }
+  support::ThreadPool& pool =
+      pool_ ? *pool_ : support::ThreadPool::shared();
+  pool.parallel_for_ranks(n, body);
+}
+
+template <typename F>
+void DistMachine::for_ranks_t(i64 n, F&& body) {
   if (engine_.threads == 1) {
     for (i64 r = 0; r < n; ++r) body(r);
     return;
@@ -123,9 +135,20 @@ struct Channel {
   std::vector<std::pair<i64, double>> msgs;
   std::vector<char> taken;
   std::unordered_map<i64, std::size_t> index;  // keyed matching only
+  // Recording metadata for the communication-schedule inspector: the
+  // (ref ordinal, source-local offset) behind each in-flight value.
+  // Maintained only while a schedule is being recorded; pack() keeps it
+  // in tandem with msgs through the sort/dedup permutation.
+  std::vector<std::pair<std::int32_t, i64>> meta;
+  // Lazy tag -> first-occurrence index for the perturbed (unsorted,
+  // non-keyed) fallback, built once on the first fallback consume
+  // instead of re-scanning the whole channel per receive.
+  std::unordered_map<i64, std::size_t> lazy;
+  bool lazy_built = false;
   bool keyed = false;
   bool sorted = false;  // binary search valid (bulk mode, unperturbed)
   i64 consumed = 0;
+  std::size_t last_k = 0;  // slot of the last successful consume
 
   void push(i64 tag, double value) { msgs.emplace_back(tag, value); }
 
@@ -133,19 +156,27 @@ struct Channel {
   // the earlier value, mirroring keyed-mailbox semantics — then freezes
   // the matching structure: sort (bulk) or hash index (keyed).
   void pack() {
+    const bool rec = !meta.empty();
     if (keyed) {
       std::vector<std::pair<i64, double>> out;
+      std::vector<std::pair<std::int32_t, i64>> mout;
       out.reserve(msgs.size());
+      if (rec) mout.reserve(meta.size());
       index.reserve(msgs.size());
-      for (const auto& m : msgs) {
+      for (std::size_t i = 0; i < msgs.size(); ++i) {
+        const auto& m = msgs[i];
         auto [it, fresh] = index.try_emplace(m.first, out.size());
-        if (fresh)
+        if (fresh) {
           out.push_back(m);
-        else
+          if (rec) mout.push_back(meta[i]);
+        } else {
           out[it->second] = m;
+          if (rec) mout[it->second] = meta[i];
+        }
       }
       msgs = std::move(out);
-    } else {
+      if (rec) meta = std::move(mout);
+    } else if (!rec) {
       std::stable_sort(
           msgs.begin(), msgs.end(),
           [](const auto& a, const auto& b) { return a.first < b.first; });
@@ -157,6 +188,32 @@ struct Channel {
           msgs[w++] = msgs[i];
       }
       msgs.resize(w);
+      sorted = true;
+    } else {
+      // Recording: run the identical stable sort + keep-last dedup
+      // through an index permutation so meta stays in tandem — the
+      // recorded pack order is exactly what replay will reproduce.
+      std::vector<std::size_t> perm(msgs.size());
+      for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+      std::stable_sort(perm.begin(), perm.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return msgs[a].first < msgs[b].first;
+                       });
+      std::vector<std::pair<i64, double>> out;
+      std::vector<std::pair<std::int32_t, i64>> mout;
+      out.reserve(msgs.size());
+      mout.reserve(meta.size());
+      for (std::size_t i : perm) {
+        if (!out.empty() && out.back().first == msgs[i].first) {
+          out.back() = msgs[i];
+          mout.back() = meta[i];
+        } else {
+          out.push_back(msgs[i]);
+          mout.push_back(meta[i]);
+        }
+      }
+      msgs = std::move(out);
+      meta = std::move(mout);
       sorted = true;
     }
     taken.assign(msgs.size(), 0);
@@ -177,16 +234,25 @@ struct Channel {
       if (it == msgs.end() || it->first != tag) return nullptr;
       k = static_cast<std::size_t>(it - msgs.begin());
     } else {
-      for (std::size_t i = 0; i < msgs.size(); ++i)
-        if (msgs[i].first == tag && !taken[i]) {
-          k = i;
-          break;
-        }
+      // Perturbed channel: index tag -> first occurrence once, then
+      // scan forward from it only past taken duplicates — first-match
+      // semantics at O(m) total instead of O(m²) per step.
+      if (!lazy_built) {
+        lazy.clear();
+        for (std::size_t i = 0; i < msgs.size(); ++i)
+          lazy.try_emplace(msgs[i].first, i);
+        lazy_built = true;
+      }
+      auto it = lazy.find(tag);
+      if (it == lazy.end()) return nullptr;
+      k = it->second;
+      while (k < msgs.size() && (taken[k] || msgs[k].first != tag)) ++k;
       if (k == msgs.size()) return nullptr;
     }
     if (taken[k]) return nullptr;
     taken[k] = 1;
     ++consumed;
+    last_k = k;
     return &msgs[k].second;
   }
 
@@ -202,6 +268,7 @@ struct Channel {
         i % static_cast<i64>(msgs.size()));
     msgs.erase(msgs.begin() + static_cast<std::ptrdiff_t>(k));
     taken.erase(taken.begin() + static_cast<std::ptrdiff_t>(k));
+    lazy_built = false;
     if (keyed) reindex();
     return true;
   }
@@ -217,6 +284,7 @@ struct Channel {
     // surfaces in the pairing check. The keyed index still names the
     // original, with the same effect.
     sorted = false;
+    lazy_built = false;
     return true;
   }
 
@@ -224,6 +292,7 @@ struct Channel {
     if (msgs.size() < 2) return false;
     std::reverse(msgs.begin(), msgs.end());
     sorted = false;
+    lazy_built = false;
     if (keyed) reindex();
     return true;
   }
@@ -237,45 +306,20 @@ struct Channel {
 
 }  // namespace
 
-void DistMachine::run_clause(const Clause& clause) {
-  if (clause.ord == prog::Ordering::Seq)
-    throw CodegenError(
-        "sequential ('•') clauses are not supported on the distributed "
-        "target; the paper leaves DOACROSS orderings out of scope");
-
+// Phase 0 of every clause (tagged or scheduled): every referenced array
+// with a halo gets its boundary copies refreshed with pre-clause values
+// — one bulk exchange per (owner, neighbour) pair. Near-boundary remote
+// reads in phase 2 then stay local. halos[name][rank] maps global index
+// -> cached value. `snap` is the copy-in snapshot when the clause reads
+// its own target (senders must observe pre-clause values), else null.
+void DistMachine::refresh_halos(const Clause& clause, const ClausePlan& plan,
+                                const std::vector<std::vector<double>>* snap,
+                                std::vector<RankCounters>& counters,
+                                HaloTable& halos, i64 step_id) {
   obs::Tracer* tr = tracer_.get();
   const i64 ctl = tr ? tr->control_lane() : 0;
-  const i64 step_id = stats_.steps;  // index of the step now executing
-  VCAL_TRACE(tr, ctl, obs::EventKind::ClauseBegin, step_id);
-
-  // Plans are pure compile-time data; iterative programs reuse them
-  // until a redistribution bumps the epoch.
-  std::optional<ClausePlan> uncached;
-  if (!engine_.cache_plans)
-    uncached.emplace(ClausePlan::build(clause, program_.arrays, opts_));
-  const ClausePlan& plan =
-      uncached ? *uncached : plan_cache_.get(clause, program_.arrays, opts_);
-
-  // Kernel path: bytecode RHS/guard plus affine subscript strides (see
-  // spmd/kernel.hpp). Observably identical to the interpreter; kaff
-  // additionally enables the strided-run analysis in both phases.
-  const spmd::ClauseKernel* kern =
-      engine_.compiled_kernels ? &plan.kernel() : nullptr;
-  const bool kaff = kern != nullptr && kern->affine();
-
-  const decomp::ArrayDesc& lhs = plan.lhs_desc();
   const i64 procs = plan.procs();
   const int nrefs = static_cast<int>(clause.refs.size());
-  const int inner = static_cast<int>(clause.loops.size()) - 1;
-
-  // Copy-in snapshot when the clause reads its own target: senders and
-  // local reads must observe pre-clause values.
-  bool lhs_read = false;
-  for (const prog::ArrayRef& r : clause.refs)
-    if (r.array == clause.lhs_array) lhs_read = true;
-  std::optional<std::vector<std::vector<double>>> snap;
-  if (lhs_read) snap = store_.clone(clause.lhs_array);
-
   auto read_element = [&](int r, i64 rank, i64 local) -> double {
     const std::string& name =
         clause.refs[static_cast<std::size_t>(r)].array;
@@ -287,55 +331,6 @@ void DistMachine::run_clause(const Clause& clause) {
     }
     return store_.read_local(name, rank, local);
   };
-
-  // Pre-clause source row for ref r on `rank`: the copy-in snapshot when
-  // the clause reads its own target, the live store row otherwise.
-  // Resolved once per (ref, rank) so the phase loops read through a plain
-  // pointer instead of a string-keyed lookup per element.
-  auto ref_row = [&](int r, i64 rank) -> const std::vector<double>& {
-    const std::string& name =
-        clause.refs[static_cast<std::size_t>(r)].array;
-    if (snap && name == clause.lhs_array)
-      return (*snap)[static_cast<std::size_t>(rank)];
-    return store_.local_row(name, rank);
-  };
-  auto read_row = [&](const std::vector<double>& row, i64 local,
-                      int r) -> double {
-    if (!in_range(local, 0, static_cast<i64>(row.size()) - 1))
-      throw RuntimeFault(
-          "local read out of bounds on " +
-          clause.refs[static_cast<std::size_t>(r)].array);
-    return row[static_cast<std::size_t>(local)];
-  };
-
-  // In-flight messages: one bulk channel per (src, dst) rank pair.
-  std::vector<Channel> channels(
-      static_cast<std::size_t>(procs * procs));
-  for (Channel& ch : channels) ch.keyed = engine_.keyed_channels;
-  auto channel = [&](i64 src, i64 dst) -> Channel& {
-    return channels[static_cast<std::size_t>(src * procs + dst)];
-  };
-  std::vector<RankCounters> counters(static_cast<std::size_t>(procs));
-  std::vector<PathCounters> pcs(static_cast<std::size_t>(procs));
-
-  // Faults armed for this step (stats_.steps counts completed steps, so
-  // it is the index of the step now executing).
-  std::vector<const FaultPlan*> active_faults;
-  for (const FaultPlan& f : faults_)
-    if (f.step == stats_.steps && f.kind != FaultPlan::Kind::None)
-      active_faults.push_back(&f);
-  auto valid_channel = [&](const FaultPlan& f) {
-    return in_range(f.src, 0, procs - 1) && in_range(f.dst, 0, procs - 1);
-  };
-
-  // ---- Phase 0: halo refresh for overlapped decompositions -----------
-  // Every referenced array with a halo gets its boundary copies refreshed
-  // with pre-clause values: one bulk exchange per (owner, neighbour)
-  // pair. Near-boundary remote reads in phase 2 then stay local.
-  // halos[name][rank] maps global index -> cached value.
-  std::unordered_map<std::string,
-                     std::vector<std::unordered_map<i64, double>>>
-      halos;
   for (int r = 0; r < nrefs; ++r) {
     const decomp::ArrayDesc& rd = plan.ref_desc(r);
     if (rd.halo() == 0 || halos.count(rd.name())) continue;
@@ -385,6 +380,139 @@ void DistMachine::run_clause(const Clause& clause) {
                         [static_cast<std::size_t>(o)];
       }
   }
+}
+
+void DistMachine::run_clause(const Clause& clause) {
+  if (clause.ord == prog::Ordering::Seq)
+    throw CodegenError(
+        "sequential ('•') clauses are not supported on the distributed "
+        "target; the paper leaves DOACROSS orderings out of scope");
+
+  obs::Tracer* tr = tracer_.get();
+  const i64 ctl = tr ? tr->control_lane() : 0;
+  const i64 step_id = stats_.steps;  // index of the step now executing
+
+  // Faults armed for this step (stats_.steps counts completed steps, so
+  // it is the index of the step now executing). Collected before the
+  // schedule dispatch: any armed fault forces the tagged path, so the
+  // perturbation machinery always sees real channels.
+  std::vector<const FaultPlan*> active_faults;
+  for (const FaultPlan& f : faults_)
+    if (f.step == stats_.steps && f.kind != FaultPlan::Kind::None)
+      active_faults.push_back(&f);
+  const bool fault_armed = !active_faults.empty();
+
+  VCAL_TRACE(tr, ctl, obs::EventKind::ClauseBegin, step_id);
+
+  // Plans are pure compile-time data; iterative programs reuse them
+  // until a redistribution bumps the epoch. The cache key (the clause's
+  // printed form) is memoized per program step, so repeat executions
+  // look it up without rebuilding the string.
+  const std::string* key = nullptr;
+  std::optional<ClausePlan> uncached;
+  if (!engine_.cache_plans) {
+    uncached.emplace(ClausePlan::build(clause, program_.arrays, opts_));
+  } else {
+    auto [ki, fresh] = step_keys_.try_emplace(&clause, std::string{});
+    if (fresh) ki->second = clause.str();
+    key = &ki->second;
+  }
+  const ClausePlan& plan =
+      uncached ? *uncached
+               : plan_cache_.get(*key, clause, program_.arrays, opts_);
+
+  // Communication-schedule dispatch (inspector–executor): replay when a
+  // schedule exists for this plan at the current epoch; record one on
+  // the second clean execution (the first proves the pattern repeats;
+  // single-shot clauses never pay the inspector); otherwise run the
+  // tagged path. Armed faults and uncached plans always fall back.
+  spmd::CommSchedule* rec = nullptr;
+  std::unique_ptr<spmd::CommSchedule> rec_owner;
+  if (engine_.comm_schedules) {
+    if (!engine_.cache_plans || fault_armed) {
+      ++comm_.sched_fallbacks;
+      VCAL_TRACE(tr, ctl, obs::EventKind::SchedFallback, step_id,
+                 fault_armed ? 1 : 0);
+    } else {
+      if (auto* cs = static_cast<spmd::CommSchedule*>(
+              plan_cache_.find_schedule(*key))) {
+        run_clause_scheduled(clause, plan, *cs);
+        return;
+      }
+      auto [si, first] =
+          key_seen_.try_emplace(*key, KeySeen{plan_cache_.epoch(), 0});
+      if (!first && si->second.epoch != plan_cache_.epoch())
+        si->second = KeySeen{plan_cache_.epoch(), 0};
+      if (si->second.seen >= 1) {
+        rec_owner = std::make_unique<spmd::CommSchedule>();
+        rec_owner->init(plan.procs(), static_cast<int>(clause.loops.size()),
+                        static_cast<int>(clause.refs.size()));
+        rec = rec_owner.get();
+      }
+      ++si->second.seen;
+    }
+  }
+  std::vector<std::vector<i64>> matrix_before;
+  if (rec) matrix_before = message_matrix_;
+
+  // Kernel path: bytecode RHS/guard plus affine subscript strides (see
+  // spmd/kernel.hpp). Observably identical to the interpreter; kaff
+  // additionally enables the strided-run analysis in both phases.
+  const spmd::ClauseKernel* kern =
+      engine_.compiled_kernels ? &plan.kernel() : nullptr;
+  const bool kaff = kern != nullptr && kern->affine();
+
+  const decomp::ArrayDesc& lhs = plan.lhs_desc();
+  const i64 procs = plan.procs();
+  const int nrefs = static_cast<int>(clause.refs.size());
+  const int inner = static_cast<int>(clause.loops.size()) - 1;
+
+  // Copy-in snapshot when the clause reads its own target: senders and
+  // local reads must observe pre-clause values.
+  bool lhs_read = false;
+  for (const prog::ArrayRef& r : clause.refs)
+    if (r.array == clause.lhs_array) lhs_read = true;
+  std::optional<std::vector<std::vector<double>>> snap;
+  if (lhs_read) snap = store_.clone(clause.lhs_array);
+
+  // Pre-clause source row for ref r on `rank`: the copy-in snapshot when
+  // the clause reads its own target, the live store row otherwise.
+  // Resolved once per (ref, rank) so the phase loops read through a plain
+  // pointer instead of a string-keyed lookup per element.
+  auto ref_row = [&](int r, i64 rank) -> const std::vector<double>& {
+    const std::string& name =
+        clause.refs[static_cast<std::size_t>(r)].array;
+    if (snap && name == clause.lhs_array)
+      return (*snap)[static_cast<std::size_t>(rank)];
+    return store_.local_row(name, rank);
+  };
+  auto read_row = [&](const std::vector<double>& row, i64 local,
+                      int r) -> double {
+    if (!in_range(local, 0, static_cast<i64>(row.size()) - 1))
+      throw RuntimeFault(
+          "local read out of bounds on " +
+          clause.refs[static_cast<std::size_t>(r)].array);
+    return row[static_cast<std::size_t>(local)];
+  };
+
+  // In-flight messages: one bulk channel per (src, dst) rank pair.
+  std::vector<Channel> channels(
+      static_cast<std::size_t>(procs * procs));
+  for (Channel& ch : channels) ch.keyed = engine_.keyed_channels;
+  auto channel = [&](i64 src, i64 dst) -> Channel& {
+    return channels[static_cast<std::size_t>(src * procs + dst)];
+  };
+  std::vector<RankCounters> counters(static_cast<std::size_t>(procs));
+  std::vector<PathCounters> pcs(static_cast<std::size_t>(procs));
+
+  auto valid_channel = [&](const FaultPlan& f) {
+    return in_range(f.src, 0, procs - 1) && in_range(f.dst, 0, procs - 1);
+  };
+
+  // ---- Phase 0: halo refresh for overlapped decompositions -----------
+  HaloTable halos;
+  refresh_halos(clause, plan, snap ? &*snap : nullptr, counters, halos,
+                step_id);
   auto halo_covers = [&](const decomp::ArrayDesc& rd, i64 rank,
                          const std::vector<i64>& idx) {
     return rd.halo() > 0 && halos.count(rd.name()) &&
@@ -431,7 +559,10 @@ void DistMachine::run_clause(const Clause& clause) {
                   if (dst == p) continue;
                   if (halo_covers(rd, dst, ridx))
                     continue;  // receiver reads its halo copy
-                  channel(p, dst).push(tag, value);
+                  Channel& ch = channel(p, dst);
+                  ch.push(tag, value);
+                  if (rec)
+                    ch.meta.emplace_back(static_cast<std::int32_t>(r), local);
                   ++rc.sends;
                   ++matrix_row[static_cast<std::size_t>(dst)];
                 }
@@ -442,7 +573,10 @@ void DistMachine::run_clause(const Clause& clause) {
                 if (dst == p) return;  // Modify ∩ Reside: local update later
                 if (halo_covers(rd, dst, ridx))
                   return;  // receiver reads its halo copy
-                channel(p, dst).push(tag, value);
+                Channel& ch = channel(p, dst);
+                ch.push(tag, value);
+                if (rec)
+                  ch.meta.emplace_back(static_cast<std::int32_t>(r), local);
                 ++rc.sends;
                 ++matrix_row[static_cast<std::size_t>(dst)];
               }
@@ -464,13 +598,17 @@ void DistMachine::run_clause(const Clause& clause) {
             throw RuntimeFault("read out of bounds on " +
                                clause.refs[static_cast<std::size_t>(r)]
                                    .array);
-          double value = read_row(row, rd.local_linear(ridx), r);
+          i64 local = rd.local_linear(ridx);
+          double value = read_row(row, local, r);
           i64 tag = kern->tag(r, vals.data());
           if (lhs.is_replicated()) {
             for (i64 dst = 0; dst < procs; ++dst) {
               if (dst == p) continue;
               if (halo_covers(rd, dst, ridx)) continue;
-              channel(p, dst).push(tag, value);
+              Channel& ch = channel(p, dst);
+              ch.push(tag, value);
+              if (rec)
+                ch.meta.emplace_back(static_cast<std::int32_t>(r), local);
               ++rc.sends;
               ++matrix_row[static_cast<std::size_t>(dst)];
             }
@@ -480,7 +618,10 @@ void DistMachine::run_clause(const Clause& clause) {
             i64 dst = lhs.owner(out_idx);
             if (dst == p) return;
             if (halo_covers(rd, dst, ridx)) return;
-            channel(p, dst).push(tag, value);
+            Channel& ch = channel(p, dst);
+            ch.push(tag, value);
+            if (rec)
+              ch.meta.emplace_back(static_cast<std::int32_t>(r), local);
             ++rc.sends;
             ++matrix_row[static_cast<std::size_t>(dst)];
           }
@@ -609,16 +750,20 @@ void DistMachine::run_clause(const Clause& clause) {
             const std::vector<double>& row =
                 *rows[static_cast<std::size_t>(r)];
             if (rd.is_replicated()) {
+              i64 local = rd.local_linear(ridx);
               ref_values[static_cast<std::size_t>(r)] =
-                  read_row(row, rd.local_linear(ridx), r);
+                  read_row(row, local, r);
               ++rc.local_reads;
+              if (rec) rec->note_local(p, r, local);
               continue;
             }
             i64 src = rd.owner(ridx);
             if (src == p) {
+              i64 local = rd.local_linear(ridx);
               ref_values[static_cast<std::size_t>(r)] =
-                  read_row(row, rd.local_linear(ridx), r);
+                  read_row(row, local, r);
               ++rc.local_reads;
+              if (rec) rec->note_local(p, r, local);
             } else if (halo_covers(rd, p, ridx)) {
               // Overlapped decomposition: the value is already cached in
               // this rank's halo region.
@@ -629,10 +774,12 @@ void DistMachine::run_clause(const Clause& clause) {
                       "halo cache missing a covered element");
               ref_values[static_cast<std::size_t>(r)] = hit->second;
               ++rc.halo_reads;
+              if (rec) rec->note_halo(p, r, ridx[0]);
             } else {
               // Blocking receive from the in-flight bulk message.
               i64 tag = plan.message_tag(r, vals);
-              const double* value = channel(src, p).consume(tag);
+              Channel& ch = channel(src, p);
+              const double* value = ch.consume(tag);
               if (value == nullptr) {
                 std::string elem =
                     clause.refs[static_cast<std::size_t>(r)].array + "[";
@@ -654,7 +801,19 @@ void DistMachine::run_clause(const Clause& clause) {
               ref_values[static_cast<std::size_t>(r)] = *value;
               ++rc.receives;
               ++rc.remote_reads;
+              if (rec)
+                rec->note_remote(p, r, src, static_cast<i64>(ch.last_k));
             }
+          }
+          if (rec) {
+            // Record before the guard: replay evaluates guards live, so
+            // guarded-off elements must still carry their operand
+            // offsets. -1 encodes "the tagged path would fault on an
+            // in-range-guarded write".
+            i64 rslot = lhs.local_linear(out_idx);
+            if (!in_range(rslot, 0, static_cast<i64>(out_row.size()) - 1))
+              rslot = -1;
+            rec->note_element(p, rslot, vals.data());
           }
           if (clause.guard && !clause.guard->holds(ref_values, vals)) return;
           double value = prog::eval(clause.rhs, ref_values, vals);
@@ -721,16 +880,18 @@ void DistMachine::run_clause(const Clause& clause) {
         const std::vector<double>& row =
             *rows[static_cast<std::size_t>(r)];
         if (rd.is_replicated()) {
-          ref_values[static_cast<std::size_t>(r)] =
-              read_row(row, rd.local_linear(ridx), r);
+          i64 local = rd.local_linear(ridx);
+          ref_values[static_cast<std::size_t>(r)] = read_row(row, local, r);
           ++rc.local_reads;
+          if (rec) rec->note_local(p, r, local);
           continue;
         }
         i64 src = rd.owner(ridx);
         if (src == p) {
-          ref_values[static_cast<std::size_t>(r)] =
-              read_row(row, rd.local_linear(ridx), r);
+          i64 local = rd.local_linear(ridx);
+          ref_values[static_cast<std::size_t>(r)] = read_row(row, local, r);
           ++rc.local_reads;
+          if (rec) rec->note_local(p, r, local);
         } else if (halo_covers(rd, p, ridx)) {
           const auto& cache =
               halos.at(rd.name())[static_cast<std::size_t>(p)];
@@ -739,9 +900,11 @@ void DistMachine::run_clause(const Clause& clause) {
                   "halo cache missing a covered element");
           ref_values[static_cast<std::size_t>(r)] = hit->second;
           ++rc.halo_reads;
+          if (rec) rec->note_halo(p, r, ridx[0]);
         } else {
           i64 tag = kern->tag(r, vals.data());
-          const double* value = channel(src, p).consume(tag);
+          Channel& ch = channel(src, p);
+          const double* value = ch.consume(tag);
           if (value == nullptr) {
             std::string elem =
                 clause.refs[static_cast<std::size_t>(r)].array + "[";
@@ -763,7 +926,15 @@ void DistMachine::run_clause(const Clause& clause) {
           ref_values[static_cast<std::size_t>(r)] = *value;
           ++rc.receives;
           ++rc.remote_reads;
+          if (rec) rec->note_remote(p, r, src, static_cast<i64>(ch.last_k));
         }
+      }
+      if (rec) {
+        // Pre-guard, as in phase2_interp: -1 marks a guarded OOB write.
+        i64 rslot = lhs.local_linear(out_idx);
+        if (!in_range(rslot, 0, static_cast<i64>(out_row.size()) - 1))
+          rslot = -1;
+        rec->note_element(p, rslot, vals.data());
       }
       if (guard &&
           !guard->holds(ref_values.data(), vals.data(), stack.data()))
@@ -827,6 +998,13 @@ void DistMachine::run_clause(const Clause& clause) {
           const i64 fused_n = k1 - k0 + 1;
           for (i64 k = 0; k < fused_n; ++k) {
             vals[static_cast<std::size_t>(inner)] = v;
+            if (rec) {
+              // Fused elements are proven local and in bounds for the
+              // LHS and every ref; record their resolved offsets.
+              rec->note_element(p, la, vals.data());
+              for (int r = 0; r < nrefs; ++r)
+                rec->note_local(p, r, raddr[static_cast<std::size_t>(r)]);
+            }
             for (int r = 0; r < nrefs; ++r) {
               auto ur = static_cast<std::size_t>(r);
               ref_values[ur] =
@@ -900,9 +1078,230 @@ void DistMachine::run_clause(const Clause& clause) {
     for (i64 p = 0; p < procs; ++p) {
       const PathCounters& c = pcs[static_cast<std::size_t>(p)];
       tr->record(p, obs::EventKind::KernelPath, step_id, c.fused, c.generic,
-                 c.interp);
+                 c.interp, c.sched);
     }
+  if (rec) {
+    // Freeze each source rank's pack program from the channel metadata
+    // (post-sort, post-dedup order — exactly what replay reproduces),
+    // capture the clean step's counters and message-matrix increments,
+    // and publish the schedule into the plan-cache entry.
+    for (i64 src = 0; src < procs; ++src) {
+      spmd::SendPlan& sp = rec->send[static_cast<std::size_t>(src)];
+      sp.dst_begin.assign(static_cast<std::size_t>(procs) + 1, 0);
+      for (i64 dst = 0; dst < procs; ++dst) {
+        sp.dst_begin[static_cast<std::size_t>(dst)] =
+            static_cast<i64>(sp.ops.size());
+        for (const auto& [ref, off] : channel(src, dst).meta)
+          sp.ops.push_back(spmd::PackOp{ref, off});
+      }
+      sp.dst_begin[static_cast<std::size_t>(procs)] =
+          static_cast<i64>(sp.ops.size());
+    }
+    rec->counters = counters;
+    for (i64 s = 0; s < procs; ++s)
+      for (i64 d = 0; d < procs; ++d)
+        rec->matrix_delta[static_cast<std::size_t>(s * procs + d)] =
+            message_matrix_[static_cast<std::size_t>(s)]
+                           [static_cast<std::size_t>(d)] -
+            matrix_before[static_cast<std::size_t>(s)]
+                         [static_cast<std::size_t>(d)];
+    rec->seal();
+    ++comm_.sched_builds;
+    plan_cache_.attach_schedule(*key, std::move(rec_owner));
+    VCAL_TRACE(tr, ctl, obs::EventKind::SchedBuild, step_id,
+               plan_cache_.schedules());
+  }
   finish_step(counters);
+  VCAL_TRACE(tr, ctl, obs::EventKind::ClauseEnd, step_id);
+}
+
+// Executor half of the inspector–executor split. The schedule froze the
+// step's communication pattern: each source rank packs values
+// positionally into the reused (src, dst) buffers in the exact order the
+// tagged pack() produced, and each destination satisfies every operand
+// by recorded offset — no tags, no sorting, no hashing, so per-step
+// receive cost is O(m) instead of O(m log m). Guards and right-hand
+// sides are evaluated live (only the pattern is compiled, never values);
+// counters and the message matrix replay verbatim from the recording
+// step, keeping every observable statistic bit-identical to the tagged
+// path.
+void DistMachine::run_clause_scheduled(const Clause& clause,
+                                       const ClausePlan& plan,
+                                       const spmd::CommSchedule& sched) {
+  obs::Tracer* tr = tracer_.get();
+  const i64 ctl = tr ? tr->control_lane() : 0;
+  const i64 step_id = stats_.steps;
+  const i64 procs = sched.procs;
+  const int nrefs = sched.nrefs;
+  const int nloops = sched.nloops;
+
+  const spmd::ClauseKernel* kern =
+      engine_.compiled_kernels ? &plan.kernel() : nullptr;
+  const bool kaff = kern != nullptr && kern->affine();
+
+  // Copy-in snapshot when the clause reads its own target: packing and
+  // local gathers must observe pre-clause values.
+  bool lhs_read = false;
+  for (const prog::ArrayRef& r : clause.refs)
+    if (r.array == clause.lhs_array) lhs_read = true;
+  std::optional<std::vector<std::vector<double>>> snap;
+  if (lhs_read) snap = store_.clone(clause.lhs_array);
+
+  // Persistent scratch: sized on the first scheduled step, reused by
+  // every later one (the steady state allocates nothing).
+  if (static_cast<i64>(sched_counters_.size()) != procs) {
+    sched_counters_.assign(static_cast<std::size_t>(procs), RankCounters{});
+    sched_pcs_.assign(static_cast<std::size_t>(procs), PathCounters{});
+    replay_scratch_.resize(static_cast<std::size_t>(procs));
+  }
+  for (RankCounters& c : sched_counters_) c = RankCounters{};
+  for (PathCounters& c : sched_pcs_) c = PathCounters{};
+
+  // Phase 0: live halo refresh (halo *values* change step to step; the
+  // counters it accumulates are deterministic and replay verbatim below,
+  // so the scratch tallies are discarded).
+  HaloTable halos;
+  refresh_halos(clause, plan, snap ? &*snap : nullptr, sched_counters_,
+                halos, step_id);
+
+  // Resolve each ref's pre-clause source row (snapshot-aware) and halo
+  // cache on `p` into the rank's persistent scratch.
+  auto resolve_rows = [&](i64 p, ReplayScratch& rs) {
+    rs.rows.resize(static_cast<std::size_t>(nrefs));
+    rs.halo_rows.resize(static_cast<std::size_t>(nrefs));
+    for (int r = 0; r < nrefs; ++r) {
+      const std::string& name =
+          clause.refs[static_cast<std::size_t>(r)].array;
+      rs.rows[static_cast<std::size_t>(r)] =
+          (snap && name == clause.lhs_array)
+              ? &(*snap)[static_cast<std::size_t>(p)]
+              : &store_.local_row(name, p);
+      auto hit = halos.find(name);
+      rs.halo_rows[static_cast<std::size_t>(r)] =
+          hit == halos.end() ? nullptr
+                             : &hit->second[static_cast<std::size_t>(p)];
+    }
+  };
+
+  // Double-buffered reused channel storage: one contiguous value vector
+  // per (src, dst) pair, parity-flipped per scheduled step; clear()
+  // keeps capacity.
+  std::vector<std::vector<double>>& bufs = comm_bufs_[comm_parity_];
+  comm_parity_ ^= 1;
+  if (static_cast<i64>(bufs.size()) != procs * procs)
+    bufs.resize(static_cast<std::size_t>(procs * procs));
+
+  // ---- Executor phase 1: positional pack -----------------------------
+  VCAL_TRACE(tr, ctl, obs::EventKind::BarrierBegin, step_id, /*phase=*/1);
+  for_ranks_t(procs, [&](i64 p) {
+    VCAL_TRACE(tr, p, obs::EventKind::PackBegin, step_id);
+    ReplayScratch& rs = replay_scratch_[static_cast<std::size_t>(p)];
+    resolve_rows(p, rs);
+    const spmd::SendPlan& sp = sched.send[static_cast<std::size_t>(p)];
+    i64 packed = 0;
+    for (i64 dst = 0; dst < procs; ++dst) {
+      std::vector<double>& buf =
+          bufs[static_cast<std::size_t>(p * procs + dst)];
+      buf.clear();
+      const i64 b0 = sp.dst_begin[static_cast<std::size_t>(dst)];
+      const i64 b1 = sp.dst_begin[static_cast<std::size_t>(dst) + 1];
+      for (i64 i = b0; i < b1; ++i) {
+        const spmd::PackOp& op = sp.ops[static_cast<std::size_t>(i)];
+        buf.push_back((*rs.rows[static_cast<std::size_t>(op.ref)])
+                          [static_cast<std::size_t>(op.offset)]);
+      }
+      if (b1 > b0)
+        VCAL_TRACE(tr, p, obs::EventKind::MsgSend, step_id, dst, b1 - b0);
+      packed += b1 - b0;
+    }
+    VCAL_TRACE(tr, p, obs::EventKind::PackEnd, step_id, packed);
+  });
+  VCAL_TRACE(tr, ctl, obs::EventKind::BarrierEnd, step_id, /*phase=*/1);
+  if (tr)
+    for (i64 src = 0; src < procs; ++src)
+      for (i64 dst = 0; dst < procs; ++dst) {
+        const auto& buf = bufs[static_cast<std::size_t>(src * procs + dst)];
+        if (!buf.empty())
+          tr->record(dst, obs::EventKind::MsgRecv, step_id, src,
+                     static_cast<i64>(buf.size()));
+      }
+
+  // ---- Executor phase 2: gather by recorded offset, live guard/RHS ---
+  VCAL_TRACE(tr, ctl, obs::EventKind::BarrierBegin, step_id, /*phase=*/2);
+  for_ranks_t(procs, [&](i64 p) {
+    VCAL_TRACE(tr, p, obs::EventKind::GatherBegin, step_id);
+    ReplayScratch& rs = replay_scratch_[static_cast<std::size_t>(p)];
+    const spmd::RecvPlan& rv = sched.recv[static_cast<std::size_t>(p)];
+    std::vector<double>& out_row =
+        store_.local_row_mut(clause.lhs_array, p);
+    rs.refs.resize(static_cast<std::size_t>(nrefs));
+    const spmd::CompiledGuard* guard = kaff ? kern->guard() : nullptr;
+    if (kaff) rs.stack.resize(static_cast<std::size_t>(kern->stack_need()));
+    for (i64 e = 0; e < rv.n; ++e) {
+      const i64* vals = rv.vals.data() + e * nloops;
+      const spmd::RefOp* ops = rv.ops.data() + e * nrefs;
+      for (int r = 0; r < nrefs; ++r) {
+        const spmd::RefOp& op = ops[r];
+        const auto ur = static_cast<std::size_t>(op.ref);
+        switch (op.kind) {
+          case spmd::RefOp::Kind::Local:
+            rs.refs[static_cast<std::size_t>(r)] =
+                (*rs.rows[ur])[static_cast<std::size_t>(op.a)];
+            break;
+          case spmd::RefOp::Kind::Halo:
+            rs.refs[static_cast<std::size_t>(r)] =
+                rs.halo_rows[ur]->find(op.a)->second;
+            break;
+          case spmd::RefOp::Kind::Remote:
+            rs.refs[static_cast<std::size_t>(r)] =
+                bufs[static_cast<std::size_t>(op.a * procs + p)]
+                    [static_cast<std::size_t>(op.b)];
+            break;
+        }
+      }
+      double value;
+      if (kaff) {
+        if (guard && !guard->holds(rs.refs.data(), vals, rs.stack.data()))
+          continue;
+        value = kern->rhs().eval(rs.refs.data(), vals, rs.stack.data());
+      } else {
+        rs.vals.assign(vals, vals + nloops);
+        if (clause.guard && !clause.guard->holds(rs.refs, rs.vals))
+          continue;
+        value = prog::eval(clause.rhs, rs.refs, rs.vals);
+      }
+      const i64 slot = rv.lhs_slot[static_cast<std::size_t>(e)];
+      if (slot < 0)
+        throw RuntimeFault("local write out of bounds on " +
+                           clause.lhs_array);
+      out_row[static_cast<std::size_t>(slot)] = value;
+    }
+    sched_pcs_[static_cast<std::size_t>(p)].sched += rv.n;
+    VCAL_TRACE(tr, p, obs::EventKind::GatherEnd, step_id, rv.n);
+  });
+  VCAL_TRACE(tr, ctl, obs::EventKind::BarrierEnd, step_id, /*phase=*/2);
+
+  // Accounting: volumes from the schedule; counters and the message
+  // matrix replay verbatim from the recording step (bit-identical
+  // stats, last_step_counters, matrix, and sim_time).
+  ++comm_.sched_hits;
+  comm_.packed_values += sched.packed_ops;
+  comm_.packed_bytes += sched.packed_ops * static_cast<i64>(sizeof(double));
+  comm_.unpacked_values += sched.remote_ops;
+  VCAL_TRACE(tr, ctl, obs::EventKind::SchedHit, step_id);
+  for (const PathCounters& c : sched_pcs_) paths_ += c;
+  if (tr)
+    for (i64 p = 0; p < procs; ++p) {
+      const PathCounters& c = sched_pcs_[static_cast<std::size_t>(p)];
+      tr->record(p, obs::EventKind::KernelPath, step_id, c.fused, c.generic,
+                 c.interp, c.sched);
+    }
+  for (i64 s = 0; s < procs; ++s)
+    for (i64 d = 0; d < procs; ++d)
+      message_matrix_[static_cast<std::size_t>(s)]
+                     [static_cast<std::size_t>(d)] +=
+          sched.matrix_delta[static_cast<std::size_t>(s * procs + d)];
+  finish_step(sched.counters);
   VCAL_TRACE(tr, ctl, obs::EventKind::ClauseEnd, step_id);
 }
 

@@ -41,6 +41,10 @@
 #include "spmd/program.hpp"
 #include "support/thread_pool.hpp"
 
+namespace vcal::spmd {
+class CommSchedule;
+}
+
 namespace vcal::rt {
 
 struct DistStats {
@@ -90,9 +94,14 @@ class DistMachine {
   const spmd::PlanCache& plan_cache() const noexcept { return plan_cache_; }
 
   /// Per-element execution-path tally (fused kernel loop / per-element
-  /// kernel / interpreter) accumulated over the run. Reporting only —
-  /// never part of DistStats.
+  /// kernel / interpreter / schedule replay) accumulated over the run.
+  /// Reporting only — never part of DistStats.
   const PathCounters& path_counters() const noexcept { return paths_; }
+
+  /// Communication-schedule accounting: inspector builds, replayed
+  /// steps, forced fallbacks, packed/unpacked volumes. Reporting only —
+  /// never part of DistStats (the `sched` oracle axis pins that).
+  const CommStats& comm_stats() const noexcept { return comm_; }
 
   /// Per-rank message counts of the last executed step (for tests and
   /// benchmark reporting).
@@ -114,12 +123,38 @@ class DistMachine {
   const obs::Tracer* tracer() const noexcept { return tracer_.get(); }
 
  private:
+  /// halos[name][rank] maps global index -> cached pre-clause value.
+  using HaloTable =
+      std::unordered_map<std::string,
+                         std::vector<std::unordered_map<i64, double>>>;
+
   void run_clause(const prog::Clause& clause);
+  /// Executor half of the inspector–executor split: replays a compiled
+  /// communication schedule (positional pack into the reused comm
+  /// buffers, operand gather by recorded offset, live guard/RHS). The
+  /// caller has already emitted the control-lane ClauseBegin.
+  void run_clause_scheduled(const prog::Clause& clause,
+                            const spmd::ClausePlan& plan,
+                            const spmd::CommSchedule& sched);
   void run_redistribute(const spmd::RedistStep& step);
   void finish_step(const std::vector<RankCounters>& counters);
 
+  /// Phase 0: refresh halo copies of every overlapped referenced array
+  /// with pre-clause values (shared by the tagged and scheduled paths).
+  void refresh_halos(const prog::Clause& clause,
+                     const spmd::ClausePlan& plan,
+                     const std::vector<std::vector<double>>* snap,
+                     std::vector<RankCounters>& counters, HaloTable& halos,
+                     i64 step_id);
+
   /// Runs body(rank) for every rank, honoring engine_.threads.
   void for_ranks(i64 n, const std::function<void(i64)>& body);
+
+  /// As for_ranks, but monomorphized: the threads == 1 path calls the
+  /// body inline with no std::function wrapper, so scheduled steady
+  /// states allocate nothing.
+  template <typename F>
+  void for_ranks_t(i64 n, F&& body);
 
   spmd::Program program_;  // arrays table evolves across redistributions
   gen::BuildOptions opts_;
@@ -136,6 +171,37 @@ class DistMachine {
   i64 faults_applied_ = 0;
   i64 stall_rounds_ = 0;
   PathCounters paths_;
+  CommStats comm_;
+
+  // ---- communication-schedule dispatch state ----
+  // Per-program-step memoized plan-cache key (clause.str() computed
+  // once, not per execution) and per-key clean-execution counts at the
+  // current epoch (schedules are recorded on the second clean pass).
+  std::unordered_map<const void*, std::string> step_keys_;
+  struct KeySeen {
+    std::uint64_t epoch = 0;
+    i64 seen = 0;
+  };
+  std::unordered_map<std::string, KeySeen> key_seen_;
+
+  // Double-buffered, reused channel storage for scheduled steps: one
+  // contiguous value buffer per (src, dst) pair, parity-flipped per
+  // step. clear() keeps capacity, so steady-state packing is
+  // allocation-free.
+  std::vector<std::vector<double>> comm_bufs_[2];
+  int comm_parity_ = 0;
+
+  // Persistent per-step and per-rank scratch for scheduled replay.
+  std::vector<RankCounters> sched_counters_;
+  std::vector<PathCounters> sched_pcs_;
+  struct ReplayScratch {
+    std::vector<i64> vals;
+    std::vector<double> refs;
+    std::vector<double> stack;
+    std::vector<const std::vector<double>*> rows;
+    std::vector<const std::unordered_map<i64, double>*> halo_rows;
+  };
+  std::vector<ReplayScratch> replay_scratch_;
 };
 
 }  // namespace vcal::rt

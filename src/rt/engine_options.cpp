@@ -10,4 +10,10 @@ std::string PathCounters::str() const {
   return reg.line();
 }
 
+std::string CommStats::str() const {
+  obs::MetricsRegistry reg;
+  obs::collect(reg, *this);
+  return reg.line();
+}
+
 }  // namespace vcal::rt

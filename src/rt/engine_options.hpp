@@ -22,15 +22,35 @@ struct PathCounters {
   i64 generic = 0;  // kernel path, element at a time (run edges,
                     // non-affine or unprovable runs)
   i64 interp = 0;   // tree-walking interpreter elements
+  i64 sched = 0;    // elements replayed through a compiled
+                    // communication schedule (inspector–executor)
 
   PathCounters& operator+=(const PathCounters& o) {
     fused += o.fused;
     generic += o.generic;
     interp += o.interp;
+    sched += o.sched;
     return *this;
   }
 
-  /// "fused=N generic=N interp=N" via the obs::MetricsRegistry.
+  /// "fused=N generic=N interp=N sched=N" via the obs::MetricsRegistry.
+  std::string str() const;
+};
+
+/// Communication-schedule accounting. Reporting only — like
+/// PathCounters, deliberately kept out of DistStats/SharedStats so the
+/// bit-identity invariant across the `comm_schedules` axis stays
+/// checkable.
+struct CommStats {
+  i64 sched_builds = 0;     // inspector passes run (schedules compiled)
+  i64 sched_hits = 0;       // steps replayed through a schedule
+  i64 sched_fallbacks = 0;  // steps forced back to the tagged path
+                            // (armed fault or plan caching off)
+  i64 packed_values = 0;    // elements packed positionally on replay
+  i64 packed_bytes = 0;     // bytes of packed payload on replay
+  i64 unpacked_values = 0;  // remote operands consumed by offset
+
+  /// "sched-builds=N ..." via the obs::MetricsRegistry.
   std::string str() const;
 };
 
@@ -58,6 +78,16 @@ struct EngineOptions {
   /// Results, counters, and exceptions are bit-identical either way; the
   /// conformance oracle pins the two paths against each other.
   bool compiled_kernels = true;
+
+  /// Compile communication schedules (inspector–executor): once a
+  /// clause's message pattern has been observed at the current
+  /// decomposition epoch, subsequent steps pack values positionally
+  /// into reused buffers and receivers consume by recorded offset —
+  /// no tags, no sorting, no hashing. Falls back to the tagged path
+  /// when plan caching is off or a fault is armed for the step.
+  /// Results, counters, and exceptions are bit-identical either way;
+  /// the conformance oracle pins both paths against each other.
+  bool comm_schedules = true;
 
   /// Attach an obs::Tracer to the machine: per-rank ring-buffer event
   /// collection with dual (wall-clock + cost-model) timestamps. Off by

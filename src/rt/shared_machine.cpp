@@ -5,6 +5,7 @@
 
 #include "obs/metrics.hpp"
 #include "spmd/barrier.hpp"
+#include "spmd/comm_schedule.hpp"
 #include "spmd/kernel.hpp"
 #include "support/error.hpp"
 
@@ -86,10 +87,13 @@ void SharedMachine::run() {
     pending_exists = false;
   };
 
-  auto plan_for = [&](const Clause& clause) -> ClausePlan {
-    if (engine_.cache_plans)
-      return plan_cache_.get(clause, program_.arrays, opts_);
-    return ClausePlan::build(clause, program_.arrays, opts_);
+  // The plan-cache key (the clause's printed form) is memoized per
+  // program step, so repeat executions look plans and gather schedules
+  // up without rebuilding the string.
+  auto key_for = [&](const Clause& clause) -> const std::string* {
+    auto [ki, fresh] = step_keys_.try_emplace(&clause, std::string{});
+    if (fresh) ki->second = clause.str();
+    return &ki->second;
   };
 
   for (const spmd::Step& step : program_.steps) {
@@ -100,9 +104,51 @@ void SharedMachine::run() {
         pending.reset();
         pending_exists = true;  // unanalyzable: barrier stays
       } else {
-        ClausePlan plan = plan_for(*clause);
+        const std::string* key =
+            engine_.cache_plans ? key_for(*clause) : nullptr;
+        ClausePlan plan =
+            key ? plan_cache_.get(*key, *clause, program_.arrays, opts_)
+                : ClausePlan::build(*clause, program_.arrays, opts_);
         resolve_pending(&plan);
-        run_clause(*clause, plan);
+        // Gather-schedule dispatch (see comm_schedule.hpp): replay when
+        // a schedule exists for this plan at the current epoch; record
+        // one on the second clean execution; otherwise enumerate.
+        spmd::GatherSchedule* rec = nullptr;
+        std::unique_ptr<spmd::GatherSchedule> rec_owner;
+        bool replayed = false;
+        if (engine_.comm_schedules) {
+          if (!key) {
+            ++comm_.sched_fallbacks;
+            VCAL_TRACE(tr, ctl, obs::EventKind::SchedFallback, trace_step_,
+                       0);
+          } else if (auto* gs = static_cast<spmd::GatherSchedule*>(
+                         plan_cache_.find_schedule(*key))) {
+            run_clause_gathered(*clause, plan, *gs);
+            replayed = true;
+          } else {
+            auto [si, first] = key_seen_.try_emplace(
+                *key, KeySeen{plan_cache_.epoch(), 0});
+            if (!first && si->second.epoch != plan_cache_.epoch())
+              si->second = KeySeen{plan_cache_.epoch(), 0};
+            if (si->second.seen >= 1) {
+              rec_owner = std::make_unique<spmd::GatherSchedule>();
+              rec_owner->init(plan.procs(),
+                              static_cast<int>(clause->loops.size()),
+                              static_cast<int>(clause->refs.size()));
+              rec = rec_owner.get();
+            }
+            ++si->second.seen;
+          }
+        }
+        if (!replayed) {
+          run_clause(*clause, plan, rec);
+          if (rec) {
+            ++comm_.sched_builds;
+            plan_cache_.attach_schedule(*key, std::move(rec_owner));
+            VCAL_TRACE(tr, ctl, obs::EventKind::SchedBuild, trace_step_ - 1,
+                       plan_cache_.schedules());
+          }
+        }
         pending = std::move(plan);
         pending_exists = true;
       }
@@ -127,8 +173,8 @@ void SharedMachine::run() {
   resolve_pending(nullptr);  // the final barrier is always performed
 }
 
-void SharedMachine::run_clause(const Clause& clause,
-                               const ClausePlan& plan) {
+void SharedMachine::run_clause(const Clause& clause, const ClausePlan& plan,
+                               spmd::GatherSchedule* rec) {
   obs::Tracer* tr = tracer_.get();
   const i64 ctl = tr ? tr->control_lane() : 0;
   const i64 step_id = trace_step_;
@@ -185,9 +231,14 @@ void SharedMachine::run_clause(const Clause& clause,
               if (!rd.in_bounds(idx))
                 throw RuntimeFault("read out of bounds on " +
                                    clause.refs[r].array);
-              ref_values[r] =
-                  (*rows[r])[static_cast<std::size_t>(rd.dense_linear(idx))];
+              i64 off = rd.dense_linear(idx);
+              ref_values[r] = (*rows[r])[static_cast<std::size_t>(off)];
+              if (rec) rec->note_off(p, off);
             }
+            if (rec)
+              // Pre-guard: replay evaluates guards live, so guarded-off
+              // elements still carry their operand offsets.
+              rec->note_element(p, lhs.dense_linear(out_idx), vals.data());
             if (clause.guard && !clause.guard->holds(ref_values, vals))
               return;
             out_buf[static_cast<std::size_t>(lhs.dense_linear(out_idx))] =
@@ -235,10 +286,14 @@ void SharedMachine::run_clause(const Clause& clause,
         if (!rd.in_bounds(idx))
           throw RuntimeFault("read out of bounds on " +
                              clause.refs[static_cast<std::size_t>(r)].array);
+        i64 off = rd.dense_linear(idx);
         ref_values[static_cast<std::size_t>(r)] =
             (*rows[static_cast<std::size_t>(r)])
-                [static_cast<std::size_t>(rd.dense_linear(idx))];
+                [static_cast<std::size_t>(off)];
+        if (rec) rec->note_off(p, off);
       }
+      if (rec)
+        rec->note_element(p, lhs.dense_linear(out_idx), vals.data());
       if (guard &&
           !guard->holds(ref_values.data(), vals.data(), stack.data()))
         return;
@@ -295,6 +350,11 @@ void SharedMachine::run_clause(const Clause& clause,
           const i64 fused_n = k1 - k0 + 1;
           for (i64 k = 0; k < fused_n; ++k) {
             vals[static_cast<std::size_t>(inner)] = v;
+            if (rec) {
+              rec->note_element(p, la, vals.data());
+              for (int r = 0; r < nrefs; ++r)
+                rec->note_off(p, raddr[static_cast<std::size_t>(r)]);
+            }
             for (int r = 0; r < nrefs; ++r) {
               auto ur = static_cast<std::size_t>(r);
               ref_values[ur] =
@@ -323,10 +383,109 @@ void SharedMachine::run_clause(const Clause& clause,
   });
 
   for (const PathCounters& c : pcs) paths_ += c;
+  // The recorded enumeration statistics replay verbatim on gathered
+  // steps, keeping iterations/tests/sim_time bit-identical.
+  if (rec) rec->stats = rank_stats;
 
   double slowest = 0.0;
   i64 iters = 0, tests = 0;
   for (const auto& s : rank_stats) {
+    stats_.iterations += s.loop_iters;
+    stats_.tests += s.tests;
+    slowest = std::max(slowest, cost_.compute_cost(s.loop_iters, s.tests));
+    iters += s.loop_iters;
+    tests += s.tests;
+  }
+  stats_.sim_time += slowest;
+  if (tr) {
+    tr->set_virtual_time(stats_.sim_time);
+    tr->record(ctl, obs::EventKind::StepCounters, step_id, iters, tests, 0,
+               0);
+    tr->record(ctl, obs::EventKind::ClauseEnd, step_id);
+  }
+  ++trace_step_;
+}
+
+// Executor half of the gather-schedule split: every virtual processor's
+// operand reads become a flat gather over recorded dense-store offsets —
+// no subscript evaluation, no bounds checks, no iteration-space
+// enumeration. Guards and right-hand sides are evaluated live; the
+// recording step's enumeration statistics replay verbatim, keeping
+// SharedStats bit-identical to the enumerated path.
+void SharedMachine::run_clause_gathered(const Clause& clause,
+                                        const ClausePlan& plan,
+                                        const spmd::GatherSchedule& sched) {
+  obs::Tracer* tr = tracer_.get();
+  const i64 ctl = tr ? tr->control_lane() : 0;
+  const i64 step_id = trace_step_;
+  VCAL_TRACE(tr, ctl, obs::EventKind::ClauseBegin, step_id);
+  const i64 procs = plan.procs();
+  const int nrefs = sched.nrefs;
+  const int nloops = sched.nloops;
+  const spmd::ClauseKernel* kern =
+      engine_.compiled_kernels ? &plan.kernel() : nullptr;
+  const bool kaff = kern != nullptr && kern->affine();
+
+  bool lhs_read = false;
+  for (const prog::ArrayRef& r : clause.refs)
+    if (r.array == clause.lhs_array) lhs_read = true;
+  std::optional<std::vector<double>> snap;
+  if (lhs_read) snap = store_.snapshot(clause.lhs_array);
+
+  std::vector<PathCounters> pcs(static_cast<std::size_t>(procs));
+  for_ranks(procs, [&](i64 p) {
+    VCAL_TRACE(tr, p, obs::EventKind::GatherBegin, step_id);
+    const spmd::GatherSchedule::RankGather& rg =
+        sched.ranks[static_cast<std::size_t>(p)];
+    std::vector<double> ref_values(static_cast<std::size_t>(nrefs));
+    std::vector<i64> vvals;  // interpreter-path loop tuple
+    std::vector<const std::vector<double>*> rows(
+        static_cast<std::size_t>(nrefs));
+    for (int r = 0; r < nrefs; ++r)
+      rows[static_cast<std::size_t>(r)] =
+          snap && clause.refs[static_cast<std::size_t>(r)].array ==
+                      clause.lhs_array
+              ? &*snap
+              : &store_.dense(clause.refs[static_cast<std::size_t>(r)].array);
+    std::vector<double>& out_buf = store_.buffer(clause.lhs_array);
+    std::vector<double> stack;
+    const spmd::CompiledGuard* guard = kaff ? kern->guard() : nullptr;
+    if (kaff) stack.resize(static_cast<std::size_t>(kern->stack_need()));
+    for (i64 e = 0; e < rg.n; ++e) {
+      const i64* vals = rg.vals.data() + e * nloops;
+      const i64* offs = rg.offs.data() + e * nrefs;
+      for (int r = 0; r < nrefs; ++r)
+        ref_values[static_cast<std::size_t>(r)] =
+            (*rows[static_cast<std::size_t>(r)])
+                [static_cast<std::size_t>(offs[r])];
+      double value;
+      if (kaff) {
+        if (guard && !guard->holds(ref_values.data(), vals, stack.data()))
+          continue;
+        value = kern->rhs().eval(ref_values.data(), vals, stack.data());
+      } else {
+        vvals.assign(vals, vals + nloops);
+        if (clause.guard && !clause.guard->holds(ref_values, vvals))
+          continue;
+        value = prog::eval(clause.rhs, ref_values, vvals);
+      }
+      out_buf[static_cast<std::size_t>(
+          rg.lhs_slot[static_cast<std::size_t>(e)])] = value;
+    }
+    PathCounters& pc = pcs[static_cast<std::size_t>(p)];
+    pc.sched += rg.n;
+    VCAL_TRACE(tr, p, obs::EventKind::KernelPath, step_id, 0, 0, 0,
+               pc.sched);
+    VCAL_TRACE(tr, p, obs::EventKind::GatherEnd, step_id, rg.n);
+  });
+
+  for (const PathCounters& c : pcs) paths_ += c;
+  ++comm_.sched_hits;
+  VCAL_TRACE(tr, ctl, obs::EventKind::SchedHit, step_id);
+
+  double slowest = 0.0;
+  i64 iters = 0, tests = 0;
+  for (const auto& s : sched.stats) {
     stats_.iterations += s.loop_iters;
     stats_.tests += s.tests;
     slowest = std::max(slowest, cost_.compute_cost(s.loop_iters, s.tests));

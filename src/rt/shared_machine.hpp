@@ -19,6 +19,7 @@
 #pragma once
 
 #include <memory>
+#include <unordered_map>
 
 #include "gen/optimizer.hpp"
 #include "obs/trace.hpp"
@@ -28,6 +29,10 @@
 #include "spmd/plan_cache.hpp"
 #include "spmd/program.hpp"
 #include "support/thread_pool.hpp"
+
+namespace vcal::spmd {
+class GatherSchedule;
+}
 
 namespace vcal::rt {
 
@@ -61,17 +66,29 @@ class SharedMachine {
   const spmd::PlanCache& plan_cache() const noexcept { return plan_cache_; }
 
   /// Per-element execution-path tally (fused kernel loop / per-element
-  /// kernel / interpreter) accumulated over the run. Reporting only —
-  /// never part of SharedStats.
+  /// kernel / interpreter / schedule replay) accumulated over the run.
+  /// Reporting only — never part of SharedStats.
   const PathCounters& path_counters() const noexcept { return paths_; }
+
+  /// Gather-schedule accounting: inspector builds, replayed steps,
+  /// forced fallbacks. Reporting only — never part of SharedStats.
+  const CommStats& comm_stats() const noexcept { return comm_; }
 
   /// The attached event tracer (EngineOptions::trace); nullptr when
   /// tracing is off. Lanes 0..procs-1 are ranks, lane procs the engine.
   const obs::Tracer* tracer() const noexcept { return tracer_.get(); }
 
  private:
-  void run_clause(const prog::Clause& clause,
-                  const spmd::ClausePlan& plan);
+  /// `rec`, when non-null, is the GatherSchedule being recorded by this
+  /// (clean, cached) execution — the inspector half of the split.
+  void run_clause(const prog::Clause& clause, const spmd::ClausePlan& plan,
+                  spmd::GatherSchedule* rec);
+  /// Executor half: replays a compiled gather schedule — per virtual
+  /// processor, a flat gather over dense-store offsets plus live
+  /// guard/RHS evaluation; enumeration statistics replay verbatim.
+  void run_clause_gathered(const prog::Clause& clause,
+                           const spmd::ClausePlan& plan,
+                           const spmd::GatherSchedule& sched);
   void run_clause_sequential(const prog::Clause& clause);
   void for_ranks(i64 n, const std::function<void(i64)>& body);
 
@@ -86,7 +103,18 @@ class SharedMachine {
   DenseStore store_;
   SharedStats stats_;
   PathCounters paths_;
+  CommStats comm_;
   i64 trace_step_ = 0;  // executed-step ordinal for trace event ids
+
+  // Gather-schedule dispatch state (see DistMachine): memoized plan-cache
+  // keys per program step, and per-key clean-execution counts at the
+  // current epoch (schedules are recorded on the second clean pass).
+  std::unordered_map<const void*, std::string> step_keys_;
+  struct KeySeen {
+    std::uint64_t epoch = 0;
+    i64 seen = 0;
+  };
+  std::unordered_map<std::string, KeySeen> key_seen_;
 };
 
 }  // namespace vcal::rt

@@ -7,7 +7,13 @@ namespace vcal::spmd {
 const ClausePlan& PlanCache::get(const prog::Clause& clause,
                                  const ArrayTable& arrays,
                                  gen::BuildOptions opts) {
-  std::string key = clause.str();
+  return get(clause.str(), clause, arrays, opts);
+}
+
+const ClausePlan& PlanCache::get(const std::string& key,
+                                 const prog::Clause& clause,
+                                 const ArrayTable& arrays,
+                                 gen::BuildOptions opts) {
   auto it = cache_.find(key);
   if (it != cache_.end() && it->second.epoch == epoch_) {
     ++hits_;
@@ -17,12 +23,32 @@ const ClausePlan& PlanCache::get(const prog::Clause& clause,
   }
   ++misses_;
   ClausePlan plan = ClausePlan::build(clause, arrays, opts);
-  auto [pos, inserted] =
-      cache_.insert_or_assign(std::move(key), Entry{epoch_, std::move(plan)});
+  auto [pos, inserted] = cache_.insert_or_assign(
+      key, Entry{epoch_, std::move(plan), nullptr});
   (void)inserted;
   VCAL_TRACE(tracer_, lane_, obs::EventKind::PlanMiss, /*step=*/-1, size(),
              pos->second.plan.kernel().op_count());
   return pos->second.plan;
+}
+
+CachedSchedule* PlanCache::find_schedule(const std::string& key) noexcept {
+  auto it = cache_.find(key);
+  if (it == cache_.end() || it->second.epoch != epoch_) return nullptr;
+  return it->second.sched.get();
+}
+
+void PlanCache::attach_schedule(const std::string& key,
+                                std::unique_ptr<CachedSchedule> sched) {
+  auto it = cache_.find(key);
+  if (it == cache_.end() || it->second.epoch != epoch_) return;
+  it->second.sched = std::move(sched);
+}
+
+i64 PlanCache::schedules() const noexcept {
+  i64 n = 0;
+  for (const auto& [key, e] : cache_)
+    if (e.sched && e.epoch == epoch_) ++n;
+  return n;
 }
 
 }  // namespace vcal::spmd

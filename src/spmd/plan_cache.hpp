@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 
@@ -28,12 +29,39 @@
 
 namespace vcal::spmd {
 
+/// Opaque base for artifacts derived from a plan at one decomposition
+/// epoch — compiled communication schedules (comm_schedule.hpp). They
+/// ride in the plan's cache entry, so the epoch-mismatch rebuild that
+/// invalidates a stale plan destroys its schedule with it: schedule
+/// invalidation on redistribute costs nothing extra.
+struct CachedSchedule {
+  virtual ~CachedSchedule() = default;
+};
+
 class PlanCache {
  public:
   /// Returns the cached plan for `clause` at the current epoch, building
   /// and storing it on a miss.
   const ClausePlan& get(const prog::Clause& clause, const ArrayTable& arrays,
                         gen::BuildOptions opts = {});
+
+  /// As above with the key (clause.str()) precomputed by the caller —
+  /// the machines memoize keys per program step so the steady-state
+  /// lookup allocates nothing.
+  const ClausePlan& get(const std::string& key, const prog::Clause& clause,
+                        const ArrayTable& arrays, gen::BuildOptions opts = {});
+
+  /// The schedule attached to `key`'s entry at the current epoch, or
+  /// nullptr (no entry, no schedule, or a stale epoch).
+  CachedSchedule* find_schedule(const std::string& key) noexcept;
+
+  /// Attaches a schedule to `key`'s current-epoch entry (dropped if the
+  /// entry is missing or stale — the builder raced a redistribute).
+  void attach_schedule(const std::string& key,
+                       std::unique_ptr<CachedSchedule> sched);
+
+  /// Number of entries currently holding a schedule.
+  i64 schedules() const noexcept;
 
   /// Invalidates every cached plan (a decomposition changed).
   void bump_epoch() noexcept { ++epoch_; }
@@ -54,6 +82,7 @@ class PlanCache {
   struct Entry {
     std::uint64_t epoch;
     ClausePlan plan;
+    std::unique_ptr<CachedSchedule> sched;  // may be null
   };
 
   std::uint64_t epoch_ = 0;

@@ -43,7 +43,8 @@ std::string describe_engine(const EngineOptions& e) {
   return cat("threads=", e.threads, " cache=", e.cache_plans ? 1 : 0,
              " keyed=", e.keyed_channels ? 1 : 0,
              " kernels=", e.compiled_kernels ? 1 : 0,
-             " trace=", e.trace ? 1 : 0);
+             " trace=", e.trace ? 1 : 0,
+             " sched=", e.comm_schedules ? 1 : 0);
 }
 
 bool has_sequential_clause(const spmd::Program& program) {
@@ -58,7 +59,7 @@ bool has_sequential_clause(const spmd::Program& program) {
 std::string CheckResult::str() const {
   if (ok)
     return cat("ok (", runs, " machine runs; paths: ",
-               rt::PathCounters{fused, generic, interp}.str(), ")");
+               rt::PathCounters{fused, generic, interp, sched}.str(), ")");
   return cat("FAIL after ", runs, " machine runs: ", diagnostics);
 }
 
@@ -67,7 +68,7 @@ std::string OracleReport::str() const {
     return cat("verify: OK — ", programs, " programs, ", runs,
                " machine runs, all configurations bit-identical\n",
                "verify paths: ",
-               rt::PathCounters{fused, generic, interp}.str(),
+               rt::PathCounters{fused, generic, interp, sched}.str(),
                " elements (kernel fast path vs interpreter)");
   std::string out =
       cat("verify: FAIL at iteration ", failing_iter,
@@ -98,6 +99,7 @@ CheckResult Oracle::check_program(
     res.fused += pc.fused;
     res.generic += pc.generic;
     res.interp += pc.interp;
+    res.sched += pc.sched;
   };
 
   // ---- sequential reference --------------------------------------------
@@ -132,27 +134,30 @@ CheckResult Oracle::check_program(
     for (bool cache : {true, false}) {
       for (bool kernels : {true, false}) {
         for (bool trace : {false, true}) {
-          EngineOptions e;
-          e.threads = threads;
-          e.cache_plans = cache;
-          e.compiled_kernels = kernels;
-          e.trace = trace;
-          try {
-            rt::SharedMachine m(program, {}, {}, /*elide_barriers=*/false,
-                                e);
-            load_all(m);
-            m.run();
-            ++res.runs;
-            tally(m.path_counters());
-            for (const std::string& n : names)
-              if (m.result(n) != ref[n])
-                fail(cat("shared[", describe_engine(e),
-                         "] diverges from seq on ", n));
-          } catch (const Error& e2) {
-            fail(cat("shared[", describe_engine(e), "] threw: ",
-                     e2.what()));
+          for (bool sched : {true, false}) {
+            EngineOptions e;
+            e.threads = threads;
+            e.cache_plans = cache;
+            e.compiled_kernels = kernels;
+            e.trace = trace;
+            e.comm_schedules = sched;
+            try {
+              rt::SharedMachine m(program, {}, {}, /*elide_barriers=*/false,
+                                  e);
+              load_all(m);
+              m.run();
+              ++res.runs;
+              tally(m.path_counters());
+              for (const std::string& n : names)
+                if (m.result(n) != ref[n])
+                  fail(cat("shared[", describe_engine(e),
+                           "] diverges from seq on ", n));
+            } catch (const Error& e2) {
+              fail(cat("shared[", describe_engine(e), "] threw: ",
+                       e2.what()));
+            }
+            if (!res.ok) return res;
           }
-          if (!res.ok) return res;
         }
       }
     }
@@ -229,30 +234,33 @@ CheckResult Oracle::check_program(
       for (bool keyed : {false, true}) {
         for (bool kernels : {true, false}) {
           for (bool trace : {false, true}) {
-            EngineOptions e;
-            e.threads = threads;
-            e.cache_plans = cache;
-            e.keyed_channels = keyed;
-            e.compiled_kernels = kernels;
-            e.trace = trace;
-            std::string tag = cat("dist[", describe_engine(e), "]");
-            try {
-              DistMachine m(program, {}, {}, e);
-              load_all(m);
-              m.run();
-              ++res.runs;
-              tally(m.path_counters());
-              for (const std::string& n : names)
-                if (m.gather(n) != ref[n])
-                  fail(cat(tag, " diverges from seq on ", n));
-              std::string sd = diff_stats(m.stats(), st);
-              if (!sd.empty()) fail(cat(tag, " stats diverge: ", sd));
-              if (m.message_matrix() != base.message_matrix())
-                fail(cat(tag, " message matrix diverges"));
-            } catch (const Error& e2) {
-              fail(cat(tag, " threw: ", e2.what()));
+            for (bool sched : {true, false}) {
+              EngineOptions e;
+              e.threads = threads;
+              e.cache_plans = cache;
+              e.keyed_channels = keyed;
+              e.compiled_kernels = kernels;
+              e.trace = trace;
+              e.comm_schedules = sched;
+              std::string tag = cat("dist[", describe_engine(e), "]");
+              try {
+                DistMachine m(program, {}, {}, e);
+                load_all(m);
+                m.run();
+                ++res.runs;
+                tally(m.path_counters());
+                for (const std::string& n : names)
+                  if (m.gather(n) != ref[n])
+                    fail(cat(tag, " diverges from seq on ", n));
+                std::string sd = diff_stats(m.stats(), st);
+                if (!sd.empty()) fail(cat(tag, " stats diverge: ", sd));
+                if (m.message_matrix() != base.message_matrix())
+                  fail(cat(tag, " message matrix diverges"));
+              } catch (const Error& e2) {
+                fail(cat(tag, " threw: ", e2.what()));
+              }
+              if (!res.ok) return res;
             }
-            if (!res.ok) return res;
           }
         }
       }
@@ -392,6 +400,7 @@ OracleReport Oracle::run_corpus(const OracleOptions& opts) {
     rep.fused += cr.fused;
     rep.generic += cr.generic;
     rep.interp += cr.interp;
+    rep.sched += cr.sched;
     if (!cr.ok) {
       rep.ok = false;
       rep.failing_iter = k;

@@ -13,6 +13,7 @@
 //   x channel matching {bulk binary-search, keyed hash}
 //   x clause execution {compiled kernels, interpreter}
 //   x event tracing {off, on}
+//   x communication schedules {on, off}
 //   x build {optimized, run-time resolution}
 //
 // and asserts bit-identical result arrays everywhere, bit-identical
@@ -51,10 +52,12 @@ struct CheckResult {
   std::string diagnostics;  // first divergence / violated invariant
   // Execution-path tally over every machine run: how many elements went
   // through a fused strided kernel loop, the per-element kernel path,
-  // and the tree-walking interpreter (see rt::PathCounters).
+  // the tree-walking interpreter, and compiled-schedule replay (see
+  // rt::PathCounters).
   std::int64_t fused = 0;
   std::int64_t generic = 0;
   std::int64_t interp = 0;
+  std::int64_t sched = 0;
 
   std::string str() const;
 };
@@ -77,6 +80,7 @@ struct OracleReport {
   std::int64_t fused = 0;
   std::int64_t generic = 0;
   std::int64_t interp = 0;
+  std::int64_t sched = 0;
 
   std::string str() const;
 };

@@ -86,11 +86,20 @@ GeneratedProgram ProgramGen::gen_1d() {
         (opts_.allow_guards && rng_.chance(0.3))
             ? cat(" | ", rhs1, "[i] > ", rng_.uniform(0, 5))
             : "";
-    gp.stmts.push_back(cat(
+    std::string stmt = cat(
         "forall i in ", lo, ":", hi, guard, " do ", lhs, "[i",
         s ? cat(" - ", s) : "", "] := ", rhs1, "[", subscript(n, s),
         "]*0.5 + ", rhs2, "[", subscript(n, s), "] - ",
-        rng_.uniform(0, 9), "; od"));
+        rng_.uniform(0, 9), "; od");
+    gp.stmts.push_back(stmt);
+    if (rng_.chance(0.3)) {
+      // Iterate the clause verbatim: a clause must execute three times
+      // at one decomposition epoch before the communication-schedule
+      // inspector's replay path runs, so without repetition the corpus
+      // would never cover the executor half of that split.
+      gp.stmts.push_back(stmt);
+      gp.stmts.push_back(stmt);
+    }
     if (opts_.allow_redistribute && rng_.chance(0.3)) {
       // Redistribute a random non-replicated, non-halo array (halo'd
       // buffers carry overlap regions a redistribution would discard).

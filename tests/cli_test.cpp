@@ -107,8 +107,9 @@ TEST(Cli, HelpListsEveryFlag) {
   EXPECT_EQ(r.status, 0) << r.out;
   for (const char* flag :
        {"--target", "--threads", "--no-plan-cache", "--keyed-channels",
-        "--no-compiled-kernels", "--trace", "--timeline", "--calibrate",
-        "--verify", "--stats", "--elide-barriers", "--naive"})
+        "--no-compiled-kernels", "--no-comm-schedules", "--trace",
+        "--timeline", "--calibrate", "--verify", "--stats",
+        "--elide-barriers", "--naive"})
     EXPECT_TRUE(has(r.out, flag)) << flag << " missing from --help";
 }
 
@@ -121,11 +122,52 @@ TEST(Cli, EngineFlagsDoNotChangeResults) {
   for (const char* flags :
        {"--threads 1", "--threads 4", "--no-plan-cache",
         "--keyed-channels", "--no-compiled-kernels",
+        "--no-comm-schedules",
         "--threads 1 --no-plan-cache --keyed-channels "
-        "--no-compiled-kernels"}) {
+        "--no-compiled-kernels --no-comm-schedules"}) {
     RunResult r = run(std::string(flags) + " " + base);
     EXPECT_EQ(r.status, 0) << flags << "\n" << r.out;
     EXPECT_EQ(r.out, plain.out) << flags;
+  }
+}
+
+TEST(Cli, StatsReportCommSchedules) {
+  EXPECT_TRUE(has(run("--init B --print A --stats " + programs() +
+                      "/rotate.vexl")
+                      .out,
+                  "comm: sched-builds="));
+
+  // The same clause executed three times: the first pass runs tagged,
+  // the second records the schedule, the third replays it.
+  std::string dir = ::testing::TempDir();
+  std::string file = dir + "/comm3.vexl";
+  {
+    std::ofstream out(file);
+    out << "processors 4;\narray A[0:19];\narray B[0:19];\n"
+           "distribute A scatter;\ndistribute B block;\n";
+    for (int k = 0; k < 3; ++k)
+      out << "forall i in 0:19 do A[i] := B[(i + 6) mod 20]; od\n";
+  }
+  for (const char* target : {"--target=dist", "--target=shared"}) {
+    RunResult on = run(std::string(target) + " --init B --print A --stats " +
+                       file);
+    EXPECT_EQ(on.status, 0) << on.out;
+    EXPECT_TRUE(has(on.out, "sched-builds=1")) << target << "\n" << on.out;
+    EXPECT_TRUE(has(on.out, "sched-hits=1")) << target << "\n" << on.out;
+
+    RunResult off = run(std::string(target) +
+                        " --no-comm-schedules --init B --print A --stats " +
+                        file);
+    EXPECT_EQ(off.status, 0) << off.out;
+    EXPECT_TRUE(has(off.out, "sched-builds=0")) << target << "\n" << off.out;
+    EXPECT_TRUE(has(off.out, "sched-hits=0")) << target << "\n" << off.out;
+
+    // Replay is a speed path only: the printed array, stats line, and
+    // path-independent output all match the tagged run.
+    auto arrays = [](const std::string& s) {
+      return s.substr(0, s.find("paths:"));
+    };
+    EXPECT_EQ(arrays(on.out), arrays(off.out)) << target;
   }
 }
 

@@ -4,13 +4,14 @@
 # Usage: tools/run_benches.sh [build-dir]
 #
 # Runs bench/engine_throughput (including the kernel-vs-interpreter A/B)
-# and *appends* its record to BENCH_engine.json at the repo root as
+# and bench/comm_throughput (the schedule-vs-tagged A/B) and *appends*
+# their merged record to BENCH_engine.json at the repo root as
 # {"runs": [...]}, so the machine-readable trajectory keeps every
 # recorded run instead of overwriting the last one (a legacy
 # single-object file is wrapped on first append). Then runs
 # bench/spmd_end_to_end for the paper-shape tables. Any non-zero exit
-# (including the engine bench's internal fast-vs-interp-vs-slow result
-# verification) fails the script.
+# (including the benches' internal bit-identity verification) fails the
+# script.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -18,17 +19,21 @@ build_dir="${1:-$repo_root/build-bench}"
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" -j"$(nproc)" \
-  --target engine_throughput spmd_end_to_end
+  --target engine_throughput comm_throughput spmd_end_to_end
 
 cd "$repo_root"
 
 out="$repo_root/BENCH_engine.json"
 tmp="$(mktemp)"
-trap 'rm -f "$tmp"' EXIT
+comm_tmp="$(mktemp)"
+trap 'rm -f "$tmp" "$comm_tmp"' EXIT
 "$build_dir/bench/engine_throughput" "$tmp"
+"$build_dir/bench/comm_throughput" "$comm_tmp"
 
 if command -v jq >/dev/null 2>&1; then
-  stamped="$(jq --arg ts "$(date -u +%FT%TZ)" '. + {recorded: $ts}' "$tmp")"
+  stamped="$(jq --arg ts "$(date -u +%FT%TZ)" \
+    --slurpfile comm "$comm_tmp" \
+    '. + {recorded: $ts, comm: $comm[0]}' "$tmp")"
   if [ -s "$out" ]; then
     if jq -e 'has("runs")' "$out" >/dev/null 2>&1; then
       jq --argjson new "$stamped" '.runs += [$new]' "$out" >"$out.tmp"

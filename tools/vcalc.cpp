@@ -68,6 +68,9 @@ const char kHelp[] =
     "                            0 shared pool (default), 1 serial,\n"
     "                            k > 1 a private pool of k lanes\n"
     "  --no-plan-cache           recompute clause plans every execution\n"
+    "  --no-comm-schedules       tagged message matching every step\n"
+    "                            instead of compiled communication\n"
+    "                            schedules (inspector/executor)\n"
     "  --keyed-channels          hash-indexed message matching instead of\n"
     "                            packed binary search (dist target)\n"
     "  --no-compiled-kernels     tree-walking interpreter instead of\n"
@@ -239,6 +242,8 @@ int main(int argc, char** argv) {
       if (opt.engine.threads < 0) return usage(argv[0]);
     } else if (arg == "--no-plan-cache") {
       opt.engine.cache_plans = false;
+    } else if (arg == "--no-comm-schedules") {
+      opt.engine.comm_schedules = false;
     } else if (arg == "--keyed-channels") {
       opt.engine.keyed_channels = true;
     } else if (arg == "--no-compiled-kernels") {
@@ -350,6 +355,7 @@ int main(int argc, char** argv) {
       if (opt.stats) {
         std::printf("stats: %s\n", machine.stats().str().c_str());
         std::printf("paths: %s\n", machine.path_counters().str().c_str());
+        std::printf("comm: %s\n", machine.comm_stats().str().c_str());
       }
       if (!emit_trace(opt, machine.tracer())) return 1;
     } else if (opt.target == "dist") {
@@ -361,6 +367,7 @@ int main(int argc, char** argv) {
       if (opt.stats) {
         std::printf("stats: %s\n", machine.stats().str().c_str());
         std::printf("paths: %s\n", machine.path_counters().str().c_str());
+        std::printf("comm: %s\n", machine.comm_stats().str().c_str());
       }
       if (!emit_trace(opt, machine.tracer())) return 1;
     } else {
