@@ -7,18 +7,22 @@
 //
 // Three engine configurations execute the identical program:
 //
-//   fast   — the default engine: thread pool, per-(src,dst) bulk message
-//            aggregation, clause-plan caching, scratch reuse, compiled
-//            clause kernels (bytecode RHS, affine strides, fused loops)
-//   interp — identical engine with compiled_kernels off: the kernel
-//            layer's contribution in isolation (the A/B the oracle pins
+//   fast   — thread pool, per-(src,dst) bulk message aggregation,
+//            clause-plan caching, scratch reuse, compiled clause kernels
+//            (bytecode RHS, affine strides, fused loops); jit pinned off
+//            so this row stays the pure-bytecode baseline
+//   jit    — fast plus native code generation (synchronous compiles; a
+//            warmup run populates the content-addressed .so cache so the
+//            timed run measures steady-state dispatch, not the compiler)
+//   interp — fast with compiled_kernels off: the kernel layer's
+//            contribution in isolation (the A/B the oracle pins
 //            bit-identical)
 //   slow   — threads = 1, plan cache off, kernels off: every step
 //            replans its clause and runs ranks serially through the
 //            tree-walking interpreter.
 //
 // Results and all deterministic statistics must agree between the
-// three; the benchmark fails loudly if they do not, or if the fast
+// four; the benchmark fails loudly if they do not, or if the fast
 // configuration fails to exercise the fused kernel path. Output is both
 // a human table and a machine-readable JSON record (positional argument
 // overrides the path, default BENCH_engine.json) so successive PRs can
@@ -33,6 +37,7 @@
 
 #include "lang/translate.hpp"
 #include "rt/dist_machine.hpp"
+#include "spmd/jit.hpp"
 #include "support/format.hpp"
 
 namespace {
@@ -126,9 +131,9 @@ int main(int argc, char** argv) {
   std::printf(
       "=== execution-engine throughput: relaxation, n=%lld, T=%lld ===\n",
       (long long)n, (long long)steps);
-  std::printf("%6s %10s %10s %10s %9s %9s %12s %7s\n", "P", "fast-ms",
-              "interp-ms", "slow-ms", "kern-spd", "eng-spd", "iters/sec",
-              "fused%");
+  std::printf("%6s %10s %10s %10s %10s %9s %9s %9s %12s %7s\n", "P",
+              "fast-ms", "jit-ms", "interp-ms", "slow-ms", "jit-spd",
+              "kern-spd", "eng-spd", "iters/sec", "fused%");
 
   std::string json = "{\n  \"bench\": \"engine_throughput\",\n";
   json += cat("  \"n\": ", n, ",\n  \"steps\": ", steps,
@@ -136,23 +141,47 @@ int main(int argc, char** argv) {
 
   bool ok = true;
   bool first = true;
+  std::string jit_record;
   for (i64 procs : {4, 16, 64}) {
     spmd::Program p = relaxation_program(procs, n, steps);
 
-    rt::EngineOptions fast;  // defaults: pool, cache, aggregation, kernels
+    rt::EngineOptions fast;  // pool, cache, aggregation, kernels
+    fast.jit = false;        // pure-bytecode baseline
+    rt::EngineOptions jite = fast;
+    jite.jit = true;
+    jite.jit_sync = true;  // deterministic swap; warmup absorbs compiles
     rt::EngineOptions interp = fast;
     interp.compiled_kernels = false;
     rt::EngineOptions slow;
     slow.threads = 1;
     slow.cache_plans = false;
     slow.compiled_kernels = false;
+    slow.jit = false;
 
     RunResult f = run_engine(p, n, fast);
+    run_engine(p, n, jite);  // warmup: compile into the .so cache
+    RunResult j = run_engine(p, n, jite);
     RunResult i = run_engine(p, n, interp);
     RunResult s = run_engine(p, n, slow);
 
-    if (f.a != i.a || f.b != i.b || f.a != s.a || f.b != s.b) {
+    if (f.a != i.a || f.b != i.b || f.a != s.a || f.b != s.b ||
+        f.a != j.a || f.b != j.b) {
       std::printf("  !! RESULT MISMATCH at P=%lld\n", (long long)procs);
+      ok = false;
+    }
+    if (!stats_equal(f.stats, j.stats)) {
+      std::printf("  !! JIT STATS MISMATCH at P=%lld\n    fast: %s\n    "
+                  "jit:  %s\n",
+                  (long long)procs, f.stats.str().c_str(),
+                  j.stats.str().c_str());
+      ok = false;
+    }
+    // Steady state must actually dispatch native code (unless no host
+    // compiler exists, in which case the jit row degrades to bytecode).
+    const bool have_cc = vcal::spmd::JitEngine::instance().available();
+    if (have_cc && j.paths.jit == 0) {
+      std::printf("  !! JIT PATH NOT EXERCISED at P=%lld (%s)\n",
+                  (long long)procs, j.paths.str().c_str());
       ok = false;
     }
     if (!stats_equal(f.stats, i.stats) || !stats_equal(f.stats, s.stats)) {
@@ -184,36 +213,59 @@ int main(int argc, char** argv) {
 
     double kern_spd = f.wall_ms > 0.0 ? i.wall_ms / f.wall_ms : 0.0;
     double eng_spd = f.wall_ms > 0.0 ? s.wall_ms / f.wall_ms : 0.0;
+    double jit_spd = j.wall_ms > 0.0 ? f.wall_ms / j.wall_ms : 0.0;
     double ips = f.wall_ms > 0.0
                      ? static_cast<double>(f.stats.iterations) /
                            (f.wall_ms / 1000.0)
                      : 0.0;
+    double jips = j.wall_ms > 0.0
+                      ? static_cast<double>(j.stats.iterations) /
+                            (j.wall_ms / 1000.0)
+                      : 0.0;
     i64 total = f.paths.fused + f.paths.generic + f.paths.interp;
     double fused_pct =
         total > 0 ? 100.0 * static_cast<double>(f.paths.fused) /
                         static_cast<double>(total)
                   : 0.0;
-    std::printf("%6lld %10.1f %10.1f %10.1f %8.2fx %8.2fx %12s %6.1f%%\n",
-                (long long)procs, f.wall_ms, i.wall_ms, s.wall_ms,
-                kern_spd, eng_spd, with_commas((i64)ips).c_str(),
-                fused_pct);
+    std::printf(
+        "%6lld %10.1f %10.1f %10.1f %10.1f %8.2fx %8.2fx %8.2fx %12s "
+        "%6.1f%%\n",
+        (long long)procs, f.wall_ms, j.wall_ms, i.wall_ms, s.wall_ms,
+        jit_spd, kern_spd, eng_spd, with_commas((i64)ips).c_str(),
+        fused_pct);
+
+    if (procs == 4) {
+      // The headline jit record: bytecode vs native steady state at the
+      // canonical problem shape.
+      jit_record = cat("  \"jit\": {\"procs\": 4, \"have_compiler\": ",
+                       have_cc ? "true" : "false",
+                       ", \"bytecode_iters_per_sec\": ", ips,
+                       ", \"jit_iters_per_sec\": ", jips,
+                       ", \"speedup\": ", jit_spd,
+                       ", \"jit_elements\": ", j.paths.jit, "},\n");
+    }
 
     if (!first) json += ",\n";
     first = false;
     json += cat("    {\"procs\": ", procs, ", \"wall_ms_fast\": ",
-                f.wall_ms, ", \"wall_ms_interp\": ", i.wall_ms,
+                f.wall_ms, ", \"wall_ms_jit\": ", j.wall_ms,
+                ", \"wall_ms_interp\": ", i.wall_ms,
                 ", \"wall_ms_slow\": ", s.wall_ms,
+                ", \"jit_speedup\": ", jit_spd,
                 ", \"kernel_speedup\": ", kern_spd,
                 ", \"speedup\": ", eng_spd, ", \"iters_per_sec\": ", ips,
+                ", \"jit_iters_per_sec\": ", jips,
                 ", \"messages\": ", f.stats.messages,
                 ", \"bulk_messages\": ", f.stats.bulk_messages,
                 ", \"plan_cache_hits\": ", f.cache_hits,
                 ", \"plan_cache_misses\": ", f.cache_misses,
                 ", \"fused\": ", f.paths.fused,
                 ", \"generic\": ", f.paths.generic,
+                ", \"jit_elements\": ", j.paths.jit,
                 ", \"sim_time\": ", f.stats.sim_time, "}");
   }
-  json += "\n  ]\n}\n";
+  json += cat("\n  ],\n", jit_record,
+              "  \"schema\": \"engine_throughput/v2\"\n}\n");
 
   if (std::FILE* out = std::fopen(json_path, "w")) {
     std::fputs(json.c_str(), out);
@@ -225,11 +277,12 @@ int main(int argc, char** argv) {
   }
 
   std::printf(
-      "\nfast = pool + bulk aggregation + plan cache + compiled kernels;\n"
-      "interp = same engine, kernels off (kern-spd isolates the kernel "
-      "layer);\nslow = serial ranks, plans rebuilt every step, "
-      "interpreter. Results and\ncounters are verified identical; only "
-      "wall clock differs. Compare\niters/sec across builds for "
+      "\nfast = pool + bulk aggregation + plan cache + compiled kernels "
+      "(jit off);\njit = fast + native codegen, steady state after a "
+      "warmup run (jit-spd\nisolates the native layer); interp = fast "
+      "with kernels off; slow = serial\nranks, plans rebuilt every step, "
+      "interpreter. Results and counters are\nverified identical; only "
+      "wall clock differs. Compare iters/sec across\nbuilds for "
       "engine-to-engine speedups.\n");
   return ok ? 0 : 1;
 }

@@ -1,11 +1,26 @@
 #include "emit/c_expr.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <limits>
 
 #include "support/error.hpp"
 #include "support/format.hpp"
 
 namespace vcal::emit {
+
+std::string c_double(double v) {
+  if (v != v) return "(0.0/0.0)";
+  if (v == std::numeric_limits<double>::infinity()) return "(1.0/0.0)";
+  if (v == -std::numeric_limits<double>::infinity()) return "(-1.0/0.0)";
+  // %.17g round-trips every finite double exactly; force a '.' so the
+  // literal stays double-typed in C (2 -> 2.0, else 1/2 would truncate).
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  std::string s = buf;
+  if (s.find_first_of(".eE") == std::string::npos) s += ".0";
+  return s;
+}
 
 std::string sym_to_c(const fn::SymPtr& s, const std::string& var) {
   using fn::Sym;
@@ -41,7 +56,7 @@ std::string expr_to_c(const prog::ExprPtr& e,
   using prog::Expr;
   switch (e->kind) {
     case Expr::Kind::Number:
-      return cat(e->number);
+      return c_double(e->number);
     case Expr::Kind::Ref:
       return ref_exprs[static_cast<std::size_t>(e->ref)];
     case Expr::Kind::Loop:

@@ -15,6 +15,12 @@
 
 namespace vcal::emit {
 
+/// An exactly round-tripping C double literal for `v` (%.17g, with a
+/// forced decimal point so the literal never turns into an int). The
+/// JIT depends on this: a truncated constant would break bit-identity
+/// with the bytecode kernel.
+std::string c_double(double v);
+
 /// C expression text for a subscript Sym tree (div -> vcal_floordiv,
 /// mod -> vcal_emod), with `var` naming the loop variable.
 std::string sym_to_c(const fn::SymPtr& s, const std::string& var);

@@ -6,6 +6,7 @@
 #include "rt/dist_machine.hpp"
 #include "rt/engine_options.hpp"
 #include "rt/shared_machine.hpp"
+#include "spmd/jit.hpp"
 #include "spmd/plan_cache.hpp"
 #include "support/format.hpp"
 #include "support/thread_pool.hpp"
@@ -112,6 +113,15 @@ void collect(MetricsRegistry& reg, const rt::PathCounters& c) {
   reg.set("generic", c.generic);
   reg.set("interp", c.interp);
   reg.set("sched", c.sched);
+  reg.set("jit", c.jit);
+}
+
+void collect(MetricsRegistry& reg, const spmd::JitStats& s) {
+  reg.set("jit-builds", s.builds);
+  reg.set("jit-cache-hits", s.cache_hits);
+  reg.set("jit-hits", s.hits);
+  reg.set("jit-fallbacks", s.fallbacks);
+  reg.set_real("jit-compile-ms", s.compile_ms);
 }
 
 void collect(MetricsRegistry& reg, const rt::CommStats& c) {

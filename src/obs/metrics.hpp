@@ -31,6 +31,7 @@ struct EnumStats;
 }
 namespace vcal::spmd {
 class PlanCache;
+struct JitStats;
 }
 namespace vcal::support {
 class ThreadPool;
@@ -84,6 +85,7 @@ void collect(MetricsRegistry& reg, const rt::DistStats& s);
 void collect(MetricsRegistry& reg, const rt::SharedStats& s);
 void collect(MetricsRegistry& reg, const rt::PathCounters& c);
 void collect(MetricsRegistry& reg, const rt::CommStats& c);
+void collect(MetricsRegistry& reg, const spmd::JitStats& s);
 void collect(MetricsRegistry& reg, const gen::EnumStats& s);
 void collect(MetricsRegistry& reg, const spmd::PlanCache& c);
 void collect(MetricsRegistry& reg, const support::ThreadPool& p);

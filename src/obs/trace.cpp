@@ -33,6 +33,8 @@ const char* kind_name(EventKind k) {
     case EventKind::SchedBuild: return "sched-build";
     case EventKind::SchedHit: return "sched-hit";
     case EventKind::SchedFallback: return "sched-fallback";
+    case EventKind::JitBuild: return "jit-build";
+    case EventKind::JitSwap: return "jit-swap";
   }
   return "unknown";
 }

@@ -83,9 +83,14 @@ enum class EventKind : std::uint8_t {
   SchedHit,       // control lane: step replayed through a schedule
   SchedFallback,  // control lane: schedules enabled but the step ran the
                   //   tagged path (a0 = 1 armed fault, 0 caching off)
+  JitBuild,       // control lane: a clause plan armed native compilation
+                  //   (a0 = 1 synchronous, 0 background worker)
+  JitSwap,        // control lane: jitted function pointers swapped into
+                  //   the clause dispatch (a0 = 1 fresh build, 0 reused
+                  //   from the content-addressed cache)
 };
 
-constexpr int kEventKindCount = static_cast<int>(EventKind::SchedFallback) + 1;
+constexpr int kEventKindCount = static_cast<int>(EventKind::JitSwap) + 1;
 
 /// Stable lower-case name, e.g. "clause-begin", "msg-send".
 const char* kind_name(EventKind k);

@@ -382,6 +382,35 @@ void DistMachine::refresh_halos(const Clause& clause, const ClausePlan& plan,
   }
 }
 
+const spmd::JitFns* DistMachine::jit_poll(const std::string& key,
+                                          const Clause& clause,
+                                          const spmd::ClauseKernel& kern,
+                                          spmd::JitState** js, i64 step_id) {
+  obs::Tracer* tr = tracer_.get();
+  const i64 ctl = tr ? tr->control_lane() : 0;
+  JitSlot& slot = jit_states_[key];
+  if (!slot.state || slot.epoch != plan_cache_.epoch()) {
+    // A redistribution invalidated whatever this key had compiled; if
+    // the old state was armed, the next executions run bytecode again —
+    // count that as a fallback, then re-arm from scratch.
+    if (slot.state && slot.state->armed()) ++jit_.fallbacks;
+    slot.state = std::make_shared<spmd::JitState>();
+    slot.epoch = plan_cache_.epoch();
+  }
+  spmd::JitConfig cfg;
+  cfg.enabled = true;
+  cfg.threshold = engine_.jit_threshold;
+  cfg.sync = engine_.jit_sync;
+  cfg.cache_dir = engine_.jit_cache_dir;
+  spmd::JitPoll r = slot.state->poll(clause, kern, cfg, jit_);
+  if (r.launched)
+    VCAL_TRACE(tr, ctl, obs::EventKind::JitBuild, step_id, cfg.sync ? 1 : 0);
+  if (r.swapped)
+    VCAL_TRACE(tr, ctl, obs::EventKind::JitSwap, step_id, r.cached ? 0 : 1);
+  *js = slot.state.get();
+  return r.fns;
+}
+
 void DistMachine::run_clause(const Clause& clause) {
   if (clause.ord == prog::Ordering::Seq)
     throw CodegenError(
@@ -421,6 +450,21 @@ void DistMachine::run_clause(const Clause& clause) {
       uncached ? *uncached
                : plan_cache_.get(*key, clause, program_.arrays, opts_);
 
+  // Kernel path: bytecode RHS/guard plus affine subscript strides (see
+  // spmd/kernel.hpp). Observably identical to the interpreter; kaff
+  // additionally enables the strided-run analysis in both phases.
+  const spmd::ClauseKernel* kern =
+      engine_.compiled_kernels ? &plan.kernel() : nullptr;
+  const bool kaff = kern != nullptr && kern->affine();
+
+  // JIT dispatch: poll the per-key state once per execution (arming
+  // counter, compile status, pointer swap). Requires the cached affine
+  // kernel path; armed faults keep the fully observable bytecode.
+  spmd::JitState* js = nullptr;
+  const spmd::JitFns* jfns = nullptr;
+  if (engine_.jit && kaff && key && !fault_armed)
+    jfns = jit_poll(*key, clause, *kern, &js, step_id);
+
   // Communication-schedule dispatch (inspector–executor): replay when a
   // schedule exists for this plan at the current epoch; record one on
   // the second clean execution (the first proves the pattern repeats;
@@ -436,7 +480,7 @@ void DistMachine::run_clause(const Clause& clause) {
     } else {
       if (auto* cs = static_cast<spmd::CommSchedule*>(
               plan_cache_.find_schedule(*key))) {
-        run_clause_scheduled(clause, plan, *cs);
+        run_clause_scheduled(clause, plan, *cs, js, jfns);
         return;
       }
       auto [si, first] =
@@ -454,13 +498,9 @@ void DistMachine::run_clause(const Clause& clause) {
   }
   std::vector<std::vector<i64>> matrix_before;
   if (rec) matrix_before = message_matrix_;
-
-  // Kernel path: bytecode RHS/guard plus affine subscript strides (see
-  // spmd/kernel.hpp). Observably identical to the interpreter; kaff
-  // additionally enables the strided-run analysis in both phases.
-  const spmd::ClauseKernel* kern =
-      engine_.compiled_kernels ? &plan.kernel() : nullptr;
-  const bool kaff = kern != nullptr && kern->affine();
+  // Recording steps must run the bytecode loop: the note_* hooks have
+  // to observe every element the inspector will replay.
+  if (rec) jfns = nullptr;
 
   const decomp::ArrayDesc& lhs = plan.lhs_desc();
   const i64 procs = plan.procs();
@@ -863,6 +903,11 @@ void DistMachine::run_clause(const Clause& clause) {
     }
     std::vector<spmd::StridedRun> rruns(static_cast<std::size_t>(nrefs));
     std::vector<i64> raddr(static_cast<std::size_t>(nrefs));
+    std::vector<i64> rstride(static_cast<std::size_t>(nrefs));
+    std::vector<const double*> row_ptrs(static_cast<std::size_t>(nrefs));
+    for (int r = 0; r < nrefs; ++r)
+      row_ptrs[static_cast<std::size_t>(r)] =
+          rows[static_cast<std::size_t>(r)]->data();
 
     // Element-at-a-time body: the interpreter's phase 2 verbatim, with
     // subscripts/tags/guard/RHS routed through the kernel.
@@ -996,30 +1041,43 @@ void DistMachine::run_clause(const Clause& clause) {
           }
           i64 v = run.start + k0 * run.stride;
           const i64 fused_n = k1 - k0 + 1;
-          for (i64 k = 0; k < fused_n; ++k) {
-            vals[static_cast<std::size_t>(inner)] = v;
-            if (rec) {
-              // Fused elements are proven local and in bounds for the
-              // LHS and every ref; record their resolved offsets.
-              rec->note_element(p, la, vals.data());
-              for (int r = 0; r < nrefs; ++r)
-                rec->note_local(p, r, raddr[static_cast<std::size_t>(r)]);
+          if (jfns) {
+            // Every element of [k0, k1] is proven in bounds and local,
+            // so the jitted loop needs only the strides: addressing
+            // arrives as arguments, the guard/RHS are compiled in.
+            for (int r = 0; r < nrefs; ++r)
+              rstride[static_cast<std::size_t>(r)] =
+                  rruns[static_cast<std::size_t>(r)].stride;
+            jfns->fused(out_row.data(), la, lrun.stride, row_ptrs.data(),
+                        raddr.data(), rstride.data(), vals.data(), v,
+                        run.stride, fused_n);
+            pc.jit += fused_n;
+          } else {
+            for (i64 k = 0; k < fused_n; ++k) {
+              vals[static_cast<std::size_t>(inner)] = v;
+              if (rec) {
+                // Fused elements are proven local and in bounds for the
+                // LHS and every ref; record their resolved offsets.
+                rec->note_element(p, la, vals.data());
+                for (int r = 0; r < nrefs; ++r)
+                  rec->note_local(p, r, raddr[static_cast<std::size_t>(r)]);
+              }
+              for (int r = 0; r < nrefs; ++r) {
+                auto ur = static_cast<std::size_t>(r);
+                ref_values[ur] =
+                    (*rows[ur])[static_cast<std::size_t>(raddr[ur])];
+                raddr[ur] += rruns[ur].stride;
+              }
+              if (!guard ||
+                  guard->holds(ref_values.data(), vals.data(), stack.data()))
+                out_row[static_cast<std::size_t>(la)] =
+                    rhs.eval(ref_values.data(), vals.data(), stack.data());
+              la += lrun.stride;
+              v += run.stride;
             }
-            for (int r = 0; r < nrefs; ++r) {
-              auto ur = static_cast<std::size_t>(r);
-              ref_values[ur] =
-                  (*rows[ur])[static_cast<std::size_t>(raddr[ur])];
-              raddr[ur] += rruns[ur].stride;
-            }
-            if (!guard ||
-                guard->holds(ref_values.data(), vals.data(), stack.data()))
-              out_row[static_cast<std::size_t>(la)] =
-                  rhs.eval(ref_values.data(), vals.data(), stack.data());
-            la += lrun.stride;
-            v += run.stride;
+            pc.fused += fused_n;
           }
           rc.local_reads += fused_n * nrefs;
-          pc.fused += fused_n;
           for (i64 k = k1 + 1; k < run.count; ++k) {
             vals[static_cast<std::size_t>(inner)] =
                 run.start + k * run.stride;
@@ -1127,7 +1185,9 @@ void DistMachine::run_clause(const Clause& clause) {
 // path.
 void DistMachine::run_clause_scheduled(const Clause& clause,
                                        const ClausePlan& plan,
-                                       const spmd::CommSchedule& sched) {
+                                       const spmd::CommSchedule& sched,
+                                       spmd::JitState* js,
+                                       const spmd::JitFns* jfns) {
   obs::Tracer* tr = tracer_.get();
   const i64 ctl = tr ? tr->control_lane() : 0;
   const i64 step_id = stats_.steps;
@@ -1237,46 +1297,84 @@ void DistMachine::run_clause_scheduled(const Clause& clause,
     rs.refs.resize(static_cast<std::size_t>(nrefs));
     const spmd::CompiledGuard* guard = kaff ? kern->guard() : nullptr;
     if (kaff) rs.stack.resize(static_cast<std::size_t>(kern->stack_need()));
-    for (i64 e = 0; e < rv.n; ++e) {
-      const i64* vals = rv.vals.data() + e * nloops;
-      const spmd::RefOp* ops = rv.ops.data() + e * nrefs;
-      for (int r = 0; r < nrefs; ++r) {
-        const spmd::RefOp& op = ops[r];
-        const auto ur = static_cast<std::size_t>(op.ref);
-        switch (op.kind) {
-          case spmd::RefOp::Kind::Local:
-            rs.refs[static_cast<std::size_t>(r)] =
-                (*rs.rows[ur])[static_cast<std::size_t>(op.a)];
-            break;
-          case spmd::RefOp::Kind::Halo:
-            rs.refs[static_cast<std::size_t>(r)] =
-                rs.halo_rows[ur]->find(op.a)->second;
-            break;
-          case spmd::RefOp::Kind::Remote:
-            rs.refs[static_cast<std::size_t>(r)] =
-                bufs[static_cast<std::size_t>(op.a * procs + p)]
-                    [static_cast<std::size_t>(op.b)];
-            break;
-        }
-      }
-      double value;
-      if (kaff) {
-        if (guard && !guard->holds(rs.refs.data(), vals, rs.stack.data()))
-          continue;
-        value = kern->rhs().eval(rs.refs.data(), vals, rs.stack.data());
-      } else {
-        rs.vals.assign(vals, vals + nloops);
-        if (clause.guard && !clause.guard->holds(rs.refs, rs.vals))
-          continue;
-        value = prog::eval(clause.rhs, rs.refs, rs.vals);
-      }
-      const i64 slot = rv.lhs_slot[static_cast<std::size_t>(e)];
-      if (slot < 0)
-        throw RuntimeFault("local write out of bounds on " +
-                           clause.lhs_array);
-      out_row[static_cast<std::size_t>(slot)] = value;
+
+    // Jitted replay: execute the flattened segment program instead of
+    // the per-element dispatch — constant-stride runs go through the
+    // vectorizable fused entry, irregular stretches through the gather
+    // entry. A rank with any == false (halo operand, guarded-OOB slot)
+    // keeps the bytecode loop below.
+    const spmd::JitRankProg* rp = nullptr;
+    if (jfns && js) {
+      const spmd::JitReplayProg* jp = js->replay_prog(sched);
+      const spmd::JitRankProg& rr = jp->ranks[static_cast<std::size_t>(p)];
+      if (rr.any) rp = &rr;
     }
-    sched_pcs_[static_cast<std::size_t>(p)].sched += rv.n;
+    if (rp) {
+      // Operand bases: ref rows first, then the packed buffer arriving
+      // from each source rank (matching JitRankProg's id encoding).
+      rs.bases.resize(static_cast<std::size_t>(nrefs + procs));
+      for (int r = 0; r < nrefs; ++r)
+        rs.bases[static_cast<std::size_t>(r)] =
+            rs.rows[static_cast<std::size_t>(r)]->data();
+      for (i64 s = 0; s < procs; ++s)
+        rs.bases[static_cast<std::size_t>(nrefs + s)] =
+            bufs[static_cast<std::size_t>(s * procs + p)].data();
+      for (const spmd::JitSegment& sg : rp->segs) {
+        if (sg.fused)
+          jfns->fused(out_row.data(), sg.la0, sg.la_stride, rs.bases.data(),
+                      sg.raddr0.data(), sg.rstride.data(),
+                      rv.vals.data() + sg.e0 * nloops, sg.v0, sg.vstride,
+                      sg.n);
+        else
+          jfns->replay(out_row.data(), rs.bases.data(),
+                       rp->ids.data() + sg.e0 * nrefs,
+                       rp->offs.data() + sg.e0 * nrefs,
+                       rv.lhs_slot.data() + sg.e0,
+                       rv.vals.data() + sg.e0 * nloops, sg.n);
+      }
+      sched_pcs_[static_cast<std::size_t>(p)].jit += rv.n;
+    } else {
+      for (i64 e = 0; e < rv.n; ++e) {
+        const i64* vals = rv.vals.data() + e * nloops;
+        const spmd::RefOp* ops = rv.ops.data() + e * nrefs;
+        for (int r = 0; r < nrefs; ++r) {
+          const spmd::RefOp& op = ops[r];
+          const auto ur = static_cast<std::size_t>(op.ref);
+          switch (op.kind) {
+            case spmd::RefOp::Kind::Local:
+              rs.refs[static_cast<std::size_t>(r)] =
+                  (*rs.rows[ur])[static_cast<std::size_t>(op.a)];
+              break;
+            case spmd::RefOp::Kind::Halo:
+              rs.refs[static_cast<std::size_t>(r)] =
+                  rs.halo_rows[ur]->find(op.a)->second;
+              break;
+            case spmd::RefOp::Kind::Remote:
+              rs.refs[static_cast<std::size_t>(r)] =
+                  bufs[static_cast<std::size_t>(op.a * procs + p)]
+                      [static_cast<std::size_t>(op.b)];
+              break;
+          }
+        }
+        double value;
+        if (kaff) {
+          if (guard && !guard->holds(rs.refs.data(), vals, rs.stack.data()))
+            continue;
+          value = kern->rhs().eval(rs.refs.data(), vals, rs.stack.data());
+        } else {
+          rs.vals.assign(vals, vals + nloops);
+          if (clause.guard && !clause.guard->holds(rs.refs, rs.vals))
+            continue;
+          value = prog::eval(clause.rhs, rs.refs, rs.vals);
+        }
+        const i64 slot = rv.lhs_slot[static_cast<std::size_t>(e)];
+        if (slot < 0)
+          throw RuntimeFault("local write out of bounds on " +
+                             clause.lhs_array);
+        out_row[static_cast<std::size_t>(slot)] = value;
+      }
+      sched_pcs_[static_cast<std::size_t>(p)].sched += rv.n;
+    }
     VCAL_TRACE(tr, p, obs::EventKind::GatherEnd, step_id, rv.n);
   });
   VCAL_TRACE(tr, ctl, obs::EventKind::BarrierEnd, step_id, /*phase=*/2);

@@ -37,6 +37,7 @@
 #include "rt/engine_options.hpp"
 #include "rt/fault_plan.hpp"
 #include "rt/store.hpp"
+#include "spmd/jit.hpp"
 #include "spmd/plan_cache.hpp"
 #include "spmd/program.hpp"
 #include "support/thread_pool.hpp"
@@ -103,6 +104,12 @@ class DistMachine {
   /// never part of DistStats (the `sched` oracle axis pins that).
   const CommStats& comm_stats() const noexcept { return comm_; }
 
+  /// JIT native-code accounting: compiles, cache reuse, dispatches
+  /// through jitted functions, fallbacks to the bytecode kernel.
+  /// Reporting only — never part of DistStats (the `jit` oracle axis
+  /// pins that).
+  const spmd::JitStats& jit_stats() const noexcept { return jit_; }
+
   /// Per-rank message counts of the last executed step (for tests and
   /// benchmark reporting).
   const std::vector<RankCounters>& last_step_counters() const noexcept {
@@ -135,7 +142,17 @@ class DistMachine {
   /// caller has already emitted the control-lane ClauseBegin.
   void run_clause_scheduled(const prog::Clause& clause,
                             const spmd::ClausePlan& plan,
-                            const spmd::CommSchedule& sched);
+                            const spmd::CommSchedule& sched,
+                            spmd::JitState* js, const spmd::JitFns* jfns);
+
+  /// One JIT arming/ dispatch poll for the clause keyed by `key` at the
+  /// current epoch. Returns the jitted entry points when ready (and the
+  /// owning state via `js`), nullptr while the bytecode kernel should
+  /// keep running.
+  const spmd::JitFns* jit_poll(const std::string& key,
+                               const prog::Clause& clause,
+                               const spmd::ClauseKernel& kern,
+                               spmd::JitState** js, i64 step_id);
   void run_redistribute(const spmd::RedistStep& step);
   void finish_step(const std::vector<RankCounters>& counters);
 
@@ -172,6 +189,17 @@ class DistMachine {
   i64 stall_rounds_ = 0;
   PathCounters paths_;
   CommStats comm_;
+  spmd::JitStats jit_;
+
+  // Per-plan-key JIT state: arming counter, compile status, swapped-in
+  // function pointers. A redistribution's epoch bump invalidates the
+  // state with the plan that owned it (counted as a fallback when the
+  // old state had armed).
+  struct JitSlot {
+    std::shared_ptr<spmd::JitState> state;
+    std::uint64_t epoch = 0;
+  };
+  std::unordered_map<std::string, JitSlot> jit_states_;
 
   // ---- communication-schedule dispatch state ----
   // Per-program-step memoized plan-cache key (clause.str() computed
@@ -200,6 +228,7 @@ class DistMachine {
     std::vector<double> stack;
     std::vector<const std::vector<double>*> rows;
     std::vector<const std::unordered_map<i64, double>*> halo_rows;
+    std::vector<const double*> bases;  // jitted replay operand bases
   };
   std::vector<ReplayScratch> replay_scratch_;
 };

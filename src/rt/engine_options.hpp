@@ -24,16 +24,20 @@ struct PathCounters {
   i64 interp = 0;   // tree-walking interpreter elements
   i64 sched = 0;    // elements replayed through a compiled
                     // communication schedule (inspector–executor)
+  i64 jit = 0;      // elements executed through jitted native code
+                    // (would otherwise land in fused or sched)
 
   PathCounters& operator+=(const PathCounters& o) {
     fused += o.fused;
     generic += o.generic;
     interp += o.interp;
     sched += o.sched;
+    jit += o.jit;
     return *this;
   }
 
-  /// "fused=N generic=N interp=N sched=N" via the obs::MetricsRegistry.
+  /// "fused=N generic=N interp=N sched=N jit=N" via the
+  /// obs::MetricsRegistry.
   std::string str() const;
 };
 
@@ -98,6 +102,29 @@ struct EngineOptions {
   /// Ring capacity per trace lane (events retained per rank; older
   /// events are overwritten and counted as dropped).
   i64 trace_capacity = 1 << 14;
+
+  /// JIT native code generation for hot clause plans: once a cached
+  /// plan reaches its `jit_threshold`th clean execution, its fused
+  /// strided loop (and compiled-schedule replay) is emitted as C,
+  /// compiled with the system toolchain into a content-addressed
+  /// shared object, and dispatched through the resulting function
+  /// pointers. Results are bit-identical to the bytecode kernel (the
+  /// conformance oracle's `jit` axis pins this); without a detected
+  /// compiler — or on any compile/dlopen failure — the bytecode kernel
+  /// keeps running. Requires cache_plans and compiled_kernels.
+  bool jit = true;
+
+  /// Clean executions of a cached plan before its compile is armed
+  /// (comm schedules arm on the 2nd; the JIT defaults to the same).
+  int jit_threshold = 2;
+
+  /// Block the arming step on the compiler instead of compiling on the
+  /// background worker — deterministic dispatch for the oracle/tests.
+  bool jit_sync = false;
+
+  /// Directory for the content-addressed .c/.so cache. Empty uses
+  /// $TMPDIR/vcal-jit-cache-<uid>.
+  std::string jit_cache_dir;
 };
 
 }  // namespace vcal::rt

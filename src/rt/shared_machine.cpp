@@ -110,6 +110,15 @@ void SharedMachine::run() {
             key ? plan_cache_.get(*key, *clause, program_.arrays, opts_)
                 : ClausePlan::build(*clause, program_.arrays, opts_);
         resolve_pending(&plan);
+        // JIT dispatch: poll the per-key state once per execution
+        // (arming counter, compile status, pointer swap). Requires the
+        // cached affine kernel path.
+        spmd::JitState* js = nullptr;
+        const spmd::JitFns* jfns = nullptr;
+        const spmd::ClauseKernel* kern =
+            engine_.compiled_kernels ? &plan.kernel() : nullptr;
+        if (engine_.jit && kern && kern->affine() && key)
+          jfns = jit_poll(*key, *clause, *kern, &js);
         // Gather-schedule dispatch (see comm_schedule.hpp): replay when
         // a schedule exists for this plan at the current epoch; record
         // one on the second clean execution; otherwise enumerate.
@@ -123,7 +132,7 @@ void SharedMachine::run() {
                        0);
           } else if (auto* gs = static_cast<spmd::GatherSchedule*>(
                          plan_cache_.find_schedule(*key))) {
-            run_clause_gathered(*clause, plan, *gs);
+            run_clause_gathered(*clause, plan, *gs, js, jfns);
             replayed = true;
           } else {
             auto [si, first] = key_seen_.try_emplace(
@@ -141,7 +150,9 @@ void SharedMachine::run() {
           }
         }
         if (!replayed) {
-          run_clause(*clause, plan, rec);
+          // Recording steps run the bytecode loop: the note_* hooks
+          // have to observe every element the inspector will replay.
+          run_clause(*clause, plan, rec, rec ? nullptr : jfns);
           if (rec) {
             ++comm_.sched_builds;
             plan_cache_.attach_schedule(*key, std::move(rec_owner));
@@ -173,8 +184,40 @@ void SharedMachine::run() {
   resolve_pending(nullptr);  // the final barrier is always performed
 }
 
+const spmd::JitFns* SharedMachine::jit_poll(const std::string& key,
+                                            const Clause& clause,
+                                            const spmd::ClauseKernel& kern,
+                                            spmd::JitState** js) {
+  obs::Tracer* tr = tracer_.get();
+  const i64 ctl = tr ? tr->control_lane() : 0;
+  JitSlot& slot = jit_states_[key];
+  if (!slot.state || slot.epoch != plan_cache_.epoch()) {
+    // A redistribution invalidated whatever this key had compiled; if
+    // the old state was armed, the next executions run bytecode again —
+    // count that as a fallback, then re-arm from scratch.
+    if (slot.state && slot.state->armed()) ++jit_.fallbacks;
+    slot.state = std::make_shared<spmd::JitState>();
+    slot.epoch = plan_cache_.epoch();
+  }
+  spmd::JitConfig cfg;
+  cfg.enabled = true;
+  cfg.threshold = engine_.jit_threshold;
+  cfg.sync = engine_.jit_sync;
+  cfg.cache_dir = engine_.jit_cache_dir;
+  spmd::JitPoll r = slot.state->poll(clause, kern, cfg, jit_);
+  if (r.launched)
+    VCAL_TRACE(tr, ctl, obs::EventKind::JitBuild, trace_step_,
+               cfg.sync ? 1 : 0);
+  if (r.swapped)
+    VCAL_TRACE(tr, ctl, obs::EventKind::JitSwap, trace_step_,
+               r.cached ? 0 : 1);
+  *js = slot.state.get();
+  return r.fns;
+}
+
 void SharedMachine::run_clause(const Clause& clause, const ClausePlan& plan,
-                               spmd::GatherSchedule* rec) {
+                               spmd::GatherSchedule* rec,
+                               const spmd::JitFns* jfns) {
   obs::Tracer* tr = tracer_.get();
   const i64 ctl = tr ? tr->control_lane() : 0;
   const i64 step_id = trace_step_;
@@ -273,6 +316,11 @@ void SharedMachine::run_clause(const Clause& clause, const ClausePlan& plan,
     }
     std::vector<spmd::StridedRun> rruns(static_cast<std::size_t>(nrefs));
     std::vector<i64> raddr(static_cast<std::size_t>(nrefs));
+    std::vector<i64> rstride(static_cast<std::size_t>(nrefs));
+    std::vector<const double*> row_ptrs(static_cast<std::size_t>(nrefs));
+    for (int r = 0; r < nrefs; ++r)
+      row_ptrs[static_cast<std::size_t>(r)] =
+          rows[static_cast<std::size_t>(r)]->data();
 
     // Element-at-a-time body: the interpreter branch verbatim, with
     // subscripts/guard/RHS routed through the kernel.
@@ -348,27 +396,40 @@ void SharedMachine::run_clause(const Clause& clause, const ClausePlan& plan,
           }
           i64 v = run.start + k0 * run.stride;
           const i64 fused_n = k1 - k0 + 1;
-          for (i64 k = 0; k < fused_n; ++k) {
-            vals[static_cast<std::size_t>(inner)] = v;
-            if (rec) {
-              rec->note_element(p, la, vals.data());
-              for (int r = 0; r < nrefs; ++r)
-                rec->note_off(p, raddr[static_cast<std::size_t>(r)]);
+          if (jfns) {
+            // Every element of [k0, k1] is proven in bounds, so the
+            // jitted loop needs only the strides: addressing arrives as
+            // arguments, the guard/RHS are compiled in.
+            for (int r = 0; r < nrefs; ++r)
+              rstride[static_cast<std::size_t>(r)] =
+                  rruns[static_cast<std::size_t>(r)].stride;
+            jfns->fused(out_buf.data(), la, lrun.stride, row_ptrs.data(),
+                        raddr.data(), rstride.data(), vals.data(), v,
+                        run.stride, fused_n);
+            pc.jit += fused_n;
+          } else {
+            for (i64 k = 0; k < fused_n; ++k) {
+              vals[static_cast<std::size_t>(inner)] = v;
+              if (rec) {
+                rec->note_element(p, la, vals.data());
+                for (int r = 0; r < nrefs; ++r)
+                  rec->note_off(p, raddr[static_cast<std::size_t>(r)]);
+              }
+              for (int r = 0; r < nrefs; ++r) {
+                auto ur = static_cast<std::size_t>(r);
+                ref_values[ur] =
+                    (*rows[ur])[static_cast<std::size_t>(raddr[ur])];
+                raddr[ur] += rruns[ur].stride;
+              }
+              if (!guard ||
+                  guard->holds(ref_values.data(), vals.data(), stack.data()))
+                out_buf[static_cast<std::size_t>(la)] =
+                    rhs.eval(ref_values.data(), vals.data(), stack.data());
+              la += lrun.stride;
+              v += run.stride;
             }
-            for (int r = 0; r < nrefs; ++r) {
-              auto ur = static_cast<std::size_t>(r);
-              ref_values[ur] =
-                  (*rows[ur])[static_cast<std::size_t>(raddr[ur])];
-              raddr[ur] += rruns[ur].stride;
-            }
-            if (!guard ||
-                guard->holds(ref_values.data(), vals.data(), stack.data()))
-              out_buf[static_cast<std::size_t>(la)] =
-                  rhs.eval(ref_values.data(), vals.data(), stack.data());
-            la += lrun.stride;
-            v += run.stride;
+            pc.fused += fused_n;
           }
-          pc.fused += fused_n;
           for (i64 k = k1 + 1; k < run.count; ++k) {
             vals[static_cast<std::size_t>(inner)] =
                 run.start + k * run.stride;
@@ -414,7 +475,9 @@ void SharedMachine::run_clause(const Clause& clause, const ClausePlan& plan,
 // SharedStats bit-identical to the enumerated path.
 void SharedMachine::run_clause_gathered(const Clause& clause,
                                         const ClausePlan& plan,
-                                        const spmd::GatherSchedule& sched) {
+                                        const spmd::GatherSchedule& sched,
+                                        spmd::JitState* js,
+                                        const spmd::JitFns* jfns) {
   obs::Tracer* tr = tracer_.get();
   const i64 ctl = tr ? tr->control_lane() : 0;
   const i64 step_id = trace_step_;
@@ -451,29 +514,61 @@ void SharedMachine::run_clause_gathered(const Clause& clause,
     std::vector<double> stack;
     const spmd::CompiledGuard* guard = kaff ? kern->guard() : nullptr;
     if (kaff) stack.resize(static_cast<std::size_t>(kern->stack_need()));
-    for (i64 e = 0; e < rg.n; ++e) {
-      const i64* vals = rg.vals.data() + e * nloops;
-      const i64* offs = rg.offs.data() + e * nrefs;
-      for (int r = 0; r < nrefs; ++r)
-        ref_values[static_cast<std::size_t>(r)] =
-            (*rows[static_cast<std::size_t>(r)])
-                [static_cast<std::size_t>(offs[r])];
-      double value;
-      if (kaff) {
-        if (guard && !guard->holds(ref_values.data(), vals, stack.data()))
-          continue;
-        value = kern->rhs().eval(ref_values.data(), vals, stack.data());
-      } else {
-        vvals.assign(vals, vals + nloops);
-        if (clause.guard && !clause.guard->holds(ref_values, vvals))
-          continue;
-        value = prog::eval(clause.rhs, ref_values, vvals);
-      }
-      out_buf[static_cast<std::size_t>(
-          rg.lhs_slot[static_cast<std::size_t>(e)])] = value;
-    }
     PathCounters& pc = pcs[static_cast<std::size_t>(p)];
-    pc.sched += rg.n;
+
+    // Jitted replay: execute the flattened segment program instead of
+    // the per-element gather — constant-stride runs go through the
+    // vectorizable fused entry, irregular stretches through the gather
+    // entry. A rank with any == false keeps the bytecode loop below.
+    const spmd::JitRankProg* rp = nullptr;
+    if (jfns && js) {
+      const spmd::JitReplayProg* jp = js->replay_prog(sched);
+      const spmd::JitRankProg& rr = jp->ranks[static_cast<std::size_t>(p)];
+      if (rr.any) rp = &rr;
+    }
+    if (rp) {
+      std::vector<const double*> bases(static_cast<std::size_t>(nrefs));
+      for (int r = 0; r < nrefs; ++r)
+        bases[static_cast<std::size_t>(r)] =
+            rows[static_cast<std::size_t>(r)]->data();
+      for (const spmd::JitSegment& sg : rp->segs) {
+        if (sg.fused)
+          jfns->fused(out_buf.data(), sg.la0, sg.la_stride, bases.data(),
+                      sg.raddr0.data(), sg.rstride.data(),
+                      rg.vals.data() + sg.e0 * nloops, sg.v0, sg.vstride,
+                      sg.n);
+        else
+          jfns->replay(out_buf.data(), bases.data(),
+                       rp->ids.data() + sg.e0 * nrefs,
+                       rp->offs.data() + sg.e0 * nrefs,
+                       rg.lhs_slot.data() + sg.e0,
+                       rg.vals.data() + sg.e0 * nloops, sg.n);
+      }
+      pc.jit += rg.n;
+    } else {
+      for (i64 e = 0; e < rg.n; ++e) {
+        const i64* vals = rg.vals.data() + e * nloops;
+        const i64* offs = rg.offs.data() + e * nrefs;
+        for (int r = 0; r < nrefs; ++r)
+          ref_values[static_cast<std::size_t>(r)] =
+              (*rows[static_cast<std::size_t>(r)])
+                  [static_cast<std::size_t>(offs[r])];
+        double value;
+        if (kaff) {
+          if (guard && !guard->holds(ref_values.data(), vals, stack.data()))
+            continue;
+          value = kern->rhs().eval(ref_values.data(), vals, stack.data());
+        } else {
+          vvals.assign(vals, vals + nloops);
+          if (clause.guard && !clause.guard->holds(ref_values, vvals))
+            continue;
+          value = prog::eval(clause.rhs, ref_values, vvals);
+        }
+        out_buf[static_cast<std::size_t>(
+            rg.lhs_slot[static_cast<std::size_t>(e)])] = value;
+      }
+      pc.sched += rg.n;
+    }
     VCAL_TRACE(tr, p, obs::EventKind::KernelPath, step_id, 0, 0, 0,
                pc.sched);
     VCAL_TRACE(tr, p, obs::EventKind::GatherEnd, step_id, rg.n);

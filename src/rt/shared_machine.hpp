@@ -26,6 +26,7 @@
 #include "rt/cost_model.hpp"
 #include "rt/engine_options.hpp"
 #include "rt/store.hpp"
+#include "spmd/jit.hpp"
 #include "spmd/plan_cache.hpp"
 #include "spmd/program.hpp"
 #include "support/thread_pool.hpp"
@@ -74,6 +75,12 @@ class SharedMachine {
   /// forced fallbacks. Reporting only — never part of SharedStats.
   const CommStats& comm_stats() const noexcept { return comm_; }
 
+  /// JIT native-code accounting: compiles, cache reuse, dispatches
+  /// through jitted functions, fallbacks to the bytecode kernel.
+  /// Reporting only — never part of SharedStats (the `jit` oracle axis
+  /// pins that).
+  const spmd::JitStats& jit_stats() const noexcept { return jit_; }
+
   /// The attached event tracer (EngineOptions::trace); nullptr when
   /// tracing is off. Lanes 0..procs-1 are ranks, lane procs the engine.
   const obs::Tracer* tracer() const noexcept { return tracer_.get(); }
@@ -82,13 +89,21 @@ class SharedMachine {
   /// `rec`, when non-null, is the GatherSchedule being recorded by this
   /// (clean, cached) execution — the inspector half of the split.
   void run_clause(const prog::Clause& clause, const spmd::ClausePlan& plan,
-                  spmd::GatherSchedule* rec);
+                  spmd::GatherSchedule* rec, const spmd::JitFns* jfns);
   /// Executor half: replays a compiled gather schedule — per virtual
   /// processor, a flat gather over dense-store offsets plus live
   /// guard/RHS evaluation; enumeration statistics replay verbatim.
   void run_clause_gathered(const prog::Clause& clause,
                            const spmd::ClausePlan& plan,
-                           const spmd::GatherSchedule& sched);
+                           const spmd::GatherSchedule& sched,
+                           spmd::JitState* js, const spmd::JitFns* jfns);
+
+  /// One JIT arming / dispatch poll for the clause keyed by `key` at
+  /// the current epoch (see DistMachine::jit_poll).
+  const spmd::JitFns* jit_poll(const std::string& key,
+                               const prog::Clause& clause,
+                               const spmd::ClauseKernel& kern,
+                               spmd::JitState** js);
   void run_clause_sequential(const prog::Clause& clause);
   void for_ranks(i64 n, const std::function<void(i64)>& body);
 
@@ -104,7 +119,16 @@ class SharedMachine {
   SharedStats stats_;
   PathCounters paths_;
   CommStats comm_;
+  spmd::JitStats jit_;
   i64 trace_step_ = 0;  // executed-step ordinal for trace event ids
+
+  // Per-plan-key JIT state (see DistMachine::JitSlot): epoch mismatch on
+  // an armed state counts a fallback and re-arms from scratch.
+  struct JitSlot {
+    std::shared_ptr<spmd::JitState> state;
+    std::uint64_t epoch = 0;
+  };
+  std::unordered_map<std::string, JitSlot> jit_states_;
 
   // Gather-schedule dispatch state (see DistMachine): memoized plan-cache
   // keys per program step, and per-key clean-execution counts at the

@@ -1,0 +1,574 @@
+#include "spmd/jit.hpp"
+
+#include <dlfcn.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "emit/c_expr.hpp"
+#include "obs/metrics.hpp"
+#include "spmd/comm_schedule.hpp"
+
+namespace vcal::spmd {
+
+std::string JitStats::str() const {
+  obs::MetricsRegistry reg;
+  obs::collect(reg, *this);
+  return reg.line();
+}
+
+// ---- source emission -------------------------------------------------
+
+namespace {
+
+std::string cmp_to_c(prog::Guard::Cmp c) {
+  switch (c) {
+    case prog::Guard::Cmp::LT: return "<";
+    case prog::Guard::Cmp::LE: return "<=";
+    case prog::Guard::Cmp::GT: return ">";
+    case prog::Guard::Cmp::GE: return ">=";
+    case prog::Guard::Cmp::EQ: return "==";
+    case prog::Guard::Cmp::NE: return "!=";
+  }
+  return "<";
+}
+
+/// "if (guard) slot = rhs;\n" with the given ref/loop-variable C
+/// bindings. expr_to_c parenthesizes every operation in the bytecode's
+/// left-then-right operand order, and C comparisons carry the same IEEE
+/// NaN semantics as CompiledGuard::holds, so the store is bit-identical
+/// to the interpreter.
+std::string guarded_store(const prog::Clause& clause,
+                          const std::vector<std::string>& refs,
+                          const std::vector<std::string>& loops,
+                          const std::string& slot,
+                          const std::string& indent) {
+  std::string rhs = emit::expr_to_c(clause.rhs, refs, loops);
+  if (!clause.guard) return indent + slot + " = " + rhs + ";\n";
+  std::string g = "(" + emit::expr_to_c(clause.guard->lhs, refs, loops) +
+                  " " + cmp_to_c(clause.guard->cmp) + " " +
+                  emit::expr_to_c(clause.guard->rhs, refs, loops) + ")";
+  return indent + "if " + g + " " + slot + " = " + rhs + ";\n";
+}
+
+}  // namespace
+
+std::string jit_source(const prog::Clause& clause) {
+  const int R = static_cast<int>(clause.refs.size());
+  const int L = static_cast<int>(clause.loops.size());
+  const int I = L - 1;
+  std::ostringstream os;
+  os << "// vcal jit kernel (generated, content-addressed - do not edit)\n"
+     << "// clause: " << clause.str() << "\n\n";
+
+  std::vector<std::string> refs(static_cast<std::size_t>(R));
+  for (int r = 0; r < R; ++r) refs[static_cast<std::size_t>(r)] =
+      "r" + std::to_string(r);
+  auto loops_with_inner = [&](const std::string& inner_expr) {
+    std::vector<std::string> lv(static_cast<std::size_t>(L));
+    for (int d = 0; d < L; ++d)
+      lv[static_cast<std::size_t>(d)] =
+          d == I ? inner_expr : "outer[" + std::to_string(d) + "]";
+    return lv;
+  };
+
+  // --- the fused strided loop -------------------------------------
+  os << "void vcal_jit_fused(double* out, long long la0, long long "
+        "la_stride,\n"
+        "                    const double* const* rows, const long long* "
+        "raddr0,\n"
+        "                    const long long* rstride, const long long* "
+        "outer,\n"
+        "                    long long v0, long long vstride, long long n) "
+        "{\n"
+        "  long long k;\n";
+  for (int r = 0; r < R; ++r)
+    os << "  long long a" << r << " = raddr0[" << r << "];\n";
+  os << "  (void)outer; (void)v0;\n";
+  if (R == 0) os << "  (void)rows; (void)raddr0; (void)rstride;\n";
+  // Unit-stride specialization: with every stride a literal 1 the host
+  // compiler can vectorize the loop; the generic branch computes the
+  // same values element by element.
+  os << "  if (la_stride == 1 && vstride == 1";
+  for (int r = 0; r < R; ++r) os << " && rstride[" << r << "] == 1";
+  os << ") {\n"
+        "    for (k = 0; k < n; ++k) {\n";
+  for (int r = 0; r < R; ++r)
+    os << "      double r" << r << " = rows[" << r << "][a" << r
+       << " + k];\n";
+  os << guarded_store(clause, refs, loops_with_inner("(v0 + k)"),
+                      "out[la0 + k]", "      ");
+  os << "    }\n"
+        "  } else {\n"
+        "    long long la = la0;\n"
+        "    long long v = v0;\n"
+        "    (void)v;\n"
+        "    for (k = 0; k < n; ++k) {\n";
+  for (int r = 0; r < R; ++r)
+    os << "      double r" << r << " = rows[" << r << "][a" << r << "]; a"
+       << r << " += rstride[" << r << "];\n";
+  os << guarded_store(clause, refs, loops_with_inner("v"), "out[la]",
+                      "      ");
+  os << "      la += la_stride;\n"
+        "      v += vstride;\n"
+        "    }\n"
+        "  }\n"
+        "}\n\n";
+
+  // --- one replay segment of a compiled schedule ------------------
+  std::vector<std::string> rloops(static_cast<std::size_t>(L));
+  for (int d = 0; d < L; ++d)
+    rloops[static_cast<std::size_t>(d)] =
+        "vals[e*" + std::to_string(L) + " + " + std::to_string(d) + "]";
+  os << "void vcal_jit_replay(double* out, const double* const* bases,\n"
+        "                     const long long* ids, const long long* "
+        "offs,\n"
+        "                     const long long* slots, const long long* "
+        "vals,\n"
+        "                     long long n) {\n"
+        "  long long e;\n"
+        "  (void)bases; (void)ids; (void)offs; (void)vals;\n"
+        "  for (e = 0; e < n; ++e) {\n";
+  for (int r = 0; r < R; ++r)
+    os << "    double r" << r << " = bases[ids[e*" << R << " + " << r
+       << "]][offs[e*" << R << " + " << r << "]];\n";
+  os << guarded_store(clause, refs, rloops, "out[slots[e]]", "    ");
+  os << "  }\n"
+        "}\n";
+  return os.str();
+}
+
+std::string jit_fingerprint(const std::string& source) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a 64
+  for (unsigned char c : source) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "vcal%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+// ---- replay flattening ----------------------------------------------
+
+namespace {
+
+/// Minimum constant-stride run length worth a vcal_jit_fused call;
+/// anything shorter stays in the surrounding replay segment.
+constexpr i64 kMinFusedRun = 8;
+
+struct OpRead {
+  bool ok = false;  // false: halo operand — the rank stays on bytecode
+  i64 id = 0;
+  i64 off = 0;
+};
+
+/// Builds one rank's segment list. op_of(e, r) describes operand r of
+/// element e. Covers all n elements or leaves rp.any == false.
+template <typename OpOf>
+void build_rank_prog(JitRankProg& rp, i64 n, int R, int L,
+                     const i64* slots, const i64* vals, OpOf&& op_of) {
+  rp.any = false;
+  rp.segs.clear();
+  rp.ids.assign(static_cast<std::size_t>(n * R), 0);
+  rp.offs.assign(static_cast<std::size_t>(n * R), 0);
+  if (n == 0) {
+    rp.any = true;  // trivially covered: nothing to execute
+    return;
+  }
+  // A guarded-OOB slot (-1) must raise the tagged path's fault, and a
+  // halo operand needs a hash probe: either keeps the rank on bytecode.
+  std::vector<char> direct(static_cast<std::size_t>(n), 0);
+  for (i64 e = 0; e < n; ++e) {
+    if (slots[e] < 0) return;
+    bool d = true;
+    for (int r = 0; r < R; ++r) {
+      OpRead o = op_of(e, r);
+      if (!o.ok) return;
+      rp.ids[static_cast<std::size_t>(e * R + r)] = o.id;
+      rp.offs[static_cast<std::size_t>(e * R + r)] = o.off;
+      if (o.id != r) d = false;
+    }
+    direct[static_cast<std::size_t>(e)] = d ? 1 : 0;
+  }
+  const int I = L - 1;
+  auto push_replay = [&](i64 at) {
+    if (!rp.segs.empty() && !rp.segs.back().fused &&
+        rp.segs.back().e0 + rp.segs.back().n == at) {
+      ++rp.segs.back().n;
+      return;
+    }
+    JitSegment s;
+    s.e0 = at;
+    s.n = 1;
+    rp.segs.push_back(std::move(s));
+  };
+  i64 e = 0;
+  while (e < n) {
+    if (direct[static_cast<std::size_t>(e)]) {
+      // Grow the maximal run anchored at e whose offsets, LHS slot, and
+      // innermost loop value all advance by constants while the outer
+      // loop values stay fixed.
+      std::vector<i64> doff(static_cast<std::size_t>(R), 0);
+      i64 dslot = 0, dv = 0;
+      bool have_delta = false;
+      i64 j = e;
+      while (j + 1 < n && direct[static_cast<std::size_t>(j + 1)]) {
+        bool okp = true;
+        for (int d = 0; d < I && okp; ++d)
+          okp = vals[(j + 1) * L + d] == vals[e * L + d];
+        if (okp && !have_delta) {
+          for (int r = 0; r < R; ++r)
+            doff[static_cast<std::size_t>(r)] =
+                rp.offs[static_cast<std::size_t>((j + 1) * R + r)] -
+                rp.offs[static_cast<std::size_t>(j * R + r)];
+          dslot = slots[j + 1] - slots[j];
+          dv = vals[(j + 1) * L + I] - vals[j * L + I];
+          have_delta = true;
+        } else if (okp) {
+          for (int r = 0; r < R && okp; ++r)
+            okp = rp.offs[static_cast<std::size_t>((j + 1) * R + r)] -
+                      rp.offs[static_cast<std::size_t>(j * R + r)] ==
+                  doff[static_cast<std::size_t>(r)];
+          okp = okp && slots[j + 1] - slots[j] == dslot &&
+                vals[(j + 1) * L + I] - vals[j * L + I] == dv;
+        }
+        if (!okp) break;
+        ++j;
+      }
+      const i64 len = j - e + 1;
+      if (len >= kMinFusedRun) {
+        JitSegment s;
+        s.fused = true;
+        s.e0 = e;
+        s.n = len;
+        s.la0 = slots[e];
+        s.la_stride = dslot;
+        s.v0 = vals[e * L + I];
+        s.vstride = dv;
+        s.raddr0.resize(static_cast<std::size_t>(R));
+        for (int r = 0; r < R; ++r)
+          s.raddr0[static_cast<std::size_t>(r)] =
+              rp.offs[static_cast<std::size_t>(e * R + r)];
+        s.rstride = doff;
+        rp.segs.push_back(std::move(s));
+        e = j + 1;
+        continue;
+      }
+    }
+    push_replay(e);
+    ++e;
+  }
+  rp.any = true;
+}
+
+}  // namespace
+
+const JitReplayProg* JitState::replay_prog(const CommSchedule& s) {
+  std::lock_guard<std::mutex> lk(m_);
+  if (replay_ && replay_->sched == &s) return replay_.get();
+  auto prog = std::make_unique<JitReplayProg>();
+  prog->sched = &s;
+  prog->ranks.resize(static_cast<std::size_t>(s.procs));
+  for (i64 p = 0; p < s.procs; ++p) {
+    const RecvPlan& rv = s.recv[static_cast<std::size_t>(p)];
+    build_rank_prog(
+        prog->ranks[static_cast<std::size_t>(p)], rv.n, s.nrefs, s.nloops,
+        rv.lhs_slot.data(), rv.vals.data(), [&](i64 e, int r) -> OpRead {
+          const RefOp& op = rv.ops[static_cast<std::size_t>(e * s.nrefs + r)];
+          switch (op.kind) {
+            case RefOp::Kind::Local:
+              return {true, op.ref, op.a};
+            case RefOp::Kind::Remote:
+              return {true, s.nrefs + op.a, op.b};
+            case RefOp::Kind::Halo:
+              return {false, 0, 0};
+          }
+          return {false, 0, 0};
+        });
+  }
+  replay_ = std::move(prog);
+  return replay_.get();
+}
+
+const JitReplayProg* JitState::replay_prog(const GatherSchedule& s) {
+  std::lock_guard<std::mutex> lk(m_);
+  if (replay_ && replay_->sched == &s) return replay_.get();
+  auto prog = std::make_unique<JitReplayProg>();
+  prog->sched = &s;
+  prog->ranks.resize(s.ranks.size());
+  for (std::size_t p = 0; p < s.ranks.size(); ++p) {
+    const GatherSchedule::RankGather& rg = s.ranks[p];
+    build_rank_prog(prog->ranks[p], rg.n, s.nrefs, s.nloops,
+                    rg.lhs_slot.data(), rg.vals.data(),
+                    [&](i64 e, int r) -> OpRead {
+                      return {true, r,
+                              rg.offs[static_cast<std::size_t>(
+                                  e * s.nrefs + r)]};
+                    });
+  }
+  replay_ = std::move(prog);
+  return replay_.get();
+}
+
+// ---- arming / dispatch ----------------------------------------------
+
+JitPoll JitState::poll(const prog::Clause& clause, const ClauseKernel& kern,
+                       const JitConfig& cfg, JitStats& stats) {
+  JitPoll r;
+  bool submit_sync = false, submit_async = false;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    if (!cfg.enabled) return r;
+    ++seen_;
+    if (status_ == Status::Idle && seen_ >= cfg.threshold) {
+      if (!kern.affine()) {
+        // Non-affine clauses run the per-element interpreter path; there
+        // is no fused/replay loop to compile. Silent: never armed, so
+        // never a fallback.
+        status_ = Status::Ineligible;
+      } else {
+        source_ = jit_source(clause);
+        status_ = Status::Pending;
+        r.launched = true;
+        (cfg.sync ? submit_sync : submit_async) = true;
+      }
+    }
+  }
+  if (submit_sync)
+    JitEngine::instance().compile(shared_from_this(), cfg);
+  else if (submit_async)
+    JitEngine::instance().submit(shared_from_this(), cfg);
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    if (status_ == Status::Ready) {
+      if (!harvested_) {
+        harvested_ = true;
+        r.swapped = true;
+        r.cached = from_cache_;
+        if (from_cache_)
+          ++stats.cache_hits;
+        else
+          ++stats.builds;
+        stats.compile_ms += compile_ms_;
+      }
+      ++stats.hits;
+      r.fns = &fns_;
+    } else if (status_ == Status::Failed) {
+      ++stats.fallbacks;
+    }
+  }
+  return r;
+}
+
+bool JitState::armed() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return status_ == Status::Pending || status_ == Status::Ready ||
+         status_ == Status::Failed;
+}
+
+// ---- the process-wide compile service -------------------------------
+
+JitEngine& JitEngine::instance() {
+  static JitEngine e;
+  return e;
+}
+
+JitEngine::~JitEngine() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+bool JitEngine::available() { return !compiler().empty(); }
+
+std::string JitEngine::compiler() {
+  std::lock_guard<std::mutex> lk(detect_m_);
+  if (detected_ >= 0) return compiler_path_;
+  std::vector<std::string> cands;
+  if (!compiler_override_.empty()) {
+    cands.push_back(compiler_override_);
+  } else {
+    if (const char* cc = std::getenv("CC"))
+      if (*cc) cands.push_back(cc);
+    cands.push_back("cc");
+    cands.push_back("gcc");
+    cands.push_back("clang");
+  }
+  for (const std::string& c : cands) {
+    std::string probe = "command -v '" + c + "' >/dev/null 2>&1";
+    if (std::system(probe.c_str()) == 0) {
+      detected_ = 1;
+      compiler_path_ = c;
+      return compiler_path_;
+    }
+  }
+  detected_ = 0;
+  compiler_path_.clear();
+  return {};
+}
+
+std::string JitEngine::cache_dir(const JitConfig& cfg) {
+  std::string dir = cfg.cache_dir;
+  if (dir.empty()) {
+    const char* tmp = std::getenv("TMPDIR");
+    dir = (tmp && *tmp) ? tmp : "/tmp";
+    dir += "/vcal-jit-cache-" +
+           std::to_string(static_cast<long>(::getuid()));
+  }
+  ::mkdir(dir.c_str(), 0755);  // one level; racing creators both succeed
+  struct ::stat st;
+  if (::stat(dir.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) return {};
+  return dir;
+}
+
+void JitEngine::submit(std::shared_ptr<JitState> s, const JitConfig& cfg) {
+  std::lock_guard<std::mutex> lk(m_);
+  if (stop_) return;
+  if (!worker_running_) {
+    worker_running_ = true;
+    worker_ = std::thread([this] { worker_loop(); });
+  }
+  queue_.emplace_back(std::move(s), cfg);
+  cv_.notify_all();
+}
+
+void JitEngine::worker_loop() {
+  std::unique_lock<std::mutex> lk(m_);
+  for (;;) {
+    cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+    if (stop_) return;
+    auto job = std::move(queue_.front());
+    queue_.erase(queue_.begin());
+    busy_ = true;
+    lk.unlock();
+    compile(job.first, job.second);
+    lk.lock();
+    busy_ = false;
+    cv_.notify_all();
+  }
+}
+
+void JitEngine::drain() {
+  std::unique_lock<std::mutex> lk(m_);
+  cv_.wait(lk, [&] { return queue_.empty() && !busy_; });
+}
+
+void JitEngine::test_set_compiler(const std::string& path) {
+  std::lock_guard<std::mutex> lk(detect_m_);
+  compiler_override_ = path;
+  detected_ = -1;
+  compiler_path_.clear();
+}
+
+void JitEngine::test_corrupt_source(bool on) {
+  std::lock_guard<std::mutex> lk(detect_m_);
+  corrupt_source_ = on;
+}
+
+void JitEngine::test_fail_dlopen(bool on) {
+  std::lock_guard<std::mutex> lk(detect_m_);
+  fail_dlopen_ = on;
+}
+
+void JitEngine::compile(const std::shared_ptr<JitState>& s,
+                        const JitConfig& cfg) {
+  std::string src;
+  {
+    std::lock_guard<std::mutex> lk(s->m_);
+    src = s->source_;
+  }
+  bool corrupt = false, fail_dl = false;
+  {
+    std::lock_guard<std::mutex> lk(detect_m_);
+    corrupt = corrupt_source_;
+    fail_dl = fail_dlopen_;
+  }
+  // The corrupted unit hashes differently, so an injected failure can
+  // never poison the content-addressed cache.
+  if (corrupt) src += "\n#error vcal jit injected compile failure\n";
+  const std::string key = jit_fingerprint(src);
+
+  auto fail = [&] {
+    std::lock_guard<std::mutex> lk(s->m_);
+    s->status_ = JitState::Status::Failed;
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  JitFns fns;
+  bool from_cache = false;
+  {
+    std::lock_guard<std::mutex> lk(modules_m_);
+    auto it = modules_.find(key);
+    if (it != modules_.end()) {
+      fns = it->second;
+      from_cache = true;
+    }
+  }
+  if (!from_cache) {
+    const std::string cc = compiler();
+    if (cc.empty()) return fail();
+    const std::string dir = cache_dir(cfg);
+    if (dir.empty()) return fail();
+    const std::string stem = dir + "/" + key;
+    const std::string so = stem + ".so";
+    bool have_so = ::access(so.c_str(), R_OK) == 0;
+    if (fail_dl) have_so = false;  // force a fresh (failing) open below
+    if (!have_so) {
+      // tmp + rename: concurrent processes compiling the same unit
+      // never observe partial files, and the last rename wins.
+      const std::string tag = "." + std::to_string(::getpid());
+      const std::string ctmp = stem + ".c" + tag;
+      {
+        std::ofstream out(ctmp);
+        out << src;
+        if (!out) return fail();
+      }
+      ::rename(ctmp.c_str(), (stem + ".c").c_str());
+      const std::string sotmp = so + tag;
+      const std::string cmd = "'" + cc +
+                              "' -O2 -fPIC -shared -ffp-contract=off "
+                              "-fno-fast-math -o '" +
+                              sotmp + "' '" + stem + ".c' 2>'" + stem +
+                              ".log'";
+      if (std::system(cmd.c_str()) != 0) {
+        std::remove(sotmp.c_str());
+        return fail();
+      }
+      ::rename(sotmp.c_str(), so.c_str());
+    }
+    void* h =
+        fail_dl ? nullptr : ::dlopen(so.c_str(), RTLD_NOW | RTLD_LOCAL);
+    if (!h) return fail();
+    // Handles are immortal: jitted functions may still be referenced by
+    // machines at process exit, so the module is never dlclosed.
+    fns.fused =
+        reinterpret_cast<JitFusedFn>(::dlsym(h, "vcal_jit_fused"));
+    fns.replay =
+        reinterpret_cast<JitReplayFn>(::dlsym(h, "vcal_jit_replay"));
+    if (!fns.fused || !fns.replay) return fail();
+    if (have_so) from_cache = true;  // .so reused from a previous run
+    std::lock_guard<std::mutex> lk(modules_m_);
+    modules_.emplace(key, fns);
+  }
+  const double ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  std::lock_guard<std::mutex> lk(s->m_);
+  s->fns_ = fns;
+  s->from_cache_ = from_cache;
+  s->compile_ms_ = ms;
+  s->status_ = JitState::Status::Ready;
+}
+
+}  // namespace vcal::spmd

@@ -1,0 +1,248 @@
+// JIT native code generation for hot clause plans: compile the bytecode
+// away.
+//
+// PR 3 lowered clause right-hand sides to postfix bytecode over fused
+// strided loops; PR 5 compiled the communication pattern into replayable
+// schedules. The remaining interpreter tax is the bytecode dispatch
+// itself: every element still pays a switch per ExprOp plus value-stack
+// traffic. The paper's premise is that a decomposition plus generator
+// functions yields *compilable* SPMD node programs — so once a cached
+// clause plan proves hot (its Nth clean execution, mirroring how comm
+// schedules arm on the 2nd), we emit the clause's inner loops as a
+// self-contained C file — RHS and guard as straight-line C expressions
+// via emit::c_expr, parenthesized in the bytecode's left-then-right
+// operand order so doubles combine bit-identically — compile it with the
+// system toolchain into a shared object, dlopen it, and swap the
+// resulting function pointers into the dispatch.
+//
+// Two extern "C" entry points cover every fast path of both parallel
+// machines:
+//
+//   vcal_jit_fused   — the fused strided loop (dist phase-2 and the
+//                      shared dense path). All addressing arrives as
+//                      runtime arguments; a unit-stride specialization
+//                      is emitted textually so -O2 can vectorize it.
+//   vcal_jit_replay  — one segment of a compiled schedule replay: for
+//                      each recorded element, gather operands by
+//                      (base, offset) pairs, evaluate guard/RHS, store.
+//
+// Replayed schedules are additionally *segmentized* (JitReplayProg):
+// maximal runs whose recorded offsets advance by constant strides
+// collapse back into vcal_jit_fused calls — the common interior of a
+// stencil becomes a vectorizable loop again, with only the irregular
+// boundary elements going through the gather entry.
+//
+// Correctness contract: results are bit-identical to the bytecode
+// kernel. Compilation runs on a background worker so no step ever
+// blocks on the compiler; until the handle is ready — or if the
+// toolchain is missing, the compile fails, or dlopen fails — the
+// bytecode kernel keeps running. Shared objects are content-addressed
+// by a fingerprint of the generated source (FNV-1a 64), so identical
+// clauses across runs and processes reuse the cached .so. Handles are
+// deliberately immortal (never dlclosed). Epoch bumps on redistribute
+// invalidate JIT state with the plan that owned it; the machines count
+// that as a fallback and re-arm.
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "spmd/kernel.hpp"
+
+namespace vcal::spmd {
+
+class CommSchedule;
+class GatherSchedule;
+
+/// Reporting-only counters (never part of DistStats/SharedStats, like
+/// PathCounters): JIT activity must not perturb the semantic stats the
+/// conformance oracle compares.
+struct JitStats {
+  i64 builds = 0;      // compiles that produced a fresh shared object
+  i64 cache_hits = 0;  // content-addressed .so / module registry reuse
+  i64 hits = 0;        // clause executions dispatched through jitted code
+  i64 fallbacks = 0;   // armed executions forced back to bytecode
+  double compile_ms = 0.0;  // wall time spent in the toolchain
+
+  JitStats& operator+=(const JitStats& o) {
+    builds += o.builds;
+    cache_hits += o.cache_hits;
+    hits += o.hits;
+    fallbacks += o.fallbacks;
+    compile_ms += o.compile_ms;
+    return *this;
+  }
+  std::string str() const;
+};
+
+/// Per-machine knobs, copied out of rt::EngineOptions by the machines
+/// (spmd/ stays independent of rt/).
+struct JitConfig {
+  bool enabled = true;
+  int threshold = 2;        // arm on the Nth clean execution
+  bool sync = false;        // block on the compiler (oracle/tests)
+  std::string cache_dir;    // empty: $TMPDIR/vcal-jit-cache-<uid>
+};
+
+/// Signatures of the entry points every jitted module exports. The
+/// generated C declares the integer parameters as `long long`, which
+/// shares i64's width and calling convention on every platform the
+/// runtime targets.
+using JitFusedFn = void (*)(double* out, i64 la0, i64 la_stride,
+                            const double* const* rows, const i64* raddr0,
+                            const i64* rstride, const i64* outer, i64 v0,
+                            i64 vstride, i64 n);
+using JitReplayFn = void (*)(double* out, const double* const* bases,
+                             const i64* ids, const i64* offs,
+                             const i64* slots, const i64* vals, i64 n);
+
+struct JitFns {
+  JitFusedFn fused = nullptr;
+  JitReplayFn replay = nullptr;
+};
+
+/// One contiguous piece of a rank's replay: either a constant-stride
+/// run executed through vcal_jit_fused or an irregular stretch executed
+/// through vcal_jit_replay.
+struct JitSegment {
+  bool fused = false;
+  i64 e0 = 0;  // first element index in the rank's recv/gather plan
+  i64 n = 0;
+  // fused-only fields:
+  i64 la0 = 0, la_stride = 0;  // LHS slot progression
+  i64 v0 = 0, vstride = 0;     // innermost loop value progression
+  std::vector<i64> raddr0, rstride;  // per-ref offset progressions
+};
+
+/// A rank's full replay program. When `any` is false some element was
+/// ineligible (halo operand, guarded-OOB slot) and the whole rank stays
+/// on the bytecode path. ids/offs hold the flattened (base, offset)
+/// operands the replay segments index into: base r < nrefs is ref row
+/// r, base nrefs + s is the packed buffer from source rank s.
+struct JitRankProg {
+  bool any = false;
+  std::vector<JitSegment> segs;
+  std::vector<i64> ids, offs;  // n * nrefs
+};
+
+struct JitReplayProg {
+  const void* sched = nullptr;  // identity of the schedule it flattens
+  std::vector<JitRankProg> ranks;
+};
+
+/// The emitted C source for one clause. Pure function of the clause's
+/// guard/RHS structure and arity — decomposition-dependent addressing
+/// is runtime arguments — so the fingerprint survives redistribution.
+std::string jit_source(const prog::Clause& clause);
+
+/// Content address of a generated source: "vcal" + FNV-1a 64 hex.
+std::string jit_fingerprint(const std::string& source);
+
+/// What one poll observed (the machines translate these into trace
+/// events on the control lane).
+struct JitPoll {
+  const JitFns* fns = nullptr;  // non-null: dispatch through jitted code
+  bool launched = false;        // a compile was submitted this poll
+  bool swapped = false;         // fns became available this poll
+  bool cached = false;          // the swap reused a cached module/.so
+};
+
+/// Per-(machine, clause-plan) JIT state: arming counter, compile status,
+/// the swapped-in function pointers, and the lazily flattened replay
+/// programs. Poll is called once per clause execution from the
+/// machine's control thread; the compile worker flips the status from
+/// Pending to Ready/Failed concurrently.
+class JitState : public std::enable_shared_from_this<JitState> {
+ public:
+  JitPoll poll(const prog::Clause& clause, const ClauseKernel& kern,
+               const JitConfig& cfg, JitStats& stats);
+
+  /// True once the state has started (or finished) a compile — used by
+  /// the machines to tell an armed plan invalidated by an epoch bump
+  /// from one that never got hot.
+  bool armed() const;
+
+  /// The flattened replay program for `s`, built once per schedule and
+  /// cached. Never fails: ineligible ranks come back with any == false.
+  const JitReplayProg* replay_prog(const CommSchedule& s);
+  const JitReplayProg* replay_prog(const GatherSchedule& s);
+
+ private:
+  friend class JitEngine;
+  enum class Status { Idle, Ineligible, Pending, Ready, Failed };
+
+  mutable std::mutex m_;
+  Status status_ = Status::Idle;
+  int seen_ = 0;
+  bool harvested_ = false;  // build/cache-hit counted into JitStats
+  std::string source_;      // set when arming, consumed by the worker
+  JitFns fns_;
+  bool from_cache_ = false;
+  double compile_ms_ = 0.0;
+  std::unique_ptr<JitReplayProg> replay_;
+};
+
+/// Process-wide compile service: toolchain detection, the background
+/// compile worker, the content-addressed .c/.so cache directory, and
+/// the immortal dlopen registry. Test hooks inject every failure mode.
+class JitEngine {
+ public:
+  static JitEngine& instance();
+
+  /// True when a C compiler was detected (probed once, cached).
+  bool available();
+
+  /// Queue an asynchronous compile of `s` (status must be Pending).
+  void submit(std::shared_ptr<JitState> s, const JitConfig& cfg);
+
+  /// Compile `s` synchronously on the calling thread.
+  void compile(const std::shared_ptr<JitState>& s, const JitConfig& cfg);
+
+  /// Block until the async queue is empty and the worker is idle.
+  void drain();
+
+  /// Resolved cache directory (created on demand); empty on failure.
+  std::string cache_dir(const JitConfig& cfg);
+
+  // ---- test hooks (jit_test exercises every failure path) ----------
+  /// Overrides compiler detection: a path to use verbatim, or "" to
+  /// restore auto-detection. Resets the cached probe either way.
+  void test_set_compiler(const std::string& path);
+  /// Appends an #error to every generated source before hashing, so
+  /// the corrupted unit misses the cache and the compile fails.
+  void test_corrupt_source(bool on);
+  /// Makes the dlopen step report failure.
+  void test_fail_dlopen(bool on);
+
+ private:
+  JitEngine() = default;
+  ~JitEngine();
+
+  void worker_loop();
+  std::string compiler();
+
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::vector<std::pair<std::shared_ptr<JitState>, JitConfig>> queue_;
+  bool worker_running_ = false;
+  bool busy_ = false;
+  bool stop_ = false;
+  std::thread worker_;
+
+  std::mutex detect_m_;
+  int detected_ = -1;  // -1 unknown, 0 none, 1 found
+  std::string compiler_path_;
+  std::string compiler_override_;
+  bool corrupt_source_ = false;
+  bool fail_dlopen_ = false;
+
+  std::mutex modules_m_;
+  std::unordered_map<std::string, JitFns> modules_;  // fingerprint -> fns
+};
+
+}  // namespace vcal::spmd

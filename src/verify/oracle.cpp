@@ -6,6 +6,7 @@
 #include "rt/dist_machine.hpp"
 #include "rt/seq_executor.hpp"
 #include "rt/shared_machine.hpp"
+#include "spmd/jit.hpp"
 #include "support/error.hpp"
 #include "support/format.hpp"
 
@@ -44,7 +45,17 @@ std::string describe_engine(const EngineOptions& e) {
              " keyed=", e.keyed_channels ? 1 : 0,
              " kernels=", e.compiled_kernels ? 1 : 0,
              " trace=", e.trace ? 1 : 0,
-             " sched=", e.comm_schedules ? 1 : 0);
+             " sched=", e.comm_schedules ? 1 : 0,
+             " jit=", e.jit ? 1 : 0);
+}
+
+/// The jit axis rides on the compiled-kernel path and keys off the plan
+/// cache; configs without both have nothing to jit. Synchronous compiles
+/// with threshold 1 make the native path deterministic inside the check.
+void arm_jit(EngineOptions& e) {
+  e.jit = true;
+  e.jit_sync = true;
+  e.jit_threshold = 1;
 }
 
 bool has_sequential_clause(const spmd::Program& program) {
@@ -59,7 +70,8 @@ bool has_sequential_clause(const spmd::Program& program) {
 std::string CheckResult::str() const {
   if (ok)
     return cat("ok (", runs, " machine runs; paths: ",
-               rt::PathCounters{fused, generic, interp, sched}.str(), ")");
+               rt::PathCounters{fused, generic, interp, sched, jit}.str(),
+               ")");
   return cat("FAIL after ", runs, " machine runs: ", diagnostics);
 }
 
@@ -68,7 +80,7 @@ std::string OracleReport::str() const {
     return cat("verify: OK — ", programs, " programs, ", runs,
                " machine runs, all configurations bit-identical\n",
                "verify paths: ",
-               rt::PathCounters{fused, generic, interp, sched}.str(),
+               rt::PathCounters{fused, generic, interp, sched, jit}.str(),
                " elements (kernel fast path vs interpreter)");
   std::string out =
       cat("verify: FAIL at iteration ", failing_iter,
@@ -81,7 +93,9 @@ std::string OracleReport::str() const {
 
 CheckResult Oracle::check_program(
     const spmd::Program& program,
-    const std::map<std::string, std::vector<double>>& inputs) {
+    const std::map<std::string, std::vector<double>>& inputs,
+    bool jit_axis) {
+  if (!spmd::JitEngine::instance().available()) jit_axis = false;
   CheckResult res;
   auto fail = [&](const std::string& why) {
     if (res.ok) {
@@ -100,6 +114,7 @@ CheckResult Oracle::check_program(
     res.generic += pc.generic;
     res.interp += pc.interp;
     res.sched += pc.sched;
+    res.jit += pc.jit;
   };
 
   // ---- sequential reference --------------------------------------------
@@ -134,13 +149,20 @@ CheckResult Oracle::check_program(
     for (bool cache : {true, false}) {
       for (bool kernels : {true, false}) {
         for (bool trace : {false, true}) {
-          for (bool sched : {true, false}) {
+          for (int jit = 0; jit < 2; ++jit) {
+            // Native codegen needs the kernel path and cached plans, and
+            // is only exercised when the axis is on; everywhere else the
+            // config pins jit off for deterministic path tallies.
+            if (jit && !(jit_axis && kernels && cache)) continue;
+            for (bool sched : {true, false}) {
             EngineOptions e;
             e.threads = threads;
             e.cache_plans = cache;
             e.compiled_kernels = kernels;
             e.trace = trace;
             e.comm_schedules = sched;
+            e.jit = false;
+            if (jit) arm_jit(e);
             try {
               rt::SharedMachine m(program, {}, {}, /*elide_barriers=*/false,
                                   e);
@@ -157,13 +179,16 @@ CheckResult Oracle::check_program(
                        e2.what()));
             }
             if (!res.ok) return res;
+            }
           }
         }
       }
     }
   }
   try {
-    rt::SharedMachine m(program, {}, {}, /*elide_barriers=*/true);
+    EngineOptions e;
+    e.jit = false;
+    rt::SharedMachine m(program, {}, {}, /*elide_barriers=*/true, e);
     load_all(m);
     m.run();
     ++res.runs;
@@ -182,6 +207,7 @@ CheckResult Oracle::check_program(
   // ---- distributed baseline + stats invariants -------------------------
   EngineOptions base_engine;
   base_engine.threads = 1;
+  base_engine.jit = false;
   DistMachine base(program, {}, {}, base_engine);
   try {
     load_all(base);
@@ -234,7 +260,9 @@ CheckResult Oracle::check_program(
       for (bool keyed : {false, true}) {
         for (bool kernels : {true, false}) {
           for (bool trace : {false, true}) {
-            for (bool sched : {true, false}) {
+            for (int jit = 0; jit < 2; ++jit) {
+              if (jit && !(jit_axis && kernels && cache)) continue;
+              for (bool sched : {true, false}) {
               EngineOptions e;
               e.threads = threads;
               e.cache_plans = cache;
@@ -242,6 +270,8 @@ CheckResult Oracle::check_program(
               e.compiled_kernels = kernels;
               e.trace = trace;
               e.comm_schedules = sched;
+              e.jit = false;
+              if (jit) arm_jit(e);
               std::string tag = cat("dist[", describe_engine(e), "]");
               try {
                 DistMachine m(program, {}, {}, e);
@@ -260,6 +290,7 @@ CheckResult Oracle::check_program(
                 fail(cat(tag, " threw: ", e2.what()));
               }
               if (!res.ok) return res;
+              }
             }
           }
         }
@@ -322,7 +353,7 @@ CheckResult Oracle::check_program(
 }
 
 CheckResult Oracle::check_source(const std::string& source,
-                                 std::uint64_t input_seed) {
+                                 std::uint64_t input_seed, bool jit_axis) {
   spmd::Program program = lang::compile(source);
   Rng rng(input_seed);
   std::map<std::string, std::vector<double>> inputs;
@@ -331,7 +362,7 @@ CheckResult Oracle::check_source(const std::string& source,
     for (double& x : v) x = static_cast<double>(rng.uniform(-9, 9));
     inputs[name] = std::move(v);
   }
-  return check_program(program, inputs);
+  return check_program(program, inputs, jit_axis);
 }
 
 namespace {
@@ -339,9 +370,9 @@ namespace {
 /// True when the program fails the oracle (divergence, invariant
 /// violation, or any exception), with the reason in *why.
 bool oracle_rejects(const GeneratedProgram& gp, std::uint64_t input_seed,
-                    std::string* why) {
+                    bool jit_axis, std::string* why) {
   try {
-    CheckResult r = Oracle::check_source(gp.source(), input_seed);
+    CheckResult r = Oracle::check_source(gp.source(), input_seed, jit_axis);
     if (!r.ok) {
       *why = r.diagnostics;
       return true;
@@ -355,7 +386,8 @@ bool oracle_rejects(const GeneratedProgram& gp, std::uint64_t input_seed,
 
 /// Greedy statement-list minimization: keep removing single statements
 /// while the failure (any failure) persists.
-GeneratedProgram shrink(GeneratedProgram gp, std::uint64_t input_seed) {
+GeneratedProgram shrink(GeneratedProgram gp, std::uint64_t input_seed,
+                        bool jit_axis) {
   std::string why;
   bool progress = true;
   while (progress) {
@@ -364,7 +396,7 @@ GeneratedProgram shrink(GeneratedProgram gp, std::uint64_t input_seed) {
       GeneratedProgram candidate = gp;
       candidate.stmts.erase(candidate.stmts.begin() +
                             static_cast<std::ptrdiff_t>(i));
-      if (oracle_rejects(candidate, input_seed, &why)) {
+      if (oracle_rejects(candidate, input_seed, jit_axis, &why)) {
         gp = std::move(candidate);
         progress = true;
         break;
@@ -390,7 +422,7 @@ OracleReport Oracle::run_corpus(const OracleOptions& opts) {
 
     CheckResult cr;
     try {
-      cr = check_source(gp.source(), input_seed);
+      cr = check_source(gp.source(), input_seed, opts.jit_axis);
     } catch (const Error& e) {
       cr.ok = false;
       cr.diagnostics = cat("exception: ", e.what());
@@ -401,12 +433,13 @@ OracleReport Oracle::run_corpus(const OracleOptions& opts) {
     rep.generic += cr.generic;
     rep.interp += cr.interp;
     rep.sched += cr.sched;
+    rep.jit += cr.jit;
     if (!cr.ok) {
       rep.ok = false;
       rep.failing_iter = k;
       rep.failing_seed = prog_seed;
       rep.diagnostics = cr.diagnostics;
-      rep.reproducer = shrink(gp, input_seed).source();
+      rep.reproducer = shrink(gp, input_seed, opts.jit_axis).source();
       break;
     }
   }

@@ -14,6 +14,7 @@
 //   x clause execution {compiled kernels, interpreter}
 //   x event tracing {off, on}
 //   x communication schedules {on, off}
+//   x native jit {off, synchronously compiled} (where kernels+cache on)
 //   x build {optimized, run-time resolution}
 //
 // and asserts bit-identical result arrays everywhere, bit-identical
@@ -52,12 +53,13 @@ struct CheckResult {
   std::string diagnostics;  // first divergence / violated invariant
   // Execution-path tally over every machine run: how many elements went
   // through a fused strided kernel loop, the per-element kernel path,
-  // the tree-walking interpreter, and compiled-schedule replay (see
-  // rt::PathCounters).
+  // the tree-walking interpreter, compiled-schedule replay, and jitted
+  // native code (see rt::PathCounters).
   std::int64_t fused = 0;
   std::int64_t generic = 0;
   std::int64_t interp = 0;
   std::int64_t sched = 0;
+  std::int64_t jit = 0;
 
   std::string str() const;
 };
@@ -65,6 +67,10 @@ struct CheckResult {
 struct OracleOptions {
   int iters = 100;
   std::uint64_t seed = 1;
+  /// Include the jit engine axis (synchronous native compiles where the
+  /// kernel path is on). --no-jit turns it off; configs without the
+  /// axis always pin jit off for deterministic path tallies.
+  bool jit_axis = true;
   GenOptions gen;
 };
 
@@ -81,6 +87,7 @@ struct OracleReport {
   std::int64_t generic = 0;
   std::int64_t interp = 0;
   std::int64_t sched = 0;
+  std::int64_t jit = 0;
 
   std::string str() const;
 };
@@ -91,12 +98,14 @@ class Oracle {
   /// given dense inputs (arrays not named are zero-filled).
   static CheckResult check_program(
       const spmd::Program& program,
-      const std::map<std::string, std::vector<double>>& inputs);
+      const std::map<std::string, std::vector<double>>& inputs,
+      bool jit_axis = true);
 
   /// Compiles `source`, fills every array with deterministic values
   /// drawn from `input_seed`, and runs check_program.
   static CheckResult check_source(const std::string& source,
-                                  std::uint64_t input_seed);
+                                  std::uint64_t input_seed,
+                                  bool jit_axis = true);
 
   /// Runs `iters` random programs from the seeded corpus. Stops at the
   /// first failure, shrinks it to a minimal statement list, and reports

@@ -109,7 +109,8 @@ TEST(Cli, HelpListsEveryFlag) {
        {"--target", "--threads", "--no-plan-cache", "--keyed-channels",
         "--no-compiled-kernels", "--no-comm-schedules", "--trace",
         "--timeline", "--calibrate", "--verify", "--stats",
-        "--elide-barriers", "--naive"})
+        "--elide-barriers", "--naive", "--no-jit", "--jit-threshold",
+        "--jit-cache-dir", "--jit-sync"})
     EXPECT_TRUE(has(r.out, flag)) << flag << " missing from --help";
 }
 
@@ -122,9 +123,9 @@ TEST(Cli, EngineFlagsDoNotChangeResults) {
   for (const char* flags :
        {"--threads 1", "--threads 4", "--no-plan-cache",
         "--keyed-channels", "--no-compiled-kernels",
-        "--no-comm-schedules",
+        "--no-comm-schedules", "--no-jit", "--jit-threshold 1 --jit-sync",
         "--threads 1 --no-plan-cache --keyed-channels "
-        "--no-compiled-kernels --no-comm-schedules"}) {
+        "--no-compiled-kernels --no-comm-schedules --no-jit"}) {
     RunResult r = run(std::string(flags) + " " + base);
     EXPECT_EQ(r.status, 0) << flags << "\n" << r.out;
     EXPECT_EQ(r.out, plain.out) << flags;
@@ -169,6 +170,54 @@ TEST(Cli, StatsReportCommSchedules) {
     };
     EXPECT_EQ(arrays(on.out), arrays(off.out)) << target;
   }
+}
+
+TEST(Cli, StatsReportJitAndCacheDirIsHonored) {
+  // A repeated affine clause so the plan goes hot; --jit-sync makes the
+  // counters deterministic (no background-compile races).
+  std::string dir = ::testing::TempDir();
+  std::string file = dir + "/jit4.vexl";
+  std::string cache = dir + "/jit-cache";
+  {
+    std::ofstream out(file);
+    out << "processors 4;\narray A[0:19];\narray B[0:19];\n"
+           "distribute A block;\ndistribute B scatter;\n";
+    for (int k = 0; k < 4; ++k)
+      out << "forall i in 0:18 do A[i] := B[i + 1]*2 + 30; od\n";
+  }
+  std::string jit_flags =
+      "--jit-threshold 1 --jit-sync --jit-cache-dir " + cache + " ";
+  for (const char* target : {"--target=dist", "--target=shared"}) {
+    RunResult on = run(std::string(target) + " " + jit_flags +
+                       "--init B --print A --stats " + file);
+    EXPECT_EQ(on.status, 0) << on.out;
+    // First process builds, later processes hit the content-addressed
+    // .so cache; either way the module dispatches.
+    EXPECT_TRUE(has(on.out, "jit-builds=1") ||
+                has(on.out, "jit-cache-hits=1"))
+        << target << "\n" << on.out;
+    EXPECT_FALSE(has(on.out, "jit-hits=0")) << target << "\n" << on.out;
+
+    RunResult off = run(std::string(target) + " --no-jit " +
+                        "--init B --print A --stats " + file);
+    EXPECT_EQ(off.status, 0) << off.out;
+    EXPECT_TRUE(has(off.out, "jit-builds=0")) << target << "\n" << off.out;
+    EXPECT_TRUE(has(off.out, "jit-hits=0")) << target << "\n" << off.out;
+
+    // Native dispatch is a speed path only.
+    auto arrays = [](const std::string& s) {
+      return s.substr(0, s.find("paths:"));
+    };
+    EXPECT_EQ(arrays(on.out), arrays(off.out)) << target;
+  }
+
+  // The requested cache dir holds the generated unit and shared object.
+  EXPECT_EQ(std::system(("ls " + cache + "/vcal*.c >/dev/null 2>&1").c_str()),
+            0);
+  EXPECT_EQ(std::system(("ls " + cache + "/vcal*.so >/dev/null 2>&1").c_str()),
+            0);
+
+  EXPECT_EQ(run("--jit-threshold 0 " + file).status, 1);  // usage error
 }
 
 TEST(Cli, TraceWritesChromeJson) {

@@ -333,6 +333,7 @@ TEST(SchedReplay, SteadyStateReplayDoesNotAllocate) {
     spmd::Program program = lang::compile(src(t));
     rt::EngineOptions e;
     e.threads = 1;  // serial lanes: pool hand-offs would blur the count
+    e.jit = false;  // an async jit swap mid-run would blur it too
     rt::DistMachine m(program, {}, {}, e);
     m.load("B", ramp(32));
     m.run();  // warm-up: tagged pass, recording pass, then replays
@@ -609,8 +610,8 @@ TEST(Metrics, CollectorsCoverEveryProducer) {
 }
 
 TEST(Metrics, PathCountersStrDelegatesToRegistry) {
-  rt::PathCounters pc{10, 2, 1, 4};
-  EXPECT_EQ(pc.str(), "fused=10 generic=2 interp=1 sched=4");
+  rt::PathCounters pc{10, 2, 1, 4, 7};
+  EXPECT_EQ(pc.str(), "fused=10 generic=2 interp=1 sched=4 jit=7");
 }
 
 TEST(Metrics, CommStatsStrDelegatesToRegistry) {

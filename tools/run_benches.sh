@@ -1,32 +1,49 @@
 #!/usr/bin/env bash
 # Builds the benchmarks in Release and records the perf trajectory.
 #
-# Usage: tools/run_benches.sh [build-dir]
+# Usage: tools/run_benches.sh [--refresh-baseline] [build-dir]
 #
-# Runs bench/engine_throughput (including the kernel-vs-interpreter A/B)
-# and bench/comm_throughput (the schedule-vs-tagged A/B) and *appends*
-# their merged record to BENCH_engine.json at the repo root as
-# {"runs": [...]}, so the machine-readable trajectory keeps every
-# recorded run instead of overwriting the last one (a legacy
-# single-object file is wrapped on first append). Then runs
-# bench/spmd_end_to_end for the paper-shape tables. Any non-zero exit
-# (including the benches' internal bit-identity verification) fails the
-# script.
+# Runs bench/engine_throughput (the kernel-vs-interpreter A/B plus the
+# bytecode-vs-JIT steady-state A/B, surfaced as the record's top-level
+# "jit" object) and bench/comm_throughput (the schedule-vs-tagged A/B)
+# and *appends* their merged record to BENCH_engine.json at the repo
+# root as {"runs": [...]}; the file is (re)created idempotently when
+# missing, empty, or corrupt, and a legacy single-object file is
+# wrapped on first append. Then runs bench/spmd_end_to_end for the
+# paper-shape tables.
+#
+# --refresh-baseline additionally rewrites tools/bench_baseline.json
+# from a fresh smoke-shape run (n=512, T=50 — the shape the CI gates in
+# .github/workflows/ci.yml replay), preserving the schema those gates
+# consume (including the new "jit" record).
+#
+# Any non-zero exit (including the benches' internal bit-identity
+# verification) fails the script.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:-$repo_root/build-bench}"
+refresh_baseline=0
+build_dir=""
+for arg in "$@"; do
+  case "$arg" in
+    --refresh-baseline) refresh_baseline=1 ;;
+    *) build_dir="$arg" ;;
+  esac
+done
+build_dir="${build_dir:-$repo_root/build-bench}"
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" -j"$(nproc)" \
-  --target engine_throughput comm_throughput spmd_end_to_end
+  --target engine_throughput comm_throughput trace_overhead spmd_end_to_end
 
 cd "$repo_root"
 
 out="$repo_root/BENCH_engine.json"
 tmp="$(mktemp)"
 comm_tmp="$(mktemp)"
-trap 'rm -f "$tmp" "$comm_tmp"' EXIT
+smoke_tmp="$(mktemp)"
+to_tmp="$(mktemp)"
+trap 'rm -f "$tmp" "$comm_tmp" "$smoke_tmp" "$to_tmp"' EXIT
 "$build_dir/bench/engine_throughput" "$tmp"
 "$build_dir/bench/comm_throughput" "$comm_tmp"
 
@@ -34,7 +51,7 @@ if command -v jq >/dev/null 2>&1; then
   stamped="$(jq --arg ts "$(date -u +%FT%TZ)" \
     --slurpfile comm "$comm_tmp" \
     '. + {recorded: $ts, comm: $comm[0]}' "$tmp")"
-  if [ -s "$out" ]; then
+  if [ -s "$out" ] && jq -e . "$out" >/dev/null 2>&1; then
     if jq -e 'has("runs")' "$out" >/dev/null 2>&1; then
       jq --argjson new "$stamped" '.runs += [$new]' "$out" >"$out.tmp"
     else
@@ -43,6 +60,7 @@ if command -v jq >/dev/null 2>&1; then
     fi
     mv "$out.tmp" "$out"
   else
+    # Missing, empty, or corrupt: (re)create the trajectory file.
     printf '%s' "$stamped" | jq '{runs: [.]}' >"$out"
   fi
 else
@@ -50,6 +68,30 @@ else
   # trajectory file with hand-rolled concatenation.
   echo "warning: jq not found; writing $out without appending" >&2
   cp "$tmp" "$out"
+fi
+
+if [ "$refresh_baseline" = 1 ]; then
+  if ! command -v jq >/dev/null 2>&1; then
+    echo "error: --refresh-baseline needs jq" >&2
+    exit 1
+  fi
+  # The committed baseline records the CI smoke shape, not the full
+  # trajectory shape, so the gates compare like with like.
+  "$build_dir/bench/engine_throughput" --n=512 --steps=50 "$smoke_tmp"
+  "$build_dir/bench/comm_throughput" --n=512 --steps=50 "$comm_tmp"
+  "$build_dir/bench/trace_overhead" "$to_tmp"
+  jq --slurpfile comm "$comm_tmp" --slurpfile to "$to_tmp" \
+    '. + {trace_overhead:
+            ($to[0] | {n, steps, untraced_iters_per_sec,
+                       traced_overhead_pct: .overhead_pct,
+                       ns_per_event:
+                         (if .trace_events > 0
+                          then ((.wall_ms_traced - .wall_ms_untraced)
+                                * 1e6 / .trace_events | floor)
+                          else 0 end)}),
+          comm: $comm[0]}' \
+    "$smoke_tmp" >"$repo_root/tools/bench_baseline.json"
+  echo "refreshed tools/bench_baseline.json"
 fi
 
 # Paper-shape tables; google-benchmark timing cells kept short.

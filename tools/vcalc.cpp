@@ -75,6 +75,17 @@ const char kHelp[] =
     "                            packed binary search (dist target)\n"
     "  --no-compiled-kernels     tree-walking interpreter instead of\n"
     "                            compiled clause kernels\n"
+    "  --no-jit                  never swap hot clause plans to natively\n"
+    "                            compiled code; keep the bytecode kernels\n"
+    "                            (also drops the jit axis from --verify)\n"
+    "  --jit-threshold N         clean executions of a cached plan before\n"
+    "                            native compilation is armed (default 2)\n"
+    "  --jit-cache-dir PATH      content-addressed .so cache directory\n"
+    "                            (default $TMPDIR/vcal-jit-cache-<uid>)\n"
+    "  --jit-sync                compile armed plans on the calling step\n"
+    "                            instead of in the background (gives\n"
+    "                            deterministic jit counters; benchmarks\n"
+    "                            and tests use it)\n"
     "  --naive                   disable the Table I optimizations\n"
     "                            (run-time resolution baseline)\n"
     "  --elide-barriers          footnote-1 barrier analysis (shared)\n"
@@ -128,7 +139,7 @@ int run_verify(const Options& opt) {
     buf << in.rdbuf();
     try {
       vcal::verify::CheckResult r =
-          Oracle::check_source(buf.str(), opt.seed);
+          Oracle::check_source(buf.str(), opt.seed, opt.engine.jit);
       std::printf("verify %s: %s\n", opt.file.c_str(), r.str().c_str());
       return r.ok ? 0 : 3;
     } catch (const Error& e) {
@@ -139,6 +150,7 @@ int run_verify(const Options& opt) {
   vcal::verify::OracleOptions oo;
   oo.iters = opt.iters;
   oo.seed = opt.seed;
+  oo.jit_axis = opt.engine.jit;
   vcal::verify::OracleReport rep = Oracle::run_corpus(oo);
   std::printf("%s\n", rep.str().c_str());
   vcal::verify::CheckResult faults = Oracle::check_faults();
@@ -248,6 +260,15 @@ int main(int argc, char** argv) {
       opt.engine.keyed_channels = true;
     } else if (arg == "--no-compiled-kernels") {
       opt.engine.compiled_kernels = false;
+    } else if (arg == "--no-jit") {
+      opt.engine.jit = false;
+    } else if (arg == "--jit-threshold" && k + 1 < argc) {
+      opt.engine.jit_threshold = std::atoi(argv[++k]);
+      if (opt.engine.jit_threshold < 1) return usage(argv[0]);
+    } else if (arg == "--jit-cache-dir" && k + 1 < argc) {
+      opt.engine.jit_cache_dir = argv[++k];
+    } else if (arg == "--jit-sync") {
+      opt.engine.jit_sync = true;
     } else if (arg == "--iters" && k + 1 < argc) {
       opt.iters = std::atoi(argv[++k]);
       if (opt.iters <= 0) return usage(argv[0]);
@@ -356,6 +377,7 @@ int main(int argc, char** argv) {
         std::printf("stats: %s\n", machine.stats().str().c_str());
         std::printf("paths: %s\n", machine.path_counters().str().c_str());
         std::printf("comm: %s\n", machine.comm_stats().str().c_str());
+        std::printf("jit: %s\n", machine.jit_stats().str().c_str());
       }
       if (!emit_trace(opt, machine.tracer())) return 1;
     } else if (opt.target == "dist") {
@@ -368,6 +390,7 @@ int main(int argc, char** argv) {
         std::printf("stats: %s\n", machine.stats().str().c_str());
         std::printf("paths: %s\n", machine.path_counters().str().c_str());
         std::printf("comm: %s\n", machine.comm_stats().str().c_str());
+        std::printf("jit: %s\n", machine.jit_stats().str().c_str());
       }
       if (!emit_trace(opt, machine.tracer())) return 1;
     } else {
