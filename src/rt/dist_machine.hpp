@@ -198,6 +198,7 @@ class DistMachine {
   struct JitSlot {
     std::shared_ptr<spmd::JitState> state;
     std::uint64_t epoch = 0;
+    bool no_toolchain_noted = false;  // one fallback per key, not per exec
   };
   std::unordered_map<std::string, JitSlot> jit_states_;
 

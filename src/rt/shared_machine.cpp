@@ -191,6 +191,16 @@ const spmd::JitFns* SharedMachine::jit_poll(const std::string& key,
   obs::Tracer* tr = tracer_.get();
   const i64 ctl = tr ? tr->control_lane() : 0;
   JitSlot& slot = jit_states_[key];
+  if (!spmd::JitEngine::instance().available()) {
+    // No toolchain on this host: never arm (a compile job could only
+    // fail). A single fallback per clause key records that JIT was
+    // requested but cannot happen here.
+    if (!slot.no_toolchain_noted) {
+      slot.no_toolchain_noted = true;
+      ++jit_.fallbacks;
+    }
+    return nullptr;
+  }
   if (!slot.state || slot.epoch != plan_cache_.epoch()) {
     // A redistribution invalidated whatever this key had compiled; if
     // the old state was armed, the next executions run bytecode again —

@@ -1,14 +1,20 @@
 #include "spmd/jit.hpp"
 
 #include <dlfcn.h>
+#include <fcntl.h>
+#include <spawn.h>
 #include <sys/stat.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+
+extern char** environ;
 
 #include "emit/c_expr.hpp"
 #include "obs/metrics.hpp"
@@ -375,6 +381,38 @@ bool JitState::armed() const {
 
 // ---- the process-wide compile service -------------------------------
 
+namespace {
+
+/// posix_spawnp `args` with stdout+stderr redirected to `out_path`
+/// (/dev/null when empty) and wait; true on exit status 0. The
+/// toolchain is never invoked through a shell, so compiler and cache
+/// paths containing quotes or metacharacters are inert data.
+bool run_argv(const std::vector<std::string>& args,
+              const std::string& out_path) {
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (const std::string& a : args)
+    argv.push_back(const_cast<char*>(a.c_str()));
+  argv.push_back(nullptr);
+  posix_spawn_file_actions_t fa;
+  if (::posix_spawn_file_actions_init(&fa) != 0) return false;
+  const char* out = out_path.empty() ? "/dev/null" : out_path.c_str();
+  pid_t pid = -1;
+  bool ok = ::posix_spawn_file_actions_addopen(
+                &fa, 1, out, O_WRONLY | O_CREAT | O_TRUNC, 0600) == 0 &&
+            ::posix_spawn_file_actions_adddup2(&fa, 1, 2) == 0 &&
+            ::posix_spawnp(&pid, argv[0], &fa, nullptr, argv.data(),
+                           environ) == 0;
+  ::posix_spawn_file_actions_destroy(&fa);
+  if (!ok) return false;
+  int st = 0;
+  while (::waitpid(pid, &st, 0) < 0)
+    if (errno != EINTR) return false;
+  return WIFEXITED(st) && WEXITSTATUS(st) == 0;
+}
+
+}  // namespace
+
 JitEngine& JitEngine::instance() {
   static JitEngine e;
   return e;
@@ -405,8 +443,9 @@ std::string JitEngine::compiler() {
     cands.push_back("clang");
   }
   for (const std::string& c : cands) {
-    std::string probe = "command -v '" + c + "' >/dev/null 2>&1";
-    if (std::system(probe.c_str()) == 0) {
+    // Spawn the candidate directly (no shell): a missing binary fails
+    // the exec, and every supported toolchain answers --version.
+    if (run_argv({c, "--version"}, "")) {
       detected_ = 1;
       compiler_path_ = c;
       return compiler_path_;
@@ -425,9 +464,15 @@ std::string JitEngine::cache_dir(const JitConfig& cfg) {
     dir += "/vcal-jit-cache-" +
            std::to_string(static_cast<long>(::getuid()));
   }
-  ::mkdir(dir.c_str(), 0755);  // one level; racing creators both succeed
+  ::mkdir(dir.c_str(), 0700);  // one level; racing creators both succeed
+  // Everything in this directory feeds dlopen, and the default path is
+  // predictable: refuse symlinks and any directory we do not own or
+  // that another user could write, falling back to bytecode instead of
+  // loading what an attacker may have planted there.
   struct ::stat st;
-  if (::stat(dir.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) return {};
+  if (::lstat(dir.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) return {};
+  if (st.st_uid != ::getuid()) return {};
+  if ((st.st_mode & (S_IWGRP | S_IWOTH)) != 0) return {};
   return dir;
 }
 
@@ -521,41 +566,51 @@ void JitEngine::compile(const std::shared_ptr<JitState>& s,
     if (dir.empty()) return fail();
     const std::string stem = dir + "/" + key;
     const std::string so = stem + ".so";
-    bool have_so = ::access(so.c_str(), R_OK) == 0;
-    if (fail_dl) have_so = false;  // force a fresh (failing) open below
-    if (!have_so) {
+    const std::string tag = "." + std::to_string(::getpid());
+    auto build = [&]() -> bool {
       // tmp + rename: concurrent processes compiling the same unit
       // never observe partial files, and the last rename wins.
-      const std::string tag = "." + std::to_string(::getpid());
       const std::string ctmp = stem + ".c" + tag;
       {
         std::ofstream out(ctmp);
         out << src;
-        if (!out) return fail();
+        if (!out) return false;
       }
       ::rename(ctmp.c_str(), (stem + ".c").c_str());
       const std::string sotmp = so + tag;
-      const std::string cmd = "'" + cc +
-                              "' -O2 -fPIC -shared -ffp-contract=off "
-                              "-fno-fast-math -o '" +
-                              sotmp + "' '" + stem + ".c' 2>'" + stem +
-                              ".log'";
-      if (std::system(cmd.c_str()) != 0) {
+      if (!run_argv({cc, "-O2", "-fPIC", "-shared", "-ffp-contract=off",
+                     "-fno-fast-math", "-o", sotmp, stem + ".c"},
+                    stem + ".log")) {
         std::remove(sotmp.c_str());
-        return fail();
+        return false;
       }
       ::rename(sotmp.c_str(), so.c_str());
+      return true;
+    };
+    auto open_module = [&]() -> bool {
+      void* h =
+          fail_dl ? nullptr : ::dlopen(so.c_str(), RTLD_NOW | RTLD_LOCAL);
+      if (!h) return false;
+      // Handles are immortal: jitted functions may still be referenced
+      // by machines at process exit, so the module is never dlclosed.
+      fns.fused =
+          reinterpret_cast<JitFusedFn>(::dlsym(h, "vcal_jit_fused"));
+      fns.replay =
+          reinterpret_cast<JitReplayFn>(::dlsym(h, "vcal_jit_replay"));
+      return fns.fused && fns.replay;
+    };
+    bool have_so = ::access(so.c_str(), R_OK) == 0;
+    if (fail_dl) have_so = false;  // force a fresh (failing) open below
+    if (!have_so && !build()) return fail();
+    if (!open_module()) {
+      if (!have_so) return fail();
+      // A pre-existing .so that refuses to load (truncated, wrong arch
+      // on a shared cache dir) would otherwise lock this clause out of
+      // JIT in every future process: drop it and rebuild once.
+      ::unlink(so.c_str());
+      have_so = false;
+      if (!build() || !open_module()) return fail();
     }
-    void* h =
-        fail_dl ? nullptr : ::dlopen(so.c_str(), RTLD_NOW | RTLD_LOCAL);
-    if (!h) return fail();
-    // Handles are immortal: jitted functions may still be referenced by
-    // machines at process exit, so the module is never dlclosed.
-    fns.fused =
-        reinterpret_cast<JitFusedFn>(::dlsym(h, "vcal_jit_fused"));
-    fns.replay =
-        reinterpret_cast<JitReplayFn>(::dlsym(h, "vcal_jit_replay"));
-    if (!fns.fused || !fns.replay) return fail();
     if (have_so) from_cache = true;  // .so reused from a previous run
     std::lock_guard<std::mutex> lk(modules_m_);
     modules_.emplace(key, fns);

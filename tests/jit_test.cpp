@@ -9,8 +9,10 @@
 // test already compiled would be served from the registry before the
 // injected failure could trigger.
 #include <gtest/gtest.h>
+#include <sys/stat.h>
 
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <variant>
 #include <vector>
@@ -248,7 +250,10 @@ TEST(JitFallback, MissingToolchainFallsBackBitIdentically) {
   expect_same_dist(r_on, r_off);
   EXPECT_EQ(r_on.jit.hits, 0);
   EXPECT_EQ(r_on.paths.jit, 0);
-  EXPECT_GT(r_on.jit.fallbacks, 0);
+  // A toolchain-less host never arms — no doomed compile jobs — and
+  // records exactly one fallback per clause key, not one per execution.
+  EXPECT_EQ(r_on.jit.builds + r_on.jit.cache_hits, 0);
+  EXPECT_EQ(r_on.jit.fallbacks, 1);
 }
 
 TEST(JitFallback, InjectedCompileErrorFallsBackBitIdentically) {
@@ -278,6 +283,43 @@ TEST(JitFallback, DlopenFailureFallsBackBitIdentically) {
   DistRun r_off = run_dist(stencil_src(5, 62), jit_off(), "A");
   expect_same_dist(r_on, r_off);
   EXPECT_EQ(r_on.jit.hits, 0);
+  EXPECT_GT(r_on.jit.fallbacks, 0);
+}
+
+TEST(JitFallback, CorruptCachedSoIsDroppedAndRebuilt) {
+  if (!toolchain()) GTEST_SKIP() << "no C compiler detected";
+  const std::string cache = temp_cache_dir();
+  // Plant garbage at the exact content address the clause will load:
+  // dlopen refuses it, the engine drops the bad file, and one fresh
+  // compile swaps in — the clause is not locked out of JIT forever.
+  spmd::Program p = lang::compile(stencil_src(5, 63));
+  const auto* clause = std::get_if<prog::Clause>(&p.steps.front());
+  ASSERT_NE(clause, nullptr);
+  const std::string key = spmd::jit_fingerprint(spmd::jit_source(*clause));
+  {
+    std::ofstream bad(cache + "/" + key + ".so");
+    bad << "not a shared object";
+  }
+  DistRun r_on = run_dist(stencil_src(5, 63), jit_on(cache), "A");
+  DistRun r_off = run_dist(stencil_src(5, 63), jit_off(), "A");
+  expect_same_dist(r_on, r_off);
+  EXPECT_EQ(r_on.jit.builds, 1);
+  EXPECT_EQ(r_on.jit.cache_hits, 0);
+  EXPECT_GT(r_on.jit.hits, 0);
+  EXPECT_EQ(r_on.jit.fallbacks, 0);
+}
+
+TEST(JitFallback, UnsafeCacheDirFallsBackBitIdentically) {
+  if (!toolchain()) GTEST_SKIP() << "no C compiler detected";
+  const std::string cache = temp_cache_dir();
+  // Group/other-writable directories feed dlopen with files another
+  // user could plant; the engine must refuse them and stay on bytecode.
+  ASSERT_EQ(::chmod(cache.c_str(), 0777), 0);
+  DistRun r_on = run_dist(stencil_src(5, 64), jit_on(cache), "A");
+  DistRun r_off = run_dist(stencil_src(5, 64), jit_off(), "A");
+  expect_same_dist(r_on, r_off);
+  EXPECT_EQ(r_on.jit.hits, 0);
+  EXPECT_EQ(r_on.paths.jit, 0);
   EXPECT_GT(r_on.jit.fallbacks, 0);
 }
 
