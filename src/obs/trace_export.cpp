@@ -42,91 +42,134 @@ std::string span_args(const TraceEvent& b) {
              ",\"a1\":", b.a1, ",\"a2\":", b.a2, ",\"a3\":", b.a3, "}");
 }
 
+// Emits one lane's records. `for_each` is anything that walks the
+// lane's events in order and hands each to a callback — a RankTrace or
+// a plain vector — so Tracer lanes and detached TraceLanes share the
+// exact same rendering.
+template <typename ForEach>
+void emit_lane_records(std::vector<std::string>& records, i64 lane,
+                       ForEach&& for_each) {
+  std::vector<TraceEvent> open;  // Begin stack awaiting its End
+  i64 last_ns = 0;
+  for_each([&](const TraceEvent& e) {
+    last_ns = e.wall_ns;
+    if (is_begin(e.kind)) {
+      open.push_back(e);
+      return;
+    }
+    // An End closes the nearest matching Begin; Ends whose Begin was
+    // overwritten in the ring are dropped.
+    switch (e.kind) {
+      case EventKind::ClauseEnd:
+      case EventKind::SendEnd:
+      case EventKind::HaloEnd:
+      case EventKind::RedistEnd:
+      case EventKind::BarrierEnd:
+      case EventKind::PackEnd:
+      case EventKind::GatherEnd: {
+        for (std::size_t i = open.size(); i-- > 0;) {
+          if (end_of(open[i].kind) != e.kind) continue;
+          const TraceEvent& b = open[i];
+          records.push_back(cat(
+              "{\"name\":\"", span_name(b.kind), "\",\"ph\":\"X\",",
+              head(lane, b.wall_ns), ",\"dur\":", us(e.wall_ns - b.wall_ns),
+              ",\"args\":", span_args(b), "}"));
+          open.erase(open.begin() + static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+        break;
+      }
+      case EventKind::KernelPath:
+        records.push_back(
+            cat("{\"name\":\"KernelPath\",\"ph\":\"C\",",
+                head(lane, e.wall_ns), ",\"args\":{\"fused\":", e.a0,
+                ",\"generic\":", e.a1, ",\"interp\":", e.a2,
+                ",\"sched\":", e.a3, "}}"));
+        break;
+      case EventKind::StepCounters:
+        records.push_back(
+            cat("{\"name\":\"StepCounters\",\"ph\":\"C\",",
+                head(lane, e.wall_ns), ",\"args\":{\"iters\":", e.a0,
+                ",\"tests\":", e.a1, ",\"transfers\":", e.a2,
+                ",\"bulk\":", e.a3, "}}"));
+        break;
+      default:
+        records.push_back(cat("{\"name\":\"", kind_name(e.kind),
+                              "\",\"ph\":\"i\",\"s\":\"t\",",
+                              head(lane, e.wall_ns),
+                              ",\"args\":", span_args(e), "}"));
+        break;
+    }
+  });
+  // Spans interrupted by an exception: close them at the lane's end so
+  // the viewer still shows where the run stopped.
+  for (std::size_t i = open.size(); i-- > 0;) {
+    const TraceEvent& b = open[i];
+    records.push_back(cat("{\"name\":\"", span_name(b.kind),
+                          "\",\"ph\":\"X\",", head(lane, b.wall_ns),
+                          ",\"dur\":", us(last_ns - b.wall_ns),
+                          ",\"args\":", span_args(b), "}"));
+  }
+}
+
+std::string assemble(const std::vector<std::string>& records, i64 ranks,
+                     i64 events, i64 dropped) {
+  std::string out = "{\"traceEvents\":[\n";
+  for (std::size_t i = 0; i < records.size(); ++i)
+    out += cat(records[i], i + 1 < records.size() ? ",\n" : "\n");
+  out += cat("],\"displayTimeUnit\":\"ns\",\"otherData\":{",
+             "\"ranks\":", ranks, ",\"events\":", events,
+             ",\"dropped\":", dropped, "}}\n");
+  return out;
+}
+
+std::string thread_name_record(i64 lane, const std::string& name) {
+  return cat("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":", lane,
+             ",\"args\":{\"name\":\"", name, "\"}}");
+}
+
+std::string process_name_record(const std::string& process_name) {
+  return cat("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,",
+             "\"args\":{\"name\":\"", process_name, "\"}}");
+}
+
 }  // namespace
 
 std::string chrome_trace_json(const Tracer& tracer,
                               const std::string& process_name) {
   std::vector<std::string> records;
-  records.push_back(cat("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,",
-                        "\"args\":{\"name\":\"", process_name, "\"}}"));
+  records.push_back(process_name_record(process_name));
   for (i64 lane = 0; lane < tracer.lanes(); ++lane)
-    records.push_back(
-        cat("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":", lane,
-            ",\"args\":{\"name\":\"", lane_name(tracer, lane), "\"}}"));
+    records.push_back(thread_name_record(lane, lane_name(tracer, lane)));
 
   for (i64 lane = 0; lane < tracer.lanes(); ++lane) {
     const RankTrace& rt = tracer.lane(lane);
-    std::vector<TraceEvent> open;  // Begin stack awaiting its End
-    i64 last_ns = 0;
-    rt.for_each([&](const TraceEvent& e) {
-      last_ns = e.wall_ns;
-      if (is_begin(e.kind)) {
-        open.push_back(e);
-        return;
-      }
-      // An End closes the nearest matching Begin; Ends whose Begin was
-      // overwritten in the ring are dropped.
-      switch (e.kind) {
-        case EventKind::ClauseEnd:
-        case EventKind::SendEnd:
-        case EventKind::HaloEnd:
-        case EventKind::RedistEnd:
-        case EventKind::BarrierEnd:
-        case EventKind::PackEnd:
-        case EventKind::GatherEnd: {
-          for (std::size_t i = open.size(); i-- > 0;) {
-            if (end_of(open[i].kind) != e.kind) continue;
-            const TraceEvent& b = open[i];
-            records.push_back(cat(
-                "{\"name\":\"", span_name(b.kind), "\",\"ph\":\"X\",",
-                head(lane, b.wall_ns), ",\"dur\":", us(e.wall_ns - b.wall_ns),
-                ",\"args\":", span_args(b), "}"));
-            open.erase(open.begin() + static_cast<std::ptrdiff_t>(i));
-            break;
-          }
-          break;
-        }
-        case EventKind::KernelPath:
-          records.push_back(
-              cat("{\"name\":\"KernelPath\",\"ph\":\"C\",",
-                  head(lane, e.wall_ns), ",\"args\":{\"fused\":", e.a0,
-                  ",\"generic\":", e.a1, ",\"interp\":", e.a2,
-                  ",\"sched\":", e.a3, "}}"));
-          break;
-        case EventKind::StepCounters:
-          records.push_back(
-              cat("{\"name\":\"StepCounters\",\"ph\":\"C\",",
-                  head(lane, e.wall_ns), ",\"args\":{\"iters\":", e.a0,
-                  ",\"tests\":", e.a1, ",\"transfers\":", e.a2,
-                  ",\"bulk\":", e.a3, "}}"));
-          break;
-        default:
-          records.push_back(cat("{\"name\":\"", kind_name(e.kind),
-                                "\",\"ph\":\"i\",\"s\":\"t\",",
-                                head(lane, e.wall_ns),
-                                ",\"args\":", span_args(e), "}"));
-          break;
-      }
-    });
-    // Spans interrupted by an exception: close them at the lane's end so
-    // the viewer still shows where the run stopped.
-    for (std::size_t i = open.size(); i-- > 0;) {
-      const TraceEvent& b = open[i];
-      records.push_back(cat("{\"name\":\"", span_name(b.kind),
-                            "\",\"ph\":\"X\",", head(lane, b.wall_ns),
-                            ",\"dur\":", us(last_ns - b.wall_ns),
-                            ",\"args\":", span_args(b), "}"));
-    }
+    emit_lane_records(records, lane,
+                      [&](auto&& fn) { rt.for_each(fn); });
   }
+  return assemble(records, tracer.ranks(), tracer.total_recorded(),
+                  tracer.total_dropped());
+}
 
-  std::string out = "{\"traceEvents\":[\n";
-  for (std::size_t i = 0; i < records.size(); ++i)
-    out += cat(records[i], i + 1 < records.size() ? ",\n" : "\n");
-  out += cat("],\"displayTimeUnit\":\"ns\",\"otherData\":{",
-             "\"ranks\":", tracer.ranks(),
-             ",\"events\":", tracer.total_recorded(),
-             ",\"dropped\":", tracer.total_dropped(), "}}\n");
-  return out;
+std::string chrome_trace_json(const std::vector<TraceLane>& lanes,
+                              const std::string& process_name) {
+  std::vector<std::string> records;
+  records.push_back(process_name_record(process_name));
+  for (std::size_t lane = 0; lane < lanes.size(); ++lane)
+    records.push_back(
+        thread_name_record(static_cast<i64>(lane), lanes[lane].name));
+
+  i64 events = 0;
+  i64 dropped = 0;
+  for (std::size_t lane = 0; lane < lanes.size(); ++lane) {
+    const TraceLane& tl = lanes[lane];
+    events += static_cast<i64>(tl.events.size());
+    dropped += tl.dropped;
+    emit_lane_records(records, static_cast<i64>(lane), [&](auto&& fn) {
+      for (const TraceEvent& e : tl.events) fn(e);
+    });
+  }
+  return assemble(records, static_cast<i64>(lanes.size()), events, dropped);
 }
 
 std::string timeline_text(const Tracer& tracer) {

@@ -17,12 +17,26 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "obs/trace.hpp"
 
 namespace vcal::obs {
 
 std::string chrome_trace_json(const Tracer& tracer,
+                              const std::string& process_name = "vcal");
+
+/// A detached trace lane: events collected somewhere a live Tracer is
+/// not available (e.g. shipped back from a worker process), plus how
+/// many its ring dropped. The lane-vector chrome_trace_json overload
+/// renders these exactly like Tracer lanes, one tid per entry.
+struct TraceLane {
+  std::string name;
+  std::vector<TraceEvent> events;
+  i64 dropped = 0;
+};
+
+std::string chrome_trace_json(const std::vector<TraceLane>& lanes,
                               const std::string& process_name = "vcal");
 
 std::string timeline_text(const Tracer& tracer);

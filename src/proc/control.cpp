@@ -1,0 +1,102 @@
+#include "proc/control.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/error.hpp"
+#include "support/format.hpp"
+
+namespace vcal::proc {
+
+const char* msg_name(MsgType t) {
+  switch (t) {
+    case MsgType::Hello: return "HELLO";
+    case MsgType::Go: return "GO";
+    case MsgType::Step: return "STEP";
+    case MsgType::Error: return "ERROR";
+    case MsgType::Result: return "RESULT";
+    case MsgType::Done: return "DONE";
+  }
+  return "?";
+}
+
+namespace {
+
+void write_all(int fd, const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (n > 0) {
+    // MSG_NOSIGNAL: a vanished peer surfaces as EPIPE, not SIGPIPE.
+    ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw RuntimeFault(cat("proc control: send failed: ",
+                             std::strerror(errno)));
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+// Returns bytes read; 0 only on EOF before the first byte.
+std::size_t read_all(int fd, void* data, std::size_t n) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  std::size_t got = 0;
+  while (got < n) {
+    ssize_t r = ::recv(fd, p + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw RuntimeFault(cat("proc control: recv failed: ",
+                             std::strerror(errno)));
+    }
+    if (r == 0) break;
+    got += static_cast<std::size_t>(r);
+  }
+  return got;
+}
+
+}  // namespace
+
+void send_frame(int fd, MsgType type,
+                const std::vector<std::uint8_t>& payload) {
+  std::uint32_t hdr[2] = {
+      static_cast<std::uint32_t>(type),
+      static_cast<std::uint32_t>(payload.size()),
+  };
+  write_all(fd, hdr, sizeof hdr);
+  if (!payload.empty()) write_all(fd, payload.data(), payload.size());
+}
+
+bool recv_frame(int fd, ControlFrame* out) {
+  std::uint32_t hdr[2];
+  std::size_t got = read_all(fd, hdr, sizeof hdr);
+  if (got == 0) return false;
+  require(got == sizeof hdr, "proc control: truncated frame header");
+  out->type = static_cast<MsgType>(hdr[0]);
+  out->payload.resize(hdr[1]);
+  if (hdr[1] > 0)
+    require(read_all(fd, out->payload.data(), hdr[1]) == hdr[1],
+            "proc control: truncated frame payload");
+  return true;
+}
+
+void FrameSplitter::feed(const std::uint8_t* data, std::size_t n) {
+  buf.insert(buf.end(), data, data + n);
+}
+
+bool FrameSplitter::next(ControlFrame* out) {
+  if (buf.size() < 8) return false;
+  std::uint32_t hdr[2];
+  std::memcpy(hdr, buf.data(), sizeof hdr);
+  const std::size_t total = 8 + hdr[1];
+  if (buf.size() < total) return false;
+  out->type = static_cast<MsgType>(hdr[0]);
+  out->payload.assign(buf.begin() + 8,
+                      buf.begin() + static_cast<std::ptrdiff_t>(total));
+  buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(total));
+  return true;
+}
+
+}  // namespace vcal::proc

@@ -1,0 +1,131 @@
+#include "proc/ring.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+
+#include "support/error.hpp"
+#include "support/format.hpp"
+
+namespace vcal::proc {
+
+namespace {
+
+// File layout: a 192-byte header (magic + slot count, then head and
+// tail on their own cache lines to keep the producer's and consumer's
+// stores from false-sharing) followed by the slot array.
+constexpr std::uint64_t kRingMagic = 0x7663616c52494e47ull;  // "vcalRING"
+constexpr std::size_t kMagicOff = 0;
+constexpr std::size_t kSlotsOff = 8;
+constexpr std::size_t kHeadOff = 64;
+constexpr std::size_t kTailOff = 128;
+constexpr std::size_t kDataOff = 192;
+
+std::size_t file_len(i64 slots) {
+  return kDataOff + static_cast<std::size_t>(slots) * sizeof(Slot);
+}
+
+}  // namespace
+
+Ring::~Ring() {
+  if (map_ != nullptr) ::munmap(map_, map_len_);
+}
+
+void Ring::swap(Ring& o) noexcept {
+  std::swap(map_, o.map_);
+  std::swap(map_len_, o.map_len_);
+  std::swap(slots_, o.slots_);
+  std::swap(head_, o.head_);
+  std::swap(tail_, o.tail_);
+  std::swap(data_, o.data_);
+}
+
+void Ring::create(const std::string& path, i64 slots) {
+  require(slots > 0, "proc ring: slot count must be positive");
+  int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_RDWR, 0600);
+  require(fd >= 0, "proc ring: cannot create " + path);
+  const std::size_t len = file_len(slots);
+  if (::ftruncate(fd, static_cast<off_t>(len)) != 0) {
+    ::close(fd);
+    throw RuntimeFault("proc ring: cannot size " + path);
+  }
+  void* map = ::mmap(nullptr, len, PROT_READ | PROT_WRITE, MAP_SHARED,
+                     fd, 0);
+  ::close(fd);
+  require(map != MAP_FAILED, "proc ring: cannot map " + path);
+  auto* base = static_cast<std::uint8_t*>(map);
+  std::memset(base, 0, kDataOff);
+  std::uint64_t magic = kRingMagic;
+  std::memcpy(base + kMagicOff, &magic, sizeof magic);
+  auto n = static_cast<std::uint64_t>(slots);
+  std::memcpy(base + kSlotsOff, &n, sizeof n);
+  ::munmap(map, len);
+}
+
+void Ring::open(const std::string& path) {
+  require(map_ == nullptr, "proc ring: already open");
+  int fd = ::open(path.c_str(), O_RDWR);
+  require(fd >= 0, "proc ring: cannot open " + path);
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw RuntimeFault("proc ring: cannot stat " + path);
+  }
+  const auto len = static_cast<std::size_t>(st.st_size);
+  require(len >= kDataOff + sizeof(Slot),
+          "proc ring: " + path + " is too small to be a ring");
+  void* map = ::mmap(nullptr, len, PROT_READ | PROT_WRITE, MAP_SHARED,
+                     fd, 0);
+  ::close(fd);
+  require(map != MAP_FAILED, "proc ring: cannot map " + path);
+  auto* base = static_cast<std::uint8_t*>(map);
+  std::uint64_t magic = 0, n = 0;
+  std::memcpy(&magic, base + kMagicOff, sizeof magic);
+  std::memcpy(&n, base + kSlotsOff, sizeof n);
+  if (magic != kRingMagic || file_len(static_cast<i64>(n)) != len) {
+    ::munmap(map, len);
+    throw RuntimeFault("proc ring: " + path + " has a corrupt header");
+  }
+  map_ = map;
+  map_len_ = len;
+  slots_ = static_cast<i64>(n);
+  head_ = reinterpret_cast<std::uint64_t*>(base + kHeadOff);
+  tail_ = reinterpret_cast<std::uint64_t*>(base + kTailOff);
+  data_ = reinterpret_cast<Slot*>(base + kDataOff);
+}
+
+i64 Ring::try_write(const Slot* s, i64 n) {
+  std::atomic_ref<std::uint64_t> head(*head_), tail(*tail_);
+  const std::uint64_t h = head.load(std::memory_order_relaxed);
+  const std::uint64_t t = tail.load(std::memory_order_acquire);
+  const i64 space = slots_ - static_cast<i64>(h - t);
+  const i64 k = std::min(space, n);
+  for (i64 i = 0; i < k; ++i)
+    data_[(h + static_cast<std::uint64_t>(i)) %
+          static_cast<std::uint64_t>(slots_)] = s[i];
+  if (k > 0)
+    head.store(h + static_cast<std::uint64_t>(k),
+               std::memory_order_release);
+  return k;
+}
+
+i64 Ring::try_read(Slot* s, i64 max) {
+  std::atomic_ref<std::uint64_t> head(*head_), tail(*tail_);
+  const std::uint64_t t = tail.load(std::memory_order_relaxed);
+  const std::uint64_t h = head.load(std::memory_order_acquire);
+  const i64 avail = static_cast<i64>(h - t);
+  const i64 k = std::min(avail, max);
+  for (i64 i = 0; i < k; ++i)
+    s[i] = data_[(t + static_cast<std::uint64_t>(i)) %
+                 static_cast<std::uint64_t>(slots_)];
+  if (k > 0)
+    tail.store(t + static_cast<std::uint64_t>(k),
+               std::memory_order_release);
+  return k;
+}
+
+}  // namespace vcal::proc

@@ -1,0 +1,21 @@
+// Worker entry point for the multi-process backend: `vcalc --rank N
+// --channel-dir PATH` lands here. The worker loads the job file from
+// the channel directory, compiles the program, connects to the control
+// socket, and runs rank N's SPMD node program over the shared-memory
+// ring channels — the paper's three-phase template, executed by a real
+// OS process per rank.
+#pragma once
+
+#include <string>
+
+#include "support/math.hpp"
+
+namespace vcal::proc {
+
+/// Runs rank `rank` of the job in `channel_dir`. Returns the process
+/// exit code: 0 when the run finished or the engine error was relayed
+/// over the control plane, non-zero when the control plane itself was
+/// unreachable.
+int worker_main(i64 rank, const std::string& channel_dir);
+
+}  // namespace vcal::proc

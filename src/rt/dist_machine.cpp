@@ -6,6 +6,7 @@
 
 #include "decomp/redistribute.hpp"
 #include "obs/metrics.hpp"
+#include "rt/channel.hpp"
 #include "spmd/comm_schedule.hpp"
 #include "spmd/kernel.hpp"
 #include "support/error.hpp"
@@ -116,195 +117,6 @@ void DistMachine::finish_step(const std::vector<RankCounters>& counters) {
   }
 }
 
-namespace {
-
-// All elements flowing src -> dst in one clause, packed as one bulk
-// message: (tag, value) entries appended by the sender in phase 1 and
-// consumed by tag in phase 2. Each channel is written only by its source
-// rank and consumed only by its destination rank, so the phase loops
-// parallelize without locks.
-//
-// Two matching representations exist (EngineOptions::keyed_channels):
-// the bulk form sorts once and matches receives by binary search; the
-// keyed form builds a tag -> slot hash index in arrival order. Both
-// produce identical counters, so the conformance oracle can pin one
-// against the other. Fault injection perturbs a packed channel in place;
-// a perturbed bulk channel loses its sort order and falls back to linear
-// matching, the way a real receive polls an unordered network.
-struct Channel {
-  std::vector<std::pair<i64, double>> msgs;
-  std::vector<char> taken;
-  std::unordered_map<i64, std::size_t> index;  // keyed matching only
-  // Recording metadata for the communication-schedule inspector: the
-  // (ref ordinal, source-local offset) behind each in-flight value.
-  // Maintained only while a schedule is being recorded; pack() keeps it
-  // in tandem with msgs through the sort/dedup permutation.
-  std::vector<std::pair<std::int32_t, i64>> meta;
-  // Lazy tag -> first-occurrence index for the perturbed (unsorted,
-  // non-keyed) fallback, built once on the first fallback consume
-  // instead of re-scanning the whole channel per receive.
-  std::unordered_map<i64, std::size_t> lazy;
-  bool lazy_built = false;
-  bool keyed = false;
-  bool sorted = false;  // binary search valid (bulk mode, unperturbed)
-  i64 consumed = 0;
-  std::size_t last_k = 0;  // slot of the last successful consume
-
-  void push(i64 tag, double value) { msgs.emplace_back(tag, value); }
-
-  // Dedups by tag — a resend of the same (ref, loop tuple) overwrites
-  // the earlier value, mirroring keyed-mailbox semantics — then freezes
-  // the matching structure: sort (bulk) or hash index (keyed).
-  void pack() {
-    const bool rec = !meta.empty();
-    if (keyed) {
-      std::vector<std::pair<i64, double>> out;
-      std::vector<std::pair<std::int32_t, i64>> mout;
-      out.reserve(msgs.size());
-      if (rec) mout.reserve(meta.size());
-      index.reserve(msgs.size());
-      for (std::size_t i = 0; i < msgs.size(); ++i) {
-        const auto& m = msgs[i];
-        auto [it, fresh] = index.try_emplace(m.first, out.size());
-        if (fresh) {
-          out.push_back(m);
-          if (rec) mout.push_back(meta[i]);
-        } else {
-          out[it->second] = m;
-          if (rec) mout[it->second] = meta[i];
-        }
-      }
-      msgs = std::move(out);
-      if (rec) meta = std::move(mout);
-    } else if (!rec) {
-      std::stable_sort(
-          msgs.begin(), msgs.end(),
-          [](const auto& a, const auto& b) { return a.first < b.first; });
-      std::size_t w = 0;
-      for (std::size_t i = 0; i < msgs.size(); ++i) {
-        if (w > 0 && msgs[w - 1].first == msgs[i].first)
-          msgs[w - 1] = msgs[i];
-        else
-          msgs[w++] = msgs[i];
-      }
-      msgs.resize(w);
-      sorted = true;
-    } else {
-      // Recording: run the identical stable sort + keep-last dedup
-      // through an index permutation so meta stays in tandem — the
-      // recorded pack order is exactly what replay will reproduce.
-      std::vector<std::size_t> perm(msgs.size());
-      for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
-      std::stable_sort(perm.begin(), perm.end(),
-                       [&](std::size_t a, std::size_t b) {
-                         return msgs[a].first < msgs[b].first;
-                       });
-      std::vector<std::pair<i64, double>> out;
-      std::vector<std::pair<std::int32_t, i64>> mout;
-      out.reserve(msgs.size());
-      mout.reserve(meta.size());
-      for (std::size_t i : perm) {
-        if (!out.empty() && out.back().first == msgs[i].first) {
-          out.back() = msgs[i];
-          mout.back() = meta[i];
-        } else {
-          out.push_back(msgs[i]);
-          mout.push_back(meta[i]);
-        }
-      }
-      msgs = std::move(out);
-      meta = std::move(mout);
-      sorted = true;
-    }
-    taken.assign(msgs.size(), 0);
-  }
-
-  // Blocking receive: nullptr when no matching (or an already-consumed)
-  // message is in flight.
-  const double* consume(i64 tag) {
-    std::size_t k = msgs.size();
-    if (keyed) {
-      auto it = index.find(tag);
-      if (it == index.end()) return nullptr;
-      k = it->second;
-    } else if (sorted) {
-      auto it = std::lower_bound(
-          msgs.begin(), msgs.end(), tag,
-          [](const auto& m, i64 t) { return m.first < t; });
-      if (it == msgs.end() || it->first != tag) return nullptr;
-      k = static_cast<std::size_t>(it - msgs.begin());
-    } else {
-      // Perturbed channel: index tag -> first occurrence once, then
-      // scan forward from it only past taken duplicates — first-match
-      // semantics at O(m) total instead of O(m²) per step.
-      if (!lazy_built) {
-        lazy.clear();
-        for (std::size_t i = 0; i < msgs.size(); ++i)
-          lazy.try_emplace(msgs[i].first, i);
-        lazy_built = true;
-      }
-      auto it = lazy.find(tag);
-      if (it == lazy.end()) return nullptr;
-      k = it->second;
-      while (k < msgs.size() && (taken[k] || msgs[k].first != tag)) ++k;
-      if (k == msgs.size()) return nullptr;
-    }
-    if (taken[k]) return nullptr;
-    taken[k] = 1;
-    ++consumed;
-    last_k = k;
-    return &msgs[k].second;
-  }
-
-  i64 undelivered() const {
-    return static_cast<i64>(msgs.size()) - consumed;
-  }
-
-  // ---- fault mutators (post-pack; return whether anything changed) ----
-
-  bool drop(i64 i) {
-    if (msgs.empty()) return false;
-    auto k = static_cast<std::size_t>(
-        i % static_cast<i64>(msgs.size()));
-    msgs.erase(msgs.begin() + static_cast<std::ptrdiff_t>(k));
-    taken.erase(taken.begin() + static_cast<std::ptrdiff_t>(k));
-    lazy_built = false;
-    if (keyed) reindex();
-    return true;
-  }
-
-  bool duplicate(i64 i) {
-    if (msgs.empty()) return false;
-    auto k = static_cast<std::size_t>(
-        i % static_cast<i64>(msgs.size()));
-    msgs.push_back(msgs[k]);
-    taken.push_back(0);
-    // The appended copy breaks the sort order; receives fall back to
-    // first-match linear scan, so the original is consumed and the copy
-    // surfaces in the pairing check. The keyed index still names the
-    // original, with the same effect.
-    sorted = false;
-    lazy_built = false;
-    return true;
-  }
-
-  bool reorder() {
-    if (msgs.size() < 2) return false;
-    std::reverse(msgs.begin(), msgs.end());
-    sorted = false;
-    lazy_built = false;
-    if (keyed) reindex();
-    return true;
-  }
-
-  void reindex() {
-    index.clear();
-    for (std::size_t i = 0; i < msgs.size(); ++i)
-      index.try_emplace(msgs[i].first, i);
-  }
-};
-
-}  // namespace
 
 // Phase 0 of every clause (tagged or scheduled): every referenced array
 // with a halo gets its boundary copies refreshed with pre-clause values

@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "lang/translate.hpp"
+#include "proc/proc_machine.hpp"
 #include "rt/dist_machine.hpp"
 #include "rt/seq_executor.hpp"
 #include "rt/shared_machine.hpp"
@@ -94,7 +95,7 @@ std::string OracleReport::str() const {
 CheckResult Oracle::check_program(
     const spmd::Program& program,
     const std::map<std::string, std::vector<double>>& inputs,
-    bool jit_axis) {
+    bool jit_axis, bool proc_axis, const std::string& source) {
   if (!spmd::JitEngine::instance().available()) jit_axis = false;
   CheckResult res;
   auto fail = [&](const std::string& why) {
@@ -298,6 +299,41 @@ CheckResult Oracle::check_program(
     }
   }
 
+  // ---- multi-process backend: the engine claims extend across real
+  // process boundaries — P spawned workers over shared-memory rings
+  // must reproduce the serial simulator bit for bit ----------------------
+#if defined(__linux__)
+  if (proc_axis && !source.empty()) {
+    for (bool keyed : {false, true}) {
+      EngineOptions e;
+      e.threads = 1;
+      e.jit = false;
+      e.keyed_channels = keyed;
+      e.trace = keyed;  // the second config also exercises trace shipping
+      std::string tag = cat("proc[", describe_engine(e), "]");
+      try {
+        proc::ProcMachine m(source, {}, {}, e);
+        load_all(m);
+        m.run();
+        ++res.runs;
+        for (const std::string& n : names)
+          if (m.gather(n) != ref[n])
+            fail(cat(tag, " diverges from seq on ", n));
+        std::string sd = diff_stats(m.stats(), st);
+        if (!sd.empty()) fail(cat(tag, " stats diverge: ", sd));
+        if (m.message_matrix() != base.message_matrix())
+          fail(cat(tag, " message matrix diverges"));
+      } catch (const Error& e2) {
+        fail(cat(tag, " threw: ", e2.what()));
+      }
+      if (!res.ok) return res;
+    }
+  }
+#else
+  (void)proc_axis;
+  (void)source;
+#endif
+
   // ---- run-time-resolution baseline: same answer, same traffic, the
   // predicted O(n) membership-test class ---------------------------------
   gen::BuildOptions naive;
@@ -353,7 +389,8 @@ CheckResult Oracle::check_program(
 }
 
 CheckResult Oracle::check_source(const std::string& source,
-                                 std::uint64_t input_seed, bool jit_axis) {
+                                 std::uint64_t input_seed, bool jit_axis,
+                                 bool proc_axis) {
   spmd::Program program = lang::compile(source);
   Rng rng(input_seed);
   std::map<std::string, std::vector<double>> inputs;
@@ -362,7 +399,7 @@ CheckResult Oracle::check_source(const std::string& source,
     for (double& x : v) x = static_cast<double>(rng.uniform(-9, 9));
     inputs[name] = std::move(v);
   }
-  return check_program(program, inputs, jit_axis);
+  return check_program(program, inputs, jit_axis, proc_axis, source);
 }
 
 namespace {
@@ -370,9 +407,10 @@ namespace {
 /// True when the program fails the oracle (divergence, invariant
 /// violation, or any exception), with the reason in *why.
 bool oracle_rejects(const GeneratedProgram& gp, std::uint64_t input_seed,
-                    bool jit_axis, std::string* why) {
+                    bool jit_axis, bool proc_axis, std::string* why) {
   try {
-    CheckResult r = Oracle::check_source(gp.source(), input_seed, jit_axis);
+    CheckResult r =
+        Oracle::check_source(gp.source(), input_seed, jit_axis, proc_axis);
     if (!r.ok) {
       *why = r.diagnostics;
       return true;
@@ -387,7 +425,7 @@ bool oracle_rejects(const GeneratedProgram& gp, std::uint64_t input_seed,
 /// Greedy statement-list minimization: keep removing single statements
 /// while the failure (any failure) persists.
 GeneratedProgram shrink(GeneratedProgram gp, std::uint64_t input_seed,
-                        bool jit_axis) {
+                        bool jit_axis, bool proc_axis) {
   std::string why;
   bool progress = true;
   while (progress) {
@@ -396,7 +434,7 @@ GeneratedProgram shrink(GeneratedProgram gp, std::uint64_t input_seed,
       GeneratedProgram candidate = gp;
       candidate.stmts.erase(candidate.stmts.begin() +
                             static_cast<std::ptrdiff_t>(i));
-      if (oracle_rejects(candidate, input_seed, jit_axis, &why)) {
+      if (oracle_rejects(candidate, input_seed, jit_axis, proc_axis, &why)) {
         gp = std::move(candidate);
         progress = true;
         break;
@@ -422,7 +460,8 @@ OracleReport Oracle::run_corpus(const OracleOptions& opts) {
 
     CheckResult cr;
     try {
-      cr = check_source(gp.source(), input_seed, opts.jit_axis);
+      cr = check_source(gp.source(), input_seed, opts.jit_axis,
+                        opts.proc_axis);
     } catch (const Error& e) {
       cr.ok = false;
       cr.diagnostics = cat("exception: ", e.what());
@@ -439,7 +478,8 @@ OracleReport Oracle::run_corpus(const OracleOptions& opts) {
       rep.failing_iter = k;
       rep.failing_seed = prog_seed;
       rep.diagnostics = cr.diagnostics;
-      rep.reproducer = shrink(gp, input_seed, opts.jit_axis).source();
+      rep.reproducer =
+          shrink(gp, input_seed, opts.jit_axis, opts.proc_axis).source();
       break;
     }
   }

@@ -71,6 +71,12 @@ struct OracleOptions {
   /// kernel path is on). --no-jit turns it off; configs without the
   /// axis always pin jit off for deterministic path tallies.
   bool jit_axis = true;
+  /// Include the multi-process backend axis: every distributed program
+  /// additionally runs on real spawned worker processes (ProcMachine)
+  /// and must reproduce the simulator's results, DistStats, and message
+  /// matrix bit-identically. Off by default — it forks 2 x P processes
+  /// per program — and a no-op on platforms without the backend.
+  bool proc_axis = false;
   GenOptions gen;
 };
 
@@ -96,16 +102,22 @@ class Oracle {
  public:
   /// Differential conformance check of one compiled program with the
   /// given dense inputs (arrays not named are zero-filled).
+  /// The proc axis ships the program to worker processes as vexl text
+  /// (workers recompile; lang::compile is deterministic), so it needs
+  /// `source` — with an empty source the axis is skipped. check_source
+  /// always passes it through.
   static CheckResult check_program(
       const spmd::Program& program,
       const std::map<std::string, std::vector<double>>& inputs,
-      bool jit_axis = true);
+      bool jit_axis = true, bool proc_axis = false,
+      const std::string& source = {});
 
   /// Compiles `source`, fills every array with deterministic values
   /// drawn from `input_seed`, and runs check_program.
   static CheckResult check_source(const std::string& source,
                                   std::uint64_t input_seed,
-                                  bool jit_axis = true);
+                                  bool jit_axis = true,
+                                  bool proc_axis = false);
 
   /// Runs `iters` random programs from the seeded corpus. Stops at the
   /// first failure, shrinks it to a minimal statement list, and reports

@@ -2,16 +2,35 @@
 // emitters, and error reporting. Paths are injected by CMake.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace {
 
 std::string vcalc() { return VCALC_PATH; }
 std::string programs() { return EXAMPLES_DIR; }
+
+// A fresh private directory per call. The earlier fixed names inside
+// the shared ::testing::TempDir() ("cli_out.txt", "comm3.vexl", ...)
+// collided when two cli_test processes ran concurrently — the classic
+// intermittent failure where one test reads the file another is
+// rewriting.
+std::string unique_dir() {
+  std::string tmpl = ::testing::TempDir() + "vcal-cli-XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  if (::mkdtemp(buf.data()) == nullptr) {
+    ADD_FAILURE() << "mkdtemp failed under " << tmpl;
+    return ::testing::TempDir();
+  }
+  return buf.data();
+}
 
 struct RunResult {
   int status;
@@ -19,12 +38,14 @@ struct RunResult {
 };
 
 RunResult run(const std::string& args) {
-  std::string dir = ::testing::TempDir();
+  std::string dir = unique_dir();
   std::string out_file = dir + "/cli_out.txt";
   std::string cmd = vcalc() + " " + args + " > " + out_file + " 2>&1";
   int status = std::system(cmd.c_str());
   std::ostringstream buf;
   buf << std::ifstream(out_file).rdbuf();
+  ::unlink(out_file.c_str());
+  ::rmdir(dir.c_str());
   return {WEXITSTATUS(status), buf.str()};
 }
 
@@ -46,9 +67,49 @@ TEST(Cli, TargetsAgree) {
   RunResult dist = run("--target=dist " + base);
   RunResult shared = run("--target=shared " + base);
   RunResult seq = run("--target=seq " + base);
+  RunResult proc = run("--target=proc " + base);
   EXPECT_EQ(dist.status, 0);
   EXPECT_EQ(dist.out, shared.out);
   EXPECT_EQ(dist.out, seq.out);
+  EXPECT_EQ(dist.out, proc.out);
+}
+
+TEST(Cli, ProcTargetMatchesDistStatsAndExportsRankTraces) {
+  // The multi-process backend through the CLI: same results and stats
+  // line as the simulator, and --trace ships per-rank worker lanes back
+  // into one Chrome JSON (no "engine" control lane — workers have
+  // none).
+  std::string base = "--init U --print U --stats " + programs() +
+                     "/relax.vexl";
+  RunResult dist = run("--target=dist " + base);
+  RunResult proc = run("--target=proc " + base);
+  EXPECT_EQ(proc.status, 0) << proc.out;
+  auto arrays = [](const std::string& s) {
+    return s.substr(0, s.find("paths:"));
+  };
+  EXPECT_EQ(arrays(dist.out), proc.out);
+
+  std::string dir = unique_dir();
+  std::string json = dir + "/proc_trace.json";
+  RunResult traced = run("--target=proc --trace " + json + " --init U " +
+                         programs() + "/relax.vexl");
+  EXPECT_EQ(traced.status, 0) << traced.out;
+  std::ostringstream buf;
+  buf << std::ifstream(json).rdbuf();
+  std::string trace = buf.str();
+  EXPECT_TRUE(has(trace, "\"traceEvents\"")) << trace;
+  EXPECT_TRUE(has(trace, "\"rank 0\"")) << trace;
+  EXPECT_TRUE(has(trace, "\"rank 3\"")) << trace;
+  EXPECT_TRUE(has(trace, "\"ph\":\"X\"")) << trace;
+  EXPECT_FALSE(has(trace, "\"engine\"")) << trace;
+}
+
+TEST(Cli, VerifyProcAxisSmoke) {
+  // A deliberately small budget: every corpus program additionally
+  // forks 2 x P real worker processes.
+  RunResult r = run("--verify --proc --iters 2 --seed 11");
+  EXPECT_EQ(r.status, 0) << r.out;
+  EXPECT_TRUE(has(r.out, "verify: OK")) << r.out;
 }
 
 TEST(Cli, NaiveMatchesOptimized) {
@@ -110,7 +171,8 @@ TEST(Cli, HelpListsEveryFlag) {
         "--no-compiled-kernels", "--no-comm-schedules", "--trace",
         "--timeline", "--calibrate", "--verify", "--stats",
         "--elide-barriers", "--naive", "--no-jit", "--jit-threshold",
-        "--jit-cache-dir", "--jit-sync"})
+        "--jit-cache-dir", "--jit-sync", "--proc", "--rank",
+        "--channel-dir"})
     EXPECT_TRUE(has(r.out, flag)) << flag << " missing from --help";
 }
 
@@ -140,7 +202,7 @@ TEST(Cli, StatsReportCommSchedules) {
 
   // The same clause executed three times: the first pass runs tagged,
   // the second records the schedule, the third replays it.
-  std::string dir = ::testing::TempDir();
+  std::string dir = unique_dir();
   std::string file = dir + "/comm3.vexl";
   {
     std::ofstream out(file);
@@ -175,7 +237,7 @@ TEST(Cli, StatsReportCommSchedules) {
 TEST(Cli, StatsReportJitAndCacheDirIsHonored) {
   // A repeated affine clause so the plan goes hot; --jit-sync makes the
   // counters deterministic (no background-compile races).
-  std::string dir = ::testing::TempDir();
+  std::string dir = unique_dir();
   std::string file = dir + "/jit4.vexl";
   std::string cache = dir + "/jit-cache";
   {
@@ -221,7 +283,7 @@ TEST(Cli, StatsReportJitAndCacheDirIsHonored) {
 }
 
 TEST(Cli, TraceWritesChromeJson) {
-  std::string dir = ::testing::TempDir();
+  std::string dir = unique_dir();
   std::string json = dir + "/trace_out.json";
   RunResult r = run("--trace " + json + " --init B --print A " +
                     programs() + "/rotate.vexl");
@@ -271,7 +333,7 @@ TEST(Cli, ErrorExitCodes) {
   EXPECT_EQ(missing.status, 1);
 
   // A compile error: write a broken program to a temp file.
-  std::string dir = ::testing::TempDir();
+  std::string dir = unique_dir();
   std::string bad = dir + "/bad.vexl";
   std::ofstream(bad) << "array A[0:9]\n";  // missing ';'
   RunResult r = run(bad);

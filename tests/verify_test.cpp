@@ -2,6 +2,8 @@
 // program generator, seed replay, shrinking, and fault injection.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "lang/translate.hpp"
 #include "rt/dist_machine.hpp"
 #include "support/error.hpp"
@@ -117,6 +119,77 @@ TEST(Oracle, IterationZeroUsesTheSeedVerbatim) {
       Oracle::check_source(gp.source(), Rng::derive(977, 0x1234));
   EXPECT_EQ(rep.ok, direct_r.ok);
 }
+
+// ---------------------------------------------------------------------
+// The multi-process backend axis: the oracle's dist baseline doubles as
+// the conformance reference for real spawned worker processes. The
+// worker binary is the vcalc CLI, injected via $VCAL_WORKER_BIN.
+
+#if defined(__linux__)
+
+struct ProcAxisEnv {
+  ProcAxisEnv() { ::setenv("VCAL_WORKER_BIN", VCALC_PATH, 1); }
+  ~ProcAxisEnv() { ::unsetenv("VCAL_WORKER_BIN"); }
+};
+
+TEST(OracleProcAxis, CommunicatingProgramPassesAndAddsRuns) {
+  ProcAxisEnv env;
+  const std::string src =
+      "processors 4;\n"
+      "array A[0:31];\ndistribute A block;\n"
+      "array B[0:31];\ndistribute B scatter;\n"
+      "forall i in 0:30 do A[i] := B[i + 1]*2 + 1; od\n";
+  CheckResult with = Oracle::check_source(src, /*input_seed=*/5,
+                                          /*jit_axis=*/true,
+                                          /*proc_axis=*/true);
+  EXPECT_TRUE(with.ok) << with.diagnostics;
+  CheckResult without = Oracle::check_source(src, /*input_seed=*/5);
+  EXPECT_TRUE(without.ok) << without.diagnostics;
+  // The axis contributes real machine executions (one per proc config).
+  EXPECT_GT(with.runs, without.runs);
+}
+
+TEST(OracleProcAxis, MidProgramRedistributePasses) {
+  ProcAxisEnv env;
+  CheckResult r = Oracle::check_source(
+      "processors 3;\n"
+      "array A[0:23];\ndistribute A block;\n"
+      "array B[0:23];\ndistribute B block;\n"
+      "forall i in 0:22 do A[i] := B[i + 1] + 1; od\n"
+      "redistribute B scatter;\n"
+      "forall i in 1:23 do B[i] := A[i - 1]*0.5; od\n",
+      /*input_seed=*/5, /*jit_axis=*/true, /*proc_axis=*/true);
+  EXPECT_TRUE(r.ok) << r.diagnostics;
+}
+
+TEST(OracleProcAxis, SequentialClauseSkipsTheAxisGracefully) {
+  // '•' clauses never reach the distributed half of the matrix, so the
+  // proc axis must be a no-op rather than an error.
+  ProcAxisEnv env;
+  CheckResult r = Oracle::check_source(
+      "processors 2;\n"
+      "array A[0:15];\ndistribute A block;\n"
+      "for i in 1:15 do A[i] := A[i - 1] + 1; od\n",
+      /*input_seed=*/5, /*jit_axis=*/true, /*proc_axis=*/true);
+  EXPECT_TRUE(r.ok) << r.diagnostics;
+}
+
+TEST(OracleProcAxis, SmallCorpusFuzzesTheRealBackend) {
+  // A smaller budget than the plain corpus — each program forks 2 x P
+  // workers — but the same property: every generated program, including
+  // mid-program redistributes, is bit-identical across the process
+  // boundary.
+  ProcAxisEnv env;
+  OracleOptions opts;
+  opts.iters = 5;
+  opts.seed = 2027;
+  opts.proc_axis = true;
+  OracleReport rep = Oracle::run_corpus(opts);
+  EXPECT_TRUE(rep.ok) << rep.str();
+  EXPECT_EQ(rep.programs, 5);
+}
+
+#endif  // __linux__
 
 // ---------------------------------------------------------------------
 // Fault injection

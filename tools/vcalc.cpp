@@ -22,10 +22,13 @@
 #include "obs/calibrate.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_export.hpp"
+#include "proc/proc_machine.hpp"
+#include "proc/worker.hpp"
 #include "rt/dist_machine.hpp"
 #include "rt/seq_executor.hpp"
 #include "rt/shared_machine.hpp"
 #include "support/error.hpp"
+#include "support/format.hpp"
 #include "support/rng.hpp"
 #include "verify/oracle.hpp"
 
@@ -40,6 +43,7 @@ struct Options {
   bool elide_barriers = false;
   bool stats = false;
   bool verify = false;
+  bool proc_axis = false;
   bool timeline = false;
   bool calibrate = false;
   int iters = 100;
@@ -57,7 +61,10 @@ const char kHelp[] =
     "       vcalc --calibrate [program.vexl]\n"
     "\n"
     "execution:\n"
-    "  --target=dist|shared|seq  machine to execute on (default dist)\n"
+    "  --target=dist|shared|seq|proc\n"
+    "                            machine to execute on (default dist);\n"
+    "                            proc spawns one real OS process per\n"
+    "                            rank, bit-identical to dist\n"
     "  --init NAME               fill NAME with the ramp 0,1,2,... before\n"
     "                            running (repeatable)\n"
     "  --print NAME              dump NAME after the run (repeatable)\n"
@@ -115,6 +122,12 @@ const char kHelp[] =
     "  --seed S                  corpus seed for --verify (default 1);\n"
     "                            replay a reported failure with\n"
     "                            --iters 1 --seed <failing seed>\n"
+    "  --proc                    add the multi-process backend to the\n"
+    "                            --verify engine matrix (spawns real\n"
+    "                            worker processes; Linux only)\n"
+    "  --rank N --channel-dir D  internal: run as worker rank N of the\n"
+    "                            job staged in channel directory D\n"
+    "                            (spawned by --target=proc, not by hand)\n"
     "  --help                    this text\n"
     "\n"
     "exit status: 0 success, 1 usage, 2 compile error, 3 execution or\n"
@@ -138,8 +151,8 @@ int run_verify(const Options& opt) {
     std::ostringstream buf;
     buf << in.rdbuf();
     try {
-      vcal::verify::CheckResult r =
-          Oracle::check_source(buf.str(), opt.seed, opt.engine.jit);
+      vcal::verify::CheckResult r = Oracle::check_source(
+          buf.str(), opt.seed, opt.engine.jit, opt.proc_axis);
       std::printf("verify %s: %s\n", opt.file.c_str(), r.str().c_str());
       return r.ok ? 0 : 3;
     } catch (const Error& e) {
@@ -151,6 +164,7 @@ int run_verify(const Options& opt) {
   oo.iters = opt.iters;
   oo.seed = opt.seed;
   oo.jit_axis = opt.engine.jit;
+  oo.proc_axis = opt.proc_axis;
   vcal::verify::OracleReport rep = Oracle::run_corpus(oo);
   std::printf("%s\n", rep.str().c_str());
   vcal::verify::CheckResult faults = Oracle::check_faults();
@@ -220,6 +234,13 @@ bool emit_trace(const Options& opt, const obs::Tracer* tracer) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Worker mode: `vcalc --rank N --channel-dir PATH` (spawned by the
+  // proc launcher) never touches the normal option surface.
+  if (argc >= 2 && std::strcmp(argv[1], "--rank") == 0) {
+    if (argc != 5 || std::strcmp(argv[3], "--channel-dir") != 0)
+      return usage(argv[0]);
+    return vcal::proc::worker_main(std::atoll(argv[2]), argv[4]);
+  }
   Options opt;
   for (int k = 1; k < argc; ++k) {
     std::string arg = argv[k];
@@ -241,6 +262,8 @@ int main(int argc, char** argv) {
       opt.stats = true;
     } else if (arg == "--verify") {
       opt.verify = true;
+    } else if (arg == "--proc") {
+      opt.proc_axis = true;
     } else if (arg == "--calibrate") {
       opt.calibrate = true;
     } else if (arg == "--timeline") {
@@ -393,6 +416,27 @@ int main(int argc, char** argv) {
         std::printf("jit: %s\n", machine.jit_stats().str().c_str());
       }
       if (!emit_trace(opt, machine.tracer())) return 1;
+    } else if (opt.target == "proc") {
+      proc::ProcMachine machine(buf.str(), build, {}, opt.engine);
+      init_all(machine);
+      machine.run();
+      for (const std::string& name : opt.print)
+        dump(name, machine.gather(name));
+      if (opt.stats)
+        std::printf("stats: %s\n", machine.stats().str().c_str());
+      if (!opt.trace_path.empty()) {
+        std::vector<obs::TraceLane> lanes;
+        for (std::size_t r = 0; r < machine.rank_traces().size(); ++r)
+          lanes.push_back({cat("rank ", r), machine.rank_traces()[r].events,
+                           machine.rank_traces()[r].dropped});
+        std::ofstream out(opt.trace_path);
+        if (!out) {
+          std::fprintf(stderr, "vcalc: cannot write %s\n",
+                       opt.trace_path.c_str());
+          return 1;
+        }
+        out << obs::chrome_trace_json(lanes, opt.file);
+      }
     } else {
       return usage(argv[0]);
     }
