@@ -178,7 +178,7 @@ int main(int argc, char** argv) {
     }
     // Steady state must actually dispatch native code (unless no host
     // compiler exists, in which case the jit row degrades to bytecode).
-    const bool have_cc = vcal::spmd::JitEngine::instance().available();
+    const bool have_cc = vcal::spmd::jit_toolchain_available();
     if (have_cc && j.paths.jit == 0) {
       std::printf("  !! JIT PATH NOT EXERCISED at P=%lld (%s)\n",
                   (long long)procs, j.paths.str().c_str());

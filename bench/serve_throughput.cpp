@@ -1,0 +1,315 @@
+// Compile-service throughput: cold-vs-warm A/B through a live server.
+//
+// Spins up an in-process serve::Server, connects C client sessions, and
+// drives each through M distinct multi-clause programs twice:
+//
+//   cold — every program is new to its session, so every request pays
+//          the full parse -> rewrite -> plan pipeline before executing
+//   warm — the same programs resubmitted R times; every request hits
+//          the session's content-addressed compile cache and the pooled
+//          plan scope, so only the executor runs
+//
+// The gap between the two is the compile service's reason to exist: a
+// warm request skips compilation entirely, which the bench verifies
+// from the server's own counters (compiles frozen across the warm
+// phase, hit rate 1.0, zero plan misses) and pins bit-identical to a
+// direct in-process DistMachine run of the same program. Output is a
+// human table plus a machine-readable JSON record (positional argument
+// overrides the path, default BENCH_serve.json) that
+// tools/run_benches.sh folds into the BENCH_engine.json trajectory;
+// --clients/--programs/--repeat/--clauses/--n shrink the shape for CI
+// smoke runs.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lang/translate.hpp"
+#include "rt/dist_machine.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "support/format.hpp"
+
+namespace {
+
+using namespace vcal;
+
+// Distinct constants per (client, index, clause) make every source
+// unique across the fleet, so the cold phase can never get an
+// accidental cache hit. Each clause sums eight distinct mod-rotate
+// references — real work for the parse/rewrite/plan pipeline — over a
+// two-element loop range, so the compiler sees a wide program while
+// the executor barely runs: exactly the asymmetry a compile cache is
+// for. The clause count is the compile-cost dial.
+std::string program_source(i64 client, i64 index, i64 clauses, i64 n) {
+  std::string src =
+      cat("processors 4;\n", "array A[0:", n - 1, "];\n", "array B[0:",
+          n - 1, "];\n", "distribute A block;\n", "distribute B scatter;\n");
+  for (i64 c = 0; c < clauses; ++c) {
+    i64 salt = client * 100000 + index * 1000 + c;
+    const char* dst = c % 2 == 0 ? "A" : "B";
+    const char* from = c % 2 == 0 ? "B" : "A";
+    src += cat("forall i in 0:1 do ", dst, "[i] := ", salt);
+    for (i64 r = 0; r < 8; ++r)
+      src += cat(" + ", from, "[(i + ", 1 + (salt + r * 17) % (n - 1),
+                 ") mod ", n, "]");
+    src += "; od\n";
+  }
+  return src;
+}
+
+// Sequential execution target: the cheapest executor there is, so the
+// cold/warm gap isolates what the compile cache removes (front-end
+// compile plus first-sight kernel builds on the shared program) rather
+// than the cost of the distributed machine (engine_throughput's
+// subject). Arrays stay small for the same reason: per-element work is
+// the part both phases share.
+serve::RunRequest make_request(std::string source) {
+  serve::RunRequest req;
+  req.source = std::move(source);
+  req.target = serve::Target::Seq;
+  req.engine.threads = 1;  // compile vs execute, not pool scheduling
+  req.engine.jit = false;
+  serve::RunRequest::Input in;
+  in.name = "B";
+  in.ramp = true;
+  req.inputs.push_back(in);
+  req.gather = {"A", "B"};
+  req.want_stats = false;
+  return req;
+}
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  i64 clients = 6;
+  i64 programs = 8;
+  i64 repeat = 20;
+  i64 clauses = 96;
+  i64 n = 8;
+  const char* json_path = "BENCH_serve.json";
+  for (int k = 1; k < argc; ++k) {
+    if (std::strncmp(argv[k], "--clients=", 10) == 0) {
+      clients = std::atoll(argv[k] + 10);
+    } else if (std::strncmp(argv[k], "--programs=", 11) == 0) {
+      programs = std::atoll(argv[k] + 11);
+    } else if (std::strncmp(argv[k], "--repeat=", 9) == 0) {
+      repeat = std::atoll(argv[k] + 9);
+    } else if (std::strncmp(argv[k], "--clauses=", 10) == 0) {
+      clauses = std::atoll(argv[k] + 10);
+    } else if (std::strncmp(argv[k], "--n=", 4) == 0) {
+      n = std::atoll(argv[k] + 4);
+    } else {
+      json_path = argv[k];
+    }
+  }
+  if (clients < 1 || programs < 1 || repeat < 1 || clauses < 1 || n < 8) {
+    std::fprintf(stderr,
+                 "usage: %s [--clients=C] [--programs=M] [--repeat=R] "
+                 "[--clauses=K] [--n=N] [out.json]\n",
+                 argv[0]);
+    return 1;
+  }
+
+  serve::ServeOptions opts;
+  opts.executors = static_cast<int>(clients);
+  serve::Server server(opts);
+  server.start();
+
+  std::vector<serve::Client> fleet(static_cast<std::size_t>(clients));
+  for (auto& c : fleet) c.connect(server.address());
+
+  // Sources are generated up front: the timed phases measure the
+  // server, not client-side string building.
+  std::vector<std::vector<std::string>> sources(
+      static_cast<std::size_t>(clients));
+  for (i64 c = 0; c < clients; ++c)
+    for (i64 m = 0; m < programs; ++m)
+      sources[static_cast<std::size_t>(c)].push_back(
+          program_source(c, m, clauses, n));
+
+  bool ok = true;
+  std::vector<serve::RunResult> cold_sample(
+      static_cast<std::size_t>(clients));
+  std::vector<serve::RunResult> warm_sample(
+      static_cast<std::size_t>(clients));
+
+  // ---- cold phase: every request is a first-sight compile ------------
+  double t0 = now_ms();
+  {
+    std::vector<std::thread> threads;
+    for (i64 c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        for (i64 m = 0; m < programs; ++m) {
+          serve::RunResult r = fleet[static_cast<std::size_t>(c)].run(
+              make_request(sources[static_cast<std::size_t>(c)]
+                                  [static_cast<std::size_t>(m)]));
+          if (r.status != serve::Status::Ok || r.cache_hit) ok = false;
+          if (m == 0) cold_sample[static_cast<std::size_t>(c)] = r;
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  double cold_ms = now_ms() - t0;
+  serve::ServerStats after_cold = server.stats();
+
+  // ---- warm phase: the same programs, compile cache hot --------------
+  t0 = now_ms();
+  {
+    std::vector<std::thread> threads;
+    for (i64 c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        for (i64 rep = 0; rep < repeat; ++rep) {
+          for (i64 m = 0; m < programs; ++m) {
+            serve::RunResult r = fleet[static_cast<std::size_t>(c)].run(
+                make_request(sources[static_cast<std::size_t>(c)]
+                                    [static_cast<std::size_t>(m)]));
+            if (r.status != serve::Status::Ok || !r.cache_hit ||
+                r.plan_misses != 0)
+              ok = false;
+            if (rep == 0 && m == 0)
+              warm_sample[static_cast<std::size_t>(c)] = r;
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  double warm_ms = now_ms() - t0;
+  serve::ServerStats total = server.stats();
+
+  for (auto& c : fleet) c.close();
+  server.stop();
+
+  // ---- verification --------------------------------------------------
+  i64 cold_requests = clients * programs;
+  i64 warm_requests = clients * programs * repeat;
+  if (after_cold.compiles != cold_requests ||
+      after_cold.cache_misses != cold_requests) {
+    std::printf("!! COLD PHASE DID NOT COMPILE EVERY PROGRAM (%s)\n",
+                after_cold.str().c_str());
+    ok = false;
+  }
+  if (total.compiles != after_cold.compiles) {
+    std::printf("!! WARM PHASE RECOMPILED (%lld -> %lld)\n",
+                (long long)after_cold.compiles, (long long)total.compiles);
+    ok = false;
+  }
+  i64 warm_hits = total.cache_hits - after_cold.cache_hits;
+  double warm_hit_rate =
+      warm_requests > 0
+          ? static_cast<double>(warm_hits) /
+                static_cast<double>(warm_requests)
+          : 0.0;
+  if (warm_hits != warm_requests) {
+    std::printf("!! WARM HIT RATE %.3f (expected 1.0)\n", warm_hit_rate);
+    ok = false;
+  }
+  // Served results are bit-identical to a direct in-process run, and
+  // the warm replay is bit-identical to the cold one.
+  for (i64 c = 0; c < clients; ++c) {
+    const auto& cold = cold_sample[static_cast<std::size_t>(c)];
+    const auto& warm = warm_sample[static_cast<std::size_t>(c)];
+    if (cold.stores != warm.stores) {
+      std::printf("!! WARM RESULT DIVERGED for client %lld\n",
+                  (long long)c);
+      ok = false;
+    }
+    spmd::Program p = lang::compile(program_source(c, 0, clauses, n));
+    rt::EngineOptions engine;
+    engine.threads = 1;
+    engine.jit = false;
+    rt::DistMachine direct(p, {}, {}, engine);
+    std::vector<double> ramp(static_cast<std::size_t>(n));
+    for (i64 i = 0; i < n; ++i)
+      ramp[static_cast<std::size_t>(i)] = static_cast<double>(i);
+    direct.load("B", ramp);
+    direct.run();
+    if (cold.stores.size() != 2 || cold.stores[0].first != "A" ||
+        cold.stores[0].second != direct.gather("A") ||
+        cold.stores[1].second != direct.gather("B")) {
+      std::printf("!! SERVED RESULT != DIRECT RUN for client %lld\n",
+                  (long long)c);
+      ok = false;
+    }
+  }
+
+  double cold_rps = cold_ms > 0.0
+                        ? static_cast<double>(cold_requests) /
+                              (cold_ms / 1000.0)
+                        : 0.0;
+  double warm_rps = warm_ms > 0.0
+                        ? static_cast<double>(warm_requests) /
+                              (warm_ms / 1000.0)
+                        : 0.0;
+  double speedup = cold_rps > 0.0 ? warm_rps / cold_rps : 0.0;
+  double avg_compile_ms =
+      cold_requests > 0
+          ? cold_ms / static_cast<double>(cold_requests) -
+                warm_ms / static_cast<double>(warm_requests > 0
+                                                  ? warm_requests
+                                                  : 1)
+          : 0.0;
+
+  std::printf(
+      "=== serve throughput: %lld clients x %lld programs (%lld clauses, "
+      "n=%lld), warm x%lld ===\n",
+      (long long)clients, (long long)programs, (long long)clauses,
+      (long long)n, (long long)repeat);
+  std::printf("%6s %10s %10s %12s %9s %9s %8s %8s\n", "phase", "reqs",
+              "wall-ms", "req/sec", "hits", "compiles", "p50-ms",
+              "p99-ms");
+  std::printf("%6s %10lld %10.1f %12s %9lld %9lld %8.2f %8.2f\n", "cold",
+              (long long)cold_requests, cold_ms,
+              with_commas((i64)cold_rps).c_str(),
+              (long long)after_cold.cache_hits,
+              (long long)after_cold.compiles, total.p50_ms, total.p99_ms);
+  std::printf("%6s %10lld %10.1f %12s %9lld %9lld\n", "warm",
+              (long long)warm_requests, warm_ms,
+              with_commas((i64)warm_rps).c_str(), (long long)warm_hits,
+              (long long)(total.compiles - after_cold.compiles));
+  std::printf("\nwarm/cold speedup: %.2fx   warm hit rate: %.3f   "
+              "avg compile: %.2f ms/request\n",
+              speedup, warm_hit_rate, avg_compile_ms);
+
+  std::string json = cat(
+      "{\n  \"bench\": \"serve_throughput\",\n  \"clients\": ", clients,
+      ",\n  \"programs\": ", programs, ",\n  \"repeat\": ", repeat,
+      ",\n  \"clauses\": ", clauses, ",\n  \"n\": ", n,
+      ",\n  \"cold_requests\": ", cold_requests,
+      ",\n  \"cold_wall_ms\": ", cold_ms, ",\n  \"cold_rps\": ", cold_rps,
+      ",\n  \"warm_requests\": ", warm_requests,
+      ",\n  \"warm_wall_ms\": ", warm_ms, ",\n  \"warm_rps\": ", warm_rps,
+      ",\n  \"speedup\": ", speedup, ",\n  \"warm_hit_rate\": ",
+      warm_hit_rate, ",\n  \"compiles\": ", total.compiles,
+      ",\n  \"requests\": ", total.requests, ",\n  \"rejected\": ",
+      total.rejected, ",\n  \"p50_ms\": ", total.p50_ms,
+      ",\n  \"p99_ms\": ", total.p99_ms,
+      ",\n  \"schema\": \"serve_throughput/v1\"\n}\n");
+  if (std::FILE* out = std::fopen(json_path, "w")) {
+    std::fputs(json.c_str(), out);
+    std::fclose(out);
+    std::printf("\nwrote %s\n", json_path);
+  } else {
+    std::printf("\n!! could not write %s\n", json_path);
+    ok = false;
+  }
+
+  std::printf(
+      "\ncold = every request compiles (parse -> rewrite -> plan) before "
+      "running;\nwarm = same programs replayed against the hot compile "
+      "cache and pooled plan\nscope, so only the executor runs. Counters "
+      "and results are verified: zero\nrecompiles, hit rate 1.0, served "
+      "stores bit-identical to a direct run.\n");
+  return ok ? 0 : 1;
+}

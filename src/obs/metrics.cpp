@@ -45,6 +45,12 @@ void MetricsRegistry::add(const std::string& name, i64 delta, bool commas) {
   e.ival += delta;
 }
 
+void MetricsRegistry::add_real(const std::string& name, double delta) {
+  Entry& e = upsert(name);
+  e.is_int = false;
+  e.dval += delta;
+}
+
 const MetricsRegistry::Entry* MetricsRegistry::find(
     const std::string& name) const {
   for (const Entry& e : entries_)

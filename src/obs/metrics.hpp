@@ -59,6 +59,8 @@ class MetricsRegistry {
   void set_real(const std::string& name, double v);
   /// Adds to an integer counter, creating it at zero first.
   void add(const std::string& name, i64 delta, bool commas = false);
+  /// Adds to a real-valued counter, creating it at zero first.
+  void add_real(const std::string& name, double delta);
 
   const std::vector<Entry>& entries() const noexcept { return entries_; }
   bool empty() const noexcept { return entries_.empty(); }

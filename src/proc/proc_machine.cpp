@@ -33,11 +33,6 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-std::string temp_root() {
-  const char* t = std::getenv("TMPDIR");
-  return t && *t ? t : "/tmp";
-}
-
 /// Unlinks every non-directory entry in `dir` (rings, job file, control
 /// socket, lock file — the directory holds nothing else).
 void wipe_dir(const std::string& dir) {
@@ -124,13 +119,8 @@ std::string ProcMachine::resolve_worker(const std::string& explicit_path) {
 
 void ProcMachine::prepare_dir() {
   if (proc_.channel_dir.empty()) {
-    std::string tmpl = temp_root() + "/vcal-proc-XXXXXX";
-    std::vector<char> buf(tmpl.begin(), tmpl.end());
-    buf.push_back('\0');
-    require(::mkdtemp(buf.data()) != nullptr,
-            "proc: mkdtemp failed under " + temp_root());
-    dir_ = buf.data();
-    created_dir_ = true;
+    owned_dir_ = support::ScopedDir::make("vcal-proc-");
+    dir_ = owned_dir_.path();
   } else {
     dir_ = proc_.channel_dir;
     struct stat st{};
@@ -165,10 +155,13 @@ void ProcMachine::prepare_dir() {
 
 void ProcMachine::cleanup_dir() {
   if (dir_.empty()) return;
-  wipe_dir(dir_);
-  if (created_dir_) ::rmdir(dir_.c_str());
+  if (owned_dir_.owns()) {
+    owned_dir_.reset();  // removes the whole tree
+  } else {
+    // Caller-provided directory: wipe our state but leave it on disk.
+    wipe_dir(dir_);
+  }
   dir_.clear();
-  created_dir_ = false;
 }
 
 void ProcMachine::finish_step(

@@ -35,6 +35,7 @@
 #include "rt/engine_options.hpp"
 #include "rt/fault_plan.hpp"
 #include "spmd/program.hpp"
+#include "support/scoped_dir.hpp"
 
 namespace vcal::proc {
 
@@ -129,7 +130,11 @@ class ProcMachine {
   std::vector<std::pair<std::string, std::vector<double>>> inputs_;
 
   std::string dir_;
-  bool created_dir_ = false;
+  // Owns dir_ when this machine mkdtemp'd it (no channel_dir given):
+  // the RAII destructor removes the tree on every exit path, including
+  // a prepare/launch failure mid-run(). Caller-provided directories are
+  // wiped but left on disk.
+  support::ScopedDir owned_dir_;
   bool ran_ = false;
 
   rt::DistStats stats_;

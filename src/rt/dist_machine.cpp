@@ -24,19 +24,22 @@ std::string DistStats::str() const {
 }
 
 DistMachine::DistMachine(spmd::Program program, gen::BuildOptions opts,
-                         CostModel cost, EngineOptions engine)
+                         CostModel cost, EngineOptions engine,
+                         std::shared_ptr<EngineContext> ctx,
+                         const std::string& plan_scope)
     : program_(std::move(program)),
       opts_(opts),
       cost_(cost),
       engine_(engine),
+      ctx_(ctx ? std::move(ctx) : std::make_shared<EngineContext>()),
       store_(program_.procs) {
   program_.validate();
+  plans_ = PlanLease(ctx_, plan_scope);
   if (engine_.threads > 1)
     pool_ = std::make_unique<support::ThreadPool>(engine_.threads);
   if (engine_.trace) {
-    tracer_ = std::make_unique<obs::Tracer>(program_.procs,
-                                            engine_.trace_capacity);
-    plan_cache_.set_tracer(tracer_.get(), tracer_->control_lane());
+    tracer_ = ctx_->make_tracer(program_.procs, engine_.trace_capacity);
+    plans_->set_tracer(tracer_, tracer_->control_lane());
   }
   message_matrix_.assign(
       static_cast<std::size_t>(program_.procs),
@@ -128,7 +131,7 @@ void DistMachine::refresh_halos(const Clause& clause, const ClausePlan& plan,
                                 const std::vector<std::vector<double>>* snap,
                                 std::vector<RankCounters>& counters,
                                 HaloTable& halos, i64 step_id) {
-  obs::Tracer* tr = tracer_.get();
+  obs::Tracer* tr = tracer_;
   const i64 ctl = tr ? tr->control_lane() : 0;
   const i64 procs = plan.procs();
   const int nrefs = static_cast<int>(clause.refs.size());
@@ -198,10 +201,10 @@ const spmd::JitFns* DistMachine::jit_poll(const std::string& key,
                                           const Clause& clause,
                                           const spmd::ClauseKernel& kern,
                                           spmd::JitState** js, i64 step_id) {
-  obs::Tracer* tr = tracer_.get();
+  obs::Tracer* tr = tracer_;
   const i64 ctl = tr ? tr->control_lane() : 0;
   JitSlot& slot = jit_states_[key];
-  if (!spmd::JitEngine::instance().available()) {
+  if (!ctx_->jit().available()) {
     // No toolchain on this host: never arm (a compile job could only
     // fail). A single fallback per clause key records that JIT was
     // requested but cannot happen here.
@@ -211,19 +214,20 @@ const spmd::JitFns* DistMachine::jit_poll(const std::string& key,
     }
     return nullptr;
   }
-  if (!slot.state || slot.epoch != plan_cache_.epoch()) {
+  if (!slot.state || slot.epoch != plans_->epoch()) {
     // A redistribution invalidated whatever this key had compiled; if
     // the old state was armed, the next executions run bytecode again —
     // count that as a fallback, then re-arm from scratch.
     if (slot.state && slot.state->armed()) ++jit_.fallbacks;
     slot.state = std::make_shared<spmd::JitState>();
-    slot.epoch = plan_cache_.epoch();
+    slot.epoch = plans_->epoch();
   }
   spmd::JitConfig cfg;
   cfg.enabled = true;
   cfg.threshold = engine_.jit_threshold;
   cfg.sync = engine_.jit_sync;
   cfg.cache_dir = engine_.jit_cache_dir;
+  cfg.engine = &ctx_->jit();
   spmd::JitPoll r = slot.state->poll(clause, kern, cfg, jit_);
   if (r.launched)
     VCAL_TRACE(tr, ctl, obs::EventKind::JitBuild, step_id, cfg.sync ? 1 : 0);
@@ -239,7 +243,7 @@ void DistMachine::run_clause(const Clause& clause) {
         "sequential ('•') clauses are not supported on the distributed "
         "target; the paper leaves DOACROSS orderings out of scope");
 
-  obs::Tracer* tr = tracer_.get();
+  obs::Tracer* tr = tracer_;
   const i64 ctl = tr ? tr->control_lane() : 0;
   const i64 step_id = stats_.steps;  // index of the step now executing
 
@@ -270,7 +274,7 @@ void DistMachine::run_clause(const Clause& clause) {
   }
   const ClausePlan& plan =
       uncached ? *uncached
-               : plan_cache_.get(*key, clause, program_.arrays, opts_);
+               : plans_->get(*key, clause, program_.arrays, opts_);
 
   // Kernel path: bytecode RHS/guard plus affine subscript strides (see
   // spmd/kernel.hpp). Observably identical to the interpreter; kaff
@@ -301,14 +305,14 @@ void DistMachine::run_clause(const Clause& clause) {
                  fault_armed ? 1 : 0);
     } else {
       if (auto* cs = static_cast<spmd::CommSchedule*>(
-              plan_cache_.find_schedule(*key))) {
+              plans_->find_schedule(*key))) {
         run_clause_scheduled(clause, plan, *cs, js, jfns);
         return;
       }
       auto [si, first] =
-          key_seen_.try_emplace(*key, KeySeen{plan_cache_.epoch(), 0});
-      if (!first && si->second.epoch != plan_cache_.epoch())
-        si->second = KeySeen{plan_cache_.epoch(), 0};
+          key_seen_.try_emplace(*key, KeySeen{plans_->epoch(), 0});
+      if (!first && si->second.epoch != plans_->epoch())
+        si->second = KeySeen{plans_->epoch(), 0};
       if (si->second.seen >= 1) {
         rec_owner = std::make_unique<spmd::CommSchedule>();
         rec_owner->init(plan.procs(), static_cast<int>(clause.loops.size()),
@@ -987,9 +991,9 @@ void DistMachine::run_clause(const Clause& clause) {
                          [static_cast<std::size_t>(d)];
     rec->seal();
     ++comm_.sched_builds;
-    plan_cache_.attach_schedule(*key, std::move(rec_owner));
+    plans_->attach_schedule(*key, std::move(rec_owner));
     VCAL_TRACE(tr, ctl, obs::EventKind::SchedBuild, step_id,
-               plan_cache_.schedules());
+               plans_->schedules());
   }
   finish_step(counters);
   VCAL_TRACE(tr, ctl, obs::EventKind::ClauseEnd, step_id);
@@ -1010,7 +1014,7 @@ void DistMachine::run_clause_scheduled(const Clause& clause,
                                        const spmd::CommSchedule& sched,
                                        spmd::JitState* js,
                                        const spmd::JitFns* jfns) {
-  obs::Tracer* tr = tracer_.get();
+  obs::Tracer* tr = tracer_;
   const i64 ctl = tr ? tr->control_lane() : 0;
   const i64 step_id = stats_.steps;
   const i64 procs = sched.procs;
@@ -1226,7 +1230,7 @@ void DistMachine::run_clause_scheduled(const Clause& clause,
 }
 
 void DistMachine::run_redistribute(const spmd::RedistStep& step) {
-  obs::Tracer* tr = tracer_.get();
+  obs::Tracer* tr = tracer_;
   const i64 ctl = tr ? tr->control_lane() : 0;
   const i64 step_id = stats_.steps;
   VCAL_TRACE(tr, ctl, obs::EventKind::RedistBegin, step_id);
@@ -1290,9 +1294,9 @@ void DistMachine::run_redistribute(const spmd::RedistStep& step) {
   program_.arrays.insert_or_assign(step.array, step.new_desc);
   // Cached clause plans baked the old layout into their owner
   // arithmetic: invalidate them.
-  plan_cache_.bump_epoch();
+  plans_->bump_epoch();
   VCAL_TRACE(tr, ctl, obs::EventKind::RedistEpoch, step_id,
-             static_cast<i64>(plan_cache_.epoch()));
+             static_cast<i64>(plans_->epoch()));
   finish_step(counters);
   VCAL_TRACE(tr, ctl, obs::EventKind::RedistEnd, step_id);
 }

@@ -34,6 +34,7 @@
 #include "gen/optimizer.hpp"
 #include "obs/trace.hpp"
 #include "rt/cost_model.hpp"
+#include "rt/engine_context.hpp"
 #include "rt/engine_options.hpp"
 #include "rt/fault_plan.hpp"
 #include "rt/store.hpp"
@@ -69,8 +70,15 @@ struct DistStats {
 
 class DistMachine {
  public:
+  /// `ctx` owns the plan cache, tracer, and JIT engine this machine
+  /// uses; pass null (the one-shot CLI path) and the machine creates a
+  /// private context with the same lifetime as itself. `plan_scope`
+  /// names the plan-cache lease pool within the context (see
+  /// EngineContext::acquire_plans); empty means a private cache.
   explicit DistMachine(spmd::Program program, gen::BuildOptions opts = {},
-                       CostModel cost = {}, EngineOptions engine = {});
+                       CostModel cost = {}, EngineOptions engine = {},
+                       std::shared_ptr<EngineContext> ctx = nullptr,
+                       const std::string& plan_scope = {});
 
   void load(const std::string& name, const std::vector<double>& dense);
   void run();
@@ -92,7 +100,7 @@ class DistMachine {
   const DistStats& stats() const noexcept { return stats_; }
 
   /// Plan-cache effectiveness (hits/misses/epoch) for benchmarks.
-  const spmd::PlanCache& plan_cache() const noexcept { return plan_cache_; }
+  const spmd::PlanCache& plan_cache() const noexcept { return *plans_; }
 
   /// Per-element execution-path tally (fused kernel loop / per-element
   /// kernel / interpreter / schedule replay) accumulated over the run.
@@ -127,7 +135,8 @@ class DistMachine {
 
   /// The attached event tracer (EngineOptions::trace); nullptr when
   /// tracing is off. Lanes 0..procs-1 are ranks, lane procs the engine.
-  const obs::Tracer* tracer() const noexcept { return tracer_.get(); }
+  /// Owned by the EngineContext, so it outlives this machine.
+  const obs::Tracer* tracer() const noexcept { return tracer_; }
 
  private:
   /// halos[name][rank] maps global index -> cached pre-clause value.
@@ -177,9 +186,10 @@ class DistMachine {
   gen::BuildOptions opts_;
   CostModel cost_;
   EngineOptions engine_;
+  std::shared_ptr<EngineContext> ctx_;         // never null after ctor
   std::unique_ptr<support::ThreadPool> pool_;  // owned when threads > 1
-  std::unique_ptr<obs::Tracer> tracer_;        // owned when engine_.trace
-  spmd::PlanCache plan_cache_;
+  obs::Tracer* tracer_ = nullptr;       // ctx-owned, set when engine_.trace
+  PlanLease plans_;                     // leased from ctx_, never empty
   DistStore store_;
   DistStats stats_;
   std::vector<RankCounters> last_counters_;

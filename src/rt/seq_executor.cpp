@@ -35,22 +35,35 @@ void for_each_tuple(const Clause& clause, F&& body) {
 
 }  // namespace
 
-SeqExecutor::SeqExecutor(spmd::Program program, bool compiled_kernels)
-    : program_(std::move(program)), compiled_kernels_(compiled_kernels) {
-  program_.validate();
-  for (const auto& [name, desc] : program_.arrays) store_.declare(desc);
+SeqExecutor::SeqExecutor(spmd::Program program, bool compiled_kernels,
+                         std::shared_ptr<EngineContext> ctx)
+    : SeqExecutor(
+          std::make_shared<const spmd::Program>(std::move(program)),
+          compiled_kernels, std::move(ctx)) {}
+
+SeqExecutor::SeqExecutor(std::shared_ptr<const spmd::Program> program,
+                         bool compiled_kernels,
+                         std::shared_ptr<EngineContext> ctx,
+                         std::shared_ptr<spmd::KernelCache> kernels)
+    : program_(std::move(program)),
+      compiled_kernels_(compiled_kernels),
+      ctx_(std::move(ctx)),
+      shared_kernels_(std::move(kernels)) {
+  program_->validate();
+  for (const auto& [name, desc] : program_->arrays) store_.declare(desc);
 }
 
 void SeqExecutor::load(const std::string& name,
                        const std::vector<double>& dense) {
-  auto it = program_.arrays.find(name);
-  require(it != program_.arrays.end(), "SeqExecutor::load unknown " + name);
+  auto it = program_->arrays.find(name);
+  require(it != program_->arrays.end(),
+          "SeqExecutor::load unknown " + name);
   store_.load(it->second, dense);
 }
 
 void SeqExecutor::run() {
   i64 step_id = 0;
-  for (const spmd::Step& step : program_.steps) {
+  for (const spmd::Step& step : program_->steps) {
     if (const auto* clause = std::get_if<Clause>(&step)) {
       VCAL_TRACE(tracer_, 0, obs::EventKind::ClauseBegin, step_id);
       run_clause(*clause);
@@ -65,7 +78,7 @@ void SeqExecutor::run() {
 }
 
 void SeqExecutor::run_clause(const Clause& clause) {
-  const decomp::ArrayDesc& lhs = program_.arrays.at(clause.lhs_array);
+  const decomp::ArrayDesc& lhs = program_->arrays.at(clause.lhs_array);
 
   bool lhs_read = false;
   for (const prog::ArrayRef& r : clause.refs)
@@ -76,14 +89,22 @@ void SeqExecutor::run_clause(const Clause& clause) {
     snap = store_.snapshot(clause.lhs_array);
 
   // Compile (or fetch) the clause's kernel: bytecode guard/RHS always,
-  // affine subscript records when every subscript qualifies.
+  // affine subscript records when every subscript qualifies. A shared
+  // cache (serve layer) is preferred; `pinned` keeps its entry alive
+  // for the duration of this clause.
   const spmd::ClauseKernel* kern = nullptr;
+  std::shared_ptr<const spmd::ClauseKernel> pinned;
   if (compiled_kernels_) {
-    auto it = kernels_.find(&clause);
-    if (it == kernels_.end())
-      it = kernels_.emplace(&clause, spmd::ClauseKernel::compile(clause))
-               .first;
-    kern = &it->second;
+    if (shared_kernels_) {
+      pinned = shared_kernels_->get(clause);
+      kern = pinned.get();
+    } else {
+      auto it = kernels_.find(&clause);
+      if (it == kernels_.end())
+        it = kernels_.emplace(&clause, spmd::ClauseKernel::compile(clause))
+                 .first;
+      kern = &it->second;
+    }
   }
   const bool kaff = kern != nullptr && kern->affine();
   std::vector<double> stack(
@@ -99,7 +120,7 @@ void SeqExecutor::run_clause(const Clause& clause) {
     if (!lhs.in_bounds(out_idx)) return;  // outside Modify: not executed
     for (std::size_t r = 0; r < clause.refs.size(); ++r) {
       const prog::ArrayRef& ref = clause.refs[r];
-      const decomp::ArrayDesc& rd = program_.arrays.at(ref.array);
+      const decomp::ArrayDesc& rd = program_->arrays.at(ref.array);
       if (kaff)
         spmd::ClauseKernel::subs_into(kern->ref_subs(static_cast<int>(r)),
                                       vals.data(), idx);

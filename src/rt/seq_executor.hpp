@@ -14,9 +14,11 @@
 // two against each other.
 #pragma once
 
+#include <memory>
 #include <unordered_map>
 
 #include "obs/trace.hpp"
+#include "rt/engine_context.hpp"
 #include "rt/store.hpp"
 #include "spmd/kernel.hpp"
 #include "spmd/program.hpp"
@@ -25,7 +27,22 @@ namespace vcal::rt {
 
 class SeqExecutor {
  public:
-  explicit SeqExecutor(spmd::Program program, bool compiled_kernels = true);
+  /// `ctx` (may be null) pins the EngineContext whose tracer this
+  /// executor is attached to — the sequential path uses no plan cache
+  /// or JIT, but a served execution must keep the tracer's owner alive.
+  explicit SeqExecutor(spmd::Program program, bool compiled_kernels = true,
+                       std::shared_ptr<EngineContext> ctx = nullptr);
+
+  /// Shares an already-validated program instead of copying it (the
+  /// sequential path never mutates it — redistribution is a no-op
+  /// here). `kernels`, when non-null, memoizes compiled clause kernels
+  /// across every executor constructed over the same program; the
+  /// serve layer passes its compile-cache entry's KernelCache so warm
+  /// requests skip kernel builds along with parse/rewrite/plan.
+  explicit SeqExecutor(std::shared_ptr<const spmd::Program> program,
+                       bool compiled_kernels = true,
+                       std::shared_ptr<EngineContext> ctx = nullptr,
+                       std::shared_ptr<spmd::KernelCache> kernels = nullptr);
 
   /// Attach a trace sink (not owned; may be nullptr). The sequential
   /// executor has one lane of interest — lane 0 carries a clause span
@@ -44,12 +61,16 @@ class SeqExecutor {
  private:
   void run_clause(const prog::Clause& clause);
 
-  spmd::Program program_;
+  std::shared_ptr<const spmd::Program> program_;
   DenseStore store_;
   bool compiled_kernels_;
+  std::shared_ptr<EngineContext> ctx_;  // may be null (no tracer owner)
   obs::Tracer* tracer_ = nullptr;  // optional attached sink, not owned
   // Kernels memoized per clause (step addresses are stable for the
-  // lifetime of program_).
+  // lifetime of *program_). `shared_kernels_` (when set) is consulted
+  // first and outlives this executor; `kernels_` is the private
+  // fallback for the copying constructor.
+  std::shared_ptr<spmd::KernelCache> shared_kernels_;
   std::unordered_map<const prog::Clause*, spmd::ClauseKernel> kernels_;
 };
 

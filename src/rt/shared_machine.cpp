@@ -22,19 +22,22 @@ std::string SharedStats::str() const {
 
 SharedMachine::SharedMachine(spmd::Program program, gen::BuildOptions opts,
                              CostModel cost, bool elide_barriers,
-                             EngineOptions engine)
+                             EngineOptions engine,
+                             std::shared_ptr<EngineContext> ctx,
+                             const std::string& plan_scope)
     : program_(std::move(program)),
       opts_(opts),
       cost_(cost),
       elide_barriers_(elide_barriers),
-      engine_(engine) {
+      engine_(engine),
+      ctx_(ctx ? std::move(ctx) : std::make_shared<EngineContext>()) {
   program_.validate();
+  plans_ = PlanLease(ctx_, plan_scope);
   if (engine_.threads > 1)
     pool_ = std::make_unique<support::ThreadPool>(engine_.threads);
   if (engine_.trace) {
-    tracer_ = std::make_unique<obs::Tracer>(program_.procs,
-                                            engine_.trace_capacity);
-    plan_cache_.set_tracer(tracer_.get(), tracer_->control_lane());
+    tracer_ = ctx_->make_tracer(program_.procs, engine_.trace_capacity);
+    plans_->set_tracer(tracer_, tracer_->control_lane());
   }
   for (const auto& [name, desc] : program_.arrays) store_.declare(desc);
 }
@@ -66,7 +69,7 @@ void SharedMachine::run() {
   std::optional<ClausePlan> pending;
   bool pending_exists = false;
 
-  obs::Tracer* tr = tracer_.get();
+  obs::Tracer* tr = tracer_;
   const i64 ctl = tr ? tr->control_lane() : 0;
 
   auto resolve_pending = [&](const ClausePlan* next) {
@@ -107,7 +110,7 @@ void SharedMachine::run() {
         const std::string* key =
             engine_.cache_plans ? key_for(*clause) : nullptr;
         ClausePlan plan =
-            key ? plan_cache_.get(*key, *clause, program_.arrays, opts_)
+            key ? plans_->get(*key, *clause, program_.arrays, opts_)
                 : ClausePlan::build(*clause, program_.arrays, opts_);
         resolve_pending(&plan);
         // JIT dispatch: poll the per-key state once per execution
@@ -131,14 +134,14 @@ void SharedMachine::run() {
             VCAL_TRACE(tr, ctl, obs::EventKind::SchedFallback, trace_step_,
                        0);
           } else if (auto* gs = static_cast<spmd::GatherSchedule*>(
-                         plan_cache_.find_schedule(*key))) {
+                         plans_->find_schedule(*key))) {
             run_clause_gathered(*clause, plan, *gs, js, jfns);
             replayed = true;
           } else {
             auto [si, first] = key_seen_.try_emplace(
-                *key, KeySeen{plan_cache_.epoch(), 0});
-            if (!first && si->second.epoch != plan_cache_.epoch())
-              si->second = KeySeen{plan_cache_.epoch(), 0};
+                *key, KeySeen{plans_->epoch(), 0});
+            if (!first && si->second.epoch != plans_->epoch())
+              si->second = KeySeen{plans_->epoch(), 0};
             if (si->second.seen >= 1) {
               rec_owner = std::make_unique<spmd::GatherSchedule>();
               rec_owner->init(plan.procs(),
@@ -155,9 +158,9 @@ void SharedMachine::run() {
           run_clause(*clause, plan, rec, rec ? nullptr : jfns);
           if (rec) {
             ++comm_.sched_builds;
-            plan_cache_.attach_schedule(*key, std::move(rec_owner));
+            plans_->attach_schedule(*key, std::move(rec_owner));
             VCAL_TRACE(tr, ctl, obs::EventKind::SchedBuild, trace_step_ - 1,
-                       plan_cache_.schedules());
+                       plans_->schedules());
           }
         }
         pending = std::move(plan);
@@ -170,13 +173,13 @@ void SharedMachine::run() {
       resolve_pending(nullptr);
       const auto& redist = std::get<spmd::RedistStep>(step);
       program_.arrays.insert_or_assign(redist.array, redist.new_desc);
-      plan_cache_.bump_epoch();
+      plans_->bump_epoch();
       ++stats_.barriers;
       stats_.sim_time += cost_.per_barrier;
       if (tr) {
         tr->set_virtual_time(stats_.sim_time);
         tr->record(ctl, obs::EventKind::RedistEpoch, trace_step_,
-                   static_cast<i64>(plan_cache_.epoch()));
+                   static_cast<i64>(plans_->epoch()));
       }
       ++trace_step_;
     }
@@ -188,10 +191,10 @@ const spmd::JitFns* SharedMachine::jit_poll(const std::string& key,
                                             const Clause& clause,
                                             const spmd::ClauseKernel& kern,
                                             spmd::JitState** js) {
-  obs::Tracer* tr = tracer_.get();
+  obs::Tracer* tr = tracer_;
   const i64 ctl = tr ? tr->control_lane() : 0;
   JitSlot& slot = jit_states_[key];
-  if (!spmd::JitEngine::instance().available()) {
+  if (!ctx_->jit().available()) {
     // No toolchain on this host: never arm (a compile job could only
     // fail). A single fallback per clause key records that JIT was
     // requested but cannot happen here.
@@ -201,19 +204,20 @@ const spmd::JitFns* SharedMachine::jit_poll(const std::string& key,
     }
     return nullptr;
   }
-  if (!slot.state || slot.epoch != plan_cache_.epoch()) {
+  if (!slot.state || slot.epoch != plans_->epoch()) {
     // A redistribution invalidated whatever this key had compiled; if
     // the old state was armed, the next executions run bytecode again —
     // count that as a fallback, then re-arm from scratch.
     if (slot.state && slot.state->armed()) ++jit_.fallbacks;
     slot.state = std::make_shared<spmd::JitState>();
-    slot.epoch = plan_cache_.epoch();
+    slot.epoch = plans_->epoch();
   }
   spmd::JitConfig cfg;
   cfg.enabled = true;
   cfg.threshold = engine_.jit_threshold;
   cfg.sync = engine_.jit_sync;
   cfg.cache_dir = engine_.jit_cache_dir;
+  cfg.engine = &ctx_->jit();
   spmd::JitPoll r = slot.state->poll(clause, kern, cfg, jit_);
   if (r.launched)
     VCAL_TRACE(tr, ctl, obs::EventKind::JitBuild, trace_step_,
@@ -228,7 +232,7 @@ const spmd::JitFns* SharedMachine::jit_poll(const std::string& key,
 void SharedMachine::run_clause(const Clause& clause, const ClausePlan& plan,
                                spmd::GatherSchedule* rec,
                                const spmd::JitFns* jfns) {
-  obs::Tracer* tr = tracer_.get();
+  obs::Tracer* tr = tracer_;
   const i64 ctl = tr ? tr->control_lane() : 0;
   const i64 step_id = trace_step_;
   VCAL_TRACE(tr, ctl, obs::EventKind::ClauseBegin, step_id);
@@ -488,7 +492,7 @@ void SharedMachine::run_clause_gathered(const Clause& clause,
                                         const spmd::GatherSchedule& sched,
                                         spmd::JitState* js,
                                         const spmd::JitFns* jfns) {
-  obs::Tracer* tr = tracer_.get();
+  obs::Tracer* tr = tracer_;
   const i64 ctl = tr ? tr->control_lane() : 0;
   const i64 step_id = trace_step_;
   VCAL_TRACE(tr, ctl, obs::EventKind::ClauseBegin, step_id);
@@ -610,7 +614,7 @@ void SharedMachine::run_clause_gathered(const Clause& clause,
 void SharedMachine::run_clause_sequential(const Clause& clause) {
   // '•' ordering: one processor walks the whole nest in lexicographic
   // order with immediate visibility, then everyone synchronizes.
-  obs::Tracer* tr = tracer_.get();
+  obs::Tracer* tr = tracer_;
   const i64 ctl = tr ? tr->control_lane() : 0;
   const i64 step_id = trace_step_;
   VCAL_TRACE(tr, ctl, obs::EventKind::ClauseBegin, step_id);
@@ -618,7 +622,7 @@ void SharedMachine::run_clause_sequential(const Clause& clause) {
   if (!engine_.cache_plans)
     uncached.emplace(ClausePlan::build(clause, program_.arrays, opts_));
   const ClausePlan& plan =
-      uncached ? *uncached : plan_cache_.get(clause, program_.arrays, opts_);
+      uncached ? *uncached : plans_->get(clause, program_.arrays, opts_);
   const decomp::ArrayDesc& lhs = plan.lhs_desc();
 
   std::vector<double> ref_values(clause.refs.size());

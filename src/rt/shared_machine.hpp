@@ -24,6 +24,7 @@
 #include "gen/optimizer.hpp"
 #include "obs/trace.hpp"
 #include "rt/cost_model.hpp"
+#include "rt/engine_context.hpp"
 #include "rt/engine_options.hpp"
 #include "rt/store.hpp"
 #include "spmd/jit.hpp"
@@ -54,9 +55,13 @@ class SharedMachine {
   /// optimization: the barrier between consecutive clauses is dropped
   /// whenever spmd::barrier_needed proves every cross-clause dependence
   /// stays processor-local.
+  /// `ctx`/`plan_scope`: see DistMachine — null ctx means a private
+  /// context owned by this machine alone.
   explicit SharedMachine(spmd::Program program, gen::BuildOptions opts = {},
                          CostModel cost = {}, bool elide_barriers = false,
-                         EngineOptions engine = {});
+                         EngineOptions engine = {},
+                         std::shared_ptr<EngineContext> ctx = nullptr,
+                         const std::string& plan_scope = {});
 
   void load(const std::string& name, const std::vector<double>& dense);
   void run();
@@ -64,7 +69,7 @@ class SharedMachine {
   const SharedStats& stats() const noexcept { return stats_; }
 
   /// Plan-cache effectiveness (hits/misses/epoch) for benchmarks.
-  const spmd::PlanCache& plan_cache() const noexcept { return plan_cache_; }
+  const spmd::PlanCache& plan_cache() const noexcept { return *plans_; }
 
   /// Per-element execution-path tally (fused kernel loop / per-element
   /// kernel / interpreter / schedule replay) accumulated over the run.
@@ -83,7 +88,8 @@ class SharedMachine {
 
   /// The attached event tracer (EngineOptions::trace); nullptr when
   /// tracing is off. Lanes 0..procs-1 are ranks, lane procs the engine.
-  const obs::Tracer* tracer() const noexcept { return tracer_.get(); }
+  /// Owned by the EngineContext, so it outlives this machine.
+  const obs::Tracer* tracer() const noexcept { return tracer_; }
 
  private:
   /// `rec`, when non-null, is the GatherSchedule being recorded by this
@@ -112,9 +118,10 @@ class SharedMachine {
   CostModel cost_;
   bool elide_barriers_;
   EngineOptions engine_;
+  std::shared_ptr<EngineContext> ctx_;         // never null after ctor
   std::unique_ptr<support::ThreadPool> pool_;  // owned when threads > 1
-  std::unique_ptr<obs::Tracer> tracer_;        // owned when engine_.trace
-  spmd::PlanCache plan_cache_;
+  obs::Tracer* tracer_ = nullptr;       // ctx-owned, set when engine_.trace
+  PlanLease plans_;                     // leased from ctx_, never empty
   DenseStore store_;
   SharedStats stats_;
   PathCounters paths_;

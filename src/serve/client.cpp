@@ -1,0 +1,160 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+
+#include "support/error.hpp"
+
+namespace vcal::serve {
+namespace {
+
+int connect_uds(const std::string& path) {
+  require(path.size() < sizeof(sockaddr_un{}.sun_path),
+          "serve: UNIX socket path too long: " + path);
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw RuntimeFault("serve: socket() failed");
+  sockaddr_un sa{};
+  sa.sun_family = AF_UNIX;
+  std::strncpy(sa.sun_path, path.c_str(), sizeof(sa.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof sa) != 0) {
+    ::close(fd);
+    throw RuntimeFault("serve: cannot connect to " + path);
+  }
+  return fd;
+}
+
+int connect_tcp(const std::string& addr) {
+  size_t colon = addr.rfind(':');
+  std::string host = addr.substr(0, colon);
+  int port = std::atoi(addr.c_str() + colon + 1);
+  if (host.empty() || host == "localhost") host = "127.0.0.1";
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(static_cast<std::uint16_t>(port));
+  require(::inet_pton(AF_INET, host.c_str(), &sa.sin_addr) == 1,
+          "serve: bad TCP host (numeric IPv4 only): " + host);
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw RuntimeFault("serve: socket() failed");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof sa) != 0) {
+    ::close(fd);
+    throw RuntimeFault("serve: cannot connect to " + addr);
+  }
+  return fd;
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& o) noexcept
+    : fd_(o.fd_),
+      session_id_(o.session_id_),
+      next_request_(o.next_request_),
+      stash_(std::move(o.stash_)) {
+  o.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& o) noexcept {
+  if (this != &o) {
+    close();
+    fd_ = o.fd_;
+    session_id_ = o.session_id_;
+    next_request_ = o.next_request_;
+    stash_ = std::move(o.stash_);
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+void Client::connect(const std::string& addr) {
+  require(fd_ < 0, "serve: client already connected");
+  bool tcp = addr.find('/') == std::string::npos &&
+             addr.find(':') != std::string::npos;
+  fd_ = tcp ? connect_tcp(addr) : connect_uds(addr);
+  send_frame(fd_, MsgType::Hello, encode_hello(kProtocolVersion));
+  Frame f = next_frame();
+  require(f.type == MsgType::Welcome, "serve: expected Welcome");
+  std::uint32_t version = 0;
+  decode_welcome(f.payload, &version, &session_id_);
+  require(version == kProtocolVersion, "serve: version mismatch");
+}
+
+i64 Client::submit(RunRequest req) {
+  require(fd_ >= 0, "serve: client not connected");
+  if (req.request_id == 0) req.request_id = next_request_++;
+  i64 id = req.request_id;
+  send_frame(fd_, MsgType::Run, encode_run(req));
+  return id;
+}
+
+RunResult Client::wait(i64 request_id) {
+  for (;;) {
+    auto it = stash_.find(request_id);
+    if (it != stash_.end()) {
+      RunResult res = std::move(it->second);
+      stash_.erase(it);
+      return res;
+    }
+    Frame f = next_frame();
+    require(f.type == MsgType::Result,
+            "serve: expected Result while waiting");
+    RunResult res = decode_result(f.payload);
+    if (res.request_id == request_id) return res;
+    stash_.emplace(res.request_id, std::move(res));
+  }
+}
+
+RunResult Client::run(RunRequest req) { return wait(submit(std::move(req))); }
+
+void Client::metrics(std::string* server_json, std::string* session_json) {
+  require(fd_ >= 0, "serve: client not connected");
+  send_frame(fd_, MsgType::GetMetrics, {});
+  for (;;) {
+    Frame f = next_frame();
+    if (f.type == MsgType::Metrics) {
+      decode_metrics(f.payload, server_json, session_json);
+      return;
+    }
+    // In-flight results may land before the Metrics reply; stash them.
+    require(f.type == MsgType::Result,
+            "serve: expected Metrics or Result");
+    RunResult res = decode_result(f.payload);
+    stash_.emplace(res.request_id, std::move(res));
+  }
+}
+
+void Client::shutdown_server() {
+  require(fd_ >= 0, "serve: client not connected");
+  send_frame(fd_, MsgType::Shutdown, {});
+  for (;;) {
+    Frame f = next_frame();
+    if (f.type == MsgType::Bye) return;
+    require(f.type == MsgType::Result, "serve: expected Bye or Result");
+    RunResult res = decode_result(f.payload);
+    stash_.emplace(res.request_id, std::move(res));
+  }
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  session_id_ = 0;
+  stash_.clear();
+}
+
+Frame Client::next_frame() {
+  Frame f;
+  if (!recv_frame(fd_, &f))
+    throw RuntimeFault("serve: server closed the connection");
+  return f;
+}
+
+}  // namespace vcal::serve

@@ -1,0 +1,62 @@
+// Small synchronous client for the serve protocol — what the tests,
+// the bench harness, and `vcalc --connect` speak.
+//
+// One Client is one session. It is NOT thread-safe: concurrency is
+// modeled as one Client per thread (each gets its own session, which
+// is also what the isolation semantics want). submit()/wait() allow a
+// single thread to keep several requests in flight; results arriving
+// out of order are stashed by request id.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "serve/protocol.hpp"
+
+namespace vcal::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& o) noexcept;
+  Client& operator=(Client&& o) noexcept;
+
+  /// Connects and handshakes. `addr` is a UDS path (contains '/') or
+  /// "host:port" — the same grammar Server::address() produces.
+  void connect(const std::string& addr);
+  bool connected() const noexcept { return fd_ >= 0; }
+  i64 session_id() const noexcept { return session_id_; }
+
+  /// Sends one Run request; assigns req.request_id if it is 0.
+  /// Returns the id to wait on.
+  i64 submit(RunRequest req);
+
+  /// Blocks until the result for `request_id` arrives (stashing any
+  /// other results that pass by).
+  RunResult wait(i64 request_id);
+
+  /// submit + wait.
+  RunResult run(RunRequest req);
+
+  /// Fetches the server-wide and this-session metrics JSON.
+  void metrics(std::string* server_json, std::string* session_json);
+
+  /// Asks the server to shut down; consumes the Bye.
+  void shutdown_server();
+
+  /// Drops the connection (the server reaps the session).
+  void close();
+
+ private:
+  Frame next_frame();
+
+  int fd_ = -1;
+  i64 session_id_ = 0;
+  i64 next_request_ = 1;
+  std::map<i64, RunResult> stash_;
+};
+
+}  // namespace vcal::serve

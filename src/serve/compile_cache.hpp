@@ -1,0 +1,95 @@
+// Content-addressed compile cache with singleflight coalescing.
+//
+// The front half of the pipeline — parse, rewrite, decomposition-driven
+// planning (lang::compile) — is deterministic and pure: the same source
+// under the same BuildOptions always yields the same spmd::Program. A
+// served session therefore keys compiled programs by
+//
+//   FNV-1a-64( source bytes ‖ 0xFF ‖ encode_build_options(build) )
+//
+// and a hit skips the front half entirely. The decomposition and the
+// processor count P are part of the program text (`processors 4;`,
+// `distribute A block;`), so they are covered by the source bytes; a
+// changed decomposition is a different key by construction.
+// EngineOptions is deliberately excluded: engine knobs select execution
+// strategies, never results (the conformance oracle pins bit-identity
+// across the whole engine matrix), so one compiled program serves every
+// engine configuration.
+//
+// Concurrent requests for the same key are coalesced (singleflight):
+// the first requester compiles while the rest block on its slot, then
+// share the entry. Compile *errors* are cached too — lang::compile is
+// deterministic, so re-running a failed compile can only waste time.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "gen/optimizer.hpp"
+#include "serve/protocol.hpp"
+#include "spmd/kernel.hpp"
+#include "spmd/program.hpp"
+#include "support/math.hpp"
+
+namespace vcal::serve {
+
+/// Cache key: 64-bit FNV-1a over the source bytes, a separator, and the
+/// canonical wire encoding of BuildOptions (see protocol.hpp — the wire
+/// form IS the key form).
+std::uint64_t compile_fingerprint(const std::string& source,
+                                  const gen::BuildOptions& build);
+
+class CompileCache {
+ public:
+  struct Entry {
+    std::uint64_t key = 0;
+    spmd::Program program;    // valid iff ok
+    bool ok = false;
+    ErrKind error_kind = ErrKind::None;
+    std::string error;        // valid iff !ok
+    double compile_ms = 0.0;  // wall time of the one real compile
+    /// Compiled clause kernels shared by every execution of this
+    /// program (clause addresses are stable: `program` never moves
+    /// inside the immutable entry). Populated lazily by the executors;
+    /// internally synchronized, hence usable through const entries.
+    std::shared_ptr<spmd::KernelCache> kernels;
+  };
+
+  struct Outcome {
+    std::shared_ptr<const Entry> entry;  // never null
+    bool hit = false;        // satisfied without compiling or waiting
+    bool coalesced = false;  // waited on another request's compile
+  };
+
+  /// Looks up (source, build); compiles under singleflight on a miss.
+  Outcome get(const std::string& source, const gen::BuildOptions& build);
+
+  struct Counters {
+    i64 hits = 0;       // entry already present
+    i64 misses = 0;     // this request ran the compile
+    i64 coalesced = 0;  // this request waited on a concurrent compile
+    i64 compiles = 0;   // lang::compile invocations (== misses)
+    i64 entries = 0;    // resident entries (ok + error)
+  };
+  Counters counters() const;
+
+ private:
+  // In-flight compile slot. Waiters block on the owning cache's cv;
+  // `done` flips exactly once, after `result` is published.
+  struct Flight {
+    bool done = false;
+    std::shared_ptr<const Entry> result;
+  };
+
+  mutable std::mutex m_;
+  std::condition_variable cv_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const Entry>> entries_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Flight>> flights_;
+  Counters counters_;
+};
+
+}  // namespace vcal::serve

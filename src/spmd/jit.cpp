@@ -331,7 +331,7 @@ JitPoll JitState::poll(const prog::Clause& clause, const ClauseKernel& kern,
   bool submit_sync = false, submit_async = false;
   {
     std::lock_guard<std::mutex> lk(m_);
-    if (!cfg.enabled) return r;
+    if (!cfg.enabled || cfg.engine == nullptr) return r;
     ++seen_;
     if (status_ == Status::Idle && seen_ >= cfg.threshold) {
       if (!kern.affine()) {
@@ -348,9 +348,9 @@ JitPoll JitState::poll(const prog::Clause& clause, const ClauseKernel& kern,
     }
   }
   if (submit_sync)
-    JitEngine::instance().compile(shared_from_this(), cfg);
+    cfg.engine->compile(shared_from_this(), cfg);
   else if (submit_async)
-    JitEngine::instance().submit(shared_from_this(), cfg);
+    cfg.engine->submit(shared_from_this(), cfg);
   {
     std::lock_guard<std::mutex> lk(m_);
     if (status_ == Status::Ready) {
@@ -379,7 +379,7 @@ bool JitState::armed() const {
          status_ == Status::Failed;
 }
 
-// ---- the process-wide compile service -------------------------------
+// ---- the compile service --------------------------------------------
 
 namespace {
 
@@ -411,12 +411,30 @@ bool run_argv(const std::vector<std::string>& args,
   return WIFEXITED(st) && WEXITSTATUS(st) == 0;
 }
 
+/// Probes $CC, cc, gcc, clang by spawning `--version` directly (no
+/// shell): a missing binary fails the exec. The result is cached for
+/// the process — which compilers exist is a system property, so every
+/// engine shares one probe instead of re-spawning per session.
+const std::string& system_compiler_cached() {
+  static const std::string detected = [] {
+    std::vector<std::string> cands;
+    if (const char* cc = std::getenv("CC"))
+      if (*cc) cands.emplace_back(cc);
+    cands.emplace_back("cc");
+    cands.emplace_back("gcc");
+    cands.emplace_back("clang");
+    for (const std::string& c : cands)
+      if (run_argv({c, "--version"}, "")) return c;
+    return std::string{};
+  }();
+  return detected;
+}
+
 }  // namespace
 
-JitEngine& JitEngine::instance() {
-  static JitEngine e;
-  return e;
-}
+std::string jit_system_compiler() { return system_compiler_cached(); }
+
+bool jit_toolchain_available() { return !system_compiler_cached().empty(); }
 
 JitEngine::~JitEngine() {
   {
@@ -431,29 +449,19 @@ bool JitEngine::available() { return !compiler().empty(); }
 
 std::string JitEngine::compiler() {
   std::lock_guard<std::mutex> lk(detect_m_);
+  if (compiler_override_.empty()) return jit_system_compiler();
   if (detected_ >= 0) return compiler_path_;
-  std::vector<std::string> cands;
-  if (!compiler_override_.empty()) {
-    cands.push_back(compiler_override_);
+  // Probe the per-engine override separately from the process-wide
+  // detection so one engine's injected broken compiler cannot poison
+  // another session's toolchain.
+  if (run_argv({compiler_override_, "--version"}, "")) {
+    detected_ = 1;
+    compiler_path_ = compiler_override_;
   } else {
-    if (const char* cc = std::getenv("CC"))
-      if (*cc) cands.push_back(cc);
-    cands.push_back("cc");
-    cands.push_back("gcc");
-    cands.push_back("clang");
+    detected_ = 0;
+    compiler_path_.clear();
   }
-  for (const std::string& c : cands) {
-    // Spawn the candidate directly (no shell): a missing binary fails
-    // the exec, and every supported toolchain answers --version.
-    if (run_argv({c, "--version"}, "")) {
-      detected_ = 1;
-      compiler_path_ = c;
-      return compiler_path_;
-    }
-  }
-  detected_ = 0;
-  compiler_path_.clear();
-  return {};
+  return compiler_path_;
 }
 
 std::string JitEngine::cache_dir(const JitConfig& cfg) {

@@ -58,6 +58,7 @@ namespace vcal::spmd {
 
 class CommSchedule;
 class GatherSchedule;
+class JitEngine;
 
 /// Reporting-only counters (never part of DistStats/SharedStats, like
 /// PathCounters): JIT activity must not perturb the semantic stats the
@@ -87,6 +88,10 @@ struct JitConfig {
   int threshold = 2;        // arm on the Nth clean execution
   bool sync = false;        // block on the compiler (oracle/tests)
   std::string cache_dir;    // empty: $TMPDIR/vcal-jit-cache-<uid>
+  /// The engine that compiles for this machine. Machines point this at
+  /// their EngineContext's engine; poll() stays on the bytecode path
+  /// when it is null. Never serialized (a service pointer, not a knob).
+  JitEngine* engine = nullptr;
 };
 
 /// Signatures of the entry points every jitted module exports. The
@@ -187,14 +192,30 @@ class JitState : public std::enable_shared_from_this<JitState> {
   std::unique_ptr<JitReplayProg> replay_;
 };
 
-/// Process-wide compile service: toolchain detection, the background
-/// compile worker, the content-addressed .c/.so cache directory, and
-/// the immortal dlopen registry. Test hooks inject every failure mode.
+/// True when a C compiler answers `--version` (probed once per
+/// process, cached). The compiler is a system property, not engine
+/// state, so every JitEngine without a test override shares this probe.
+bool jit_toolchain_available();
+
+/// The detected system compiler ("" when none). Same process-wide
+/// cache as jit_toolchain_available().
+std::string jit_system_compiler();
+
+/// One compile service: the background compile worker, the
+/// content-addressed .c/.so cache directory, and the dlopen module
+/// registry. Historically a process-wide singleton; now owned by
+/// rt::EngineContext so concurrent server sessions get isolated module
+/// registries and test hooks (toolchain detection stays process-wide —
+/// see jit_system_compiler). Test hooks inject every failure mode.
 class JitEngine {
  public:
-  static JitEngine& instance();
+  JitEngine() = default;
+  ~JitEngine();
+  JitEngine(const JitEngine&) = delete;
+  JitEngine& operator=(const JitEngine&) = delete;
 
-  /// True when a C compiler was detected (probed once, cached).
+  /// True when this engine can compile: the test-override compiler if
+  /// one is set, else the process-wide detected toolchain.
   bool available();
 
   /// Queue an asynchronous compile of `s` (status must be Pending).
@@ -220,9 +241,6 @@ class JitEngine {
   void test_fail_dlopen(bool on);
 
  private:
-  JitEngine() = default;
-  ~JitEngine();
-
   void worker_loop();
   std::string compiler();
 

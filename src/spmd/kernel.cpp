@@ -247,4 +247,29 @@ bool strided_run(const ArrayAddr& aa, const i64* g0, const i64* dg,
   return true;
 }
 
+std::shared_ptr<const ClauseKernel> KernelCache::get(
+    const prog::Clause& clause) {
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    auto it = map_.find(&clause);
+    if (it != map_.end()) {
+      ++counters_.hits;
+      return it->second;
+    }
+  }
+  // Compile outside the lock; first insert wins a racing build.
+  auto kern = std::make_shared<const ClauseKernel>(
+      ClauseKernel::compile(clause));
+  std::lock_guard<std::mutex> lock(m_);
+  ++counters_.compiles;
+  auto [it, inserted] = map_.emplace(&clause, std::move(kern));
+  if (!inserted) ++counters_.hits;
+  return it->second;
+}
+
+KernelCache::Counters KernelCache::counters() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return counters_;
+}
+
 }  // namespace vcal::spmd

@@ -28,7 +28,9 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "decomp/array_desc.hpp"
@@ -262,6 +264,32 @@ class ClauseKernel {
   std::vector<std::vector<AffineSub>> ref_subs_;
   std::vector<i64> tag_w_;  // per-loop-dim weight, refs factor included
   i64 tag_base_ = 0;
+};
+
+/// Thread-safe memo of compiled clause kernels, keyed by clause
+/// address. Only valid while the program that owns the clauses is
+/// alive and unmoved — the serve layer hangs one cache off each cached
+/// compile entry for exactly that reason, so repeated executions of
+/// one program share kernels instead of rebuilding them per request.
+class KernelCache {
+ public:
+  /// Fetch or compile the kernel for `clause`. Concurrent first
+  /// requests may both compile; the first insert wins and the loser's
+  /// work is discarded (ClauseKernel::compile is pure).
+  std::shared_ptr<const ClauseKernel> get(const prog::Clause& clause);
+
+  struct Counters {
+    i64 hits = 0;
+    i64 compiles = 0;  // kernels actually built (discarded races too)
+  };
+  Counters counters() const;
+
+ private:
+  mutable std::mutex m_;
+  std::unordered_map<const prog::Clause*,
+                     std::shared_ptr<const ClauseKernel>>
+      map_;
+  Counters counters_;
 };
 
 }  // namespace vcal::spmd

@@ -1,0 +1,77 @@
+#include "support/scoped_dir.hpp"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace vcal::support {
+
+ScopedDir ScopedDir::make(const std::string& prefix) {
+  const char* tmp = std::getenv("TMPDIR");
+  std::string tmpl = (tmp && *tmp) ? tmp : "/tmp";
+  tmpl += "/" + prefix + "XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  if (::mkdtemp(buf.data()) == nullptr)
+    throw RuntimeFault("ScopedDir: mkdtemp failed for " + tmpl);
+  return ScopedDir(std::string(buf.data()));
+}
+
+ScopedDir ScopedDir::adopt(std::string path) {
+  require(!path.empty(), "ScopedDir::adopt: empty path");
+  return ScopedDir(std::move(path));
+}
+
+ScopedDir::~ScopedDir() { reset(); }
+
+ScopedDir::ScopedDir(ScopedDir&& o) noexcept : path_(std::move(o.path_)) {
+  o.path_.clear();
+}
+
+ScopedDir& ScopedDir::operator=(ScopedDir&& o) noexcept {
+  if (this != &o) {
+    reset();
+    path_ = std::move(o.path_);
+    o.path_.clear();
+  }
+  return *this;
+}
+
+std::string ScopedDir::release() {
+  std::string p = std::move(path_);
+  path_.clear();
+  return p;
+}
+
+void ScopedDir::reset() {
+  if (path_.empty()) return;
+  remove_tree(path_);
+  path_.clear();
+}
+
+void ScopedDir::remove_tree(const std::string& path) {
+  DIR* d = ::opendir(path.c_str());
+  if (d) {
+    while (dirent* e = ::readdir(d)) {
+      const std::string name = e->d_name;
+      if (name == "." || name == "..") continue;
+      const std::string child = path + "/" + name;
+      struct ::stat st;
+      // lstat, not stat: a planted symlink to another directory must be
+      // unlinked as a link, never descended into.
+      if (::lstat(child.c_str(), &st) == 0 && S_ISDIR(st.st_mode))
+        remove_tree(child);
+      else
+        ::unlink(child.c_str());
+    }
+    ::closedir(d);
+  }
+  ::rmdir(path.c_str());
+}
+
+}  // namespace vcal::support

@@ -1,0 +1,58 @@
+// RAII ownership of a temporary directory tree.
+//
+// The proc backend and the serve subsystem both stage state in
+// throwaway directories (ring channels + control sockets, serve
+// sockets). Before this helper each grew its own mkdtemp/cleanup pair,
+// and the cleanup only ran on the success path the author remembered;
+// a constructor that threw after mkdtemp leaked the directory. A
+// ScopedDir removes its tree in the destructor, so every exit path —
+// early return, exception, test failure — cleans up, and `release()`
+// is the one explicit way to keep the directory on disk.
+#pragma once
+
+#include <string>
+
+namespace vcal::support {
+
+class ScopedDir {
+ public:
+  /// Owns nothing; path() is empty.
+  ScopedDir() = default;
+
+  /// mkdtemp's a fresh 0700 directory `$TMPDIR/<prefix>XXXXXX`
+  /// (/tmp when $TMPDIR is unset). Throws RuntimeFault on failure.
+  static ScopedDir make(const std::string& prefix);
+
+  /// Takes ownership of an existing directory: the destructor removes
+  /// it. The caller asserts it created `path` and nothing else uses it.
+  static ScopedDir adopt(std::string path);
+
+  /// Removes the owned tree (files, subdirectories, the directory).
+  ~ScopedDir();
+
+  ScopedDir(ScopedDir&& o) noexcept;
+  ScopedDir& operator=(ScopedDir&& o) noexcept;
+  ScopedDir(const ScopedDir&) = delete;
+  ScopedDir& operator=(const ScopedDir&) = delete;
+
+  const std::string& path() const noexcept { return path_; }
+  bool owns() const noexcept { return !path_.empty(); }
+
+  /// Keeps the directory on disk and returns its path; this object
+  /// owns nothing afterwards.
+  std::string release();
+
+  /// Removes the owned tree now (no-op when not owning).
+  void reset();
+
+  /// Best-effort recursive removal of `path` (symlinks are unlinked,
+  /// never followed). Shared by the destructor and the proc launcher's
+  /// explicit wipe of caller-provided channel directories.
+  static void remove_tree(const std::string& path);
+
+ private:
+  explicit ScopedDir(std::string path) : path_(std::move(path)) {}
+  std::string path_;
+};
+
+}  // namespace vcal::support

@@ -96,7 +96,7 @@ CheckResult Oracle::check_program(
     const spmd::Program& program,
     const std::map<std::string, std::vector<double>>& inputs,
     bool jit_axis, bool proc_axis, const std::string& source) {
-  if (!spmd::JitEngine::instance().available()) jit_axis = false;
+  if (!spmd::jit_toolchain_available()) jit_axis = false;
   CheckResult res;
   auto fail = [&](const std::string& why) {
     if (res.ok) {

@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "vcalc_flags.hpp"
+
 namespace {
 
 std::string vcalc() { return VCALC_PATH; }
@@ -164,16 +166,65 @@ TEST(Cli, VerifyCorpusAndFile) {
 }
 
 TEST(Cli, HelpListsEveryFlag) {
+  // --help is rendered from the same table the parser validates
+  // against (tools/vcalc_flags.hpp), so walking the table here proves
+  // every accepted flag is documented — a new flag cannot land without
+  // appearing in the help text.
   RunResult r = run("--help");
   EXPECT_EQ(r.status, 0) << r.out;
-  for (const char* flag :
-       {"--target", "--threads", "--no-plan-cache", "--keyed-channels",
-        "--no-compiled-kernels", "--no-comm-schedules", "--trace",
-        "--timeline", "--calibrate", "--verify", "--stats",
-        "--elide-barriers", "--naive", "--no-jit", "--jit-threshold",
-        "--jit-cache-dir", "--jit-sync", "--proc", "--rank",
-        "--channel-dir"})
-    EXPECT_TRUE(has(r.out, flag)) << flag << " missing from --help";
+  int flags = 0;
+  for (const vcalc_cli::FlagSection& sec : vcalc_cli::sections()) {
+    EXPECT_TRUE(has(r.out, std::string(sec.title) + ":")) << sec.title;
+    for (const vcalc_cli::FlagSpec& f : sec.flags) {
+      EXPECT_TRUE(has(r.out, f.name)) << f.name << " missing from --help";
+      ++flags;
+    }
+  }
+  EXPECT_GE(flags, 30);  // the table actually has content
+
+  // And the parser rejects what the table doesn't know.
+  EXPECT_EQ(run("--definitely-not-a-flag").status, 1);
+  EXPECT_EQ(run("--stats=1 x.vexl").status, 1);   // kNone given a value
+  EXPECT_EQ(run("--target x.vexl").status, 1);    // kInline without '='
+  EXPECT_EQ(run("--init").status, 1);             // kNext missing value
+}
+
+TEST(Cli, ServeRoundTripMatchesDirectAndShutsDown) {
+  std::string dir = unique_dir();
+  std::string out_file = dir + "/serve_out.txt";
+  std::string cmd =
+      vcalc() + " --serve auto > " + out_file + " 2>&1 &";
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+  std::string addr;
+  for (int i = 0; i < 200 && addr.empty(); ++i) {
+    ::usleep(50 * 1000);
+    std::ostringstream buf;
+    buf << std::ifstream(out_file).rdbuf();
+    std::string text = buf.str();
+    size_t pos = text.find("serving on ");
+    size_t nl = text.find('\n', pos);
+    if (pos != std::string::npos && nl != std::string::npos)
+      addr = text.substr(pos + 11, nl - pos - 11);
+  }
+  ASSERT_FALSE(addr.empty()) << "server never announced its address";
+
+  std::string base = "--init B --print A " + programs() + "/rotate.vexl";
+  RunResult direct = run(base);
+  RunResult served = run("--connect " + addr + " " + base);
+  EXPECT_EQ(served.status, 0) << served.out;
+  EXPECT_EQ(served.out, direct.out);
+
+  RunResult metrics = run("--connect " + addr + " --remote-metrics");
+  EXPECT_EQ(metrics.status, 0) << metrics.out;
+  EXPECT_TRUE(has(metrics.out, "\"requests\":")) << metrics.out;
+
+  EXPECT_EQ(run("--connect " + addr + " --remote-shutdown").status, 0);
+  // The server exits and removes its socket; a late client fails fast.
+  for (int i = 0; i < 100; ++i) {
+    if (run("--connect " + addr + " --remote-metrics").status != 0) break;
+    ::usleep(50 * 1000);
+  }
+  EXPECT_NE(run("--connect " + addr + " --remote-metrics").status, 0);
 }
 
 TEST(Cli, EngineFlagsDoNotChangeResults) {

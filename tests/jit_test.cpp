@@ -4,21 +4,29 @@
 // falling back to the bytecode kernel, and epoch invalidation on
 // redistribution.
 //
-// Failure-path tests use clauses with unique constants: the module
-// registry is process-global and content-addressed, so a clause another
-// test already compiled would be served from the registry before the
-// injected failure could trigger.
+// Failure-path tests use clauses with unique constants: the dlopen
+// module registry is per-EngineContext but the .so cache directory is
+// content-addressed and shared across processes, so a clause another
+// test already compiled could be served from disk before the injected
+// failure could trigger.
+//
+// Failure injection goes through an explicit EngineContext (the hooks
+// live on its JitEngine), which doubles as the test of the context
+// plumbing itself: a hook set on one context must only perturb machines
+// constructed against that context.
 #include <gtest/gtest.h>
 #include <sys/stat.h>
 
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <variant>
 #include <vector>
 
 #include "lang/translate.hpp"
 #include "rt/dist_machine.hpp"
+#include "rt/engine_context.hpp"
 #include "rt/shared_machine.hpp"
 #include "spmd/jit.hpp"
 
@@ -80,9 +88,10 @@ struct DistRun {
 };
 
 DistRun run_dist(const std::string& src, EngineOptions e,
-                 const std::string& load = "B") {
+                 const std::string& load = "B",
+                 std::shared_ptr<EngineContext> ctx = nullptr) {
   spmd::Program program = lang::compile(src);
-  DistMachine m(program, {}, {}, e);
+  DistMachine m(program, {}, {}, e, std::move(ctx));
   m.load(load, ramp(program.arrays.at(load).total()));
   m.run();
   return {m.gather("A"), m.stats(), m.message_matrix(), m.path_counters(),
@@ -131,7 +140,7 @@ void expect_same_dist(const DistRun& x, const DistRun& y) {
   EXPECT_EQ(x.stats.sim_time, y.stats.sim_time);
 }
 
-bool toolchain() { return spmd::JitEngine::instance().available(); }
+bool toolchain() { return spmd::jit_toolchain_available(); }
 
 // ---- source emission and content addressing --------------------------
 
@@ -243,9 +252,11 @@ TEST(JitDispatch, ContentAddressedCacheIsReusedAcrossMachines) {
 
 TEST(JitFallback, MissingToolchainFallsBackBitIdentically) {
   const std::string cache = temp_cache_dir();
-  spmd::JitEngine::instance().test_set_compiler("/nonexistent/vcal-no-cc");
-  DistRun r_on = run_dist(stencil_src(5, 60), jit_on(cache), "A");
-  spmd::JitEngine::instance().test_set_compiler("");
+  // The broken compiler is injected into one context only; the r_off
+  // machine (fresh private context) never sees it.
+  auto ctx = std::make_shared<EngineContext>();
+  ctx->jit().test_set_compiler("/nonexistent/vcal-no-cc");
+  DistRun r_on = run_dist(stencil_src(5, 60), jit_on(cache), "A", ctx);
   DistRun r_off = run_dist(stencil_src(5, 60), jit_off(), "A");
   expect_same_dist(r_on, r_off);
   EXPECT_EQ(r_on.jit.hits, 0);
@@ -259,9 +270,9 @@ TEST(JitFallback, MissingToolchainFallsBackBitIdentically) {
 TEST(JitFallback, InjectedCompileErrorFallsBackBitIdentically) {
   if (!toolchain()) GTEST_SKIP() << "no C compiler detected";
   const std::string cache = temp_cache_dir();
-  spmd::JitEngine::instance().test_corrupt_source(true);
-  DistRun r_on = run_dist(stencil_src(5, 61), jit_on(cache), "A");
-  spmd::JitEngine::instance().test_corrupt_source(false);
+  auto ctx = std::make_shared<EngineContext>();
+  ctx->jit().test_corrupt_source(true);
+  DistRun r_on = run_dist(stencil_src(5, 61), jit_on(cache), "A", ctx);
   DistRun r_off = run_dist(stencil_src(5, 61), jit_off(), "A");
   expect_same_dist(r_on, r_off);
   EXPECT_EQ(r_on.jit.hits, 0);
@@ -277,9 +288,9 @@ TEST(JitFallback, InjectedCompileErrorFallsBackBitIdentically) {
 TEST(JitFallback, DlopenFailureFallsBackBitIdentically) {
   if (!toolchain()) GTEST_SKIP() << "no C compiler detected";
   const std::string cache = temp_cache_dir();
-  spmd::JitEngine::instance().test_fail_dlopen(true);
-  DistRun r_on = run_dist(stencil_src(5, 62), jit_on(cache), "A");
-  spmd::JitEngine::instance().test_fail_dlopen(false);
+  auto ctx = std::make_shared<EngineContext>();
+  ctx->jit().test_fail_dlopen(true);
+  DistRun r_on = run_dist(stencil_src(5, 62), jit_on(cache), "A", ctx);
   DistRun r_off = run_dist(stencil_src(5, 62), jit_off(), "A");
   expect_same_dist(r_on, r_off);
   EXPECT_EQ(r_on.jit.hits, 0);
@@ -344,15 +355,17 @@ TEST(JitFallback, AsyncCompileNeverBlocksAndStaysBitIdentical) {
   const std::string cache = temp_cache_dir();
   EngineOptions e = jit_on(cache);
   e.jit_sync = false;  // background worker; steps never wait on it
-  DistRun r_on = run_dist(comm_src(8, 10), e);
+  auto ctx = std::make_shared<EngineContext>();
+  DistRun r_on = run_dist(comm_src(8, 10), e, "B", ctx);
   DistRun r_off = run_dist(comm_src(8, 10), jit_off());
   expect_same_dist(r_on, r_off);
   // Whether any step caught the compiled module — and hence whether the
   // machine ever harvested the build into its own counters — is
-  // timing-dependent. Drain the worker and prove the build landed: a
-  // fresh machine on the same clause gets a pure cache hit.
-  spmd::JitEngine::instance().drain();
-  DistRun warm = run_dist(comm_src(8, 10), jit_on(cache));
+  // timing-dependent. Drain the context's worker and prove the build
+  // landed: a fresh machine on the same context gets a pure cache hit
+  // from the module registry.
+  ctx->jit().drain();
+  DistRun warm = run_dist(comm_src(8, 10), jit_on(cache), "B", ctx);
   EXPECT_EQ(warm.jit.builds, 0);
   EXPECT_EQ(warm.jit.cache_hits, 1);
   EXPECT_GT(warm.jit.hits, 0);

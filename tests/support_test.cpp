@@ -6,10 +6,16 @@
 #include <string>
 #include <vector>
 
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <fstream>
+
 #include "support/error.hpp"
 #include "support/format.hpp"
 #include "support/math.hpp"
 #include "support/rng.hpp"
+#include "support/scoped_dir.hpp"
 #include "support/stats.hpp"
 #include "support/thread_pool.hpp"
 
@@ -210,6 +216,77 @@ TEST(ThreadPool, RethrowsTheLowestFailingRank) {
   } catch (const RuntimeFault& e) {
     EXPECT_TRUE(contains(e.what(), "rank 2 failed"));
   }
+}
+
+namespace {
+bool path_exists(const std::string& p) {
+  struct stat st{};
+  return ::lstat(p.c_str(), &st) == 0;
+}
+}  // namespace
+
+TEST(ScopedDir, MakeCreatesAndDestructorRemovesTheTree) {
+  std::string path;
+  {
+    support::ScopedDir dir = support::ScopedDir::make("vcal-sd-test-");
+    path = dir.path();
+    EXPECT_TRUE(dir.owns());
+    EXPECT_TRUE(path_exists(path));
+    // Nested content goes down with the directory.
+    ASSERT_EQ(::mkdir((path + "/sub").c_str(), 0700), 0);
+    std::ofstream(path + "/sub/file.txt") << "x";
+    std::ofstream(path + "/top.txt") << "y";
+    ASSERT_EQ(::symlink("/nonexistent-target", (path + "/link").c_str()),
+              0);
+  }
+  EXPECT_FALSE(path_exists(path));
+}
+
+TEST(ScopedDir, ReleaseKeepsTheDirectory) {
+  std::string path;
+  {
+    support::ScopedDir dir = support::ScopedDir::make("vcal-sd-test-");
+    path = dir.release();
+    EXPECT_FALSE(dir.owns());
+  }
+  EXPECT_TRUE(path_exists(path));
+  support::ScopedDir::remove_tree(path);
+  EXPECT_FALSE(path_exists(path));
+}
+
+TEST(ScopedDir, AdoptTakesOwnershipAndMoveTransfersIt) {
+  support::ScopedDir outer = support::ScopedDir::make("vcal-sd-test-");
+  std::string inner_path = outer.path() + "/inner";
+  ASSERT_EQ(::mkdir(inner_path.c_str(), 0700), 0);
+  {
+    support::ScopedDir a = support::ScopedDir::adopt(inner_path);
+    support::ScopedDir b = std::move(a);
+    EXPECT_FALSE(a.owns());  // NOLINT(bugprone-use-after-move): pinned
+    EXPECT_TRUE(b.owns());
+    EXPECT_EQ(b.path(), inner_path);
+  }
+  EXPECT_FALSE(path_exists(inner_path));
+
+  // A symlinked directory is unlinked, never followed: the target
+  // survives removal of a tree that links to it.
+  std::string target = outer.path() + "/target";
+  ASSERT_EQ(::mkdir(target.c_str(), 0700), 0);
+  std::ofstream(target + "/keep.txt") << "z";
+  std::string linked = outer.path() + "/linked";
+  ASSERT_EQ(::mkdir(linked.c_str(), 0700), 0);
+  ASSERT_EQ(::symlink(target.c_str(), (linked + "/escape").c_str()), 0);
+  support::ScopedDir::remove_tree(linked);
+  EXPECT_FALSE(path_exists(linked));
+  EXPECT_TRUE(path_exists(target + "/keep.txt"));
+}
+
+TEST(ScopedDir, ResetRemovesEagerlyAndIsIdempotent) {
+  support::ScopedDir dir = support::ScopedDir::make("vcal-sd-test-");
+  std::string path = dir.path();
+  dir.reset();
+  EXPECT_FALSE(dir.owns());
+  EXPECT_FALSE(path_exists(path));
+  dir.reset();  // no-op
 }
 
 TEST(ThreadPool, SharedPoolExists) {

@@ -27,9 +27,12 @@
 #include "rt/dist_machine.hpp"
 #include "rt/seq_executor.hpp"
 #include "rt/shared_machine.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "support/error.hpp"
 #include "support/format.hpp"
 #include "support/rng.hpp"
+#include "vcalc_flags.hpp"
 #include "verify/oracle.hpp"
 
 namespace {
@@ -53,85 +56,14 @@ struct Options {
   std::vector<std::string> init;
   std::vector<std::string> print;
   std::string file;
+  std::string serve_addr;    // --serve ADDR ("auto" = private UDS)
+  bool serve_mode = false;
+  int serve_executors = 0;
+  int serve_inflight = 8;
+  std::string connect_addr;  // --connect ADDR: client mode
+  bool remote_metrics = false;
+  bool remote_shutdown = false;
 };
-
-const char kHelp[] =
-    "usage: vcalc [options] program.vexl\n"
-    "       vcalc --verify [--iters N] [--seed S] [program.vexl]\n"
-    "       vcalc --calibrate [program.vexl]\n"
-    "\n"
-    "execution:\n"
-    "  --target=dist|shared|seq|proc\n"
-    "                            machine to execute on (default dist);\n"
-    "                            proc spawns one real OS process per\n"
-    "                            rank, bit-identical to dist\n"
-    "  --init NAME               fill NAME with the ramp 0,1,2,... before\n"
-    "                            running (repeatable)\n"
-    "  --print NAME              dump NAME after the run (repeatable)\n"
-    "  --stats                   print machine statistics\n"
-    "\n"
-    "engine knobs (speed only; results are bit-identical regardless):\n"
-    "  --threads N               execution lanes for per-rank loops:\n"
-    "                            0 shared pool (default), 1 serial,\n"
-    "                            k > 1 a private pool of k lanes\n"
-    "  --no-plan-cache           recompute clause plans every execution\n"
-    "  --no-comm-schedules       tagged message matching every step\n"
-    "                            instead of compiled communication\n"
-    "                            schedules (inspector/executor)\n"
-    "  --keyed-channels          hash-indexed message matching instead of\n"
-    "                            packed binary search (dist target)\n"
-    "  --no-compiled-kernels     tree-walking interpreter instead of\n"
-    "                            compiled clause kernels\n"
-    "  --no-jit                  never swap hot clause plans to natively\n"
-    "                            compiled code; keep the bytecode kernels\n"
-    "                            (also drops the jit axis from --verify)\n"
-    "  --jit-threshold N         clean executions of a cached plan before\n"
-    "                            native compilation is armed (default 2)\n"
-    "  --jit-cache-dir PATH      content-addressed .so cache directory\n"
-    "                            (default $TMPDIR/vcal-jit-cache-<uid>)\n"
-    "  --jit-sync                compile armed plans on the calling step\n"
-    "                            instead of in the background (gives\n"
-    "                            deterministic jit counters; benchmarks\n"
-    "                            and tests use it)\n"
-    "  --naive                   disable the Table I optimizations\n"
-    "                            (run-time resolution baseline)\n"
-    "  --elide-barriers          footnote-1 barrier analysis (shared)\n"
-    "\n"
-    "observability:\n"
-    "  --trace FILE              record per-rank events and write Chrome\n"
-    "                            trace_event JSON to FILE (load it in\n"
-    "                            about://tracing or Perfetto)\n"
-    "  --timeline                record events and print a plain-text\n"
-    "                            per-rank timeline to stdout\n"
-    "  --calibrate               fit cost-model latency/bandwidth\n"
-    "                            constants from traced runs of the\n"
-    "                            built-in benchmarks (or program.vexl)\n"
-    "                            and report per-phase prediction error\n"
-    "\n"
-    "other modes:\n"
-    "  --emit=mpi|omp|trace|ir   print generated source / derivation\n"
-    "                            instead of executing\n"
-    "  --verify                  differential conformance mode: run the\n"
-    "                            seeded random corpus (or the given\n"
-    "                            program) through every machine and\n"
-    "                            engine configuration, checking\n"
-    "                            bit-identical results and statistics\n"
-    "                            invariants, plus the fault-injection\n"
-    "                            smoke (docs/testing.md)\n"
-    "  --iters N                 corpus size for --verify (default 100)\n"
-    "  --seed S                  corpus seed for --verify (default 1);\n"
-    "                            replay a reported failure with\n"
-    "                            --iters 1 --seed <failing seed>\n"
-    "  --proc                    add the multi-process backend to the\n"
-    "                            --verify engine matrix (spawns real\n"
-    "                            worker processes; Linux only)\n"
-    "  --rank N --channel-dir D  internal: run as worker rank N of the\n"
-    "                            job staged in channel directory D\n"
-    "                            (spawned by --target=proc, not by hand)\n"
-    "  --help                    this text\n"
-    "\n"
-    "exit status: 0 success, 1 usage, 2 compile error, 3 execution or\n"
-    "conformance failure\n";
 
 int usage(const char* argv0) {
   std::fprintf(stderr, "usage: %s [options] program.vexl  (--help for the "
@@ -214,6 +146,87 @@ void dump(const std::string& name, const std::vector<double>& data) {
   std::printf("\n");
 }
 
+int run_serve(const Options& opt) {
+  serve::ServeOptions so;
+  so.addr = opt.serve_addr == "auto" ? "" : opt.serve_addr;
+  so.executors = opt.serve_executors;
+  so.session_inflight = opt.serve_inflight;
+  try {
+    serve::Server server(so);
+    server.start();
+    std::printf("serving on %s\n", server.address().c_str());
+    std::fflush(stdout);
+    server.wait();
+    server.stop();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "vcalc: %s\n", e.what());
+    return 3;
+  }
+  return 0;
+}
+
+int run_connect(const Options& opt, const char* argv0) {
+  int code = 0;
+  try {
+    serve::Client client;
+    client.connect(opt.connect_addr);
+    if (!opt.file.empty()) {
+      std::ifstream in(opt.file);
+      if (!in) {
+        std::fprintf(stderr, "vcalc: cannot open %s\n", opt.file.c_str());
+        return 1;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      serve::RunRequest req;
+      req.source = buf.str();
+      if (opt.target == "dist") {
+        req.target = serve::Target::Dist;
+      } else if (opt.target == "shared") {
+        req.target = serve::Target::Shared;
+      } else if (opt.target == "seq") {
+        req.target = serve::Target::Seq;
+      } else {
+        return usage(argv0);  // proc has no served form
+      }
+      req.build.force_runtime_resolution = opt.naive;
+      req.engine = opt.engine;
+      req.elide_barriers = opt.elide_barriers;
+      for (const std::string& name : opt.init)
+        req.inputs.push_back({name, /*ramp=*/true, {}});
+      req.gather = opt.print;
+      req.want_stats = opt.stats;
+      serve::RunResult res = client.run(std::move(req));
+      switch (res.status) {
+        case serve::Status::Ok:
+          for (const auto& [name, vals] : res.stores) dump(name, vals);
+          if (opt.stats && !res.stats_line.empty())
+            std::printf("stats: %s\n", res.stats_line.c_str());
+          break;
+        case serve::Status::CompileError:
+          std::fprintf(stderr, "vcalc: %s\n", res.error.c_str());
+          code = 2;
+          break;
+        default:
+          std::fprintf(stderr, "vcalc: %s\n", res.error.c_str());
+          code = 3;
+          break;
+      }
+    }
+    if (opt.remote_metrics) {
+      std::string server_json, session_json;
+      client.metrics(&server_json, &session_json);
+      std::printf("server: %s\nsession: %s\n", server_json.c_str(),
+                  session_json.c_str());
+    }
+    if (opt.remote_shutdown) client.shutdown_server();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "vcalc: %s\n", e.what());
+    return 3;
+  }
+  return code;
+}
+
 /// Writes/prints the requested exports once the run finished. Returns
 /// false (after a diagnostic) when the trace file cannot be written.
 bool emit_trace(const Options& opt, const obs::Tracer* tracer) {
@@ -244,71 +257,106 @@ int main(int argc, char** argv) {
   Options opt;
   for (int k = 1; k < argc; ++k) {
     std::string arg = argv[k];
-    auto value = [&](const char* prefix) -> const char* {
-      return arg.c_str() + std::strlen(prefix);
-    };
-    if (arg == "--help" || arg == "-h") {
-      std::fputs(kHelp, stdout);
+    if (arg == "-h") arg = "--help";
+    if (arg.rfind("--", 0) != 0) {
+      if (!opt.file.empty()) return usage(argv[0]);
+      opt.file = arg;
+      continue;
+    }
+    // Table-driven validation: the flag must exist in vcalc_flags.hpp
+    // with the right argument shape before any handler runs, so the
+    // parser and --help cannot drift.
+    size_t eq = arg.find('=');
+    std::string name = arg.substr(0, eq);
+    const vcalc_cli::FlagSpec* spec = vcalc_cli::find_flag(name);
+    if (spec == nullptr) return usage(argv[0]);
+    const char* val = nullptr;
+    if (spec->arg == vcalc_cli::FlagSpec::kInline) {
+      if (eq == std::string::npos) return usage(argv[0]);
+      val = arg.c_str() + eq + 1;
+    } else if (eq != std::string::npos) {
+      return usage(argv[0]);
+    } else if (spec->arg == vcalc_cli::FlagSpec::kNext) {
+      if (k + 1 >= argc) return usage(argv[0]);
+      val = argv[++k];
+    }
+    if (name == "--help") {
+      std::fputs(vcalc_cli::help_text().c_str(), stdout);
       return 0;
-    } else if (arg.rfind("--target=", 0) == 0) {
-      opt.target = value("--target=");
-    } else if (arg.rfind("--emit=", 0) == 0) {
-      opt.emit = value("--emit=");
-    } else if (arg == "--naive") {
+    } else if (name == "--target") {
+      opt.target = val;
+    } else if (name == "--emit") {
+      opt.emit = val;
+    } else if (name == "--naive") {
       opt.naive = true;
-    } else if (arg == "--elide-barriers") {
+    } else if (name == "--elide-barriers") {
       opt.elide_barriers = true;
-    } else if (arg == "--stats") {
+    } else if (name == "--stats") {
       opt.stats = true;
-    } else if (arg == "--verify") {
+    } else if (name == "--verify") {
       opt.verify = true;
-    } else if (arg == "--proc") {
+    } else if (name == "--proc") {
       opt.proc_axis = true;
-    } else if (arg == "--calibrate") {
+    } else if (name == "--calibrate") {
       opt.calibrate = true;
-    } else if (arg == "--timeline") {
+    } else if (name == "--timeline") {
       opt.timeline = true;
       opt.engine.trace = true;
-    } else if (arg == "--trace" && k + 1 < argc) {
-      opt.trace_path = argv[++k];
+    } else if (name == "--trace") {
+      opt.trace_path = val;
       opt.engine.trace = true;
-    } else if (arg == "--threads" && k + 1 < argc) {
-      opt.engine.threads = std::atoi(argv[++k]);
+    } else if (name == "--threads") {
+      opt.engine.threads = std::atoi(val);
       if (opt.engine.threads < 0) return usage(argv[0]);
-    } else if (arg == "--no-plan-cache") {
+    } else if (name == "--no-plan-cache") {
       opt.engine.cache_plans = false;
-    } else if (arg == "--no-comm-schedules") {
+    } else if (name == "--no-comm-schedules") {
       opt.engine.comm_schedules = false;
-    } else if (arg == "--keyed-channels") {
+    } else if (name == "--keyed-channels") {
       opt.engine.keyed_channels = true;
-    } else if (arg == "--no-compiled-kernels") {
+    } else if (name == "--no-compiled-kernels") {
       opt.engine.compiled_kernels = false;
-    } else if (arg == "--no-jit") {
+    } else if (name == "--no-jit") {
       opt.engine.jit = false;
-    } else if (arg == "--jit-threshold" && k + 1 < argc) {
-      opt.engine.jit_threshold = std::atoi(argv[++k]);
+    } else if (name == "--jit-threshold") {
+      opt.engine.jit_threshold = std::atoi(val);
       if (opt.engine.jit_threshold < 1) return usage(argv[0]);
-    } else if (arg == "--jit-cache-dir" && k + 1 < argc) {
-      opt.engine.jit_cache_dir = argv[++k];
-    } else if (arg == "--jit-sync") {
+    } else if (name == "--jit-cache-dir") {
+      opt.engine.jit_cache_dir = val;
+    } else if (name == "--jit-sync") {
       opt.engine.jit_sync = true;
-    } else if (arg == "--iters" && k + 1 < argc) {
-      opt.iters = std::atoi(argv[++k]);
+    } else if (name == "--iters") {
+      opt.iters = std::atoi(val);
       if (opt.iters <= 0) return usage(argv[0]);
-    } else if (arg == "--seed" && k + 1 < argc) {
-      opt.seed = std::strtoull(argv[++k], nullptr, 10);
-    } else if (arg == "--init" && k + 1 < argc) {
-      opt.init.push_back(argv[++k]);
-    } else if (arg == "--print" && k + 1 < argc) {
-      opt.print.push_back(argv[++k]);
-    } else if (arg.rfind("--", 0) == 0) {
-      return usage(argv[0]);
-    } else if (opt.file.empty()) {
-      opt.file = arg;
+    } else if (name == "--seed") {
+      opt.seed = std::strtoull(val, nullptr, 10);
+    } else if (name == "--init") {
+      opt.init.push_back(val);
+    } else if (name == "--print") {
+      opt.print.push_back(val);
+    } else if (name == "--serve") {
+      opt.serve_mode = true;
+      opt.serve_addr = val;
+    } else if (name == "--serve-executors") {
+      opt.serve_executors = std::atoi(val);
+      if (opt.serve_executors < 1) return usage(argv[0]);
+    } else if (name == "--serve-inflight") {
+      opt.serve_inflight = std::atoi(val);
+      if (opt.serve_inflight < 1) return usage(argv[0]);
+    } else if (name == "--connect") {
+      opt.connect_addr = val;
+    } else if (name == "--remote-metrics") {
+      opt.remote_metrics = true;
+    } else if (name == "--remote-shutdown") {
+      opt.remote_shutdown = true;
     } else {
+      // In the table (--rank/--channel-dir outside worker position)
+      // but meaningless here.
       return usage(argv[0]);
     }
   }
+  if (opt.serve_mode) return run_serve(opt);
+  if (!opt.connect_addr.empty()) return run_connect(opt, argv[0]);
   if (opt.verify) return run_verify(opt);
   if (opt.calibrate) return run_calibrate(opt);
   if (opt.file.empty()) return usage(argv[0]);
