@@ -14,6 +14,10 @@
 //   jit    — fast plus native code generation (synchronous compiles; a
 //            warmup run populates the content-addressed .so cache so the
 //            timed run measures steady-state dispatch, not the compiler)
+//   native — the whole-program native backend (rt::NativeMachine): the
+//            complete emitted OpenMP C compiled once (a warmup run
+//            populates the content-addressed cache) and executed as one
+//            fused binary — no interpreter anywhere in the timed run
 //   interp — fast with compiled_kernels off: the kernel layer's
 //            contribution in isolation (the A/B the oracle pins
 //            bit-identical)
@@ -32,11 +36,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "lang/translate.hpp"
 #include "rt/dist_machine.hpp"
+#include "rt/native_machine.hpp"
 #include "spmd/jit.hpp"
 #include "support/format.hpp"
 
@@ -99,6 +105,32 @@ RunResult run_engine(const spmd::Program& p, i64 n,
   return r;
 }
 
+struct NativeRun {
+  double wall_ms = 0.0;
+  bool native = false;
+  std::vector<double> a, b;
+  std::string error;
+};
+
+/// One NativeMachine execution (machines are single-shot, so warmup and
+/// timed runs are separate machines; `ctx` carries the module registry
+/// across them, so only the first ever compiles).
+NativeRun run_native(const spmd::Program& p, i64 n,
+                     const std::shared_ptr<rt::EngineContext>& ctx) {
+  rt::NativeMachine m(p, {}, ctx);
+  m.load("B", input(n));
+  auto t0 = std::chrono::steady_clock::now();
+  m.run();
+  auto t1 = std::chrono::steady_clock::now();
+  NativeRun r;
+  r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  r.native = m.native();
+  r.a = m.result("A");
+  r.b = m.result("B");
+  r.error = m.error();
+  return r;
+}
+
 bool stats_equal(const rt::DistStats& x, const rt::DistStats& y) {
   return x.messages == y.messages && x.bulk_messages == y.bulk_messages &&
          x.local_reads == y.local_reads &&
@@ -131,9 +163,9 @@ int main(int argc, char** argv) {
   std::printf(
       "=== execution-engine throughput: relaxation, n=%lld, T=%lld ===\n",
       (long long)n, (long long)steps);
-  std::printf("%6s %10s %10s %10s %10s %9s %9s %9s %12s %7s\n", "P",
-              "fast-ms", "jit-ms", "interp-ms", "slow-ms", "jit-spd",
-              "kern-spd", "eng-spd", "iters/sec", "fused%");
+  std::printf("%6s %10s %10s %10s %10s %10s %9s %9s %9s %12s %7s\n", "P",
+              "fast-ms", "jit-ms", "native-ms", "interp-ms", "slow-ms",
+              "jit-spd", "nat-spd", "eng-spd", "iters/sec", "fused%");
 
   std::string json = "{\n  \"bench\": \"engine_throughput\",\n";
   json += cat("  \"n\": ", n, ",\n  \"steps\": ", steps,
@@ -161,11 +193,14 @@ int main(int argc, char** argv) {
     RunResult f = run_engine(p, n, fast);
     run_engine(p, n, jite);  // warmup: compile into the .so cache
     RunResult j = run_engine(p, n, jite);
+    auto native_ctx = std::make_shared<rt::EngineContext>();
+    run_native(p, n, native_ctx);  // warmup: compile the driver module
+    NativeRun nat = run_native(p, n, native_ctx);
     RunResult i = run_engine(p, n, interp);
     RunResult s = run_engine(p, n, slow);
 
     if (f.a != i.a || f.b != i.b || f.a != s.a || f.b != s.b ||
-        f.a != j.a || f.b != j.b) {
+        f.a != j.a || f.b != j.b || f.a != nat.a || f.b != nat.b) {
       std::printf("  !! RESULT MISMATCH at P=%lld\n", (long long)procs);
       ok = false;
     }
@@ -182,6 +217,13 @@ int main(int argc, char** argv) {
     if (have_cc && j.paths.jit == 0) {
       std::printf("  !! JIT PATH NOT EXERCISED at P=%lld (%s)\n",
                   (long long)procs, j.paths.str().c_str());
+      ok = false;
+    }
+    // With a compiler present the native row must actually run the
+    // compiled module, not the bytecode fallback.
+    if (have_cc && !nat.native) {
+      std::printf("  !! NATIVE BACKEND FELL BACK at P=%lld (%s)\n",
+                  (long long)procs, nat.error.c_str());
       ok = false;
     }
     if (!stats_equal(f.stats, i.stats) || !stats_equal(f.stats, s.stats)) {
@@ -214,6 +256,11 @@ int main(int argc, char** argv) {
     double kern_spd = f.wall_ms > 0.0 ? i.wall_ms / f.wall_ms : 0.0;
     double eng_spd = f.wall_ms > 0.0 ? s.wall_ms / f.wall_ms : 0.0;
     double jit_spd = j.wall_ms > 0.0 ? f.wall_ms / j.wall_ms : 0.0;
+    double nat_spd = nat.wall_ms > 0.0 ? j.wall_ms / nat.wall_ms : 0.0;
+    double nips = nat.wall_ms > 0.0
+                      ? static_cast<double>(f.stats.iterations) /
+                            (nat.wall_ms / 1000.0)
+                      : 0.0;
     double ips = f.wall_ms > 0.0
                      ? static_cast<double>(f.stats.iterations) /
                            (f.wall_ms / 1000.0)
@@ -228,30 +275,38 @@ int main(int argc, char** argv) {
                         static_cast<double>(total)
                   : 0.0;
     std::printf(
-        "%6lld %10.1f %10.1f %10.1f %10.1f %8.2fx %8.2fx %8.2fx %12s "
-        "%6.1f%%\n",
-        (long long)procs, f.wall_ms, j.wall_ms, i.wall_ms, s.wall_ms,
-        jit_spd, kern_spd, eng_spd, with_commas((i64)ips).c_str(),
-        fused_pct);
+        "%6lld %10.1f %10.1f %10.1f %10.1f %10.1f %8.2fx %8.2fx %8.2fx "
+        "%12s %6.1f%%\n",
+        (long long)procs, f.wall_ms, j.wall_ms, nat.wall_ms, i.wall_ms,
+        s.wall_ms, jit_spd, nat_spd, eng_spd,
+        with_commas((i64)ips).c_str(), fused_pct);
 
     if (procs == 4) {
-      // The headline jit record: bytecode vs native steady state at the
-      // canonical problem shape.
+      // The headline records: bytecode vs per-clause JIT vs the
+      // whole-program native backend, all at the canonical shape.
       jit_record = cat("  \"jit\": {\"procs\": 4, \"have_compiler\": ",
                        have_cc ? "true" : "false",
                        ", \"bytecode_iters_per_sec\": ", ips,
                        ", \"jit_iters_per_sec\": ", jips,
                        ", \"speedup\": ", jit_spd,
                        ", \"jit_elements\": ", j.paths.jit, "},\n");
+      jit_record += cat("  \"native\": {\"procs\": 4, \"ran_native\": ",
+                        nat.native ? "true" : "false",
+                        ", \"wall_ms\": ", nat.wall_ms,
+                        ", \"native_iters_per_sec\": ", nips,
+                        ", \"speedup_vs_jit\": ", nat_spd, "},\n");
     }
 
     if (!first) json += ",\n";
     first = false;
     json += cat("    {\"procs\": ", procs, ", \"wall_ms_fast\": ",
                 f.wall_ms, ", \"wall_ms_jit\": ", j.wall_ms,
+                ", \"wall_ms_native\": ", nat.wall_ms,
                 ", \"wall_ms_interp\": ", i.wall_ms,
                 ", \"wall_ms_slow\": ", s.wall_ms,
                 ", \"jit_speedup\": ", jit_spd,
+                ", \"native_speedup_vs_jit\": ", nat_spd,
+                ", \"native_iters_per_sec\": ", nips,
                 ", \"kernel_speedup\": ", kern_spd,
                 ", \"speedup\": ", eng_spd, ", \"iters_per_sec\": ", ips,
                 ", \"jit_iters_per_sec\": ", jips,
@@ -265,7 +320,7 @@ int main(int argc, char** argv) {
                 ", \"sim_time\": ", f.stats.sim_time, "}");
   }
   json += cat("\n  ],\n", jit_record,
-              "  \"schema\": \"engine_throughput/v2\"\n}\n");
+              "  \"schema\": \"engine_throughput/v3\"\n}\n");
 
   if (std::FILE* out = std::fopen(json_path, "w")) {
     std::fputs(json.c_str(), out);
@@ -278,11 +333,12 @@ int main(int argc, char** argv) {
 
   std::printf(
       "\nfast = pool + bulk aggregation + plan cache + compiled kernels "
-      "(jit off);\njit = fast + native codegen, steady state after a "
-      "warmup run (jit-spd\nisolates the native layer); interp = fast "
-      "with kernels off; slow = serial\nranks, plans rebuilt every step, "
-      "interpreter. Results and counters are\nverified identical; only "
-      "wall clock differs. Compare iters/sec across\nbuilds for "
-      "engine-to-engine speedups.\n");
+      "(jit off);\njit = fast + per-clause native codegen, steady state "
+      "after a warmup run\n(jit-spd isolates that layer); native = the "
+      "whole emitted OpenMP C program\ncompiled and run as one binary "
+      "(nat-spd = jit-ms / native-ms); interp =\nfast with kernels off; "
+      "slow = serial ranks, plans rebuilt every step,\ninterpreter. "
+      "Results are verified identical; only wall clock differs.\n"
+      "Compare iters/sec across builds for engine-to-engine speedups.\n");
   return ok ? 0 : 1;
 }

@@ -171,7 +171,65 @@ std::string emit_clause(const Clause& clause, const spmd::ArrayTable& arrays,
 
 }  // namespace
 
-std::string emit_mpi_c(const spmd::Program& program) {
+// Test-harness ramp init: each rank fills the elements it owns with the
+// dense row-major index (what SeqExecutor::load of a ramp sees).
+std::string emit_harness_init(const spmd::Program& program) {
+  std::string out;
+  out += "  /* test harness: ramp-initialize owned elements */\n";
+  for (const auto& [name, desc] : program.arrays) {
+    if (!is_1d(desc)) continue;
+    out += "  for (long g = " + cat(desc.lo(0)) + "L; g <= " +
+           cat(desc.hi(0)) + "L; ++g)\n";
+    if (desc.is_replicated())
+      out += "    " + name + "_local[local_" + name + "(g)] = (double)(g - " +
+             cat(desc.lo(0)) + "L);\n";
+    else
+      out += "    if (owner_" + name + "(g) == p) " + name +
+             "_local[local_" + name + "(g)] = (double)(g - " +
+             cat(desc.lo(0)) + "L);\n";
+  }
+  out += "\n";
+  return out;
+}
+
+// Test-harness dump: rank 0 funnels every element from its owner (one
+// message per remotely-owned element; fine for smoke-test sizes) and
+// prints one line per array.
+std::string emit_harness_dump(const spmd::Program& program) {
+  std::string out;
+  out += "  /* test harness: funnel every element to rank 0 and print */\n";
+  for (const auto& [name, desc] : program.arrays) {
+    if (!is_1d(desc)) continue;
+    out += "  if (rank == 0) printf(\"" + name + ":\");\n";
+    out += "  for (long g = " + cat(desc.lo(0)) + "L; g <= " +
+           cat(desc.hi(0)) + "L; ++g) {\n";
+    if (desc.is_replicated()) {
+      out += "    if (rank == 0) printf(\" %.17g\", " + name +
+             "_local[local_" + name + "(g)]);\n";
+    } else {
+      out += "    long src = owner_" + name + "(g);\n";
+      out += "    if (p == src && src != 0)\n";
+      out += "      MPI_Send(&" + name + "_local[local_" + name +
+             "(g)], 1, MPI_DOUBLE, 0, (int)(g - " + cat(desc.lo(0)) +
+             "L), MPI_COMM_WORLD);\n";
+      out += "    if (rank == 0) {\n";
+      out += "      double v;\n";
+      out += "      if (src == 0) v = " + name + "_local[local_" + name +
+             "(g)];\n";
+      out += "      else MPI_Recv(&v, 1, MPI_DOUBLE, (int)src, (int)(g - " +
+             cat(desc.lo(0)) + "L), MPI_COMM_WORLD, MPI_STATUS_IGNORE);\n";
+      out += "      printf(\" %.17g\", v);\n";
+      out += "    }\n";
+    }
+    out += "  }\n";
+    out += "  if (rank == 0) printf(\"\\n\");\n";
+    out += "  MPI_Barrier(MPI_COMM_WORLD);\n";
+  }
+  return out;
+}
+
+std::string emit_mpi_c(const spmd::Program& program,
+                       const MpiOptions& options) {
   std::string out;
   out += "/* Generated by vcal: SPMD message-passing node program.\n";
   out += " * One process per virtual processor; p = MPI rank.\n */\n";
@@ -197,6 +255,7 @@ std::string emit_mpi_c(const spmd::Program& program) {
   out += "  MPI_Comm_rank(MPI_COMM_WORLD, &rank);\n";
   out += "  long p = (long)rank;\n";
   out += "  (void)p;\n\n";
+  if (options.test_harness) out += emit_harness_init(program);
 
   // The descriptor table evolves across redistribution steps so later
   // clauses are emitted against the layout they will actually see.
@@ -227,6 +286,7 @@ std::string emit_mpi_c(const spmd::Program& program) {
       arrays.insert_or_assign(redist.array, redist.new_desc);
     }
   }
+  if (options.test_harness) out += emit_harness_dump(program);
   out += "  MPI_Finalize();\n  return 0;\n}\n";
   return out;
 }

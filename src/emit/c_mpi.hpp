@@ -18,7 +18,20 @@
 
 namespace vcal::emit {
 
+struct MpiOptions {
+  /// Emit a self-checking harness around the node program: every rank
+  /// ramp-initializes its owned elements (value = dense row-major
+  /// index, matching rt::SeqExecutor::load of a ramp), and after the
+  /// last step rank 0 funnels every element from its owner and prints
+  /// one "NAME: v v v ..." line per array with %.17g values. Only
+  /// meaningful for programs the back end fully emits: 1-D arrays and
+  /// no mid-program redistribution (the owner/local helpers describe
+  /// the initial layout).
+  bool test_harness = false;
+};
+
 /// Emits the complete MPI C source for the program.
-std::string emit_mpi_c(const spmd::Program& program);
+std::string emit_mpi_c(const spmd::Program& program,
+                       const MpiOptions& options = {});
 
 }  // namespace vcal::emit

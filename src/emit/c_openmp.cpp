@@ -73,19 +73,32 @@ std::string cmp_text(prog::Guard::Cmp c) {
   return "?";
 }
 
+// Emits the region-interior code for one clause. The caller wraps the
+// whole step sequence in a single `#pragma omp parallel` region (one
+// fork/join for the program, not one per clause — the per-clause
+// regions this replaces dominated wall clock on short steps), and each
+// parallel clause work-shares the P virtual processors over the team
+// with `#pragma omp for` — so results never depend on the team size
+// the runtime actually grants, and a one-core host runs the whole
+// program on one thread with free barriers. Every clause ends at a
+// barrier: the implied one after `omp for` for parallel clauses,
+// implicit via `single` for sequential ones and copy-ins.
 std::string emit_clause(const Clause& clause, const spmd::ArrayTable& arrays,
                         int seq) {
   const ArrayDesc& lhs = arrays.at(clause.lhs_array);
   std::vector<std::string> vars = clause.loop_var_names();
 
   std::string out;
-  out += "  /* ---- clause " + cat(seq) + ": " + clause.str() + " */\n";
+  out += "    /* ---- clause " + cat(seq) + ": " + clause.str() + " */\n";
 
   bool lhs_read = false;
   for (const prog::ArrayRef& r : clause.refs)
     if (r.array == clause.lhs_array) lhs_read = true;
   if (lhs_read && clause.ord == prog::Ordering::Par) {
-    out += "  memcpy(" + clause.lhs_array + "_old, " + clause.lhs_array +
+    // One thread snapshots; the implicit barrier after `single` holds
+    // everyone until the copy is visible.
+    out += "    #pragma omp single\n";
+    out += "    memcpy(" + clause.lhs_array + "_old, " + clause.lhs_array +
            ", sizeof(" + clause.lhs_array + "));  /* copy-in */\n";
   }
 
@@ -132,22 +145,20 @@ std::string emit_clause(const Clause& clause, const spmd::ArrayTable& arrays,
   body = clamp + body;
 
   if (clause.ord == prog::Ordering::Seq) {
-    out += "  /* '\u2022' ordering: one thread, lexicographic */\n";
+    out += "    /* '\u2022' ordering: one thread, lexicographic */\n";
+    out += "    #pragma omp single\n";
+    out += "    {\n";
     std::string close;
     for (const prog::LoopDim& l : clause.loops) {
-      out += "  for (long " + l.var + " = " + cat(l.lo) + "L; " + l.var +
+      out += "    for (long " + l.var + " = " + cat(l.lo) + "L; " + l.var +
              " <= " + cat(l.hi) + "L; ++" + l.var + ") {\n";
-      close += "  }\n";
+      close += "    }\n";
     }
     out += body;
-    out += close + "\n";
+    out += close;
+    out += "    }  /* implicit barrier */\n\n";
     return out;
   }
-
-  out += "  #pragma omp parallel num_threads(P)\n";
-  out += "  {\n";
-  out += "    long p = (long)omp_get_thread_num();\n";
-  out += "    (void)p;\n";
 
   // Per loop variable: the first owner constraint becomes the loop
   // generator (Table I bounds); further constraints and constant-pinned
@@ -164,7 +175,7 @@ std::string emit_clause(const Clause& clause, const spmd::ArrayTable& arrays,
       std::string coord = grid_coord(lhs.decomp(), static_cast<int>(d));
       if (sub.loop_index < 0) {
         i64 v = fn::eval(sub.expr, 0) - lhs.lo(static_cast<int>(d));
-        pin_guard += "    if (" + coord + " != " + cat(dd.proc(v)) +
+        pin_guard += "      if (" + coord + " != " + cat(dd.proc(v)) +
                      "L) goto clause_" + cat(seq) + "_done;\n";
         continue;
       }
@@ -188,7 +199,6 @@ std::string emit_clause(const Clause& clause, const spmd::ArrayTable& arrays,
     }
   }
   body = extra_guard + body;
-  out += pin_guard;
 
   // Nest the loops: planned variables get Table I bounds, the rest get
   // full ranges.
@@ -197,17 +207,20 @@ std::string emit_clause(const Clause& clause, const spmd::ArrayTable& arrays,
     const prog::LoopDim& dim = clause.loops[l];
     if (var_plan[l]) {
       inner = emit_plan_loops(*var_plan[l], var_proc[l], dim.var, inner,
-                              "    ");
+                              "      ");
     } else {
-      inner = "    for (long " + dim.var + " = " + cat(dim.lo) + "L; " +
+      inner = "      for (long " + dim.var + " = " + cat(dim.lo) + "L; " +
               dim.var + " <= " + cat(dim.hi) + "L; ++" + dim.var +
-              ") {\n" + inner + "    }\n";
+              ") {\n" + inner + "      }\n";
     }
   }
+  out += "    #pragma omp for\n";
+  out += "    for (long p = 0; p < P; ++p) {\n";
+  out += pin_guard;
   out += inner;
   if (!pin_guard.empty())
-    out += "    clause_" + cat(seq) + "_done: ;\n";
-  out += "  }  /* implicit barrier */\n\n";
+    out += "      clause_" + cat(seq) + "_done: ;\n";
+  out += "    }  /* implied barrier */\n\n";
   return out;
 }
 
@@ -217,7 +230,8 @@ std::string emit_openmp_c(const spmd::Program& program,
                           OpenMPOptions options) {
   std::string out;
   out += "/* Generated by vcal: SPMD shared-memory program (Section 2.9\n";
-  out += " * template). One OpenMP thread per virtual processor. */\n";
+  out += " * template). The P virtual processors are work-shared over one\n";
+  out += " * parallel region; each clause ends at a barrier. */\n";
   out += "#include <omp.h>\n#include <stdio.h>\n#include <string.h>\n\n";
   out += c_prelude();
   out += "\n#define P " + cat(program.procs) + "\n\n";
@@ -240,6 +254,73 @@ std::string emit_openmp_c(const spmd::Program& program,
     if (snapshot_arrays.count(name))
       out += "static double " + name + "_old[" + cat(desc.total()) + "];\n";
   }
+  // The step body is shared between main() and the native driver: one
+  // parallel region spans the whole step sequence (a single fork/join
+  // per program run, with barriers separating the steps). The
+  // descriptor table evolves across redistribution steps so later
+  // clauses are emitted against the layout they will actually see.
+  std::string steps;
+  i64 n_clauses = 0, n_redists = 0;
+  spmd::ArrayTable arrays = program.arrays;
+  int seq = 0;
+  for (const spmd::Step& step : program.steps) {
+    ++seq;
+    if (const auto* clause = std::get_if<Clause>(&step)) {
+      ++n_clauses;
+      steps += emit_clause(*clause, arrays, seq);
+    } else {
+      ++n_redists;
+      const auto& redist = std::get<spmd::RedistStep>(step);
+      steps += "    /* step " + cat(seq) + ": redistribute " + redist.array +
+               " to " + redist.new_desc.str() +
+               " — shared memory: ownership of later clauses changes, no "
+               "copy */\n\n";
+      arrays.insert_or_assign(redist.array, redist.new_desc);
+    }
+  }
+  std::string body;
+  body += "  /* Cap the team at P: more threads than virtual processors\n";
+  body += "     only adds idle waiters to every barrier. Correctness never\n";
+  body += "     depends on the team size the runtime grants — the virtual\n";
+  body += "     processors are work-shared, not pinned to threads. */\n";
+  body += "  int vcal_team = omp_get_max_threads();\n";
+  body += "  if (vcal_team > P) vcal_team = P;\n";
+  body += "  #pragma omp parallel num_threads(vcal_team)\n";
+  body += "  {\n";
+  body += steps;
+  body += "  }\n";
+
+  if (options.driver) {
+    // Whole-program entry point for the dlopen backend: stores in and
+    // out are dense row-major images in array-name order (the map's
+    // iteration order, which is deterministic).
+    out += "\ntypedef struct {\n"
+           "  long long steps, clauses, redists, messages;\n"
+           "} vcal_native_result;\n\n";
+    out += "void vcal_native_run(const double* const* inputs,\n"
+           "                     double* const* outputs,\n"
+           "                     vcal_native_result* res) {\n";
+    int idx = 0;
+    for (const auto& [name, desc] : program.arrays) {
+      out += "  memcpy(" + name + ", inputs[" + cat(idx) +
+             "], sizeof(" + name + "));\n";
+      ++idx;
+    }
+    out += "\n" + body;
+    idx = 0;
+    for (const auto& [name, desc] : program.arrays) {
+      out += "  memcpy(outputs[" + cat(idx) + "], " + name +
+             ", sizeof(" + name + "));\n";
+      ++idx;
+    }
+    out += "  res->steps = " + cat(program.steps.size()) + ";\n";
+    out += "  res->clauses = " + cat(n_clauses) + ";\n";
+    out += "  res->redists = " + cat(n_redists) + ";\n";
+    out += "  res->messages = 0;  /* shared memory */\n";
+    out += "}\n";
+    return out;
+  }
+
   out += "\nint main(void) {\n";
   if (options.test_harness) {
     out += "  /* test harness: ramp initialization */\n";
@@ -249,24 +330,7 @@ std::string emit_openmp_c(const spmd::Program& program,
     }
     out += "\n";
   }
-
-  // The descriptor table evolves across redistribution steps so later
-  // clauses are emitted against the layout they will actually see.
-  spmd::ArrayTable arrays = program.arrays;
-  int seq = 0;
-  for (const spmd::Step& step : program.steps) {
-    ++seq;
-    if (const auto* clause = std::get_if<Clause>(&step)) {
-      out += emit_clause(*clause, arrays, seq);
-    } else {
-      const auto& redist = std::get<spmd::RedistStep>(step);
-      out += "  /* step " + cat(seq) + ": redistribute " + redist.array +
-             " to " + redist.new_desc.str() +
-             " — shared memory: ownership of later clauses changes, no "
-             "copy */\n\n";
-      arrays.insert_or_assign(redist.array, redist.new_desc);
-    }
-  }
+  out += body;
   if (options.test_harness) {
     out += "  /* test harness: dump results */\n";
     for (const auto& [name, desc] : program.arrays) {

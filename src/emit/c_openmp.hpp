@@ -27,6 +27,25 @@ struct OpenMPOptions {
   /// "NAME: v v v ..." line before exiting, so a test can compile, run,
   /// and diff the generated program against the reference executor.
   bool test_harness = false;
+
+  /// When set, no main() is generated; instead the translation unit
+  /// exports the whole-program driver the native backend dlopens
+  /// (rt::NativeMachine):
+  ///
+  ///   typedef struct {
+  ///     long long steps, clauses, redists, messages;
+  ///   } vcal_native_result;
+  ///   void vcal_native_run(const double* const* inputs,
+  ///                        double* const* outputs,
+  ///                        vcal_native_result* res);
+  ///
+  /// inputs/outputs hold one dense row-major image per program array in
+  /// name order (the iteration order of Program::arrays); every pointer
+  /// must be non-null and full-extent. The driver copies the inputs
+  /// into the static shared arrays, runs every step, copies the final
+  /// stores out, and fills the counters (messages is always 0: shared
+  /// memory moves no messages). Mutually exclusive with test_harness.
+  bool driver = false;
 };
 
 /// Emits the complete OpenMP C source for the program.

@@ -1,0 +1,98 @@
+// Whole-program native backend: compile and run the emitted OpenMP C.
+//
+// Every other target interprets the program (however aggressively —
+// bytecode kernels, comm schedules, per-clause JIT). This machine
+// closes the generation loop the paper is actually about: the complete
+// Section 2.9 OpenMP translation (emit/c_openmp.cpp) is emitted with a
+// driver entry point (OpenMPOptions::driver), compiled through the
+// same hardened content-addressed toolchain the per-clause JIT uses
+// (spmd::NativeToolchain: posix_spawnp, 0700 cache dir, <fp>.{c,so,log},
+// corrupt-entry rebuild), dlopened, and executed as one fused binary —
+// no per-step dispatch, no channel packing, no interpreter control
+// flow.
+//
+// Correctness contract: final stores are bit-identical to SeqExecutor
+// (the oracle's --native axis pins this across the ProgramGen corpus).
+// Fallback contract: when no toolchain is detected, the compile fails,
+// or dlopen fails, run() silently executes the program through the
+// bytecode SeqExecutor instead — same results, native() reports false
+// and error() says why (`vcalc --target=native` stays usable on hosts
+// without a compiler).
+//
+// Sharing contract: modules are content-addressed, so two machines for
+// the same program reuse one .so (and, within an EngineContext, one
+// dlopen handle). The generated arrays are static module state, so
+// entry calls are serialized process-wide (one mutex); a native run is
+// a whole program, so contention is per-run, not per-step.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rt/engine_context.hpp"
+#include "rt/engine_options.hpp"
+#include "spmd/program.hpp"
+
+namespace vcal::rt {
+
+/// Counters the generated driver writes back (mirrors the emitted
+/// vcal_native_result struct layout exactly).
+struct NativeResult {
+  long long steps = 0;
+  long long clauses = 0;
+  long long redists = 0;
+  long long messages = 0;  // always 0: shared memory
+};
+
+class NativeMachine {
+ public:
+  /// `ctx` (may be null) names the EngineContext whose NativeToolchain
+  /// compiles and caches the module — a serve session passes its own
+  /// so repeated native runs of one program dlopen once. With no
+  /// context the machine owns a private one.
+  explicit NativeMachine(spmd::Program program, EngineOptions engine = {},
+                         std::shared_ptr<EngineContext> ctx = nullptr);
+
+  /// Overwrites an array with a dense row-major image.
+  void load(const std::string& name, const std::vector<double>& dense);
+
+  /// Compiles (first call; content-addressed thereafter) and executes
+  /// every step, falling back to the bytecode SeqExecutor when the
+  /// native path is unavailable.
+  void run();
+
+  /// Dense row-major image of an array after run().
+  const std::vector<double>& result(const std::string& name) const;
+
+  /// True when run() executed the compiled module (false before run()
+  /// and after a bytecode fallback).
+  bool native() const noexcept { return native_; }
+  /// True when the module came from the registry or the on-disk cache.
+  bool from_cache() const noexcept { return from_cache_; }
+  double compile_ms() const noexcept { return compile_ms_; }
+  /// Why the native path was not taken ("" when it was).
+  const std::string& error() const noexcept { return error_; }
+  /// The emitted driver translation unit (CI uploads it on conformance
+  /// failures).
+  const std::string& source() const noexcept { return source_; }
+  /// Counters reported by the generated driver (zeros after fallback).
+  const NativeResult& native_stats() const noexcept { return stats_; }
+
+ private:
+  spmd::Program program_;
+  EngineOptions engine_;
+  std::shared_ptr<EngineContext> ctx_;
+  std::string source_;
+
+  std::map<std::string, std::vector<double>> stores_;
+  bool ran_ = false;
+  bool native_ = false;
+  bool from_cache_ = false;
+  double compile_ms_ = 0.0;
+  std::string error_;
+  NativeResult stats_;
+};
+
+}  // namespace vcal::rt

@@ -58,6 +58,7 @@ CompileCache::Outcome CompileCache::get(const std::string& source,
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++counters_.hits;
+      touch(key);
       return Outcome{it->second, /*hit=*/true, /*coalesced=*/false};
     }
     auto fit = flights_.find(key);
@@ -100,6 +101,9 @@ CompileCache::Outcome CompileCache::get(const std::string& source,
   {
     std::lock_guard<std::mutex> lock(m_);
     entries_.emplace(key, entry);
+    lru_.push_front(key);
+    lru_pos_[key] = lru_.begin();
+    enforce_capacity();
     flight->result = entry;
     flight->done = true;
     flights_.erase(key);
@@ -111,9 +115,30 @@ CompileCache::Outcome CompileCache::get(const std::string& source,
   return Outcome{entry, /*hit=*/false, /*coalesced=*/false};
 }
 
+void CompileCache::touch(std::uint64_t key) {
+  auto it = lru_pos_.find(key);
+  if (it == lru_pos_.end()) return;
+  lru_.splice(lru_.begin(), lru_, it->second);
+}
+
+void CompileCache::enforce_capacity() {
+  if (capacity_ <= 0) return;
+  while (static_cast<i64>(entries_.size()) > capacity_ && !lru_.empty()) {
+    const std::uint64_t victim = lru_.back();
+    lru_.pop_back();
+    lru_pos_.erase(victim);
+    entries_.erase(victim);
+    ++counters_.evictions;
+  }
+}
+
 CompileCache::Counters CompileCache::counters() const {
   std::lock_guard<std::mutex> lock(m_);
-  return counters_;
+  Counters c = counters_;
+  c.entries = static_cast<i64>(entries_.size());
+  return c;
 }
+
+i64 CompileCache::capacity() const { return capacity_; }
 
 }  // namespace vcal::serve

@@ -20,10 +20,18 @@
 // the first requester compiles while the rest block on its slot, then
 // share the entry. Compile *errors* are cached too — lang::compile is
 // deterministic, so re-running a failed compile can only waste time.
+//
+// The cache is bounded (`--serve-cache-entries`): beyond `capacity`
+// resident entries the least-recently-*requested* program is evicted
+// (a hit refreshes recency). Eviction only drops the cache's
+// reference — executions holding the shared_ptr keep running — and an
+// evicted program simply recompiles on its next request. Capacity 0
+// (the default) keeps the historical unbounded behavior.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -45,6 +53,9 @@ std::uint64_t compile_fingerprint(const std::string& source,
 
 class CompileCache {
  public:
+  /// `capacity` = max resident entries, 0 = unbounded.
+  explicit CompileCache(i64 capacity = 0) : capacity_(capacity) {}
+
   struct Entry {
     std::uint64_t key = 0;
     spmd::Program program;    // valid iff ok
@@ -74,10 +85,17 @@ class CompileCache {
     i64 coalesced = 0;  // this request waited on a concurrent compile
     i64 compiles = 0;   // lang::compile invocations (== misses)
     i64 entries = 0;    // resident entries (ok + error)
+    i64 evictions = 0;  // entries dropped by the LRU bound
   };
   Counters counters() const;
 
+  i64 capacity() const;
+
  private:
+  /// Moves `key` to the MRU position (must hold m_).
+  void touch(std::uint64_t key);
+  /// Drops LRU entries until the bound holds (must hold m_).
+  void enforce_capacity();
   // In-flight compile slot. Waiters block on the owning cache's cv;
   // `done` flips exactly once, after `result` is published.
   struct Flight {
@@ -85,10 +103,16 @@ class CompileCache {
     std::shared_ptr<const Entry> result;
   };
 
+  const i64 capacity_;  // 0 = unbounded
+
   mutable std::mutex m_;
   std::condition_variable cv_;
   std::unordered_map<std::uint64_t, std::shared_ptr<const Entry>> entries_;
   std::unordered_map<std::uint64_t, std::shared_ptr<Flight>> flights_;
+  // Recency order, most recent at the front; lru_pos_ indexes into it.
+  std::list<std::uint64_t> lru_;
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>
+      lru_pos_;
   Counters counters_;
 };
 

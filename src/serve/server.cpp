@@ -119,6 +119,8 @@ std::string ServerStats::str() const {
   reg.set("cache-hits", cache_hits);
   reg.set("cache-misses", cache_misses);
   reg.set("coalesced", cache_coalesced);
+  reg.set("cache-entries", cache_entries);
+  reg.set("cache-evictions", cache_evictions);
   reg.set("compiles", compiles);
   reg.set("queue-depth", queue_depth);
   reg.set("queue-peak", queue_peak);
@@ -136,6 +138,8 @@ std::string ServerStats::json() const {
   reg.set("cache_hits", cache_hits);
   reg.set("cache_misses", cache_misses);
   reg.set("coalesced", cache_coalesced);
+  reg.set("cache_entries", cache_entries);
+  reg.set("cache_evictions", cache_evictions);
   reg.set("compiles", compiles);
   reg.set("queue_depth", queue_depth);
   reg.set("queue_peak", queue_peak);
@@ -144,7 +148,8 @@ std::string ServerStats::json() const {
   return reg.json();
 }
 
-Server::Server(ServeOptions opts) : opts_(std::move(opts)) {}
+Server::Server(ServeOptions opts)
+    : opts_(std::move(opts)), cache_(opts_.cache_entries) {}
 
 Server::~Server() { stop(); }
 
@@ -226,6 +231,11 @@ ServerStats Server::stats() const {
     s = stats_;
     s.p50_ms = percentile(latencies_, 0.50);
     s.p99_ms = percentile(latencies_, 0.99);
+  }
+  {
+    CompileCache::Counters c = cache_.counters();
+    s.cache_entries = c.entries;
+    s.cache_evictions = c.evictions;
   }
   {
     std::lock_guard<std::mutex> qlock(queue_m_);

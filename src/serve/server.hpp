@@ -46,6 +46,9 @@ struct ServeOptions {
   int executors = 0;
   /// Per-session in-flight cap; requests beyond it are Rejected.
   int session_inflight = 8;
+  /// Compile-cache capacity in entries; least-recently-requested
+  /// programs are evicted beyond it (0 = unbounded).
+  int cache_entries = 0;
   /// Bounded reservoir of per-request latencies for p50/p99.
   int latency_samples = 4096;
 };
@@ -58,6 +61,8 @@ struct ServerStats {
   i64 cache_hits = 0;
   i64 cache_misses = 0;
   i64 cache_coalesced = 0;
+  i64 cache_entries = 0;    // resident compiled programs
+  i64 cache_evictions = 0;  // LRU drops (--serve-cache-entries bound)
   i64 compiles = 0;
   i64 queue_depth = 0;
   i64 queue_peak = 0;

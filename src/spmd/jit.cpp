@@ -1,24 +1,12 @@
 #include "spmd/jit.hpp"
 
-#include <dlfcn.h>
-#include <fcntl.h>
-#include <spawn.h>
-#include <sys/stat.h>
-#include <sys/wait.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <chrono>
 #include <cstdio>
-#include <cstdlib>
-#include <fstream>
 #include <sstream>
-
-extern char** environ;
 
 #include "emit/c_expr.hpp"
 #include "obs/metrics.hpp"
 #include "spmd/comm_schedule.hpp"
+#include "support/toolchain.hpp"
 
 namespace vcal::spmd {
 
@@ -150,15 +138,10 @@ std::string jit_source(const prog::Clause& clause) {
 }
 
 std::string jit_fingerprint(const std::string& source) {
-  std::uint64_t h = 1469598103934665603ull;  // FNV-1a 64
-  for (unsigned char c : source) {
-    h ^= c;
-    h *= 1099511628211ull;
-  }
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "vcal%016llx",
-                static_cast<unsigned long long>(h));
-  return buf;
+  // The JIT compiles with no extra flags, so its content address is
+  // the toolchain fingerprint over the bare source (tests use this to
+  // locate <fp>.c/.so in the cache directory).
+  return NativeToolchain::fingerprint(source);
 }
 
 // ---- replay flattening ----------------------------------------------
@@ -381,60 +364,11 @@ bool JitState::armed() const {
 
 // ---- the compile service --------------------------------------------
 
-namespace {
+std::string jit_system_compiler() { return support::system_c_compiler(); }
 
-/// posix_spawnp `args` with stdout+stderr redirected to `out_path`
-/// (/dev/null when empty) and wait; true on exit status 0. The
-/// toolchain is never invoked through a shell, so compiler and cache
-/// paths containing quotes or metacharacters are inert data.
-bool run_argv(const std::vector<std::string>& args,
-              const std::string& out_path) {
-  std::vector<char*> argv;
-  argv.reserve(args.size() + 1);
-  for (const std::string& a : args)
-    argv.push_back(const_cast<char*>(a.c_str()));
-  argv.push_back(nullptr);
-  posix_spawn_file_actions_t fa;
-  if (::posix_spawn_file_actions_init(&fa) != 0) return false;
-  const char* out = out_path.empty() ? "/dev/null" : out_path.c_str();
-  pid_t pid = -1;
-  bool ok = ::posix_spawn_file_actions_addopen(
-                &fa, 1, out, O_WRONLY | O_CREAT | O_TRUNC, 0600) == 0 &&
-            ::posix_spawn_file_actions_adddup2(&fa, 1, 2) == 0 &&
-            ::posix_spawnp(&pid, argv[0], &fa, nullptr, argv.data(),
-                           environ) == 0;
-  ::posix_spawn_file_actions_destroy(&fa);
-  if (!ok) return false;
-  int st = 0;
-  while (::waitpid(pid, &st, 0) < 0)
-    if (errno != EINTR) return false;
-  return WIFEXITED(st) && WEXITSTATUS(st) == 0;
+bool jit_toolchain_available() {
+  return support::c_toolchain_available();
 }
-
-/// Probes $CC, cc, gcc, clang by spawning `--version` directly (no
-/// shell): a missing binary fails the exec. The result is cached for
-/// the process — which compilers exist is a system property, so every
-/// engine shares one probe instead of re-spawning per session.
-const std::string& system_compiler_cached() {
-  static const std::string detected = [] {
-    std::vector<std::string> cands;
-    if (const char* cc = std::getenv("CC"))
-      if (*cc) cands.emplace_back(cc);
-    cands.emplace_back("cc");
-    cands.emplace_back("gcc");
-    cands.emplace_back("clang");
-    for (const std::string& c : cands)
-      if (run_argv({c, "--version"}, "")) return c;
-    return std::string{};
-  }();
-  return detected;
-}
-
-}  // namespace
-
-std::string jit_system_compiler() { return system_compiler_cached(); }
-
-bool jit_toolchain_available() { return !system_compiler_cached().empty(); }
 
 JitEngine::~JitEngine() {
   {
@@ -445,43 +379,10 @@ JitEngine::~JitEngine() {
   if (worker_.joinable()) worker_.join();
 }
 
-bool JitEngine::available() { return !compiler().empty(); }
-
-std::string JitEngine::compiler() {
-  std::lock_guard<std::mutex> lk(detect_m_);
-  if (compiler_override_.empty()) return jit_system_compiler();
-  if (detected_ >= 0) return compiler_path_;
-  // Probe the per-engine override separately from the process-wide
-  // detection so one engine's injected broken compiler cannot poison
-  // another session's toolchain.
-  if (run_argv({compiler_override_, "--version"}, "")) {
-    detected_ = 1;
-    compiler_path_ = compiler_override_;
-  } else {
-    detected_ = 0;
-    compiler_path_.clear();
-  }
-  return compiler_path_;
-}
+bool JitEngine::available() { return toolchain_.available(); }
 
 std::string JitEngine::cache_dir(const JitConfig& cfg) {
-  std::string dir = cfg.cache_dir;
-  if (dir.empty()) {
-    const char* tmp = std::getenv("TMPDIR");
-    dir = (tmp && *tmp) ? tmp : "/tmp";
-    dir += "/vcal-jit-cache-" +
-           std::to_string(static_cast<long>(::getuid()));
-  }
-  ::mkdir(dir.c_str(), 0700);  // one level; racing creators both succeed
-  // Everything in this directory feeds dlopen, and the default path is
-  // predictable: refuse symlinks and any directory we do not own or
-  // that another user could write, falling back to bytecode instead of
-  // loading what an attacker may have planted there.
-  struct ::stat st;
-  if (::lstat(dir.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) return {};
-  if (st.st_uid != ::getuid()) return {};
-  if ((st.st_mode & (S_IWGRP | S_IWOTH)) != 0) return {};
-  return dir;
+  return toolchain_.cache_dir(cfg.cache_dir);
 }
 
 void JitEngine::submit(std::shared_ptr<JitState> s, const JitConfig& cfg) {
@@ -517,20 +418,15 @@ void JitEngine::drain() {
 }
 
 void JitEngine::test_set_compiler(const std::string& path) {
-  std::lock_guard<std::mutex> lk(detect_m_);
-  compiler_override_ = path;
-  detected_ = -1;
-  compiler_path_.clear();
+  toolchain_.test_set_compiler(path);
 }
 
 void JitEngine::test_corrupt_source(bool on) {
-  std::lock_guard<std::mutex> lk(detect_m_);
-  corrupt_source_ = on;
+  toolchain_.test_corrupt_source(on);
 }
 
 void JitEngine::test_fail_dlopen(bool on) {
-  std::lock_guard<std::mutex> lk(detect_m_);
-  fail_dlopen_ = on;
+  toolchain_.test_fail_dlopen(on);
 }
 
 void JitEngine::compile(const std::shared_ptr<JitState>& s,
@@ -540,97 +436,22 @@ void JitEngine::compile(const std::shared_ptr<JitState>& s,
     std::lock_guard<std::mutex> lk(s->m_);
     src = s->source_;
   }
-  bool corrupt = false, fail_dl = false;
-  {
-    std::lock_guard<std::mutex> lk(detect_m_);
-    corrupt = corrupt_source_;
-    fail_dl = fail_dlopen_;
-  }
-  // The corrupted unit hashes differently, so an injected failure can
-  // never poison the content-addressed cache.
-  if (corrupt) src += "\n#error vcal jit injected compile failure\n";
-  const std::string key = jit_fingerprint(src);
-
   auto fail = [&] {
     std::lock_guard<std::mutex> lk(s->m_);
     s->status_ = JitState::Status::Failed;
   };
-
-  const auto t0 = std::chrono::steady_clock::now();
+  NativeModule mod = toolchain_.load(src, cfg.cache_dir);
+  if (!mod.ok) return fail();
   JitFns fns;
-  bool from_cache = false;
-  {
-    std::lock_guard<std::mutex> lk(modules_m_);
-    auto it = modules_.find(key);
-    if (it != modules_.end()) {
-      fns = it->second;
-      from_cache = true;
-    }
-  }
-  if (!from_cache) {
-    const std::string cc = compiler();
-    if (cc.empty()) return fail();
-    const std::string dir = cache_dir(cfg);
-    if (dir.empty()) return fail();
-    const std::string stem = dir + "/" + key;
-    const std::string so = stem + ".so";
-    const std::string tag = "." + std::to_string(::getpid());
-    auto build = [&]() -> bool {
-      // tmp + rename: concurrent processes compiling the same unit
-      // never observe partial files, and the last rename wins.
-      const std::string ctmp = stem + ".c" + tag;
-      {
-        std::ofstream out(ctmp);
-        out << src;
-        if (!out) return false;
-      }
-      ::rename(ctmp.c_str(), (stem + ".c").c_str());
-      const std::string sotmp = so + tag;
-      if (!run_argv({cc, "-O2", "-fPIC", "-shared", "-ffp-contract=off",
-                     "-fno-fast-math", "-o", sotmp, stem + ".c"},
-                    stem + ".log")) {
-        std::remove(sotmp.c_str());
-        return false;
-      }
-      ::rename(sotmp.c_str(), so.c_str());
-      return true;
-    };
-    auto open_module = [&]() -> bool {
-      void* h =
-          fail_dl ? nullptr : ::dlopen(so.c_str(), RTLD_NOW | RTLD_LOCAL);
-      if (!h) return false;
-      // Handles are immortal: jitted functions may still be referenced
-      // by machines at process exit, so the module is never dlclosed.
-      fns.fused =
-          reinterpret_cast<JitFusedFn>(::dlsym(h, "vcal_jit_fused"));
-      fns.replay =
-          reinterpret_cast<JitReplayFn>(::dlsym(h, "vcal_jit_replay"));
-      return fns.fused && fns.replay;
-    };
-    bool have_so = ::access(so.c_str(), R_OK) == 0;
-    if (fail_dl) have_so = false;  // force a fresh (failing) open below
-    if (!have_so && !build()) return fail();
-    if (!open_module()) {
-      if (!have_so) return fail();
-      // A pre-existing .so that refuses to load (truncated, wrong arch
-      // on a shared cache dir) would otherwise lock this clause out of
-      // JIT in every future process: drop it and rebuild once.
-      ::unlink(so.c_str());
-      have_so = false;
-      if (!build() || !open_module()) return fail();
-    }
-    if (have_so) from_cache = true;  // .so reused from a previous run
-    std::lock_guard<std::mutex> lk(modules_m_);
-    modules_.emplace(key, fns);
-  }
-  const double ms =
-      std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - t0)
-          .count();
+  fns.fused = reinterpret_cast<JitFusedFn>(
+      toolchain_.symbol(mod, "vcal_jit_fused"));
+  fns.replay = reinterpret_cast<JitReplayFn>(
+      toolchain_.symbol(mod, "vcal_jit_replay"));
+  if (!fns.fused || !fns.replay) return fail();
   std::lock_guard<std::mutex> lk(s->m_);
   s->fns_ = fns;
-  s->from_cache_ = from_cache;
-  s->compile_ms_ = ms;
+  s->from_cache_ = mod.from_cache;
+  s->compile_ms_ = mod.compile_ms;
   s->status_ = JitState::Status::Ready;
 }
 

@@ -49,10 +49,10 @@
 #include <mutex>
 #include <string>
 #include <thread>
-#include <unordered_map>
 #include <vector>
 
 #include "spmd/kernel.hpp"
+#include "spmd/native_toolchain.hpp"
 
 namespace vcal::spmd {
 
@@ -193,20 +193,23 @@ class JitState : public std::enable_shared_from_this<JitState> {
 };
 
 /// True when a C compiler answers `--version` (probed once per
-/// process, cached). The compiler is a system property, not engine
-/// state, so every JitEngine without a test override shares this probe.
+/// process, cached). Forwards to support::c_toolchain_available — the
+/// compiler is a system property, not engine state, so every JitEngine
+/// without a test override shares this probe.
 bool jit_toolchain_available();
 
 /// The detected system compiler ("" when none). Same process-wide
 /// cache as jit_toolchain_available().
 std::string jit_system_compiler();
 
-/// One compile service: the background compile worker, the
-/// content-addressed .c/.so cache directory, and the dlopen module
-/// registry. Historically a process-wide singleton; now owned by
-/// rt::EngineContext so concurrent server sessions get isolated module
-/// registries and test hooks (toolchain detection stays process-wide —
-/// see jit_system_compiler). Test hooks inject every failure mode.
+/// One compile service: the background compile worker plus an owned
+/// NativeToolchain (the content-addressed .c/.so cache and dlopen
+/// module registry, shared with the whole-program native backend —
+/// see spmd/native_toolchain.hpp). Historically a process-wide
+/// singleton; now owned by rt::EngineContext so concurrent server
+/// sessions get isolated module registries and test hooks (toolchain
+/// detection stays process-wide — see jit_system_compiler). Test hooks
+/// inject every failure mode.
 class JitEngine {
  public:
   JitEngine() = default;
@@ -230,7 +233,14 @@ class JitEngine {
   /// Resolved cache directory (created on demand); empty on failure.
   std::string cache_dir(const JitConfig& cfg);
 
-  // ---- test hooks (jit_test exercises every failure path) ----------
+  /// The compile/cache/dlopen surface this engine owns. The
+  /// whole-program native backend (rt::NativeMachine) compiles through
+  /// it so a serve session's jitted clauses and native programs share
+  /// one module registry and one set of test hooks.
+  NativeToolchain& toolchain() noexcept { return toolchain_; }
+
+  // ---- test hooks (jit_test exercises every failure path; they
+  // forward to the owned toolchain) ----------------------------------
   /// Overrides compiler detection: a path to use verbatim, or "" to
   /// restore auto-detection. Resets the cached probe either way.
   void test_set_compiler(const std::string& path);
@@ -242,7 +252,6 @@ class JitEngine {
 
  private:
   void worker_loop();
-  std::string compiler();
 
   std::mutex m_;
   std::condition_variable cv_;
@@ -252,15 +261,7 @@ class JitEngine {
   bool stop_ = false;
   std::thread worker_;
 
-  std::mutex detect_m_;
-  int detected_ = -1;  // -1 unknown, 0 none, 1 found
-  std::string compiler_path_;
-  std::string compiler_override_;
-  bool corrupt_source_ = false;
-  bool fail_dlopen_ = false;
-
-  std::mutex modules_m_;
-  std::unordered_map<std::string, JitFns> modules_;  // fingerprint -> fns
+  NativeToolchain toolchain_;
 };
 
 }  // namespace vcal::spmd

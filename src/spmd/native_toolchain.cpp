@@ -1,0 +1,215 @@
+#include "spmd/native_toolchain.hpp"
+
+#include <dlfcn.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "support/toolchain.hpp"
+
+namespace vcal::spmd {
+
+bool NativeToolchain::available() { return !compiler().empty(); }
+
+std::string NativeToolchain::compiler() {
+  std::lock_guard<std::mutex> lk(detect_m_);
+  if (compiler_override_.empty()) return support::system_c_compiler();
+  if (detected_ >= 0) return compiler_path_;
+  // Probe the per-instance override separately from the process-wide
+  // detection so one engine's injected broken compiler cannot poison
+  // another session's toolchain.
+  if (support::probe_tool(compiler_override_)) {
+    detected_ = 1;
+    compiler_path_ = compiler_override_;
+  } else {
+    detected_ = 0;
+    compiler_path_.clear();
+  }
+  return compiler_path_;
+}
+
+std::string NativeToolchain::fingerprint(
+    const std::string& source, const std::vector<std::string>& flags) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a 64
+  auto mix = [&](const std::string& s) {
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 1099511628211ull;
+    }
+    h ^= 0xFF;  // field separator: {"a","b"} != {"ab"}
+    h *= 1099511628211ull;
+  };
+  mix(source);
+  for (const std::string& f : flags) mix(f);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "vcal%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+std::string NativeToolchain::cache_dir(const std::string& requested) {
+  std::string dir = requested;
+  if (dir.empty()) {
+    const char* tmp = std::getenv("TMPDIR");
+    dir = (tmp && *tmp) ? tmp : "/tmp";
+    dir += "/vcal-jit-cache-" +
+           std::to_string(static_cast<long>(::getuid()));
+  }
+  ::mkdir(dir.c_str(), 0700);  // one level; racing creators both succeed
+  // Everything in this directory feeds dlopen, and the default path is
+  // predictable: refuse symlinks and any directory we do not own or
+  // that another user could write, falling back to bytecode instead of
+  // loading what an attacker may have planted there.
+  struct ::stat st;
+  if (::lstat(dir.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) return {};
+  if (st.st_uid != ::getuid()) return {};
+  if ((st.st_mode & (S_IWGRP | S_IWOTH)) != 0) return {};
+  return dir;
+}
+
+NativeModule NativeToolchain::load(const std::string& source,
+                                   const std::string& requested_dir,
+                                   const std::vector<std::string>& flags) {
+  std::string src = source;
+  bool fail_dl = false;
+  {
+    std::lock_guard<std::mutex> lk(detect_m_);
+    // The corrupted unit hashes differently, so an injected failure can
+    // never poison the content-addressed cache.
+    if (corrupt_source_)
+      src += "\n#error vcal native injected compile failure\n";
+    fail_dl = fail_dlopen_;
+  }
+  NativeModule m;
+  m.fingerprint = fingerprint(src, flags);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto done = [&](NativeModule&& out) {
+    out.compile_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    return std::move(out);
+  };
+
+  // The registry lock covers the whole load: two threads of one
+  // session asking for the same unit compile it once, and a compile is
+  // rare enough that serializing distinct units behind it is cheaper
+  // than a per-fingerprint singleflight.
+  std::lock_guard<std::mutex> lk(modules_m_);
+  auto it = modules_.find(m.fingerprint);
+  if (it != modules_.end()) {
+    NativeModule hit = it->second;
+    hit.from_cache = true;
+    return done(std::move(hit));
+  }
+
+  const std::string cc = compiler();
+  if (cc.empty()) {
+    m.error = "no C compiler detected";
+    return done(std::move(m));
+  }
+  const std::string dir = cache_dir(requested_dir);
+  if (dir.empty()) {
+    m.error = "cache directory refused (symlink, foreign owner, or "
+              "group/other-writable)";
+    return done(std::move(m));
+  }
+  const std::string stem = dir + "/" + m.fingerprint;
+  const std::string so = stem + ".so";
+  const std::string tag = "." + std::to_string(::getpid());
+  m.source_path = stem + ".c";
+  m.log_path = stem + ".log";
+
+  auto build = [&]() -> bool {
+    // tmp + rename: concurrent processes compiling the same unit
+    // never observe partial files, and the last rename wins.
+    const std::string ctmp = m.source_path + tag;
+    {
+      std::ofstream out(ctmp);
+      out << src;
+      if (!out) {
+        m.error = "cannot write " + ctmp;
+        return false;
+      }
+    }
+    ::rename(ctmp.c_str(), m.source_path.c_str());
+    const std::string sotmp = so + tag;
+    std::vector<std::string> argv = {cc,
+                                     "-O2",
+                                     "-fPIC",
+                                     "-shared",
+                                     "-ffp-contract=off",
+                                     "-fno-fast-math"};
+    for (const std::string& f : flags) argv.push_back(f);
+    argv.push_back("-o");
+    argv.push_back(sotmp);
+    argv.push_back(m.source_path);
+    if (!support::run_command(argv, m.log_path)) {
+      std::remove(sotmp.c_str());
+      m.error = "compile failed (see " + m.log_path + ")";
+      return false;
+    }
+    ::rename(sotmp.c_str(), so.c_str());
+    return true;
+  };
+  auto open_module = [&]() -> bool {
+    void* h =
+        fail_dl ? nullptr : ::dlopen(so.c_str(), RTLD_NOW | RTLD_LOCAL);
+    if (!h) {
+      const char* why = fail_dl ? "injected dlopen failure" : ::dlerror();
+      m.error = std::string("dlopen failed: ") + (why ? why : "unknown");
+      return false;
+    }
+    // Handles are immortal: generated functions may still be
+    // referenced by machines at process exit, so never dlclosed.
+    m.handle = h;
+    return true;
+  };
+
+  bool have_so = ::access(so.c_str(), R_OK) == 0;
+  if (fail_dl) have_so = false;  // force a fresh (failing) open below
+  if (!have_so && !build()) return done(std::move(m));
+  if (!open_module()) {
+    if (!have_so) return done(std::move(m));
+    // A pre-existing .so that refuses to load (truncated, wrong arch
+    // on a shared cache dir) would otherwise lock this unit out of
+    // native execution in every future process: drop it and rebuild
+    // once.
+    ::unlink(so.c_str());
+    have_so = false;
+    m.error.clear();
+    if (!build() || !open_module()) return done(std::move(m));
+  }
+  m.ok = true;
+  m.from_cache = have_so;  // .so reused from a previous run
+  modules_.emplace(m.fingerprint, m);
+  return done(std::move(m));
+}
+
+void* NativeToolchain::symbol(const NativeModule& m, const char* name) {
+  if (!m.ok || m.handle == nullptr) return nullptr;
+  return ::dlsym(m.handle, name);
+}
+
+void NativeToolchain::test_set_compiler(const std::string& path) {
+  std::lock_guard<std::mutex> lk(detect_m_);
+  compiler_override_ = path;
+  detected_ = -1;
+  compiler_path_.clear();
+}
+
+void NativeToolchain::test_corrupt_source(bool on) {
+  std::lock_guard<std::mutex> lk(detect_m_);
+  corrupt_source_ = on;
+}
+
+void NativeToolchain::test_fail_dlopen(bool on) {
+  std::lock_guard<std::mutex> lk(detect_m_);
+  fail_dlopen_ = on;
+}
+
+}  // namespace vcal::spmd

@@ -1,0 +1,104 @@
+// Content-addressed native compilation: the hardened compile/cache
+// surface shared by the per-clause JIT (spmd/jit.cpp) and the
+// whole-program native backend (rt/native_machine.cpp).
+//
+// One instance = one module registry + one set of test hooks; it is
+// owned by a JitEngine (and through it by an rt::EngineContext), so
+// concurrent server sessions keep isolated registries while the
+// on-disk .so cache stays shared and content-addressed.
+//
+// The contract, unchanged from the original jit.cpp implementation it
+// was factored out of:
+//   * sources are fingerprinted (FNV-1a 64 over source + build flags)
+//     and land in the cache directory as <fp>.c / <fp>.so / <fp>.log;
+//   * the toolchain is spawned via posix_spawnp — never a shell;
+//   * the cache directory is created 0700 and verified with lstat:
+//     symlinks, foreign owners, and group/other-writable directories
+//     are refused (fall back instead of dlopening planted files);
+//   * files are written tmp + rename so concurrent processes never
+//     observe partial artifacts;
+//   * a cached .so that refuses to dlopen (truncated, wrong arch) is
+//     unlinked and rebuilt once instead of locking the unit out of
+//     native execution forever;
+//   * module handles are immortal (never dlclosed) — generated code
+//     may still be referenced at process exit.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace vcal::spmd {
+
+/// One loaded (or failed) native compilation unit.
+struct NativeModule {
+  void* handle = nullptr;  // valid iff ok; never dlclosed
+  bool ok = false;
+  bool from_cache = false;   // registry hit or on-disk .so reuse
+  double compile_ms = 0.0;   // wall time inside load()
+  std::string fingerprint;   // content address ("vcal" + 16 hex)
+  std::string source_path;   // <dir>/<fp>.c (kept for diagnostics)
+  std::string log_path;      // compiler stdout+stderr
+  std::string error;         // failure reason when !ok
+};
+
+class NativeToolchain {
+ public:
+  NativeToolchain() = default;
+  NativeToolchain(const NativeToolchain&) = delete;
+  NativeToolchain& operator=(const NativeToolchain&) = delete;
+
+  /// True when this instance can compile: the test-override compiler
+  /// if one is set, else the process-wide detected toolchain
+  /// (support::system_c_compiler).
+  bool available();
+
+  /// The compiler load() will spawn ("" when none).
+  std::string compiler();
+
+  /// Content address of a compilation unit: "vcal" + FNV-1a 64 hex
+  /// over the source and the extra build flags (the same source built
+  /// with different flags must not collide in the cache).
+  static std::string fingerprint(const std::string& source,
+                                 const std::vector<std::string>& flags = {});
+
+  /// Resolves (and hardens) the cache directory. `requested` empty
+  /// uses $TMPDIR/vcal-jit-cache-<uid>. Empty result on refusal.
+  std::string cache_dir(const std::string& requested);
+
+  /// Compiles `source` (or reuses the registry / on-disk cache) and
+  /// dlopens it. `flags` are appended to the base compile line
+  /// (-O2 -fPIC -shared -ffp-contract=off -fno-fast-math). Never
+  /// throws; inspect NativeModule::ok / error.
+  NativeModule load(const std::string& source,
+                    const std::string& requested_dir,
+                    const std::vector<std::string>& flags = {});
+
+  /// dlsym on a loaded module (nullptr when !m.ok or unresolved).
+  void* symbol(const NativeModule& m, const char* name);
+
+  // ---- test hooks (jit_test / native_test exercise every failure
+  // path) ------------------------------------------------------------
+  /// Overrides compiler detection: a path used verbatim, or "" to
+  /// restore auto-detection. Resets the cached probe either way.
+  void test_set_compiler(const std::string& path);
+  /// Appends an #error to every source before hashing, so the
+  /// corrupted unit misses the cache and the compile fails.
+  void test_corrupt_source(bool on);
+  /// Makes the dlopen step report failure.
+  void test_fail_dlopen(bool on);
+
+ private:
+  std::mutex detect_m_;
+  int detected_ = -1;  // -1 unknown, 0 none, 1 found (override probe)
+  std::string compiler_path_;
+  std::string compiler_override_;
+  bool corrupt_source_ = false;
+  bool fail_dlopen_ = false;
+
+  std::mutex modules_m_;
+  std::unordered_map<std::string, NativeModule> modules_;  // fp -> module
+};
+
+}  // namespace vcal::spmd

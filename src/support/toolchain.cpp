@@ -1,0 +1,90 @@
+#include "support/toolchain.hpp"
+
+#include <fcntl.h>
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+
+extern char** environ;
+
+namespace vcal::support {
+
+bool run_command(const std::vector<std::string>& args,
+                 const std::string& out_path) {
+  if (args.empty()) return false;
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (const std::string& a : args)
+    argv.push_back(const_cast<char*>(a.c_str()));
+  argv.push_back(nullptr);
+  posix_spawn_file_actions_t fa;
+  if (::posix_spawn_file_actions_init(&fa) != 0) return false;
+  const char* out = out_path.empty() ? "/dev/null" : out_path.c_str();
+  pid_t pid = -1;
+  bool ok = ::posix_spawn_file_actions_addopen(
+                &fa, 1, out, O_WRONLY | O_CREAT | O_TRUNC, 0600) == 0 &&
+            ::posix_spawn_file_actions_adddup2(&fa, 1, 2) == 0 &&
+            ::posix_spawnp(&pid, argv[0], &fa, nullptr, argv.data(),
+                           environ) == 0;
+  ::posix_spawn_file_actions_destroy(&fa);
+  if (!ok) return false;
+  int st = 0;
+  while (::waitpid(pid, &st, 0) < 0)
+    if (errno != EINTR) return false;
+  return WIFEXITED(st) && WEXITSTATUS(st) == 0;
+}
+
+bool probe_tool(const std::string& path) {
+  if (path.empty()) return false;
+  return run_command({path, "--version"}, "");
+}
+
+const std::string& system_c_compiler() {
+  static const std::string detected = [] {
+    std::vector<std::string> cands;
+    if (const char* cc = std::getenv("CC"))
+      if (*cc) cands.emplace_back(cc);
+    cands.emplace_back("cc");
+    cands.emplace_back("gcc");
+    cands.emplace_back("clang");
+    for (const std::string& c : cands)
+      if (probe_tool(c)) return c;
+    return std::string{};
+  }();
+  return detected;
+}
+
+bool c_toolchain_available() { return !system_c_compiler().empty(); }
+
+const MpiToolchain& system_mpi_toolchain() {
+  static const MpiToolchain detected = [] {
+    MpiToolchain tc;
+    std::vector<std::string> ccs;
+    if (const char* c = std::getenv("MPICC"))
+      if (*c) ccs.emplace_back(c);
+    ccs.emplace_back("mpicc");
+    for (const std::string& c : ccs)
+      if (probe_tool(c)) {
+        tc.mpicc = c;
+        break;
+      }
+    if (tc.mpicc.empty()) return tc;  // no point probing a launcher
+    std::vector<std::string> runs;
+    if (const char* r = std::getenv("MPIRUN"))
+      if (*r) runs.emplace_back(r);
+    runs.emplace_back("mpirun");
+    runs.emplace_back("mpiexec");
+    for (const std::string& r : runs)
+      if (probe_tool(r)) {
+        tc.mpirun = r;
+        break;
+      }
+    return tc;
+  }();
+  return detected;
+}
+
+}  // namespace vcal::support

@@ -1,0 +1,50 @@
+// Host toolchain discovery shared by every subsystem that shells out
+// to a compiler.
+//
+// Before this header existed, src/spmd/jit.cpp and tests/emit_test.cpp
+// each carried their own copy of "spawn `cc --version` and see if it
+// answers" — one through posix_spawnp, one through std::system with a
+// shell string. Detection is a *system* property, not an engine or
+// test property, so it lives here once: spawn-based (never a shell, so
+// paths with metacharacters are inert data), probed lazily, cached for
+// the process.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vcal::support {
+
+/// Runs argv[0] with the argument vector via posix_spawnp, with stdout
+/// and stderr redirected to `out_path` (/dev/null when empty), and
+/// waits. True on exit status 0. Never invokes a shell: compiler and
+/// cache paths containing quotes or metacharacters are inert data.
+bool run_command(const std::vector<std::string>& args,
+                 const std::string& out_path = {});
+
+/// True when `path --version` runs and exits 0 — the probe every
+/// detection below uses. A missing binary fails the spawn, a present
+/// one that is not a compiler-shaped tool fails the exit status.
+bool probe_tool(const std::string& path);
+
+/// The detected system C compiler: $CC if set, else the first of
+/// cc/gcc/clang that answers --version. Empty when none. Probed once
+/// and cached for the process — which compilers exist is a system
+/// property, so every engine and test shares one probe.
+const std::string& system_c_compiler();
+
+/// !system_c_compiler().empty().
+bool c_toolchain_available();
+
+/// MPI launch toolchain: a compiler wrapper and a launcher. Detected
+/// once per process ($MPICC/$MPIRUN override the candidate lists;
+/// mpicc then mpirun/mpiexec otherwise). Both must answer --version
+/// for available() to hold.
+struct MpiToolchain {
+  std::string mpicc;
+  std::string mpirun;
+  bool available() const { return !mpicc.empty() && !mpirun.empty(); }
+};
+const MpiToolchain& system_mpi_toolchain();
+
+}  // namespace vcal::support

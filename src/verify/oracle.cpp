@@ -5,6 +5,7 @@
 #include "lang/translate.hpp"
 #include "proc/proc_machine.hpp"
 #include "rt/dist_machine.hpp"
+#include "rt/native_machine.hpp"
 #include "rt/seq_executor.hpp"
 #include "rt/shared_machine.hpp"
 #include "spmd/jit.hpp"
@@ -95,8 +96,15 @@ std::string OracleReport::str() const {
 CheckResult Oracle::check_program(
     const spmd::Program& program,
     const std::map<std::string, std::vector<double>>& inputs,
-    bool jit_axis, bool proc_axis, const std::string& source) {
-  if (!spmd::jit_toolchain_available()) jit_axis = false;
+    bool jit_axis, bool proc_axis, const std::string& source,
+    bool native_axis) {
+  if (!spmd::jit_toolchain_available()) {
+    jit_axis = false;
+    // Graceful skip: a host without a compiler cannot exercise the
+    // native backend (NativeMachine itself would fall back to bytecode
+    // and prove nothing).
+    native_axis = false;
+  }
   CheckResult res;
   auto fail = [&](const std::string& why) {
     if (res.ok) {
@@ -200,6 +208,33 @@ CheckResult Oracle::check_program(
     fail(cat("shared[elide-barriers] threw: ", e.what()));
   }
   if (!res.ok) return res;
+
+  // ---- whole-program native backend: the emitted OpenMP C compiled,
+  // dlopened, and run must reproduce the reference bit for bit. With a
+  // toolchain present a bytecode fallback is itself a failure — it
+  // means the generator emitted C the compiler rejects. ---------------
+  if (native_axis) {
+    try {
+      rt::NativeMachine m(program);
+      load_all(m);
+      m.run();
+      ++res.runs;
+      if (!m.native()) {
+        fail(cat("native backend fell back to bytecode: ", m.error()));
+      } else {
+        for (const std::string& n : names)
+          if (m.result(n) != ref[n])
+            fail(cat("native diverges from seq on ", n));
+        if (m.native_stats().steps !=
+            static_cast<long long>(program.steps.size()))
+          fail(cat("native driver ran ", m.native_stats().steps,
+                   " steps, program has ", program.steps.size()));
+      }
+    } catch (const Error& e) {
+      fail(cat("native threw: ", e.what()));
+    }
+    if (!res.ok) return res;
+  }
 
   // The distributed target rejects '•' clauses by design; its half of
   // the matrix only applies to fully parallel programs.
@@ -390,7 +425,7 @@ CheckResult Oracle::check_program(
 
 CheckResult Oracle::check_source(const std::string& source,
                                  std::uint64_t input_seed, bool jit_axis,
-                                 bool proc_axis) {
+                                 bool proc_axis, bool native_axis) {
   spmd::Program program = lang::compile(source);
   Rng rng(input_seed);
   std::map<std::string, std::vector<double>> inputs;
@@ -399,7 +434,8 @@ CheckResult Oracle::check_source(const std::string& source,
     for (double& x : v) x = static_cast<double>(rng.uniform(-9, 9));
     inputs[name] = std::move(v);
   }
-  return check_program(program, inputs, jit_axis, proc_axis, source);
+  return check_program(program, inputs, jit_axis, proc_axis, source,
+                       native_axis);
 }
 
 namespace {
@@ -407,10 +443,11 @@ namespace {
 /// True when the program fails the oracle (divergence, invariant
 /// violation, or any exception), with the reason in *why.
 bool oracle_rejects(const GeneratedProgram& gp, std::uint64_t input_seed,
-                    bool jit_axis, bool proc_axis, std::string* why) {
+                    bool jit_axis, bool proc_axis, bool native_axis,
+                    std::string* why) {
   try {
-    CheckResult r =
-        Oracle::check_source(gp.source(), input_seed, jit_axis, proc_axis);
+    CheckResult r = Oracle::check_source(gp.source(), input_seed, jit_axis,
+                                         proc_axis, native_axis);
     if (!r.ok) {
       *why = r.diagnostics;
       return true;
@@ -425,7 +462,7 @@ bool oracle_rejects(const GeneratedProgram& gp, std::uint64_t input_seed,
 /// Greedy statement-list minimization: keep removing single statements
 /// while the failure (any failure) persists.
 GeneratedProgram shrink(GeneratedProgram gp, std::uint64_t input_seed,
-                        bool jit_axis, bool proc_axis) {
+                        bool jit_axis, bool proc_axis, bool native_axis) {
   std::string why;
   bool progress = true;
   while (progress) {
@@ -434,7 +471,8 @@ GeneratedProgram shrink(GeneratedProgram gp, std::uint64_t input_seed,
       GeneratedProgram candidate = gp;
       candidate.stmts.erase(candidate.stmts.begin() +
                             static_cast<std::ptrdiff_t>(i));
-      if (oracle_rejects(candidate, input_seed, jit_axis, proc_axis, &why)) {
+      if (oracle_rejects(candidate, input_seed, jit_axis, proc_axis,
+                         native_axis, &why)) {
         gp = std::move(candidate);
         progress = true;
         break;
@@ -461,7 +499,7 @@ OracleReport Oracle::run_corpus(const OracleOptions& opts) {
     CheckResult cr;
     try {
       cr = check_source(gp.source(), input_seed, opts.jit_axis,
-                        opts.proc_axis);
+                        opts.proc_axis, opts.native_axis);
     } catch (const Error& e) {
       cr.ok = false;
       cr.diagnostics = cat("exception: ", e.what());
@@ -478,8 +516,9 @@ OracleReport Oracle::run_corpus(const OracleOptions& opts) {
       rep.failing_iter = k;
       rep.failing_seed = prog_seed;
       rep.diagnostics = cr.diagnostics;
-      rep.reproducer =
-          shrink(gp, input_seed, opts.jit_axis, opts.proc_axis).source();
+      rep.reproducer = shrink(gp, input_seed, opts.jit_axis, opts.proc_axis,
+                              opts.native_axis)
+                           .source();
       break;
     }
   }

@@ -17,6 +17,10 @@
 //   x native jit {off, synchronously compiled} (where kernels+cache on)
 //   x build {optimized, run-time resolution}
 //
+// plus two opt-in axes: the multi-process backend (--proc) and the
+// whole-program native backend (--native: the emitted OpenMP C
+// compiled, dlopened, and run — see rt/native_machine.hpp).
+//
 // and asserts bit-identical result arrays everywhere, bit-identical
 // DistStats / message matrices across engine configurations, and the
 // statistics invariants the runtime promises:
@@ -77,6 +81,15 @@ struct OracleOptions {
   /// matrix bit-identically. Off by default — it forks 2 x P processes
   /// per program — and a no-op on platforms without the backend.
   bool proc_axis = false;
+  /// Include the whole-program native backend axis: every program is
+  /// additionally emitted as OpenMP C, compiled, dlopened, and run
+  /// (rt::NativeMachine), and its final stores must be bit-identical
+  /// to the sequential reference. Off by default — it spawns the
+  /// system compiler per distinct program — and skipped silently when
+  /// no toolchain is detected; with a toolchain present, a bytecode
+  /// fallback (compile or dlopen failure) is a FAILURE, because it
+  /// means the emitter generated broken C.
+  bool native_axis = false;
   GenOptions gen;
 };
 
@@ -110,14 +123,15 @@ class Oracle {
       const spmd::Program& program,
       const std::map<std::string, std::vector<double>>& inputs,
       bool jit_axis = true, bool proc_axis = false,
-      const std::string& source = {});
+      const std::string& source = {}, bool native_axis = false);
 
   /// Compiles `source`, fills every array with deterministic values
   /// drawn from `input_seed`, and runs check_program.
   static CheckResult check_source(const std::string& source,
                                   std::uint64_t input_seed,
                                   bool jit_axis = true,
-                                  bool proc_axis = false);
+                                  bool proc_axis = false,
+                                  bool native_axis = false);
 
   /// Runs `iters` random programs from the seeded corpus. Stops at the
   /// first failure, shrinks it to a minimal statement list, and reports

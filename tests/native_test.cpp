@@ -1,0 +1,230 @@
+// Tests for the whole-program native backend (rt::NativeMachine): the
+// emitted OpenMP C compiled through spmd::NativeToolchain, dlopened,
+// and executed as one fused binary. Parity is always asserted against
+// SeqExecutor — when no host compiler is detected the machine falls
+// back to bytecode, results must STILL match, and native() reports
+// false (the fallback contract is itself under test).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lang/translate.hpp"
+#include "rt/engine_context.hpp"
+#include "rt/native_machine.hpp"
+#include "rt/seq_executor.hpp"
+#include "support/error.hpp"
+#include "support/scoped_dir.hpp"
+#include "support/toolchain.hpp"
+
+namespace vcal::rt {
+namespace {
+
+bool host_cc_detected() { return support::c_toolchain_available(); }
+
+/// Runs `text` through both NativeMachine (private cache dir) and
+/// SeqExecutor on ramp-initialized arrays and asserts bit-identical
+/// final stores. Returns the machine for follow-up assertions.
+std::unique_ptr<NativeMachine> run_both(const std::string& text,
+                                        const std::string& cache_dir) {
+  spmd::Program program = lang::compile(text);
+  EngineOptions eo;
+  eo.jit_cache_dir = cache_dir;
+  auto m = std::make_unique<NativeMachine>(program, eo);
+
+  SeqExecutor seq(lang::compile(text));
+  for (const auto& [name, desc] : program.arrays) {
+    std::vector<double> ramp(static_cast<std::size_t>(desc.total()));
+    for (std::size_t k = 0; k < ramp.size(); ++k)
+      ramp[k] = static_cast<double>(k);
+    m->load(name, ramp);
+    seq.load(name, ramp);
+  }
+  m->run();
+  seq.run();
+  for (const auto& [name, desc] : program.arrays) {
+    (void)desc;
+    const std::vector<double>& got = m->result(name);
+    const std::vector<double>& want = seq.result(name);
+    EXPECT_EQ(got.size(), want.size()) << name;
+    for (std::size_t k = 0; k < want.size(); ++k)
+      EXPECT_EQ(got[k], want[k]) << name << "[" << k << "]";
+  }
+  return m;
+}
+
+class NativeMachineParity : public ::testing::TestWithParam<const char*> {
+ protected:
+  support::ScopedDir cache_ = support::ScopedDir::make("vcal-native-test-");
+};
+
+TEST_P(NativeMachineParity, MatchesSeqExecutorBitForBit) {
+  auto m = run_both(GetParam(), cache_.path());
+  if (host_cc_detected()) {
+    EXPECT_TRUE(m->native()) << m->error();
+    EXPECT_TRUE(m->error().empty());
+  } else {
+    EXPECT_FALSE(m->native());  // fallback still produced the results
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, NativeMachineParity,
+    ::testing::Values(
+        // Aligned block copy with a guard.
+        R"(processors 4;
+           array A[0:63]; array B[0:63];
+           distribute A block; distribute B block;
+           forall i in 1:62 | B[i] > 5 do A[i] := B[i-1] + B[i+1]; od)",
+        // Always-false guard: every body is skipped, stores unchanged.
+        R"(processors 4;
+           array A[0:31]; array B[0:31];
+           distribute A block; distribute B scatter;
+           forall i in 0:31 | B[i] < -1 do A[i] := B[i]*2; od)",
+        // Zero-extent scatter blocks: more processors than elements, so
+        // high ranks own nothing and their loops must vanish.
+        R"(processors 8;
+           array A[0:4]; array B[0:4];
+           distribute A scatter; distribute B scatter;
+           forall i in 0:4 do A[i] := B[i] + 1; od)",
+        // Mid-program redistribute changes later ownership bounds.
+        R"(processors 4;
+           array A[0:31]; array B[0:31];
+           distribute A block; distribute B block;
+           forall i in 0:30 do A[i] := B[i+1]; od
+           redistribute A scatter;
+           forall i in 0:31 do A[i] := A[i]*2 + 1; od)",
+        // Sequential recurrence: the driver's '•' path.
+        R"(processors 2;
+           array A[0:15];
+           distribute A block;
+           for i in 1:15 do A[i] := A[i-1] + 1; od)",
+        // Self-reference forces the copy-in (_old) path.
+        R"(processors 4;
+           array A[0:31];
+           distribute A block;
+           forall i in 0:30 do A[i] := A[i+1]*0.25; od)",
+        // 2-D grid with shifted reads.
+        R"(processors 4;
+           array M[0:7, 0:7]; array N[0:7, 0:7];
+           distribute M (block, scatter); distribute N (scatter, block);
+           forall i in 0:7, j in 0:6 do M[i, j] := N[i, j+1]*2 + 1; od)"));
+
+TEST(NativeMachine, DriverCountersMatchProgramShape) {
+  if (!host_cc_detected()) GTEST_SKIP() << "no host C compiler detected";
+  support::ScopedDir cache = support::ScopedDir::make("vcal-native-test-");
+  auto m = run_both(R"(processors 4;
+                       array A[0:31]; array B[0:31];
+                       distribute A block; distribute B block;
+                       forall i in 0:30 do A[i] := B[i+1]; od
+                       redistribute A scatter;
+                       forall i in 0:31 do A[i] := A[i]*2; od)",
+                    cache.path());
+  ASSERT_TRUE(m->native()) << m->error();
+  EXPECT_EQ(m->native_stats().steps, 3);
+  EXPECT_EQ(m->native_stats().clauses, 2);
+  EXPECT_EQ(m->native_stats().redists, 1);
+  EXPECT_EQ(m->native_stats().messages, 0);  // shared memory: always 0
+}
+
+TEST(NativeMachine, SecondMachineReusesTheCompiledModule) {
+  if (!host_cc_detected()) GTEST_SKIP() << "no host C compiler detected";
+  support::ScopedDir cache = support::ScopedDir::make("vcal-native-test-");
+  const char* text = R"(processors 4;
+                        array A[0:31];
+                        distribute A block;
+                        forall i in 0:31 do A[i] := A[i] + 1; od)";
+  auto ctx = std::make_shared<EngineContext>();
+  EngineOptions eo;
+  eo.jit_cache_dir = cache.path();
+
+  NativeMachine first(lang::compile(text), eo, ctx);
+  first.run();
+  ASSERT_TRUE(first.native()) << first.error();
+  EXPECT_FALSE(first.from_cache());
+
+  NativeMachine second(lang::compile(text), eo, ctx);
+  second.run();
+  ASSERT_TRUE(second.native()) << second.error();
+  EXPECT_TRUE(second.from_cache());  // registry hit: no recompile
+}
+
+TEST(NativeMachine, FallsBackToBytecodeWithoutACompiler) {
+  support::ScopedDir cache = support::ScopedDir::make("vcal-native-test-");
+  const char* text = R"(processors 4;
+                        array A[0:15]; array B[0:15];
+                        distribute A block; distribute B block;
+                        forall i in 0:14 do A[i] := B[i+1]*3; od)";
+  auto ctx = std::make_shared<EngineContext>();
+  ctx->jit().toolchain().test_set_compiler("/nonexistent/vcal-no-cc");
+  EngineOptions eo;
+  eo.jit_cache_dir = cache.path();
+
+  spmd::Program program = lang::compile(text);
+  NativeMachine m(program, eo, ctx);
+  SeqExecutor seq(lang::compile(text));
+  for (const auto& [name, desc] : program.arrays) {
+    std::vector<double> ramp(static_cast<std::size_t>(desc.total()));
+    for (std::size_t k = 0; k < ramp.size(); ++k)
+      ramp[k] = static_cast<double>(k);
+    m.load(name, ramp);
+    seq.load(name, ramp);
+  }
+  m.run();
+  seq.run();
+  EXPECT_FALSE(m.native());
+  EXPECT_FALSE(m.error().empty());
+  for (const auto& [name, desc] : program.arrays) {
+    (void)desc;
+    EXPECT_EQ(m.result(name), seq.result(name)) << name;
+  }
+}
+
+TEST(NativeMachine, FallsBackWhenTheCompileFails) {
+  if (!host_cc_detected()) GTEST_SKIP() << "no host C compiler detected";
+  support::ScopedDir cache = support::ScopedDir::make("vcal-native-test-");
+  auto ctx = std::make_shared<EngineContext>();
+  ctx->jit().toolchain().test_corrupt_source(true);
+  EngineOptions eo;
+  eo.jit_cache_dir = cache.path();
+
+  spmd::Program program = lang::compile(R"(processors 2;
+                                           array A[0:7];
+                                           distribute A block;
+                                           forall i in 0:7 do A[i] := i; od)");
+  NativeMachine m(program, eo, ctx);
+  m.run();
+  EXPECT_FALSE(m.native());
+  EXPECT_FALSE(m.error().empty());
+  const std::vector<double>& a = m.result("A");
+  for (std::size_t k = 0; k < a.size(); ++k)
+    EXPECT_EQ(a[k], static_cast<double>(k));  // fallback still ran
+}
+
+TEST(NativeMachine, LoadValidatesNameAndExtent) {
+  spmd::Program program = lang::compile(R"(processors 2;
+                                           array A[0:7];
+                                           distribute A block;
+                                           forall i in 0:7 do A[i] := 0; od)");
+  NativeMachine m(program);
+  EXPECT_THROW(m.load("Z", std::vector<double>(8)), SemanticError);
+  EXPECT_THROW(m.load("A", std::vector<double>(3)), SemanticError);
+  m.load("A", std::vector<double>(8, 1.0));  // correct shape is fine
+}
+
+TEST(NativeMachine, RunIsSingleShot) {
+  support::ScopedDir cache = support::ScopedDir::make("vcal-native-test-");
+  EngineOptions eo;
+  eo.jit_cache_dir = cache.path();
+  NativeMachine m(lang::compile(R"(processors 2;
+                                   array A[0:7];
+                                   distribute A block;
+                                   forall i in 0:7 do A[i] := 1; od)"),
+                  eo);
+  m.run();
+  EXPECT_THROW(m.run(), SemanticError);
+}
+
+}  // namespace
+}  // namespace vcal::rt

@@ -139,6 +139,52 @@ TEST(CompileCache, SingleflightCoalescesConcurrentMisses) {
   }
 }
 
+TEST(CompileCache, LruBoundEvictsLeastRecentlyRequested) {
+  serve::CompileCache cache(/*capacity=*/2);
+  EXPECT_EQ(cache.capacity(), 2);
+  cache.get(kRotate, {});                        // resident: A
+  auto b = cache.get(kRotateScatter, {});        // resident: B, A
+  EXPECT_EQ(cache.counters().entries, 2);
+
+  // A hit refreshes recency, so B (not A) is now the eviction victim.
+  EXPECT_TRUE(cache.get(kRotate, {}).hit);
+  cache.get(kTwoStep, {});  // over capacity: B is dropped
+  auto c = cache.counters();
+  EXPECT_EQ(c.entries, 2);
+  EXPECT_EQ(c.evictions, 1);
+  EXPECT_TRUE(cache.get(kRotate, {}).hit);   // survived the eviction
+  EXPECT_TRUE(cache.get(kTwoStep, {}).hit);  // resident
+
+  // The evicted program recompiles on its next request (a miss), and
+  // inserting it evicts today's LRU in turn.
+  auto again = cache.get(kRotateScatter, {});
+  EXPECT_FALSE(again.hit);
+  EXPECT_EQ(cache.counters().evictions, 2);
+  EXPECT_EQ(cache.counters().entries, 2);
+
+  // Eviction only dropped the cache's reference: the old shared entry
+  // is still alive and usable for anyone holding it.
+  EXPECT_TRUE(b.entry->ok);
+  EXPECT_NE(b.entry.get(), again.entry.get());  // genuinely recompiled
+}
+
+TEST(Serve, CacheEntriesBoundShowsUpInServerStats) {
+  serve::ServeOptions opts;
+  opts.cache_entries = 1;
+  ServeFixture fx(std::move(opts));
+  ASSERT_EQ(fx.client.run(make_req(kRotate)).status, serve::Status::Ok);
+  ASSERT_EQ(fx.client.run(make_req(kTwoStep)).status, serve::Status::Ok);
+
+  serve::ServerStats stats = fx.server.stats();
+  EXPECT_EQ(stats.cache_entries, 1);    // the bound held
+  EXPECT_EQ(stats.cache_evictions, 1);  // kRotate was dropped
+  // The evicted program still serves correctly — it just recompiles.
+  serve::RunResult back = fx.client.run(make_req(kRotate));
+  ASSERT_EQ(back.status, serve::Status::Ok);
+  EXPECT_FALSE(back.cache_hit);
+  EXPECT_EQ(fx.server.stats().cache_evictions, 2);
+}
+
 // ---- engine-context isolation (the de-globalized state) --------------
 
 TEST(EngineContext, PlanCachesAndTracersDoNotBleedAcrossContexts) {

@@ -3,9 +3,10 @@
 #
 # Usage: tools/run_benches.sh [--refresh-baseline] [build-dir]
 #
-# Runs bench/engine_throughput (the kernel-vs-interpreter A/B plus the
-# bytecode-vs-JIT steady-state A/B, surfaced as the record's top-level
-# "jit" object), bench/comm_throughput (the schedule-vs-tagged A/B),
+# Runs bench/engine_throughput (the kernel-vs-interpreter A/B, the
+# bytecode-vs-JIT steady-state A/B surfaced as the record's top-level
+# "jit" object, and the whole-program native backend surfaced as the
+# "native" object), bench/comm_throughput (the schedule-vs-tagged A/B),
 # and bench/serve_throughput (the compile-service cold-vs-warm A/B,
 # surfaced as the record's "serve" object) and *appends* their merged
 # record to BENCH_engine.json at the repo root as {"runs": [...]}; the
@@ -16,7 +17,7 @@
 # --refresh-baseline additionally rewrites tools/bench_baseline.json
 # from a fresh smoke-shape run (n=512, T=50 — the shape the CI gates in
 # .github/workflows/ci.yml replay), preserving the schema those gates
-# consume (including the new "jit" record).
+# consume (including the "jit" and "native" records).
 #
 # Any non-zero exit (including the benches' internal bit-identity
 # verification) fails the script.

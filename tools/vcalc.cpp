@@ -25,6 +25,7 @@
 #include "proc/proc_machine.hpp"
 #include "proc/worker.hpp"
 #include "rt/dist_machine.hpp"
+#include "rt/native_machine.hpp"
 #include "rt/seq_executor.hpp"
 #include "rt/shared_machine.hpp"
 #include "serve/client.hpp"
@@ -47,6 +48,7 @@ struct Options {
   bool stats = false;
   bool verify = false;
   bool proc_axis = false;
+  bool native_axis = false;
   bool timeline = false;
   bool calibrate = false;
   int iters = 100;
@@ -60,6 +62,7 @@ struct Options {
   bool serve_mode = false;
   int serve_executors = 0;
   int serve_inflight = 8;
+  int serve_cache_entries = 0;  // 0 = unbounded
   std::string connect_addr;  // --connect ADDR: client mode
   bool remote_metrics = false;
   bool remote_shutdown = false;
@@ -83,8 +86,9 @@ int run_verify(const Options& opt) {
     std::ostringstream buf;
     buf << in.rdbuf();
     try {
-      vcal::verify::CheckResult r = Oracle::check_source(
-          buf.str(), opt.seed, opt.engine.jit, opt.proc_axis);
+      vcal::verify::CheckResult r =
+          Oracle::check_source(buf.str(), opt.seed, opt.engine.jit,
+                               opt.proc_axis, opt.native_axis);
       std::printf("verify %s: %s\n", opt.file.c_str(), r.str().c_str());
       return r.ok ? 0 : 3;
     } catch (const Error& e) {
@@ -97,6 +101,7 @@ int run_verify(const Options& opt) {
   oo.seed = opt.seed;
   oo.jit_axis = opt.engine.jit;
   oo.proc_axis = opt.proc_axis;
+  oo.native_axis = opt.native_axis;
   vcal::verify::OracleReport rep = Oracle::run_corpus(oo);
   std::printf("%s\n", rep.str().c_str());
   vcal::verify::CheckResult faults = Oracle::check_faults();
@@ -151,6 +156,7 @@ int run_serve(const Options& opt) {
   so.addr = opt.serve_addr == "auto" ? "" : opt.serve_addr;
   so.executors = opt.serve_executors;
   so.session_inflight = opt.serve_inflight;
+  so.cache_entries = opt.serve_cache_entries;
   try {
     serve::Server server(so);
     server.start();
@@ -297,6 +303,8 @@ int main(int argc, char** argv) {
       opt.verify = true;
     } else if (name == "--proc") {
       opt.proc_axis = true;
+    } else if (name == "--native") {
+      opt.native_axis = true;
     } else if (name == "--calibrate") {
       opt.calibrate = true;
     } else if (name == "--timeline") {
@@ -343,6 +351,9 @@ int main(int argc, char** argv) {
     } else if (name == "--serve-inflight") {
       opt.serve_inflight = std::atoi(val);
       if (opt.serve_inflight < 1) return usage(argv[0]);
+    } else if (name == "--serve-cache-entries") {
+      opt.serve_cache_entries = std::atoi(val);
+      if (opt.serve_cache_entries < 0) return usage(argv[0]);
     } else if (name == "--connect") {
       opt.connect_addr = val;
     } else if (name == "--remote-metrics") {
@@ -464,6 +475,23 @@ int main(int argc, char** argv) {
         std::printf("jit: %s\n", machine.jit_stats().str().c_str());
       }
       if (!emit_trace(opt, machine.tracer())) return 1;
+    } else if (opt.target == "native") {
+      rt::NativeMachine machine(program, opt.engine);
+      init_all(machine);
+      machine.run();
+      for (const std::string& name : opt.print)
+        dump(name, machine.result(name));
+      if (opt.stats) {
+        std::printf("stats: native=%d from-cache=%d compile-ms=%.3f "
+                    "steps=%lld clauses=%lld redists=%lld messages=%lld\n",
+                    machine.native() ? 1 : 0, machine.from_cache() ? 1 : 0,
+                    machine.compile_ms(), machine.native_stats().steps,
+                    machine.native_stats().clauses,
+                    machine.native_stats().redists,
+                    machine.native_stats().messages);
+        if (!machine.native())
+          std::printf("fallback: %s\n", machine.error().c_str());
+      }
     } else if (opt.target == "proc") {
       proc::ProcMachine machine(buf.str(), build, {}, opt.engine);
       init_all(machine);

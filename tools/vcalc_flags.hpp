@@ -36,10 +36,13 @@ inline const std::vector<FlagSection>& sections() {
   static const std::vector<FlagSection> kSections = {
       {"execution",
        {
-           {"--target", FlagSpec::kInline, "dist|shared|seq|proc",
+           {"--target", FlagSpec::kInline, "dist|shared|seq|proc|native",
             "machine to execute on (default dist);\n"
             "proc spawns one real OS process per\n"
-            "rank, bit-identical to dist"},
+            "rank, bit-identical to dist; native\n"
+            "compiles the emitted OpenMP C and runs\n"
+            "it (bytecode fallback without a\n"
+            "toolchain — docs/runtime.md)"},
            {"--init", FlagSpec::kNext, "NAME",
             "fill NAME with the ramp 0,1,2,... before\n"
             "running (repeatable)"},
@@ -120,6 +123,11 @@ inline const std::vector<FlagSection>& sections() {
             "per-session in-flight cap; requests\n"
             "beyond it are rejected immediately\n"
             "(default 8)"},
+           {"--serve-cache-entries", FlagSpec::kNext, "N",
+            "compile-cache capacity in entries;\n"
+            "least-recently-used programs are\n"
+            "evicted beyond it (default 0 =\n"
+            "unbounded)"},
            {"--connect", FlagSpec::kNext, "ADDR",
             "run program.vexl through the server at\n"
             "ADDR instead of in-process (--init,\n"
@@ -156,6 +164,12 @@ inline const std::vector<FlagSection>& sections() {
             "add the multi-process backend to the\n"
             "--verify engine matrix (spawns real\n"
             "worker processes; Linux only)"},
+           {"--native", FlagSpec::kNone, "",
+            "add the whole-program native backend\n"
+            "to the --verify engine matrix: emitted\n"
+            "OpenMP C compiled, dlopened, and run,\n"
+            "bit-identical final stores required\n"
+            "(skipped without a toolchain)"},
            {"--rank", FlagSpec::kNext, "N",
             "internal: run as worker rank N of a\n"
             "proc job (spawned by --target=proc,\n"
